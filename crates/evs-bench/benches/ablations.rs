@@ -1,0 +1,114 @@
+//! B7/B8 — ablations of the design choices DESIGN.md calls out.
+//!
+//! * **B7 — flow-control window (`max_per_visit`).** The token holder may
+//!   stamp at most this many new messages per visit (Totem's window). Too
+//!   small starves throughput under load; very large values trade latency
+//!   fairness for burst throughput.
+//! * **B8 — loss rate.** The ring's retransmission machinery (token `rtr`
+//!   plus hop-level token retransmission) pays for losses with extra
+//!   rotations; this sweep shows delivery time degrading gracefully rather
+//!   than collapsing, up to the loss rates where membership churn begins.
+//! * **B9 — token pacing.** Pacing trades a little simulated latency for a
+//!   bounded idle-rotation rate (it exists for live transports; see
+//!   `EvsParams::token_pace`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evs_core::{EvsCluster, EvsParams, Service};
+use evs_sim::{NetConfig, ProcessId};
+
+const N: usize = 5;
+const MESSAGES: u64 = 64;
+
+fn run_with(params: EvsParams, net: NetConfig, messages: u64) -> u64 {
+    let mut cluster = EvsCluster::<u64>::builder(N)
+        .net(net)
+        .params(params)
+        .build();
+    assert!(cluster.run_until_settled(2_000_000), "formation");
+    let start = cluster.now();
+    for i in 0..messages {
+        cluster.submit(ProcessId::new((i % N as u64) as u32), Service::Safe, i);
+    }
+    assert!(cluster.run_until_settled(8_000_000), "flush");
+    // Exact flush time from the trace.
+    let end = cluster
+        .trace()
+        .events
+        .iter()
+        .flat_map(|log| log.iter())
+        .filter(|(_, e)| matches!(e, evs_core::EvsEvent::Deliver { .. }))
+        .map(|(t, _)| *t)
+        .max()
+        .unwrap_or(start);
+    end.since(start)
+}
+
+fn summary() {
+    println!("\nB7 flow-control window — {MESSAGES} safe messages, {N} processes");
+    println!("{:>14} {:>16}", "max_per_visit", "flush sim ticks");
+    for window in [1usize, 2, 4, 16, 64] {
+        let params = EvsParams {
+            max_per_visit: window,
+            ..EvsParams::default()
+        };
+        let ticks = run_with(params, NetConfig::default(), MESSAGES);
+        println!("{window:>14} {ticks:>16}");
+    }
+
+    println!("\nB8 loss rate — {MESSAGES} safe messages, {N} processes");
+    println!("{:>10} {:>16}", "loss %", "flush sim ticks");
+    for loss_pct in [0u32, 1, 2, 5, 10] {
+        let net = NetConfig::lossy(f64::from(loss_pct) / 100.0, 0xB8);
+        let ticks = run_with(EvsParams::default(), net, MESSAGES);
+        println!("{loss_pct:>10} {ticks:>16}");
+    }
+
+    println!("\nB9 token pacing — {MESSAGES} safe messages, {N} processes");
+    println!("{:>10} {:>16}", "pace", "flush sim ticks");
+    for pace in [0u64, 1, 2, 8, 32] {
+        let params = EvsParams {
+            token_pace: pace,
+            ..EvsParams::default()
+        };
+        let ticks = run_with(params, NetConfig::default(), MESSAGES);
+        println!("{pace:>10} {ticks:>16}");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+    let mut group = c.benchmark_group("B7_flow_control");
+    group.sample_size(10);
+    for window in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &window,
+            |b, &window| {
+                let params = EvsParams {
+                    max_per_visit: window,
+                    ..EvsParams::default()
+                };
+                b.iter(|| run_with(params.clone(), NetConfig::default(), MESSAGES));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("B8_loss_rate");
+    group.sample_size(10);
+    for loss_pct in [0u32, 2, 5, 10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(loss_pct),
+            &loss_pct,
+            |b, &loss_pct| {
+                let net = NetConfig::lossy(f64::from(loss_pct) / 100.0, 0xB8);
+                b.iter(|| run_with(EvsParams::default(), net.clone(), MESSAGES));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! B10 — token ring vs Isis-style sequencer (the baseline comparison).
+//!
+//! The paper builds on Totem's token ring; the classic alternative — used
+//! by Isis, whose virtual synchrony model §4 restates — is a sequencer.
+//! This bench drives both substrates under the identical simulated network
+//! and reports:
+//!
+//! * **safe latency** — a single safe-delivered message, submitted at a
+//!   non-privileged member, until delivered everywhere. The sequencer wins
+//!   at small scale (direct request/assign/ack round trips); the ring's
+//!   latency is rotation-bound.
+//! * **burst flush** — 64 messages submitted round-robin by all members.
+//!   The ring amortizes ordering over token visits (no central bottleneck);
+//!   the sequencer serializes every assignment through one process.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evs_bench::substrates::{RingNode, SeqNode};
+use evs_order::Service;
+use evs_sim::{NetConfig, Node, ProcessId, Sim, SimTime};
+
+const GROUP_SIZES: [usize; 4] = [2, 4, 8, 16];
+const BURST: u64 = 64;
+
+/// Runs a scenario on either substrate: submit via `submits`, run until
+/// every node has delivered `expect` messages, return (ticks to last
+/// delivery, the finished `Sim` for load inspection).
+fn run_substrate<N: Node<Ev = u64> + 'static>(
+    n: usize,
+    make: impl FnMut(ProcessId) -> N,
+    submits: impl FnOnce(&mut Sim<N>),
+    expect: usize,
+) -> (u64, Sim<N>) {
+    let mut sim = Sim::new(n, NetConfig::default(), make);
+    sim.run_until(SimTime::from_ticks(200)); // substrate warm-up
+    let start = sim.now();
+    submits(&mut sim);
+    let mut deadline = start + 2_000;
+    loop {
+        sim.run_until(deadline);
+        let done = (0..n).all(|i| sim.trace(ProcessId::new(i as u32)).len() >= expect);
+        if done {
+            break;
+        }
+        deadline += 2_000;
+        assert!(
+            deadline.since(start) < 10_000_000,
+            "substrate stalled at {expect} messages"
+        );
+    }
+    let end = (0..n)
+        .flat_map(|i| sim.trace(ProcessId::new(i as u32)).iter().map(|(t, _)| *t))
+        .max()
+        .unwrap_or(start);
+    (end.since(start), sim)
+}
+
+/// Fraction (percent) of all frames handled by the busiest node — 1/n is
+/// perfectly balanced; ~100% means one process is the bottleneck.
+fn concentration(frames: &[u64]) -> u64 {
+    let total: u64 = frames.iter().sum();
+    let max = frames.iter().copied().max().unwrap_or(0);
+    (max * 100).checked_div(total).unwrap_or(0)
+}
+
+fn ring_latency(n: usize) -> u64 {
+    run_substrate(
+        n,
+        |p| RingNode::new(p, n),
+        |sim| {
+            sim.invoke(ProcessId::new((n - 1) as u32), |node, ctx| {
+                node.submit(ctx, Service::Safe)
+            });
+        },
+        1,
+    )
+    .0
+}
+
+fn seq_latency(n: usize) -> u64 {
+    run_substrate(
+        n,
+        |p| SeqNode::new(p, n),
+        |sim| {
+            sim.invoke(ProcessId::new((n - 1) as u32), |node, ctx| {
+                node.submit(ctx, Service::Safe)
+            });
+        },
+        1,
+    )
+    .0
+}
+
+fn ring_burst(n: usize) -> (u64, u64) {
+    let (ticks, sim) = run_substrate(
+        n,
+        |p| RingNode::new(p, n),
+        |sim| {
+            for i in 0..BURST {
+                sim.invoke(ProcessId::new((i % n as u64) as u32), |node, ctx| {
+                    node.submit(ctx, Service::Agreed)
+                });
+            }
+        },
+        BURST as usize,
+    );
+    let frames: Vec<u64> = (0..n)
+        .map(|i| sim.node(ProcessId::new(i as u32)).frames)
+        .collect();
+    (ticks, concentration(&frames))
+}
+
+fn seq_burst(n: usize) -> (u64, u64) {
+    let (ticks, sim) = run_substrate(
+        n,
+        |p| SeqNode::new(p, n),
+        |sim| {
+            for i in 0..BURST {
+                sim.invoke(ProcessId::new((i % n as u64) as u32), |node, ctx| {
+                    node.submit(ctx, Service::Agreed)
+                });
+            }
+        },
+        BURST as usize,
+    );
+    let frames: Vec<u64> = (0..n)
+        .map(|i| sim.node(ProcessId::new(i as u32)).frames)
+        .collect();
+    (ticks, concentration(&frames))
+}
+
+fn summary() {
+    println!("\nB10 token ring vs sequencer — simulated ticks (hop latency only:");
+    println!("the simulator carries no bandwidth model, so the sequencer's");
+    println!("central bottleneck shows up as load concentration, not as time)");
+    println!(
+        "{:>4} {:>10} {:>9} {:>12} {:>11} {:>11} {:>10}",
+        "n", "ring safe", "seq safe", "ring burst", "seq burst", "ring conc%", "seq conc%"
+    );
+    for &n in &GROUP_SIZES {
+        let (rb, rc) = ring_burst(n);
+        let (sb, sc) = seq_burst(n);
+        println!(
+            "{:>4} {:>10} {:>9} {:>12} {:>11} {:>11} {:>10}",
+            n,
+            ring_latency(n),
+            seq_latency(n),
+            rb,
+            sb,
+            rc,
+            sc
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+    let mut group = c.benchmark_group("B10_baseline");
+    group.sample_size(10);
+    for &n in &GROUP_SIZES {
+        group.bench_with_input(BenchmarkId::new("ring_burst", n), &n, |b, &n| {
+            b.iter(|| ring_burst(n).0);
+        });
+        group.bench_with_input(BenchmarkId::new("seq_burst", n), &n, |b, &n| {
+            b.iter(|| seq_burst(n).0);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! B6 — specification-checker scaling.
+//!
+//! The checker builds the precedes/ord quotient graphs (linear in events)
+//! and then evaluates Specs 1–7; Spec 5's causal check is quadratic in the
+//! sends of a configuration, which dominates at larger traces. This bench
+//! records the shape so regressions in the checker are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evs_bench::trace_of_size;
+use evs_core::checker;
+
+const SIZES: [usize; 4] = [100, 500, 2_000, 10_000];
+
+fn summary() {
+    println!("\nB6 checker scaling — trace size sweep");
+    println!("{:>10} {:>10}", "events", "verdict");
+    for &s in &SIZES {
+        let trace = trace_of_size(s, 0xB6);
+        let verdict = if checker::check_all(&trace).is_ok() {
+            "ok"
+        } else {
+            "VIOLATED"
+        };
+        println!("{:>10} {:>10}", trace.len(), verdict);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+    let mut group = c.benchmark_group("B6_checker_scaling");
+    group.sample_size(10);
+    for &s in &SIZES {
+        let trace = trace_of_size(s, 0xB6);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trace.len()),
+            &trace,
+            |b, trace| {
+                b.iter(|| checker::check_all(trace).is_ok());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! B2 — delivery latency: agreed vs safe.
+//!
+//! Agreed delivery needs the message plus its total-order predecessors;
+//! safe delivery additionally needs the token `aru` to cover the ordinal on
+//! two successive visits — roughly two extra rotations. The summary table
+//! shows exactly that gap growing with ring size (rotation time is linear
+//! in the number of members).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evs_bench::{pump_messages, settled_cluster};
+use evs_core::Service;
+
+const GROUP_SIZES: [usize; 4] = [2, 4, 8, 16];
+
+/// Simulated ticks for one message to flush to everyone.
+fn one_message_latency(n: usize, service: Service, seed: u64) -> u64 {
+    let mut cluster = settled_cluster(n, seed);
+    pump_messages(&mut cluster, 1, service)
+}
+
+fn summary() {
+    println!("\nB2 delivery latency — single message, group size sweep (sim ticks)");
+    println!("{:>6} {:>12} {:>12} {:>12}", "n", "agreed", "safe", "safe/agreed");
+    for &n in &GROUP_SIZES {
+        let agreed = one_message_latency(n, Service::Agreed, 0xB2);
+        let safe = one_message_latency(n, Service::Safe, 0xB2);
+        println!(
+            "{:>6} {:>12} {:>12} {:>12.2}",
+            n,
+            agreed,
+            safe,
+            safe as f64 / agreed as f64
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+    let mut group = c.benchmark_group("B2_delivery_latency");
+    group.sample_size(10);
+    for &n in &GROUP_SIZES {
+        for (name, service) in [("agreed", Service::Agreed), ("safe", Service::Safe)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(n, service),
+                |b, &(n, service)| {
+                    b.iter(|| one_message_latency(n, service, 0xB2));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! B5 — cost of the §5 virtual-synchrony filter.
+//!
+//! The filter is a linear pass over each process's event log plus the
+//! primary-history extraction; this bench confirms the linear shape over
+//! trace length and compares it with the cost of the VS model checker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evs_bench::trace_of_size;
+use evs_vs::{check_vs, filter_trace, MajorityPrimary};
+
+const SIZES: [usize; 4] = [100, 1_000, 5_000, 20_000];
+
+fn summary() {
+    println!("\nB5 filter overhead — trace size sweep");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "events", "vs events", "views", "vs check"
+    );
+    for &s in &SIZES {
+        let trace = trace_of_size(s, 0xB5);
+        let policy = MajorityPrimary::new(4);
+        let run = filter_trace(&trace, &policy);
+        let events: usize = run.events.iter().map(Vec::len).sum();
+        let ok = check_vs(&run).is_ok();
+        println!(
+            "{:>10} {:>12} {:>12} {:>14}",
+            trace.len(),
+            events,
+            run.views.len(),
+            if ok { "acceptable" } else { "VIOLATED" }
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+    let policy = MajorityPrimary::new(4);
+    let mut group = c.benchmark_group("B5_filter_overhead");
+    for &s in &SIZES {
+        let trace = trace_of_size(s, 0xB5);
+        group.bench_with_input(
+            BenchmarkId::new("filter", trace.len()),
+            &trace,
+            |b, trace| {
+                b.iter(|| filter_trace(trace, &policy));
+            },
+        );
+        let run = filter_trace(&trace, &policy);
+        group.bench_with_input(
+            BenchmarkId::new("check_vs", trace.len()),
+            &run,
+            |b, run| {
+                b.iter(|| check_vs(run).is_ok());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! B1 — ordering throughput vs group size.
+//!
+//! How fast does the token ring stamp and deliver messages as the group
+//! grows? The summary table reports protocol cost in *simulated* ticks per
+//! message (larger rings rotate the token through more hops per message);
+//! Criterion measures the simulator's wall-time cost for the same work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evs_bench::{pump_messages, settled_cluster};
+use evs_core::Service;
+
+const GROUP_SIZES: [usize; 5] = [2, 4, 8, 16, 32];
+const MESSAGES: u64 = 64;
+
+fn summary() {
+    println!("\nB1 ordering throughput — {MESSAGES} safe messages, group size sweep");
+    println!("{:>6} {:>14} {:>18}", "n", "sim ticks", "ticks/message");
+    for &n in &GROUP_SIZES {
+        let mut cluster = settled_cluster(n, 0xB1);
+        let ticks = pump_messages(&mut cluster, MESSAGES, Service::Safe);
+        println!(
+            "{:>6} {:>14} {:>18.1}",
+            n,
+            ticks,
+            ticks as f64 / MESSAGES as f64
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+    let mut group = c.benchmark_group("B1_ordering_throughput");
+    group.sample_size(10);
+    for &n in &GROUP_SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cluster = settled_cluster(n, 0xB1);
+                pump_messages(&mut cluster, MESSAGES, Service::Safe)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

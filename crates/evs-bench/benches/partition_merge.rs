@@ -1,0 +1,58 @@
+//! B4 — end-to-end partition/merge reconfiguration cost.
+//!
+//! The full cycle the paper's Figure 6 narrates: a group splits into two
+//! components (each installs its transitional and regular configurations),
+//! then remerges (both components recover into one regular configuration).
+//! Swept over group size and split balance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evs_bench::{merge_ticks, reconfiguration_ticks, settled_cluster};
+use evs_sim::ProcessId;
+
+/// (total processes, size of the first component)
+const SHAPES: [(usize, usize); 5] = [(4, 2), (6, 3), (8, 4), (8, 7), (16, 8)];
+
+fn run(n: usize, left: usize) -> (u64, u64) {
+    let mut cluster = settled_cluster(n, 0xB4);
+    let ids: Vec<ProcessId> = cluster.processes();
+    let (a, b) = ids.split_at(left);
+    let split = reconfiguration_ticks(&mut cluster, &[a, b]);
+    let merge = merge_ticks(&mut cluster);
+    (split, merge)
+}
+
+fn summary() {
+    println!("\nB4 partition + merge — simulated ticks per phase");
+    println!("{:>8} {:>8} {:>14} {:>14}", "n", "split", "partition", "merge");
+    for &(n, left) in &SHAPES {
+        let (split, merge) = run(n, left);
+        println!(
+            "{:>8} {:>5}/{:<2} {:>14} {:>14}",
+            n,
+            left,
+            n - left,
+            split,
+            merge
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+    let mut group = c.benchmark_group("B4_partition_merge");
+    group.sample_size(10);
+    for &(n, left) in &SHAPES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_{left}")),
+            &(n, left),
+            |b, &(n, left)| {
+                b.iter(|| run(n, left));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

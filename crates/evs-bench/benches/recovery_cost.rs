@@ -1,0 +1,52 @@
+//! B3 — recovery cost vs backlog.
+//!
+//! The recovery algorithm (§3 Steps 3–6) exchanges per-message receipt
+//! state and rebroadcasts whatever some transitional member is missing.
+//! This bench grows the old configuration's message backlog and measures
+//! the reconfiguration (in simulated ticks and wall time). With a
+//! loss-free run everyone already holds everything, so the exchanged state
+//! grows but no rebroadcasts occur — the cost isolates Steps 3/4/6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evs_bench::{pump_messages, reconfiguration_ticks, settled_cluster};
+use evs_core::Service;
+use evs_sim::ProcessId;
+
+const BACKLOGS: [u64; 5] = [0, 64, 256, 1024, 4096];
+const N: usize = 6;
+
+fn run(backlog: u64) -> u64 {
+    let mut cluster = settled_cluster(N, 0xB3);
+    if backlog > 0 {
+        pump_messages(&mut cluster, backlog, Service::Safe);
+    }
+    let p = ProcessId::new;
+    reconfiguration_ticks(
+        &mut cluster,
+        &[&[p(0), p(1), p(2), p(3)], &[p(4), p(5)]],
+    )
+}
+
+fn summary() {
+    println!("\nB3 recovery cost — partition of a 6-process group after a backlog");
+    println!("{:>10} {:>20}", "backlog", "reconfig sim ticks");
+    for &b in &BACKLOGS {
+        println!("{:>10} {:>20}", b, run(b));
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+    let mut group = c.benchmark_group("B3_recovery_cost");
+    group.sample_size(10);
+    for &b in &BACKLOGS {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            bench.iter(|| run(b));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,305 @@
+//! # evs-bench — shared helpers for the benchmark harness
+//!
+//! The paper is a model/algorithm paper and reports no performance tables;
+//! the benchmarks here characterize the reproduction itself (and the
+//! Totem-substrate claims the paper builds on: "fast message ordering",
+//! bounded-time membership). Each Criterion bench also prints a summary
+//! table of *simulated-time* metrics (ticks, token rotations) — wall time
+//! measures the simulator, simulated time measures the protocol.
+//!
+//! See `DESIGN.md` (B1–B6) and `EXPERIMENTS.md` for what each bench
+//! regenerates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use evs_core::{EvsCluster, EvsEvent, Service};
+use evs_sim::{ProcessId, SimTime};
+
+/// The latest timestamp of an event matching `pred` anywhere in the trace.
+fn last_event_time(
+    trace: &evs_core::Trace,
+    pred: impl Fn(&EvsEvent) -> bool,
+) -> Option<SimTime> {
+    trace
+        .events
+        .iter()
+        .flat_map(|log| log.iter())
+        .filter(|(_, e)| pred(e))
+        .map(|(t, _)| *t)
+        .max()
+}
+
+/// Builds a settled cluster of `n` processes with the given seed.
+///
+/// # Panics
+///
+/// Panics if the group does not converge (it always does under the default
+/// loss-free network).
+pub fn settled_cluster(n: usize, seed: u64) -> EvsCluster<u64> {
+    let mut cluster = EvsCluster::<u64>::builder(n).seed(seed).build();
+    assert!(cluster.run_until_settled(1_000_000), "formation stalled");
+    cluster
+}
+
+/// Submits `k` messages round-robin and runs until everything is delivered
+/// everywhere. Returns the simulated ticks from submission to the last
+/// delivery anywhere (exact, from trace timestamps).
+///
+/// # Panics
+///
+/// Panics if the cluster fails to settle.
+pub fn pump_messages(cluster: &mut EvsCluster<u64>, k: u64, service: Service) -> u64 {
+    let n = cluster.processes().len() as u64;
+    let start = cluster.now();
+    for i in 0..k {
+        cluster.submit(ProcessId::new((i % n) as u32), service, i);
+    }
+    assert!(cluster.run_until_settled(5_000_000), "message pump stalled");
+    let end = last_event_time(&cluster.trace(), |e| {
+        matches!(e, EvsEvent::Deliver { .. })
+    })
+    .unwrap_or(start);
+    end.since(start)
+}
+
+/// Ticks from "partition applied" to the last configuration installation
+/// (exact, from trace timestamps).
+///
+/// # Panics
+///
+/// Panics if reconfiguration stalls.
+pub fn reconfiguration_ticks(cluster: &mut EvsCluster<u64>, groups: &[&[ProcessId]]) -> u64 {
+    let start = cluster.now();
+    cluster.partition(groups);
+    assert!(cluster.run_until_settled(5_000_000), "reconfiguration stalled");
+    let end = last_event_time(&cluster.trace(), |e| {
+        matches!(e, EvsEvent::DeliverConf(c) if c.is_regular())
+    })
+    .unwrap_or(start);
+    end.since(start)
+}
+
+/// Ticks from "merge applied" to the last configuration installation.
+///
+/// # Panics
+///
+/// Panics if the merge stalls.
+pub fn merge_ticks(cluster: &mut EvsCluster<u64>) -> u64 {
+    let start = cluster.now();
+    cluster.merge_all();
+    assert!(cluster.run_until_settled(5_000_000), "merge stalled");
+    let end = last_event_time(&cluster.trace(), |e| {
+        matches!(e, EvsEvent::DeliverConf(c) if c.is_regular())
+    })
+    .unwrap_or(start);
+    end.since(start)
+}
+
+/// Generates a trace of roughly `events` events: a settled group exchanging
+/// messages with one partition/merge cycle in the middle.
+pub fn trace_of_size(events: usize, seed: u64) -> evs_core::Trace {
+    let n = 4;
+    let mut cluster = settled_cluster(n, seed);
+    // Each message yields ~1 send + n deliveries; configs add a handful.
+    let msgs = (events / (n + 1)).max(1) as u64;
+    let half = msgs / 2;
+    pump_messages(&mut cluster, half, Service::Safe);
+    let p = ProcessId::new;
+    cluster.partition(&[&[p(0), p(1)], &[p(2), p(3)]]);
+    assert!(cluster.run_until_settled(5_000_000));
+    cluster.merge_all();
+    assert!(cluster.run_until_settled(5_000_000));
+    pump_messages(&mut cluster, msgs - half, Service::Safe);
+    cluster.trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_settled_clusters_and_traces() {
+        let mut c = settled_cluster(3, 1);
+        let ticks = pump_messages(&mut c, 5, Service::Safe);
+        assert!(ticks > 0);
+        let t = trace_of_size(200, 2);
+        assert!(t.len() >= 100, "trace has {} events", t.len());
+        evs_core::checker::check_all(&t).unwrap();
+    }
+}
+
+/// Thin [`evs_sim::Node`] wrappers that drive the two ordering substrates
+/// (token ring vs Isis-style sequencer) directly under the simulator's
+/// latency model, for the B10 baseline comparison. No membership layer: a
+/// fixed configuration, loss-free network.
+pub mod substrates {
+    use evs_membership::ConfigId;
+    use evs_order::{
+        MessageId, Ring, RingMsg, RingOut, SeqMsg, SeqOut, Sequencer, Service,
+    };
+    use evs_sim::{Ctx, Node, ProcessId, TimerKind};
+
+    const TICK: TimerKind = TimerKind(1);
+    const TICK_INTERVAL: u64 = 16;
+
+    fn fixed_config() -> ConfigId {
+        ConfigId::regular(1, ProcessId::new(0))
+    }
+
+    /// A node running just the token-ring substrate.
+    pub struct RingNode {
+        ring: Ring<u64>,
+        next_id: u64,
+        /// Ordinals delivered, in order (the bench reads timestamps from
+        /// the emitted trace).
+        pub delivered: Vec<u64>,
+        /// Frames this node processed (load-concentration metric).
+        pub frames: u64,
+    }
+
+    impl RingNode {
+        /// Creates the node for `me` in a fixed `n`-member configuration.
+        pub fn new(me: ProcessId, n: usize) -> Self {
+            let members = evs_sim::all_ids(n);
+            RingNode {
+                ring: Ring::new(me, fixed_config(), members, 16),
+                next_id: 0,
+                delivered: Vec::new(),
+                frames: 0,
+            }
+        }
+
+        /// Submits one message with the given service.
+        pub fn submit(&mut self, ctx: &mut Ctx<'_, RingMsg<u64>, u64>, service: Service) {
+            self.next_id += 1;
+            let id = MessageId::new(ctx.id(), self.next_id);
+            if self.ring.submit(id, service, self.next_id).is_some() {
+                self.drain(ctx);
+            }
+        }
+
+        fn apply(&mut self, ctx: &mut Ctx<'_, RingMsg<u64>, u64>, outs: Vec<RingOut<u64>>) {
+            for o in outs {
+                match o {
+                    RingOut::Data(m) => ctx.broadcast(RingMsg::Data(m)),
+                    RingOut::TokenTo(to, t) => ctx.unicast(to, RingMsg::Token(t)),
+                }
+            }
+            self.drain(ctx);
+        }
+
+        fn drain(&mut self, ctx: &mut Ctx<'_, RingMsg<u64>, u64>) {
+            while let Some((m, _)) = self.ring.pop_delivery() {
+                self.delivered.push(m.seq);
+                ctx.emit(m.seq);
+            }
+        }
+    }
+
+    impl Node for RingNode {
+        type Msg = RingMsg<u64>;
+        type Ev = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>) {
+            let now = ctx.now();
+            let outs = self.ring.bootstrap_token(now);
+            self.apply(ctx, outs);
+            ctx.set_timer(TICK_INTERVAL, TICK);
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>, _from: ProcessId, msg: Self::Msg) {
+            self.frames += 1;
+            let now = ctx.now();
+            match msg {
+                RingMsg::Data(d) => {
+                    self.ring.on_data(d);
+                    self.drain(ctx);
+                }
+                RingMsg::Token(t) => {
+                    let outs = self.ring.on_token(now, t);
+                    self.apply(ctx, outs);
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>, _kind: TimerKind) {
+            let now = ctx.now();
+            if let Some(out) = self.ring.maybe_retransmit(now, 64) {
+                self.apply(ctx, vec![out]);
+            }
+            ctx.set_timer(TICK_INTERVAL, TICK);
+        }
+
+        fn on_crash(&mut self, _: &mut Ctx<'_, Self::Msg, u64>) {}
+        fn on_recover(&mut self, _: &mut Ctx<'_, Self::Msg, u64>) {}
+    }
+
+    /// A node running just the sequencer substrate.
+    pub struct SeqNode {
+        seq: Sequencer<u64>,
+        next_id: u64,
+        /// Ordinals delivered, in order.
+        pub delivered: Vec<u64>,
+        /// Frames this node processed (load-concentration metric).
+        pub frames: u64,
+    }
+
+    impl SeqNode {
+        /// Creates the node for `me` in a fixed `n`-member configuration.
+        pub fn new(me: ProcessId, n: usize) -> Self {
+            let members = evs_sim::all_ids(n);
+            SeqNode {
+                seq: Sequencer::new(me, fixed_config(), members),
+                next_id: 0,
+                delivered: Vec::new(),
+                frames: 0,
+            }
+        }
+
+        /// Submits one message with the given service.
+        pub fn submit(&mut self, ctx: &mut Ctx<'_, SeqMsg<u64>, u64>, service: Service) {
+            self.next_id += 1;
+            let id = MessageId::new(ctx.id(), self.next_id);
+            let outs = self.seq.submit(id, service, self.next_id);
+            self.apply(ctx, outs);
+        }
+
+        fn apply(&mut self, ctx: &mut Ctx<'_, SeqMsg<u64>, u64>, outs: Vec<SeqOut<u64>>) {
+            for o in outs {
+                match o {
+                    SeqOut::Broadcast(m) => ctx.broadcast(m),
+                    SeqOut::Send(to, m) => ctx.unicast(to, m),
+                }
+            }
+            while let Some((m, _)) = self.seq.pop_delivery() {
+                self.delivered.push(m.seq);
+                ctx.emit(m.seq);
+            }
+        }
+    }
+
+    impl Node for SeqNode {
+        type Msg = SeqMsg<u64>;
+        type Ev = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>) {
+            ctx.set_timer(TICK_INTERVAL, TICK);
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>, from: ProcessId, msg: Self::Msg) {
+            self.frames += 1;
+            let outs = self.seq.on_message(from, msg);
+            self.apply(ctx, outs);
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>, _kind: TimerKind) {
+            let outs = self.seq.tick();
+            self.apply(ctx, outs);
+            ctx.set_timer(TICK_INTERVAL, TICK);
+        }
+
+        fn on_crash(&mut self, _: &mut Ctx<'_, Self::Msg, u64>) {}
+        fn on_recover(&mut self, _: &mut Ctx<'_, Self::Msg, u64>) {}
+    }
+}

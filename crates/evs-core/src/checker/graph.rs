@@ -1,0 +1,436 @@
+//! The `→` (precedes) relation and the `ord` function, built from a trace.
+//!
+//! The paper's model postulates a global partial order `→` and a logical
+//! total order `ord` over all events (§2). A trace only records what each
+//! process did, in what local order; the checker must therefore *construct*
+//! a witness `(→, ord)` and verify it exists:
+//!
+//! * `→` is the transitive closure of (a) per-process event order
+//!   (Spec 1.2), (b) `send(m) → deliver(m)` for every delivery (Spec 1.3),
+//!   and (c) the synchronization required by Specs 2.3/2.4 — which is
+//!   realized canonically by *merging* all `deliver_conf(c)` events for the
+//!   same configuration `c` into one graph node. If this merged graph is
+//!   acyclic, a valid partial order exists; a cycle means Specs 1.1/2.3/2.4
+//!   are jointly unsatisfiable for this trace.
+//! * `ord` additionally requires deliveries of the same message to share a
+//!   logical time (Spec 6.2), so those events are merged as well. If the
+//!   finer quotient is still acyclic, a topological numbering *is* a valid
+//!   `ord` (it satisfies 6.1 and 6.2 by construction); a cycle refutes
+//!   Specs 6.1/6.2.
+
+use crate::{EvsEvent, Trace};
+use std::collections::HashMap;
+
+/// A reference to one event: `(process index, position in its log)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EvRef {
+    /// Process index.
+    pub pid: usize,
+    /// Position within that process's log.
+    pub idx: usize,
+}
+
+/// The quotient precedence structure of a trace.
+#[derive(Debug)]
+pub struct EventGraph {
+    /// Flattened event references, index = event id.
+    pub events: Vec<EvRef>,
+    /// event id ← EvRef
+    index: HashMap<EvRef, usize>,
+    /// Precedes-quotient class of each event (configuration-change merge).
+    pub class: Vec<usize>,
+    num_classes: usize,
+    /// Class-level adjacency of the precedes graph.
+    adj: Vec<Vec<usize>>,
+    /// Topological order of the precedes classes, if acyclic.
+    topo: Option<Vec<usize>>,
+    /// `ord` value per event, if the ord quotient is acyclic.
+    ord: Option<Vec<u64>>,
+    /// Memoized reachability: source class → reachable classes bitmap.
+    reach_cache: std::cell::RefCell<HashMap<usize, Vec<bool>>>,
+}
+
+impl EventGraph {
+    /// Builds the graph from a trace.
+    pub fn build(trace: &Trace) -> Self {
+        // Flatten events.
+        let mut events = Vec::new();
+        let mut index = HashMap::new();
+        for (pid, log) in trace.events.iter().enumerate() {
+            for idx in 0..log.len() {
+                let r = EvRef { pid, idx };
+                index.insert(r, events.len());
+                events.push(r);
+            }
+        }
+        let n = events.len();
+
+        // Union-find for the precedes quotient: merge deliver_conf events of
+        // the same configuration.
+        let mut uf = UnionFind::new(n);
+        let mut conf_rep: HashMap<(evs_membership::ConfigId, bool), usize> = HashMap::new();
+        for (id, r) in events.iter().enumerate() {
+            if let EvsEvent::DeliverConf(c) = &trace.events[r.pid][r.idx].1 {
+                // Key includes full identity via the id only: the registry
+                // separately checks that one ConfigId never maps to two
+                // memberships.
+                let key = (c.id, c.id.transitional);
+                match conf_rep.get(&key) {
+                    Some(&rep) => uf.union(rep, id),
+                    None => {
+                        conf_rep.insert(key, id);
+                    }
+                }
+            }
+        }
+
+        // A second union-find for the ord quotient: conf merge plus
+        // same-message delivery merge.
+        let mut uf_ord = uf.clone();
+        let mut msg_rep: HashMap<evs_order::MessageId, usize> = HashMap::new();
+        for (id, r) in events.iter().enumerate() {
+            if let EvsEvent::Deliver { id: mid, .. } = &trace.events[r.pid][r.idx].1 {
+                match msg_rep.get(mid) {
+                    Some(&rep) => uf_ord.union(rep, id),
+                    None => {
+                        msg_rep.insert(*mid, id);
+                    }
+                }
+            }
+        }
+
+        // Raw edges: process order + send→deliver.
+        let mut raw_edges: Vec<(usize, usize)> = Vec::new();
+        for (pid, log) in trace.events.iter().enumerate() {
+            for idx in 1..log.len() {
+                let a = index[&EvRef { pid, idx: idx - 1 }];
+                let b = index[&EvRef { pid, idx }];
+                raw_edges.push((a, b));
+            }
+        }
+        let mut send_of: HashMap<evs_order::MessageId, usize> = HashMap::new();
+        for (id, r) in events.iter().enumerate() {
+            if let EvsEvent::Send { id: mid, .. } = &trace.events[r.pid][r.idx].1 {
+                send_of.entry(*mid).or_insert(id);
+            }
+        }
+        for (id, r) in events.iter().enumerate() {
+            if let EvsEvent::Deliver { id: mid, .. } = &trace.events[r.pid][r.idx].1 {
+                if let Some(&s) = send_of.get(mid) {
+                    raw_edges.push((s, id));
+                }
+            }
+        }
+
+        // Project onto the precedes quotient.
+        let (class, num_classes) = uf.compress();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+        for &(a, b) in &raw_edges {
+            let (ca, cb) = (class[a], class[b]);
+            if ca != cb {
+                adj[ca].push(cb);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let topo = topological_order(&adj);
+
+        // Project onto the ord quotient and number it.
+        let (ord_class, num_ord) = uf_ord.compress();
+        let mut adj_ord: Vec<Vec<usize>> = vec![Vec::new(); num_ord];
+        for &(a, b) in &raw_edges {
+            let (ca, cb) = (ord_class[a], ord_class[b]);
+            if ca != cb {
+                adj_ord[ca].push(cb);
+            }
+        }
+        for list in &mut adj_ord {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let ord = topological_order(&adj_ord).map(|order| {
+            let mut pos = vec![0u64; num_ord];
+            for (i, &c) in order.iter().enumerate() {
+                pos[c] = i as u64;
+            }
+            (0..n).map(|e| pos[ord_class[e]]).collect::<Vec<u64>>()
+        });
+
+        EventGraph {
+            events,
+            index,
+            class,
+            num_classes,
+            adj,
+            topo,
+            ord,
+            reach_cache: Default::default(),
+        }
+    }
+
+    /// The event id of a reference.
+    pub fn id(&self, r: EvRef) -> usize {
+        self.index[&r]
+    }
+
+    /// True if the precedes quotient is acyclic, i.e. a valid `→` partial
+    /// order satisfying Specs 1.1, 1.2, 2.3 and 2.4 exists.
+    pub fn precedes_acyclic(&self) -> bool {
+        self.topo.is_some()
+    }
+
+    /// True if the ord quotient is acyclic, i.e. an `ord` satisfying Specs
+    /// 6.1 and 6.2 exists.
+    pub fn ord_feasible(&self) -> bool {
+        self.ord.is_some()
+    }
+
+    /// The constructed `ord` value of an event (a concrete witness for the
+    /// paper's logical total order), if feasible.
+    pub fn ord_of(&self, r: EvRef) -> Option<u64> {
+        self.ord.as_ref().map(|o| o[self.index[&r]])
+    }
+
+    /// Whether `a → b` in the constructed precedes relation (reflexive, as
+    /// in the paper).
+    pub fn precedes(&self, a: EvRef, b: EvRef) -> bool {
+        let (ca, cb) = (self.class[self.index[&a]], self.class[self.index[&b]]);
+        if ca == cb {
+            return true;
+        }
+        let mut cache = self.reach_cache.borrow_mut();
+        let reach = cache.entry(ca).or_insert_with(|| {
+            // BFS from ca over the class graph.
+            let mut seen = vec![false; self.num_classes];
+            let mut stack = vec![ca];
+            seen[ca] = true;
+            while let Some(c) = stack.pop() {
+                for &d in &self.adj[c] {
+                    if !seen[d] {
+                        seen[d] = true;
+                        stack.push(d);
+                    }
+                }
+            }
+            seen
+        });
+        reach[cb]
+    }
+}
+
+fn topological_order(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = adj.len();
+    let mut indeg = vec![0usize; n];
+    for out in adj {
+        for &b in out {
+            indeg[b] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    // Deterministic order: smallest class id first.
+    queue.sort_unstable_by(|a, b| b.cmp(a));
+    let mut order = Vec::with_capacity(n);
+    while let Some(c) = queue.pop() {
+        order.push(c);
+        for &d in &adj[c] {
+            indeg[d] -= 1;
+            if indeg[d] == 0 {
+                queue.push(d);
+            }
+        }
+        queue.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[derive(Clone, Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, a: usize) -> usize {
+        if self.parent[a] != a {
+            let root = self.find(self.parent[a]);
+            self.parent[a] = root;
+        }
+        self.parent[a]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+
+    /// Returns (class id per element, number of classes), with class ids
+    /// dense in 0..count.
+    fn compress(&mut self) -> (Vec<usize>, usize) {
+        let n = self.parent.len();
+        let mut dense: HashMap<usize, usize> = HashMap::new();
+        let mut class = vec![0usize; n];
+        for (i, slot) in class.iter_mut().enumerate() {
+            let root = self.find(i);
+            let next = dense.len();
+            *slot = *dense.entry(root).or_insert(next);
+        }
+        (class, dense.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Configuration, EvsEvent};
+    use evs_membership::ConfigId;
+    use evs_order::{MessageId, Service};
+    use evs_sim::{ProcessId, SimTime};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn cfg(epoch: u64, members: &[u32]) -> Configuration {
+        Configuration::new(
+            ConfigId::regular(epoch, p(members[0])),
+            members.iter().map(|&i| p(i)).collect(),
+        )
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_ticks(n)
+    }
+
+    fn send(mid: (u32, u64), c: &Configuration) -> EvsEvent {
+        EvsEvent::Send {
+            id: MessageId::new(p(mid.0), mid.1),
+            config: c.id,
+            service: Service::Agreed,
+        }
+    }
+
+    fn deliver(mid: (u32, u64), c: &Configuration, seq: u64) -> EvsEvent {
+        EvsEvent::Deliver {
+            id: MessageId::new(p(mid.0), mid.1),
+            config: c.id,
+            service: Service::Agreed,
+            seq,
+        }
+    }
+
+    #[test]
+    fn linear_history_is_acyclic_and_ordered() {
+        let c = cfg(0, &[0, 1]);
+        let trace = Trace::new(vec![
+            vec![
+                (t(0), EvsEvent::DeliverConf(c.clone())),
+                (t(1), send((0, 1), &c)),
+                (t(2), deliver((0, 1), &c, 1)),
+            ],
+            vec![
+                (t(0), EvsEvent::DeliverConf(c.clone())),
+                (t(3), deliver((0, 1), &c, 1)),
+            ],
+        ]);
+        let g = EventGraph::build(&trace);
+        assert!(g.precedes_acyclic());
+        assert!(g.ord_feasible());
+        // send precedes both deliveries.
+        let s = EvRef { pid: 0, idx: 1 };
+        let d0 = EvRef { pid: 0, idx: 2 };
+        let d1 = EvRef { pid: 1, idx: 1 };
+        assert!(g.precedes(s, d0));
+        assert!(g.precedes(s, d1));
+        assert!(!g.precedes(d0, s));
+        // Same-message deliveries share an ord value; send is earlier.
+        assert_eq!(g.ord_of(d0), g.ord_of(d1));
+        assert!(g.ord_of(s).unwrap() < g.ord_of(d0).unwrap());
+    }
+
+    #[test]
+    fn conf_merge_synchronizes_processes() {
+        // P0's event after conf c must follow P1's events before conf c.
+        let c0 = cfg(0, &[0, 1]);
+        let c1 = cfg(1, &[0, 1]);
+        let trace = Trace::new(vec![
+            vec![
+                (t(0), EvsEvent::DeliverConf(c0.clone())),
+                (t(5), EvsEvent::DeliverConf(c1.clone())),
+                (t(6), send((0, 1), &c1)),
+            ],
+            vec![
+                (t(0), EvsEvent::DeliverConf(c0.clone())),
+                (t(1), send((1, 1), &c0)),
+                (t(7), EvsEvent::DeliverConf(c1.clone())),
+            ],
+        ]);
+        let g = EventGraph::build(&trace);
+        assert!(g.precedes_acyclic());
+        // P1's send in c0 precedes the (merged) conf change c1, which
+        // precedes P0's send in c1.
+        let s1 = EvRef { pid: 1, idx: 1 };
+        let s0 = EvRef { pid: 0, idx: 2 };
+        assert!(g.precedes(s1, s0));
+        assert!(!g.precedes(s0, s1));
+    }
+
+    #[test]
+    fn contradictory_conf_orders_create_a_cycle() {
+        // P0 delivers conf A then conf B; P1 delivers conf B then conf A.
+        // The merged graph must be cyclic (Specs 2.3/2.4 unsatisfiable).
+        let a = cfg(1, &[0, 1]);
+        let b = cfg(2, &[0, 1]);
+        let trace = Trace::new(vec![
+            vec![
+                (t(0), EvsEvent::DeliverConf(a.clone())),
+                (t(1), EvsEvent::DeliverConf(b.clone())),
+            ],
+            vec![
+                (t(0), EvsEvent::DeliverConf(b.clone())),
+                (t(1), EvsEvent::DeliverConf(a.clone())),
+            ],
+        ]);
+        let g = EventGraph::build(&trace);
+        assert!(!g.precedes_acyclic());
+        assert!(!g.ord_feasible());
+    }
+
+    #[test]
+    fn contradictory_delivery_orders_break_ord_only() {
+        // Two processes deliver the same two messages in opposite orders:
+        // the precedes relation is still fine (no cross edges), but no ord
+        // can give each message a single logical time (Spec 6.2).
+        let c = cfg(0, &[0, 1]);
+        let trace = Trace::new(vec![
+            vec![
+                (t(0), EvsEvent::DeliverConf(c.clone())),
+                (t(1), deliver((0, 1), &c, 1)),
+                (t(2), deliver((1, 1), &c, 2)),
+            ],
+            vec![
+                (t(0), EvsEvent::DeliverConf(c.clone())),
+                (t(1), deliver((1, 1), &c, 2)),
+                (t(2), deliver((0, 1), &c, 1)),
+            ],
+        ]);
+        let g = EventGraph::build(&trace);
+        assert!(g.precedes_acyclic());
+        assert!(!g.ord_feasible());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let g = EventGraph::build(&Trace::default());
+        assert!(g.precedes_acyclic());
+        assert!(g.ord_feasible());
+    }
+}

@@ -1,0 +1,166 @@
+//! The primary component model (§2.2 of the paper): Uniqueness and
+//! Continuity of the history of primary components.
+
+use super::{Analysis, Violation};
+use evs_membership::ConfigId;
+
+/// Checks the §2.2 properties of a primary-component history.
+///
+/// `primaries` lists the configuration identifiers designated primary (by
+/// whatever primary-component algorithm is in use — see `evs-vs`). Only
+/// primaries actually installed in the trace participate.
+///
+/// * **Uniqueness** — "the history H of primary components is totally
+///   ordered by the `→` relation": every pair of installed primary
+///   configurations must be comparable under the constructed precedes
+///   relation.
+/// * **Continuity** — "for each pair of consecutive primary components in
+///   the history H, at least one process is a member of both."
+pub fn check_primary(a: &Analysis<'_>, primaries: &[ConfigId]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    // Installed primaries, each represented by one conf-change event (they
+    // are all merged in the precedes quotient anyway).
+    let mut installed: Vec<ConfigId> = primaries
+        .iter()
+        .copied()
+        .filter(|c| a.conf_delivs.contains_key(c))
+        .collect();
+    installed.sort_unstable();
+    installed.dedup();
+
+    let rep = |c: ConfigId| a.conf_delivs[&c][0];
+
+    // Uniqueness, and a total order for the continuity walk.
+    for (i, &c1) in installed.iter().enumerate() {
+        for &c2 in &installed[i + 1..] {
+            let fwd = a.graph.precedes(rep(c1), rep(c2));
+            let back = a.graph.precedes(rep(c2), rep(c1));
+            if !fwd && !back {
+                v.push(Violation {
+                    spec: "primary-1",
+                    detail: format!(
+                        "primary components {c1} and {c2} are concurrent (history not totally ordered)"
+                    ),
+                });
+            }
+        }
+    }
+    if !v.is_empty() {
+        return v; // continuity is meaningless without a total order
+    }
+
+    // Sort by the precedes relation (a total order on these nodes now).
+    let mut history = installed;
+    history.sort_by(|&c1, &c2| {
+        if c1 == c2 {
+            std::cmp::Ordering::Equal
+        } else if a.graph.precedes(rep(c1), rep(c2)) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+
+    for w in history.windows(2) {
+        let (c1, c2) = (w[0], w[1]);
+        let m1 = &a.configs[&c1].members;
+        let m2 = &a.configs[&c2].members;
+        if !m1.iter().any(|p| m2.contains(p)) {
+            v.push(Violation {
+                spec: "primary-2",
+                detail: format!(
+                    "consecutive primary components {c1} and {c2} share no member"
+                ),
+            });
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Analysis;
+    use crate::{Configuration, EvsEvent, Trace};
+    use evs_sim::{ProcessId, SimTime};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn cfg(epoch: u64, members: &[u32]) -> Configuration {
+        Configuration::new(
+            ConfigId::regular(epoch, p(members[0])),
+            members.iter().map(|&i| p(i)).collect(),
+        )
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_ticks(n)
+    }
+
+    #[test]
+    fn sequential_primaries_with_overlap_pass() {
+        let c1 = cfg(1, &[0, 1, 2]);
+        let c2 = cfg(2, &[1, 2]);
+        let trace = Trace::new(vec![
+            vec![(t(0), EvsEvent::DeliverConf(c1.clone()))],
+            vec![
+                (t(0), EvsEvent::DeliverConf(c1.clone())),
+                (t(1), EvsEvent::DeliverConf(c2.clone())),
+            ],
+            vec![
+                (t(0), EvsEvent::DeliverConf(c1.clone())),
+                (t(1), EvsEvent::DeliverConf(c2.clone())),
+            ],
+        ]);
+        let a = Analysis::build(&trace);
+        assert!(check_primary(&a, &[c1.id, c2.id]).is_empty());
+    }
+
+    #[test]
+    fn concurrent_primaries_violate_uniqueness() {
+        // Two disjoint components each install a "primary" concurrently.
+        let c1 = cfg(1, &[0]);
+        let c2 = cfg(1, &[1]);
+        let trace = Trace::new(vec![
+            vec![(t(0), EvsEvent::DeliverConf(c1.clone()))],
+            vec![(t(0), EvsEvent::DeliverConf(c2.clone()))],
+        ]);
+        let a = Analysis::build(&trace);
+        let v = check_primary(&a, &[c1.id, c2.id]);
+        assert!(v.iter().any(|x| x.spec == "primary-1"), "{v:?}");
+    }
+
+    #[test]
+    fn disjoint_consecutive_primaries_violate_continuity() {
+        // P0 installs primary c1; later (synchronized through P0's next
+        // configuration c2 which bridges order) a disjoint primary c3.
+        let c1 = cfg(1, &[0]);
+        let c2 = cfg(2, &[0, 1]);
+        let c3 = cfg(3, &[1]);
+        let trace = Trace::new(vec![
+            vec![
+                (t(0), EvsEvent::DeliverConf(c1.clone())),
+                (t(1), EvsEvent::DeliverConf(c2.clone())),
+            ],
+            vec![
+                (t(0), EvsEvent::DeliverConf(c2.clone())),
+                (t(1), EvsEvent::DeliverConf(c3.clone())),
+            ],
+        ]);
+        let a = Analysis::build(&trace);
+        // c1 and c3 are ordered (via the shared c2 node) but share no member.
+        let v = check_primary(&a, &[c1.id, c3.id]);
+        assert!(v.iter().any(|x| x.spec == "primary-2"), "{v:?}");
+    }
+
+    #[test]
+    fn uninstalled_primaries_are_ignored() {
+        let c1 = cfg(1, &[0]);
+        let ghost = ConfigId::regular(9, p(5));
+        let trace = Trace::new(vec![vec![(t(0), EvsEvent::DeliverConf(c1.clone()))]]);
+        let a = Analysis::build(&trace);
+        assert!(check_primary(&a, &[c1.id, ghost]).is_empty());
+    }
+}

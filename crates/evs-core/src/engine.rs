@@ -1,0 +1,949 @@
+//! The per-process extended virtual synchrony engine.
+//!
+//! [`EvsProcess`] composes the substrates — membership (`evs-membership`)
+//! and token-ring total order (`evs-order`) — and implements the paper's
+//! extended virtual synchrony algorithm (§3):
+//!
+//! * **Step 1** (regular operation): messages are submitted to the ring,
+//!   delivered in agreed or safe order, and the obligation set is empty.
+//! * **Step 2**: when the membership algorithm proposes a new
+//!   configuration, new application messages are buffered and ring traffic
+//!   for the proposed configuration is buffered.
+//! * **Step 3**: the process broadcasts a frozen [`ExchangeState`] report.
+//! * **Steps 4–5**: it computes its transitional configuration and the
+//!   rebroadcast duties, rebroadcasts, and acknowledges once it holds every
+//!   message any transitional member holds; acknowledging extends its
+//!   obligation set (Step 5.c).
+//! * **Step 6**: once all transitional members acknowledged, the recovery
+//!   plan (see [`crate::recovery`]) is executed atomically: deliveries in
+//!   the old regular configuration, the transitional configuration change,
+//!   transitional deliveries, and the new regular configuration change.
+//!
+//! If the membership algorithm proposes a different configuration while a
+//! recovery is in progress, the recovery restarts at Step 2 with the same
+//! frozen old-configuration snapshot, exactly as the paper prescribes.
+//!
+//! Crashes persist only two counters to stable storage — the message-id
+//! counter (Spec 1.4 uniqueness) and the largest configuration epoch seen
+//! (identifier monotonicity). A recovered process rejoins as a singleton
+//! regular configuration under its old identity, the shape §2 of the paper
+//! requires.
+
+use crate::recovery::{
+    extended_obligations, needed_set, rebroadcast_set, transitional_members, ExchangeState,
+};
+use crate::{Configuration, Delivery, EvsEvent, EvsParams};
+use evs_membership::{ConfigId, MembMsg, MembOut, Membership, ProposedConfig};
+use evs_order::{MessageId, OrderedMsg, Ring, RingMsg, RingOut, RingSnapshot, Service};
+use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerKind};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::fmt;
+
+/// The engine's maintenance timer.
+const TICK: TimerKind = TimerKind(1);
+
+/// Fires when a paced token is due to be forwarded to the successor.
+const TOKEN_SEND: TimerKind = TimerKind(2);
+
+/// Stable-storage key for the engine's persistent counters.
+const STABLE_KEY: &str = "evs-engine";
+
+/// Cap on buffered frames for configurations we have not installed yet.
+const FUTURE_BUFFER_CAP: usize = 4096;
+
+/// What the engine persists across crashes.
+#[derive(Clone, Copy, Debug, Default)]
+struct PersistentState {
+    msg_counter: u64,
+    max_epoch: u64,
+}
+
+/// Wire frames of the EVS layer.
+#[derive(Clone, Debug)]
+pub enum EvsMsg<P> {
+    /// Membership protocol traffic.
+    Memb(MembMsg),
+    /// Total-order traffic of the current regular configuration.
+    Ring(RingMsg<P>),
+    /// Recovery Step 3: a frozen state report.
+    Exchange(ExchangeState),
+    /// Recovery Step 5.a: an old-configuration message rebroadcast for the
+    /// members that missed it.
+    Rebroadcast {
+        /// The proposed configuration whose recovery this serves.
+        proposal: ConfigId,
+        /// The message (stamped in the old configuration's total order).
+        msg: OrderedMsg<P>,
+    },
+    /// Recovery Step 5.b: "I hold every message any member of my
+    /// transitional configuration holds."
+    RecoveryAck {
+        /// The proposed configuration whose recovery this serves.
+        proposal: ConfigId,
+    },
+}
+
+/// In-progress recovery state (Steps 2–5).
+struct RecoveryState<P> {
+    proposal: ProposedConfig,
+    /// Frozen snapshot of the last regular configuration's ring; its store
+    /// grows only by rebroadcast receipts during this recovery.
+    old: RingSnapshot<P>,
+    /// Our own frozen Step-3 report (re-broadcast verbatim on resend).
+    my_exchange: ExchangeState,
+    /// Reports received, one per sender (first copy wins; copies are
+    /// identical because reports are frozen).
+    exchanges: BTreeMap<ProcessId, ExchangeState>,
+    /// Members of our transitional configuration and the needed message
+    /// set, cached once all proposal members have reported.
+    trans: Option<(Vec<ProcessId>, BTreeSet<u64>)>,
+    /// Acknowledgments received (within the transitional membership).
+    acks: BTreeSet<ProcessId>,
+    my_ack_sent: bool,
+    last_resend: SimTime,
+}
+
+// The regular variant is the hot path and lives for the whole lifetime of a
+// configuration; boxing it would add an indirection to every message. The
+// size gap versus the boxed recovery variant is intentional.
+#[allow(clippy::large_enum_variant)]
+enum Mode<P> {
+    Regular { ring: Ring<P> },
+    Recovery(Box<RecoveryState<P>>),
+}
+
+/// A single process of the extended-virtual-synchrony stack, runnable under
+/// the deterministic simulator (it implements [`evs_sim::Node`]).
+///
+/// Applications interact through [`EvsProcess::submit`] (from an
+/// [`Action::Invoke`](evs_sim::Action) closure or test code) and by reading
+/// [`EvsProcess::deliveries`]. Every model-relevant event is also emitted
+/// into the simulator trace as an [`EvsEvent`] for the specification
+/// checker.
+pub struct EvsProcess<P> {
+    me: ProcessId,
+    params: EvsParams,
+    persist: PersistentState,
+    membership: Membership,
+    mode: Mode<P>,
+    /// Set between a gather starting and the next regular installation;
+    /// application submissions are buffered while set.
+    frozen: bool,
+    app_buffer: VecDeque<(Service, P)>,
+    /// Frames for configurations newer than the current one, replayed when
+    /// that configuration is installed (§3 Step 2: "Buffer any messages
+    /// received for the proposed new configuration").
+    future_buffer: VecDeque<(ProcessId, ConfigId, RingMsg<P>)>,
+    delivered: Vec<Delivery<P>>,
+    obligations: BTreeSet<ProcessId>,
+    current_config: Configuration,
+    last_token_seen: SimTime,
+    sent_log: HashSet<MessageId>,
+    /// A token waiting out its pacing delay before being forwarded
+    /// (§3/Totem: the token is paced so an idle ring does not spin).
+    pending_token: Option<(ProcessId, evs_order::Token)>,
+}
+
+impl<P> fmt::Debug for EvsProcess<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvsProcess")
+            .field("me", &self.me)
+            .field("config", &self.current_config)
+            .field("in_recovery", &matches!(self.mode, Mode::Recovery(_)))
+            .field("frozen", &self.frozen)
+            .finish()
+    }
+}
+
+type ECtx<'a, P> = Ctx<'a, EvsMsg<P>, EvsEvent>;
+
+impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
+    /// Creates the engine for process `me`. Every process starts in a
+    /// singleton regular configuration (epoch 0) and merges with its
+    /// component through the normal membership/recovery path.
+    pub fn new(me: ProcessId, params: EvsParams) -> Self {
+        let initial = ProposedConfig::singleton(0, me);
+        let membership = Membership::new(
+            me,
+            initial.clone(),
+            0,
+            params.membership.clone(),
+            SimTime::ZERO,
+        );
+        let ring = Ring::new(me, initial.id, initial.members.clone(), params.max_per_visit);
+        EvsProcess {
+            me,
+            params,
+            persist: PersistentState::default(),
+            membership,
+            mode: Mode::Regular { ring },
+            frozen: false,
+            app_buffer: VecDeque::new(),
+            future_buffer: VecDeque::new(),
+            delivered: Vec::new(),
+            obligations: BTreeSet::new(),
+            current_config: Configuration::from(initial),
+            last_token_seen: SimTime::ZERO,
+            sent_log: HashSet::new(),
+            pending_token: None,
+        }
+    }
+
+    /// This process's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The configuration most recently delivered to the application.
+    pub fn current_config(&self) -> &Configuration {
+        &self.current_config
+    }
+
+    /// Everything delivered to the application so far, in delivery order.
+    pub fn deliveries(&self) -> &[Delivery<P>] {
+        &self.delivered
+    }
+
+    /// Drains the delivery log (for long-running benchmarks).
+    pub fn take_deliveries(&mut self) -> Vec<Delivery<P>> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// True if the process is in a regular configuration with a stable
+    /// membership view, no recovery in progress, no buffered application
+    /// messages, and every known message delivered. Used by test harnesses
+    /// to detect convergence.
+    pub fn is_settled(&self) -> bool {
+        match &self.mode {
+            Mode::Regular { ring } => {
+                self.membership.is_stable()
+                    && !self.frozen
+                    && self.app_buffer.is_empty()
+                    && ring.pending_len() == 0
+                    && ring.delivered_upto() == ring.high_seen()
+            }
+            Mode::Recovery(_) => false,
+        }
+    }
+
+    /// Submits an application message for the given delivery service.
+    ///
+    /// During reconfiguration (from gather start until the next regular
+    /// configuration is installed) submissions are buffered and entered
+    /// into the new configuration's total order, per Step 2 of the
+    /// recovery algorithm.
+    pub fn submit(&mut self, ctx: &mut ECtx<'_, P>, service: Service, payload: P) {
+        if self.frozen || matches!(self.mode, Mode::Recovery(_)) {
+            self.app_buffer.push_back((service, payload));
+            return;
+        }
+        let id = self.next_message_id();
+        self.submit_to_ring(ctx, id, service, payload);
+    }
+
+    fn next_message_id(&mut self) -> MessageId {
+        self.persist.msg_counter += 1;
+        MessageId::new(self.me, self.persist.msg_counter)
+    }
+
+    fn submit_to_ring(&mut self, ctx: &mut ECtx<'_, P>, id: MessageId, service: Service, payload: P) {
+        let Mode::Regular { ring } = &mut self.mode else {
+            unreachable!("submit_to_ring requires regular mode");
+        };
+        if let Some(stamped) = ring.submit(id, service, payload) {
+            // Singleton ring: stamped immediately.
+            self.log_send(ctx, &stamped);
+            self.drain_ring_deliveries(ctx);
+        }
+    }
+
+    fn log_send(&mut self, ctx: &mut ECtx<'_, P>, msg: &OrderedMsg<P>) {
+        if msg.id.sender == self.me && self.sent_log.insert(msg.id) {
+            ctx.emit(EvsEvent::Send {
+                id: msg.id,
+                config: msg.config,
+                service: msg.service,
+            });
+        }
+    }
+
+    fn deliver_conf(&mut self, ctx: &mut ECtx<'_, P>, cfg: Configuration) {
+        ctx.emit(EvsEvent::DeliverConf(cfg.clone()));
+        self.current_config = cfg.clone();
+        self.delivered.push(Delivery::Config(cfg));
+    }
+
+    fn deliver_msg(&mut self, ctx: &mut ECtx<'_, P>, msg: OrderedMsg<P>, config: ConfigId) {
+        ctx.emit(EvsEvent::Deliver {
+            id: msg.id,
+            config,
+            service: msg.service,
+            seq: msg.seq,
+        });
+        self.delivered.push(Delivery::Message {
+            id: msg.id,
+            seq: msg.seq,
+            config,
+            service: msg.service,
+            payload: msg.payload,
+        });
+    }
+
+    fn drain_ring_deliveries(&mut self, ctx: &mut ECtx<'_, P>) {
+        loop {
+            let Mode::Regular { ring } = &mut self.mode else {
+                return;
+            };
+            let Some((msg, _class)) = ring.pop_delivery() else {
+                return;
+            };
+            let config = msg.config;
+            self.deliver_msg(ctx, msg, config);
+        }
+    }
+
+    fn process_ring_outs(&mut self, ctx: &mut ECtx<'_, P>, outs: Vec<RingOut<P>>) {
+        for out in outs {
+            match out {
+                RingOut::Data(msg) => {
+                    self.log_send(ctx, &msg);
+                    ctx.broadcast(EvsMsg::Ring(RingMsg::Data(msg)));
+                }
+                RingOut::TokenTo(to, tok) => {
+                    // Pace the token: hold it briefly before forwarding.
+                    self.pending_token = Some((to, tok));
+                    ctx.set_timer(self.params.token_pace, TOKEN_SEND);
+                }
+            }
+        }
+        self.drain_ring_deliveries(ctx);
+    }
+
+    fn handle_memb_outs(&mut self, ctx: &mut ECtx<'_, P>, outs: Vec<MembOut>) {
+        for out in outs {
+            match out {
+                MembOut::Broadcast(m) => ctx.broadcast(EvsMsg::Memb(m)),
+                MembOut::Send(to, m) => ctx.unicast(to, EvsMsg::Memb(m)),
+                MembOut::GatherStarted => self.frozen = true,
+                MembOut::Propose(cfg) => self.start_recovery(ctx, cfg),
+            }
+        }
+    }
+
+    /// Step 2/3: freeze the old configuration and broadcast the exchange
+    /// report. Re-entered (with the same frozen snapshot) if the membership
+    /// proposes again mid-recovery.
+    fn start_recovery(&mut self, ctx: &mut ECtx<'_, P>, proposal: ProposedConfig) {
+        self.frozen = true;
+        self.pending_token = None; // the old configuration's token dies here
+        let placeholder = Mode::Regular {
+            ring: Ring::new(
+                self.me,
+                ConfigId::regular(u64::MAX, self.me),
+                vec![self.me],
+                1,
+            ),
+        };
+        let old = match std::mem::replace(&mut self.mode, placeholder) {
+            Mode::Regular { ring } => ring.into_snapshot(),
+            Mode::Recovery(rec) => rec.old,
+        };
+        let my_exchange = ExchangeState::from_snapshot(proposal.id, self.me, &old, &self.obligations);
+        let mut exchanges = BTreeMap::new();
+        exchanges.insert(self.me, my_exchange.clone());
+        ctx.broadcast(EvsMsg::Exchange(my_exchange.clone()));
+        self.mode = Mode::Recovery(Box::new(RecoveryState {
+            proposal,
+            old,
+            my_exchange,
+            exchanges,
+            trans: None,
+            acks: BTreeSet::new(),
+            my_ack_sent: false,
+            last_resend: ctx.now(),
+        }));
+        self.try_advance_recovery(ctx);
+    }
+
+    /// Steps 4–5: classify, rebroadcast, acknowledge; Step 6 when all
+    /// transitional members have acknowledged.
+    fn try_advance_recovery(&mut self, ctx: &mut ECtx<'_, P>) {
+        let Mode::Recovery(rec) = &mut self.mode else {
+            return;
+        };
+        // Step 4 runs once reports from every proposal member are in.
+        if rec.trans.is_none() {
+            if rec.proposal.members.iter().all(|m| rec.exchanges.contains_key(m)) {
+                let trans = transitional_members(rec.old.config, &rec.exchanges);
+                let needed = needed_set(&trans, &rec.exchanges);
+                rec.trans = Some((trans, needed));
+                self.do_rebroadcasts(ctx);
+            } else {
+                return;
+            }
+        }
+        let Mode::Recovery(rec) = &mut self.mode else {
+            return;
+        };
+        let (trans, needed) = rec.trans.clone().expect("classified above");
+        // Step 5.b/5.c: acknowledge once we hold the needed set; extend the
+        // obligation set at that moment.
+        if !rec.my_ack_sent && needed.iter().all(|s| rec.old.store.contains_key(s)) {
+            rec.my_ack_sent = true;
+            rec.acks.insert(self.me);
+            self.obligations = extended_obligations(&self.obligations, &trans, &rec.exchanges);
+            ctx.broadcast(EvsMsg::RecoveryAck {
+                proposal: rec.proposal.id,
+            });
+        }
+        let Mode::Recovery(rec) = &mut self.mode else {
+            return;
+        };
+        if rec.my_ack_sent && trans.iter().all(|q| rec.acks.contains(q)) {
+            self.finish_recovery(ctx);
+        }
+    }
+
+    /// Step 5.a: broadcast the messages we are responsible for.
+    fn do_rebroadcasts(&mut self, ctx: &mut ECtx<'_, P>) {
+        let Mode::Recovery(rec) = &self.mode else {
+            return;
+        };
+        let Some((trans, _)) = &rec.trans else {
+            return;
+        };
+        let mine: BTreeSet<u64> = rec.old.store.keys().copied().collect();
+        let duties = rebroadcast_set(self.me, trans, &rec.exchanges, &mine);
+        let frames: Vec<EvsMsg<P>> = duties
+            .into_iter()
+            .map(|s| EvsMsg::Rebroadcast {
+                proposal: rec.proposal.id,
+                msg: rec.old.store[&s].clone(),
+            })
+            .collect();
+        for f in frames {
+            ctx.broadcast(f);
+        }
+    }
+
+    /// Step 6 plus re-installation: executes the recovery plan atomically,
+    /// installs the new regular configuration, restarts the ring and
+    /// replays buffered traffic and submissions.
+    fn finish_recovery(&mut self, ctx: &mut ECtx<'_, P>) {
+        let Mode::Recovery(rec) = std::mem::replace(
+            &mut self.mode,
+            Mode::Regular {
+                // Placeholder, replaced below.
+                ring: Ring::new(
+                    self.me,
+                    ConfigId::regular(u64::MAX, self.me),
+                    vec![self.me],
+                    1,
+                ),
+            },
+        ) else {
+            unreachable!("finish_recovery requires recovery mode");
+        };
+        let rec = *rec;
+        let plan = crate::recovery::compute_plan(
+            self.me,
+            &rec.old,
+            &rec.proposal,
+            &rec.exchanges,
+            &self.obligations,
+        );
+        // 6.b — finish the old regular configuration.
+        let old_config = rec.old.config;
+        for m in plan.regular_deliveries {
+            self.deliver_msg(ctx, m, old_config);
+        }
+        // 6.c — the transitional configuration.
+        self.deliver_conf(ctx, plan.transitional.clone());
+        // 6.d — transitional deliveries.
+        let trans_id = plan.transitional.id;
+        for m in plan.transitional_deliveries {
+            self.deliver_msg(ctx, m, trans_id);
+        }
+        // 6.e — the new regular configuration.
+        self.deliver_conf(ctx, plan.new_regular.clone());
+
+        // Step 1 of the next round: fresh ring, empty obligation set.
+        self.obligations.clear();
+        self.frozen = false;
+        self.last_token_seen = ctx.now();
+        let mut ring = Ring::new(
+            self.me,
+            rec.proposal.id,
+            rec.proposal.members.clone(),
+            self.params.max_per_visit,
+        );
+        let boot = ring.bootstrap_token(ctx.now());
+        self.mode = Mode::Regular { ring };
+        self.process_ring_outs(ctx, boot);
+
+        // Unsent submissions from the old configuration keep their ids and
+        // enter the new configuration's order (their model-level send
+        // happens now); then buffered application submissions follow.
+        for (id, service, payload) in rec.old.pending {
+            self.submit_to_ring(ctx, id, service, payload);
+        }
+        while let Some((service, payload)) = self.app_buffer.pop_front() {
+            let id = self.next_message_id();
+            self.submit_to_ring(ctx, id, service, payload);
+        }
+
+        // Replay frames buffered for this configuration.
+        let new_id = rec.proposal.id;
+        let buffered: Vec<(ProcessId, ConfigId, RingMsg<P>)> =
+            std::mem::take(&mut self.future_buffer).into();
+        for (from, cfg, frame) in buffered {
+            if cfg == new_id {
+                self.handle_ring_frame(ctx, from, frame);
+            } else if cfg.epoch >= new_id.epoch {
+                self.future_buffer.push_back((from, cfg, frame));
+            }
+        }
+    }
+
+    fn buffer_future(&mut self, from: ProcessId, cfg: ConfigId, frame: RingMsg<P>) {
+        if self.future_buffer.len() >= FUTURE_BUFFER_CAP {
+            self.future_buffer.pop_front();
+        }
+        self.future_buffer.push_back((from, cfg, frame));
+    }
+
+    fn handle_ring_frame(&mut self, ctx: &mut ECtx<'_, P>, from: ProcessId, frame: RingMsg<P>) {
+        let frame_config = match &frame {
+            RingMsg::Data(m) => m.config,
+            RingMsg::Token(t) => t.config,
+        };
+        enum Disposition {
+            Current,
+            Future,
+            Drop,
+        }
+        let disposition = match &self.mode {
+            Mode::Regular { ring } => {
+                let current = ring.config();
+                if frame_config == current {
+                    Disposition::Current
+                } else if frame_config.epoch > current.epoch {
+                    // Traffic of a configuration we have not installed yet.
+                    Disposition::Future
+                } else {
+                    Disposition::Drop
+                }
+            }
+            // Old-configuration data is deliberately dropped during a
+            // recovery: the recovery works from frozen exchange reports,
+            // and accepting stray late data would break the symmetry of
+            // Step 6 across the transitional members (Spec 4). Rebroadcast
+            // frames are the only way old messages enter during recovery.
+            Mode::Recovery(rec) => {
+                if frame_config == rec.proposal.id {
+                    Disposition::Future
+                } else {
+                    Disposition::Drop
+                }
+            }
+        };
+        match disposition {
+            Disposition::Drop => {}
+            Disposition::Future => self.buffer_future(from, frame_config, frame),
+            Disposition::Current => match frame {
+                RingMsg::Data(m) => {
+                    if let Mode::Regular { ring } = &mut self.mode {
+                        ring.on_data(m);
+                    }
+                    self.drain_ring_deliveries(ctx);
+                }
+                RingMsg::Token(t) => {
+                    self.last_token_seen = ctx.now();
+                    let now = ctx.now();
+                    let outs = match &mut self.mode {
+                        Mode::Regular { ring } => ring.on_token(now, t),
+                        Mode::Recovery(_) => Vec::new(),
+                    };
+                    self.process_ring_outs(ctx, outs);
+                }
+            },
+        }
+    }
+
+    fn settle_tick(&mut self, ctx: &mut ECtx<'_, P>) {
+        let now = ctx.now();
+        let outs = self.membership.tick(now);
+        self.handle_memb_outs(ctx, outs);
+
+        let retx = match &mut self.mode {
+            Mode::Regular { ring } => ring.maybe_retransmit(now, self.params.token_retx),
+            Mode::Recovery(_) => None,
+        };
+        if let Some(out) = retx {
+            self.process_ring_outs(ctx, vec![out]);
+        }
+
+        let token_lost = matches!(&self.mode, Mode::Regular { ring } if !ring.is_singleton())
+            && self.membership.is_stable()
+            && now.since(self.last_token_seen) > self.params.token_loss;
+        if token_lost {
+            // Totem's token-loss timeout: the ring has stalled in a way
+            // heartbeats may not reveal; force a membership round.
+            self.last_token_seen = now;
+            let outs = self.membership.force_reconfigure(now);
+            self.handle_memb_outs(ctx, outs);
+        }
+
+        let resend = match &mut self.mode {
+            Mode::Recovery(rec) if now.since(rec.last_resend) >= self.params.recovery_resend => {
+                rec.last_resend = now;
+                Some((rec.my_exchange.clone(), rec.my_ack_sent.then_some(rec.proposal.id)))
+            }
+            _ => None,
+        };
+        if let Some((exchange, ack)) = resend {
+            ctx.broadcast(EvsMsg::Exchange(exchange));
+            self.do_rebroadcasts(ctx);
+            if let Some(proposal) = ack {
+                ctx.broadcast(EvsMsg::RecoveryAck { proposal });
+            }
+        }
+    }
+}
+
+impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
+    type Msg = EvsMsg<P>;
+    type Ev = EvsEvent;
+
+    fn on_start(&mut self, ctx: &mut ECtx<'_, P>) {
+        // Deliver the initial singleton configuration to the application.
+        let initial = self.current_config.clone();
+        self.deliver_conf(ctx, initial);
+        ctx.set_timer(self.params.tick_interval, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut ECtx<'_, P>, from: ProcessId, msg: EvsMsg<P>) {
+        match msg {
+            EvsMsg::Memb(m) => {
+                let now = ctx.now();
+                let outs = self.membership.on_message(now, from, m);
+                self.handle_memb_outs(ctx, outs);
+            }
+            EvsMsg::Ring(frame) => self.handle_ring_frame(ctx, from, frame),
+            EvsMsg::Exchange(es) => {
+                if let Mode::Recovery(rec) = &mut self.mode {
+                    if es.proposal == rec.proposal.id {
+                        rec.exchanges.entry(es.sender).or_insert(es);
+                        self.try_advance_recovery(ctx);
+                    }
+                }
+            }
+            EvsMsg::Rebroadcast { proposal, msg } => {
+                if let Mode::Recovery(rec) = &mut self.mode {
+                    if proposal == rec.proposal.id && msg.config == rec.old.config {
+                        rec.old.store.entry(msg.seq).or_insert(msg);
+                        self.try_advance_recovery(ctx);
+                    }
+                }
+            }
+            EvsMsg::RecoveryAck { proposal } => {
+                if let Mode::Recovery(rec) = &mut self.mode {
+                    if proposal == rec.proposal.id {
+                        rec.acks.insert(from);
+                        self.try_advance_recovery(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ECtx<'_, P>, kind: TimerKind) {
+        match kind {
+            TOKEN_SEND => {
+                if let Some((to, tok)) = self.pending_token.take() {
+                    // Drop the token if the configuration moved on while it
+                    // was being paced.
+                    let still_current = matches!(
+                        &self.mode,
+                        Mode::Regular { ring } if ring.config() == tok.config
+                    );
+                    if still_current {
+                        ctx.unicast(to, EvsMsg::Ring(RingMsg::Token(tok)));
+                    }
+                }
+            }
+            _ => {
+                debug_assert_eq!(kind, TICK);
+                self.settle_tick(ctx);
+                ctx.set_timer(self.params.tick_interval, TICK);
+            }
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut ECtx<'_, P>) {
+        // The paper's fail_p(c): record the failure in the configuration we
+        // were a member of, and persist the crash-surviving counters.
+        ctx.emit(EvsEvent::Fail {
+            config: self.current_config.id,
+        });
+        self.persist.max_epoch = self.persist.max_epoch.max(self.membership.max_epoch());
+        let persist = self.persist;
+        ctx.stable().put(STABLE_KEY, persist);
+    }
+
+    fn on_recover(&mut self, ctx: &mut ECtx<'_, P>) {
+        // Same identifier, stable counters back, everything else fresh: the
+        // process re-enters the system as a singleton regular configuration
+        // (§2: "may recover with a deliver_conf_p(c) event, where the
+        // membership of c is {p}").
+        let persist = ctx
+            .stable()
+            .get::<PersistentState>(STABLE_KEY)
+            .copied()
+            .unwrap_or_default();
+        self.persist = persist;
+        let epoch = self.persist.max_epoch + 1;
+        self.persist.max_epoch = epoch;
+        let initial = ProposedConfig::singleton(epoch, self.me);
+        self.membership = Membership::new(
+            self.me,
+            initial.clone(),
+            epoch,
+            self.params.membership.clone(),
+            ctx.now(),
+        );
+        let ring = Ring::new(
+            self.me,
+            initial.id,
+            initial.members.clone(),
+            self.params.max_per_visit,
+        );
+        self.mode = Mode::Regular { ring };
+        self.frozen = false;
+        self.app_buffer.clear();
+        self.future_buffer.clear();
+        self.obligations.clear();
+        self.sent_log.clear();
+        self.pending_token = None;
+        let cfg = Configuration::from(initial);
+        self.deliver_conf(ctx, cfg);
+        self.last_token_seen = ctx.now();
+        ctx.set_timer(self.params.tick_interval, TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evs_sim::StableStore;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A scratch environment owning the state a `Ctx` borrows.
+    struct Env {
+        stable: StableStore,
+        trace: Vec<(SimTime, EvsEvent)>,
+        next_timer: u64,
+        now: SimTime,
+    }
+
+    impl Env {
+        fn new() -> Self {
+            Env {
+                stable: StableStore::new(),
+                trace: Vec::new(),
+                next_timer: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn with<R>(
+            &mut self,
+            f: impl FnOnce(&mut ECtx<'_, &'static str>) -> R,
+        ) -> (R, Vec<EvsMsg<&'static str>>) {
+            let mut ctx = Ctx::detached(
+                p(0),
+                self.now,
+                &mut self.stable,
+                &mut self.trace,
+                &mut self.next_timer,
+            );
+            let r = f(&mut ctx);
+            let effects = ctx.take_effects();
+            let sent = effects
+                .into_iter()
+                .filter_map(|e| match e {
+                    evs_sim::Effect::Broadcast(m) => Some(m),
+                    evs_sim::Effect::Unicast(_, m) => Some(m),
+                    _ => None,
+                })
+                .collect();
+            (r, sent)
+        }
+    }
+
+    fn started() -> (EvsProcess<&'static str>, Env) {
+        let mut env = Env::new();
+        let mut node = EvsProcess::new(p(0), EvsParams::default());
+        env.with(|ctx| node.on_start(ctx));
+        (node, env)
+    }
+
+    #[test]
+    fn starts_in_singleton_regular_configuration() {
+        let (node, env) = started();
+        assert_eq!(node.current_config().members, vec![p(0)]);
+        assert!(node.current_config().is_regular());
+        assert_eq!(node.current_config().id.epoch, 0);
+        // The initial configuration change is both traced and delivered.
+        assert!(matches!(env.trace[0].1, EvsEvent::DeliverConf(_)));
+        assert!(matches!(node.deliveries()[0], Delivery::Config(_)));
+    }
+
+    #[test]
+    fn singleton_submission_delivers_immediately_with_events() {
+        let (mut node, mut env) = started();
+        env.with(|ctx| node.submit(ctx, Service::Safe, "solo"));
+        let kinds: Vec<&EvsEvent> = env.trace.iter().map(|(_, e)| e).collect();
+        assert!(matches!(kinds[1], EvsEvent::Send { .. }), "{kinds:?}");
+        assert!(matches!(kinds[2], EvsEvent::Deliver { .. }), "{kinds:?}");
+        assert_eq!(
+            node.deliveries()
+                .iter()
+                .filter_map(|d| d.payload())
+                .next(),
+            Some(&"solo")
+        );
+        assert!(node.is_settled());
+    }
+
+    #[test]
+    fn frozen_submissions_are_buffered() {
+        let (mut node, mut env) = started();
+        node.frozen = true;
+        env.with(|ctx| node.submit(ctx, Service::Agreed, "later"));
+        assert_eq!(node.app_buffer.len(), 1);
+        assert!(
+            !env.trace.iter().any(|(_, e)| matches!(e, EvsEvent::Send { .. })),
+            "no send event while buffered"
+        );
+        assert!(!node.is_settled(), "buffered work means not settled");
+    }
+
+    #[test]
+    fn message_ids_are_monotone_and_unique() {
+        let (mut node, mut env) = started();
+        for _ in 0..5 {
+            env.with(|ctx| node.submit(ctx, Service::Agreed, "x"));
+        }
+        let counters: Vec<u64> = env
+            .trace
+            .iter()
+            .filter_map(|(_, e)| match e {
+                EvsEvent::Send { id, .. } => Some(id.counter),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn crash_persists_and_recovery_reincarnates_configuration() {
+        let (mut node, mut env) = started();
+        env.with(|ctx| node.submit(ctx, Service::Safe, "pre"));
+        env.with(|ctx| node.on_crash(ctx));
+        assert!(
+            env.trace
+                .iter()
+                .any(|(_, e)| matches!(e, EvsEvent::Fail { .. })),
+            "fail event recorded"
+        );
+        let old_epoch = node.current_config().id.epoch;
+        env.with(|ctx| node.on_recover(ctx));
+        assert!(node.current_config().id.epoch > old_epoch);
+        assert_eq!(node.current_config().members, vec![p(0)]);
+        // The message counter survived: the next id continues the series.
+        env.with(|ctx| node.submit(ctx, Service::Safe, "post"));
+        let last_counter = env
+            .trace
+            .iter()
+            .filter_map(|(_, e)| match e {
+                EvsEvent::Send { id, .. } => Some(id.counter),
+                _ => None,
+            })
+            .next_back()
+            .unwrap();
+        assert_eq!(last_counter, 2, "counter persisted across the crash");
+    }
+
+    #[test]
+    fn future_buffer_is_bounded() {
+        let (mut node, _env) = started();
+        let foreign = ConfigId::regular(99, p(1));
+        for seq in 0..(FUTURE_BUFFER_CAP + 10) as u64 {
+            node.buffer_future(
+                p(1),
+                foreign,
+                RingMsg::Data(OrderedMsg {
+                    config: foreign,
+                    seq,
+                    id: MessageId::new(p(1), seq),
+                    service: Service::Agreed,
+                    payload: "spam",
+                }),
+            );
+        }
+        assert_eq!(node.future_buffer.len(), FUTURE_BUFFER_CAP);
+    }
+
+    #[test]
+    fn stale_ring_frames_are_dropped() {
+        let (mut node, mut env) = started();
+        // A data frame from a long-gone epoch: silently ignored.
+        let stale = ConfigId::regular(0, p(9));
+        let ((), sent) = env.with(|ctx| {
+            node.on_message(
+                ctx,
+                p(1),
+                EvsMsg::Ring(RingMsg::Data(OrderedMsg {
+                    config: stale,
+                    seq: 1,
+                    id: MessageId::new(p(9), 1),
+                    service: Service::Agreed,
+                    payload: "stale",
+                })),
+            )
+        });
+        assert!(sent.is_empty());
+        assert!(node
+            .deliveries()
+            .iter()
+            .all(|d| d.payload() != Some(&"stale")));
+    }
+
+    #[test]
+    fn recovery_ignores_mismatched_proposals() {
+        let (mut node, mut env) = started();
+        // An exchange for a proposal we never heard of: dropped.
+        let ghost = ConfigId::regular(77, p(3));
+        env.with(|ctx| {
+            node.on_message(
+                ctx,
+                p(3),
+                EvsMsg::Exchange(crate::recovery::ExchangeState {
+                    proposal: ghost,
+                    sender: p(3),
+                    last_regular: ghost,
+                    received: BTreeSet::new(),
+                    high_seen: 0,
+                    safe_line: 0,
+                    obligations: BTreeSet::new(),
+                }),
+            )
+        });
+        assert!(matches!(node.mode, Mode::Regular { .. }));
+        assert_eq!(node.current_config().members, vec![p(0)]);
+    }
+}

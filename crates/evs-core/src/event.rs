@@ -1,0 +1,241 @@
+//! Trace events: the vocabulary of the paper's specifications.
+
+use crate::Configuration;
+use core::fmt;
+use evs_membership::ConfigId;
+use evs_order::{MessageId, Service};
+use evs_sim::{ProcessId, SimTime};
+
+/// One event in a process's history, matching §2 of the paper:
+/// `deliver_conf_p(c)`, `send_p(m, c)`, `deliver_p(m, c)` and `fail_p(c)`.
+///
+/// These events are emitted into the per-process simulator trace by the EVS
+/// engine and consumed by the [specification checker](crate::checker). The
+/// event carries the configuration *identifier* in which it occurred; full
+/// memberships travel on the `DeliverConf` events.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EvsEvent {
+    /// `deliver_conf_p(c)`: the process installs configuration `c`.
+    DeliverConf(Configuration),
+    /// `send_p(m, c)`: the process originates message `m` in regular
+    /// configuration `c` (the instant the message enters the total order).
+    Send {
+        /// Message identity.
+        id: MessageId,
+        /// The regular configuration of origination.
+        config: ConfigId,
+        /// Requested delivery service.
+        service: Service,
+    },
+    /// `deliver_p(m, c)`: the process delivers message `m` while a member of
+    /// configuration `c` (regular or transitional).
+    Deliver {
+        /// Message identity.
+        id: MessageId,
+        /// Configuration of delivery.
+        config: ConfigId,
+        /// The service the message was sent with.
+        service: Service,
+        /// The message's ordinal in its regular configuration's total order.
+        seq: u64,
+    },
+    /// `fail_p(c)`: the process crashes while a member of configuration `c`.
+    Fail {
+        /// Configuration current at the instant of failure.
+        config: ConfigId,
+    },
+}
+
+impl EvsEvent {
+    /// The configuration identifier this event occurred in.
+    pub fn config(&self) -> ConfigId {
+        match self {
+            EvsEvent::DeliverConf(c) => c.id,
+            EvsEvent::Send { config, .. }
+            | EvsEvent::Deliver { config, .. }
+            | EvsEvent::Fail { config } => *config,
+        }
+    }
+
+    /// The message identity, for send/deliver events.
+    pub fn message(&self) -> Option<MessageId> {
+        match self {
+            EvsEvent::Send { id, .. } | EvsEvent::Deliver { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EvsEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvsEvent::DeliverConf(c) => write!(f, "deliver_conf({c})"),
+            EvsEvent::Send { id, config, service } => {
+                write!(f, "send({id}, {config}, {service})")
+            }
+            EvsEvent::Deliver {
+                id,
+                config,
+                service,
+                seq,
+            } => write!(f, "deliver({id}, {config}, {service}, seq={seq})"),
+            EvsEvent::Fail { config } => write!(f, "fail({config})"),
+        }
+    }
+}
+
+/// A complete execution trace: every process's event history, in
+/// per-process order, with simulated timestamps.
+///
+/// This is the input to the [checker](crate::checker). Index `i` holds the
+/// history of `ProcessId::new(i)`.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Per-process event logs.
+    pub events: Vec<Vec<(SimTime, EvsEvent)>>,
+}
+
+impl Trace {
+    /// Builds a trace from per-process logs.
+    pub fn new(events: Vec<Vec<(SimTime, EvsEvent)>>) -> Self {
+        Trace { events }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+
+    /// True if no process recorded any event.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The event history of one process.
+    pub fn of(&self, p: ProcessId) -> &[(SimTime, EvsEvent)] {
+        &self.events[p.as_usize()]
+    }
+
+    /// Iterates `(process, position, event)` over all events.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, usize, &EvsEvent)> {
+        self.events.iter().enumerate().flat_map(|(i, log)| {
+            log.iter()
+                .enumerate()
+                .map(move |(k, (_, e))| (ProcessId::new(i as u32), k, e))
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, log) in self.events.iter().enumerate() {
+            writeln!(f, "P{i}:")?;
+            for (t, e) in log {
+                writeln!(f, "  {t:>8} {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the engine hands to the application, in delivery order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delivery<P> {
+    /// A configuration change message.
+    Config(Configuration),
+    /// An application message.
+    Message {
+        /// Message identity.
+        id: MessageId,
+        /// Ordinal in its regular configuration's total order.
+        seq: u64,
+        /// Configuration of delivery (regular or transitional).
+        config: ConfigId,
+        /// The service the sender requested.
+        service: Service,
+        /// The payload.
+        payload: P,
+    },
+}
+
+impl<P> Delivery<P> {
+    /// Returns the payload for message deliveries.
+    pub fn payload(&self) -> Option<&P> {
+        match self {
+            Delivery::Message { payload, .. } => Some(payload),
+            Delivery::Config(_) => None,
+        }
+    }
+
+    /// Returns the configuration for configuration-change deliveries.
+    pub fn config_change(&self) -> Option<&Configuration> {
+        match self {
+            Delivery::Config(c) => Some(c),
+            Delivery::Message { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evs_membership::ConfigId;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn event_accessors() {
+        let cfg = ConfigId::regular(1, p(0));
+        let e = EvsEvent::Send {
+            id: MessageId::new(p(1), 2),
+            config: cfg,
+            service: Service::Safe,
+        };
+        assert_eq!(e.config(), cfg);
+        assert_eq!(e.message(), Some(MessageId::new(p(1), 2)));
+        let f = EvsEvent::Fail { config: cfg };
+        assert_eq!(f.message(), None);
+    }
+
+    #[test]
+    fn trace_iteration_and_counts() {
+        let cfg = Configuration::new(ConfigId::regular(0, p(0)), vec![p(0)]);
+        let t = Trace::new(vec![
+            vec![(SimTime::ZERO, EvsEvent::DeliverConf(cfg.clone()))],
+            vec![
+                (SimTime::ZERO, EvsEvent::DeliverConf(cfg.clone())),
+                (
+                    SimTime::from_ticks(5),
+                    EvsEvent::Fail { config: cfg.id },
+                ),
+            ],
+        ]);
+        assert_eq!(t.num_processes(), 2);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.of(p(1)).len(), 2);
+        let positions: Vec<(ProcessId, usize)> =
+            t.iter().map(|(p, k, _)| (p, k)).collect();
+        assert_eq!(positions, vec![(p(0), 0), (p(1), 0), (p(1), 1)]);
+    }
+
+    #[test]
+    fn delivery_accessors() {
+        let d: Delivery<&str> = Delivery::Message {
+            id: MessageId::new(p(0), 1),
+            seq: 1,
+            config: ConfigId::regular(0, p(0)),
+            service: Service::Agreed,
+            payload: "x",
+        };
+        assert_eq!(d.payload(), Some(&"x"));
+        assert!(d.config_change().is_none());
+    }
+}

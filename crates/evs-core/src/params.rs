@@ -1,0 +1,67 @@
+//! Tunable timing parameters of the EVS stack.
+
+use evs_membership::MembershipParams;
+
+/// Timing and flow-control parameters for [`EvsProcess`](crate::EvsProcess),
+/// in simulator ticks.
+///
+/// The defaults are tuned for the default [`evs_sim::NetConfig`] latency
+/// range (1–5 ticks/hop): membership converges within a few hundred ticks
+/// and a five-process ring rotates every ~15 ticks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvsParams {
+    /// Parameters of the underlying membership protocol.
+    pub membership: MembershipParams,
+    /// Period of the engine's internal maintenance timer.
+    pub tick_interval: u64,
+    /// Pause between receiving the token and forwarding it to the
+    /// successor (Totem's token pacing). Simulated networks pace the token
+    /// through transmission latency anyway; on a live transport with
+    /// microsecond channels, pacing is what keeps an idle ring from
+    /// spinning at CPU speed.
+    pub token_pace: u64,
+    /// Quiet time after forwarding the token before retransmitting it.
+    pub token_retx: u64,
+    /// No token sighting for this long (in a multi-member regular
+    /// configuration) forces a membership reconfiguration — Totem's
+    /// token-loss timeout.
+    pub token_loss: u64,
+    /// Period for re-broadcasting recovery-state messages (exchange
+    /// reports, rebroadcasts, acknowledgments) while a recovery is in
+    /// progress, so packet loss cannot wedge the recovery.
+    pub recovery_resend: u64,
+    /// Maximum new messages stamped per token visit (flow control).
+    pub max_per_visit: usize,
+}
+
+impl Default for EvsParams {
+    fn default() -> Self {
+        EvsParams {
+            membership: MembershipParams::default(),
+            tick_interval: 16,
+            token_pace: 2,
+            token_retx: 64,
+            token_loss: 400,
+            recovery_resend: 96,
+            max_per_visit: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let p = EvsParams::default();
+        assert!(p.tick_interval > 0);
+        assert!(p.token_retx >= p.tick_interval);
+        assert!(p.token_pace < p.token_retx);
+        assert!(p.token_loss > p.token_retx);
+        assert!(p.max_per_visit > 0);
+        // The membership suspects faster than... at least within the same
+        // order of magnitude as token loss, so both detectors cooperate.
+        assert!(p.membership.suspect_timeout >= p.tick_interval);
+    }
+}

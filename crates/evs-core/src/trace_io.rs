@@ -1,0 +1,359 @@
+//! Plain-text serialization of execution traces.
+//!
+//! The soak harness and property tests find counterexamples by running
+//! millions of events; being able to archive a failing trace, attach it to
+//! a bug report, and re-run the checker on it later is an operational
+//! necessity. The format is deliberately human-readable — one event per
+//! line — so a trace diff is meaningful in review:
+//!
+//! ```text
+//! process 0
+//!   @12 conf R1.0 * 0 1 2
+//!   @30 send 0#1 R1.0 safe
+//!   @45 dlv 0#1 R1.0 safe 3
+//!   @99 fail R1.0
+//! ```
+//!
+//! `conf` lines list the members after `*`; `R`/`T` prefixes mark regular
+//! and transitional configuration identifiers. Round-tripping is exact:
+//! `parse(format(trace)) == trace`.
+
+use crate::{Configuration, EvsEvent, Trace};
+use core::fmt;
+use evs_membership::ConfigId;
+use evs_order::{MessageId, Service};
+use evs_sim::{ProcessId, SimTime};
+
+/// Errors from [`parse_trace`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn write_config_id(out: &mut String, c: ConfigId) {
+    out.push(if c.transitional { 'T' } else { 'R' });
+    out.push_str(&format!("{}.{}", c.epoch, c.rep.index()));
+}
+
+fn write_service(out: &mut String, s: Service) {
+    out.push_str(match s {
+        Service::Causal => "causal",
+        Service::Agreed => "agreed",
+        Service::Safe => "safe",
+    });
+}
+
+/// Renders a trace in the archival text format.
+pub fn format_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (pid, log) in trace.events.iter().enumerate() {
+        out.push_str(&format!("process {pid}\n"));
+        for (t, ev) in log {
+            out.push_str(&format!("  @{} ", t.ticks()));
+            match ev {
+                EvsEvent::DeliverConf(c) => {
+                    out.push_str("conf ");
+                    write_config_id(&mut out, c.id);
+                    out.push_str(" *");
+                    for m in &c.members {
+                        out.push_str(&format!(" {}", m.index()));
+                    }
+                }
+                EvsEvent::Send {
+                    id,
+                    config,
+                    service,
+                } => {
+                    out.push_str(&format!("send {}#{} ", id.sender.index(), id.counter));
+                    write_config_id(&mut out, *config);
+                    out.push(' ');
+                    write_service(&mut out, *service);
+                }
+                EvsEvent::Deliver {
+                    id,
+                    config,
+                    service,
+                    seq,
+                } => {
+                    out.push_str(&format!("dlv {}#{} ", id.sender.index(), id.counter));
+                    write_config_id(&mut out, *config);
+                    out.push(' ');
+                    write_service(&mut out, *service);
+                    out.push_str(&format!(" {seq}"));
+                }
+                EvsEvent::Fail { config } => {
+                    out.push_str("fail ");
+                    write_config_id(&mut out, *config);
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn parse_config_id(tok: &str, line: usize) -> Result<ConfigId, ParseTraceError> {
+    let err = |reason: String| ParseTraceError { line, reason };
+    let transitional = match tok.as_bytes().first() {
+        Some(b'R') => false,
+        Some(b'T') => true,
+        _ => return Err(err(format!("bad config id {tok:?}"))),
+    };
+    let rest = &tok[1..];
+    let (epoch, rep) = rest
+        .split_once('.')
+        .ok_or_else(|| err(format!("bad config id {tok:?}")))?;
+    Ok(ConfigId {
+        epoch: epoch
+            .parse()
+            .map_err(|_| err(format!("bad epoch in {tok:?}")))?,
+        rep: ProcessId::new(
+            rep.parse()
+                .map_err(|_| err(format!("bad rep in {tok:?}")))?,
+        ),
+        transitional,
+    })
+}
+
+fn parse_message_id(tok: &str, line: usize) -> Result<MessageId, ParseTraceError> {
+    let err = |reason: String| ParseTraceError { line, reason };
+    let (sender, counter) = tok
+        .split_once('#')
+        .ok_or_else(|| err(format!("bad message id {tok:?}")))?;
+    Ok(MessageId {
+        sender: ProcessId::new(
+            sender
+                .parse()
+                .map_err(|_| err(format!("bad sender in {tok:?}")))?,
+        ),
+        counter: counter
+            .parse()
+            .map_err(|_| err(format!("bad counter in {tok:?}")))?,
+    })
+}
+
+fn parse_service(tok: &str, line: usize) -> Result<Service, ParseTraceError> {
+    match tok {
+        "causal" => Ok(Service::Causal),
+        "agreed" => Ok(Service::Agreed),
+        "safe" => Ok(Service::Safe),
+        other => Err(ParseTraceError {
+            line,
+            reason: format!("bad service {other:?}"),
+        }),
+    }
+}
+
+/// Parses the archival text format back into a [`Trace`].
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the offending line on any
+/// malformed input.
+pub fn parse_trace(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut events: Vec<Vec<(SimTime, EvsEvent)>> = Vec::new();
+    let mut current: Option<usize> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let err = |reason: String| ParseTraceError { line, reason };
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("process ") {
+            let pid: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad process header {trimmed:?}")))?;
+            while events.len() <= pid {
+                events.push(Vec::new());
+            }
+            current = Some(pid);
+            continue;
+        }
+        let pid = current.ok_or_else(|| err("event before any process header".into()))?;
+        let mut toks = trimmed.split_whitespace();
+        let at = toks
+            .next()
+            .and_then(|t| t.strip_prefix('@'))
+            .ok_or_else(|| err("missing @time".into()))?;
+        let t = SimTime::from_ticks(
+            at.parse()
+                .map_err(|_| err(format!("bad time {at:?}")))?,
+        );
+        let kind = toks.next().ok_or_else(|| err("missing event kind".into()))?;
+        let ev = match kind {
+            "conf" => {
+                let id = parse_config_id(
+                    toks.next().ok_or_else(|| err("conf: missing id".into()))?,
+                    line,
+                )?;
+                let star = toks.next();
+                if star != Some("*") {
+                    return Err(err("conf: missing member list".into()));
+                }
+                let members: Result<Vec<ProcessId>, _> = toks
+                    .by_ref()
+                    .map(|m| m.parse::<u32>().map(ProcessId::new))
+                    .collect();
+                let members =
+                    members.map_err(|_| err("conf: bad member".into()))?;
+                if members.is_empty() {
+                    return Err(err("conf: empty membership".into()));
+                }
+                EvsEvent::DeliverConf(Configuration::new(id, members))
+            }
+            "send" => {
+                let id = parse_message_id(
+                    toks.next().ok_or_else(|| err("send: missing id".into()))?,
+                    line,
+                )?;
+                let config = parse_config_id(
+                    toks.next()
+                        .ok_or_else(|| err("send: missing config".into()))?,
+                    line,
+                )?;
+                let service = parse_service(
+                    toks.next()
+                        .ok_or_else(|| err("send: missing service".into()))?,
+                    line,
+                )?;
+                EvsEvent::Send {
+                    id,
+                    config,
+                    service,
+                }
+            }
+            "dlv" => {
+                let id = parse_message_id(
+                    toks.next().ok_or_else(|| err("dlv: missing id".into()))?,
+                    line,
+                )?;
+                let config = parse_config_id(
+                    toks.next()
+                        .ok_or_else(|| err("dlv: missing config".into()))?,
+                    line,
+                )?;
+                let service = parse_service(
+                    toks.next()
+                        .ok_or_else(|| err("dlv: missing service".into()))?,
+                    line,
+                )?;
+                let seq = toks
+                    .next()
+                    .ok_or_else(|| err("dlv: missing seq".into()))?
+                    .parse()
+                    .map_err(|_| err("dlv: bad seq".into()))?;
+                EvsEvent::Deliver {
+                    id,
+                    config,
+                    service,
+                    seq,
+                }
+            }
+            "fail" => {
+                let config = parse_config_id(
+                    toks.next()
+                        .ok_or_else(|| err("fail: missing config".into()))?,
+                    line,
+                )?;
+                EvsEvent::Fail { config }
+            }
+            other => return Err(err(format!("unknown event kind {other:?}"))),
+        };
+        if toks.next().is_some() && kind != "conf" {
+            return Err(err("trailing tokens".into()));
+        }
+        events[pid].push((t, ev));
+    }
+    Ok(Trace::new(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvsCluster, Service};
+
+    #[test]
+    fn round_trip_a_real_execution() {
+        let mut cluster = EvsCluster::<String>::builder(3).seed(42).build();
+        assert!(cluster.run_until_settled(400_000));
+        cluster.submit(ProcessId::new(0), Service::Safe, "x".into());
+        cluster.submit(ProcessId::new(1), Service::Agreed, "y".into());
+        assert!(cluster.run_until_settled(200_000));
+        let p = ProcessId::new;
+        cluster.partition(&[&[p(0)], &[p(1), p(2)]]);
+        assert!(cluster.run_until_settled(400_000));
+        cluster.crash(p(2));
+        assert!(cluster.run_until_settled(400_000));
+
+        let trace = cluster.trace();
+        let text = format_trace(&trace);
+        let back = parse_trace(&text).expect("parses");
+        assert_eq!(trace.events, back.events, "exact round trip");
+        // The parsed trace still checks out.
+        crate::checker::check_all(&back).unwrap();
+    }
+
+    #[test]
+    fn golden_format_shape() {
+        let cfg = Configuration::new(
+            ConfigId::regular(1, ProcessId::new(0)),
+            vec![ProcessId::new(0), ProcessId::new(1)],
+        );
+        let trace = Trace::new(vec![vec![
+            (SimTime::from_ticks(5), EvsEvent::DeliverConf(cfg.clone())),
+            (
+                SimTime::from_ticks(9),
+                EvsEvent::Send {
+                    id: MessageId::new(ProcessId::new(0), 1),
+                    config: cfg.id,
+                    service: Service::Safe,
+                },
+            ),
+        ]]);
+        let text = format_trace(&trace);
+        assert_eq!(text, "process 0\n  @5 conf R1.0 * 0 1\n  @9 send 0#1 R1.0 safe\n");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for (bad, what) in [
+            ("  @5 conf R1.0 * 0", "event before any process header"),
+            ("process 0\n  conf R1.0 * 0", "missing @time"),
+            ("process 0\n  @5 conf X1.0 * 0", "bad config id"),
+            ("process 0\n  @5 conf R1.0 *", "empty membership"),
+            ("process 0\n  @5 send 0-1 R1.0 safe", "bad message id"),
+            ("process 0\n  @5 dlv 0#1 R1.0 turbo 1", "bad service"),
+            ("process 0\n  @5 zap R1.0", "unknown event kind"),
+            ("process x", "bad process header"),
+        ] {
+            let e = parse_trace(bad).unwrap_err();
+            assert!(
+                e.reason.contains(what),
+                "{bad:?} gave {e:?}, expected {what:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_process_ids_round_trip() {
+        let text = "process 2\n  @1 fail R7.2\n";
+        let trace = parse_trace(text).unwrap();
+        assert_eq!(trace.num_processes(), 3);
+        assert!(trace.events[0].is_empty());
+        assert_eq!(trace.events[2].len(), 1);
+        assert_eq!(format_trace(&trace), "process 0\nprocess 1\nprocess 2\n  @1 fail R7.2\n");
+    }
+}

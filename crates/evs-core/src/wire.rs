@@ -1,0 +1,703 @@
+//! Compact binary wire format for [`EvsMsg`] frames.
+//!
+//! The simulator and the in-process live driver move typed messages
+//! directly; a real deployment (UDP multicast, as Totem/Transis used) needs
+//! a byte encoding. This module provides a hand-rolled, dependency-light
+//! codec for `EvsMsg<Vec<u8>>` — the payload type a network transport
+//! naturally uses — covering every nested protocol type: configuration
+//! identifiers, ring data and tokens, membership frames, and recovery
+//! exchange state.
+//!
+//! Layout conventions: fixed-width little-endian integers, one-byte tags
+//! for enums, `u32` length prefixes for collections, `u8` for booleans.
+//! Decoding is strict: trailing garbage inside a frame, unknown tags and
+//! truncation are all errors — a malformed datagram must never turn into a
+//! plausible protocol message.
+//!
+//! ```
+//! use evs_core::{wire, EvsMsg};
+//! use evs_membership::{ConfigId, MembMsg};
+//! use evs_sim::ProcessId;
+//!
+//! let frame: EvsMsg<Vec<u8>> = EvsMsg::Memb(MembMsg::Heartbeat {
+//!     config: ConfigId::regular(7, ProcessId::new(1)),
+//! });
+//! let bytes = wire::encode(&frame);
+//! let back = wire::decode(&bytes).unwrap();
+//! assert!(matches!(back, EvsMsg::Memb(MembMsg::Heartbeat { .. })));
+//! ```
+
+use crate::recovery::ExchangeState;
+use crate::EvsMsg;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use core::fmt;
+use evs_membership::{ConfigId, MembMsg};
+use evs_order::{MessageId, OrderedMsg, RingMsg, Service, Token};
+use evs_sim::ProcessId;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Errors produced while decoding a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the frame was complete.
+    UnexpectedEof,
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length prefix exceeded the sanity limit (corrupt or hostile frame).
+    OversizedLength {
+        /// The claimed length.
+        len: u64,
+    },
+    /// The frame decoded but left unconsumed bytes behind.
+    TrailingBytes {
+        /// How many bytes were left.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of frame"),
+            WireError::BadTag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
+            WireError::OversizedLength { len } => write!(f, "length {len} exceeds frame limit"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Sanity cap for any single length prefix (collections, payloads).
+const MAX_LEN: u64 = 1 << 24;
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// --- primitive helpers -------------------------------------------------
+
+fn need(buf: &impl Buf, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(WireError::UnexpectedEof)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut impl Buf) -> Result<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn get_len(buf: &mut impl Buf) -> Result<usize> {
+    let len = u64::from(get_u32(buf)?);
+    if len > MAX_LEN {
+        return Err(WireError::OversizedLength { len });
+    }
+    Ok(len as usize)
+}
+
+fn get_bool(buf: &mut impl Buf) -> Result<bool> {
+    match get_u8(buf)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(WireError::BadTag { what: "bool", tag }),
+    }
+}
+
+fn put_pid(out: &mut BytesMut, p: ProcessId) {
+    out.put_u32_le(p.index());
+}
+
+fn get_pid(buf: &mut impl Buf) -> Result<ProcessId> {
+    Ok(ProcessId::new(get_u32(buf)?))
+}
+
+fn put_config(out: &mut BytesMut, c: ConfigId) {
+    out.put_u64_le(c.epoch);
+    put_pid(out, c.rep);
+    out.put_u8(u8::from(c.transitional));
+}
+
+fn get_config(buf: &mut impl Buf) -> Result<ConfigId> {
+    let epoch = get_u64(buf)?;
+    let rep = get_pid(buf)?;
+    let transitional = get_bool(buf)?;
+    Ok(ConfigId {
+        epoch,
+        rep,
+        transitional,
+    })
+}
+
+fn put_service(out: &mut BytesMut, s: Service) {
+    out.put_u8(match s {
+        Service::Causal => 0,
+        Service::Agreed => 1,
+        Service::Safe => 2,
+    });
+}
+
+fn get_service(buf: &mut impl Buf) -> Result<Service> {
+    match get_u8(buf)? {
+        0 => Ok(Service::Causal),
+        1 => Ok(Service::Agreed),
+        2 => Ok(Service::Safe),
+        tag => Err(WireError::BadTag {
+            what: "Service",
+            tag,
+        }),
+    }
+}
+
+fn put_message_id(out: &mut BytesMut, id: MessageId) {
+    put_pid(out, id.sender);
+    out.put_u64_le(id.counter);
+}
+
+fn get_message_id(buf: &mut impl Buf) -> Result<MessageId> {
+    let sender = get_pid(buf)?;
+    let counter = get_u64(buf)?;
+    Ok(MessageId { sender, counter })
+}
+
+fn put_bytes(out: &mut BytesMut, b: &[u8]) {
+    out.put_u32_le(b.len() as u32);
+    out.put_slice(b);
+}
+
+fn get_bytes(buf: &mut impl Buf) -> Result<Vec<u8>> {
+    let len = get_len(buf)?;
+    need(buf, len)?;
+    let mut v = vec![0u8; len];
+    buf.copy_to_slice(&mut v);
+    Ok(v)
+}
+
+fn put_pid_set(out: &mut BytesMut, set: &BTreeSet<ProcessId>) {
+    out.put_u32_le(set.len() as u32);
+    for &p in set {
+        put_pid(out, p);
+    }
+}
+
+fn get_pid_set(buf: &mut impl Buf) -> Result<BTreeSet<ProcessId>> {
+    let len = get_len(buf)?;
+    let mut set = BTreeSet::new();
+    let mut last: Option<ProcessId> = None;
+    for _ in 0..len {
+        let p = get_pid(buf)?;
+        // Canonical encoding: strictly ascending, no duplicates. Anything
+        // else is a corrupt frame.
+        if last.is_some_and(|prev| prev >= p) {
+            return Err(WireError::BadTag {
+                what: "ascending ProcessId set",
+                tag: 0,
+            });
+        }
+        last = Some(p);
+        set.insert(p);
+    }
+    Ok(set)
+}
+
+fn put_u64_set(out: &mut BytesMut, set: &BTreeSet<u64>) {
+    out.put_u32_le(set.len() as u32);
+    for &s in set {
+        out.put_u64_le(s);
+    }
+}
+
+fn get_u64_set(buf: &mut impl Buf) -> Result<BTreeSet<u64>> {
+    let len = get_len(buf)?;
+    let mut set = BTreeSet::new();
+    let mut last: Option<u64> = None;
+    for _ in 0..len {
+        let v = get_u64(buf)?;
+        if last.is_some_and(|prev| prev >= v) {
+            return Err(WireError::BadTag {
+                what: "ascending u64 set",
+                tag: 0,
+            });
+        }
+        last = Some(v);
+        set.insert(v);
+    }
+    Ok(set)
+}
+
+// --- protocol types -----------------------------------------------------
+
+fn put_ordered_msg(out: &mut BytesMut, m: &OrderedMsg<Vec<u8>>) {
+    put_config(out, m.config);
+    out.put_u64_le(m.seq);
+    put_message_id(out, m.id);
+    put_service(out, m.service);
+    put_bytes(out, &m.payload);
+}
+
+fn get_ordered_msg(buf: &mut impl Buf) -> Result<OrderedMsg<Vec<u8>>> {
+    Ok(OrderedMsg {
+        config: get_config(buf)?,
+        seq: get_u64(buf)?,
+        id: get_message_id(buf)?,
+        service: get_service(buf)?,
+        payload: get_bytes(buf)?,
+    })
+}
+
+fn put_token(out: &mut BytesMut, t: &Token) {
+    put_config(out, t.config);
+    out.put_u64_le(t.token_id);
+    out.put_u64_le(t.seq);
+    out.put_u64_le(t.aru);
+    match t.aru_id {
+        None => out.put_u8(0),
+        Some(p) => {
+            out.put_u8(1);
+            put_pid(out, p);
+        }
+    }
+    put_u64_set(out, &t.rtr);
+    out.put_u64_le(t.rotation);
+}
+
+fn get_token(buf: &mut impl Buf) -> Result<Token> {
+    let config = get_config(buf)?;
+    let token_id = get_u64(buf)?;
+    let seq = get_u64(buf)?;
+    let aru = get_u64(buf)?;
+    let aru_id = match get_u8(buf)? {
+        0 => None,
+        1 => Some(get_pid(buf)?),
+        tag => {
+            return Err(WireError::BadTag {
+                what: "Option<ProcessId>",
+                tag,
+            })
+        }
+    };
+    let rtr = get_u64_set(buf)?;
+    let rotation = get_u64(buf)?;
+    Ok(Token {
+        config,
+        token_id,
+        seq,
+        aru,
+        aru_id,
+        rtr,
+        rotation,
+    })
+}
+
+fn put_memb(out: &mut BytesMut, m: &MembMsg) {
+    match m {
+        MembMsg::Heartbeat { config } => {
+            out.put_u8(0);
+            put_config(out, *config);
+        }
+        MembMsg::Join {
+            candidates,
+            max_epoch,
+        } => {
+            out.put_u8(1);
+            put_pid_set(out, candidates);
+            out.put_u64_le(*max_epoch);
+        }
+        MembMsg::Commit { config, members } => {
+            out.put_u8(2);
+            put_config(out, *config);
+            out.put_u32_le(members.len() as u32);
+            for &p in members {
+                put_pid(out, p);
+            }
+        }
+        MembMsg::Ack { config } => {
+            out.put_u8(3);
+            put_config(out, *config);
+        }
+        MembMsg::Install { config } => {
+            out.put_u8(4);
+            put_config(out, *config);
+        }
+    }
+}
+
+fn get_memb(buf: &mut impl Buf) -> Result<MembMsg> {
+    match get_u8(buf)? {
+        0 => Ok(MembMsg::Heartbeat {
+            config: get_config(buf)?,
+        }),
+        1 => Ok(MembMsg::Join {
+            candidates: get_pid_set(buf)?,
+            max_epoch: get_u64(buf)?,
+        }),
+        2 => {
+            let config = get_config(buf)?;
+            let len = get_len(buf)?;
+            let mut members = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                members.push(get_pid(buf)?);
+            }
+            Ok(MembMsg::Commit { config, members })
+        }
+        3 => Ok(MembMsg::Ack {
+            config: get_config(buf)?,
+        }),
+        4 => Ok(MembMsg::Install {
+            config: get_config(buf)?,
+        }),
+        tag => Err(WireError::BadTag {
+            what: "MembMsg",
+            tag,
+        }),
+    }
+}
+
+fn put_exchange(out: &mut BytesMut, e: &ExchangeState) {
+    put_config(out, e.proposal);
+    put_pid(out, e.sender);
+    put_config(out, e.last_regular);
+    put_u64_set(out, &e.received);
+    out.put_u64_le(e.high_seen);
+    out.put_u64_le(e.safe_line);
+    put_pid_set(out, &e.obligations);
+}
+
+fn get_exchange(buf: &mut impl Buf) -> Result<ExchangeState> {
+    Ok(ExchangeState {
+        proposal: get_config(buf)?,
+        sender: get_pid(buf)?,
+        last_regular: get_config(buf)?,
+        received: get_u64_set(buf)?,
+        high_seen: get_u64(buf)?,
+        safe_line: get_u64(buf)?,
+        obligations: get_pid_set(buf)?,
+    })
+}
+
+// --- frames --------------------------------------------------------------
+
+/// Encodes one EVS frame into a byte buffer.
+pub fn encode(msg: &EvsMsg<Vec<u8>>) -> Bytes {
+    let mut out = BytesMut::with_capacity(64);
+    match msg {
+        EvsMsg::Memb(m) => {
+            out.put_u8(0);
+            put_memb(&mut out, m);
+        }
+        EvsMsg::Ring(RingMsg::Data(d)) => {
+            out.put_u8(1);
+            put_ordered_msg(&mut out, d);
+        }
+        EvsMsg::Ring(RingMsg::Token(t)) => {
+            out.put_u8(2);
+            put_token(&mut out, t);
+        }
+        EvsMsg::Exchange(e) => {
+            out.put_u8(3);
+            put_exchange(&mut out, e);
+        }
+        EvsMsg::Rebroadcast { proposal, msg } => {
+            out.put_u8(4);
+            put_config(&mut out, *proposal);
+            put_ordered_msg(&mut out, msg);
+        }
+        EvsMsg::RecoveryAck { proposal } => {
+            out.put_u8(5);
+            put_config(&mut out, *proposal);
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes one EVS frame from a byte slice.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, unknown tags, oversized length
+/// prefixes, or trailing bytes.
+pub fn decode(frame: &[u8]) -> Result<EvsMsg<Vec<u8>>> {
+    let mut buf = frame;
+    let msg = match get_u8(&mut buf)? {
+        0 => EvsMsg::Memb(get_memb(&mut buf)?),
+        1 => EvsMsg::Ring(RingMsg::Data(get_ordered_msg(&mut buf)?)),
+        2 => EvsMsg::Ring(RingMsg::Token(get_token(&mut buf)?)),
+        3 => EvsMsg::Exchange(get_exchange(&mut buf)?),
+        4 => EvsMsg::Rebroadcast {
+            proposal: get_config(&mut buf)?,
+            msg: get_ordered_msg(&mut buf)?,
+        },
+        5 => EvsMsg::RecoveryAck {
+            proposal: get_config(&mut buf)?,
+        },
+        tag => {
+            return Err(WireError::BadTag {
+                what: "EvsMsg",
+                tag,
+            })
+        }
+    };
+    if buf.has_remaining() {
+        return Err(WireError::TrailingBytes {
+            remaining: buf.remaining(),
+        });
+    }
+    Ok(msg)
+}
+
+/// A length-delimited frame accumulator for stream transports (TCP):
+/// feed arbitrary chunks in, take complete frames out.
+///
+/// Datagram transports (UDP) carry one [`encode`]d frame per packet and do
+/// not need this.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buffer: BytesMut,
+    frames: VecDeque<Bytes>,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes and extracts any completed frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::OversizedLength`] if a frame header claims a
+    /// length beyond the sanity cap (the stream is then unrecoverable).
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<()> {
+        self.buffer.extend_from_slice(chunk);
+        loop {
+            if self.buffer.len() < 4 {
+                return Ok(());
+            }
+            let len = u32::from_le_bytes([
+                self.buffer[0],
+                self.buffer[1],
+                self.buffer[2],
+                self.buffer[3],
+            ]) as u64;
+            if len > MAX_LEN {
+                return Err(WireError::OversizedLength { len });
+            }
+            let len = len as usize;
+            if self.buffer.len() < 4 + len {
+                return Ok(());
+            }
+            self.buffer.advance(4);
+            self.frames.push_back(self.buffer.split_to(len).freeze());
+        }
+    }
+
+    /// Pops the next completed frame.
+    pub fn next_frame(&mut self) -> Option<Bytes> {
+        self.frames.pop_front()
+    }
+
+    /// Wraps an encoded frame with the length header this reader expects.
+    pub fn frame(payload: &Bytes) -> Bytes {
+        let mut out = BytesMut::with_capacity(4 + payload.len());
+        out.put_u32_le(payload.len() as u32);
+        out.extend_from_slice(payload);
+        out.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample_frames() -> Vec<EvsMsg<Vec<u8>>> {
+        let cfg = ConfigId::regular(42, p(3));
+        let tcfg = ConfigId::transitional(43, p(1));
+        vec![
+            EvsMsg::Memb(MembMsg::Heartbeat { config: cfg }),
+            EvsMsg::Memb(MembMsg::Join {
+                candidates: [p(0), p(2), p(9)].into_iter().collect(),
+                max_epoch: 17,
+            }),
+            EvsMsg::Memb(MembMsg::Commit {
+                config: cfg,
+                members: vec![p(0), p(1), p(2)],
+            }),
+            EvsMsg::Memb(MembMsg::Ack { config: cfg }),
+            EvsMsg::Memb(MembMsg::Install { config: cfg }),
+            EvsMsg::Ring(RingMsg::Data(OrderedMsg {
+                config: cfg,
+                seq: 7,
+                id: MessageId::new(p(2), 99),
+                service: Service::Safe,
+                payload: b"hello world".to_vec(),
+            })),
+            EvsMsg::Ring(RingMsg::Token(Token {
+                config: cfg,
+                token_id: 1234,
+                seq: 56,
+                aru: 54,
+                aru_id: Some(p(4)),
+                rtr: [3, 9, 27].into_iter().collect(),
+                rotation: 12,
+            })),
+            EvsMsg::Ring(RingMsg::Token(Token {
+                config: tcfg,
+                token_id: 1,
+                seq: 0,
+                aru: 0,
+                aru_id: None,
+                rtr: BTreeSet::new(),
+                rotation: 0,
+            })),
+            EvsMsg::Exchange(ExchangeState {
+                proposal: cfg,
+                sender: p(1),
+                last_regular: ConfigId::regular(41, p(0)),
+                received: [1, 2, 3, 5, 8].into_iter().collect(),
+                high_seen: 8,
+                safe_line: 3,
+                obligations: [p(0), p(1)].into_iter().collect(),
+            }),
+            EvsMsg::Rebroadcast {
+                proposal: cfg,
+                msg: OrderedMsg {
+                    config: ConfigId::regular(41, p(0)),
+                    seq: 5,
+                    id: MessageId::new(p(0), 5),
+                    service: Service::Agreed,
+                    payload: vec![],
+                },
+            },
+            EvsMsg::RecoveryAck { proposal: cfg },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for frame in sample_frames() {
+            let bytes = encode(&frame);
+            let back = decode(&bytes).expect("decodes");
+            // EvsMsg has no PartialEq (payload-generic); compare re-encoded
+            // bytes, which is equivalent for a canonical codec.
+            assert_eq!(encode(&back), bytes, "frame {frame:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        for frame in sample_frames() {
+            let bytes = encode(&frame);
+            for cut in 0..bytes.len() {
+                let result = decode(&bytes[..cut]);
+                assert!(
+                    result.is_err(),
+                    "truncated at {cut}/{} decoded: {frame:?}",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let frame = EvsMsg::<Vec<u8>>::RecoveryAck {
+            proposal: ConfigId::regular(1, p(0)),
+        };
+        let mut bytes = encode(&frame).to_vec();
+        bytes.push(0xFF);
+        assert!(matches!(
+            decode(&bytes),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(
+            decode(&[99]),
+            Err(WireError::BadTag { what: "EvsMsg", tag: 99 })
+        ));
+        assert!(matches!(
+            decode(&[0, 77]),
+            Err(WireError::BadTag { what: "MembMsg", tag: 77 })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        // Data frame with a payload length beyond MAX_LEN.
+        let cfg = ConfigId::regular(1, p(0));
+        let mut out = BytesMut::new();
+        out.put_u8(1); // Ring::Data
+        put_config(&mut out, cfg);
+        out.put_u64_le(1);
+        put_message_id(&mut out, MessageId::new(p(0), 1));
+        put_service(&mut out, Service::Agreed);
+        out.put_u32_le(u32::MAX); // absurd payload length
+        assert!(matches!(
+            decode(&out),
+            Err(WireError::OversizedLength { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_stream() {
+        let frames = sample_frames();
+        let mut stream = BytesMut::new();
+        for f in &frames {
+            stream.extend_from_slice(&FrameReader::frame(&encode(f)));
+        }
+        // Feed in awkward chunk sizes.
+        let mut reader = FrameReader::new();
+        for chunk in stream.chunks(3) {
+            reader.feed(chunk).unwrap();
+        }
+        let mut decoded = 0;
+        while let Some(frame) = reader.next_frame() {
+            decode(&frame).expect("frame decodes");
+            decoded += 1;
+        }
+        assert_eq!(decoded, frames.len());
+    }
+
+    #[test]
+    fn frame_reader_rejects_hostile_header() {
+        let mut reader = FrameReader::new();
+        let hostile = (MAX_LEN as u32 + 1).to_le_bytes();
+        assert!(matches!(
+            reader.feed(&hostile),
+            Err(WireError::OversizedLength { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(WireError::UnexpectedEof.to_string(), "unexpected end of frame");
+        assert_eq!(
+            WireError::BadTag { what: "Service", tag: 9 }.to_string(),
+            "invalid tag 9 for Service"
+        );
+    }
+}

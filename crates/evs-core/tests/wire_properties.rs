@@ -1,0 +1,184 @@
+//! Property-based tests of the wire codec: canonical round-trips for
+//! arbitrary frames, and total robustness against arbitrary input bytes
+//! (a malformed datagram must produce an error, never a panic and never a
+//! bogus frame that re-encodes differently).
+
+use evs_core::recovery::ExchangeState;
+use evs_core::{wire, EvsMsg};
+use evs_membership::{ConfigId, MembMsg};
+use evs_order::{MessageId, OrderedMsg, RingMsg, Service, Token};
+use evs_sim::ProcessId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn pid() -> impl Strategy<Value = ProcessId> {
+    (0u32..64).prop_map(ProcessId::new)
+}
+
+fn config_id() -> impl Strategy<Value = ConfigId> {
+    (0u64..1000, pid(), any::<bool>()).prop_map(|(epoch, rep, transitional)| ConfigId {
+        epoch,
+        rep,
+        transitional,
+    })
+}
+
+fn service() -> impl Strategy<Value = Service> {
+    prop_oneof![
+        Just(Service::Causal),
+        Just(Service::Agreed),
+        Just(Service::Safe)
+    ]
+}
+
+fn message_id() -> impl Strategy<Value = MessageId> {
+    (pid(), 0u64..10_000).prop_map(|(sender, counter)| MessageId { sender, counter })
+}
+
+fn ordered_msg() -> impl Strategy<Value = OrderedMsg<Vec<u8>>> {
+    (
+        config_id(),
+        1u64..10_000,
+        message_id(),
+        service(),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(config, seq, id, service, payload)| OrderedMsg {
+            config,
+            seq,
+            id,
+            service,
+            payload,
+        })
+}
+
+fn token() -> impl Strategy<Value = Token> {
+    (
+        config_id(),
+        0u64..10_000,
+        0u64..10_000,
+        0u64..10_000,
+        proptest::option::of(pid()),
+        proptest::collection::btree_set(0u64..500, 0..20),
+        0u64..1000,
+    )
+        .prop_map(|(config, token_id, seq, aru, aru_id, rtr, rotation)| Token {
+            config,
+            token_id,
+            seq,
+            aru,
+            aru_id,
+            rtr,
+            rotation,
+        })
+}
+
+fn pid_set() -> impl Strategy<Value = BTreeSet<ProcessId>> {
+    proptest::collection::btree_set(pid(), 0..10)
+}
+
+fn memb_msg() -> impl Strategy<Value = MembMsg> {
+    prop_oneof![
+        config_id().prop_map(|config| MembMsg::Heartbeat { config }),
+        (pid_set(), 0u64..1000)
+            .prop_map(|(candidates, max_epoch)| MembMsg::Join { candidates, max_epoch }),
+        (config_id(), proptest::collection::vec(pid(), 0..10))
+            .prop_map(|(config, members)| MembMsg::Commit { config, members }),
+        config_id().prop_map(|config| MembMsg::Ack { config }),
+        config_id().prop_map(|config| MembMsg::Install { config }),
+    ]
+}
+
+fn exchange() -> impl Strategy<Value = ExchangeState> {
+    (
+        config_id(),
+        pid(),
+        config_id(),
+        proptest::collection::btree_set(0u64..500, 0..30),
+        0u64..500,
+        0u64..500,
+        pid_set(),
+    )
+        .prop_map(
+            |(proposal, sender, last_regular, received, high_seen, safe_line, obligations)| {
+                ExchangeState {
+                    proposal,
+                    sender,
+                    last_regular,
+                    received,
+                    high_seen,
+                    safe_line,
+                    obligations,
+                }
+            },
+        )
+}
+
+fn frame() -> impl Strategy<Value = EvsMsg<Vec<u8>>> {
+    prop_oneof![
+        memb_msg().prop_map(EvsMsg::Memb),
+        ordered_msg().prop_map(|m| EvsMsg::Ring(RingMsg::Data(m))),
+        token().prop_map(|t| EvsMsg::Ring(RingMsg::Token(t))),
+        exchange().prop_map(EvsMsg::Exchange),
+        (config_id(), ordered_msg())
+            .prop_map(|(proposal, msg)| EvsMsg::Rebroadcast { proposal, msg }),
+        config_id().prop_map(|proposal| EvsMsg::RecoveryAck { proposal }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// encode → decode → encode is a fixed point (canonical codec).
+    #[test]
+    fn round_trip_is_canonical(f in frame()) {
+        let bytes = wire::encode(&f);
+        let back = wire::decode(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(wire::encode(&back), bytes);
+    }
+
+    /// Arbitrary bytes never panic the decoder, and anything it does accept
+    /// re-encodes to exactly the input (no ambiguous encodings).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        if let Ok(frame) = wire::decode(&bytes) {
+            let reencoded = wire::encode(&frame);
+            prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+        }
+    }
+
+    /// Bit-flipping a valid frame either fails cleanly or decodes to a
+    /// frame that still re-encodes canonically.
+    #[test]
+    fn bit_flips_are_handled(f in frame(), pos in 0usize..64, bit in 0u8..8) {
+        let mut bytes = wire::encode(&f).to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        if let Ok(frame) = wire::decode(&bytes) {
+            let reencoded = wire::encode(&frame);
+            prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+        }
+    }
+
+    /// The stream framer reassembles any chunking of any frame sequence.
+    #[test]
+    fn stream_framer_handles_any_chunking(
+        frames in proptest::collection::vec(frame(), 1..6),
+        chunk in 1usize..17,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&wire::FrameReader::frame(&wire::encode(f)));
+        }
+        let mut reader = wire::FrameReader::new();
+        for piece in stream.chunks(chunk) {
+            reader.feed(piece).unwrap();
+        }
+        let mut count = 0;
+        while let Some(frame) = reader.next_frame() {
+            wire::decode(&frame).expect("reassembled frame decodes");
+            count += 1;
+        }
+        prop_assert_eq!(count, frames.len());
+    }
+}

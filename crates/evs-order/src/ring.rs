@@ -1,0 +1,732 @@
+//! The token-ring ordering engine for one regular configuration.
+
+use crate::{MessageId, OrderedMsg, RingMsg, Service, Token};
+use evs_membership::ConfigId;
+use evs_sim::{ProcessId, SimTime};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Effects requested by the ring engine.
+#[derive(Debug)]
+pub enum RingOut<P> {
+    /// Broadcast a data message to the component.
+    Data(OrderedMsg<P>),
+    /// Unicast the token to the ring successor.
+    TokenTo(ProcessId, Token),
+}
+
+/// How a message became deliverable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryClass {
+    /// All predecessors in the total order have been delivered.
+    Agreed,
+    /// Additionally, every member of the configuration has acknowledged
+    /// receipt (the ordinal is at or below the safe line).
+    Safe,
+}
+
+/// A frozen snapshot of a ring at the moment its configuration ends.
+///
+/// When the membership layer proposes a new configuration, the EVS engine
+/// stops the ring and takes its snapshot: the message store, receipt state
+/// and pending submissions are the raw material of the recovery algorithm
+/// (§3 Steps 3–6 of the paper).
+#[derive(Clone, Debug)]
+pub struct RingSnapshot<P> {
+    /// The configuration this ring ordered.
+    pub config: ConfigId,
+    /// Its sorted membership.
+    pub members: Vec<ProcessId>,
+    /// All ordered messages received, by ordinal.
+    pub store: BTreeMap<u64, OrderedMsg<P>>,
+    /// Contiguous receipt prefix: all ordinals `1..=my_aru` are in `store`.
+    pub my_aru: u64,
+    /// Highest ordinal known to exist (from data or token sightings).
+    pub high_seen: u64,
+    /// Highest ordinal known to be received by *every* member.
+    pub safe_line: u64,
+    /// Highest ordinal delivered to the application.
+    pub delivered_upto: u64,
+    /// Submissions that were never stamped into the total order; the engine
+    /// re-submits them in the next regular configuration.
+    pub pending: Vec<(MessageId, Service, P)>,
+}
+
+/// The per-process total-order engine for a single regular configuration —
+/// a compact reimplementation of the ordering half of the Totem single-ring
+/// protocol the paper builds on.
+///
+/// One token circulates around the sorted membership. The holder stamps its
+/// pending messages with the next ordinals and broadcasts them, services
+/// retransmission requests, and updates the token's `aru`. A message is
+/// *agreed*-deliverable once all smaller ordinals have been received, and
+/// *safe*-deliverable once its ordinal is at or below the **safe line** —
+/// the token `aru` observed on two successive visits, which proves every
+/// member had acknowledged receipt by the earlier visit.
+///
+/// The engine is sans-I/O: feed it tokens and data via [`Ring::on_token`] /
+/// [`Ring::on_data`], drain deliverable messages via [`Ring::pop_delivery`],
+/// and apply the returned [`RingOut`] effects.
+#[derive(Debug)]
+pub struct Ring<P> {
+    me: ProcessId,
+    config: ConfigId,
+    members: Vec<ProcessId>,
+    store: BTreeMap<u64, OrderedMsg<P>>,
+    my_aru: u64,
+    high_seen: u64,
+    safe_line: u64,
+    prev_visit_aru: Option<u64>,
+    delivered_upto: u64,
+    pending: VecDeque<(MessageId, Service, P)>,
+    last_token_id: u64,
+    last_forwarded: Option<Token>,
+    forwarded_at: SimTime,
+    retx_left: u32,
+    max_per_visit: usize,
+    rotations: u64,
+}
+
+/// How many times a forwarded token is locally retransmitted before the
+/// engine gives up and leaves recovery to the membership layer.
+const TOKEN_RETX_LIMIT: u32 = 3;
+
+impl<P: Clone> Ring<P> {
+    /// Creates the ring engine for `me` within `members` (sorted, deduped).
+    ///
+    /// `max_per_visit` bounds how many new messages are stamped per token
+    /// visit (Totem's flow-control window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not in `members`, `members` is empty, or
+    /// `max_per_visit` is zero.
+    pub fn new(
+        me: ProcessId,
+        config: ConfigId,
+        mut members: Vec<ProcessId>,
+        max_per_visit: usize,
+    ) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        assert!(members.contains(&me), "{me} must be a ring member");
+        assert!(max_per_visit > 0, "flow-control window must be positive");
+        Ring {
+            me,
+            config,
+            members,
+            store: BTreeMap::new(),
+            my_aru: 0,
+            high_seen: 0,
+            safe_line: 0,
+            prev_visit_aru: None,
+            delivered_upto: 0,
+            pending: VecDeque::new(),
+            last_token_id: 0,
+            last_forwarded: None,
+            forwarded_at: SimTime::ZERO,
+            retx_left: 0,
+            max_per_visit,
+            rotations: 0,
+        }
+    }
+
+    /// The configuration this ring orders.
+    pub fn config(&self) -> ConfigId {
+        self.config
+    }
+
+    /// The sorted membership.
+    pub fn members(&self) -> &[ProcessId] {
+        &self.members
+    }
+
+    /// Contiguous receipt prefix.
+    pub fn my_aru(&self) -> u64 {
+        self.my_aru
+    }
+
+    /// Highest ordinal known to have been received by every member.
+    pub fn safe_line(&self) -> u64 {
+        self.safe_line
+    }
+
+    /// Highest ordinal delivered so far.
+    pub fn delivered_upto(&self) -> u64 {
+        self.delivered_upto
+    }
+
+    /// Highest ordinal known to exist in this configuration.
+    pub fn high_seen(&self) -> u64 {
+        self.high_seen
+    }
+
+    /// Completed token rotations (diagnostics).
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// True if the message with this ordinal has been received.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.store.contains_key(&seq)
+    }
+
+    /// Number of submissions not yet stamped into the order.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when this ring is a singleton (ordinals are assigned directly,
+    /// no token circulates).
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    fn successor(&self) -> ProcessId {
+        let i = self
+            .members
+            .iter()
+            .position(|&m| m == self.me)
+            .expect("me is a member");
+        self.members[(i + 1) % self.members.len()]
+    }
+
+    /// Called once by the representative to inject the token when the
+    /// configuration starts. Returns the effects of the representative's
+    /// first token visit. Non-representatives and singletons return no
+    /// effects.
+    #[must_use]
+    pub fn bootstrap_token(&mut self, now: SimTime) -> Vec<RingOut<P>> {
+        if self.is_singleton() || self.members[0] != self.me {
+            return Vec::new();
+        }
+        let token = Token {
+            config: self.config,
+            token_id: 1,
+            seq: 0,
+            aru: 0,
+            aru_id: None,
+            rtr: BTreeSet::new(),
+            rotation: 0,
+        };
+        self.on_token(now, token)
+    }
+
+    /// Submits an application message for ordering. It will be stamped and
+    /// broadcast at the next token visit — or immediately for singleton
+    /// rings, in which case the stamped message is returned (there is
+    /// nobody to broadcast it to, but the caller can log the send).
+    pub fn submit(&mut self, id: MessageId, service: Service, payload: P) -> Option<OrderedMsg<P>>
+    where
+        P: Clone,
+    {
+        if self.is_singleton() {
+            // Sole member: stamp directly; everything is trivially safe.
+            let seq = self.high_seen + 1;
+            let msg = OrderedMsg {
+                config: self.config,
+                seq,
+                id,
+                service,
+                payload,
+            };
+            self.accept_data(msg.clone());
+            self.safe_line = self.my_aru;
+            Some(msg)
+        } else {
+            self.pending.push_back((id, service, payload));
+            None
+        }
+    }
+
+    /// Handles a received data message. Duplicates and messages from other
+    /// configurations are ignored.
+    pub fn on_data(&mut self, msg: OrderedMsg<P>) {
+        if msg.config != self.config {
+            return;
+        }
+        self.accept_data(msg);
+    }
+
+    fn accept_data(&mut self, msg: OrderedMsg<P>) {
+        debug_assert!(msg.seq >= 1);
+        self.high_seen = self.high_seen.max(msg.seq);
+        self.store.entry(msg.seq).or_insert(msg);
+        while self.store.contains_key(&(self.my_aru + 1)) {
+            self.my_aru += 1;
+        }
+    }
+
+    /// Handles a received token. Stale tokens (id not exceeding the last
+    /// seen) are dropped, which makes hop retransmission idempotent.
+    #[must_use]
+    pub fn on_token(&mut self, now: SimTime, mut tok: Token) -> Vec<RingOut<P>> {
+        if tok.config != self.config || tok.token_id <= self.last_token_id {
+            return Vec::new();
+        }
+        self.last_token_id = tok.token_id;
+        self.high_seen = self.high_seen.max(tok.seq);
+        let mut out = Vec::new();
+
+        // 1. Service retransmission requests we can satisfy.
+        let servable: Vec<u64> = tok
+            .rtr
+            .iter()
+            .copied()
+            .filter(|s| self.store.contains_key(s))
+            .collect();
+        for seq in servable {
+            tok.rtr.remove(&seq);
+            out.push(RingOut::Data(self.store[&seq].clone()));
+        }
+
+        // 2. Request our own holes.
+        for hole in (self.my_aru + 1)..=tok.seq {
+            if !self.store.contains_key(&hole) {
+                tok.rtr.insert(hole);
+            }
+        }
+
+        // 3. Stamp and broadcast pending messages (flow-controlled).
+        for _ in 0..self.max_per_visit {
+            let Some((id, service, payload)) = self.pending.pop_front() else {
+                break;
+            };
+            tok.seq += 1;
+            let msg = OrderedMsg {
+                config: self.config,
+                seq: tok.seq,
+                id,
+                service,
+                payload,
+            };
+            self.accept_data(msg.clone());
+            out.push(RingOut::Data(msg));
+        }
+
+        // 4. Update the aru (Totem's rule): anyone behind lowers it and
+        //    owns it until they catch up; the owner (or nobody) raises it.
+        if self.my_aru < tok.aru {
+            tok.aru = self.my_aru;
+            tok.aru_id = Some(self.me);
+        } else if tok.aru_id == Some(self.me) || tok.aru_id.is_none() {
+            tok.aru = self.my_aru;
+            tok.aru_id = if tok.aru == tok.seq { None } else { Some(self.me) };
+        }
+
+        // 5. Advance the safe line: an ordinal covered by the aru on two
+        //    successive visits was received by every member before the
+        //    earlier visit completed its rotation.
+        if let Some(prev) = self.prev_visit_aru {
+            self.safe_line = self.safe_line.max(prev.min(tok.aru));
+        }
+        self.prev_visit_aru = Some(tok.aru);
+
+        // 6. Forward to the successor.
+        let succ = self.successor();
+        if succ == *self.members.first().expect("non-empty") {
+            tok.rotation += 1;
+        }
+        self.rotations = tok.rotation;
+        tok.token_id += 1;
+        self.last_token_id = tok.token_id;
+        self.last_forwarded = Some(tok.clone());
+        self.forwarded_at = now;
+        self.retx_left = TOKEN_RETX_LIMIT;
+        out.push(RingOut::TokenTo(succ, tok));
+        out
+    }
+
+    /// Retransmits the last forwarded token if it has been quiet for
+    /// `retx_timeout` ticks (up to a small retry limit). Call periodically;
+    /// duplicates are suppressed at the receiver by the token id.
+    #[must_use]
+    pub fn maybe_retransmit(&mut self, now: SimTime, retx_timeout: u64) -> Option<RingOut<P>> {
+        let tok = self.last_forwarded.as_ref()?;
+        if self.retx_left == 0 || now.since(self.forwarded_at) < retx_timeout {
+            return None;
+        }
+        self.retx_left -= 1;
+        self.forwarded_at = now;
+        Some(RingOut::TokenTo(self.successor(), tok.clone()))
+    }
+
+    /// Returns (and consumes) the next deliverable message in the total
+    /// order, or `None` if the head of the order is missing or not yet
+    /// deliverable at its service level.
+    ///
+    /// Delivery is strictly in ordinal order: a safe message at the head
+    /// holds back everything behind it until its ordinal is covered by the
+    /// safe line (total order may not be violated to skip it).
+    pub fn pop_delivery(&mut self) -> Option<(OrderedMsg<P>, DeliveryClass)> {
+        let next = self.delivered_upto + 1;
+        let msg = self.store.get(&next)?;
+        let class = match msg.service {
+            Service::Causal | Service::Agreed => DeliveryClass::Agreed,
+            Service::Safe => {
+                if next <= self.safe_line {
+                    DeliveryClass::Safe
+                } else {
+                    return None;
+                }
+            }
+        };
+        self.delivered_upto = next;
+        Some((self.store[&next].clone(), class))
+    }
+
+    /// Freezes the ring into its recovery snapshot.
+    pub fn into_snapshot(self) -> RingSnapshot<P> {
+        RingSnapshot {
+            config: self.config,
+            members: self.members,
+            store: self.store,
+            my_aru: self.my_aru,
+            high_seen: self.high_seen,
+            safe_line: self.safe_line,
+            delivered_upto: self.delivered_upto,
+            pending: self.pending.into_iter().collect(),
+        }
+    }
+}
+
+/// Convenience: wraps a bare payload broadcast in [`RingMsg`] for transports
+/// that carry both frames in one channel.
+pub fn data_frame<P>(msg: OrderedMsg<P>) -> RingMsg<P> {
+    RingMsg::Data(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn cfg() -> ConfigId {
+        ConfigId::regular(1, p(0))
+    }
+
+    fn mid(sender: u32, n: u64) -> MessageId {
+        MessageId::new(p(sender), n)
+    }
+
+    /// A loss-free in-test ring network driving `n` Ring engines. Data
+    /// frames are delivered instantly; token hops are queued and driven one
+    /// at a time by [`TestRing::hop`].
+    struct TestRing {
+        rings: Vec<Ring<&'static str>>,
+        now: SimTime,
+        tokens: std::collections::VecDeque<(ProcessId, Token)>,
+    }
+
+    impl TestRing {
+        fn new(n: u32) -> Self {
+            let members: Vec<ProcessId> = (0..n).map(p).collect();
+            let mut rings: Vec<Ring<&'static str>> = (0..n)
+                .map(|i| Ring::new(p(i), cfg(), members.clone(), 8))
+                .collect();
+            let now = SimTime::from_ticks(1);
+            let outs = rings[0].bootstrap_token(now);
+            let mut tr = TestRing {
+                rings,
+                now,
+                tokens: Default::default(),
+            };
+            tr.apply(0, outs);
+            tr
+        }
+
+        /// Applies effects: data delivers instantly and reliably, token
+        /// hops are queued.
+        fn apply(&mut self, from: usize, outs: Vec<RingOut<&'static str>>) {
+            for o in outs {
+                match o {
+                    RingOut::Data(msg) => {
+                        for (i, r) in self.rings.iter_mut().enumerate() {
+                            if i != from {
+                                r.on_data(msg.clone());
+                            }
+                        }
+                    }
+                    RingOut::TokenTo(to, tok) => self.tokens.push_back((to, tok)),
+                }
+            }
+        }
+
+        /// Moves the token one hop.
+        fn hop(&mut self) {
+            let (to, tok) = self.tokens.pop_front().expect("token in flight");
+            self.now += 1;
+            let now = self.now;
+            let outs = self.rings[to.as_usize()].on_token(now, tok);
+            self.apply(to.as_usize(), outs);
+        }
+
+        fn submit(&mut self, at: usize, id: MessageId, service: Service, body: &'static str) {
+            self.rings[at].submit(id, service, body);
+        }
+
+        fn deliveries(&mut self, at: usize) -> Vec<(u64, MessageId, DeliveryClass)> {
+            let mut v = Vec::new();
+            while let Some((m, c)) = self.rings[at].pop_delivery() {
+                v.push((m.seq, m.id, c));
+            }
+            v
+        }
+    }
+
+    /// Drives full token rotations.
+    fn drive_rotations(net: &mut TestRing, rotations: u64) {
+        let start = net.rings[0].rotations();
+        let mut guard = 0;
+        while net.rings[0].rotations() < start + rotations {
+            guard += 1;
+            assert!(guard < 10_000, "token stalled");
+            net.hop();
+        }
+    }
+
+    #[test]
+    fn singleton_orders_and_safes_immediately() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0)], 4);
+        assert!(r.bootstrap_token(SimTime::ZERO).is_empty());
+        r.submit(mid(0, 1), Service::Safe, "a");
+        r.submit(mid(0, 2), Service::Agreed, "b");
+        let (m1, c1) = r.pop_delivery().unwrap();
+        let (m2, c2) = r.pop_delivery().unwrap();
+        assert_eq!((m1.seq, c1), (1, DeliveryClass::Safe));
+        assert_eq!((m2.seq, c2), (2, DeliveryClass::Agreed));
+        assert!(r.pop_delivery().is_none());
+    }
+
+    #[test]
+    fn token_stamps_messages_in_submission_order() {
+        let mut net = TestRing::new(3);
+        net.submit(1, mid(1, 1), Service::Agreed, "x");
+        net.submit(1, mid(1, 2), Service::Agreed, "y");
+        drive_rotations(&mut net, 4);
+        let d0 = net.deliveries(0);
+        let d2 = net.deliveries(2);
+        assert_eq!(d0.len(), 2, "agreed messages deliver: {d0:?}");
+        assert_eq!(d0[0].1, mid(1, 1));
+        assert_eq!(d0[1].1, mid(1, 2));
+        assert_eq!(d0, d2, "same order everywhere");
+    }
+
+    #[test]
+    fn safe_needs_two_visits_agreed_does_not() {
+        let mut net = TestRing::new(3);
+        net.submit(0, mid(0, 1), Service::Safe, "s");
+        net.submit(2, mid(2, 1), Service::Agreed, "a");
+        drive_rotations(&mut net, 1);
+        // After one-ish rotation the agreed message may deliver but the safe
+        // one at the order head blocks everything until the safe line
+        // covers it; run more rotations and everything flushes.
+        drive_rotations(&mut net, 4);
+        for i in 0..3 {
+            let d = net.deliveries(i);
+            assert_eq!(d.len(), 2, "P{i}: {d:?}");
+            // Total order identical everywhere, safe delivered as safe.
+            let safe = d.iter().find(|(_, id, _)| *id == mid(0, 1)).unwrap();
+            assert_eq!(safe.2, DeliveryClass::Safe);
+        }
+    }
+
+    #[test]
+    fn total_order_is_identical_across_members() {
+        let mut net = TestRing::new(4);
+        for n in 1..=5 {
+            net.submit((n % 4) as usize, mid((n % 4) as u32, n), Service::Agreed, "m");
+        }
+        drive_rotations(&mut net, 6);
+        let orders: Vec<Vec<(u64, MessageId, DeliveryClass)>> =
+            (0..4).map(|i| net.deliveries(i)).collect();
+        assert_eq!(orders[0].len(), 5);
+        for o in &orders[1..] {
+            assert_eq!(*o, orders[0]);
+        }
+        // Ordinals are dense.
+        let seqs: Vec<u64> = orders[0].iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stale_token_is_ignored() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        let out = r.bootstrap_token(SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        let RingOut::TokenTo(_, tok) = &out[0] else {
+            panic!("expected token")
+        };
+        // Replay an old token id: must be dropped.
+        let stale = Token {
+            token_id: tok.token_id - 1,
+            ..tok.clone()
+        };
+        assert!(r.on_token(SimTime::from_ticks(2), stale).is_empty());
+    }
+
+    #[test]
+    fn retransmission_heals_token_loss() {
+        let mut a: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        let mut b: Ring<&str> = Ring::new(p(1), cfg(), vec![p(0), p(1)], 4);
+        let out = a.bootstrap_token(SimTime::from_ticks(1));
+        let RingOut::TokenTo(to, tok) = &out[0] else {
+            panic!()
+        };
+        assert_eq!(*to, p(1));
+        // First copy "lost". Retransmit after the timeout.
+        let retx = a
+            .maybe_retransmit(SimTime::from_ticks(500), 100)
+            .expect("retransmits");
+        let RingOut::TokenTo(to2, tok2) = retx else {
+            panic!()
+        };
+        assert_eq!(to2, p(1));
+        assert_eq!(tok2.token_id, tok.token_id);
+        // B accepts the retransmitted copy...
+        let outs = b.on_token(SimTime::from_ticks(501), tok2.clone());
+        assert!(!outs.is_empty());
+        // ...and drops the late original.
+        assert!(b.on_token(SimTime::from_ticks(502), tok.clone()).is_empty());
+    }
+
+    #[test]
+    fn retransmission_gives_up_after_limit() {
+        let mut a: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        let _ = a.bootstrap_token(SimTime::from_ticks(1));
+        let mut t = SimTime::from_ticks(1);
+        let mut count = 0;
+        loop {
+            t += 1_000;
+            if a.maybe_retransmit(t, 100).is_none() {
+                break;
+            }
+            count += 1;
+            assert!(count <= TOKEN_RETX_LIMIT);
+        }
+        assert_eq!(count, TOKEN_RETX_LIMIT);
+    }
+
+    #[test]
+    fn holes_are_requested_and_refilled() {
+        // Three members; P1 misses a data broadcast and recovers it via rtr.
+        let members = vec![p(0), p(1), p(2)];
+        let mut r0: Ring<&str> = Ring::new(p(0), cfg(), members.clone(), 4);
+        let mut r1: Ring<&str> = Ring::new(p(1), cfg(), members.clone(), 4);
+        let mut r2: Ring<&str> = Ring::new(p(2), cfg(), members, 4);
+        let t1 = SimTime::from_ticks(1);
+
+        r0.submit(mid(0, 1), Service::Agreed, "lost");
+        let outs = r0.bootstrap_token(t1);
+        // outs: Data(seq 1) + TokenTo(p1).
+        let mut token = None;
+        let mut data = None;
+        for o in outs {
+            match o {
+                RingOut::Data(m) => data = Some(m),
+                RingOut::TokenTo(to, t) => {
+                    assert_eq!(to, p(1));
+                    token = Some(t);
+                }
+            }
+        }
+        let data = data.unwrap();
+        // P2 receives the data; P1 does not (simulated loss).
+        r2.on_data(data.clone());
+
+        // P1 takes the token, notices the hole, requests seq 1.
+        let outs = r1.on_token(t1 + 1, token.unwrap());
+        let RingOut::TokenTo(to, tok) = &outs[0] else {
+            panic!()
+        };
+        assert_eq!(*to, p(2));
+        assert!(tok.rtr.contains(&1));
+        assert_eq!(tok.aru, 0, "P1 lowered the aru");
+
+        // P2 services the request: rebroadcasts seq 1.
+        let outs = r2.on_token(t1 + 2, tok.clone());
+        let rebroadcast = outs
+            .iter()
+            .find_map(|o| match o {
+                RingOut::Data(m) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("P2 rebroadcasts the missing message");
+        assert_eq!(rebroadcast.seq, 1);
+        r1.on_data(rebroadcast);
+        assert_eq!(r1.my_aru(), 1);
+        let (m, _) = r1.pop_delivery().unwrap();
+        assert_eq!(m.payload, "lost");
+    }
+
+    #[test]
+    fn safe_message_blocks_until_safe_line() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        // Receive a safe message at the head of the order.
+        r.on_data(OrderedMsg {
+            config: cfg(),
+            seq: 1,
+            id: mid(1, 1),
+            service: Service::Safe,
+            payload: "s",
+        });
+        assert!(r.pop_delivery().is_none(), "not safe yet");
+        // And an agreed message behind it: still blocked (total order).
+        r.on_data(OrderedMsg {
+            config: cfg(),
+            seq: 2,
+            id: mid(1, 2),
+            service: Service::Agreed,
+            payload: "a",
+        });
+        assert!(r.pop_delivery().is_none(), "order head must not be skipped");
+        r.safe_line = 1;
+        assert_eq!(r.pop_delivery().unwrap().0.seq, 1);
+        assert_eq!(r.pop_delivery().unwrap().0.seq, 2);
+    }
+
+    #[test]
+    fn snapshot_carries_recovery_state() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        r.on_data(OrderedMsg {
+            config: cfg(),
+            seq: 1,
+            id: mid(1, 1),
+            service: Service::Agreed,
+            payload: "m1",
+        });
+        r.on_data(OrderedMsg {
+            config: cfg(),
+            seq: 3,
+            id: mid(1, 3),
+            service: Service::Safe,
+            payload: "m3",
+        });
+        r.submit(mid(0, 9), Service::Safe, "never-sent");
+        let (m, _) = r.pop_delivery().unwrap();
+        assert_eq!(m.seq, 1);
+        let snap = r.into_snapshot();
+        assert_eq!(snap.my_aru, 1);
+        assert_eq!(snap.high_seen, 3);
+        assert_eq!(snap.delivered_upto, 1);
+        assert_eq!(snap.store.len(), 2);
+        assert_eq!(snap.pending.len(), 1);
+        assert_eq!(snap.pending[0].0, mid(0, 9));
+    }
+
+    #[test]
+    fn foreign_config_data_ignored() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        r.on_data(OrderedMsg {
+            config: ConfigId::regular(99, p(1)),
+            seq: 1,
+            id: mid(1, 1),
+            service: Service::Agreed,
+            payload: "other",
+        });
+        assert_eq!(r.my_aru(), 0);
+        assert!(r.pop_delivery().is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Property-based tests of the token-ring ordering substrate: under random
+//! submission patterns, data-frame loss and token loss (healed by hop
+//! retransmission), the ring must preserve its core invariants:
+//!
+//! 1. **Agreement** — all members deliver prefixes of one total order.
+//! 2. **Density** — ordinals are 1, 2, 3, … with no gaps or duplicates.
+//! 3. **FIFO** — one sender's messages appear in submission order.
+//! 4. **Safety** — a message delivered as *safe* has been received by
+//!    every member at the moment of delivery.
+//! 5. **Liveness** — once loss stops and the token keeps rotating,
+//!    everything submitted is delivered everywhere.
+
+use evs_membership::ConfigId;
+use evs_order::{DeliveryClass, MessageId, Ring, RingOut, Service, Token};
+use evs_sim::{ProcessId, SimTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i as u32)
+}
+
+/// A lossy in-test ring network driven hop by hop.
+struct Harness {
+    rings: Vec<Ring<u64>>,
+    /// Tokens in flight (possibly several copies due to retransmission).
+    tokens: VecDeque<(ProcessId, Token)>,
+    now: SimTime,
+    rng: StdRng,
+    /// Per-destination data loss probability (0 disables).
+    drop_prob: f64,
+    delivered: Vec<Vec<(u64, MessageId, DeliveryClass)>>,
+}
+
+impl Harness {
+    fn new(n: usize, seed: u64, drop_prob: f64) -> Self {
+        let members: Vec<ProcessId> = (0..n).map(pid).collect();
+        let cfg = ConfigId::regular(1, pid(0));
+        let rings: Vec<Ring<u64>> = (0..n)
+            .map(|i| Ring::new(pid(i), cfg, members.clone(), 8))
+            .collect();
+        let mut h = Harness {
+            rings,
+            tokens: VecDeque::new(),
+            now: SimTime::from_ticks(1),
+            rng: StdRng::seed_from_u64(seed),
+            drop_prob,
+            delivered: vec![Vec::new(); n],
+        };
+        let outs = h.rings[0].bootstrap_token(h.now);
+        h.apply(0, outs);
+        h
+    }
+
+    fn apply(&mut self, from: usize, outs: Vec<RingOut<u64>>) {
+        for out in outs {
+            match out {
+                RingOut::Data(msg) => {
+                    for i in 0..self.rings.len() {
+                        if i != from && !(self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob))
+                        {
+                            self.rings[i].on_data(msg.clone());
+                        }
+                    }
+                }
+                RingOut::TokenTo(to, tok) => {
+                    // Tokens may be lost too; hop retransmission recovers.
+                    if !(self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob / 2.0)) {
+                        self.tokens.push_back((to, tok));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One step: move a token if one is in flight, otherwise fire hop
+    /// retransmissions.
+    fn step(&mut self) {
+        self.now += 50;
+        if let Some((to, tok)) = self.tokens.pop_front() {
+            let now = self.now;
+            let outs = self.rings[to.as_usize()].on_token(now, tok);
+            self.apply(to.as_usize(), outs);
+        } else {
+            for i in 0..self.rings.len() {
+                let now = self.now;
+                // Retransmitted tokens are delivered reliably: in the full
+                // stack, repeated token loss is healed by the membership
+                // layer, which this harness does not model.
+                if let Some(RingOut::TokenTo(to, tok)) = self.rings[i].maybe_retransmit(now, 10)
+                {
+                    self.tokens.push_back((to, tok));
+                }
+            }
+        }
+        self.drain_deliveries();
+    }
+
+    fn drain_deliveries(&mut self) {
+        for (i, ring) in self.rings.iter_mut().enumerate() {
+            while let Some((m, class)) = ring.pop_delivery() {
+                self.delivered[i].push((m.seq, m.id, class));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ring_invariants_under_random_load(
+        n in 2usize..6,
+        seed in 0u64..10_000,
+        submissions in proptest::collection::vec((0usize..6, 0u8..3), 1..30),
+        drop_pct in 0u8..25,
+    ) {
+        let drop_prob = f64::from(drop_pct) / 100.0;
+        let mut h = Harness::new(n, seed, drop_prob);
+        let mut counters = vec![0u64; n];
+        let mut submitted = 0u64;
+        for (at, service) in &submissions {
+            let at = at % n;
+            counters[at] += 1;
+            submitted += 1;
+            let service = match service {
+                0 => Service::Causal,
+                1 => Service::Agreed,
+                _ => Service::Safe,
+            };
+            h.rings[at].submit(MessageId::new(pid(at), counters[at]), service, submitted);
+            // A few lossy steps between submissions.
+            for _ in 0..3 {
+                h.step();
+            }
+        }
+        // Stop the loss and let the ring heal (rtr + retransmission).
+        h.drop_prob = 0.0;
+        for _ in 0..(submitted as usize * 8 + 200) {
+            h.step();
+        }
+
+        // 4 (checked post-hoc but equivalent, since stores only grow):
+        // every safe-delivered seq is in every member's store.
+        for deliveries in &h.delivered {
+            for (seq, _, class) in deliveries {
+                if *class == DeliveryClass::Safe {
+                    for ring in &h.rings {
+                        prop_assert!(ring.contains(*seq), "safe {seq} missing somewhere");
+                    }
+                }
+            }
+        }
+
+        // 5: everything delivered everywhere.
+        for (i, deliveries) in h.delivered.iter().enumerate() {
+            prop_assert_eq!(
+                deliveries.len() as u64, submitted,
+                "P{} delivered {} of {}", i, deliveries.len(), submitted
+            );
+        }
+
+        // 1 + 2: identical, dense total order.
+        let base: Vec<(u64, MessageId)> =
+            h.delivered[0].iter().map(|(s, m, _)| (*s, *m)).collect();
+        for (i, deliveries) in h.delivered.iter().enumerate() {
+            let order: Vec<(u64, MessageId)> =
+                deliveries.iter().map(|(s, m, _)| (*s, *m)).collect();
+            prop_assert_eq!(&order, &base, "P{} diverges", i);
+        }
+        for (k, (seq, _)) in base.iter().enumerate() {
+            prop_assert_eq!(*seq, k as u64 + 1, "ordinals must be dense");
+        }
+
+        // 3: FIFO per sender.
+        for sender in 0..n {
+            let counters_seen: Vec<u64> = base
+                .iter()
+                .filter(|(_, m)| m.sender == pid(sender))
+                .map(|(_, m)| m.counter)
+                .collect();
+            let mut sorted = counters_seen.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(counters_seen, sorted, "sender {} not FIFO", sender);
+        }
+    }
+
+    /// Duplicated frames (retransmissions, replays) never corrupt the
+    /// order: feeding every data frame twice is harmless.
+    #[test]
+    fn duplicate_frames_are_idempotent(
+        n in 2usize..5,
+        k in 1u64..20,
+    ) {
+        let members: Vec<ProcessId> = (0..n).map(pid).collect();
+        let cfg = ConfigId::regular(1, pid(0));
+        let mut rings: Vec<Ring<u64>> = (0..n)
+            .map(|i| Ring::new(pid(i), cfg, members.clone(), 8))
+            .collect();
+        let mut now = SimTime::from_ticks(1);
+        let mut tokens: VecDeque<(ProcessId, Token)> = VecDeque::new();
+        for i in 1..=k {
+            rings[0].submit(MessageId::new(pid(0), i), Service::Agreed, i);
+        }
+        let outs = rings[0].bootstrap_token(now);
+        let mut pending = vec![outs];
+        let mut hops = 0;
+        while hops < (k as usize + 4) * n * 4 {
+            for outs in pending.drain(..) {
+                for out in outs {
+                    match out {
+                        RingOut::Data(m) => {
+                            for r in rings.iter_mut() {
+                                // duplicate every frame
+                                r.on_data(m.clone());
+                                r.on_data(m.clone());
+                            }
+                        }
+                        RingOut::TokenTo(to, t) => tokens.push_back((to, t)),
+                    }
+                }
+            }
+            let Some((to, tok)) = tokens.pop_front() else { break };
+            now += 1;
+            hops += 1;
+            let outs = rings[to.as_usize()].on_token(now, tok);
+            pending.push(outs);
+        }
+        for r in rings.iter_mut() {
+            let mut seqs = Vec::new();
+            while let Some((m, _)) = r.pop_delivery() {
+                seqs.push(m.seq);
+            }
+            let expect: Vec<u64> = (1..=k).collect();
+            prop_assert_eq!(seqs, expect);
+        }
+    }
+}

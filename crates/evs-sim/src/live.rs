@@ -1,0 +1,365 @@
+//! A live, multi-threaded driver for the same [`Node`] state machines the
+//! simulator runs.
+//!
+//! The protocol stacks in this workspace are sans-I/O: they only ever see
+//! messages, timers and a clock. [`Sim`](crate::Sim) drives them from a
+//! deterministic event queue; [`LiveNet`] drives them from real operating
+//! system threads and crossbeam channels, with real time as the clock
+//! (1 tick = 100 µs). Nothing in the protocol crates changes — which is
+//! the point: the deterministic test results transfer to a concurrent
+//! deployment of the very same code.
+//!
+//! The live driver supports the same fault vocabulary as the simulator
+//! (partitions via a shared topology, crash/recovery preserving stable
+//! storage) minus fine-grained message loss, and collects the same traces,
+//! so the specification checkers run unchanged on live runs.
+
+use crate::node::{Ctx, Effect, Node, TimerId, TimerKind};
+use crate::{ProcessId, SimTime, StableStore, Topology};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One simulator tick worth of real time.
+const TICK: Duration = Duration::from_micros(100);
+
+/// A boxed closure run against a node on its own thread.
+type NodeFn<N> =
+    Box<dyn FnOnce(&mut N, &mut Ctx<'_, <N as Node>::Msg, <N as Node>::Ev>) + Send>;
+/// A boxed read-only closure over a node and its trace.
+type InspectFn<N> =
+    Box<dyn FnOnce(&N, &[(SimTime, <N as Node>::Ev)]) + Send>;
+/// A node's final state and trace, as returned by [`LiveNet::shutdown`].
+pub type NodeResult<N> = (N, Vec<(SimTime, <N as Node>::Ev)>);
+
+enum Packet<N: Node> {
+    Deliver { from: ProcessId, msg: N::Msg },
+    Crash,
+    Recover,
+    Invoke(NodeFn<N>),
+    Inspect(InspectFn<N>),
+    Shutdown,
+}
+
+struct Shared<N: Node> {
+    senders: Vec<Sender<Packet<N>>>,
+    topology: RwLock<Topology>,
+}
+
+struct Worker<N: Node> {
+    me: ProcessId,
+    node: N,
+    shared: Arc<Shared<N>>,
+    inbox: Receiver<Packet<N>>,
+    stable: StableStore,
+    trace: Vec<(SimTime, N::Ev)>,
+    next_timer_id: u64,
+    timers: Vec<(Instant, TimerId, TimerKind)>,
+    cancelled: HashSet<TimerId>,
+    alive: bool,
+    epoch: Instant,
+}
+
+impl<N: Node> Worker<N> {
+    fn now(&self) -> SimTime {
+        SimTime::from_ticks((self.epoch.elapsed().as_micros() / TICK.as_micros()) as u64)
+    }
+
+    fn dispatch(&mut self, f: impl FnOnce(&mut N, &mut Ctx<'_, N::Msg, N::Ev>)) {
+        let now = self.now();
+        let mut ctx = Ctx {
+            pid: self.me,
+            now,
+            effects: Vec::new(),
+            stable: &mut self.stable,
+            trace: &mut self.trace,
+            next_timer_id: &mut self.next_timer_id,
+        };
+        f(&mut self.node, &mut ctx);
+        let effects = ctx.effects;
+        for effect in effects {
+            match effect {
+                Effect::Broadcast(msg) => {
+                    let topo = self.shared.topology.read();
+                    for (i, tx) in self.shared.senders.iter().enumerate() {
+                        let to = ProcessId::new(i as u32);
+                        if topo.reachable(self.me, to) {
+                            let _ = tx.send(Packet::Deliver {
+                                from: self.me,
+                                msg: msg.clone(),
+                            });
+                        }
+                    }
+                }
+                Effect::Unicast(to, msg) => {
+                    let topo = self.shared.topology.read();
+                    if topo.reachable(self.me, to) {
+                        let _ = self.shared.senders[to.as_usize()].send(Packet::Deliver {
+                            from: self.me,
+                            msg,
+                        });
+                    }
+                }
+                Effect::SetTimer(id, delay, kind) => {
+                    let deadline = Instant::now() + TICK * delay as u32;
+                    self.timers.push((deadline, id, kind));
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> NodeResult<N> {
+        self.dispatch(|node, ctx| node.on_start(ctx));
+        loop {
+            // Earliest pending timer decides the wait.
+            self.timers.sort_by_key(|(at, _, _)| *at);
+            let timeout = self
+                .timers
+                .first()
+                .map(|(at, _, _)| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50));
+            match self.inbox.recv_timeout(timeout) {
+                Ok(Packet::Deliver { from, msg }) => {
+                    if self.alive {
+                        // Check reachability at delivery time too, like the
+                        // simulator: a partition formed while the packet
+                        // sat in the channel drops it.
+                        let reachable = self.shared.topology.read().reachable(from, self.me);
+                        if reachable {
+                            self.dispatch(|node, ctx| node.on_message(ctx, from, msg));
+                        }
+                    }
+                }
+                Ok(Packet::Crash) => {
+                    if self.alive {
+                        self.alive = false;
+                        self.timers.clear();
+                        self.cancelled.clear();
+                        // Same contract as the simulator: the node may log
+                        // its failure and persist, but sends are dropped.
+                        let now = self.now();
+                        let mut ctx = Ctx {
+                            pid: self.me,
+                            now,
+                            effects: Vec::new(),
+                            stable: &mut self.stable,
+                            trace: &mut self.trace,
+                            next_timer_id: &mut self.next_timer_id,
+                        };
+                        self.node.on_crash(&mut ctx);
+                    }
+                }
+                Ok(Packet::Recover) => {
+                    if !self.alive {
+                        self.alive = true;
+                        self.dispatch(|node, ctx| node.on_recover(ctx));
+                    }
+                }
+                Ok(Packet::Invoke(f)) => {
+                    if self.alive {
+                        self.dispatch(f);
+                    }
+                }
+                Ok(Packet::Inspect(f)) => f(&self.node, &self.trace),
+                Ok(Packet::Shutdown) => return (self.node, self.trace),
+                Err(RecvTimeoutError::Timeout) => {
+                    if !self.alive {
+                        continue;
+                    }
+                    let now = Instant::now();
+                    let due: Vec<(TimerId, TimerKind)> = {
+                        let (ready, pending): (Vec<_>, Vec<_>) =
+                            self.timers.drain(..).partition(|(at, _, _)| *at <= now);
+                        self.timers = pending;
+                        ready.into_iter().map(|(_, id, kind)| (id, kind)).collect()
+                    };
+                    for (id, kind) in due {
+                        if !self.cancelled.remove(&id) {
+                            self.dispatch(|node, ctx| node.on_timer(ctx, kind));
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return (self.node, self.trace);
+                }
+            }
+        }
+    }
+}
+
+/// A live network of [`Node`]s, one OS thread each, connected by channels.
+///
+/// # Examples
+///
+/// See `tests/live_driver.rs` in this crate, which runs the same gossip
+/// node under both drivers, and the workspace test `tests/live_stack.rs`,
+/// which runs the full EVS stack over threads and feeds the resulting
+/// trace to the specification checker.
+pub struct LiveNet<N: Node + Send + 'static>
+where
+    N::Msg: Send,
+    N::Ev: Send,
+{
+    shared: Arc<Shared<N>>,
+    handles: Vec<JoinHandle<NodeResult<N>>>,
+}
+
+impl<N: Node + Send + 'static> LiveNet<N>
+where
+    N::Msg: Send,
+    N::Ev: Send,
+{
+    /// Spawns `n` nodes built by `make`, fully connected.
+    pub fn spawn(n: usize, mut make: impl FnMut(ProcessId) -> N) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            senders,
+            topology: RwLock::new(Topology::fully_connected(n)),
+        });
+        let epoch = Instant::now();
+        let handles = inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, inbox)| {
+                let me = ProcessId::new(i as u32);
+                let worker = Worker {
+                    me,
+                    node: make(me),
+                    shared: Arc::clone(&shared),
+                    inbox,
+                    stable: StableStore::new(),
+                    trace: Vec::new(),
+                    next_timer_id: 0,
+                    timers: Vec::new(),
+                    cancelled: HashSet::new(),
+                    alive: true,
+                    epoch,
+                };
+                std::thread::spawn(move || worker.run())
+            })
+            .collect();
+        LiveNet { shared, handles }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Always false (a live net has at least one node by construction).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Repartitions the live network (applies to packets not yet
+    /// delivered, like the simulator's delivery-time check).
+    pub fn partition(&self, groups: &[Vec<ProcessId>]) {
+        self.shared.topology.write().split(groups);
+    }
+
+    /// Reconnects everything.
+    pub fn merge_all(&self) {
+        self.shared.topology.write().merge_all();
+    }
+
+    /// Crashes a node (volatile state lost, stable storage kept).
+    pub fn crash(&self, p: ProcessId) {
+        let _ = self.shared.senders[p.as_usize()].send(Packet::Crash);
+    }
+
+    /// Recovers a crashed node under the same identifier.
+    pub fn recover(&self, p: ProcessId) {
+        let _ = self.shared.senders[p.as_usize()].send(Packet::Recover);
+    }
+
+    /// Runs a closure on the node's thread (e.g. to submit a message).
+    pub fn invoke(
+        &self,
+        p: ProcessId,
+        f: impl FnOnce(&mut N, &mut Ctx<'_, N::Msg, N::Ev>) + Send + 'static,
+    ) {
+        let _ = self.shared.senders[p.as_usize()].send(Packet::Invoke(Box::new(f)));
+    }
+
+    /// Synchronously inspects a node's state and trace from the caller's
+    /// thread, returning the closure's result.
+    pub fn inspect<R: Send + 'static>(
+        &self,
+        p: ProcessId,
+        f: impl FnOnce(&N, &[(SimTime, N::Ev)]) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = unbounded();
+        let _ = self.shared.senders[p.as_usize()].send(Packet::Inspect(Box::new(
+            move |node, trace| {
+                let _ = tx.send(f(node, trace));
+            },
+        )));
+        rx.recv().expect("node thread alive")
+    }
+
+    /// Polls `pred` (evaluated against every node) until it holds or the
+    /// timeout expires. Returns whether it held.
+    pub fn wait_until(
+        &self,
+        timeout: Duration,
+        pred: impl FnMut(&N) -> bool + Send + Clone + 'static,
+    ) -> bool {
+        let all: Vec<ProcessId> = (0..self.len()).map(|i| ProcessId::new(i as u32)).collect();
+        self.wait_until_on(&all, timeout, pred)
+    }
+
+    /// Like [`LiveNet::wait_until`], restricted to the named nodes (e.g.
+    /// the survivors of a crash — a crashed node's state is frozen and
+    /// would never satisfy a liveness predicate).
+    pub fn wait_until_on(
+        &self,
+        nodes: &[ProcessId],
+        timeout: Duration,
+        pred: impl FnMut(&N) -> bool + Send + Clone + 'static,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut all = true;
+            for &p in nodes {
+                let pr = pred.clone();
+                if !self.inspect(p, move |node, _| {
+                    let mut pr = pr;
+                    pr(node)
+                }) {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Shuts the network down and returns every node with its trace.
+    pub fn shutdown(self) -> Vec<NodeResult<N>> {
+        for tx in &self.shared.senders {
+            let _ = tx.send(Packet::Shutdown);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    }
+}

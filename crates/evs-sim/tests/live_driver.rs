@@ -1,0 +1,124 @@
+//! The live (threaded) driver runs the same `Node` state machines as the
+//! deterministic simulator: a gossip node behaves identically under both.
+
+use evs_sim::live::LiveNet;
+use evs_sim::{Ctx, Node, ProcessId, TimerKind};
+use std::time::Duration;
+
+const TICK: TimerKind = TimerKind(7);
+
+/// Counts everything heard; relays each distinct value once; runs a
+/// periodic timer.
+#[derive(Debug)]
+struct Gossip {
+    heard: Vec<u64>,
+    timer_fires: u32,
+}
+
+impl Node for Gossip {
+    type Msg = u64;
+    type Ev = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64, u64>) {
+        ctx.set_timer(20, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64, u64>, _from: ProcessId, msg: u64) {
+        ctx.emit(msg);
+        if !self.heard.contains(&msg) {
+            self.heard.push(msg);
+            ctx.broadcast(msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64, u64>, kind: TimerKind) {
+        assert_eq!(kind, TICK);
+        self.timer_fires += 1;
+        ctx.set_timer(20, TICK);
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, u64, u64>) {
+        self.heard.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, u64, u64>) {
+        ctx.set_timer(20, TICK);
+    }
+}
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn broadcast_reaches_all_live_nodes() {
+    let net = LiveNet::spawn(4, |_| Gossip {
+        heard: Vec::new(),
+        timer_fires: 0,
+    });
+    net.invoke(p(0), |_n, ctx| ctx.broadcast(42));
+    assert!(
+        net.wait_until(Duration::from_secs(5), |n| n.heard.contains(&42)),
+        "all nodes hear the gossip"
+    );
+    let results = net.shutdown();
+    for (node, trace) in &results {
+        assert!(node.heard.contains(&42));
+        assert!(trace.iter().any(|(_, v)| *v == 42));
+    }
+}
+
+#[test]
+fn timers_fire_on_live_threads() {
+    let net = LiveNet::spawn(2, |_| Gossip {
+        heard: Vec::new(),
+        timer_fires: 0,
+    });
+    assert!(
+        net.wait_until(Duration::from_secs(5), |n| n.timer_fires >= 3),
+        "periodic timers fire"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn partitions_block_live_traffic_and_merges_heal() {
+    let net = LiveNet::spawn(3, |_| Gossip {
+        heard: Vec::new(),
+        timer_fires: 0,
+    });
+    net.partition(&[vec![p(0)], vec![p(1), p(2)]]);
+    net.invoke(p(0), |_n, ctx| ctx.broadcast(7));
+    // The isolated broadcast must not reach the other side.
+    std::thread::sleep(Duration::from_millis(100));
+    let heard1 = net.inspect(p(1), |n, _| n.heard.clone());
+    assert!(!heard1.contains(&7), "partitioned: {heard1:?}");
+    // Heal and re-broadcast.
+    net.merge_all();
+    net.invoke(p(0), |_n, ctx| ctx.broadcast(8));
+    assert!(
+        net.wait_until(Duration::from_secs(5), |n| n.heard.contains(&8)),
+        "healed network delivers"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn crash_loses_volatile_state_recover_restarts() {
+    let net = LiveNet::spawn(2, |_| Gossip {
+        heard: Vec::new(),
+        timer_fires: 0,
+    });
+    net.invoke(p(0), |_n, ctx| ctx.broadcast(1));
+    assert!(net.wait_until(Duration::from_secs(5), |n| !n.heard.is_empty()));
+    net.crash(p(1));
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(net.inspect(p(1), |n, _| n.heard.is_empty()), "volatile lost");
+    net.recover(p(1));
+    net.invoke(p(0), |_n, ctx| ctx.broadcast(2));
+    assert!(
+        net.wait_until(Duration::from_secs(5), |n| n.heard.contains(&2)),
+        "recovered node participates again"
+    );
+    net.shutdown();
+}

@@ -1,0 +1,590 @@
+//! The filter that reduces extended virtual synchrony to virtual synchrony
+//! (§5 of the paper, Figure 7).
+//!
+//! "We construct a filter on a system that maintains extended virtual
+//! synchrony and show that all of the runs produced by this filter are
+//! acceptable executions according to the virtual synchrony model." The
+//! four rules:
+//!
+//! 1. Mask transitional configurations: their deliveries are relabeled as
+//!    deliveries in the preceding regular configuration's view.
+//! 2. In a regular configuration that is not a primary component, block:
+//!    accept no sends and discard deliveries until the process rejoins the
+//!    primary component.
+//! 3. When a primary configuration merges several processes at once, split
+//!    the single configuration change into one view event per merged
+//!    process, in deterministic (lexicographic) order.
+//! 4. A process in a non-primary component that joins a primary
+//!    configuration merges in via the same split views, and a resumed
+//!    process re-enters under a new identifier (here: an incarnation
+//!    number).
+
+use crate::{PrimaryHistory, PrimaryPolicy, VsEvent, VsProcId, VsView, VsViewId};
+use evs_core::{EvsEvent, Trace};
+use evs_sim::ProcessId;
+
+/// The virtual-synchrony run produced by filtering an EVS trace: per
+/// process, the sequence of VS events (views, sends, deliveries, stop).
+#[derive(Clone, Debug, Default)]
+pub struct VsRun {
+    /// Per-process VS event logs (index = process index).
+    pub events: Vec<Vec<VsEvent>>,
+    /// The primary history the run was filtered against.
+    pub views: Vec<VsView>,
+}
+
+/// Computes the split view sequence (Rules 3/4) for primary configuration
+/// number `pos` in the history: first the view restricted to survivors of
+/// the previous primary, then one view per joiner in lexicographic order.
+/// Returns at least one view; the last one has the full membership.
+fn view_steps(history: &PrimaryHistory, pos: usize) -> Vec<VsView> {
+    let cfg = &history.history[pos];
+    let inc = &history.incarnations[pos];
+    let as_vs = |p: ProcessId| VsProcId {
+        pid: p,
+        incarnation: inc[&p],
+    };
+    let prev: Vec<ProcessId> = history
+        .previous(pos)
+        .map(|c| c.members.clone())
+        .unwrap_or_default();
+    let survivors: Vec<ProcessId> = cfg
+        .members
+        .iter()
+        .copied()
+        .filter(|m| prev.contains(m))
+        .collect();
+    let joiners: Vec<ProcessId> = cfg
+        .members
+        .iter()
+        .copied()
+        .filter(|m| !prev.contains(m))
+        .collect();
+    let mut steps = Vec::new();
+    let mut members: Vec<ProcessId> = survivors;
+    if joiners.is_empty() || !members.is_empty() {
+        // Step 0: the shrink (or the unchanged carry-over). Skipped when a
+        // primary forms entirely from joiners (the first primary ever, or
+        // a primary formed from scratch): views never have empty
+        // membership.
+        if !members.is_empty() {
+            steps.push(VsView {
+                id: VsViewId {
+                    base: cfg.id,
+                    step: 0,
+                },
+                members: members.iter().copied().map(as_vs).collect(),
+            });
+        }
+    }
+    for (i, j) in joiners.iter().enumerate() {
+        members.push(*j);
+        members.sort_unstable();
+        steps.push(VsView {
+            id: VsViewId {
+                base: cfg.id,
+                step: (i + 1) as u32,
+            },
+            members: members.iter().copied().map(as_vs).collect(),
+        });
+    }
+    debug_assert!(!steps.is_empty(), "a primary yields at least one view");
+    steps
+}
+
+/// Applies the §5 filter to a full EVS trace, producing the VS run.
+///
+/// The primary history (order of primaries, joiner sets, incarnations) is
+/// derived from the trace itself; in a live system this bookkeeping rides
+/// the state transfer performed when components merge, so deriving it
+/// globally is behavior-preserving. See [`PrimaryHistory`].
+pub fn filter_trace(trace: &Trace, policy: &dyn PrimaryPolicy) -> VsRun {
+    let history = PrimaryHistory::from_trace(trace, policy);
+    let all_steps: Vec<Vec<VsView>> = (0..history.history.len())
+        .map(|i| view_steps(&history, i))
+        .collect();
+
+    let mut run = VsRun {
+        events: Vec::with_capacity(trace.events.len()),
+        views: all_steps.iter().flatten().cloned().collect(),
+    };
+
+    for (pid, log) in trace.events.iter().enumerate() {
+        let me = ProcessId::new(pid as u32);
+        let mut out: Vec<VsEvent> = Vec::new();
+        // Rule 2 state: Some(current view) while in the primary component.
+        let mut current_view: Option<VsViewId> = None;
+        let mut my_vs_id: Option<VsProcId> = None;
+        for (_, ev) in log {
+            match ev {
+                EvsEvent::DeliverConf(c) => {
+                    if c.id.transitional {
+                        // Rule 1: masked; subsequent deliveries keep the
+                        // current view label.
+                        continue;
+                    }
+                    match history.position(c.id) {
+                        Some(pos) => {
+                            // Rules 3/4: deliver the split views from the
+                            // step where we are (first) a member.
+                            let inc = history.incarnations[pos][&me];
+                            let vs_me = VsProcId {
+                                pid: me,
+                                incarnation: inc,
+                            };
+                            // If we re-enter under a new incarnation while
+                            // an older one is still "live" (we were dropped
+                            // from an intervening primary without ever
+                            // installing a non-primary configuration), the
+                            // old identity stops here — in the fail-stop
+                            // model it failed the moment the primary moved
+                            // on without it.
+                            if let Some(old) = my_vs_id {
+                                if old != vs_me && current_view.is_some() {
+                                    out.push(VsEvent::Stop { who: old });
+                                }
+                            }
+                            for view in &all_steps[pos] {
+                                if view.members.contains(&vs_me) {
+                                    out.push(VsEvent::View(view.clone()));
+                                    current_view = Some(view.id);
+                                    my_vs_id = Some(vs_me);
+                                }
+                            }
+                        }
+                        None => {
+                            // Rule 2: a non-primary regular configuration
+                            // blocks the process. Under Birman's fail-stop
+                            // model (§4.1), being dropped from the primary
+                            // partition *is* a failure — the process's
+                            // current VS incarnation stops here, and a
+                            // later rejoin enters as a new identity
+                            // (Rule 4). Without this stop, C3 would hold a
+                            // partitioned-away member responsible for
+                            // deliveries it can never make.
+                            if current_view.is_some() {
+                                if let Some(vs_me) = my_vs_id {
+                                    out.push(VsEvent::Stop { who: vs_me });
+                                }
+                            }
+                            current_view = None;
+                            my_vs_id = None;
+                        }
+                    }
+                }
+                EvsEvent::Send { id, service, .. } => {
+                    if current_view.is_some() {
+                        out.push(VsEvent::Send {
+                            id: *id,
+                            service: *service,
+                        });
+                    }
+                    // Blocked processes "don't accept any messages from the
+                    // application for sending": the EVS send is filtered
+                    // out of the VS run.
+                }
+                EvsEvent::Deliver { id, service, .. } => {
+                    if let Some(view) = current_view {
+                        out.push(VsEvent::Deliver {
+                            id: *id,
+                            service: *service,
+                            view,
+                        });
+                    }
+                    // Blocked: "discard any messages … received".
+                }
+                EvsEvent::Fail { .. } => {
+                    if let Some(vs_me) = my_vs_id {
+                        if current_view.is_some() {
+                            out.push(VsEvent::Stop { who: vs_me });
+                        }
+                    }
+                    current_view = None;
+                    my_vs_id = None;
+                }
+            }
+        }
+        run.events.push(out);
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MajorityPrimary;
+    use evs_core::Configuration;
+    use evs_membership::ConfigId;
+    use evs_order::{MessageId, Service};
+    use evs_sim::SimTime;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn cfg(epoch: u64, members: &[u32]) -> Configuration {
+        Configuration::new(
+            ConfigId::regular(epoch, p(members[0])),
+            members.iter().map(|&i| p(i)).collect(),
+        )
+    }
+
+    fn tcfg(epoch: u64, members: &[u32]) -> Configuration {
+        Configuration::new(
+            ConfigId::transitional(epoch, p(members[0])),
+            members.iter().map(|&i| p(i)).collect(),
+        )
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn split_views_add_joiners_one_at_a_time() {
+        use evs_core::EvsEvent::*;
+        let c1 = cfg(1, &[0, 1]); // first primary (universe 3): P0, P1
+        let c2 = cfg(2, &[0, 1, 2]); // P2 merges in
+        let trace = Trace::new(vec![
+            vec![
+                (t0(), DeliverConf(c1.clone())),
+                (t0(), DeliverConf(c2.clone())),
+            ],
+            vec![
+                (t0(), DeliverConf(c1.clone())),
+                (t0(), DeliverConf(c2.clone())),
+            ],
+            vec![(t0(), DeliverConf(c2.clone()))],
+        ]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(3));
+        // P0 sees: views of c1 (P0 then P0,P1 — two joiners from nothing)
+        // and of c2 (survivors P0,P1 then +P2).
+        let views0: Vec<VsViewId> = run.events[0]
+            .iter()
+            .filter_map(|e| match e {
+                VsEvent::View(v) => Some(v.id),
+                _ => None,
+            })
+            .collect();
+        assert!(views0.len() >= 3);
+        // The joiner P2 only sees the view that includes it.
+        let views2: Vec<&VsView> = run.events[2]
+            .iter()
+            .filter_map(|e| match e {
+                VsEvent::View(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(views2.len(), 1);
+        assert_eq!(views2[0].members.len(), 3);
+        assert_eq!(views2[0].id.base, c2.id);
+        // Final views agree between P0 and P2.
+        let last0 = run.events[0]
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                VsEvent::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(&last0, views2[0]);
+    }
+
+    #[test]
+    fn transitional_deliveries_are_relabeled_to_the_view() {
+        use evs_core::EvsEvent::*;
+        let c1 = cfg(1, &[0, 1]);
+        let tr = tcfg(2, &[0]);
+        let m = MessageId::new(p(1), 1);
+        let trace = Trace::new(vec![
+            vec![
+                (t0(), DeliverConf(c1.clone())),
+                // delivery in the transitional configuration...
+                (t0(), DeliverConf(tr.clone())),
+                (
+                    t0(),
+                    Deliver {
+                        id: m,
+                        config: tr.id,
+                        service: Service::Safe,
+                        seq: 1,
+                    },
+                ),
+            ],
+            vec![(t0(), DeliverConf(c1.clone()))],
+        ]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(2));
+        // ...appears in the VS run inside c1's (last) view.
+        let deliver = run.events[0]
+            .iter()
+            .find_map(|e| match e {
+                VsEvent::Deliver { id, view, .. } if *id == m => Some(*view),
+                _ => None,
+            })
+            .expect("delivery present");
+        assert_eq!(deliver.base, c1.id, "Rule 1: masked into the regular view");
+    }
+
+    #[test]
+    fn non_primary_blocks_sends_and_deliveries() {
+        use evs_core::EvsEvent::*;
+        let minority = cfg(1, &[0]); // universe 3: not primary
+        let m = MessageId::new(p(0), 1);
+        let trace = Trace::new(vec![
+            vec![
+                (t0(), DeliverConf(minority.clone())),
+                (
+                    t0(),
+                    Send {
+                        id: m,
+                        config: minority.id,
+                        service: Service::Agreed,
+                    },
+                ),
+                (
+                    t0(),
+                    Deliver {
+                        id: m,
+                        config: minority.id,
+                        service: Service::Agreed,
+                        seq: 1,
+                    },
+                ),
+            ],
+        ]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(3));
+        assert!(
+            run.events[0].is_empty(),
+            "Rule 2 blocks everything: {:?}",
+            run.events[0]
+        );
+    }
+
+    #[test]
+    fn resumed_process_gets_new_incarnation() {
+        use evs_core::EvsEvent::*;
+        let c1 = cfg(1, &[0, 1, 2]);
+        let c2 = cfg(2, &[0, 1]); // P2 out
+        let c3 = cfg(3, &[0, 1, 2]); // P2 back
+        let mk = |evs: Vec<EvsEvent>| evs.into_iter().map(|e| (t0(), e)).collect::<Vec<_>>();
+        let trace = Trace::new(vec![
+            mk(vec![
+                DeliverConf(c1.clone()),
+                DeliverConf(c2.clone()),
+                DeliverConf(c3.clone()),
+            ]),
+            mk(vec![
+                DeliverConf(c1.clone()),
+                DeliverConf(c2.clone()),
+                DeliverConf(c3.clone()),
+            ]),
+            mk(vec![DeliverConf(c1.clone()), DeliverConf(c3.clone())]),
+        ]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(3));
+        // In c3's final view, P2 appears with incarnation 1.
+        let final_view = run.events[0]
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                VsEvent::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let p2 = final_view
+            .members
+            .iter()
+            .find(|m| m.pid == p(2))
+            .unwrap();
+        assert_eq!(p2.incarnation, 1, "Rule 4: resumed under a new identifier");
+        let p0 = final_view
+            .members
+            .iter()
+            .find(|m| m.pid == p(0))
+            .unwrap();
+        assert_eq!(p0.incarnation, 0);
+    }
+
+    #[test]
+    fn stop_emitted_on_failure_in_primary() {
+        use evs_core::EvsEvent::*;
+        let c1 = cfg(1, &[0, 1]);
+        let trace = Trace::new(vec![
+            vec![
+                (t0(), DeliverConf(c1.clone())),
+                (t0(), Fail { config: c1.id }),
+            ],
+            vec![(t0(), DeliverConf(c1.clone()))],
+        ]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(2));
+        assert!(run.events[0]
+            .iter()
+            .any(|e| matches!(e, VsEvent::Stop { who } if who.pid == p(0))));
+    }
+}
+
+#[cfg(test)]
+mod fail_stop_semantics_tests {
+    //! Pin the fail-stop reading of partitions (§4.1/§5): leaving the
+    //! primary stops the current VS incarnation, rejoining creates a new
+    //! one — in every path a process can take out of and back into the
+    //! primary component.
+
+    use super::*;
+    use crate::{check_vs, MajorityPrimary};
+    use evs_core::Configuration;
+    use evs_membership::ConfigId;
+    use evs_sim::SimTime;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn rcfg(epoch: u64, members: &[u32]) -> Configuration {
+        Configuration::new(
+            ConfigId::regular(epoch, p(members[0])),
+            members.iter().map(|&i| p(i)).collect(),
+        )
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn stops_of(run: &VsRun, pid: u32) -> Vec<VsProcId> {
+        run.events[pid as usize]
+            .iter()
+            .filter_map(|e| match e {
+                VsEvent::Stop { who } => Some(*who),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Path 1: primary → non-primary install → primary. The blocked episode
+    /// stops the old incarnation; the rejoin is a new identity.
+    #[test]
+    fn blocked_episode_stops_and_reincarnates() {
+        use evs_core::EvsEvent::DeliverConf;
+        let c1 = rcfg(1, &[0, 1, 2]);
+        let minority = rcfg(2, &[2]);
+        let c3 = rcfg(3, &[0, 1, 2]);
+        let mk = |confs: Vec<Configuration>| -> Vec<(SimTime, evs_core::EvsEvent)> {
+            confs.into_iter().map(|c| (t0(), DeliverConf(c))).collect()
+        };
+        let trace = Trace::new(vec![
+            mk(vec![c1.clone(), c3.clone()]),
+            mk(vec![c1.clone(), c3.clone()]),
+            mk(vec![c1.clone(), minority.clone(), c3.clone()]),
+        ]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(3));
+        assert_eq!(
+            stops_of(&run, 2),
+            vec![VsProcId { pid: p(2), incarnation: 0 }],
+            "the blocked episode stops incarnation 0"
+        );
+        // And the rejoin is incarnation 1.
+        let last_view = run.events[2]
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                VsEvent::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let me = last_view.members.iter().find(|m| m.pid == p(2)).unwrap();
+        assert_eq!(me.incarnation, 1);
+        check_vs(&run).unwrap();
+    }
+
+    /// Path 2: primary → (dropped from an intervening primary, no local
+    /// install at all) → primary. The rejoin itself stops the superseded
+    /// incarnation.
+    #[test]
+    fn silent_absence_stops_at_rejoin() {
+        use evs_core::EvsEvent::DeliverConf;
+        let c1 = rcfg(1, &[0, 1, 2]);
+        let c2 = rcfg(2, &[0, 1]); // P2 dropped
+        let c3 = rcfg(3, &[0, 1, 2]);
+        let mk = |confs: Vec<Configuration>| -> Vec<(SimTime, evs_core::EvsEvent)> {
+            confs.into_iter().map(|c| (t0(), DeliverConf(c))).collect()
+        };
+        let trace = Trace::new(vec![
+            mk(vec![c1.clone(), c2.clone(), c3.clone()]),
+            mk(vec![c1.clone(), c2.clone(), c3.clone()]),
+            // P2 installs nothing between the two primaries it is in.
+            mk(vec![c1.clone(), c3.clone()]),
+        ]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(3));
+        assert_eq!(
+            stops_of(&run, 2),
+            vec![VsProcId { pid: p(2), incarnation: 0 }],
+            "the superseded incarnation stops at rejoin"
+        );
+        check_vs(&run).unwrap();
+    }
+
+    /// Path 3: an actual crash mid-primary stops the incarnation; recovery
+    /// through a singleton (non-primary) then rejoin reincarnates.
+    #[test]
+    fn crash_path_stops_once_and_reincarnates() {
+        use evs_core::EvsEvent::{DeliverConf, Fail};
+        let c1 = rcfg(1, &[0, 1, 2]);
+        let solo = rcfg(2, &[2]);
+        let c3 = rcfg(3, &[0, 1, 2]);
+        let mk = |confs: Vec<Configuration>| -> Vec<(SimTime, evs_core::EvsEvent)> {
+            confs.into_iter().map(|c| (t0(), DeliverConf(c))).collect()
+        };
+        let trace = Trace::new(vec![
+            mk(vec![c1.clone(), c3.clone()]),
+            mk(vec![c1.clone(), c3.clone()]),
+            vec![
+                (t0(), DeliverConf(c1.clone())),
+                (t0(), Fail { config: c1.id }),
+                (t0(), DeliverConf(solo.clone())),
+                (t0(), DeliverConf(c3.clone())),
+            ],
+        ]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(3));
+        assert_eq!(
+            stops_of(&run, 2),
+            vec![VsProcId { pid: p(2), incarnation: 0 }],
+            "exactly one stop for the crashed incarnation"
+        );
+        let last_view = run.events[2]
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                VsEvent::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let me = last_view.members.iter().find(|m| m.pid == p(2)).unwrap();
+        assert_eq!(me.incarnation, 1);
+        check_vs(&run).unwrap();
+    }
+
+    /// A member that stays in every primary never stops and never changes
+    /// incarnation.
+    #[test]
+    fn continuous_member_never_stops() {
+        use evs_core::EvsEvent::DeliverConf;
+        let confs: Vec<Configuration> = (1..=4).map(|e| rcfg(e, &[0, 1, 2])).collect();
+        let mk = || -> Vec<(SimTime, evs_core::EvsEvent)> {
+            confs
+                .iter()
+                .map(|c| (t0(), DeliverConf(c.clone())))
+                .collect()
+        };
+        let trace = Trace::new(vec![mk(), mk(), mk()]);
+        let run = filter_trace(&trace, &MajorityPrimary::new(3));
+        for q in 0..3 {
+            assert!(stops_of(&run, q).is_empty());
+            for e in &run.events[q as usize] {
+                if let VsEvent::View(v) = e {
+                    assert!(v.members.iter().all(|m| m.incarnation == 0));
+                }
+            }
+        }
+        check_vs(&run).unwrap();
+    }
+}

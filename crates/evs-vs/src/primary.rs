@@ -1,0 +1,495 @@
+//! The primary component algorithm (§5 of the paper).
+//!
+//! "The primary component algorithm receives configuration change messages
+//! from the membership algorithm. It delivers these messages to the
+//! application with an indication as to whether the new configuration is a
+//! primary component. A simple primary component algorithm is easily
+//! constructed" — this module provides that simple algorithm: a
+//! configuration is primary iff it contains a strict majority of the
+//! process universe. Majorities pairwise intersect, which yields both §2.2
+//! properties:
+//!
+//! * **Uniqueness** — two concurrent components are disjoint, so at most
+//!   one can hold a majority; the history of primary components is totally
+//!   ordered.
+//! * **Continuity** — consecutive primary components are both majorities of
+//!   the same universe and therefore share at least one member.
+
+use evs_core::{checker, Configuration, Trace};
+use evs_membership::ConfigId;
+use evs_sim::ProcessId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A pluggable rule deciding which configurations are primary.
+pub trait PrimaryPolicy {
+    /// True if `cfg`'s *membership* qualifies it as a primary candidate.
+    fn is_primary(&self, cfg: &Configuration) -> bool;
+
+    /// True if a candidate with `installers` processes having actually
+    /// installed it is *certified* as primary.
+    ///
+    /// Certification exists because membership races can produce
+    /// short-lived configurations whose claimed membership is a majority
+    /// but which only a few processes ever install before the proposal is
+    /// superseded; two such configurations can be concurrent, which would
+    /// break §2.2 Uniqueness. Requiring a majority of the universe to
+    /// install the configuration restores Uniqueness structurally: two
+    /// majority installer sets always intersect, and the shared installer's
+    /// local history orders the two configurations. (Operationally the
+    /// certificate is an install-acknowledgment round among the members;
+    /// here it is evaluated from the trace.)
+    fn certified(&self, cfg: &Configuration, installers: usize) -> bool {
+        let _ = installers;
+        self.is_primary(cfg)
+    }
+
+    /// History-aware certification: decides whether `cfg`, installed by
+    /// `installers`, succeeds `prev` (the latest certified primary, or
+    /// `None` at the start of the history) as the next primary component.
+    ///
+    /// The default ignores the history and defers to
+    /// [`PrimaryPolicy::certified`]; policies like [`DynamicPrimary`]
+    /// override it to quorum against the previous primary instead of a
+    /// static universe.
+    fn certified_after(
+        &self,
+        prev: Option<&Configuration>,
+        cfg: &Configuration,
+        installers: &BTreeSet<ProcessId>,
+    ) -> bool {
+        let _ = prev;
+        self.certified(cfg, installers.len())
+    }
+}
+
+/// Majority-of-universe primary policy.
+///
+/// # Examples
+///
+/// ```
+/// use evs_core::Configuration;
+/// use evs_membership::ConfigId;
+/// use evs_sim::ProcessId;
+/// use evs_vs::{MajorityPrimary, PrimaryPolicy};
+///
+/// let policy = MajorityPrimary::new(5);
+/// let p = |i| ProcessId::new(i);
+/// let big = Configuration::new(ConfigId::regular(1, p(0)), vec![p(0), p(1), p(2)]);
+/// let small = Configuration::new(ConfigId::regular(1, p(3)), vec![p(3), p(4)]);
+/// assert!(policy.is_primary(&big));
+/// assert!(!policy.is_primary(&small));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MajorityPrimary {
+    universe: usize,
+}
+
+impl MajorityPrimary {
+    /// Creates the policy for a universe of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "universe must be non-empty");
+        MajorityPrimary { universe: n }
+    }
+
+    /// The size of the universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+}
+
+impl PrimaryPolicy for MajorityPrimary {
+    fn is_primary(&self, cfg: &Configuration) -> bool {
+        cfg.is_regular() && 2 * cfg.members.len() > self.universe
+    }
+
+    fn certified(&self, cfg: &Configuration, installers: usize) -> bool {
+        self.is_primary(cfg) && 2 * installers > self.universe
+    }
+}
+
+/// The observed history of primary components in a trace, in installation
+/// order, plus the §5 bookkeeping the filter needs: which processes joined
+/// at each primary and each member's incarnation number.
+///
+/// In a deployment this knowledge travels by state transfer when a
+/// component merges into the primary (as in Isis); here it is derived from
+/// the trace, which is equivalent and keeps the filter deterministic.
+#[derive(Clone, Debug)]
+pub struct PrimaryHistory {
+    /// Primary configurations, ordered.
+    pub history: Vec<Configuration>,
+    /// For each primary configuration: each member's incarnation number
+    /// (how many times it had previously rejoined the primary after an
+    /// absence — Rule 4's "new identifier" for resumed processes).
+    pub incarnations: Vec<BTreeMap<ProcessId, u32>>,
+}
+
+impl PrimaryHistory {
+    /// Extracts the primary history from a trace under a policy.
+    ///
+    /// The history order follows the configurations' installation order
+    /// (primaries are totally ordered whenever the policy guarantees
+    /// §2.2 Uniqueness — which [`check_history`](Self::check) verifies).
+    pub fn from_trace(trace: &Trace, policy: &dyn PrimaryPolicy) -> Self {
+        // Collect candidate configurations with their installer sets, then
+        // walk them in identifier order, certifying each against the
+        // latest certified primary (see [`PrimaryPolicy::certified_after`]).
+        // Identifier order equals installation order for certified
+        // primaries: each new primary's epoch exceeds the epochs known to
+        // its (quorum of) installers, which intersect the previous
+        // primary's installers.
+        let mut seen: BTreeMap<ConfigId, (Configuration, BTreeSet<ProcessId>)> = BTreeMap::new();
+        for (pid, log) in trace.events.iter().enumerate() {
+            for (_, ev) in log {
+                if let evs_core::EvsEvent::DeliverConf(c) = ev {
+                    if policy.is_primary(c) {
+                        seen.entry(c.id)
+                            .or_insert_with(|| (c.clone(), BTreeSet::new()))
+                            .1
+                            .insert(ProcessId::new(pid as u32));
+                    }
+                }
+            }
+        }
+        let mut history: Vec<Configuration> = Vec::new();
+        for (cfg, installers) in seen.into_values() {
+            if policy.certified_after(history.last(), &cfg, &installers) {
+                history.push(cfg);
+            }
+        }
+        // Incarnations follow Birman's fail-stop reading of partitions
+        // (§4.1): leaving the primary partition is a failure, so a process
+        // re-entering the primary after *any* non-primary episode — an
+        // intervening foreign primary, a blocked minority period, or a
+        // crash/recovery — carries a fresh identity. Walk each process's
+        // own sequence of regular installations: entering a primary
+        // directly from the previous primary keeps the incarnation;
+        // entering it from anything else (or after a failure) increments
+        // it.
+        let primary_pos: BTreeMap<ConfigId, usize> = history
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (c.id, k))
+            .collect();
+        let mut incarnations: Vec<BTreeMap<ProcessId, u32>> =
+            vec![BTreeMap::new(); history.len()];
+        for (pid, log) in trace.events.iter().enumerate() {
+            let me = ProcessId::new(pid as u32);
+            let mut inc: Option<u32> = None; // None until the first primary
+            // Set while the process is continuously in the primary: the
+            // position of the last primary it installed with no
+            // non-primary installation or failure since.
+            let mut continuous_from: Option<usize> = None;
+            for (_, ev) in log {
+                match ev {
+                    evs_core::EvsEvent::DeliverConf(c) if c.is_regular() => {
+                        match primary_pos.get(&c.id) {
+                            Some(&k) => {
+                                let continuing =
+                                    continuous_from == Some(k.wrapping_sub(1)) && k > 0;
+                                let next = match inc {
+                                    None => 0,
+                                    Some(n) if continuing => n,
+                                    Some(n) => n + 1,
+                                };
+                                inc = Some(next);
+                                incarnations[k].insert(me, next);
+                                continuous_from = Some(k);
+                            }
+                            None => continuous_from = None,
+                        }
+                    }
+                    evs_core::EvsEvent::Fail { .. } => continuous_from = None,
+                    _ => {}
+                }
+            }
+        }
+        // Members that never installed a primary they belong to (e.g. they
+        // crashed during its formation) still appear in view memberships;
+        // give them a deterministic fallback.
+        let mut fallback: BTreeMap<ProcessId, u32> = BTreeMap::new();
+        for (k, cfg) in history.iter().enumerate() {
+            for &m in &cfg.members {
+                if let Some(&n) = incarnations[k].get(&m) {
+                    fallback.insert(m, n);
+                } else {
+                    let n = fallback.get(&m).map(|&n| n + 1).unwrap_or(0);
+                    fallback.insert(m, n);
+                    incarnations[k].insert(m, n);
+                }
+            }
+        }
+        PrimaryHistory {
+            history,
+            incarnations,
+        }
+    }
+
+    /// The position of a primary configuration in the history.
+    pub fn position(&self, id: ConfigId) -> Option<usize> {
+        self.history.iter().position(|c| c.id == id)
+    }
+
+    /// The primary configuration preceding the one at `pos`.
+    pub fn previous(&self, pos: usize) -> Option<&Configuration> {
+        pos.checked_sub(1).map(|i| &self.history[i])
+    }
+
+    /// Verifies the §2.2 Uniqueness and Continuity properties of this
+    /// history against the trace's precedes relation.
+    pub fn check(&self, trace: &Trace) -> Vec<checker::Violation> {
+        let analysis = checker::Analysis::build(trace);
+        let ids: Vec<ConfigId> = self.history.iter().map(|c| c.id).collect();
+        checker::check_primary(&analysis, &ids)
+    }
+}
+
+/// Dynamic-linear primary policy: a configuration is certified primary if
+/// it is installed by a strict majority of the **previous primary's**
+/// members (majority of a static universe only for the first primary).
+///
+/// This is the direction the paper gestures at in §5 — "we are currently
+/// developing an algorithm that has a greater probability of finding a
+/// primary component and thereby reduces the risk that all processes will
+/// be blocked." Quorums adapt as the primary shrinks: after the primary
+/// {0,1,2} of a five-process universe, the component {0,1} (a minority of
+/// the universe but a majority of the previous primary) may continue as
+/// primary, where [`MajorityPrimary`] would block everyone.
+///
+/// Uniqueness still holds by induction: two candidate successors of the
+/// same primary are each installed by a majority of its members, so their
+/// installer sets intersect and the shared installer's history orders
+/// them; the earlier one in identifier order wins and the later candidate
+/// is then certified against *it*. Continuity holds because a successor
+/// shares (a majority of) the previous primary's members.
+///
+/// # Examples
+///
+/// ```
+/// use evs_vs::DynamicPrimary;
+///
+/// let policy = DynamicPrimary::new(5);
+/// assert_eq!(policy.initial_universe(), 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynamicPrimary {
+    initial_universe: usize,
+}
+
+impl DynamicPrimary {
+    /// Creates the policy; the static majority rule applies only until the
+    /// first primary forms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "universe must be non-empty");
+        DynamicPrimary {
+            initial_universe: n,
+        }
+    }
+
+    /// The universe size used for the first primary.
+    pub fn initial_universe(&self) -> usize {
+        self.initial_universe
+    }
+}
+
+impl PrimaryPolicy for DynamicPrimary {
+    fn is_primary(&self, cfg: &Configuration) -> bool {
+        // Candidate filter only; real certification is history-aware. Any
+        // regular configuration can in principle continue the primary.
+        cfg.is_regular()
+    }
+
+    fn certified_after(
+        &self,
+        prev: Option<&Configuration>,
+        cfg: &Configuration,
+        installers: &BTreeSet<ProcessId>,
+    ) -> bool {
+        if !cfg.is_regular() {
+            return false;
+        }
+        match prev {
+            None => {
+                // Bootstrap: majority of the static universe must install.
+                2 * installers.len() > self.initial_universe
+            }
+            Some(prev) => {
+                let quorum = prev
+                    .members
+                    .iter()
+                    .filter(|m| installers.contains(m))
+                    .count();
+                2 * quorum > prev.members.len()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn cfg(epoch: u64, members: &[u32]) -> Configuration {
+        Configuration::new(
+            ConfigId::regular(epoch, p(members[0])),
+            members.iter().map(|&i| p(i)).collect(),
+        )
+    }
+
+    #[test]
+    fn majority_threshold() {
+        let pol = MajorityPrimary::new(4);
+        assert!(pol.is_primary(&cfg(1, &[0, 1, 2])));
+        assert!(!pol.is_primary(&cfg(1, &[0, 1]))); // exactly half: not primary
+        assert!(pol.is_primary(&cfg(1, &[0, 1, 2, 3])));
+        assert!(!pol.is_primary(&cfg(1, &[0])));
+    }
+
+    #[test]
+    fn transitional_configs_are_never_primary() {
+        let pol = MajorityPrimary::new(3);
+        let t = Configuration::new(
+            ConfigId::transitional(1, p(0)),
+            vec![p(0), p(1), p(2)],
+        );
+        assert!(!pol.is_primary(&t));
+    }
+
+    #[test]
+    fn incarnations_increment_on_rejoin() {
+        use evs_core::EvsEvent;
+        use evs_sim::SimTime;
+        let t0 = SimTime::ZERO;
+        let c1 = cfg(1, &[0, 1, 2]); // P2 present
+        let c2 = cfg(2, &[0, 1]); // P2 absent
+        let c3 = cfg(3, &[0, 1, 2]); // P2 back: new incarnation
+        // Both P0 and P1 install every configuration so each is certified
+        // (majority of the 3-process universe).
+        let log = vec![
+            (t0, EvsEvent::DeliverConf(c1.clone())),
+            (t0, EvsEvent::DeliverConf(c2.clone())),
+            (t0, EvsEvent::DeliverConf(c3.clone())),
+        ];
+        let trace = Trace::new(vec![log.clone(), log, vec![]]);
+        let h = PrimaryHistory::from_trace(&trace, &MajorityPrimary::new(3));
+        assert_eq!(h.history.len(), 3);
+        assert_eq!(h.incarnations[0][&p(2)], 0);
+        assert_eq!(h.incarnations[2][&p(2)], 1, "P2 rejoined: fresh identity");
+        assert_eq!(h.incarnations[2][&p(0)], 0, "P0 never left");
+        assert_eq!(h.position(c2.id), Some(1));
+        assert_eq!(h.previous(1).unwrap().id, c1.id);
+        assert!(h.previous(0).is_none());
+    }
+}
+
+#[cfg(test)]
+mod dynamic_tests {
+    use super::*;
+    use evs_core::EvsEvent;
+    use evs_sim::SimTime;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn cfg(epoch: u64, members: &[u32]) -> Configuration {
+        Configuration::new(
+            ConfigId::regular(epoch, p(members[0])),
+            members.iter().map(|&i| p(i)).collect(),
+        )
+    }
+
+    /// Builds a trace in which `installers[i]` (indices into the universe)
+    /// install configuration i of `configs`, in order.
+    fn trace_of(n: usize, configs: &[Configuration], installers: &[&[u32]]) -> Trace {
+        let t0 = SimTime::ZERO;
+        let mut logs: Vec<Vec<(SimTime, EvsEvent)>> = vec![Vec::new(); n];
+        for (cfg, procs) in configs.iter().zip(installers) {
+            for &q in *procs {
+                logs[q as usize].push((t0, EvsEvent::DeliverConf(cfg.clone())));
+            }
+        }
+        Trace::new(logs)
+    }
+
+    #[test]
+    fn dynamic_continues_where_static_blocks() {
+        // Universe 5: primary {0..4}, shrink to {0,1,2}, then to {0,1}.
+        let c1 = cfg(1, &[0, 1, 2, 3, 4]);
+        let c2 = cfg(2, &[0, 1, 2]);
+        let c3 = cfg(3, &[0, 1]);
+        let trace = trace_of(
+            5,
+            &[c1.clone(), c2.clone(), c3.clone()],
+            &[&[0, 1, 2, 3, 4], &[0, 1, 2], &[0, 1]],
+        );
+        let static_h = PrimaryHistory::from_trace(&trace, &MajorityPrimary::new(5));
+        let dynamic_h = PrimaryHistory::from_trace(&trace, &DynamicPrimary::new(5));
+        // Static: {0,1} is 2 of 5 — blocked.
+        assert_eq!(static_h.history.len(), 2);
+        assert_eq!(static_h.history.last().unwrap().id, c2.id);
+        // Dynamic: {0,1} is 2 of 3 of the previous primary — continues.
+        assert_eq!(dynamic_h.history.len(), 3);
+        assert_eq!(dynamic_h.history.last().unwrap().id, c3.id);
+        // And the dynamic history is still lawful.
+        assert!(dynamic_h.check(&trace).is_empty());
+    }
+
+    #[test]
+    fn dynamic_rejects_non_quorum_successor() {
+        // Primary {0,1,2}; the loser side {2} (1 of 3) must not continue,
+        // while {0,1} (2 of 3) may.
+        let c1 = cfg(1, &[0, 1, 2]);
+        let loser = cfg(2, &[2]);
+        let winner = cfg(3, &[0, 1]);
+        let trace = trace_of(
+            3,
+            &[c1.clone(), loser.clone(), winner.clone()],
+            &[&[0, 1, 2], &[2], &[0, 1]],
+        );
+        let h = PrimaryHistory::from_trace(&trace, &DynamicPrimary::new(3));
+        let ids: Vec<ConfigId> = h.history.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![c1.id, winner.id]);
+    }
+
+    #[test]
+    fn dynamic_orders_competing_successors_by_id() {
+        // Two candidate successors both quorate against {0,1,2,3,4}:
+        // {0,1,2} (epoch 2) and {2,3,4} (epoch 3). They share installer 2,
+        // so they cannot actually both be installed by majorities of the
+        // previous primary in a real run; in this synthetic trace the
+        // earlier id wins and the later is certified against it.
+        let c1 = cfg(1, &[0, 1, 2, 3, 4]);
+        let a = cfg(2, &[0, 1, 2]);
+        let b = cfg(3, &[2, 3, 4]);
+        let trace = trace_of(
+            5,
+            &[c1.clone(), a.clone(), b.clone()],
+            &[&[0, 1, 2, 3, 4], &[0, 1, 2], &[2, 3, 4]],
+        );
+        let h = PrimaryHistory::from_trace(&trace, &DynamicPrimary::new(5));
+        let ids: Vec<ConfigId> = h.history.iter().map(|c| c.id).collect();
+        // b is installed by {2,3,4}: quorum against a = |{2}| of 3 — no.
+        assert_eq!(ids, vec![c1.id, a.id]);
+    }
+
+    #[test]
+    fn dynamic_bootstrap_needs_static_majority() {
+        let c1 = cfg(1, &[0, 1]); // 2 of 5 installers
+        let trace = trace_of(5, std::slice::from_ref(&c1), &[&[0, 1]]);
+        let h = PrimaryHistory::from_trace(&trace, &DynamicPrimary::new(5));
+        assert!(h.history.is_empty(), "bootstrap requires a real majority");
+    }
+}

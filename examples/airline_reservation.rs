@@ -1,0 +1,236 @@
+//! The paper's first motivating application (§1): "An airline reservation
+//! system must continue to sell tickets even if the system becomes
+//! partitioned. Airlines have devised heuristics for use in non-primary
+//! components, based only on local data, that aim to maximize the number
+//! of tickets that can be sold while minimizing the risk of overbooking."
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example airline_reservation
+//! ```
+//!
+//! Five ticket offices replicate a seat inventory over extended virtual
+//! synchrony. While connected, sales are safe-delivered and applied in one
+//! total order. When the network partitions, *every* component keeps
+//! selling — but a component switches to a conservative quota: it may only
+//! sell its pre-agreed share of the seats that remained when it lost the
+//! rest of the system. On remerge, offices anti-entropy their sale logs
+//! (sales are config-scoped messages, so they are re-announced in the new
+//! configuration) and the union of sales is applied everywhere. The quota
+//! discipline guarantees no overbooking despite fully partitioned
+//! operation.
+
+use evs::core::{checker, Configuration, Delivery, EvsCluster, Service};
+use evs::sim::ProcessId;
+use std::collections::BTreeMap;
+
+const OFFICES: usize = 5;
+const TOTAL_SEATS: u32 = 100;
+
+/// Replicated operations, multicast with safe delivery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Op {
+    /// An office sells seats: (office, sale id, count).
+    Sell(u32, u64, u32),
+    /// Anti-entropy after a merge: an office re-announces sales the new
+    /// configuration may not have seen.
+    Announce(Vec<(u32, u64, u32)>),
+}
+
+/// One office's replica of the booking state.
+#[derive(Clone, Debug, Default)]
+struct Replica {
+    /// Applied sales: (office, sale id) -> seats. The key makes
+    /// anti-entropy idempotent.
+    sales: BTreeMap<(u32, u64), u32>,
+    /// Members of the configuration this replica currently operates in.
+    component: Vec<ProcessId>,
+    /// Cursor into the cluster's delivery stream.
+    cursor: usize,
+}
+
+impl Replica {
+    fn seats_sold(&self) -> u32 {
+        self.sales.values().sum()
+    }
+
+    fn seats_left(&self) -> u32 {
+        TOTAL_SEATS - self.seats_sold()
+    }
+
+    /// The conservative partition-mode quota: this component's share of
+    /// the whole inventory, divided evenly. An office may sell only while
+    /// the seats *it knows about* minus the quota-reserved share of the
+    /// others remains positive.
+    fn component_quota(&self) -> u32 {
+        let share = self.component.len() as u32;
+        // Each component may consume at most its proportional share of the
+        // remaining seats (rounded down) — disjoint components can never
+        // oversell in aggregate.
+        self.seats_left() * share / OFFICES as u32
+    }
+
+    fn in_full_configuration(&self) -> bool {
+        self.component.len() == OFFICES
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Sell(office, sale, count) => {
+                self.sales.insert((*office, *sale), *count);
+            }
+            Op::Announce(entries) => {
+                for (office, sale, count) in entries {
+                    self.sales.insert((*office, *sale), *count);
+                }
+            }
+        }
+    }
+}
+
+/// Pumps new deliveries into each replica; returns anti-entropy
+/// submissions requested by configuration changes.
+fn pump(
+    cluster: &EvsCluster<Op>,
+    replicas: &mut [Replica],
+) -> Vec<(ProcessId, Op)> {
+    let mut submissions = Vec::new();
+    for (i, replica) in replicas.iter_mut().enumerate() {
+        let me = ProcessId::new(i as u32);
+        let deliveries = cluster.deliveries(me);
+        while replica.cursor < deliveries.len() {
+            match &deliveries[replica.cursor] {
+                Delivery::Config(c) => on_config(me, replica, c, &mut submissions),
+                Delivery::Message { payload, .. } => replica.apply(payload),
+            }
+            replica.cursor += 1;
+        }
+    }
+    submissions
+}
+
+fn on_config(
+    me: ProcessId,
+    replica: &mut Replica,
+    c: &Configuration,
+    submissions: &mut Vec<(ProcessId, Op)>,
+) {
+    if !c.is_regular() {
+        return;
+    }
+    let grew = c.members.len() > replica.component.len();
+    replica.component = c.members.clone();
+    if grew && c.members.len() > 1 {
+        // A merge: re-announce everything we know (sales are config-scoped
+        // messages, so newcomers have not seen our partition-era sales).
+        let entries: Vec<(u32, u64, u32)> = replica
+            .sales
+            .iter()
+            .map(|(&(office, sale), &count)| (office, sale, count))
+            .collect();
+        if !entries.is_empty() {
+            submissions.push((me, Op::Announce(entries)));
+        }
+    }
+}
+
+fn run_phase(cluster: &mut EvsCluster<Op>, replicas: &mut [Replica], label: &str) {
+    // Alternate running and pumping until quiescent.
+    for _ in 0..20 {
+        assert!(cluster.run_until_settled(600_000), "{label}: must settle");
+        let submissions = pump(cluster, replicas);
+        if submissions.is_empty() {
+            break;
+        }
+        for (office, op) in submissions {
+            cluster.submit(office, Service::Safe, op);
+        }
+    }
+}
+
+fn main() {
+    println!("== airline reservation over extended virtual synchrony ==\n");
+    let mut cluster = EvsCluster::<Op>::builder(OFFICES).build();
+    let mut replicas = vec![Replica::default(); OFFICES];
+    let mut next_sale = 0u64;
+    let mut sell = |cluster: &mut EvsCluster<Op>, replicas: &[Replica], office: u32, want: u32| {
+        let replica = &replicas[office as usize];
+        let allowed = if replica.in_full_configuration() {
+            want.min(replica.seats_left())
+        } else {
+            // Partition mode: the office's heuristic sells only within the
+            // component quota.
+            want.min(replica.component_quota())
+        };
+        if allowed == 0 {
+            println!("   office {office}: declined sale of {want} (quota exhausted)");
+            return;
+        }
+        next_sale += 1;
+        println!(
+            "   office {office}: selling {allowed} seat(s) (sale #{next_sale}, {} mode)",
+            if replica.in_full_configuration() { "connected" } else { "partitioned" },
+        );
+        cluster.submit(
+            ProcessId::new(office),
+            Service::Safe,
+            Op::Sell(office, next_sale, allowed),
+        );
+    };
+
+    run_phase(&mut cluster, &mut replicas, "formation");
+    println!("-- connected: selling 40 seats from various offices");
+    for i in 0..8 {
+        sell(&mut cluster, &replicas, i % OFFICES as u32, 5);
+        run_phase(&mut cluster, &mut replicas, "connected sales");
+    }
+    println!(
+        "   inventory agreed everywhere: {} sold, {} left\n",
+        replicas[0].seats_sold(),
+        replicas[0].seats_left()
+    );
+
+    println!("-- partition: {{0,1,2}} | {{3,4}} — both sides keep selling");
+    let p = ProcessId::new;
+    cluster.partition(&[&[p(0), p(1), p(2)], &[p(3), p(4)]]);
+    run_phase(&mut cluster, &mut replicas, "partition");
+    println!(
+        "   majority quota: {} seats; minority quota: {} seats",
+        replicas[0].component_quota(),
+        replicas[3].component_quota()
+    );
+    for round in 0..4 {
+        sell(&mut cluster, &replicas, round % 3, 7);
+        sell(&mut cluster, &replicas, 3 + round % 2, 7);
+        run_phase(&mut cluster, &mut replicas, "partitioned sales");
+    }
+    println!(
+        "   majority view: {} sold | minority view: {} sold\n",
+        replicas[0].seats_sold(),
+        replicas[3].seats_sold()
+    );
+
+    println!("-- healing the partition: anti-entropy merges the sale logs");
+    cluster.merge_all();
+    run_phase(&mut cluster, &mut replicas, "merge");
+    let sold: Vec<u32> = replicas.iter().map(Replica::seats_sold).collect();
+    println!("   per-office totals after merge: {sold:?}");
+    assert!(
+        sold.iter().all(|&s| s == sold[0]),
+        "replicas must reconverge"
+    );
+    assert!(
+        sold[0] <= TOTAL_SEATS,
+        "never overbooked: {} <= {TOTAL_SEATS}",
+        sold[0]
+    );
+    println!(
+        "   final inventory: {} sold / {TOTAL_SEATS} — no overbooking ✓\n",
+        sold[0]
+    );
+
+    println!("-- verifying the transport run against the EVS specifications…");
+    checker::assert_evs(&cluster.trace());
+    println!("   all specifications hold ✓");
+}

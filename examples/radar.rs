@@ -1,0 +1,179 @@
+//! The paper's third motivating application (§1): "A radar system combines
+//! a number of sensors, as well as a number of displays, in different
+//! locations. The most accurate available information, obtained from the
+//! sensor with the best view should be displayed to the operator. In the
+//! case of a network partition, however, it is better to display lower
+//! quality information from the connected sensors than to do nothing."
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example radar
+//! ```
+//!
+//! Three sensors (with different accuracies) and three displays share a
+//! group. Sensors periodically multicast track reports (agreed delivery —
+//! freshness matters more than all-or-nothing here). Each display shows the
+//! report from the most accurate sensor *in its current component*: when a
+//! partition separates a display from the best sensor, it degrades
+//! gracefully to the best connected one instead of going dark.
+
+use evs::core::{checker, Delivery, EvsCluster, Service};
+use evs::sim::ProcessId;
+
+// Processes 0–2 are sensors, 3–5 are displays.
+const SENSORS: [(u32, &str, u32); 3] = [
+    (0, "phased-array", 95),
+    (1, "doppler", 70),
+    (2, "legacy-dish", 40),
+];
+const DISPLAYS: [u32; 3] = [3, 4, 5];
+
+#[derive(Clone, Debug)]
+struct TrackReport {
+    sensor: u32,
+    accuracy: u32,
+    track: String,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Display {
+    /// Best report delivered in the current configuration.
+    best: Option<TrackReport>,
+    component: Vec<ProcessId>,
+    cursor: usize,
+}
+
+fn pump(cluster: &EvsCluster<TrackReport>, displays: &mut [Display]) {
+    for (i, display) in displays.iter_mut().enumerate() {
+        let me = ProcessId::new(DISPLAYS[i]);
+        let deliveries = cluster.deliveries(me);
+        while display.cursor < deliveries.len() {
+            match &deliveries[display.cursor] {
+                Delivery::Config(c) => {
+                    if c.is_regular() {
+                        display.component = c.members.clone();
+                        // New configuration: stale tracks from sensors no
+                        // longer reachable are dropped.
+                        if let Some(best) = &display.best {
+                            if !c.contains(ProcessId::new(best.sensor)) {
+                                display.best = None;
+                            }
+                        }
+                    }
+                }
+                Delivery::Message { payload, .. } => {
+                    let better = display
+                        .best
+                        .as_ref()
+                        .is_none_or(|b| payload.accuracy >= b.accuracy);
+                    if better {
+                        display.best = Some(payload.clone());
+                    }
+                }
+            }
+            display.cursor += 1;
+        }
+    }
+}
+
+fn emit_tracks(cluster: &mut EvsCluster<TrackReport>, tick: u32) {
+    for &(sensor, name, accuracy) in &SENSORS {
+        if !cluster.is_alive(ProcessId::new(sensor)) {
+            continue; // a crashed sensor emits nothing
+        }
+        cluster.submit(
+            ProcessId::new(sensor),
+            Service::Agreed,
+            TrackReport {
+                sensor,
+                accuracy,
+                track: format!("contact@{:03}deg (t{tick}, {name})", (tick * 37 + sensor * 11) % 360),
+            },
+        );
+    }
+}
+
+fn show(displays: &[Display]) {
+    for (i, d) in displays.iter().enumerate() {
+        match &d.best {
+            Some(r) => println!(
+                "   display {}: {} [accuracy {}%, sensor {}]",
+                DISPLAYS[i], r.track, r.accuracy, r.sensor
+            ),
+            None => println!("   display {}: NO TRACK", DISPLAYS[i]),
+        }
+    }
+}
+
+fn main() {
+    println!("== partition-tolerant radar fusion over EVS ==\n");
+    let mut cluster = EvsCluster::<TrackReport>::builder(6).build();
+    let mut displays = vec![Display::default(); DISPLAYS.len()];
+
+    assert!(cluster.run_until_settled(400_000));
+    println!("-- all sensors and displays connected:");
+    emit_tracks(&mut cluster, 1);
+    assert!(cluster.run_until_settled(200_000));
+    pump(&cluster, &mut displays);
+    show(&displays);
+    for d in &displays {
+        assert_eq!(d.best.as_ref().unwrap().accuracy, 95, "best sensor wins");
+    }
+
+    println!("\n-- partition cuts displays 4,5 off from the phased array:");
+    let p = ProcessId::new;
+    // Component A: best sensor + display 3. Component B: weaker sensors +
+    // displays 4, 5.
+    cluster.partition(&[&[p(0), p(3)], &[p(1), p(2), p(4), p(5)]]);
+    assert!(cluster.run_until_settled(500_000));
+    pump(&cluster, &mut displays);
+    emit_tracks(&mut cluster, 2);
+    assert!(cluster.run_until_settled(300_000));
+    pump(&cluster, &mut displays);
+    show(&displays);
+    assert_eq!(
+        displays[0].best.as_ref().unwrap().accuracy,
+        95,
+        "display 3 keeps the phased array"
+    );
+    for d in &displays[1..] {
+        assert_eq!(
+            d.best.as_ref().unwrap().accuracy,
+            70,
+            "cut-off displays degrade to the doppler, not to darkness"
+        );
+    }
+
+    println!("\n-- the doppler also fails in the degraded component:");
+    cluster.crash(p(1));
+    assert!(cluster.run_until_settled(500_000));
+    pump(&cluster, &mut displays);
+    emit_tracks(&mut cluster, 3);
+    assert!(cluster.run_until_settled(300_000));
+    pump(&cluster, &mut displays);
+    show(&displays);
+    for d in &displays[1..] {
+        assert_eq!(
+            d.best.as_ref().unwrap().accuracy,
+            40,
+            "last resort: the legacy dish"
+        );
+    }
+
+    println!("\n-- network heals, doppler recovers:");
+    cluster.recover(p(1));
+    cluster.merge_all();
+    assert!(cluster.run_until_settled(500_000));
+    emit_tracks(&mut cluster, 4);
+    assert!(cluster.run_until_settled(300_000));
+    pump(&cluster, &mut displays);
+    show(&displays);
+    for d in &displays {
+        assert_eq!(d.best.as_ref().unwrap().accuracy, 95, "full quality restored");
+    }
+
+    println!("\n-- verifying the transport run against the EVS specifications…");
+    checker::assert_evs(&cluster.trace());
+    println!("   all specifications hold ✓");
+}

@@ -1,0 +1,56 @@
+//! # evs — Extended Virtual Synchrony
+//!
+//! Facade crate for the reproduction of *Extended Virtual Synchrony*
+//! (Moser, Amir, Melliar-Smith, Agarwal; ICDCS 1994). It re-exports the
+//! workspace crates under one roof:
+//!
+//! * [`sim`] — deterministic discrete-event network substrate (partitions,
+//!   merges, message loss, crash/recovery with stable storage).
+//! * [`order`] — Totem-style token-ring total ordering substrate.
+//! * [`membership`] — low-level membership algorithm (failure detection and
+//!   configuration agreement).
+//! * [`core`] — the paper's contribution: the EVS engine (regular and
+//!   transitional configurations, the recovery algorithm, obligation sets)
+//!   and the machine-checkable specification suite (Specs 1–7).
+//! * [`vs`] — the primary-component algorithm and the filter that reduces
+//!   extended virtual synchrony to Isis-style virtual synchrony (§5).
+//!
+//! See the repository's `README.md` for a guided tour, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use evs::prelude::*;
+//!
+//! // Build a five-process group; every process runs the full EVS stack.
+//! let mut cluster = EvsCluster::<Vec<u8>>::builder(5).build();
+//! cluster.run_until_settled(200_000);
+//!
+//! // P0 multicasts a safe message to the group.
+//! cluster.submit(ProcessId::new(0), Service::Safe, b"hello".to_vec());
+//! cluster.run_for(5_000);
+//!
+//! // Every process delivered it in the same total order, and the run
+//! // satisfies the paper's specifications.
+//! let trace = cluster.trace();
+//! evs::core::checker::check_all(&trace).expect("EVS specifications hold");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use evs_core as core;
+pub use evs_membership as membership;
+pub use evs_order as order;
+pub use evs_sim as sim;
+pub use evs_vs as vs;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use evs_core::{
+        ConfigId, Configuration, ConfigurationKind, Delivery, EvsCluster, MessageId, Service,
+    };
+    pub use evs_sim::{ProcessId, SimTime};
+    pub use evs_vs::{PrimaryTracker, VsFilter};
+}

@@ -1,0 +1,221 @@
+//! Experiments E3/E7: process failure and recovery with stable storage
+//! intact — the scenario that motivated extending virtual synchrony in the
+//! first place (§1 of the paper) — plus safe-delivery behaviour around
+//! crashes (Specs 7.1/7.2) and self-delivery (Spec 3).
+
+use evs::core::{checker, EvsCluster, Service};
+use evs::sim::ProcessId;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn texts(cluster: &EvsCluster<String>, at: ProcessId) -> Vec<String> {
+    cluster
+        .deliveries(at)
+        .iter()
+        .filter_map(|d| d.payload().cloned())
+        .collect()
+}
+
+#[test]
+fn crashed_process_is_excluded_and_group_continues() {
+    let mut cluster = EvsCluster::<String>::builder(4).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.crash(p(3));
+    assert!(cluster.run_until_settled(400_000), "survivors reconfigure");
+    for q in [p(0), p(1), p(2)] {
+        assert_eq!(cluster.config(q).members, vec![p(0), p(1), p(2)]);
+    }
+    cluster.submit(p(0), Service::Safe, "without-p3".into());
+    assert!(cluster.run_until_settled(200_000));
+    for q in [p(0), p(1), p(2)] {
+        assert!(texts(&cluster, q).contains(&"without-p3".to_string()));
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn recovered_process_rejoins_under_same_identifier() {
+    let mut cluster = EvsCluster::<String>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.crash(p(2));
+    assert!(cluster.run_until_settled(400_000));
+    cluster.recover(p(2));
+    assert!(cluster.run_until_settled(400_000), "rejoin must converge");
+    // Same identifier, back in the full configuration.
+    for q in cluster.processes() {
+        assert_eq!(cluster.config(q).members, vec![p(0), p(1), p(2)]);
+    }
+    cluster.submit(p(2), Service::Safe, "i-am-back".into());
+    assert!(cluster.run_until_settled(200_000));
+    for q in cluster.processes() {
+        assert!(texts(&cluster, q).contains(&"i-am-back".to_string()));
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn message_counter_survives_crash() {
+    // Spec 1.4 across recovery: messages sent before and after a crash must
+    // have distinct identities. The checker's duplicate-send detection
+    // would flag any reuse.
+    let mut cluster = EvsCluster::<String>::builder(2).build();
+    assert!(cluster.run_until_settled(300_000));
+    for i in 0..5 {
+        cluster.submit(p(1), Service::Safe, format!("pre-{i}"));
+    }
+    assert!(cluster.run_until_settled(200_000));
+    cluster.crash(p(1));
+    assert!(cluster.run_until_settled(400_000));
+    cluster.recover(p(1));
+    assert!(cluster.run_until_settled(400_000));
+    for i in 0..5 {
+        cluster.submit(p(1), Service::Safe, format!("post-{i}"));
+    }
+    assert!(cluster.run_until_settled(200_000));
+    // 10 distinct messages delivered at p(0): 5 pre, 5 post.
+    let seen = texts(&cluster, p(0));
+    for i in 0..5 {
+        assert!(seen.contains(&format!("pre-{i}")));
+        assert!(seen.contains(&format!("post-{i}")));
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn fail_event_is_recorded_in_current_configuration() {
+    let mut cluster = EvsCluster::<String>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    let cfg = cluster.config(p(2)).id;
+    cluster.crash(p(2));
+    let trace = cluster.trace();
+    let failed = trace.of(p(2)).iter().any(|(_, e)| {
+        matches!(e, evs::core::EvsEvent::Fail { config } if *config == cfg)
+    });
+    assert!(failed, "fail_p(c) must be recorded in the current config");
+}
+
+#[test]
+fn crash_during_recovery_restarts_membership() {
+    // A second failure while the first reconfiguration is still in
+    // progress: the recovery algorithm restarts at Step 2 (new proposal)
+    // and still satisfies every specification.
+    let mut cluster = EvsCluster::<String>::builder(5).seed(11).build();
+    assert!(cluster.run_until_settled(300_000));
+    for i in 0..6 {
+        cluster.submit(p(i % 5), Service::Safe, format!("load-{i}"));
+    }
+    cluster.crash(p(4));
+    // Crash another process shortly after — typically mid-recovery.
+    cluster.run_for(300);
+    cluster.crash(p(3));
+    assert!(cluster.run_until_settled(600_000), "survivors settle");
+    for q in [p(0), p(1), p(2)] {
+        assert_eq!(cluster.config(q).members, vec![p(0), p(1), p(2)]);
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn crash_storms_preserve_the_model() {
+    // Repeated crash/recover cycles with concurrent traffic, multiple
+    // seeds: the checker must stay green throughout.
+    for seed in 0..6u64 {
+        let mut cluster = EvsCluster::<String>::builder(4).seed(seed).build();
+        assert!(cluster.run_until_settled(300_000), "seed {seed}");
+        let mut n = 0;
+        for round in 0..3 {
+            let victim = p((seed as u32 + round) % 4);
+            for q in cluster.processes() {
+                if cluster.is_alive(q) {
+                    n += 1;
+                    cluster.submit(q, Service::Safe, format!("s{seed}-m{n}"));
+                }
+            }
+            cluster.crash(victim);
+            cluster.run_for(2_000);
+            cluster.recover(victim);
+            assert!(
+                cluster.run_until_settled(600_000),
+                "seed {seed} round {round}"
+            );
+        }
+        checker::assert_evs(&cluster.trace());
+    }
+}
+
+#[test]
+fn self_delivery_for_isolated_sender() {
+    // Spec 3 / E3: a process partitioned into a singleton still delivers
+    // its own messages — in its transitional or next configuration.
+    let mut cluster = EvsCluster::<String>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.submit(p(2), Service::Safe, "mine".into());
+    // Cut p(2) off immediately, before the message can flush.
+    cluster.partition(&[&[p(0), p(1)], &[p(2)]]);
+    assert!(cluster.run_until_settled(400_000));
+    assert!(
+        texts(&cluster, p(2)).contains(&"mine".to_string()),
+        "isolated sender delivers its own message: {:?}",
+        texts(&cluster, p(2))
+    );
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn safe_message_never_half_delivered_across_survivors() {
+    // Spec 7.1 stress: submit safe messages and crash the sender at many
+    // offsets. Survivors must agree pairwise: a safe message delivered by
+    // one in a configuration is delivered by the other or the other
+    // failed. The checker verifies the full property; here we also assert
+    // the survivors' delivered sets match exactly (they never fail).
+    for offset in [0u64, 50, 120, 200, 400, 800] {
+        let mut cluster = EvsCluster::<String>::builder(3).seed(offset).build();
+        assert!(cluster.run_until_settled(300_000), "offset {offset}");
+        for i in 0..4 {
+            cluster.submit(p(0), Service::Safe, format!("safe-{i}"));
+        }
+        cluster.run_for(offset);
+        cluster.crash(p(0));
+        assert!(cluster.run_until_settled(500_000), "offset {offset}");
+        let s1 = texts(&cluster, p(1));
+        let s2 = texts(&cluster, p(2));
+        assert_eq!(s1, s2, "offset {offset}: survivors diverged");
+        checker::assert_evs(&cluster.trace());
+    }
+}
+
+#[test]
+fn application_state_machine_stays_consistent_across_recovery() {
+    // The §1 motivation: stable storage is affected by delivery order. A
+    // replicated counter applies safe messages; after crash+recovery and
+    // rejoin, new deliveries at every replica continue from a consistent
+    // order (the transport never re-delivers or reorders within a config).
+    let mut cluster = EvsCluster::<String>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    for i in 0..6 {
+        cluster.submit(p(i % 3), Service::Safe, format!("op-{i}"));
+    }
+    assert!(cluster.run_until_settled(200_000));
+    cluster.crash(p(1));
+    assert!(cluster.run_until_settled(400_000));
+    cluster.recover(p(1));
+    assert!(cluster.run_until_settled(400_000));
+    for i in 6..10 {
+        cluster.submit(p(i % 3), Service::Safe, format!("op-{i}"));
+    }
+    assert!(cluster.run_until_settled(200_000));
+    // p0 and p2 never failed: they saw all 10 operations in one order.
+    let s0 = texts(&cluster, p(0));
+    assert_eq!(s0.len(), 10);
+    assert_eq!(s0, texts(&cluster, p(2)));
+    // p1 saw a prefix-consistent subset: ops delivered before its crash
+    // plus the post-rejoin ops, in orders consistent with s0 (the checker
+    // verifies the formal properties; sanity-check the tail here).
+    let s1 = texts(&cluster, p(1));
+    for w in ["op-6", "op-7", "op-8", "op-9"] {
+        assert!(s1.contains(&w.to_string()), "p1 missing {w}: {s1:?}");
+    }
+    checker::assert_evs(&cluster.trace());
+}

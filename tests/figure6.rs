@@ -1,0 +1,164 @@
+//! Experiment E9: the worked example of §3.1 / Figure 6 of the paper.
+//!
+//! "A regular configuration containing processes p, q and r partitions and
+//! p becomes isolated while q and r merge into a regular configuration with
+//! processes s and t. Processes q and r deliver two configuration change
+//! messages, one to shift from the old regular configuration {p, q, r} to
+//! the transitional configuration {q, r} and the other to shift from the
+//! transitional configuration {q, r} to the new regular configuration
+//! {q, r, s, t}."
+
+use evs::core::{checker, ConfigurationKind, Delivery, EvsCluster, Service};
+use evs::sim::ProcessId;
+
+// The paper's cast: p, q, r in one configuration; s, t in another.
+const P: ProcessId = ProcessId::new(0);
+const Q: ProcessId = ProcessId::new(1);
+const R: ProcessId = ProcessId::new(2);
+const S: ProcessId = ProcessId::new(3);
+const T: ProcessId = ProcessId::new(4);
+
+/// Builds the starting point: {p,q,r} and {s,t} as separate established
+/// regular configurations.
+fn setup(seed: u64) -> EvsCluster<&'static str> {
+    let mut cluster = EvsCluster::<&str>::builder(5).seed(seed).build();
+    cluster.partition(&[&[P, Q, R], &[S, T]]);
+    assert!(cluster.run_until_settled(400_000), "initial configs must form");
+    assert_eq!(cluster.config(P).members, vec![P, Q, R]);
+    assert_eq!(cluster.config(S).members, vec![S, T]);
+    cluster
+}
+
+/// The sequence of configuration memberships a process installed, with
+/// their kinds, starting from the first configuration containing more than
+/// just itself.
+fn config_history(
+    cluster: &EvsCluster<&'static str>,
+    at: ProcessId,
+) -> Vec<(ConfigurationKind, Vec<ProcessId>)> {
+    cluster
+        .deliveries(at)
+        .iter()
+        .filter_map(|d| match d {
+            Delivery::Config(c) => Some((c.kind(), c.members.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn q_and_r_deliver_the_two_configuration_changes() {
+    let mut cluster = setup(0xF16);
+    // The partition/merge of Figure 6: p isolated; q, r join s, t.
+    cluster.partition(&[&[P], &[Q, R, S, T]]);
+    assert!(cluster.run_until_settled(400_000), "new configs must form");
+
+    for proc in [Q, R] {
+        let history = config_history(&cluster, proc);
+        // Find the figure's step: ... {p,q,r} regular, then transitional
+        // {q,r}, then regular {q,r,s,t}.
+        let pos = history
+            .windows(3)
+            .position(|w| {
+                w[0] == (ConfigurationKind::Regular, vec![P, Q, R])
+                    && w[1] == (ConfigurationKind::Transitional, vec![Q, R])
+                    && w[2] == (ConfigurationKind::Regular, vec![Q, R, S, T])
+            });
+        assert!(
+            pos.is_some(),
+            "{proc} must deliver {{p,q,r}} -> trans {{q,r}} -> {{q,r,s,t}}; got {history:?}"
+        );
+    }
+    // p ends isolated: its last configuration is a regular singleton, and
+    // it passed through a transitional configuration of {p,q,r} containing
+    // only itself.
+    let p_history = config_history(&cluster, P);
+    let last = p_history.last().unwrap();
+    assert_eq!(*last, (ConfigurationKind::Regular, vec![P]));
+    assert!(
+        p_history
+            .windows(2)
+            .any(|w| w[0] == (ConfigurationKind::Transitional, vec![P])
+                && w[1] == (ConfigurationKind::Regular, vec![P])),
+        "p shifts through its own transitional configuration: {p_history:?}"
+    );
+
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn s_and_t_transition_from_their_own_old_configuration() {
+    let mut cluster = setup(0x516);
+    cluster.partition(&[&[P], &[Q, R, S, T]]);
+    assert!(cluster.run_until_settled(400_000));
+    // s and t come from regular {s,t}: their transitional configuration
+    // into {q,r,s,t} is {s,t} — disjoint from q and r's {q,r}.
+    for proc in [S, T] {
+        let history = config_history(&cluster, proc);
+        assert!(
+            history.windows(3).any(|w| {
+                w[0] == (ConfigurationKind::Regular, vec![S, T])
+                    && w[1] == (ConfigurationKind::Transitional, vec![S, T])
+                    && w[2] == (ConfigurationKind::Regular, vec![Q, R, S, T])
+            }),
+            "{proc}: {history:?}"
+        );
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn messages_before_the_partition_deliver_consistently() {
+    let mut cluster = setup(0xB0B);
+    // Traffic in {p,q,r} before the partition.
+    cluster.submit(P, Service::Safe, "from-p");
+    cluster.submit(Q, Service::Safe, "from-q");
+    cluster.submit(R, Service::Agreed, "from-r");
+    assert!(cluster.run_until_settled(200_000), "traffic flushes");
+    cluster.partition(&[&[P], &[Q, R, S, T]]);
+    assert!(cluster.run_until_settled(400_000));
+
+    let texts = |at: ProcessId| -> Vec<&str> {
+        cluster
+            .deliveries(at)
+            .iter()
+            .filter_map(|d| d.payload().copied())
+            .collect()
+    };
+    // All of p, q, r delivered all three messages (they were flushed before
+    // the partition), in the same order.
+    let base = texts(P);
+    assert_eq!(base.len(), 3);
+    assert_eq!(texts(Q), base);
+    assert_eq!(texts(R), base);
+    // s and t never see {p,q,r} traffic.
+    assert!(texts(S).is_empty());
+    assert!(texts(T).is_empty());
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn message_in_flight_at_partition_is_handled_per_figure6() {
+    // Submit at r and partition immediately: depending on timing the
+    // message is either flushed in {p,q,r}, or delivered in the
+    // transitional configuration(s), or (if never stamped) re-enters in
+    // the next regular configuration. Whatever the timing, the EVS
+    // specifications must hold and q/r must agree. Exercise many timings.
+    for seed in 0..12u64 {
+        let mut cluster = setup(0x600D + seed);
+        cluster.submit(R, Service::Safe, "n");
+        // Partition at once — before the acknowledgment round completes.
+        cluster.partition(&[&[P], &[Q, R, S, T]]);
+        assert!(cluster.run_until_settled(400_000), "seed {seed}");
+
+        // Self-delivery: r must deliver its own message (it never fails).
+        let delivered_at = |at: ProcessId| {
+            cluster
+                .deliveries(at)
+                .iter()
+                .any(|d| d.payload() == Some(&"n"))
+        };
+        assert!(delivered_at(R), "seed {seed}: r delivers its own message");
+        checker::assert_evs(&cluster.trace());
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end lifecycle tests: formation, steady state, and the checker on
+//! healthy runs (experiments E1/E2 of DESIGN.md — the Basic Delivery and
+//! Configuration Change specifications on real executions).
+
+use evs::core::{checker, Delivery, EvsCluster, Service};
+use evs::sim::ProcessId;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn group_forms_from_singletons() {
+    let mut cluster = EvsCluster::<&str>::builder(4).build();
+    assert!(cluster.run_until_settled(300_000), "group must converge");
+    for q in cluster.processes() {
+        let cfg = cluster.config(q);
+        assert!(cfg.is_regular());
+        assert_eq!(cfg.members, vec![p(0), p(1), p(2), p(3)]);
+    }
+    // All processes installed the *same* configuration.
+    let id0 = cluster.config(p(0)).id;
+    for q in cluster.processes() {
+        assert_eq!(cluster.config(q).id, id0);
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn safe_messages_deliver_everywhere_in_one_order() {
+    let mut cluster = EvsCluster::<u32>::builder(5).build();
+    assert!(cluster.run_until_settled(300_000));
+    for i in 0..20u32 {
+        cluster.submit(p(i % 5), Service::Safe, i);
+    }
+    assert!(cluster.run_until_settled(100_000), "messages must flush");
+
+    let payloads = |q: ProcessId| -> Vec<u32> {
+        cluster
+            .deliveries(q)
+            .iter()
+            .filter_map(|d| d.payload().copied())
+            .collect()
+    };
+    let base = payloads(p(0));
+    assert_eq!(base.len(), 20, "all messages delivered: {base:?}");
+    for q in cluster.processes() {
+        assert_eq!(payloads(q), base, "identical total order at {q}");
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn mixed_services_respect_total_order() {
+    let mut cluster = EvsCluster::<u32>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    for i in 0..12u32 {
+        let service = match i % 3 {
+            0 => Service::Causal,
+            1 => Service::Agreed,
+            _ => Service::Safe,
+        };
+        cluster.submit(p(i % 3), service, i);
+    }
+    assert!(cluster.run_until_settled(100_000));
+    let seqs = |q: ProcessId| -> Vec<(u64, u32)> {
+        cluster
+            .deliveries(q)
+            .iter()
+            .filter_map(|d| match d {
+                Delivery::Message { seq, payload, .. } => Some((*seq, *payload)),
+                _ => None,
+            })
+            .collect()
+    };
+    let base = seqs(p(0));
+    assert_eq!(base.len(), 12);
+    // Ordinals are dense and identical everywhere.
+    for (i, (seq, _)) in base.iter().enumerate() {
+        assert_eq!(*seq, i as u64 + 1, "dense ordinals");
+    }
+    for q in cluster.processes() {
+        assert_eq!(seqs(q), base);
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn submission_before_formation_stays_in_singleton_config() {
+    // A message submitted at time zero is sent in P0's initial singleton
+    // configuration: it is delivered there (to P0 alone) and never leaks
+    // into the later group configuration — messages are config-scoped.
+    let mut cluster = EvsCluster::<&str>::builder(3).build();
+    cluster.submit(p(0), Service::Safe, "early");
+    assert!(cluster.run_until_settled(300_000));
+    let delivered_at = |q: ProcessId| {
+        cluster
+            .deliveries(q)
+            .iter()
+            .any(|d| d.payload() == Some(&"early"))
+    };
+    assert!(delivered_at(p(0)), "self-delivery in the singleton config");
+    assert!(!delivered_at(p(1)) && !delivered_at(p(2)));
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn submissions_during_reconfiguration_are_buffered_not_lost() {
+    // Once the group exists, a submission made while the membership is
+    // reconfiguring (here: a partition healing) is buffered (recovery
+    // Step 2) and enters the next regular configuration's total order.
+    let mut cluster = EvsCluster::<&str>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.partition(&[&[p(0)], &[p(1), p(2)]]);
+    assert!(cluster.run_until_settled(300_000));
+    cluster.merge_all();
+    // Submit immediately after the merge: the gather/recovery is about to
+    // run (or running); the message must still reach everyone eventually.
+    cluster.run_for(400);
+    cluster.submit(p(0), Service::Safe, "mid-reconfig");
+    assert!(cluster.run_until_settled(300_000));
+    for q in cluster.processes() {
+        assert!(
+            cluster
+                .deliveries(q)
+                .iter()
+                .any(|d| d.payload() == Some(&"mid-reconfig")),
+            "{q} must deliver the buffered message"
+        );
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn deliveries_follow_config_changes_in_app_stream() {
+    // The application-visible stream respects the paper's sandwich: a
+    // message delivered in configuration c appears between the config
+    // change initiating c and the next config change.
+    let mut cluster = EvsCluster::<u32>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.submit(p(1), Service::Agreed, 7);
+    assert!(cluster.run_until_settled(100_000));
+    for q in cluster.processes() {
+        let mut current = None;
+        for d in cluster.deliveries(q) {
+            match d {
+                Delivery::Config(c) => current = Some(c.id),
+                Delivery::Message { config, .. } => {
+                    assert_eq!(Some(*config), current, "message outside its config at {q}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_process_cluster_works() {
+    let mut cluster = EvsCluster::<&str>::builder(1).build();
+    assert!(cluster.run_until_settled(50_000));
+    cluster.submit(p(0), Service::Safe, "solo");
+    cluster.run_for(1_000);
+    assert!(cluster
+        .deliveries(p(0))
+        .iter()
+        .any(|d| d.payload() == Some(&"solo")));
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn lossy_network_still_converges_and_orders() {
+    let mut cluster = EvsCluster::<u32>::builder(4)
+        .drop_prob(0.05)
+        .seed(42)
+        .build();
+    assert!(
+        cluster.run_until_settled(600_000),
+        "group must converge under 5% loss"
+    );
+    for i in 0..10u32 {
+        cluster.submit(p(i % 4), Service::Safe, i);
+    }
+    assert!(cluster.run_until_settled(300_000), "messages flush under loss");
+    let payloads = |q: ProcessId| -> Vec<u32> {
+        cluster
+            .deliveries(q)
+            .iter()
+            .filter_map(|d| d.payload().copied())
+            .collect()
+    };
+    let base = payloads(p(0));
+    assert_eq!(base.len(), 10);
+    for q in cluster.processes() {
+        assert_eq!(payloads(q), base);
+    }
+    checker::assert_evs(&cluster.trace());
+}

@@ -1,0 +1,137 @@
+//! Scale and adversity: larger groups, heavy message loss, and rapid fault
+//! sequences. Every run still ends with the full specification check.
+
+use evs::core::{checker, EvsCluster, Service};
+use evs::sim::ProcessId;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn twelve_process_group_with_rolling_partitions() {
+    let mut cluster = EvsCluster::<u32>::builder(12).seed(0x57E).build();
+    assert!(cluster.run_until_settled(800_000), "formation at n=12");
+    // Rolling partitions: a window of 4 processes splits off and rejoins.
+    for round in 0..3u32 {
+        let start = round * 4;
+        let island: Vec<ProcessId> = (start..start + 4).map(p).collect();
+        let rest: Vec<ProcessId> = (0..12)
+            .map(p)
+            .filter(|q| !island.contains(q))
+            .collect();
+        for i in 0..6u32 {
+            cluster.submit(p((round * 6 + i) % 12), Service::Safe, round * 100 + i);
+        }
+        cluster.partition(&[&island, &rest]);
+        assert!(cluster.run_until_settled(1_000_000), "round {round} split");
+        cluster.submit(island[0], Service::Safe, 9000 + round);
+        cluster.submit(rest[0], Service::Safe, 9100 + round);
+        cluster.merge_all();
+        assert!(cluster.run_until_settled(1_000_000), "round {round} merge");
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn heavy_loss_with_crashes() {
+    // 10% loss plus a crash and recovery: the stack must converge and the
+    // model must hold.
+    let mut cluster = EvsCluster::<u32>::builder(4)
+        .drop_prob(0.10)
+        .seed(0xBAD)
+        .build();
+    assert!(cluster.run_until_settled(1_500_000), "formation under loss");
+    for i in 0..8 {
+        cluster.submit(p(i % 4), Service::Safe, i);
+    }
+    cluster.run_for(2_000);
+    cluster.crash(p(2));
+    assert!(cluster.run_until_settled(1_500_000), "crash under loss");
+    cluster.recover(p(2));
+    assert!(cluster.run_until_settled(1_500_000), "rejoin under loss");
+    for i in 8..12 {
+        cluster.submit(p(i % 4), Service::Safe, i);
+    }
+    assert!(cluster.run_until_settled(1_000_000), "flush under loss");
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn sustained_throughput_over_many_rounds() {
+    // 300 messages in waves; total order must stay identical and dense.
+    let mut cluster = EvsCluster::<u32>::builder(5).seed(0x770).build();
+    assert!(cluster.run_until_settled(500_000));
+    for wave in 0..10u32 {
+        for i in 0..30 {
+            cluster.submit(p(i % 5), Service::Agreed, wave * 1000 + i);
+        }
+        assert!(cluster.run_until_settled(500_000), "wave {wave}");
+    }
+    let order: Vec<u32> = cluster
+        .deliveries(p(0))
+        .iter()
+        .filter_map(|d| d.payload().copied())
+        .collect();
+    assert_eq!(order.len(), 300);
+    for q in cluster.processes() {
+        let other: Vec<u32> = cluster
+            .deliveries(q)
+            .iter()
+            .filter_map(|d| d.payload().copied())
+            .collect();
+        assert_eq!(other, order, "{q} diverges");
+    }
+    checker::assert_evs(&cluster.trace());
+}
+
+#[test]
+fn rapid_fault_bursts_without_settling_between() {
+    // Faults land while previous reconfigurations are still in progress:
+    // recovery restarts (§3: "the recovery algorithm is restarted at
+    // Step 2") chained several times.
+    for seed in [1u64, 7, 23] {
+        let mut cluster = EvsCluster::<u32>::builder(6).seed(seed).build();
+        assert!(cluster.run_until_settled(500_000), "seed {seed}");
+        for i in 0..6 {
+            cluster.submit(p(i), Service::Safe, i);
+        }
+        // Burst: partition, re-partition and crash with only tiny gaps.
+        cluster.partition(&[&[p(0), p(1), p(2)], &[p(3), p(4), p(5)]]);
+        cluster.run_for(150);
+        cluster.partition(&[&[p(0), p(1)], &[p(2)], &[p(3), p(4), p(5)]]);
+        cluster.run_for(150);
+        cluster.crash(p(4));
+        cluster.run_for(150);
+        cluster.merge_all();
+        cluster.run_for(150);
+        cluster.recover(p(4));
+        assert!(cluster.run_until_settled(2_000_000), "seed {seed} settle");
+        checker::assert_evs(&cluster.trace());
+    }
+}
+
+#[test]
+fn minority_singleton_chain() {
+    // Peel processes off one by one down to singletons, then rebuild.
+    let mut cluster = EvsCluster::<u32>::builder(4).seed(3).build();
+    assert!(cluster.run_until_settled(500_000));
+    cluster.partition(&[&[p(0), p(1), p(2)], &[p(3)]]);
+    assert!(cluster.run_until_settled(600_000));
+    cluster.partition(&[&[p(0), p(1)], &[p(2)], &[p(3)]]);
+    assert!(cluster.run_until_settled(600_000));
+    cluster.partition(&[&[p(0)], &[p(1)], &[p(2)], &[p(3)]]);
+    assert!(cluster.run_until_settled(600_000));
+    // Everyone alone; all still alive and operating.
+    for q in cluster.processes() {
+        assert_eq!(cluster.config(q).members, vec![q]);
+        cluster.submit(q, Service::Safe, 42);
+    }
+    assert!(cluster.run_until_settled(400_000));
+    cluster.merge_all();
+    assert!(cluster.run_until_settled(800_000));
+    for q in cluster.processes() {
+        assert_eq!(cluster.config(q).members.len(), 4);
+    }
+    checker::assert_evs(&cluster.trace());
+}

@@ -1,0 +1,251 @@
+//! Experiments E8/E10/E11: the primary component model (§2.2), the
+//! EVS-to-VS filter (§5, Figure 7), and the model comparison (§5.2/§5.3).
+//!
+//! The central claim of §5.1 — every run of the filtered system is an
+//! acceptable virtual synchrony execution — is executed here over clean
+//! runs, partitions, merges, and crash/recovery schedules.
+
+use evs::core::{checker, EvsCluster, Service};
+use evs::sim::ProcessId;
+use evs::vs::{check_vs, filter_trace, MajorityPrimary, PrimaryHistory, VsEvent};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Runs the full pipeline: EVS specs, primary-history properties, filter,
+/// VS model check.
+fn assert_acceptable(cluster: &EvsCluster<String>, universe: usize) {
+    let trace = cluster.trace();
+    checker::assert_evs(&trace);
+    let policy = MajorityPrimary::new(universe);
+    let history = PrimaryHistory::from_trace(&trace, &policy);
+    let violations = history.check(&trace);
+    assert!(violations.is_empty(), "primary history: {violations:?}");
+    let run = filter_trace(&trace, &policy);
+    if let Err(errors) = check_vs(&run) {
+        panic!("filtered run not VS-acceptable: {errors:?}");
+    }
+}
+
+#[test]
+fn clean_run_filters_to_acceptable_vs() {
+    let mut cluster = EvsCluster::<String>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    for i in 0..6 {
+        cluster.submit(p(i % 3), Service::Safe, format!("m{i}"));
+    }
+    assert!(cluster.run_until_settled(200_000));
+    assert_acceptable(&cluster, 3);
+}
+
+#[test]
+fn partition_and_merge_filter_to_acceptable_vs() {
+    let mut cluster = EvsCluster::<String>::builder(5).seed(4).build();
+    assert!(cluster.run_until_settled(300_000));
+    for i in 0..4 {
+        cluster.submit(p(i), Service::Safe, format!("pre{i}"));
+    }
+    assert!(cluster.run_until_settled(200_000));
+    // Majority {0,1,2} stays primary; {3,4} blocks in VS terms.
+    cluster.partition(&[&[p(0), p(1), p(2)], &[p(3), p(4)]]);
+    assert!(cluster.run_until_settled(400_000));
+    cluster.submit(p(0), Service::Safe, "primary-only".into());
+    cluster.submit(p(3), Service::Safe, "minority-only".into());
+    assert!(cluster.run_until_settled(200_000));
+    cluster.merge_all();
+    assert!(cluster.run_until_settled(400_000));
+    cluster.submit(p(4), Service::Safe, "post-merge".into());
+    assert!(cluster.run_until_settled(200_000));
+    assert_acceptable(&cluster, 5);
+}
+
+#[test]
+fn crash_recovery_filters_to_acceptable_vs() {
+    let mut cluster = EvsCluster::<String>::builder(3).seed(8).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.submit(p(0), Service::Safe, "one".into());
+    assert!(cluster.run_until_settled(200_000));
+    cluster.crash(p(2));
+    assert!(cluster.run_until_settled(400_000));
+    cluster.submit(p(1), Service::Safe, "two".into());
+    assert!(cluster.run_until_settled(200_000));
+    cluster.recover(p(2));
+    assert!(cluster.run_until_settled(400_000));
+    cluster.submit(p(2), Service::Safe, "three".into());
+    assert!(cluster.run_until_settled(200_000));
+    assert_acceptable(&cluster, 3);
+}
+
+#[test]
+fn minority_component_is_blocked_in_vs_but_progresses_in_evs() {
+    // §5.2/§5.3 (E11): the whole point of EVS. The minority component
+    // keeps delivering messages at the EVS level; the VS filter blocks it.
+    let mut cluster = EvsCluster::<String>::builder(5).seed(13).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.partition(&[&[p(0), p(1), p(2)], &[p(3), p(4)]]);
+    assert!(cluster.run_until_settled(400_000));
+    cluster.submit(p(3), Service::Safe, "minority-work".into());
+    assert!(cluster.run_until_settled(200_000));
+
+    // EVS: delivered in the minority.
+    assert!(cluster
+        .deliveries(p(4))
+        .iter()
+        .any(|d| d.payload() == Some(&"minority-work".to_string())));
+
+    // VS: the filtered run of P3/P4 contains no trace of it after the
+    // partition (Rule 2 blocks).
+    let run = filter_trace(&cluster.trace(), &MajorityPrimary::new(5));
+    for q in [p(3), p(4)] {
+        let delivers_after_block = run.events[q.as_usize()]
+            .iter()
+            .filter(|e| matches!(e, VsEvent::Deliver { .. }))
+            .count();
+        // P3/P4 delivered only the pre-partition traffic (none here).
+        assert_eq!(
+            delivers_after_block, 0,
+            "{q} must be blocked in the VS view"
+        );
+    }
+    check_vs(&run).unwrap();
+}
+
+#[test]
+fn evs_rejoins_fast_but_vs_reincarnates() {
+    // §5.2: EVS lets a recovered process keep its identity; the filter
+    // gives it a fresh incarnation when it re-enters the primary.
+    let mut cluster = EvsCluster::<String>::builder(3).seed(2).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.crash(p(2));
+    assert!(cluster.run_until_settled(400_000));
+    cluster.recover(p(2));
+    assert!(cluster.run_until_settled(400_000));
+    let trace = cluster.trace();
+    let run = filter_trace(&trace, &MajorityPrimary::new(3));
+    // Find P2's VS identity in the final view at P0.
+    let final_view = run.events[0]
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            VsEvent::View(v) => Some(v.clone()),
+            _ => None,
+        })
+        .expect("P0 holds a final view");
+    let vs_p2 = final_view
+        .members
+        .iter()
+        .find(|m| m.pid == p(2))
+        .expect("P2 rejoined the primary");
+    assert_eq!(
+        vs_p2.incarnation, 1,
+        "VS sees the resumed process as a new identity"
+    );
+    check_vs(&run).unwrap();
+}
+
+#[test]
+fn primary_history_is_unique_and_continuous_across_flapping() {
+    // E8: adversarial flapping — majorities move around; the primary
+    // history must stay totally ordered with overlapping memberships.
+    let mut cluster = EvsCluster::<String>::builder(5).seed(31).build();
+    assert!(cluster.run_until_settled(300_000));
+    let schedule: &[&[&[ProcessId]]] = &[
+        &[&[p(0), p(1), p(2)], &[p(3), p(4)]],
+        &[&[p(0), p(1)], &[p(2), p(3), p(4)]],
+        &[&[p(0), p(3)], &[p(1), p(2), p(4)]],
+    ];
+    for groups in schedule {
+        cluster.partition(groups);
+        assert!(cluster.run_until_settled(500_000));
+        cluster.merge_all();
+        assert!(cluster.run_until_settled(500_000));
+    }
+    let trace = cluster.trace();
+    checker::assert_evs(&trace);
+    let policy = MajorityPrimary::new(5);
+    let history = PrimaryHistory::from_trace(&trace, &policy);
+    assert!(
+        history.history.len() >= 4,
+        "several primaries must have formed: {:?}",
+        history.history
+    );
+    let violations = history.check(&trace);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn no_primary_exists_when_no_majority_forms() {
+    // Split 2/2 in a universe of 4: neither side is primary; both sides
+    // block under VS, both progress under EVS.
+    let mut cluster = EvsCluster::<String>::builder(4).seed(17).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.partition(&[&[p(0), p(1)], &[p(2), p(3)]]);
+    assert!(cluster.run_until_settled(400_000));
+    cluster.submit(p(0), Service::Safe, "left".into());
+    cluster.submit(p(2), Service::Safe, "right".into());
+    assert!(cluster.run_until_settled(200_000));
+
+    let trace = cluster.trace();
+    checker::assert_evs(&trace);
+    let policy = MajorityPrimary::new(4);
+    let history = PrimaryHistory::from_trace(&trace, &policy);
+    // The only primary is the initial 4-member configuration.
+    for cfg in &history.history {
+        assert!(cfg.members.len() >= 3);
+    }
+    let run = filter_trace(&trace, &policy);
+    check_vs(&run).unwrap();
+    // Post-partition deliveries exist in EVS...
+    assert!(cluster
+        .deliveries(p(0))
+        .iter()
+        .any(|d| d.payload() == Some(&"left".to_string())));
+    // ...but not in the VS view.
+    for q in cluster.processes() {
+        let vs_msgs = run.events[q.as_usize()]
+            .iter()
+            .filter(|e| matches!(e, VsEvent::Deliver { .. }))
+            .count();
+        assert_eq!(vs_msgs, 0, "{q}: all application progress is EVS-only");
+    }
+}
+
+#[test]
+fn dynamic_primary_stays_available_where_static_blocks() {
+    // §5's future-work direction, realized: after the primary shrinks to
+    // {0,1,2}, a further shrink to {0,1} keeps a primary under the
+    // dynamic-linear policy (majority of the previous primary) while the
+    // static-majority policy blocks every component.
+    use evs::vs::DynamicPrimary;
+    let mut cluster = EvsCluster::<String>::builder(5).seed(88).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.partition(&[&[p(0), p(1), p(2)], &[p(3), p(4)]]);
+    assert!(cluster.run_until_settled(500_000));
+    cluster.partition(&[&[p(0), p(1)], &[p(2)], &[p(3), p(4)]]);
+    assert!(cluster.run_until_settled(500_000));
+
+    let trace = cluster.trace();
+    checker::assert_evs(&trace);
+
+    let static_h = PrimaryHistory::from_trace(&trace, &MajorityPrimary::new(5));
+    let dynamic_h = PrimaryHistory::from_trace(&trace, &DynamicPrimary::new(5));
+    let static_last = static_h.history.last().expect("some primary formed");
+    let dynamic_last = dynamic_h.history.last().expect("some primary formed");
+    assert_eq!(
+        static_last.members,
+        vec![p(0), p(1), p(2)],
+        "static majority ends at the 3-member primary"
+    );
+    assert_eq!(
+        dynamic_last.members,
+        vec![p(0), p(1)],
+        "dynamic-linear continues into the 2-member primary"
+    );
+    // Both histories are lawful.
+    assert!(static_h.check(&trace).is_empty());
+    assert!(dynamic_h.check(&trace).is_empty());
+    // And the filter under the dynamic policy still yields acceptable VS.
+    let run = filter_trace(&trace, &DynamicPrimary::new(5));
+    check_vs(&run).unwrap();
+}
