@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Repository CI: build, test, format and lint — everything offline (all
+# external dependencies are vendored, see vendor/README.md).
+#
+#   ./ci.sh
+#
+# Fails on the first broken step.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --offline --workspace
+
+echo "== tests =="
+cargo test -q --offline --workspace
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "ci: all green"

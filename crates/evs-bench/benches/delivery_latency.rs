@@ -20,7 +20,10 @@ fn one_message_latency(n: usize, service: Service, seed: u64) -> u64 {
 
 fn summary() {
     println!("\nB2 delivery latency — single message, group size sweep (sim ticks)");
-    println!("{:>6} {:>12} {:>12} {:>12}", "n", "agreed", "safe", "safe/agreed");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "n", "agreed", "safe", "safe/agreed"
+    );
     for &n in &GROUP_SIZES {
         let agreed = one_message_latency(n, Service::Agreed, 0xB2);
         let safe = one_message_latency(n, Service::Safe, 0xB2);

@@ -47,13 +47,9 @@ fn bench(c: &mut Criterion) {
             },
         );
         let run = filter_trace(&trace, &policy);
-        group.bench_with_input(
-            BenchmarkId::new("check_vs", trace.len()),
-            &run,
-            |b, run| {
-                b.iter(|| check_vs(run).is_ok());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("check_vs", trace.len()), &run, |b, run| {
+            b.iter(|| check_vs(run).is_ok());
+        });
     }
     group.finish();
 }

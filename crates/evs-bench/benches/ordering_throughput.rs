@@ -6,7 +6,7 @@
 //! Criterion measures the simulator's wall-time cost for the same work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use evs_bench::{pump_messages, settled_cluster};
+use evs_bench::{instrumented_cluster, pump_messages, report_json, settled_cluster};
 use evs_core::Service;
 
 const GROUP_SIZES: [usize; 5] = [2, 4, 8, 16, 32];
@@ -24,6 +24,13 @@ fn summary() {
             ticks,
             ticks as f64 / MESSAGES as f64
         );
+    }
+    // Machine-readable sidecar: the same scenario once more with telemetry
+    // attached (out of band — the timed loops below stay detached).
+    for &n in &GROUP_SIZES {
+        let mut cluster = instrumented_cluster(n, 0xB1);
+        pump_messages(&mut cluster, MESSAGES, Service::Safe);
+        println!("{}", report_json(&format!("B1_n{n}"), &cluster));
     }
     println!();
 }

@@ -23,7 +23,10 @@ fn run(n: usize, left: usize) -> (u64, u64) {
 
 fn summary() {
     println!("\nB4 partition + merge — simulated ticks per phase");
-    println!("{:>8} {:>8} {:>14} {:>14}", "n", "split", "partition", "merge");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14}",
+        "n", "split", "partition", "merge"
+    );
     for &(n, left) in &SHAPES {
         let (split, merge) = run(n, left);
         println!(

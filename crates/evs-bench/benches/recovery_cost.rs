@@ -21,10 +21,7 @@ fn run(backlog: u64) -> u64 {
         pump_messages(&mut cluster, backlog, Service::Safe);
     }
     let p = ProcessId::new;
-    reconfiguration_ticks(
-        &mut cluster,
-        &[&[p(0), p(1), p(2), p(3)], &[p(4), p(5)]],
-    )
+    reconfiguration_ticks(&mut cluster, &[&[p(0), p(1), p(2), p(3)], &[p(4), p(5)]])
 }
 
 fn summary() {

@@ -17,10 +17,7 @@ use evs_core::{EvsCluster, EvsEvent, Service};
 use evs_sim::{ProcessId, SimTime};
 
 /// The latest timestamp of an event matching `pred` anywhere in the trace.
-fn last_event_time(
-    trace: &evs_core::Trace,
-    pred: impl Fn(&EvsEvent) -> bool,
-) -> Option<SimTime> {
+fn last_event_time(trace: &evs_core::Trace, pred: impl Fn(&EvsEvent) -> bool) -> Option<SimTime> {
     trace
         .events
         .iter()
@@ -32,6 +29,10 @@ fn last_event_time(
 
 /// Builds a settled cluster of `n` processes with the given seed.
 ///
+/// Telemetry stays detached: the timed benchmark loops must measure the
+/// protocol, not the metrics pipeline. Use [`instrumented_cluster`] for
+/// the out-of-band counter snapshots printed next to the timing tables.
+///
 /// # Panics
 ///
 /// Panics if the group does not converge (it always does under the default
@@ -40,6 +41,49 @@ pub fn settled_cluster(n: usize, seed: u64) -> EvsCluster<u64> {
     let mut cluster = EvsCluster::<u64>::builder(n).seed(seed).build();
     assert!(cluster.run_until_settled(1_000_000), "formation stalled");
     cluster
+}
+
+/// Like [`settled_cluster`], but with per-process telemetry enabled —
+/// for the `report_json` sidecar, never inside a timed loop.
+///
+/// # Panics
+///
+/// Panics if the group does not converge.
+pub fn instrumented_cluster(n: usize, seed: u64) -> EvsCluster<u64> {
+    let mut cluster = EvsCluster::<u64>::builder(n)
+        .seed(seed)
+        .telemetry(true)
+        .build();
+    assert!(cluster.run_until_settled(1_000_000), "formation stalled");
+    cluster
+}
+
+/// Serializes a scenario's counter snapshot as a JSON object — the
+/// machine-readable sidecar a bench prints alongside its human table, so
+/// runs can be diffed (`messages_sent`, `token_retransmissions`,
+/// `token_rotations`, …).
+///
+/// The object is `{"scenario": .., "totals": {..}, "report": <RunReport>}`;
+/// `totals` sums each counter across processes.
+pub fn report_json(scenario: &str, cluster: &EvsCluster<u64>) -> String {
+    let report = cluster.run_report();
+    let mut out = String::from("{\"scenario\":");
+    evs_telemetry::report::push_json_string(&mut out, scenario);
+    out.push_str(",\"totals\":{");
+    let mut first = true;
+    for (name, value) in report.counter_totals() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        evs_telemetry::report::push_json_string(&mut out, &name);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push_str("},\"report\":");
+    out.push_str(&report.to_json());
+    out.push('}');
+    out
 }
 
 /// Submits `k` messages round-robin and runs until everything is delivered
@@ -56,10 +100,8 @@ pub fn pump_messages(cluster: &mut EvsCluster<u64>, k: u64, service: Service) ->
         cluster.submit(ProcessId::new((i % n) as u32), service, i);
     }
     assert!(cluster.run_until_settled(5_000_000), "message pump stalled");
-    let end = last_event_time(&cluster.trace(), |e| {
-        matches!(e, EvsEvent::Deliver { .. })
-    })
-    .unwrap_or(start);
+    let end = last_event_time(&cluster.trace(), |e| matches!(e, EvsEvent::Deliver { .. }))
+        .unwrap_or(start);
     end.since(start)
 }
 
@@ -72,10 +114,14 @@ pub fn pump_messages(cluster: &mut EvsCluster<u64>, k: u64, service: Service) ->
 pub fn reconfiguration_ticks(cluster: &mut EvsCluster<u64>, groups: &[&[ProcessId]]) -> u64 {
     let start = cluster.now();
     cluster.partition(groups);
-    assert!(cluster.run_until_settled(5_000_000), "reconfiguration stalled");
-    let end = last_event_time(&cluster.trace(), |e| {
-        matches!(e, EvsEvent::DeliverConf(c) if c.is_regular())
-    })
+    assert!(
+        cluster.run_until_settled(5_000_000),
+        "reconfiguration stalled"
+    );
+    let end = last_event_time(
+        &cluster.trace(),
+        |e| matches!(e, EvsEvent::DeliverConf(c) if c.is_regular()),
+    )
     .unwrap_or(start);
     end.since(start)
 }
@@ -89,9 +135,10 @@ pub fn merge_ticks(cluster: &mut EvsCluster<u64>) -> u64 {
     let start = cluster.now();
     cluster.merge_all();
     assert!(cluster.run_until_settled(5_000_000), "merge stalled");
-    let end = last_event_time(&cluster.trace(), |e| {
-        matches!(e, EvsEvent::DeliverConf(c) if c.is_regular())
-    })
+    let end = last_event_time(
+        &cluster.trace(),
+        |e| matches!(e, EvsEvent::DeliverConf(c) if c.is_regular()),
+    )
     .unwrap_or(start);
     end.since(start)
 }
@@ -135,9 +182,7 @@ mod tests {
 /// fixed configuration, loss-free network.
 pub mod substrates {
     use evs_membership::ConfigId;
-    use evs_order::{
-        MessageId, Ring, RingMsg, RingOut, SeqMsg, SeqOut, Sequencer, Service,
-    };
+    use evs_order::{MessageId, Ring, RingMsg, RingOut, SeqMsg, SeqOut, Sequencer, Service};
     use evs_sim::{Ctx, Node, ProcessId, TimerKind};
 
     const TICK: TimerKind = TimerKind(1);
@@ -208,7 +253,12 @@ pub mod substrates {
             ctx.set_timer(TICK_INTERVAL, TICK);
         }
 
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>, _from: ProcessId, msg: Self::Msg) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Ctx<'_, Self::Msg, u64>,
+            _from: ProcessId,
+            msg: Self::Msg,
+        ) {
             self.frames += 1;
             let now = ctx.now();
             match msg {
@@ -287,7 +337,12 @@ pub mod substrates {
             ctx.set_timer(TICK_INTERVAL, TICK);
         }
 
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>, from: ProcessId, msg: Self::Msg) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Ctx<'_, Self::Msg, u64>,
+            from: ProcessId,
+            msg: Self::Msg,
+        ) {
             self.frames += 1;
             let outs = self.seq.on_message(from, msg);
             self.apply(ctx, outs);

@@ -38,6 +38,7 @@ use core::fmt;
 use evs_membership::ConfigId;
 use evs_order::{MessageId, Service};
 use evs_sim::ProcessId;
+use evs_telemetry::{RecordedEvent, Telemetry};
 use std::collections::BTreeMap;
 
 /// A single specification violation.
@@ -300,6 +301,88 @@ pub fn assert_evs(trace: &Trace) {
             report.push_str(&format!("  {v}\n"));
         }
         panic!("{report}\ntrace:\n{trace}");
+    }
+}
+
+/// A failed specification check together with the flight-recorder dumps of
+/// every telemetry-enabled process — the last events each process recorded
+/// before the violation was detected.
+///
+/// Produced by [`check_all_with_telemetry`]; its [`Display`](fmt::Display)
+/// rendering prints the violations first and then one `process N` section
+/// per dump, each event on a `[t=..] ..` line, so a panicking test shows
+/// the recent protocol history alongside the broken specification.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// Every specification violation found in the trace.
+    pub violations: Vec<Violation>,
+    /// Per-process flight-recorder contents, `(pid, last-K events)`,
+    /// oldest first. Only telemetry-enabled processes appear.
+    pub dumps: Vec<(u32, Vec<RecordedEvent>)>,
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if self.dumps.is_empty() {
+            write!(f, "no flight-recorder dumps (telemetry detached)")?;
+        } else {
+            writeln!(f, "flight recorder (last events per process):")?;
+            for (pid, events) in &self.dumps {
+                writeln!(f, "  process {pid} ({} event(s)):", events.len())?;
+                for ev in events {
+                    writeln!(f, "    [t={}] {}", ev.at, ev.event)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Like [`check_all`], but on violation attaches the flight-recorder dump
+/// of every telemetry-enabled process in `handles`, giving the failure
+/// report the recent protocol history that led up to it.
+///
+/// Detached handles contribute no dump; passing an empty iterator makes
+/// this equivalent to [`check_all`] with the violations wrapped in a
+/// [`CheckFailure`].
+///
+/// # Errors
+///
+/// Returns a [`CheckFailure`] if the trace breaks any specification of the
+/// extended virtual synchrony model.
+pub fn check_all_with_telemetry<'h>(
+    trace: &Trace,
+    handles: impl IntoIterator<Item = &'h Telemetry>,
+) -> Result<(), CheckFailure> {
+    match check_all(trace) {
+        Ok(()) => Ok(()),
+        Err(violations) => {
+            let dumps = handles
+                .into_iter()
+                .filter_map(|t| t.pid().map(|pid| (pid, t.flight_dump())))
+                .collect();
+            Err(CheckFailure { violations, dumps })
+        }
+    }
+}
+
+/// Like [`assert_evs`], but the panic message includes the flight-recorder
+/// dumps from [`check_all_with_telemetry`] — convenient in telemetry-enabled
+/// tests.
+///
+/// # Panics
+///
+/// Panics if the trace violates the model.
+pub fn assert_evs_with_telemetry<'h>(
+    trace: &Trace,
+    handles: impl IntoIterator<Item = &'h Telemetry>,
+) {
+    if let Err(failure) = check_all_with_telemetry(trace, handles) {
+        panic!("extended virtual synchrony violated:\n{failure}\ntrace:\n{trace}");
     }
 }
 

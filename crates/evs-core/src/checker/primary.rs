@@ -68,9 +68,7 @@ pub fn check_primary(a: &Analysis<'_>, primaries: &[ConfigId]) -> Vec<Violation>
         if !m1.iter().any(|p| m2.contains(p)) {
             v.push(Violation {
                 spec: "primary-2",
-                detail: format!(
-                    "consecutive primary components {c1} and {c2} share no member"
-                ),
+                detail: format!("consecutive primary components {c1} and {c2} share no member"),
             });
         }
     }

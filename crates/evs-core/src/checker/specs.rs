@@ -162,9 +162,7 @@ pub fn check_spec2(a: &Analysis<'_>) -> Vec<Violation> {
                 Some((qc, qfailed)) if qc == c && !qfailed => {}
                 other => v.push(Violation {
                     spec: "2.1",
-                    detail: format!(
-                        "P{pid} ends in {c} but member {q} ends in {other:?}"
-                    ),
+                    detail: format!("P{pid} ends in {c} but member {q} ends in {other:?}"),
                 }),
             }
         }

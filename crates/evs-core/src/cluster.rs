@@ -1,8 +1,10 @@
 //! A convenience harness: a whole EVS group under the simulator.
 
+use crate::checker::{self, CheckFailure};
 use crate::{Configuration, Delivery, EvsParams, EvsProcess, Trace};
 use evs_order::Service;
 use evs_sim::{Action, NetConfig, ProcessId, Sim, SimTime};
+use evs_telemetry::{RunReport, Telemetry};
 use std::fmt;
 
 /// Builder for [`EvsCluster`].
@@ -11,6 +13,7 @@ pub struct EvsClusterBuilder<P> {
     n: usize,
     net: NetConfig,
     params: EvsParams,
+    telemetry: bool,
     _payload: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -39,12 +42,21 @@ impl<P: Clone + fmt::Debug + 'static> EvsClusterBuilder<P> {
         self
     }
 
+    /// Enables per-process telemetry (metrics, flight recorder). Off by
+    /// default so that benchmarks measure the detached fast path.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> EvsCluster<P> {
         let params = self.params;
-        EvsCluster {
-            sim: Sim::new(self.n, self.net, |p| EvsProcess::new(p, params.clone())),
+        let mut sim = Sim::new(self.n, self.net, |p| EvsProcess::new(p, params.clone()));
+        if self.telemetry {
+            sim.enable_telemetry();
         }
+        EvsCluster { sim }
     }
 }
 
@@ -81,6 +93,7 @@ impl<P: Clone + fmt::Debug + Send + 'static> EvsCluster<P> {
             n,
             net: NetConfig::default(),
             params: EvsParams::default(),
+            telemetry: false,
             _payload: std::marker::PhantomData,
         }
     }
@@ -243,6 +256,35 @@ impl<P: Clone + fmt::Debug + Send + 'static> EvsCluster<P> {
                 .map(|p| self.sim.trace(p).to_vec())
                 .collect(),
         )
+    }
+
+    /// The telemetry handle of process `p` (detached unless the cluster was
+    /// built with [`EvsClusterBuilder::telemetry`]).
+    pub fn telemetry(&self, p: ProcessId) -> &Telemetry {
+        self.sim.telemetry(p)
+    }
+
+    /// Clones of every process's telemetry handle, in process order.
+    pub fn telemetry_handles(&self) -> Vec<Telemetry> {
+        self.sim.telemetry_handles()
+    }
+
+    /// Aggregates every enabled process's metrics into a [`RunReport`].
+    /// Empty when the cluster was built without telemetry.
+    pub fn run_report(&self) -> RunReport {
+        RunReport::collect(&self.sim.telemetry_handles())
+    }
+
+    /// Runs the full specification check over the cluster's trace; on
+    /// violation the [`CheckFailure`] carries each enabled process's
+    /// flight-recorder dump.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckFailure`] if the trace breaks any specification of
+    /// the extended virtual synchrony model.
+    pub fn check(&self) -> Result<(), CheckFailure> {
+        checker::check_all_with_telemetry(&self.trace(), &self.telemetry_handles())
     }
 
     /// Low-level access to the simulator for advanced schedules.

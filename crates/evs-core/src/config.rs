@@ -59,7 +59,10 @@ impl Configuration {
     ///
     /// Panics if `members` is empty.
     pub fn new(id: ConfigId, mut members: Vec<ProcessId>) -> Self {
-        assert!(!members.is_empty(), "a configuration has at least one member");
+        assert!(
+            !members.is_empty(),
+            "a configuration has at least one member"
+        );
         members.sort_unstable();
         members.dedup();
         Configuration { id, members }

@@ -36,8 +36,27 @@ use crate::{Configuration, Delivery, EvsEvent, EvsParams};
 use evs_membership::{ConfigId, MembMsg, MembOut, Membership, ProposedConfig};
 use evs_order::{MessageId, OrderedMsg, Ring, RingMsg, RingOut, RingSnapshot, Service};
 use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerKind};
+use evs_telemetry::{Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::fmt;
+
+/// Stable per-service counter name for a delivery.
+fn delivered_counter(service: Service) -> &'static str {
+    match service {
+        Service::Causal => "delivered_causal",
+        Service::Agreed => "delivered_agreed",
+        Service::Safe => "delivered_safe",
+    }
+}
+
+/// Stable service-level label used in telemetry events.
+fn service_name(service: Service) -> &'static str {
+    match service {
+        Service::Causal => "causal",
+        Service::Agreed => "agreed",
+        Service::Safe => "safe",
+    }
+}
 
 /// The engine's maintenance timer.
 const TICK: TimerKind = TimerKind(1);
@@ -142,6 +161,8 @@ pub struct EvsProcess<P> {
     /// A token waiting out its pacing delay before being forwarded
     /// (§3/Totem: the token is paced so an idle ring does not spin).
     pending_token: Option<(ProcessId, evs_order::Token)>,
+    /// Adopted from the driver's `Ctx` at `on_start`; detached until then.
+    telemetry: Telemetry,
 }
 
 impl<P> fmt::Debug for EvsProcess<P> {
@@ -170,7 +191,12 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             params.membership.clone(),
             SimTime::ZERO,
         );
-        let ring = Ring::new(me, initial.id, initial.members.clone(), params.max_per_visit);
+        let ring = Ring::new(
+            me,
+            initial.id,
+            initial.members.clone(),
+            params.max_per_visit,
+        );
         EvsProcess {
             me,
             params,
@@ -186,6 +212,16 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             last_token_seen: SimTime::ZERO,
             sent_log: HashSet::new(),
             pending_token: None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Pushes the engine's telemetry handle into the substrates so the ring
+    /// and membership layers record through the same per-process registry.
+    fn propagate_telemetry(&mut self) {
+        self.membership.set_telemetry(self.telemetry.clone());
+        if let Mode::Regular { ring } = &mut self.mode {
+            ring.set_telemetry(self.telemetry.clone());
         }
     }
 
@@ -246,7 +282,13 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         MessageId::new(self.me, self.persist.msg_counter)
     }
 
-    fn submit_to_ring(&mut self, ctx: &mut ECtx<'_, P>, id: MessageId, service: Service, payload: P) {
+    fn submit_to_ring(
+        &mut self,
+        ctx: &mut ECtx<'_, P>,
+        id: MessageId,
+        service: Service,
+        payload: P,
+    ) {
         let Mode::Regular { ring } = &mut self.mode else {
             unreachable!("submit_to_ring requires regular mode");
         };
@@ -264,11 +306,26 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                 config: msg.config,
                 service: msg.service,
             });
+            self.telemetry.record(
+                ctx.now().ticks(),
+                TelemetryEvent::MessageSent {
+                    epoch: msg.config.epoch,
+                    service: service_name(msg.service),
+                },
+            );
         }
     }
 
     fn deliver_conf(&mut self, ctx: &mut ECtx<'_, P>, cfg: Configuration) {
         ctx.emit(EvsEvent::DeliverConf(cfg.clone()));
+        self.telemetry.record(
+            ctx.now().ticks(),
+            TelemetryEvent::ConfigDelivered {
+                epoch: cfg.id.epoch,
+                members: cfg.members.len() as u32,
+                regular: cfg.is_regular(),
+            },
+        );
         self.current_config = cfg.clone();
         self.delivered.push(Delivery::Config(cfg));
     }
@@ -280,6 +337,15 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             service: msg.service,
             seq: msg.seq,
         });
+        self.telemetry.record(
+            ctx.now().ticks(),
+            TelemetryEvent::MessageDelivered {
+                epoch: config.epoch,
+                service: service_name(msg.service),
+                transitional: config.transitional,
+            },
+        );
+        self.telemetry.counter(delivered_counter(msg.service)).inc();
         self.delivered.push(Delivery::Message {
             id: msg.id,
             seq: msg.seq,
@@ -345,10 +411,21 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             ),
         };
         let old = match std::mem::replace(&mut self.mode, placeholder) {
-            Mode::Regular { ring } => ring.into_snapshot(),
+            Mode::Regular { ring } => {
+                // Fresh entry into the recovery algorithm. A proposal that
+                // arrives mid-recovery restarts at Step 2 with the same
+                // frozen snapshot and is *not* a second entry, so the
+                // entered/exited counters stay balanced.
+                self.telemetry.record(
+                    ctx.now().ticks(),
+                    TelemetryEvent::RecoveryStepEntered { step: 2 },
+                );
+                ring.into_snapshot()
+            }
             Mode::Recovery(rec) => rec.old,
         };
-        let my_exchange = ExchangeState::from_snapshot(proposal.id, self.me, &old, &self.obligations);
+        let my_exchange =
+            ExchangeState::from_snapshot(proposal.id, self.me, &old, &self.obligations);
         let mut exchanges = BTreeMap::new();
         exchanges.insert(self.me, my_exchange.clone());
         ctx.broadcast(EvsMsg::Exchange(my_exchange.clone()));
@@ -373,7 +450,12 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         };
         // Step 4 runs once reports from every proposal member are in.
         if rec.trans.is_none() {
-            if rec.proposal.members.iter().all(|m| rec.exchanges.contains_key(m)) {
+            if rec
+                .proposal
+                .members
+                .iter()
+                .all(|m| rec.exchanges.contains_key(m))
+            {
                 let trans = transitional_members(rec.old.config, &rec.exchanges);
                 let needed = needed_set(&trans, &rec.exchanges);
                 rec.trans = Some((trans, needed));
@@ -392,6 +474,15 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             rec.my_ack_sent = true;
             rec.acks.insert(self.me);
             self.obligations = extended_obligations(&self.obligations, &trans, &rec.exchanges);
+            self.telemetry.record(
+                ctx.now().ticks(),
+                TelemetryEvent::ObligationSetSize {
+                    size: self.obligations.len() as u32,
+                },
+            );
+            self.telemetry
+                .gauge("obligation_set_size")
+                .set(self.obligations.len() as i64);
             ctx.broadcast(EvsMsg::RecoveryAck {
                 proposal: rec.proposal.id,
             });
@@ -468,7 +559,12 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         self.deliver_conf(ctx, plan.new_regular.clone());
 
         // Step 1 of the next round: fresh ring, empty obligation set.
+        self.telemetry.record(
+            ctx.now().ticks(),
+            TelemetryEvent::RecoveryStepExited { step: 6 },
+        );
         self.obligations.clear();
+        self.telemetry.gauge("obligation_set_size").set(0);
         self.frozen = false;
         self.last_token_seen = ctx.now();
         let mut ring = Ring::new(
@@ -477,6 +573,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             rec.proposal.members.clone(),
             self.params.max_per_visit,
         );
+        ring.set_telemetry(self.telemetry.clone());
         let boot = ring.bootstrap_token(ctx.now());
         self.mode = Mode::Regular { ring };
         self.process_ring_outs(ctx, boot);
@@ -597,7 +694,10 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         let resend = match &mut self.mode {
             Mode::Recovery(rec) if now.since(rec.last_resend) >= self.params.recovery_resend => {
                 rec.last_resend = now;
-                Some((rec.my_exchange.clone(), rec.my_ack_sent.then_some(rec.proposal.id)))
+                Some((
+                    rec.my_exchange.clone(),
+                    rec.my_ack_sent.then_some(rec.proposal.id),
+                ))
             }
             _ => None,
         };
@@ -616,6 +716,8 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
     type Ev = EvsEvent;
 
     fn on_start(&mut self, ctx: &mut ECtx<'_, P>) {
+        self.telemetry = ctx.telemetry().clone();
+        self.propagate_telemetry();
         // Deliver the initial singleton configuration to the application.
         let initial = self.current_config.clone();
         self.deliver_conf(ctx, initial);
@@ -689,6 +791,10 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         self.persist.max_epoch = self.persist.max_epoch.max(self.membership.max_epoch());
         let persist = self.persist;
         ctx.stable().put(STABLE_KEY, persist);
+        self.telemetry.record(
+            ctx.now().ticks(),
+            TelemetryEvent::StableWrite { key: STABLE_KEY },
+        );
     }
 
     fn on_recover(&mut self, ctx: &mut ECtx<'_, P>) {
@@ -696,6 +802,15 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         // process re-enters the system as a singleton regular configuration
         // (§2: "may recover with a deliver_conf_p(c) event, where the
         // membership of c is {p}").
+        self.telemetry = ctx.telemetry().clone();
+        if matches!(self.mode, Mode::Recovery(_)) {
+            // A crash abandoned an in-progress recovery; balance the
+            // entered counter with an abort exit (step 0).
+            self.telemetry.record(
+                ctx.now().ticks(),
+                TelemetryEvent::RecoveryStepExited { step: 0 },
+            );
+        }
         let persist = ctx
             .stable()
             .get::<PersistentState>(STABLE_KEY)
@@ -719,10 +834,12 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
             self.params.max_per_visit,
         );
         self.mode = Mode::Regular { ring };
+        self.propagate_telemetry();
         self.frozen = false;
         self.app_buffer.clear();
         self.future_buffer.clear();
         self.obligations.clear();
+        self.telemetry.gauge("obligation_set_size").set(0);
         self.sent_log.clear();
         self.pending_token = None;
         let cfg = Configuration::from(initial);
@@ -810,10 +927,7 @@ mod tests {
         assert!(matches!(kinds[1], EvsEvent::Send { .. }), "{kinds:?}");
         assert!(matches!(kinds[2], EvsEvent::Deliver { .. }), "{kinds:?}");
         assert_eq!(
-            node.deliveries()
-                .iter()
-                .filter_map(|d| d.payload())
-                .next(),
+            node.deliveries().iter().filter_map(|d| d.payload()).next(),
             Some(&"solo")
         );
         assert!(node.is_settled());
@@ -826,7 +940,9 @@ mod tests {
         env.with(|ctx| node.submit(ctx, Service::Agreed, "later"));
         assert_eq!(node.app_buffer.len(), 1);
         assert!(
-            !env.trace.iter().any(|(_, e)| matches!(e, EvsEvent::Send { .. })),
+            !env.trace
+                .iter()
+                .any(|(_, e)| matches!(e, EvsEvent::Send { .. })),
             "no send event while buffered"
         );
         assert!(!node.is_settled(), "buffered work means not settled");

@@ -70,7 +70,11 @@ impl fmt::Display for EvsEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvsEvent::DeliverConf(c) => write!(f, "deliver_conf({c})"),
-            EvsEvent::Send { id, config, service } => {
+            EvsEvent::Send {
+                id,
+                config,
+                service,
+            } => {
                 write!(f, "send({id}, {config}, {service})")
             }
             EvsEvent::Deliver {
@@ -211,18 +215,14 @@ mod tests {
             vec![(SimTime::ZERO, EvsEvent::DeliverConf(cfg.clone()))],
             vec![
                 (SimTime::ZERO, EvsEvent::DeliverConf(cfg.clone())),
-                (
-                    SimTime::from_ticks(5),
-                    EvsEvent::Fail { config: cfg.id },
-                ),
+                (SimTime::from_ticks(5), EvsEvent::Fail { config: cfg.id }),
             ],
         ]);
         assert_eq!(t.num_processes(), 2);
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
         assert_eq!(t.of(p(1)).len(), 2);
-        let positions: Vec<(ProcessId, usize)> =
-            t.iter().map(|(p, k, _)| (p, k)).collect();
+        let positions: Vec<(ProcessId, usize)> = t.iter().map(|(p, k, _)| (p, k)).collect();
         assert_eq!(positions, vec![(p(0), 0), (p(1), 0), (p(1), 1)]);
     }
 

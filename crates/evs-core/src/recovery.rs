@@ -216,7 +216,10 @@ pub fn compute_plan<P: Clone>(
         "own exchange report must be present"
     );
     let trans = transitional_members(old.config, exchanges);
-    assert!(trans.contains(&me), "process must be in its own transitional configuration");
+    assert!(
+        trans.contains(&me),
+        "process must be in its own transitional configuration"
+    );
 
     // Knowledge about the old regular configuration, pooled over the
     // transitional members (symmetric: computed from the same exchanges).
@@ -287,10 +290,8 @@ pub fn compute_plan<P: Clone>(
     // transitional configuration. (Retained messages past the first hole
     // all have obligated senders; the contiguous ones simply follow the
     // order.)
-    let transitional_deliveries: Vec<OrderedMsg<P>> = retained
-        .range(limit..)
-        .map(|(_, m)| (*m).clone())
-        .collect();
+    let transitional_deliveries: Vec<OrderedMsg<P>> =
+        retained.range(limit..).map(|(_, m)| (*m).clone()).collect();
 
     // Step 6.e: the new regular configuration.
     let new_regular = Configuration::from(proposal.clone());
@@ -426,8 +427,7 @@ mod tests {
         ex.insert(p(1), exch(prop, 1, old, &[], 0, 0, &[8]));
         let trans = vec![p(0), p(1)];
         let from_0 = extended_obligations(&[p(9)].into_iter().collect(), &trans, &ex);
-        let expected: BTreeSet<ProcessId> =
-            [p(0), p(1), p(7), p(8), p(9)].into_iter().collect();
+        let expected: BTreeSet<ProcessId> = [p(0), p(1), p(7), p(8), p(9)].into_iter().collect();
         assert_eq!(from_0, expected);
     }
 
@@ -451,7 +451,10 @@ mod tests {
         let obl = extended_obligations(&BTreeSet::new(), &[p(0), p(1)], &ex);
         let plan = compute_plan(p(0), &old, &prop, &ex, &obl);
         assert_eq!(
-            plan.regular_deliveries.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            plan.regular_deliveries
+                .iter()
+                .map(|m| m.seq)
+                .collect::<Vec<_>>(),
             vec![1, 2]
         );
         assert!(plan.transitional_deliveries.is_empty());
@@ -484,12 +487,18 @@ mod tests {
         let obl = extended_obligations(&BTreeSet::new(), &[p(0), p(1)], &ex);
         let plan = compute_plan(p(0), &old, &prop, &ex, &obl);
         assert_eq!(
-            plan.regular_deliveries.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            plan.regular_deliveries
+                .iter()
+                .map(|m| m.seq)
+                .collect::<Vec<_>>(),
             vec![1],
             "only the agreed prefix delivers in the regular configuration"
         );
         assert_eq!(
-            plan.transitional_deliveries.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            plan.transitional_deliveries
+                .iter()
+                .map(|m| m.seq)
+                .collect::<Vec<_>>(),
             vec![2],
             "the safe message delivers in the transitional configuration"
         );
@@ -524,12 +533,22 @@ mod tests {
         let obl = extended_obligations(&BTreeSet::new(), &[p(0), p(1)], &ex);
         let plan = compute_plan(p(0), &old, &prop, &ex, &obl);
         assert_eq!(
-            plan.regular_deliveries.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            plan.regular_deliveries
+                .iter()
+                .map(|m| m.seq)
+                .collect::<Vec<_>>(),
             vec![1]
         );
-        assert_eq!(plan.discarded, vec![3], "P2's m is causally suspect: dropped");
         assert_eq!(
-            plan.transitional_deliveries.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            plan.discarded,
+            vec![3],
+            "P2's m is causally suspect: dropped"
+        );
+        assert_eq!(
+            plan.transitional_deliveries
+                .iter()
+                .map(|m| m.seq)
+                .collect::<Vec<_>>(),
             vec![4],
             "the transitional member's own message survives (self-delivery)"
         );
@@ -564,9 +583,20 @@ mod tests {
         let total1: Vec<u64> = (1..=old1.delivered_upto)
             .chain(plan1.regular_deliveries.iter().map(|m| m.seq))
             .collect();
-        assert_eq!(total0, total1, "same total set delivered in the regular config");
-        let t0: Vec<u64> = plan0.transitional_deliveries.iter().map(|m| m.seq).collect();
-        let t1: Vec<u64> = plan1.transitional_deliveries.iter().map(|m| m.seq).collect();
+        assert_eq!(
+            total0, total1,
+            "same total set delivered in the regular config"
+        );
+        let t0: Vec<u64> = plan0
+            .transitional_deliveries
+            .iter()
+            .map(|m| m.seq)
+            .collect();
+        let t1: Vec<u64> = plan1
+            .transitional_deliveries
+            .iter()
+            .map(|m| m.seq)
+            .collect();
         assert_eq!(t0, t1, "same set delivered in the transitional config");
         assert_eq!(plan0.transitional, plan1.transitional);
         assert_eq!(plan0.discarded, plan1.discarded);
@@ -594,7 +624,10 @@ mod tests {
         // The other group's ordinals (high_seen = 2 in old_b) do not leak
         // into this group's recovery.
         assert_eq!(
-            plan.regular_deliveries.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            plan.regular_deliveries
+                .iter()
+                .map(|m| m.seq)
+                .collect::<Vec<_>>(),
             vec![1]
         );
     }

@@ -188,11 +188,10 @@ pub fn parse_trace(text: &str) -> Result<Trace, ParseTraceError> {
             .next()
             .and_then(|t| t.strip_prefix('@'))
             .ok_or_else(|| err("missing @time".into()))?;
-        let t = SimTime::from_ticks(
-            at.parse()
-                .map_err(|_| err(format!("bad time {at:?}")))?,
-        );
-        let kind = toks.next().ok_or_else(|| err("missing event kind".into()))?;
+        let t = SimTime::from_ticks(at.parse().map_err(|_| err(format!("bad time {at:?}")))?);
+        let kind = toks
+            .next()
+            .ok_or_else(|| err("missing event kind".into()))?;
         let ev = match kind {
             "conf" => {
                 let id = parse_config_id(
@@ -207,8 +206,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, ParseTraceError> {
                     .by_ref()
                     .map(|m| m.parse::<u32>().map(ProcessId::new))
                     .collect();
-                let members =
-                    members.map_err(|_| err("conf: bad member".into()))?;
+                let members = members.map_err(|_| err("conf: bad member".into()))?;
                 if members.is_empty() {
                     return Err(err("conf: empty membership".into()));
                 }
@@ -324,7 +322,10 @@ mod tests {
             ),
         ]]);
         let text = format_trace(&trace);
-        assert_eq!(text, "process 0\n  @5 conf R1.0 * 0 1\n  @9 send 0#1 R1.0 safe\n");
+        assert_eq!(
+            text,
+            "process 0\n  @5 conf R1.0 * 0 1\n  @9 send 0#1 R1.0 safe\n"
+        );
     }
 
     #[test]
@@ -354,6 +355,9 @@ mod tests {
         assert_eq!(trace.num_processes(), 3);
         assert!(trace.events[0].is_empty());
         assert_eq!(trace.events[2].len(), 1);
-        assert_eq!(format_trace(&trace), "process 0\nprocess 1\nprocess 2\n  @1 fail R7.2\n");
+        assert_eq!(
+            format_trace(&trace),
+            "process 0\nprocess 1\nprocess 2\n  @1 fail R7.2\n"
+        );
     }
 }

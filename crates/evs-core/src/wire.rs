@@ -637,11 +637,17 @@ mod tests {
     fn unknown_tags_are_rejected() {
         assert!(matches!(
             decode(&[99]),
-            Err(WireError::BadTag { what: "EvsMsg", tag: 99 })
+            Err(WireError::BadTag {
+                what: "EvsMsg",
+                tag: 99
+            })
         ));
         assert!(matches!(
             decode(&[0, 77]),
-            Err(WireError::BadTag { what: "MembMsg", tag: 77 })
+            Err(WireError::BadTag {
+                what: "MembMsg",
+                tag: 77
+            })
         ));
     }
 
@@ -694,9 +700,16 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert_eq!(WireError::UnexpectedEof.to_string(), "unexpected end of frame");
         assert_eq!(
-            WireError::BadTag { what: "Service", tag: 9 }.to_string(),
+            WireError::UnexpectedEof.to_string(),
+            "unexpected end of frame"
+        );
+        assert_eq!(
+            WireError::BadTag {
+                what: "Service",
+                tag: 9
+            }
+            .to_string(),
             "invalid tag 9 for Service"
         );
     }

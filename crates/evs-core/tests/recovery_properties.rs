@@ -47,14 +47,13 @@ struct Scenario {
 fn scenario() -> impl Strategy<Value = Scenario> {
     (2usize..6, 1usize..20)
         .prop_flat_map(|(old_n, high)| {
-            let survivors = proptest::collection::vec(any::<bool>(), old_n).prop_map(
-                move |mut picks| {
+            let survivors =
+                proptest::collection::vec(any::<bool>(), old_n).prop_map(move |mut picks| {
                     if picks.iter().all(|p| !p) {
                         picks[0] = true; // at least one survivor
                     }
                     (0..old_n).filter(|&i| picks[i]).collect::<Vec<usize>>()
-                },
-            );
+                });
             let msgs = proptest::collection::vec(
                 (
                     0..old_n,

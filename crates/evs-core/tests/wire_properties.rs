@@ -62,15 +62,17 @@ fn token() -> impl Strategy<Value = Token> {
         proptest::collection::btree_set(0u64..500, 0..20),
         0u64..1000,
     )
-        .prop_map(|(config, token_id, seq, aru, aru_id, rtr, rotation)| Token {
-            config,
-            token_id,
-            seq,
-            aru,
-            aru_id,
-            rtr,
-            rotation,
-        })
+        .prop_map(
+            |(config, token_id, seq, aru, aru_id, rtr, rotation)| Token {
+                config,
+                token_id,
+                seq,
+                aru,
+                aru_id,
+                rtr,
+                rotation,
+            },
+        )
 }
 
 fn pid_set() -> impl Strategy<Value = BTreeSet<ProcessId>> {
@@ -80,8 +82,10 @@ fn pid_set() -> impl Strategy<Value = BTreeSet<ProcessId>> {
 fn memb_msg() -> impl Strategy<Value = MembMsg> {
     prop_oneof![
         config_id().prop_map(|config| MembMsg::Heartbeat { config }),
-        (pid_set(), 0u64..1000)
-            .prop_map(|(candidates, max_epoch)| MembMsg::Join { candidates, max_epoch }),
+        (pid_set(), 0u64..1000).prop_map(|(candidates, max_epoch)| MembMsg::Join {
+            candidates,
+            max_epoch
+        }),
         (config_id(), proptest::collection::vec(pid(), 0..10))
             .prop_map(|(config, members)| MembMsg::Commit { config, members }),
         config_id().prop_map(|config| MembMsg::Ack { config }),

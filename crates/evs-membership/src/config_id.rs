@@ -43,9 +43,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.to_string(), "T5@P2");
 /// assert!(!r.transitional && t.transitional);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ConfigId {
     /// Monotone epoch number; strictly larger than any epoch previously
     /// observed by any member of the configuration.
@@ -124,7 +122,10 @@ impl ProposedConfig {
     ///
     /// Panics if `members` is empty.
     pub fn new(id: ConfigId, mut members: Vec<ProcessId>) -> Self {
-        assert!(!members.is_empty(), "a configuration has at least one member");
+        assert!(
+            !members.is_empty(),
+            "a configuration has at least one member"
+        );
         members.sort_unstable();
         members.dedup();
         ProposedConfig { id, members }
@@ -213,9 +214,6 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(
-            ProposedConfig::singleton(2, p(9)).to_string(),
-            "R2@P9[P9]"
-        );
+        assert_eq!(ProposedConfig::singleton(2, p(9)).to_string(), "R2@P9[P9]");
     }
 }

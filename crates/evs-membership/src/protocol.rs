@@ -32,6 +32,7 @@
 
 use crate::{ConfigId, ProposedConfig};
 use evs_sim::{ProcessId, SimTime};
+use evs_telemetry::{Telemetry, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -168,6 +169,7 @@ pub struct Membership {
     /// Last time any protocol message was received from each process.
     last_heard: BTreeMap<ProcessId, SimTime>,
     last_hb_sent: Option<SimTime>,
+    telemetry: Telemetry,
 }
 
 impl Membership {
@@ -199,7 +201,32 @@ impl Membership {
             state: State::Stable,
             last_heard: BTreeMap::new(),
             last_hb_sent: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle for state-transition and configuration
+    /// events.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Stable => "stable",
+            State::Gather { .. } => "gather",
+            State::Commit { .. } => "commit",
+        }
+    }
+
+    fn record_transition(&self, now: SimTime, to: &'static str) {
+        self.telemetry.record(
+            now.ticks(),
+            TelemetryEvent::MembershipTransition {
+                from: self.state_name(),
+                to,
+            },
+        );
     }
 
     /// The currently installed (agreement-level) configuration.
@@ -326,6 +353,7 @@ impl Membership {
         }
         let mut epochs = BTreeMap::new();
         epochs.insert(self.me, self.max_epoch);
+        self.record_transition(now, "gather");
         self.state = State::Gather {
             candidates,
             joins: BTreeMap::new(),
@@ -393,11 +421,18 @@ impl Membership {
                     + 1;
                 self.max_epoch = epoch;
                 let members: Vec<ProcessId> = candidates.iter().copied().collect();
-                let proposal =
-                    ProposedConfig::new(ConfigId::regular(epoch, rep), members.clone());
+                let proposal = ProposedConfig::new(ConfigId::regular(epoch, rep), members.clone());
                 let mut acks = BTreeSet::new();
                 acks.insert(self.me);
                 let config = proposal.id;
+                self.record_transition(now, "commit");
+                self.telemetry.record(
+                    now.ticks(),
+                    TelemetryEvent::ConfigCommitted {
+                        epoch: config.epoch,
+                        members: members.len() as u32,
+                    },
+                );
                 self.state = State::Commit {
                     proposal,
                     acks,
@@ -444,10 +479,7 @@ impl Membership {
         {
             let before = candidates.len();
             candidates.retain(|&c| {
-                c == me
-                    || last_heard
-                        .get(&c)
-                        .is_some_and(|&t| now.since(t) <= horizon)
+                c == me || last_heard.get(&c).is_some_and(|&t| now.since(t) <= horizon)
             });
             if candidates.len() != before {
                 joins.retain(|c, _| candidates.contains(c));
@@ -552,6 +584,14 @@ impl Membership {
         }
         self.max_epoch = self.max_epoch.max(config.epoch);
         let proposal = ProposedConfig::new(config, sorted);
+        self.record_transition(now, "commit");
+        self.telemetry.record(
+            now.ticks(),
+            TelemetryEvent::ConfigCommitted {
+                epoch: config.epoch,
+                members: proposal.members.len() as u32,
+            },
+        );
         self.state = State::Commit {
             proposal,
             acks: BTreeSet::new(),
@@ -612,11 +652,18 @@ impl Membership {
     }
 
     fn install(&mut self, now: SimTime, out: &mut Vec<MembOut>) {
-        let State::Commit { proposal, .. } =
-            std::mem::replace(&mut self.state, State::Stable)
+        self.record_transition(now, "stable");
+        let State::Commit { proposal, .. } = std::mem::replace(&mut self.state, State::Stable)
         else {
             unreachable!("install is only reached from the commit state");
         };
+        self.telemetry.record(
+            now.ticks(),
+            TelemetryEvent::ConfigInstalled {
+                epoch: proposal.id.epoch,
+                members: proposal.members.len() as u32,
+            },
+        );
         self.view = proposal.clone();
         self.view_since = now;
         // Members owe us no heartbeat before the new view's grace period.
@@ -973,7 +1020,14 @@ mod state_machine_tests {
         let mut m = fresh(1, t(0));
         // Install epoch 5 first.
         let cfg5 = ConfigId::regular(5, p(0));
-        let _ = m.on_message(t(1), p(0), MembMsg::Commit { config: cfg5, members: vec![p(0), p(1)] });
+        let _ = m.on_message(
+            t(1),
+            p(0),
+            MembMsg::Commit {
+                config: cfg5,
+                members: vec![p(0), p(1)],
+            },
+        );
         let _ = m.on_message(t(2), p(0), MembMsg::Install { config: cfg5 });
         assert_eq!(m.view().id.epoch, 5);
         // An older commit (epoch 3) must be rejected.
@@ -994,9 +1048,23 @@ mod state_machine_tests {
         let mut m = fresh(2, t(0));
         let low = ConfigId::regular(5, p(0));
         let high = ConfigId::regular(5, p(1));
-        let _ = m.on_message(t(1), p(0), MembMsg::Commit { config: low, members: vec![p(0), p(2)] });
+        let _ = m.on_message(
+            t(1),
+            p(0),
+            MembMsg::Commit {
+                config: low,
+                members: vec![p(0), p(2)],
+            },
+        );
         // A competing commit with a larger id supersedes the pending one...
-        let outs = m.on_message(t(2), p(1), MembMsg::Commit { config: high, members: vec![p(1), p(2)] });
+        let outs = m.on_message(
+            t(2),
+            p(1),
+            MembMsg::Commit {
+                config: high,
+                members: vec![p(1), p(2)],
+            },
+        );
         assert!(
             outs.iter().any(|o| matches!(
                 o,
@@ -1009,14 +1077,23 @@ mod state_machine_tests {
         assert!(outs.is_empty(), "{outs:?}");
         // The preferred one installs.
         let outs = m.on_message(t(4), p(1), MembMsg::Install { config: high });
-        assert!(outs.iter().any(|o| matches!(o, MembOut::Propose(c) if c.id == high)));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, MembOut::Propose(c) if c.id == high)));
     }
 
     #[test]
     fn commit_timeout_regathers() {
         let mut m = fresh(1, t(0));
         let cfg = ConfigId::regular(5, p(0));
-        let _ = m.on_message(t(1), p(0), MembMsg::Commit { config: cfg, members: vec![p(0), p(1)] });
+        let _ = m.on_message(
+            t(1),
+            p(0),
+            MembMsg::Commit {
+                config: cfg,
+                members: vec![p(0), p(1)],
+            },
+        );
         assert!(!m.is_stable());
         // No install ever arrives: after the commit timeout the process
         // must start gathering again (termination property).
@@ -1054,7 +1131,14 @@ mod state_machine_tests {
         let mut m = fresh(0, t(0));
         let set: BTreeSet<ProcessId> = [p(0), p(1)].into_iter().collect();
         let _ = m.force_reconfigure(t(1));
-        let _ = m.on_message(t(2), p(1), MembMsg::Join { candidates: set.clone(), max_epoch: 7 });
+        let _ = m.on_message(
+            t(2),
+            p(1),
+            MembMsg::Join {
+                candidates: set.clone(),
+                max_epoch: 7,
+            },
+        );
         // Wait out the stability window, ticking.
         let params = MembershipParams::default();
         let mut commit = None;
@@ -1067,11 +1151,22 @@ mod state_machine_tests {
                 break;
             }
             // Keep P1's liveness fresh so it is not pruned.
-            let _ = m.on_message(now, p(1), MembMsg::Join { candidates: set.clone(), max_epoch: 7 });
+            let _ = m.on_message(
+                now,
+                p(1),
+                MembMsg::Join {
+                    candidates: set.clone(),
+                    max_epoch: 7,
+                },
+            );
         }
         let (config, members) = commit.expect("leader commits");
         assert_eq!(members, vec![p(0), p(1)]);
         assert_eq!(config.rep, p(0));
-        assert!(config.epoch > 7, "epoch exceeds every epoch seen (got {})", config.epoch);
+        assert!(
+            config.epoch > 7,
+            "epoch exceeds every epoch seen (got {})",
+            config.epoch
+        );
     }
 }

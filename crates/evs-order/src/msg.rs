@@ -24,9 +24,7 @@ use std::collections::BTreeSet;
 /// let m = MessageId::new(ProcessId::new(2), 7);
 /// assert_eq!(m.to_string(), "P2#7");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId {
     /// The originating process.
     pub sender: ProcessId,
@@ -66,9 +64,7 @@ impl fmt::Display for MessageId {
 /// * `Safe` — deliverable only once every process in the configuration has
 ///   acknowledged receipt (Isis all-stable `abcast`); the focus of the
 ///   paper's Specifications 7.1/7.2.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum Service {
     /// Causally ordered delivery.
     Causal,

@@ -3,7 +3,12 @@
 use crate::{MessageId, OrderedMsg, RingMsg, Service, Token};
 use evs_membership::ConfigId;
 use evs_sim::{ProcessId, SimTime};
+use evs_telemetry::{Histogram, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Bucket bounds (inclusive) for the messages-stamped-per-token-visit
+/// histogram; the window itself is bounded by `max_per_visit`.
+const STAMPED_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
 
 /// Effects requested by the ring engine.
 #[derive(Debug)]
@@ -84,6 +89,8 @@ pub struct Ring<P> {
     retx_left: u32,
     max_per_visit: usize,
     rotations: u64,
+    telemetry: Telemetry,
+    stamped_per_visit: Histogram,
 }
 
 /// How many times a forwarded token is locally retransmitted before the
@@ -127,7 +134,16 @@ impl<P: Clone> Ring<P> {
             retx_left: 0,
             max_per_visit,
             rotations: 0,
+            telemetry: Telemetry::disabled(),
+            stamped_per_visit: Histogram::detached(),
         }
+    }
+
+    /// Attaches a telemetry handle. Instrument handles are resolved here
+    /// once so token-visit recording stays off the name-lookup path.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.stamped_per_visit = telemetry.histogram("stamped_per_visit", STAMPED_BOUNDS);
+        self.telemetry = telemetry;
     }
 
     /// The configuration this ring orders.
@@ -266,6 +282,14 @@ impl<P: Clone> Ring<P> {
         self.last_token_id = tok.token_id;
         self.high_seen = self.high_seen.max(tok.seq);
         let mut out = Vec::new();
+        self.telemetry.record(
+            now.ticks(),
+            TelemetryEvent::TokenReceived {
+                epoch: self.config.epoch,
+                token_id: tok.token_id,
+                aru: tok.aru,
+            },
+        );
 
         // 1. Service retransmission requests we can satisfy.
         let servable: Vec<u64> = tok
@@ -274,24 +298,46 @@ impl<P: Clone> Ring<P> {
             .copied()
             .filter(|s| self.store.contains_key(s))
             .collect();
+        if !servable.is_empty() {
+            self.telemetry.record(
+                now.ticks(),
+                TelemetryEvent::RetransmissionsServed {
+                    epoch: self.config.epoch,
+                    count: servable.len() as u64,
+                },
+            );
+        }
         for seq in servable {
             tok.rtr.remove(&seq);
             out.push(RingOut::Data(self.store[&seq].clone()));
         }
 
         // 2. Request our own holes.
+        let mut holes = 0u64;
         for hole in (self.my_aru + 1)..=tok.seq {
             if !self.store.contains_key(&hole) {
                 tok.rtr.insert(hole);
+                holes += 1;
             }
+        }
+        if holes > 0 {
+            self.telemetry.record(
+                now.ticks(),
+                TelemetryEvent::HolesRequested {
+                    epoch: self.config.epoch,
+                    count: holes,
+                },
+            );
         }
 
         // 3. Stamp and broadcast pending messages (flow-controlled).
+        let mut stamped = 0u64;
         for _ in 0..self.max_per_visit {
             let Some((id, service, payload)) = self.pending.pop_front() else {
                 break;
             };
             tok.seq += 1;
+            stamped += 1;
             let msg = OrderedMsg {
                 config: self.config,
                 seq: tok.seq,
@@ -302,6 +348,7 @@ impl<P: Clone> Ring<P> {
             self.accept_data(msg.clone());
             out.push(RingOut::Data(msg));
         }
+        self.stamped_per_visit.observe(stamped);
 
         // 4. Update the aru (Totem's rule): anyone behind lowers it and
         //    owns it until they catch up; the owner (or nobody) raises it.
@@ -310,14 +357,28 @@ impl<P: Clone> Ring<P> {
             tok.aru_id = Some(self.me);
         } else if tok.aru_id == Some(self.me) || tok.aru_id.is_none() {
             tok.aru = self.my_aru;
-            tok.aru_id = if tok.aru == tok.seq { None } else { Some(self.me) };
+            tok.aru_id = if tok.aru == tok.seq {
+                None
+            } else {
+                Some(self.me)
+            };
         }
 
         // 5. Advance the safe line: an ordinal covered by the aru on two
         //    successive visits was received by every member before the
         //    earlier visit completed its rotation.
         if let Some(prev) = self.prev_visit_aru {
-            self.safe_line = self.safe_line.max(prev.min(tok.aru));
+            let advanced = self.safe_line.max(prev.min(tok.aru));
+            if advanced > self.safe_line {
+                self.telemetry.record(
+                    now.ticks(),
+                    TelemetryEvent::SafeLineAdvanced {
+                        epoch: self.config.epoch,
+                        safe_line: advanced,
+                    },
+                );
+            }
+            self.safe_line = advanced;
         }
         self.prev_visit_aru = Some(tok.aru);
 
@@ -326,12 +387,29 @@ impl<P: Clone> Ring<P> {
         if succ == *self.members.first().expect("non-empty") {
             tok.rotation += 1;
         }
+        if tok.rotation > self.rotations {
+            self.telemetry.record(
+                now.ticks(),
+                TelemetryEvent::TokenRotated {
+                    epoch: self.config.epoch,
+                    rotations: tok.rotation,
+                },
+            );
+        }
         self.rotations = tok.rotation;
         tok.token_id += 1;
         self.last_token_id = tok.token_id;
         self.last_forwarded = Some(tok.clone());
         self.forwarded_at = now;
         self.retx_left = TOKEN_RETX_LIMIT;
+        self.telemetry.record(
+            now.ticks(),
+            TelemetryEvent::TokenForwarded {
+                epoch: self.config.epoch,
+                token_id: tok.token_id,
+                to: succ.index(),
+            },
+        );
         out.push(RingOut::TokenTo(succ, tok));
         out
     }
@@ -347,6 +425,13 @@ impl<P: Clone> Ring<P> {
         }
         self.retx_left -= 1;
         self.forwarded_at = now;
+        self.telemetry.record(
+            now.ticks(),
+            TelemetryEvent::TokenRetransmitted {
+                epoch: self.config.epoch,
+                token_id: tok.token_id,
+            },
+        );
         Some(RingOut::TokenTo(self.successor(), tok.clone()))
     }
 
@@ -537,7 +622,12 @@ mod tests {
     fn total_order_is_identical_across_members() {
         let mut net = TestRing::new(4);
         for n in 1..=5 {
-            net.submit((n % 4) as usize, mid((n % 4) as u32, n), Service::Agreed, "m");
+            net.submit(
+                (n % 4) as usize,
+                mid((n % 4) as u32, n),
+                Service::Agreed,
+                "m",
+            );
         }
         drive_rotations(&mut net, 6);
         let orders: Vec<Vec<(u64, MessageId, DeliveryClass)>> =

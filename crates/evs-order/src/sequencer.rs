@@ -352,9 +352,7 @@ mod tests {
                             }
                         }
                     }
-                    SeqOut::Send(to, m) => {
-                        self.queue.push_back((to.as_usize(), p(from as u32), m))
-                    }
+                    SeqOut::Send(to, m) => self.queue.push_back((to.as_usize(), p(from as u32), m)),
                 }
             }
         }

@@ -73,3 +73,9 @@ pub use node::{Ctx, Effect, Node, TimerId, TimerKind};
 pub use sim::{Action, NetConfig, Sim};
 pub use stable::StableStore;
 pub use time::SimTime;
+
+// Re-exported so drivers and applications can configure and harvest
+// telemetry without naming the bottom crate directly.
+pub use evs_telemetry::{
+    ProcessReport, RecordedEvent, RunReport, Telemetry, TelemetryEvent, DEFAULT_FLIGHT_CAPACITY,
+};

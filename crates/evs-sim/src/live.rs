@@ -17,6 +17,7 @@
 use crate::node::{Ctx, Effect, Node, TimerId, TimerKind};
 use crate::{ProcessId, SimTime, StableStore, Topology};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use evs_telemetry::Telemetry;
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -27,11 +28,9 @@ use std::time::{Duration, Instant};
 const TICK: Duration = Duration::from_micros(100);
 
 /// A boxed closure run against a node on its own thread.
-type NodeFn<N> =
-    Box<dyn FnOnce(&mut N, &mut Ctx<'_, <N as Node>::Msg, <N as Node>::Ev>) + Send>;
+type NodeFn<N> = Box<dyn FnOnce(&mut N, &mut Ctx<'_, <N as Node>::Msg, <N as Node>::Ev>) + Send>;
 /// A boxed read-only closure over a node and its trace.
-type InspectFn<N> =
-    Box<dyn FnOnce(&N, &[(SimTime, <N as Node>::Ev)]) + Send>;
+type InspectFn<N> = Box<dyn FnOnce(&N, &[(SimTime, <N as Node>::Ev)]) + Send>;
 /// A node's final state and trace, as returned by [`LiveNet::shutdown`].
 pub type NodeResult<N> = (N, Vec<(SimTime, <N as Node>::Ev)>);
 
@@ -47,6 +46,7 @@ enum Packet<N: Node> {
 struct Shared<N: Node> {
     senders: Vec<Sender<Packet<N>>>,
     topology: RwLock<Topology>,
+    telemetry: Vec<Telemetry>,
 }
 
 struct Worker<N: Node> {
@@ -61,6 +61,7 @@ struct Worker<N: Node> {
     cancelled: HashSet<TimerId>,
     alive: bool,
     epoch: Instant,
+    telemetry: Telemetry,
 }
 
 impl<N: Node> Worker<N> {
@@ -77,6 +78,7 @@ impl<N: Node> Worker<N> {
             stable: &mut self.stable,
             trace: &mut self.trace,
             next_timer_id: &mut self.next_timer_id,
+            telemetry: self.telemetry.clone(),
         };
         f(&mut self.node, &mut ctx);
         let effects = ctx.effects;
@@ -97,10 +99,8 @@ impl<N: Node> Worker<N> {
                 Effect::Unicast(to, msg) => {
                     let topo = self.shared.topology.read();
                     if topo.reachable(self.me, to) {
-                        let _ = self.shared.senders[to.as_usize()].send(Packet::Deliver {
-                            from: self.me,
-                            msg,
-                        });
+                        let _ = self.shared.senders[to.as_usize()]
+                            .send(Packet::Deliver { from: self.me, msg });
                     }
                 }
                 Effect::SetTimer(id, delay, kind) => {
@@ -151,6 +151,7 @@ impl<N: Node> Worker<N> {
                             stable: &mut self.stable,
                             trace: &mut self.trace,
                             next_timer_id: &mut self.next_timer_id,
+                            telemetry: self.telemetry.clone(),
                         };
                         self.node.on_crash(&mut ctx);
                     }
@@ -215,8 +216,21 @@ where
     N::Msg: Send,
     N::Ev: Send,
 {
-    /// Spawns `n` nodes built by `make`, fully connected.
-    pub fn spawn(n: usize, mut make: impl FnMut(ProcessId) -> N) -> Self {
+    /// Spawns `n` nodes built by `make`, fully connected, with telemetry
+    /// detached.
+    pub fn spawn(n: usize, make: impl FnMut(ProcessId) -> N) -> Self {
+        LiveNet::spawn_inner(n, make, false)
+    }
+
+    /// Like [`LiveNet::spawn`], but attaches an enabled [`Telemetry`] handle
+    /// to every node. Node threads update instruments concurrently; the
+    /// caller snapshots through [`LiveNet::telemetry`] /
+    /// [`LiveNet::telemetry_handles`] at any time.
+    pub fn spawn_with_telemetry(n: usize, make: impl FnMut(ProcessId) -> N) -> Self {
+        LiveNet::spawn_inner(n, make, true)
+    }
+
+    fn spawn_inner(n: usize, mut make: impl FnMut(ProcessId) -> N, telemetry: bool) -> Self {
         let mut senders = Vec::with_capacity(n);
         let mut inboxes = Vec::with_capacity(n);
         for _ in 0..n {
@@ -224,9 +238,19 @@ where
             senders.push(tx);
             inboxes.push(rx);
         }
+        let telemetry: Vec<Telemetry> = (0..n as u32)
+            .map(|i| {
+                if telemetry {
+                    Telemetry::enabled(i)
+                } else {
+                    Telemetry::disabled()
+                }
+            })
+            .collect();
         let shared = Arc::new(Shared {
             senders,
             topology: RwLock::new(Topology::fully_connected(n)),
+            telemetry,
         });
         let epoch = Instant::now();
         let handles = inboxes
@@ -246,11 +270,23 @@ where
                     cancelled: HashSet::new(),
                     alive: true,
                     epoch,
+                    telemetry: shared.telemetry[i].clone(),
                 };
                 std::thread::spawn(move || worker.run())
             })
             .collect();
         LiveNet { shared, handles }
+    }
+
+    /// The telemetry handle of process `p` (detached unless spawned with
+    /// [`LiveNet::spawn_with_telemetry`]).
+    pub fn telemetry(&self, p: ProcessId) -> &Telemetry {
+        &self.shared.telemetry[p.as_usize()]
+    }
+
+    /// Every process's telemetry handle, in process order.
+    pub fn telemetry_handles(&self) -> Vec<Telemetry> {
+        self.shared.telemetry.clone()
     }
 
     /// Number of nodes.

@@ -1,6 +1,7 @@
 //! The state-machine interface simulated processes implement.
 
 use crate::{ProcessId, SimTime, StableStore};
+use evs_telemetry::Telemetry;
 use std::fmt;
 
 /// An opaque handle for a pending timer, returned by [`Ctx::set_timer`] and
@@ -43,7 +44,12 @@ pub trait Node {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Ev>);
 
     /// Called for every message received over the medium.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Ev>, from: ProcessId, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Ev>,
+        from: ProcessId,
+        msg: Self::Msg,
+    );
 
     /// Called when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Ev>, kind: TimerKind);
@@ -95,6 +101,7 @@ pub struct Ctx<'a, M, E> {
     pub(crate) stable: &'a mut StableStore,
     pub(crate) trace: &'a mut Vec<(SimTime, E)>,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl<'a, M, E> Ctx<'a, M, E> {
@@ -116,6 +123,28 @@ impl<'a, M, E> Ctx<'a, M, E> {
             stable,
             trace,
             next_timer_id,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Like [`Ctx::detached`], but with an attached [`Telemetry`] handle so a
+    /// custom transport driver participates in metrics and flight recording.
+    pub fn detached_with_telemetry(
+        pid: ProcessId,
+        now: SimTime,
+        stable: &'a mut StableStore,
+        trace: &'a mut Vec<(SimTime, E)>,
+        next_timer_id: &'a mut u64,
+        telemetry: Telemetry,
+    ) -> Self {
+        Ctx {
+            pid,
+            now,
+            effects: Vec::new(),
+            stable,
+            trace,
+            next_timer_id,
+            telemetry,
         }
     }
 
@@ -182,6 +211,13 @@ impl<'a, M, E> Ctx<'a, M, E> {
     pub fn emit(&mut self, event: E) {
         self.trace.push((self.now, event));
     }
+
+    /// This process's telemetry handle (detached unless the driver enabled
+    /// telemetry). Protocol layers clone it at startup and record through
+    /// the clone; a detached handle makes every operation a no-op.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +236,7 @@ mod tests {
             stable: &mut stable,
             trace: &mut trace,
             next_timer_id: &mut next,
+            telemetry: Telemetry::disabled(),
         };
         ctx.broadcast(1);
         let t = ctx.set_timer(10, TimerKind(2));

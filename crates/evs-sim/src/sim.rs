@@ -2,6 +2,7 @@
 
 use crate::node::{Ctx, Effect, Node, TimerId, TimerKind};
 use crate::{ProcessId, SimTime, StableStore, Topology};
+use evs_telemetry::Telemetry;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -140,6 +141,7 @@ struct Slot<N: Node> {
     trace: Vec<(SimTime, N::Ev)>,
     next_timer_id: u64,
     cancelled: HashSet<TimerId>,
+    telemetry: Telemetry,
 }
 
 /// A deterministic discrete-event simulation of a broadcast network of
@@ -216,6 +218,7 @@ impl<N: Node> Sim<N> {
                 trace: Vec::new(),
                 next_timer_id: 0,
                 cancelled: HashSet::new(),
+                telemetry: Telemetry::disabled(),
             })
             .collect();
         let rng = SmallRng::seed_from_u64(cfg.seed);
@@ -265,6 +268,37 @@ impl<N: Node> Sim<N> {
     /// The events `p` has emitted so far, in emission order.
     pub fn trace(&self, p: ProcessId) -> &[(SimTime, N::Ev)] {
         &self.slots[p.as_usize()].trace
+    }
+
+    /// Attaches an enabled [`Telemetry`] handle to every process.
+    ///
+    /// Must be called before the simulation starts so `Node::on_start` sees
+    /// the attached handle. Telemetry (including the flight recorder, like
+    /// the trace) deliberately survives crash/recovery: it records what the
+    /// process did across its whole lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Node::on_start` has already run.
+    pub fn enable_telemetry(&mut self) {
+        assert!(
+            !self.started,
+            "enable_telemetry must be called before the simulation starts"
+        );
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.telemetry = Telemetry::enabled(i as u32);
+        }
+    }
+
+    /// The telemetry handle of process `p` (detached unless
+    /// [`Sim::enable_telemetry`] was called).
+    pub fn telemetry(&self, p: ProcessId) -> &Telemetry {
+        &self.slots[p.as_usize()].telemetry
+    }
+
+    /// Every process's telemetry handle, in process order.
+    pub fn telemetry_handles(&self) -> Vec<Telemetry> {
+        self.slots.iter().map(|s| s.telemetry.clone()).collect()
     }
 
     /// Consumes the simulation and returns every process's trace.
@@ -400,6 +434,7 @@ impl<N: Node> Sim<N> {
             stable: &mut slot.stable,
             trace: &mut slot.trace,
             next_timer_id: &mut slot.next_timer_id,
+            telemetry: slot.telemetry.clone(),
         };
         slot.node.on_crash(&mut ctx);
     }
@@ -451,6 +486,7 @@ impl<N: Node> Sim<N> {
             stable: &mut slot.stable,
             trace: &mut slot.trace,
             next_timer_id: &mut slot.next_timer_id,
+            telemetry: slot.telemetry.clone(),
         };
         f(&mut slot.node, &mut ctx);
         let effects = ctx.effects;
@@ -488,7 +524,9 @@ impl<N: Node> Sim<N> {
             // Reliable loopback.
             (self.cfg.latency_min, false)
         } else {
-            let latency = self.rng.gen_range(self.cfg.latency_min..=self.cfg.latency_max);
+            let latency = self
+                .rng
+                .gen_range(self.cfg.latency_min..=self.cfg.latency_max);
             let dropped = self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob);
             (latency, dropped)
         };
@@ -584,10 +622,10 @@ mod tests {
     #[test]
     fn partition_blocks_cross_component_traffic() {
         let mut sim = Sim::new(4, NetConfig::default(), |_| Gossip::new(false));
-        sim.at(SimTime::from_ticks(1), Action::Partition(vec![
-            vec![p(0), p(1)],
-            vec![p(2), p(3)],
-        ]));
+        sim.at(
+            SimTime::from_ticks(1),
+            Action::Partition(vec![vec![p(0), p(1)], vec![p(2), p(3)]]),
+        );
         sim.at_invoke(SimTime::from_ticks(2), p(0), |_n, ctx| ctx.broadcast(7));
         sim.run_until(SimTime::from_ticks(100));
         assert!(sim.node(p(1)).heard >= 1);
@@ -609,7 +647,10 @@ mod tests {
             |_| Gossip::new(false),
         );
         sim.at_invoke(SimTime::from_ticks(1), p(0), |_n, ctx| ctx.broadcast(9));
-        sim.at(SimTime::from_ticks(2), Action::Partition(vec![vec![p(0)], vec![p(1)]]));
+        sim.at(
+            SimTime::from_ticks(2),
+            Action::Partition(vec![vec![p(0)], vec![p(1)]]),
+        );
         sim.run_until(SimTime::from_ticks(50));
         assert_eq!(sim.node(p(1)).heard, 0);
         // Loopback still arrives at the sender: once for the original send
@@ -642,20 +683,14 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
-            let mut sim = Sim::new(
-                5,
-                NetConfig::lossy(0.2, seed),
-                |_| Gossip::new(false),
-            );
+            let mut sim = Sim::new(5, NetConfig::lossy(0.2, seed), |_| Gossip::new(false));
             for t in 1..20 {
                 sim.at_invoke(SimTime::from_ticks(t), p((t % 5) as u32), move |_n, ctx| {
                     ctx.broadcast(t)
                 });
             }
             sim.run_until(SimTime::from_ticks(500));
-            (0..5)
-                .map(|i| sim.trace(p(i)).to_vec())
-                .collect::<Vec<_>>()
+            (0..5).map(|i| sim.trace(p(i)).to_vec()).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         // Different seeds almost surely differ under 20% loss.
@@ -689,10 +724,10 @@ mod tests {
     #[test]
     fn merge_restores_connectivity() {
         let mut sim = Sim::new(3, NetConfig::default(), |_| Gossip::new(false));
-        sim.at(SimTime::from_ticks(1), Action::Partition(vec![
-            vec![p(0)],
-            vec![p(1), p(2)],
-        ]));
+        sim.at(
+            SimTime::from_ticks(1),
+            Action::Partition(vec![vec![p(0)], vec![p(1), p(2)]]),
+        );
         sim.at(SimTime::from_ticks(10), Action::MergeAll);
         sim.at_invoke(SimTime::from_ticks(11), p(0), |_n, ctx| ctx.broadcast(5));
         sim.run_until(SimTime::from_ticks(60));

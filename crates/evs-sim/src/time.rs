@@ -21,9 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.ticks(), 5);
 /// assert!(t < t + 1);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 impl SimTime {

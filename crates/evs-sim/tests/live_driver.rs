@@ -113,7 +113,10 @@ fn crash_loses_volatile_state_recover_restarts() {
     assert!(net.wait_until(Duration::from_secs(5), |n| !n.heard.is_empty()));
     net.crash(p(1));
     std::thread::sleep(Duration::from_millis(50));
-    assert!(net.inspect(p(1), |n, _| n.heard.is_empty()), "volatile lost");
+    assert!(
+        net.inspect(p(1), |n, _| n.heard.is_empty()),
+        "volatile lost"
+    );
     net.recover(p(1));
     net.invoke(p(0), |_n, ctx| ctx.broadcast(2));
     assert!(

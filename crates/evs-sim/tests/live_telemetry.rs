@@ -1,0 +1,109 @@
+//! Telemetry under the threaded driver: every node thread hammers its
+//! handle concurrently while the main thread snapshots, and the final
+//! counts are exact.
+
+use evs_sim::live::LiveNet;
+use evs_sim::{Ctx, Node, ProcessId, RunReport, TelemetryEvent, TimerKind};
+use std::time::Duration;
+
+const TICK: TimerKind = TimerKind(3);
+const ROUNDS: u64 = 50;
+
+/// Broadcasts a burst on start; counts every message heard both in the
+/// node and in its telemetry handle, so the two tallies can be compared.
+#[derive(Debug)]
+struct Chatter {
+    heard: u64,
+    ticks: u64,
+}
+
+impl Node for Chatter {
+    type Msg = u64;
+    type Ev = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64, u64>) {
+        ctx.set_timer(5, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64, u64>, _from: ProcessId, msg: u64) {
+        self.heard += 1;
+        ctx.telemetry().record(
+            ctx.now().ticks(),
+            TelemetryEvent::MessageDelivered {
+                epoch: msg,
+                service: "agreed",
+                transitional: false,
+            },
+        );
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64, u64>, _kind: TimerKind) {
+        if self.ticks < ROUNDS {
+            self.ticks += 1;
+            ctx.telemetry().record(
+                ctx.now().ticks(),
+                TelemetryEvent::TokenRotated {
+                    epoch: 1,
+                    rotations: self.ticks,
+                },
+            );
+            ctx.broadcast(self.ticks);
+            ctx.set_timer(5, TICK);
+        }
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, u64, u64>) {}
+    fn on_recover(&mut self, _ctx: &mut Ctx<'_, u64, u64>) {}
+}
+
+#[test]
+fn concurrent_increments_are_exact() {
+    const N: usize = 4;
+    let net = LiveNet::spawn_with_telemetry(N, |_| Chatter { heard: 0, ticks: 0 });
+    // Every node broadcasts ROUNDS messages; a live broadcast loops back
+    // to its sender, so each node hears all N streams including its own.
+    assert!(
+        net.wait_until(Duration::from_secs(20), |n: &Chatter| {
+            n.ticks == ROUNDS && n.heard == ROUNDS * N as u64
+        }),
+        "all bursts delivered everywhere"
+    );
+    // Snapshot while the threads are still alive (they are idle by now,
+    // but the handles are still shared with them).
+    let handles = net.telemetry_handles();
+    let report = RunReport::collect(&handles);
+    assert_eq!(
+        report.total("token_rotations"),
+        ROUNDS * N as u64,
+        "one rotation event per tick per node"
+    );
+    assert_eq!(
+        report.total("messages_delivered"),
+        ROUNDS * (N as u64) * (N as u64),
+        "every broadcast heard by every node, sender included"
+    );
+    let results = net.shutdown();
+    // The node-side tallies agree with the per-process counters.
+    for (i, (node, _)) in results.iter().enumerate() {
+        let proc = &report.processes[i];
+        assert_eq!(proc.pid, i as u32);
+        assert_eq!(
+            proc.counters
+                .get("messages_delivered")
+                .copied()
+                .unwrap_or(0),
+            node.heard
+        );
+    }
+}
+
+#[test]
+fn plain_spawn_stays_detached() {
+    let net = LiveNet::spawn(2, |_| Chatter { heard: 0, ticks: 0 });
+    assert!(net.wait_until(Duration::from_secs(10), |n: &Chatter| n.ticks == ROUNDS));
+    for t in net.telemetry_handles() {
+        assert!(!t.is_enabled());
+    }
+    assert!(RunReport::collect(&net.telemetry_handles()).is_empty());
+    net.shutdown();
+}

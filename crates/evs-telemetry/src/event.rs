@@ -1,0 +1,285 @@
+//! The structured event vocabulary of the protocol stack.
+//!
+//! Every variant carries only primitives (`u64`, `u32`, `bool`,
+//! `&'static str`) so this crate sits below every protocol crate with no
+//! type dependencies. Each variant maps to a concept of the paper — see
+//! the "Telemetry ↔ paper" table in `DESIGN.md` for the full mapping
+//! (e.g. `ConfigDelivered` ↔ `deliver_conf_p(c)` giving `reg_p(c)` /
+//! `trans_p(c)`, `ObligationSetSize` ↔ the obligation sets of §3).
+
+use std::fmt;
+
+/// One structured telemetry event, emitted by an instrumented layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    // ---- evs-order: the token ring ----
+    /// The ring accepted a token visit (`Ring::on_token`).
+    TokenReceived {
+        /// Epoch of the configuration the ring orders.
+        epoch: u64,
+        /// The token's visit identifier.
+        token_id: u64,
+        /// The token's all-received-up-to value on arrival.
+        aru: u64,
+    },
+    /// The ring handed the token to its successor.
+    TokenForwarded {
+        /// Epoch of the configuration the ring orders.
+        epoch: u64,
+        /// The forwarded token's visit identifier.
+        token_id: u64,
+        /// The successor process.
+        to: u32,
+    },
+    /// A locally-held token was retransmitted after silence.
+    TokenRetransmitted {
+        /// Epoch of the configuration the ring orders.
+        epoch: u64,
+        /// The retransmitted token's visit identifier.
+        token_id: u64,
+    },
+    /// The token completed a full rotation around the ring.
+    TokenRotated {
+        /// Epoch of the configuration the ring orders.
+        epoch: u64,
+        /// Total rotations observed by this process in this ring.
+        rotations: u64,
+    },
+    /// Data messages were rebroadcast to service the token's
+    /// retransmission-request list.
+    RetransmissionsServed {
+        /// Epoch of the configuration the ring orders.
+        epoch: u64,
+        /// How many messages were rebroadcast on this visit.
+        count: u64,
+    },
+    /// The ring asked for missing ordinals via the token's rtr list.
+    HolesRequested {
+        /// Epoch of the configuration the ring orders.
+        epoch: u64,
+        /// How many ordinals were requested.
+        count: u64,
+    },
+    /// The safe line advanced (two successive covered visits).
+    SafeLineAdvanced {
+        /// Epoch of the configuration the ring orders.
+        epoch: u64,
+        /// The new safe line.
+        safe_line: u64,
+    },
+
+    // ---- evs-membership: the low-level membership algorithm ----
+    /// The membership state machine moved between states.
+    MembershipTransition {
+        /// State left ("stable", "gather", "commit").
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
+    /// The representative committed a proposed configuration.
+    ConfigCommitted {
+        /// Epoch of the proposed configuration.
+        epoch: u64,
+        /// Size of the proposed membership.
+        members: u32,
+    },
+    /// The membership layer installed an agreed configuration.
+    ConfigInstalled {
+        /// Epoch of the installed configuration.
+        epoch: u64,
+        /// Size of the installed membership.
+        members: u32,
+    },
+
+    // ---- evs-core: the EVS engine ----
+    /// The engine originated a message (`send_p(m)`).
+    MessageSent {
+        /// Epoch of the configuration of origination.
+        epoch: u64,
+        /// Requested service level ("causal", "agreed", "safe").
+        service: &'static str,
+    },
+    /// The engine delivered a message to the application
+    /// (`deliver_p(m, c)`).
+    MessageDelivered {
+        /// Epoch of the configuration of delivery.
+        epoch: u64,
+        /// The message's service level.
+        service: &'static str,
+        /// True if delivered in a transitional configuration.
+        transitional: bool,
+    },
+    /// The engine delivered a configuration change
+    /// (`deliver_conf_p(c)`, establishing `reg_p(c)` or `trans_p(c)`).
+    ConfigDelivered {
+        /// Epoch of the delivered configuration.
+        epoch: u64,
+        /// Size of the delivered membership.
+        members: u32,
+        /// True for a regular configuration, false for transitional.
+        regular: bool,
+    },
+    /// The engine entered the recovery algorithm (§3 Step 2).
+    RecoveryStepEntered {
+        /// The recovery step entered (2 on entry).
+        step: u8,
+    },
+    /// The engine left the recovery algorithm (§3 Step 6), or the
+    /// recovery was abandoned by a crash/recovery cycle (step 0).
+    RecoveryStepExited {
+        /// The recovery step at exit (6 on completion, 0 on abort).
+        step: u8,
+    },
+    /// Size of the obligation set when it was extended (§3 Step 5.c).
+    ObligationSetSize {
+        /// Number of processes in the obligation set.
+        size: u32,
+    },
+    /// A write to crash-surviving stable storage.
+    StableWrite {
+        /// The stable-storage key written.
+        key: &'static str,
+    },
+}
+
+impl TelemetryEvent {
+    /// The counter bumped when this event is recorded; also its stable
+    /// identifier in reports and flight-recorder dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryEvent::TokenReceived { .. } => "tokens_received",
+            TelemetryEvent::TokenForwarded { .. } => "tokens_forwarded",
+            TelemetryEvent::TokenRetransmitted { .. } => "token_retransmissions",
+            TelemetryEvent::TokenRotated { .. } => "token_rotations",
+            TelemetryEvent::RetransmissionsServed { .. } => "retransmissions_served",
+            TelemetryEvent::HolesRequested { .. } => "holes_requested",
+            TelemetryEvent::SafeLineAdvanced { .. } => "safe_line_advances",
+            TelemetryEvent::MembershipTransition { .. } => "membership_transitions",
+            TelemetryEvent::ConfigCommitted { .. } => "configs_committed",
+            TelemetryEvent::ConfigInstalled { .. } => "configs_installed",
+            TelemetryEvent::MessageSent { .. } => "messages_sent",
+            TelemetryEvent::MessageDelivered { .. } => "messages_delivered",
+            TelemetryEvent::ConfigDelivered { .. } => "configs_delivered",
+            TelemetryEvent::RecoveryStepEntered { .. } => "recovery_steps_entered",
+            TelemetryEvent::RecoveryStepExited { .. } => "recovery_steps_exited",
+            TelemetryEvent::ObligationSetSize { .. } => "obligation_set_samples",
+            TelemetryEvent::StableWrite { .. } => "stable_writes",
+        }
+    }
+}
+
+impl fmt::Display for TelemetryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryEvent::TokenReceived {
+                epoch,
+                token_id,
+                aru,
+            } => write!(
+                f,
+                "token received (epoch {epoch}, id {token_id}, aru {aru})"
+            ),
+            TelemetryEvent::TokenForwarded {
+                epoch,
+                token_id,
+                to,
+            } => write!(f, "token forwarded to P{to} (epoch {epoch}, id {token_id})"),
+            TelemetryEvent::TokenRetransmitted { epoch, token_id } => {
+                write!(f, "token retransmitted (epoch {epoch}, id {token_id})")
+            }
+            TelemetryEvent::TokenRotated { epoch, rotations } => {
+                write!(f, "token rotation #{rotations} (epoch {epoch})")
+            }
+            TelemetryEvent::RetransmissionsServed { epoch, count } => {
+                write!(f, "served {count} retransmission(s) (epoch {epoch})")
+            }
+            TelemetryEvent::HolesRequested { epoch, count } => {
+                write!(f, "requested {count} missing ordinal(s) (epoch {epoch})")
+            }
+            TelemetryEvent::SafeLineAdvanced { epoch, safe_line } => {
+                write!(f, "safe line -> {safe_line} (epoch {epoch})")
+            }
+            TelemetryEvent::MembershipTransition { from, to } => {
+                write!(f, "membership {from} -> {to}")
+            }
+            TelemetryEvent::ConfigCommitted { epoch, members } => {
+                write!(
+                    f,
+                    "committed configuration (epoch {epoch}, {members} members)"
+                )
+            }
+            TelemetryEvent::ConfigInstalled { epoch, members } => {
+                write!(
+                    f,
+                    "installed configuration (epoch {epoch}, {members} members)"
+                )
+            }
+            TelemetryEvent::MessageSent { epoch, service } => {
+                write!(f, "sent {service} message (epoch {epoch})")
+            }
+            TelemetryEvent::MessageDelivered {
+                epoch,
+                service,
+                transitional,
+            } => {
+                let kind = if *transitional {
+                    "transitional"
+                } else {
+                    "regular"
+                };
+                write!(
+                    f,
+                    "delivered {service} message ({kind} config, epoch {epoch})"
+                )
+            }
+            TelemetryEvent::ConfigDelivered {
+                epoch,
+                members,
+                regular,
+            } => {
+                let kind = if *regular { "regular" } else { "transitional" };
+                write!(
+                    f,
+                    "delivered {kind} configuration (epoch {epoch}, {members} members)"
+                )
+            }
+            TelemetryEvent::RecoveryStepEntered { step } => {
+                write!(f, "recovery entered at step {step}")
+            }
+            TelemetryEvent::RecoveryStepExited { step } => match step {
+                0 => write!(f, "recovery abandoned (crash/recovery cycle)"),
+                s => write!(f, "recovery completed at step {s}"),
+            },
+            TelemetryEvent::ObligationSetSize { size } => {
+                write!(f, "obligation set extended to {size} process(es)")
+            }
+            TelemetryEvent::StableWrite { key } => {
+                write!(f, "stable-storage write ({key})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_identifiers() {
+        let ev = TelemetryEvent::TokenRotated {
+            epoch: 3,
+            rotations: 17,
+        };
+        assert_eq!(ev.name(), "token_rotations");
+        assert_eq!(ev.to_string(), "token rotation #17 (epoch 3)");
+    }
+
+    #[test]
+    fn recovery_exit_displays_abort_distinctly() {
+        let done = TelemetryEvent::RecoveryStepExited { step: 6 };
+        let aborted = TelemetryEvent::RecoveryStepExited { step: 0 };
+        assert!(done.to_string().contains("completed"));
+        assert!(aborted.to_string().contains("abandoned"));
+        assert_eq!(done.name(), aborted.name());
+    }
+}

@@ -1,0 +1,368 @@
+//! Counters, gauges and fixed-bucket histograms behind a per-process
+//! [`Registry`].
+//!
+//! All mutation is a single atomic operation, so instruments can be
+//! updated from any thread (the live driver runs one thread per process
+//! and the main thread snapshots concurrently). Name resolution takes a
+//! `std::sync::RwLock` once per lookup; hot paths resolve their
+//! instruments up front and hold the returned handles, after which an
+//! update is one `fetch_add`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A monotonically increasing counter.
+///
+/// The default handle is *detached*: every operation is a no-op. Handles
+/// obtained from a [`Registry`] share the registry's storage, so clones
+/// and re-lookups of the same name observe one value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached counter: increments vanish, `get` returns 0.
+    pub fn detached() -> Self {
+        Counter(None)
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A detached gauge: updates vanish, `get` returns 0.
+    pub fn detached() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage of a histogram with fixed bucket bounds.
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bounds of the finite buckets; an implicit +∞
+    /// bucket follows. Strictly increasing.
+    bounds: &'static [u64],
+    /// One slot per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &'static [u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        HistogramCore {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A detached histogram: observations vanish.
+    pub fn detached() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.observe(v);
+        }
+    }
+
+    /// Snapshot of the current state, or `None` when detached.
+    pub fn snapshot(&self) -> Option<HistogramSnapshot> {
+        self.0.as_ref().map(|core| HistogramSnapshot {
+            bounds: core.bounds.to_vec(),
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; the final entry is the overflow
+    /// bucket (observations above every bound).
+    pub buckets: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The per-process instrument registry: names → shared storage.
+///
+/// Instruments are created on first lookup; later lookups of the same
+/// name return handles over the same storage. A histogram keeps the
+/// bounds it was first registered with.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<AtomicI64>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<HistogramCore>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolves (creating if needed) the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        if let Some(cell) = read(&self.counters).get(name) {
+            return Counter(Some(Arc::clone(cell)));
+        }
+        let mut map = write(&self.counters);
+        let cell = map
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Resolves (creating if needed) the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        if let Some(cell) = read(&self.gauges).get(name) {
+            return Gauge(Some(Arc::clone(cell)));
+        }
+        let mut map = write(&self.gauges);
+        let cell = map
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+        Gauge(Some(Arc::clone(cell)))
+    }
+
+    /// Resolves (creating if needed) the histogram `name` with the given
+    /// bucket bounds. If the name exists, its original bounds win.
+    pub fn histogram(&self, name: &'static str, bounds: &'static [u64]) -> Histogram {
+        if let Some(core) = read(&self.histograms).get(name) {
+            return Histogram(Some(Arc::clone(core)));
+        }
+        let mut map = write(&self.histograms);
+        let core = map
+            .entry(name)
+            .or_insert_with(|| Arc::new(HistogramCore::new(bounds)));
+        Histogram(Some(Arc::clone(core)))
+    }
+
+    /// Copies every counter's current value.
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        read(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Copies every gauge's current value.
+    pub fn gauge_values(&self) -> BTreeMap<String, i64> {
+        read(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Snapshots every histogram.
+    pub fn histogram_values(&self) -> BTreeMap<String, HistogramSnapshot> {
+        read(&self.histograms)
+            .iter()
+            .map(|(k, core)| {
+                (
+                    k.to_string(),
+                    HistogramSnapshot {
+                        bounds: core.bounds.to_vec(),
+                        buckets: core
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        count: core.count.load(Ordering::Relaxed),
+                        sum: core.sum.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_storage() {
+        let reg = Registry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.counter_values()["hits"], 5);
+    }
+
+    #[test]
+    fn detached_instruments_are_noops() {
+        let c = Counter::detached();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::detached();
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::detached();
+        h.observe(3);
+        assert!(h.snapshot().is_none());
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        assert_eq!(reg.gauge_values()["depth"], 7);
+    }
+
+    #[test]
+    fn histogram_bucket_math() {
+        let reg = Registry::new();
+        let h = reg.histogram("sizes", &[1, 2, 4, 8]);
+        // Bounds are inclusive: 1→bucket0, 2→bucket1, 3..=4→bucket2,
+        // 5..=8→bucket3, >8→overflow.
+        for v in [0, 1, 2, 3, 4, 5, 8, 9, 100] {
+            h.observe(v);
+        }
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.bounds, vec![1, 2, 4, 8]);
+        assert_eq!(snap.buckets, vec![2, 1, 2, 2, 2]);
+        assert_eq!(snap.count, 9);
+        assert_eq!(snap.sum, 132);
+        assert!((snap.mean() - 132.0 / 9.0).abs() < 1e-9);
+        // Bucket counts always sum to the observation count.
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn histogram_first_bounds_win() {
+        let reg = Registry::new();
+        let a = reg.histogram("x", &[10]);
+        let b = reg.histogram("x", &[99, 100]);
+        a.observe(5);
+        b.observe(5);
+        let snap = b.snapshot().unwrap();
+        assert_eq!(snap.bounds, vec![10]);
+        assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let reg = Registry::new();
+        let _ = reg.histogram("bad", &[5, 5]);
+    }
+
+    #[test]
+    fn concurrent_increments_from_many_threads() {
+        let reg = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("shared");
+                let h = reg.histogram("obs", &[100]);
+                for i in 0..1_000 {
+                    c.inc();
+                    h.observe(i % 7);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter_values()["shared"], 8_000);
+        assert_eq!(reg.histogram_values()["obs"].count, 8_000);
+    }
+}

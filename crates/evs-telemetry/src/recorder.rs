@@ -1,0 +1,142 @@
+//! The bounded flight recorder: the last K structured events per process.
+//!
+//! Protocol runs can span millions of events; the recorder keeps only a
+//! bounded suffix, which is exactly what a post-mortem wants — when a
+//! specification checker reports a violation, the recorder's dump shows
+//! what each process was doing just before the end.
+
+use crate::event::TelemetryEvent;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Default number of events retained per process.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// A timestamped entry of the flight recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Tick count (simulated or real driver time) when recorded.
+    pub at: u64,
+    /// The event.
+    pub event: TelemetryEvent,
+}
+
+impl fmt::Display for RecordedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t={}] {}", self.at, self.event)
+    }
+}
+
+/// A bounded ring buffer of [`RecordedEvent`]s, safe to push from the
+/// owning process thread while another thread dumps.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: Mutex<VecDeque<RecordedEvent>>,
+    /// Total pushes ever (so a dump can say how much history was lost).
+    pushed: std::sync::atomic::AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "flight recorder needs room for at least one event"
+        );
+        FlightRecorder {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            pushed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn push(&self, at: u64, event: TelemetryEvent) {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(RecordedEvent { at, event });
+        self.pushed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The retained suffix, oldest first.
+    pub fn dump(&self) -> Vec<RecordedEvent> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Total events ever pushed (≥ the dump's length).
+    pub fn total_recorded(&self) -> u64 {
+        self.pushed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> TelemetryEvent {
+        TelemetryEvent::TokenRotated {
+            epoch: 1,
+            rotations: n,
+        }
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..5 {
+            rec.push(i, ev(i));
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 5);
+        assert_eq!(dump[0].at, 0);
+        assert_eq!(dump[4].at, 4);
+        assert_eq!(rec.total_recorded(), 5);
+    }
+
+    #[test]
+    fn wraparound_keeps_exactly_the_last_k() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10 {
+            rec.push(i, ev(i));
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 4);
+        // The last K survive, oldest first.
+        let at: Vec<u64> = dump.iter().map(|r| r.at).collect();
+        assert_eq!(at, vec![6, 7, 8, 9]);
+        assert_eq!(rec.total_recorded(), 10);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let rec = FlightRecorder::new(2);
+        rec.push(42, ev(7));
+        let line = rec.dump()[0].to_string();
+        assert_eq!(line, "[t=42] token rotation #7 (epoch 1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn zero_capacity_rejected() {
+        let _ = FlightRecorder::new(0);
+    }
+}

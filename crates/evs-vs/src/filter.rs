@@ -330,28 +330,26 @@ mod tests {
         use evs_core::EvsEvent::*;
         let minority = cfg(1, &[0]); // universe 3: not primary
         let m = MessageId::new(p(0), 1);
-        let trace = Trace::new(vec![
-            vec![
-                (t0(), DeliverConf(minority.clone())),
-                (
-                    t0(),
-                    Send {
-                        id: m,
-                        config: minority.id,
-                        service: Service::Agreed,
-                    },
-                ),
-                (
-                    t0(),
-                    Deliver {
-                        id: m,
-                        config: minority.id,
-                        service: Service::Agreed,
-                        seq: 1,
-                    },
-                ),
-            ],
-        ]);
+        let trace = Trace::new(vec![vec![
+            (t0(), DeliverConf(minority.clone())),
+            (
+                t0(),
+                Send {
+                    id: m,
+                    config: minority.id,
+                    service: Service::Agreed,
+                },
+            ),
+            (
+                t0(),
+                Deliver {
+                    id: m,
+                    config: minority.id,
+                    service: Service::Agreed,
+                    seq: 1,
+                },
+            ),
+        ]]);
         let run = filter_trace(&trace, &MajorityPrimary::new(3));
         assert!(
             run.events[0].is_empty(),
@@ -390,17 +388,9 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let p2 = final_view
-            .members
-            .iter()
-            .find(|m| m.pid == p(2))
-            .unwrap();
+        let p2 = final_view.members.iter().find(|m| m.pid == p(2)).unwrap();
         assert_eq!(p2.incarnation, 1, "Rule 4: resumed under a new identifier");
-        let p0 = final_view
-            .members
-            .iter()
-            .find(|m| m.pid == p(0))
-            .unwrap();
+        let p0 = final_view.members.iter().find(|m| m.pid == p(0)).unwrap();
         assert_eq!(p0.incarnation, 0);
     }
 
@@ -479,7 +469,10 @@ mod fail_stop_semantics_tests {
         let run = filter_trace(&trace, &MajorityPrimary::new(3));
         assert_eq!(
             stops_of(&run, 2),
-            vec![VsProcId { pid: p(2), incarnation: 0 }],
+            vec![VsProcId {
+                pid: p(2),
+                incarnation: 0
+            }],
             "the blocked episode stops incarnation 0"
         );
         // And the rejoin is incarnation 1.
@@ -517,7 +510,10 @@ mod fail_stop_semantics_tests {
         let run = filter_trace(&trace, &MajorityPrimary::new(3));
         assert_eq!(
             stops_of(&run, 2),
-            vec![VsProcId { pid: p(2), incarnation: 0 }],
+            vec![VsProcId {
+                pid: p(2),
+                incarnation: 0
+            }],
             "the superseded incarnation stops at rejoin"
         );
         check_vs(&run).unwrap();
@@ -547,7 +543,10 @@ mod fail_stop_semantics_tests {
         let run = filter_trace(&trace, &MajorityPrimary::new(3));
         assert_eq!(
             stops_of(&run, 2),
-            vec![VsProcId { pid: p(2), incarnation: 0 }],
+            vec![VsProcId {
+                pid: p(2),
+                incarnation: 0
+            }],
             "exactly one stop for the crashed incarnation"
         );
         let last_view = run.events[2]

@@ -34,9 +34,7 @@ use std::collections::HashMap;
 /// A process identity in the virtual synchrony model: the underlying
 /// process plus an incarnation number (a resumed process re-enters the
 /// primary component as a "new" process, §4.1/§5 Rule 4).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VsProcId {
     /// Underlying transport identity.
     pub pid: ProcessId,
@@ -59,9 +57,7 @@ impl fmt::Display for VsProcId {
 
 /// Identifier of a view instance `g^x`: the primary configuration it stems
 /// from plus the split step (§5 Rule 3).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct VsViewId {
     /// The primary configuration this view derives from.
     pub base: evs_membership::ConfigId,
@@ -199,7 +195,9 @@ pub fn check_vs(run: &VsRun) -> Result<(), Vec<VsViolation>> {
         if !delivs.contains_key(m) && !stopped[spid] {
             v.push(VsViolation {
                 property: "C2",
-                detail: format!("{m} sent by P{spid} but never delivered, and P{spid} did not stop"),
+                detail: format!(
+                    "{m} sent by P{spid} but never delivered, and P{spid} did not stop"
+                ),
             });
         }
     }
@@ -266,12 +264,10 @@ pub fn check_vs(run: &VsRun) -> Result<(), Vec<VsViolation>> {
                     id,
                     service: Service::Agreed | Service::Safe,
                     ..
-                } => {
-                    *abcast_class.entry(*id).or_insert_with(|| {
-                        next_class += 1;
-                        next_class - 1
-                    })
-                }
+                } => *abcast_class.entry(*id).or_insert_with(|| {
+                    next_class += 1;
+                    next_class - 1
+                }),
                 _ => {
                     next_class += 1;
                     next_class - 1
@@ -384,11 +380,7 @@ mod tests {
         let v1 = view(1, 0, &[0, 1]);
         let run = VsRun {
             events: vec![
-                vec![
-                    VsEvent::View(v1.clone()),
-                    send(0, 1),
-                    deliver(0, 1, &v1),
-                ],
+                vec![VsEvent::View(v1.clone()), send(0, 1), deliver(0, 1, &v1)],
                 vec![VsEvent::View(v1.clone()), deliver(0, 1, &v1)],
             ],
             views: vec![v1],
@@ -433,11 +425,7 @@ mod tests {
         let v1 = view(1, 0, &[0, 1]);
         let run = VsRun {
             events: vec![
-                vec![
-                    VsEvent::View(v1.clone()),
-                    send(0, 1),
-                    deliver(0, 1, &v1),
-                ],
+                vec![VsEvent::View(v1.clone()), send(0, 1), deliver(0, 1, &v1)],
                 vec![VsEvent::View(v1.clone())], // never delivers, never stops
             ],
             views: vec![v1],
@@ -491,9 +479,6 @@ mod tests {
             views: vec![v1],
         };
         let errs = check_vs(&run).unwrap_err();
-        assert!(
-            errs.iter().any(|e| e.property == "L1/L2/L3/L5"),
-            "{errs:?}"
-        );
+        assert!(errs.iter().any(|e| e.property == "L1/L2/L3/L5"), "{errs:?}");
     }
 }

@@ -170,19 +170,15 @@ impl PrimaryHistory {
         // directly from the previous primary keeps the incarnation;
         // entering it from anything else (or after a failure) increments
         // it.
-        let primary_pos: BTreeMap<ConfigId, usize> = history
-            .iter()
-            .enumerate()
-            .map(|(k, c)| (c.id, k))
-            .collect();
-        let mut incarnations: Vec<BTreeMap<ProcessId, u32>> =
-            vec![BTreeMap::new(); history.len()];
+        let primary_pos: BTreeMap<ConfigId, usize> =
+            history.iter().enumerate().map(|(k, c)| (c.id, k)).collect();
+        let mut incarnations: Vec<BTreeMap<ProcessId, u32>> = vec![BTreeMap::new(); history.len()];
         for (pid, log) in trace.events.iter().enumerate() {
             let me = ProcessId::new(pid as u32);
             let mut inc: Option<u32> = None; // None until the first primary
-            // Set while the process is continuously in the primary: the
-            // position of the last primary it installed with no
-            // non-primary installation or failure since.
+                                             // Set while the process is continuously in the primary: the
+                                             // position of the last primary it installed with no
+                                             // non-primary installation or failure since.
             let mut continuous_from: Option<usize> = None;
             for (_, ev) in log {
                 match ev {
@@ -360,10 +356,7 @@ mod tests {
     #[test]
     fn transitional_configs_are_never_primary() {
         let pol = MajorityPrimary::new(3);
-        let t = Configuration::new(
-            ConfigId::transitional(1, p(0)),
-            vec![p(0), p(1), p(2)],
-        );
+        let t = Configuration::new(ConfigId::transitional(1, p(0)), vec![p(0), p(1), p(2)]);
         assert!(!pol.is_primary(&t));
     }
 
@@ -375,8 +368,8 @@ mod tests {
         let c1 = cfg(1, &[0, 1, 2]); // P2 present
         let c2 = cfg(2, &[0, 1]); // P2 absent
         let c3 = cfg(3, &[0, 1, 2]); // P2 back: new incarnation
-        // Both P0 and P1 install every configuration so each is certified
-        // (majority of the 3-process universe).
+                                     // Both P0 and P1 install every configuration so each is certified
+                                     // (majority of the 3-process universe).
         let log = vec![
             (t0, EvsEvent::DeliverConf(c1.clone())),
             (t0, EvsEvent::DeliverConf(c2.clone())),

@@ -91,10 +91,7 @@ impl Replica {
 
 /// Pumps new deliveries into each replica; returns anti-entropy
 /// submissions requested by configuration changes.
-fn pump(
-    cluster: &EvsCluster<Op>,
-    replicas: &mut [Replica],
-) -> Vec<(ProcessId, Op)> {
+fn pump(cluster: &EvsCluster<Op>, replicas: &mut [Replica]) -> Vec<(ProcessId, Op)> {
     let mut submissions = Vec::new();
     for (i, replica) in replicas.iter_mut().enumerate() {
         let me = ProcessId::new(i as u32);
@@ -170,7 +167,11 @@ fn main() {
         next_sale += 1;
         println!(
             "   office {office}: selling {allowed} seat(s) (sale #{next_sale}, {} mode)",
-            if replica.in_full_configuration() { "connected" } else { "partitioned" },
+            if replica.in_full_configuration() {
+                "connected"
+            } else {
+                "partitioned"
+            },
         );
         cluster.submit(
             ProcessId::new(office),

@@ -154,7 +154,10 @@ fn main() {
                 );
                 true
             } else {
-                println!("   ATM{at}: online withdrawal of {amount} DECLINED (balance {})", atm.balance());
+                println!(
+                    "   ATM{at}: online withdrawal of {amount} DECLINED (balance {})",
+                    atm.balance()
+                );
                 false
             }
         } else if atm.offline_used + amount <= OFFLINE_LIMIT {

@@ -29,15 +29,17 @@ fn narrate(cluster: &EvsCluster<String>, who: &str) {
     for d in cluster.deliveries(pid(who)) {
         match d {
             Delivery::Config(c) => {
-                let members: Vec<&str> = c
-                    .members
-                    .iter()
-                    .map(|m| NAMES[m.as_usize()])
-                    .collect();
-                let kind = if c.is_regular() { "regular      " } else { "TRANSITIONAL " };
+                let members: Vec<&str> = c.members.iter().map(|m| NAMES[m.as_usize()]).collect();
+                let kind = if c.is_regular() {
+                    "regular      "
+                } else {
+                    "TRANSITIONAL "
+                };
                 println!("    config {kind} {{{}}}   ({})", members.join(", "), c.id);
             }
-            Delivery::Message { payload, config, .. } => {
+            Delivery::Message {
+                payload, config, ..
+            } => {
                 println!("    deliver \"{payload}\" in {config}");
             }
         }
@@ -51,7 +53,11 @@ fn main() {
     println!("-- establishing the initial configurations {{p,q,r}} and {{s,t}}…");
     cluster.partition(&[&[pid("p"), pid("q"), pid("r")], &[pid("s"), pid("t")]]);
     assert!(cluster.run_until_settled(400_000));
-    println!("   {} and {}\n", cluster.config(pid("p")), cluster.config(pid("s")));
+    println!(
+        "   {} and {}\n",
+        cluster.config(pid("p")),
+        cluster.config(pid("s"))
+    );
 
     println!("-- traffic in {{p,q,r}} before the partition…");
     cluster.submit(pid("q"), Service::Safe, "message from q".into());

@@ -47,7 +47,10 @@ fn main() {
     cluster.partition(&[&[p(0), p(1), p(2)], &[p(3), p(4)]]);
     assert!(cluster.run_until_settled(400_000));
     println!("   majority side: {}", cluster.config(p(0)));
-    println!("   minority side: {} (still operating!)\n", cluster.config(p(3)));
+    println!(
+        "   minority side: {} (still operating!)\n",
+        cluster.config(p(3))
+    );
 
     println!("-- both components keep working during the partition…");
     cluster.submit(p(1), Service::Safe, "gamma (majority)".into());

@@ -88,7 +88,10 @@ fn emit_tracks(cluster: &mut EvsCluster<TrackReport>, tick: u32) {
             TrackReport {
                 sensor,
                 accuracy,
-                track: format!("contact@{:03}deg (t{tick}, {name})", (tick * 37 + sensor * 11) % 360),
+                track: format!(
+                    "contact@{:03}deg (t{tick}, {name})",
+                    (tick * 37 + sensor * 11) % 360
+                ),
             },
         );
     }
@@ -170,7 +173,11 @@ fn main() {
     pump(&cluster, &mut displays);
     show(&displays);
     for d in &displays {
-        assert_eq!(d.best.as_ref().unwrap().accuracy, 95, "full quality restored");
+        assert_eq!(
+            d.best.as_ref().unwrap().accuracy,
+            95,
+            "full quality restored"
+        );
     }
 
     println!("\n-- verifying the transport run against the EVS specifications…");

@@ -16,17 +16,22 @@
 //! a full trace dump — this is the long-running confidence machine behind
 //! the test suite's property tests.
 
-use evs::core::{checker, EvsCluster, Service};
+use evs::core::{EvsCluster, Service};
 use evs::sim::ProcessId;
+use evs::telemetry::RunReport;
 use evs::vs::{check_vs, filter_trace, MajorityPrimary, PrimaryHistory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 const N: usize = 5;
 
-fn run_round(seed: u64) -> (usize, usize) {
+fn run_round(seed: u64) -> (usize, usize, RunReport) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut cluster = EvsCluster::<String>::builder(N).seed(seed).build();
+    let mut cluster = EvsCluster::<String>::builder(N)
+        .seed(seed)
+        .telemetry(true)
+        .build();
     cluster.run_until_settled(400_000);
     let mut down = [false; N];
     let mut msg = 0u32;
@@ -85,10 +90,12 @@ fn run_round(seed: u64) -> (usize, usize) {
     );
 
     let trace = cluster.trace();
-    if let Err(violations) = checker::check_all(&trace) {
+    // The dump-aware check: on violation the failure report carries every
+    // process's flight-recorder tail alongside the broken specification.
+    if let Err(failure) = cluster.check() {
         let path = format!("/tmp/evs-soak-{seed}.trace");
         let _ = std::fs::write(&path, evs::core::trace_io::format_trace(&trace));
-        eprintln!("seed {seed}: EVS violations:\n{violations:#?}\ntrace archived to {path}");
+        eprintln!("seed {seed}: EVS violations:\n{failure}\ntrace archived to {path}");
         std::process::exit(1);
     }
     let policy = MajorityPrimary::new(N);
@@ -104,7 +111,7 @@ fn run_round(seed: u64) -> (usize, usize) {
         eprintln!("seed {seed}: VS violations: {errors:#?}\ntrace archived to {path}");
         std::process::exit(1);
     }
-    (trace.len(), msg as usize)
+    (trace.len(), msg as usize, cluster.run_report())
 }
 
 fn main() {
@@ -121,11 +128,17 @@ fn main() {
     println!("== EVS soak: {rounds} randomized rounds (base seed {base_seed:#x}) ==");
     let mut total_events = 0usize;
     let mut total_msgs = 0usize;
+    let mut cumulative: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last_report = RunReport::default();
     for round in 0..rounds {
         let seed = base_seed.wrapping_add(round);
-        let (events, msgs) = run_round(seed);
+        let (events, msgs, report) = run_round(seed);
         total_events += events;
         total_msgs += msgs;
+        for (name, value) in report.counter_totals() {
+            *cumulative.entry(name).or_default() += value;
+        }
+        last_report = report;
         if round % 5 == 4 || round + 1 == rounds {
             println!(
                 "  round {:>4}/{rounds}: cumulative {total_events} events, {total_msgs} messages — all specifications hold",
@@ -134,4 +147,10 @@ fn main() {
         }
     }
     println!("soak complete: every round conformant ✓");
+    println!("\n-- telemetry, final round:");
+    print!("{}", last_report.to_text());
+    println!("\n-- telemetry, counter totals across all {rounds} rounds:");
+    for (name, value) in &cumulative {
+        println!("  {name:<32} {value}");
+    }
 }

@@ -17,6 +17,7 @@
 
 use evs::core::{checker, wire, EvsEvent, EvsParams, EvsProcess, Service, Trace};
 use evs::sim::{Ctx, Effect, Node, ProcessId, SimTime, StableStore, TimerKind};
+use evs::telemetry::{RunReport, Telemetry};
 use std::net::UdpSocket;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -43,6 +44,7 @@ struct UdpWorker {
     next_timer_id: u64,
     timers: Vec<(Instant, evs::sim::TimerId, TimerKind)>,
     epoch: Instant,
+    telemetry: Telemetry,
 }
 
 impl UdpWorker {
@@ -55,12 +57,13 @@ impl UdpWorker {
         f: impl FnOnce(&mut EvsProcess<Vec<u8>>, &mut Ctx<'_, evs::core::EvsMsg<Vec<u8>>, EvsEvent>),
     ) {
         let now = self.now();
-        let mut ctx = Ctx::detached(
+        let mut ctx = Ctx::detached_with_telemetry(
             self.me,
             now,
             &mut self.stable,
             &mut self.trace,
             &mut self.next_timer_id,
+            self.telemetry.clone(),
         );
         f(&mut self.node, &mut ctx);
         let effects = ctx.take_effects();
@@ -163,12 +166,15 @@ fn main() {
 
     let mut command_txs = Vec::new();
     let mut handles = Vec::new();
+    let mut telemetry_handles = Vec::new();
     for (i, socket) in sockets.into_iter().enumerate() {
         let me = ProcessId::new(i as u32);
         let (tx, rx) = mpsc::channel();
         command_txs.push(tx);
         let peers = addrs.clone();
         let epoch = Instant::now();
+        let telemetry = Telemetry::enabled(i as u32);
+        telemetry_handles.push(telemetry.clone());
         handles.push(std::thread::spawn(move || {
             UdpWorker {
                 me,
@@ -181,6 +187,7 @@ fn main() {
                 next_timer_id: 0,
                 timers: Vec::new(),
                 epoch,
+                telemetry,
             }
             .run()
         }));
@@ -196,11 +203,17 @@ fn main() {
     loop {
         let states: Vec<(bool, usize, Vec<String>)> =
             (0..N).map(|i| inspect(&command_txs, i)).collect();
-        if states.iter().all(|(settled, members, _)| *settled && *members == N) {
+        if states
+            .iter()
+            .all(|(settled, members, _)| *settled && *members == N)
+        {
             println!("-- group formed over UDP: all {N} processes in one configuration");
             break;
         }
-        assert!(Instant::now() < deadline, "group failed to form: {states:?}");
+        assert!(
+            Instant::now() < deadline,
+            "group failed to form: {states:?}"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
 
@@ -238,6 +251,11 @@ fn main() {
         "-- collected {} events from the UDP run; checking Specifications 1.1–7.2…",
         trace.len()
     );
-    checker::assert_evs(&trace);
+    checker::assert_evs_with_telemetry(&trace, &telemetry_handles);
     println!("   all extended virtual synchrony specifications hold over UDP ✓");
+
+    // The same metrics the simulator runs report, here measured over a
+    // genuinely networked execution.
+    println!("\n-- telemetry:");
+    print!("{}", RunReport::collect(&telemetry_handles).to_text());
 }

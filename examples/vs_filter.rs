@@ -58,8 +58,7 @@ fn main() {
     for ev in &run.events[p(3).as_usize()] {
         match ev {
             VsEvent::View(v) => {
-                let members: Vec<String> =
-                    v.members.iter().map(|m| m.to_string()).collect();
+                let members: Vec<String> = v.members.iter().map(|m| m.to_string()).collect();
                 println!("   view    {} = [{}]", v.id, members.join(", "));
             }
             VsEvent::Send { id, .. } => println!("   send    {id}"),
@@ -73,7 +72,10 @@ fn main() {
     println!("   acceptable virtual synchrony execution ✓");
 
     let history = PrimaryHistory::from_trace(&trace, &policy);
-    println!("\nprimary component history ({} primaries):", history.history.len());
+    println!(
+        "\nprimary component history ({} primaries):",
+        history.history.len()
+    );
     for cfg in &history.history {
         println!("   {cfg}");
     }

@@ -14,6 +14,9 @@
 //!   and the machine-checkable specification suite (Specs 1–7).
 //! * [`vs`] — the primary-component algorithm and the filter that reduces
 //!   extended virtual synchrony to Isis-style virtual synchrony (§5).
+//! * [`telemetry`] — metrics, structured tracing and the per-process
+//!   flight recorder wired through every layer above (see the
+//!   "Observability" section of `README.md`).
 //!
 //! See the repository's `README.md` for a guided tour, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -44,6 +47,7 @@ pub use evs_core as core;
 pub use evs_membership as membership;
 pub use evs_order as order;
 pub use evs_sim as sim;
+pub use evs_telemetry as telemetry;
 pub use evs_vs as vs;
 
 /// The most commonly used items, for glob import in examples and tests.

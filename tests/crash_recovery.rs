@@ -90,9 +90,10 @@ fn fail_event_is_recorded_in_current_configuration() {
     let cfg = cluster.config(p(2)).id;
     cluster.crash(p(2));
     let trace = cluster.trace();
-    let failed = trace.of(p(2)).iter().any(|(_, e)| {
-        matches!(e, evs::core::EvsEvent::Fail { config } if *config == cfg)
-    });
+    let failed = trace
+        .of(p(2))
+        .iter()
+        .any(|(_, e)| matches!(e, evs::core::EvsEvent::Fail { config } if *config == cfg));
     assert!(failed, "fail_p(c) must be recorded in the current config");
 }
 

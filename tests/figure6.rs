@@ -23,7 +23,10 @@ const T: ProcessId = ProcessId::new(4);
 fn setup(seed: u64) -> EvsCluster<&'static str> {
     let mut cluster = EvsCluster::<&str>::builder(5).seed(seed).build();
     cluster.partition(&[&[P, Q, R], &[S, T]]);
-    assert!(cluster.run_until_settled(400_000), "initial configs must form");
+    assert!(
+        cluster.run_until_settled(400_000),
+        "initial configs must form"
+    );
     assert_eq!(cluster.config(P).members, vec![P, Q, R]);
     assert_eq!(cluster.config(S).members, vec![S, T]);
     cluster
@@ -57,13 +60,11 @@ fn q_and_r_deliver_the_two_configuration_changes() {
         let history = config_history(&cluster, proc);
         // Find the figure's step: ... {p,q,r} regular, then transitional
         // {q,r}, then regular {q,r,s,t}.
-        let pos = history
-            .windows(3)
-            .position(|w| {
-                w[0] == (ConfigurationKind::Regular, vec![P, Q, R])
-                    && w[1] == (ConfigurationKind::Transitional, vec![Q, R])
-                    && w[2] == (ConfigurationKind::Regular, vec![Q, R, S, T])
-            });
+        let pos = history.windows(3).position(|w| {
+            w[0] == (ConfigurationKind::Regular, vec![P, Q, R])
+                && w[1] == (ConfigurationKind::Transitional, vec![Q, R])
+                && w[2] == (ConfigurationKind::Regular, vec![Q, R, S, T])
+        });
         assert!(
             pos.is_some(),
             "{proc} must deliver {{p,q,r}} -> trans {{q,r}} -> {{q,r,s,t}}; got {history:?}"

@@ -179,7 +179,10 @@ fn lossy_network_still_converges_and_orders() {
     for i in 0..10u32 {
         cluster.submit(p(i % 4), Service::Safe, i);
     }
-    assert!(cluster.run_until_settled(300_000), "messages flush under loss");
+    assert!(
+        cluster.run_until_settled(300_000),
+        "messages flush under loss"
+    );
     let payloads = |q: ProcessId| -> Vec<u32> {
         cluster
             .deliveries(q)

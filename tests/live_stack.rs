@@ -21,9 +21,7 @@ fn spawn(n: usize) -> LiveNet<EvsProcess<String>> {
 }
 
 fn settled_with(n: usize) -> impl Fn(&EvsProcess<String>) -> bool + Send + Clone {
-    move |node: &EvsProcess<String>| {
-        node.is_settled() && node.current_config().members.len() == n
-    }
+    move |node: &EvsProcess<String>| node.is_settled() && node.current_config().members.len() == n
 }
 
 #[test]

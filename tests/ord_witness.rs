@@ -64,10 +64,7 @@ fn constructed_ord_satisfies_the_paper_conditions() {
 
     // 6.2 for messages: all deliveries of one message share one ord.
     for (m, delivs) in &analysis.delivers {
-        let ords: Vec<u64> = delivs
-            .iter()
-            .map(|d| graph.ord_of(d.r).unwrap())
-            .collect();
+        let ords: Vec<u64> = delivs.iter().map(|d| graph.ord_of(d.r).unwrap()).collect();
         assert!(
             ords.windows(2).all(|w| w[0] == w[1]),
             "{m} delivered at different logical times: {ords:?}"
@@ -77,10 +74,7 @@ fn constructed_ord_satisfies_the_paper_conditions() {
     // 6.2 for configuration changes: all installations of one
     // configuration share one ord.
     for (cfg, installs) in &analysis.conf_delivs {
-        let ords: Vec<u64> = installs
-            .iter()
-            .map(|r| graph.ord_of(*r).unwrap())
-            .collect();
+        let ords: Vec<u64> = installs.iter().map(|r| graph.ord_of(*r).unwrap()).collect();
         assert!(
             ords.windows(2).all(|w| w[0] == w[1]),
             "configuration {cfg} installed at different logical times: {ords:?}"

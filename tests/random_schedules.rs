@@ -8,6 +8,10 @@
 //! thrown at the stack and the full §2.1/§2.2/§4 property suite is checked
 //! on each.
 
+// needless_update: the vendored ProptestConfig stub has only the fields the
+// config block sets, but the `..default()` idiom is what real proptest needs.
+#![allow(clippy::needless_update)]
+
 use evs::core::{checker, EvsCluster, Service};
 use evs::sim::ProcessId;
 use evs::vs::{check_vs, filter_trace, MajorityPrimary, PrimaryHistory};

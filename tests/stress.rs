@@ -16,10 +16,7 @@ fn twelve_process_group_with_rolling_partitions() {
     for round in 0..3u32 {
         let start = round * 4;
         let island: Vec<ProcessId> = (start..start + 4).map(p).collect();
-        let rest: Vec<ProcessId> = (0..12)
-            .map(p)
-            .filter(|q| !island.contains(q))
-            .collect();
+        let rest: Vec<ProcessId> = (0..12).map(p).filter(|q| !island.contains(q)).collect();
         for i in 0..6u32 {
             cluster.submit(p((round * 6 + i) % 12), Service::Safe, round * 100 + i);
         }

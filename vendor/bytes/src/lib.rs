@@ -1,0 +1,318 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: `Buf` (little-endian getters over a shrinking window), `BufMut`
+//! (appending putters), and `Vec<u8>`-backed `Bytes` / `BytesMut`.
+//!
+//! Unlike the real crate there is no refcounted zero-copy splitting —
+//! `split_to` and `freeze` copy. The wire codec only handles small frames,
+//! so the simplicity is worth far more than the nanoseconds.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a contiguous byte window that shrinks as it is consumed.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Discards the next `n` bytes. Panics if `n > remaining()`.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte. Panics on underflow.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u32`. Panics on underflow.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`. Panics on underflow.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Fills `dst` from the front of the window. Panics on underflow.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An immutable byte buffer (here: a plain owned `Vec<u8>` with a read
+/// cursor so it can also act as a [`Buf`]).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    /// Read position for the `Buf` impl; everything before it is consumed.
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for b in self.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.pos += n;
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Removes and returns the first `n` bytes. Panics if `n > len()`.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        let rest = self.data.split_off(n);
+        let head = std::mem::replace(&mut self.data, rest);
+        BytesMut { data: head }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of BytesMut");
+        self.data.drain(..n);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut out = BytesMut::with_capacity(16);
+        out.put_u8(7);
+        out.put_u32_le(0xdead_beef);
+        out.put_u64_le(42);
+        out.put_slice(b"xy");
+        let frozen = out.freeze();
+        let mut buf: &[u8] = &frozen;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32_le(), 0xdead_beef);
+        assert_eq!(buf.get_u64_le(), 42);
+        let mut tail = [0u8; 2];
+        buf.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn bytes_buf_cursor() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(&b[..], &[2, 3, 4]);
+        b.advance(2);
+        assert_eq!(b.get_u8(), 4);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_to_takes_prefix() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let head = m.split_to(2).freeze();
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&m[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn bytesmut_advance_drops_front() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[9, 8, 7]);
+        m.advance(1);
+        assert_eq!(&m[..], &[8, 7]);
+    }
+}

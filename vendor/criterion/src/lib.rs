@@ -1,0 +1,210 @@
+//! Offline stand-in for the slice of the `criterion` 0.5 API this
+//! workspace's benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_with_input`/`bench_function`, `Bencher::iter`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each bench body is warmed up once,
+//! then timed over a fixed number of samples, and the mean/min wall-clock
+//! time per iteration is printed. That is enough to compare two builds of
+//! this workspace on the same machine (the only use the ROADMAP has for
+//! benches today), without criterion's statistics machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long to keep iterating one sample before trusting the timing.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records timings.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration of the best sample, filled by `iter`.
+    best_ns: f64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the per-sample mean and overall best.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up
+        let mut sums = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut iters = 0u64;
+            let start = Instant::now();
+            loop {
+                black_box(routine());
+                iters += 1;
+                if start.elapsed() >= TARGET_SAMPLE_TIME {
+                    break;
+                }
+            }
+            sums.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.best_ns = sums.iter().copied().fold(f64::INFINITY, f64::min);
+        self.mean_ns = sums.iter().sum::<f64>() / sums.len() as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each bench takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size.min(10),
+            best_ns: f64::NAN,
+            mean_ns: f64::NAN,
+        };
+        routine(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size.min(10),
+            best_ns: f64::NAN,
+            mean_ns: f64::NAN,
+        };
+        routine(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        println!(
+            "bench {:40} mean {:>12.0} ns/iter   best {:>12.0} ns/iter",
+            format!("{}/{}", self.name, id),
+            b.mean_ns,
+            b.best_ns,
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line args are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a bench group function, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_times() {
+        benches();
+    }
+}

@@ -1,0 +1,41 @@
+//! Boolean strategies (`prop::bool::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`weighted`].
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted {
+    probability: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.probability
+    }
+}
+
+/// Generates `true` with the given probability.
+pub fn weighted(probability: f64) -> Weighted {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability {probability} out of range"
+    );
+    Weighted { probability }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_weight() {
+        let mut rng = TestRng::for_test("weighted");
+        let s = weighted(0.85);
+        let trues = (0..10_000).filter(|_| s.generate(&mut rng)).count();
+        assert!((7_500..9_500).contains(&trues), "0.85 gave {trues}/10000");
+    }
+}

@@ -1,0 +1,48 @@
+//! `option::of`: wraps a strategy's values in `Option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Produces `None` half the time, `Some(inner)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_appear() {
+        let mut rng = TestRng::for_test("option-of");
+        let s = of(1u8..3);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!((1..3).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 10 && none > 10);
+    }
+}

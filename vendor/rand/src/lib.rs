@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: seedable deterministic generators (`SmallRng`, `StdRng`),
+//! `Rng::gen_range` over integer ranges, and `Rng::gen_bool`.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors minimal API-compatible implementations of its
+//! external dependencies. Determinism is the only quality that matters
+//! here — the simulator relies on "same seed, same schedule" — so both
+//! generators are the same splitmix64 stream, which is more than random
+//! enough for latency jitter and fault injection.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// An integer type [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `lo..hi`. Panics if the range is empty.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `lo..=hi`. Panics if the range is empty.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                // Shift into unsigned u128 space so one body covers
+                // signed and unsigned widths alike.
+                let base = <$t>::MIN as i128;
+                let lo_u = (lo as i128 - base) as u128;
+                let hi_u = (hi as i128 - base) as u128;
+                let off = (rng.next_u64() as u128) % (hi_u - lo_u);
+                ((lo_u + off) as i128 + base) as $t
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let base = <$t>::MIN as i128;
+                let lo_u = (lo as i128 - base) as u128;
+                let hi_u = (hi as i128 - base) as u128;
+                let off = (rng.next_u64() as u128) % (hi_u - lo_u + 1);
+                ((lo_u + off) as i128 + base) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// A half-open or inclusive range that can be sampled uniformly.
+///
+/// Mirrors rand 0.8's structure: one generic impl per range shape, so
+/// type inference can flow from the use site into an unsuffixed literal
+/// (`vec[rng.gen_range(0..3)]` infers `usize`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`low..high` or `low..=high`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // 53 high bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// splitmix64: tiny, full-period, passes the statistical bar this
+/// workspace needs (jitter + fault scheduling).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    macro_rules! named_rng {
+        ($(#[$doc:meta] $name:ident),*) => {$(
+            #[$doc]
+            #[derive(Clone, Debug)]
+            pub struct $name(SplitMix64);
+
+            impl RngCore for $name {
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next_u64()
+                }
+            }
+
+            impl SeedableRng for $name {
+                fn seed_from_u64(seed: u64) -> Self {
+                    $name(SplitMix64::seed_from_u64(seed))
+                }
+            }
+        )*};
+    }
+
+    named_rng!(
+        /// Small, fast generator (simulator latency/loss sampling).
+        SmallRng,
+        /// "Standard" generator (tests and examples).
+        StdRng
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5..=5u32);
+            assert_eq!(w, 5);
+            let s = rng.gen_range(-4..4i32);
+            assert!((-4..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its protocol types
+//! but never *calls* a serializer — the wire format is the hand-rolled
+//! codec in `evs-core::wire`, and run reports emit JSON by hand. So this
+//! stand-in only needs the trait names to exist and the derives to parse:
+//! the derive macros expand to nothing, and the traits carry no methods.
+//! If a future PR needs real serialization, replace this vendored crate
+//! with the real one (same import surface).
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use crate as serde;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Example {
+        a: u32,
+        b: Vec<String>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)] // exercises derive expansion, not the variants
+    enum Variants {
+        Unit,
+        Tuple(u8, u8),
+        Struct { x: bool },
+    }
+
+    #[test]
+    fn derives_expand_on_structs_and_enums() {
+        let e = Example {
+            a: 1,
+            b: vec!["x".into()],
+        };
+        assert_eq!(e, e);
+        let _ = Variants::Tuple(1, 2);
+    }
+}
