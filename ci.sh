@@ -2,18 +2,51 @@
 # Repository CI: build, test, format and lint — everything offline (all
 # external dependencies are vendored, see vendor/README.md).
 #
-#   ./ci.sh
+#   ./ci.sh                   # the standard gate
+#   ./ci.sh bench-smoke       # just refresh BENCH_baseline.json
+#   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
+#   BENCH_SMOKE=1 ./ci.sh     # standard gate + bench baseline refresh
 #
 # Fails on the first broken step.
 set -eu
 
 cd "$(dirname "$0")"
 
+bench_smoke() {
+    echo "== bench smoke (writes BENCH_baseline.json) =="
+    cargo run -q --release --offline -p evs-bench --bin bench_smoke -- \
+        BENCH_baseline.json
+}
+
+if [ "${1:-}" = "bench-smoke" ]; then
+    bench_smoke
+    exit 0
+fi
+
 echo "== build (release) =="
 cargo build --release --offline --workspace
 
 echo "== tests =="
 cargo test -q --offline --workspace
+
+echo "== chaos: mutation self-test (pipeline catches a planted bug) =="
+# Only this one integration test runs with the deliberately broken engine;
+# the rest of the workspace's tests would (correctly) fail against it.
+cargo test -q --offline -p evs-chaos --features chaos-mutation \
+    --test mutation_self_test
+
+echo "== chaos: fixed-seed smoke campaign =="
+cargo build -q --release --offline --example chaos
+./target/release/examples/chaos --iters 400 --seed 3203 --keep-going
+
+if [ -n "${CHAOS_ITERS:-}" ]; then
+    echo "== chaos: long soak (CHAOS_ITERS=${CHAOS_ITERS}) =="
+    ./target/release/examples/chaos --iters "${CHAOS_ITERS}" --seed 1
+fi
+
+if [ -n "${BENCH_SMOKE:-}" ]; then
+    bench_smoke
+fi
 
 echo "== rustfmt =="
 cargo fmt --check

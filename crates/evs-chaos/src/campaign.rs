@@ -1,0 +1,252 @@
+//! Chaos campaigns: seeded sweeps of generated fault plans, with
+//! automatic shrinking of any failure into a replayable counterexample.
+
+use crate::gen::ScenarioGen;
+use crate::orchestrator::{ChaosFailure, Orchestrator};
+use crate::plan::FaultPlan;
+use crate::shrink::Shrinker;
+use evs_telemetry::{RunReport, Telemetry, TelemetryEvent};
+
+/// A failing plan, its shrunken form, and what it violates — everything
+/// needed to file (and replay) a bug.
+#[derive(Clone, Debug)]
+pub struct CounterExample {
+    /// Seed the failing plan was generated from.
+    pub seed: u64,
+    /// The original generated plan.
+    pub original: FaultPlan,
+    /// The minimized plan (still violating `target_spec`).
+    pub shrunk: FaultPlan,
+    /// The failure of the original run.
+    pub failure: ChaosFailure,
+    /// The property the shrink chased (see
+    /// [`ChaosFailure::primary_spec`]).
+    pub target_spec: String,
+    /// Oracle runs the minimization spent.
+    pub shrink_checks: u32,
+}
+
+impl CounterExample {
+    /// Renders the repro artifact: the shrunken plan plus comment lines
+    /// recording the violated properties and provenance. Feed the file
+    /// back through [`FaultPlan::from_text`] to replay.
+    pub fn artifact(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# evs-chaos counterexample (generated from seed {})\n",
+            self.seed
+        ));
+        out.push_str(&format!("# violates: {}\n", self.failure.specs.join(", ")));
+        out.push_str(&format!("# shrink target: {}\n", self.target_spec));
+        out.push_str(&format!(
+            "# shrunk {} -> {} step(s) in {} check(s)\n",
+            self.original.steps.len(),
+            self.shrunk.steps.len(),
+            self.shrink_checks
+        ));
+        out.push_str(&self.shrunk.to_text());
+        out
+    }
+}
+
+/// Aggregate numbers of a campaign.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Plans executed.
+    pub runs: u64,
+    /// Plans that violated a property (or failed to settle).
+    pub failures: u64,
+    /// Total schedule steps executed.
+    pub steps: u64,
+}
+
+/// Configuration of a [`Campaign`].
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Stop at the first failure instead of sweeping every seed.
+    pub stop_on_failure: bool,
+    /// Shrink failing plans (disable for raw triage speed).
+    pub shrink: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            stop_on_failure: true,
+            shrink: true,
+        }
+    }
+}
+
+/// A seeded sweep: generate plan, run, check, shrink on failure.
+///
+/// The campaign carries its own harness-level [`Telemetry`] handle;
+/// chaos run/violation/shrink events land in the same metrics/flight
+/// recorder machinery as the protocol's own events, so a campaign report
+/// reads like any other run report.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    generator: ScenarioGen,
+    orchestrator: Orchestrator,
+    shrinker: Shrinker,
+    config: CampaignConfig,
+    telemetry: Telemetry,
+}
+
+impl Campaign {
+    /// Builds a campaign from its parts.
+    pub fn new(
+        generator: ScenarioGen,
+        orchestrator: Orchestrator,
+        shrinker: Shrinker,
+        config: CampaignConfig,
+    ) -> Self {
+        Campaign {
+            generator,
+            orchestrator,
+            shrinker,
+            config,
+            telemetry: Telemetry::enabled(0),
+        }
+    }
+
+    /// The harness-level telemetry handle (chaos counters, flight
+    /// recorder of recent campaign events).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The harness-level telemetry aggregated as a [`RunReport`].
+    pub fn report(&self) -> RunReport {
+        RunReport::collect([&self.telemetry])
+    }
+
+    /// Runs `iterations` seeds starting at `base_seed` (seed `base_seed +
+    /// i` for iteration `i` — campaigns are fully described by those two
+    /// numbers). Returns the stats and every counterexample found.
+    pub fn run(&self, base_seed: u64, iterations: u64) -> (CampaignStats, Vec<CounterExample>) {
+        let mut stats = CampaignStats::default();
+        let mut found = Vec::new();
+        for i in 0..iterations {
+            let seed = base_seed.wrapping_add(i);
+            let plan = self.generator.plan(seed);
+            stats.runs += 1;
+            stats.steps += plan.steps.len() as u64;
+            let outcome = self.orchestrator.run_sim(&plan);
+            self.telemetry.record(
+                i,
+                TelemetryEvent::ChaosRunExecuted {
+                    seed,
+                    steps: plan.steps.len() as u32,
+                    failed: outcome.failed(),
+                },
+            );
+            let Some(failure) = outcome.failure else {
+                continue;
+            };
+            stats.failures += 1;
+            self.telemetry.record(
+                i,
+                TelemetryEvent::ChaosViolationFound {
+                    seed,
+                    specs: failure.specs.len() as u32,
+                },
+            );
+            found.push(self.shrink_failure(i, seed, plan, failure));
+            if self.config.stop_on_failure {
+                break;
+            }
+        }
+        (stats, found)
+    }
+
+    /// Shrinks one failing plan into a [`CounterExample`] (identity shrink
+    /// when shrinking is disabled).
+    pub fn shrink_failure(
+        &self,
+        at: u64,
+        seed: u64,
+        plan: FaultPlan,
+        failure: ChaosFailure,
+    ) -> CounterExample {
+        let target_spec = failure.primary_spec().to_string();
+        let (shrunk, checks) = if self.config.shrink {
+            let target = target_spec.clone();
+            let orch = self.orchestrator.clone();
+            let result = self.shrinker.shrink(&plan, move |candidate| {
+                orch.run_sim(candidate)
+                    .failure
+                    .is_some_and(|f| f.specs.contains(&target))
+            });
+            (result.plan, result.checks)
+        } else {
+            (plan.clone(), 0)
+        };
+        self.telemetry.record(
+            at,
+            TelemetryEvent::ChaosPlanShrunk {
+                from_steps: plan.steps.len() as u32,
+                to_steps: shrunk.steps.len() as u32,
+                checks,
+            },
+        );
+        CounterExample {
+            seed,
+            original: plan,
+            shrunk,
+            failure,
+            target_spec,
+            shrink_checks: checks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+
+    #[test]
+    fn small_campaign_on_the_correct_engine_is_clean() {
+        let cfg = GenConfig {
+            n: 3,
+            max_steps: 6,
+            max_run: 1_000,
+            ..GenConfig::default()
+        };
+        let campaign = Campaign::new(
+            ScenarioGen::new(cfg),
+            Orchestrator::detached(),
+            Shrinker::default(),
+            CampaignConfig::default(),
+        );
+        let (stats, found) = campaign.run(7_000, 8);
+        assert_eq!(stats.runs, 8);
+        assert_eq!(stats.failures, 0, "{found:?}");
+        let report = campaign.report();
+        assert_eq!(report.total("chaos_runs"), 8);
+        assert_eq!(report.total("chaos_violations"), 0);
+    }
+
+    #[test]
+    fn counterexample_artifact_replays() {
+        let campaign = Campaign::new(
+            ScenarioGen::new(GenConfig::default()),
+            Orchestrator::detached(),
+            Shrinker::default(),
+            CampaignConfig {
+                shrink: false,
+                ..CampaignConfig::default()
+            },
+        );
+        let plan = ScenarioGen::new(GenConfig::default()).plan(3);
+        let failure = ChaosFailure {
+            specs: vec!["3".to_string(), "6.1".to_string()],
+            details: "synthetic".to_string(),
+        };
+        let ce = campaign.shrink_failure(0, 3, plan.clone(), failure);
+        let replayed = FaultPlan::from_text(&ce.artifact()).unwrap();
+        assert_eq!(replayed, plan);
+        assert_eq!(ce.target_spec, "3");
+    }
+}

@@ -1,0 +1,314 @@
+//! Seeded, weighted random generation of fault plans.
+//!
+//! [`ScenarioGen`] is the search half of the chaos subsystem: it samples
+//! the fault-schedule space with a tunable fault mix. Generation is
+//! deterministic — the same seed always yields the same [`FaultPlan`] — so
+//! a campaign is fully described by its base seed and iteration count.
+
+use crate::plan::{FaultPlan, FaultStep};
+use evs_order::Service;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative weights of the step kinds in generated plans. A weight of
+/// zero removes the kind entirely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultMix {
+    /// Weight of [`FaultStep::Split`].
+    pub split: u32,
+    /// Weight of [`FaultStep::Merge`].
+    pub merge: u32,
+    /// Weight of [`FaultStep::Crash`].
+    pub crash: u32,
+    /// Weight of [`FaultStep::Recover`].
+    pub recover: u32,
+    /// Weight of [`FaultStep::DropPct`].
+    pub drop: u32,
+    /// Weight of [`FaultStep::Delay`].
+    pub delay: u32,
+    /// Weight of [`FaultStep::Mcast`].
+    pub mcast: u32,
+    /// Weight of [`FaultStep::Run`].
+    pub run: u32,
+}
+
+impl Default for FaultMix {
+    /// A mix biased toward traffic and time (so faults have something to
+    /// corrupt), with recoveries outweighing crashes (so clusters heal).
+    fn default() -> Self {
+        FaultMix {
+            split: 3,
+            merge: 3,
+            crash: 2,
+            recover: 3,
+            drop: 2,
+            delay: 1,
+            mcast: 5,
+            run: 6,
+        }
+    }
+}
+
+impl FaultMix {
+    /// A mix tuned for bug hunting rather than steady state: heavy packet
+    /// loss and crashes with constant traffic. This is what reliably
+    /// creates recovery-time holes (an ordinal some member has seen but no
+    /// surviving member holds) — the precondition for the obligation-set
+    /// logic of recovery Steps 5.c/6.a, and the mix the `chaos-mutation`
+    /// self-test hunts with.
+    pub fn hunting() -> Self {
+        FaultMix {
+            split: 2,
+            merge: 2,
+            crash: 8,
+            recover: 4,
+            drop: 20,
+            delay: 2,
+            mcast: 12,
+            run: 10,
+        }
+    }
+
+    /// Sets a weight by its flag name (`split`, `merge`, `crash`,
+    /// `recover`, `drop`, `delay`, `mcast`, `run`). Returns false for an
+    /// unknown name — callers surface that as a usage error.
+    pub fn set(&mut self, name: &str, weight: u32) -> bool {
+        match name {
+            "split" => self.split = weight,
+            "merge" => self.merge = weight,
+            "crash" => self.crash = weight,
+            "recover" => self.recover = weight,
+            "drop" => self.drop = weight,
+            "delay" => self.delay = weight,
+            "mcast" => self.mcast = weight,
+            "run" => self.run = weight,
+            _ => return false,
+        }
+        true
+    }
+
+    fn total(&self) -> u32 {
+        self.split
+            + self.merge
+            + self.crash
+            + self.recover
+            + self.drop
+            + self.delay
+            + self.mcast
+            + self.run
+    }
+}
+
+/// Tunables of the scenario generator: cluster size, schedule length,
+/// fault mix, and per-step parameter ranges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Cluster size of generated plans.
+    pub n: u8,
+    /// Minimum number of steps (inclusive).
+    pub min_steps: u8,
+    /// Maximum number of steps (inclusive).
+    pub max_steps: u8,
+    /// Relative step-kind weights.
+    pub mix: FaultMix,
+    /// Largest multicast burst.
+    pub max_burst: u8,
+    /// Shortest `Run` step, in ticks.
+    pub min_run: u32,
+    /// Longest `Run` step, in ticks.
+    pub max_run: u32,
+    /// Largest generated packet-loss percentage.
+    pub max_drop_pct: u8,
+    /// Most partition groups a `Split` may create.
+    pub max_groups: u8,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            n: 4,
+            min_steps: 2,
+            max_steps: 10,
+            mix: FaultMix::default(),
+            max_burst: 4,
+            min_run: 100,
+            max_run: 2_000,
+            max_drop_pct: 50,
+            max_groups: 3,
+        }
+    }
+}
+
+/// Deterministic generator of weighted random [`FaultPlan`]s.
+///
+/// ```
+/// use evs_chaos::{GenConfig, ScenarioGen};
+///
+/// let g = ScenarioGen::new(GenConfig::default());
+/// assert_eq!(g.plan(42), g.plan(42)); // same seed, same plan
+/// assert_ne!(g.plan(42), g.plan(43));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioGen {
+    cfg: GenConfig,
+}
+
+impl ScenarioGen {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no enabled step kinds,
+    /// empty ranges, or a cluster of zero processes).
+    pub fn new(cfg: GenConfig) -> Self {
+        assert!(cfg.n >= 1, "cluster size must be at least 1");
+        assert!(
+            cfg.mix.total() > 0,
+            "at least one step kind must be enabled"
+        );
+        assert!(
+            cfg.min_steps >= 1 && cfg.min_steps <= cfg.max_steps,
+            "invalid step-count range"
+        );
+        assert!(
+            cfg.min_run >= 1 && cfg.min_run <= cfg.max_run,
+            "invalid run-tick range"
+        );
+        assert!(cfg.max_burst >= 1, "bursts must carry a message");
+        assert!(cfg.max_groups >= 2, "splits need at least two groups");
+        assert!(cfg.max_drop_pct <= 95, "drop beyond 95% stalls everything");
+        ScenarioGen { cfg }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &GenConfig {
+        &self.cfg
+    }
+
+    /// Generates the plan for `seed`. Deterministic: the same generator
+    /// configuration and seed always produce the same plan (the plan's
+    /// simulation seed is `seed` too, so one number reproduces the whole
+    /// execution).
+    pub fn plan(&self, seed: u64) -> FaultPlan {
+        let cfg = &self.cfg;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let count = rng.gen_range(cfg.min_steps..=cfg.max_steps);
+        let steps = (0..count).map(|_| self.step(&mut rng)).collect();
+        FaultPlan {
+            n: cfg.n,
+            seed,
+            steps,
+        }
+    }
+
+    fn step(&self, rng: &mut SmallRng) -> FaultStep {
+        let cfg = &self.cfg;
+        let mix = &cfg.mix;
+        let mut pick = rng.gen_range(0..mix.total());
+        let mut take = |w: u32| {
+            if pick < w {
+                true
+            } else {
+                pick -= w;
+                false
+            }
+        };
+        if take(mix.split) {
+            let labels = (0..cfg.n)
+                .map(|_| rng.gen_range(0..cfg.max_groups))
+                .collect();
+            FaultStep::Split(labels)
+        } else if take(mix.merge) {
+            FaultStep::Merge
+        } else if take(mix.crash) {
+            FaultStep::Crash(rng.gen_range(0..cfg.n))
+        } else if take(mix.recover) {
+            FaultStep::Recover(rng.gen_range(0..cfg.n))
+        } else if take(mix.drop) {
+            FaultStep::DropPct(rng.gen_range(1..=cfg.max_drop_pct))
+        } else if take(mix.delay) {
+            let lo = rng.gen_range(1..=5u64);
+            let hi = lo + rng.gen_range(0..=10u64);
+            FaultStep::Delay(lo, hi)
+        } else if take(mix.mcast) {
+            FaultStep::Mcast {
+                from: rng.gen_range(0..cfg.n),
+                count: rng.gen_range(1..=cfg.max_burst),
+                // Safe messages exercise the recovery algorithm hardest;
+                // keep them half the load.
+                service: if rng.gen_bool(0.5) {
+                    Service::Safe
+                } else {
+                    Service::Agreed
+                },
+            }
+        } else {
+            FaultStep::Run(rng.gen_range(cfg.min_run..=cfg.max_run))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let g = ScenarioGen::new(GenConfig::default());
+        for seed in 0..50 {
+            assert_eq!(g.plan(seed), g.plan(seed));
+        }
+    }
+
+    #[test]
+    fn generated_plans_validate() {
+        let g = ScenarioGen::new(GenConfig::default());
+        for seed in 0..500 {
+            g.plan(seed).validate().expect("generated plan is valid");
+        }
+    }
+
+    #[test]
+    fn zero_weight_disables_a_kind() {
+        let mut cfg = GenConfig::default();
+        cfg.mix.crash = 0;
+        cfg.mix.drop = 0;
+        let g = ScenarioGen::new(cfg);
+        for seed in 0..200 {
+            for step in g.plan(seed).steps {
+                assert!(!matches!(step, FaultStep::Crash(_) | FaultStep::DropPct(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn mix_set_by_name() {
+        let mut mix = FaultMix::default();
+        assert!(mix.set("crash", 9));
+        assert_eq!(mix.crash, 9);
+        assert!(!mix.set("nonsense", 1));
+    }
+
+    #[test]
+    fn seeds_cover_the_vocabulary() {
+        // Over a few hundred seeds every step kind should appear.
+        let g = ScenarioGen::new(GenConfig::default());
+        let mut seen = [false; 8];
+        for seed in 0..300 {
+            for step in g.plan(seed).steps {
+                let k = match step {
+                    FaultStep::Split(_) => 0,
+                    FaultStep::Merge => 1,
+                    FaultStep::Crash(_) => 2,
+                    FaultStep::Recover(_) => 3,
+                    FaultStep::DropPct(_) => 4,
+                    FaultStep::Delay(_, _) => 5,
+                    FaultStep::Mcast { .. } => 6,
+                    FaultStep::Run(_) => 7,
+                };
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing step kinds: {seen:?}");
+    }
+}

@@ -1,0 +1,433 @@
+//! Executes fault plans against the protocol stack and runs the full
+//! conformance suite on the resulting trace.
+//!
+//! The simulator path ([`Orchestrator::run_sim`]) supports the entire step
+//! vocabulary and is deterministic; the live-thread path
+//! ([`Orchestrator::run_live`]) supports everything except the per-packet
+//! network knobs (`DropPct`, `Delay`) and exists to show the same plans
+//! exercising the same code under real concurrency.
+//!
+//! "Conformance" here is everything the workspace can check: the EVS
+//! specifications 1.1–7.2 (with flight-recorder dumps attached on
+//! violation), the §2.2 primary-component properties, and the §5 reduction
+//! to virtual synchrony.
+
+use crate::plan::{FaultPlan, FaultStep, PlanError};
+use evs_core::checker;
+use evs_core::{EvsCluster, EvsParams, EvsProcess, Trace};
+use evs_sim::live::LiveNet;
+use evs_sim::{Action, NetConfig, ProcessId};
+use evs_telemetry::{RunReport, Telemetry};
+use evs_vs::{check_vs, filter_trace, MajorityPrimary, PrimaryHistory};
+use std::time::Duration;
+
+/// Why a chaos run failed: the distinct properties violated, plus the full
+/// human-readable report (violations and flight-recorder dumps).
+#[derive(Clone, Debug)]
+pub struct ChaosFailure {
+    /// Sorted, deduplicated identifiers of the violated properties:
+    /// specification numbers (`"3"`, `"6.1"`), `"primary-1"`/`"primary-2"`,
+    /// `"vs:C1"`…`"vs:L5"`, or `"settle"` for a cluster that never
+    /// re-stabilized.
+    pub specs: Vec<String>,
+    /// The rendered failure: every violation, then any flight-recorder
+    /// dumps.
+    pub details: String,
+}
+
+impl ChaosFailure {
+    /// The canonical target of shrinking: the lexicographically smallest
+    /// violated property.
+    pub fn primary_spec(&self) -> &str {
+        self.specs.first().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// The result of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// True if the cluster re-stabilized inside the settle budget after
+    /// the final heal.
+    pub settled: bool,
+    /// The conformance failure, if any (`"settle"` when `!settled`).
+    pub failure: Option<ChaosFailure>,
+    /// Aggregated per-process telemetry (empty when telemetry is off).
+    pub report: RunReport,
+}
+
+impl ChaosOutcome {
+    /// True if this run found anything wrong.
+    pub fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
+}
+
+/// Applies [`FaultPlan`]s to the stack and checks the execution.
+#[derive(Clone, Debug)]
+pub struct Orchestrator {
+    /// Ticks allowed for initial group formation.
+    pub formation_budget: u64,
+    /// Ticks allowed for the final heal-and-settle phase.
+    pub settle_budget: u64,
+    /// Attach per-process telemetry (flight recorder in failure reports,
+    /// run reports on outcomes). Costs a little speed.
+    pub telemetry: bool,
+}
+
+impl Default for Orchestrator {
+    fn default() -> Self {
+        Orchestrator {
+            formation_budget: 300_000,
+            settle_budget: 2_000_000,
+            telemetry: true,
+        }
+    }
+}
+
+impl Orchestrator {
+    /// An orchestrator with telemetry detached — the fastest configuration
+    /// for large campaigns where only the verdict matters.
+    pub fn detached() -> Self {
+        Orchestrator {
+            telemetry: false,
+            ..Orchestrator::default()
+        }
+    }
+
+    /// Builds a cluster, applies every step of `plan`, heals the network
+    /// (drop/latency reset, merge, recover), and lets it settle. Returns
+    /// the cluster and whether it settled — the raw material for both
+    /// [`Orchestrator::run_sim`] and trace-comparison tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn execute(&self, plan: &FaultPlan) -> (EvsCluster<String>, bool) {
+        plan.validate().expect("fault plan must validate");
+        let n = plan.n as usize;
+        let mut cluster = EvsCluster::<String>::builder(n)
+            .net(NetConfig {
+                seed: plan.seed,
+                ..NetConfig::default()
+            })
+            .telemetry(self.telemetry)
+            .build();
+        cluster.run_until_settled(self.formation_budget);
+        let mut down = vec![false; n];
+        let mut msg = 0u32;
+        for step in &plan.steps {
+            match step {
+                FaultStep::Split(labels) => {
+                    let mut groups: Vec<Vec<ProcessId>> = Vec::new();
+                    let mut max = 0usize;
+                    for &l in labels {
+                        max = max.max(l as usize + 1);
+                    }
+                    groups.resize(max, Vec::new());
+                    for (i, &l) in labels.iter().enumerate() {
+                        groups[l as usize].push(ProcessId::new(i as u32));
+                    }
+                    let groups: Vec<&[ProcessId]> = groups
+                        .iter()
+                        .filter(|g| !g.is_empty())
+                        .map(Vec::as_slice)
+                        .collect();
+                    cluster.partition(&groups);
+                }
+                FaultStep::Merge => cluster.merge_all(),
+                FaultStep::Crash(i) => {
+                    cluster.crash(ProcessId::new(*i as u32));
+                    down[*i as usize] = true;
+                }
+                FaultStep::Recover(i) => {
+                    cluster.recover(ProcessId::new(*i as u32));
+                    down[*i as usize] = false;
+                }
+                FaultStep::DropPct(pct) => {
+                    cluster
+                        .sim_mut()
+                        .apply(Action::SetDropProb(*pct as f64 / 100.0));
+                }
+                FaultStep::Delay(lo, hi) => {
+                    cluster.sim_mut().apply(Action::SetLatency(*lo, *hi));
+                }
+                FaultStep::Mcast {
+                    from,
+                    count,
+                    service,
+                } => {
+                    if !down[*from as usize] {
+                        for _ in 0..*count {
+                            msg += 1;
+                            cluster.submit(
+                                ProcessId::new(*from as u32),
+                                *service,
+                                format!("c{msg}"),
+                            );
+                        }
+                    }
+                }
+                FaultStep::Run(t) => cluster.run_for(*t as u64),
+            }
+        }
+        // Heal everything so the liveness-flavored specifications apply:
+        // a correct engine must always re-stabilize from here.
+        cluster.sim_mut().apply(Action::SetDropProb(0.0));
+        let default_net = NetConfig::default();
+        cluster.sim_mut().apply(Action::SetLatency(
+            default_net.latency_min,
+            default_net.latency_max,
+        ));
+        cluster.merge_all();
+        for i in 0..n {
+            cluster.recover(ProcessId::new(i as u32));
+        }
+        let settled = cluster.run_until_settled(self.settle_budget);
+        (cluster, settled)
+    }
+
+    /// Runs `plan` under the deterministic simulator and checks the full
+    /// conformance suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn run_sim(&self, plan: &FaultPlan) -> ChaosOutcome {
+        let (cluster, settled) = self.execute(plan);
+        let handles = cluster.telemetry_handles();
+        let report = RunReport::collect(&handles);
+        let failure = if settled {
+            conformance(&cluster.trace(), &handles, plan.n as usize)
+        } else {
+            Some(ChaosFailure {
+                specs: vec!["settle".to_string()],
+                details: format!(
+                    "cluster failed to re-stabilize within {} ticks after healing",
+                    self.settle_budget
+                ),
+            })
+        };
+        ChaosOutcome {
+            settled,
+            failure,
+            report,
+        }
+    }
+
+    /// Runs `plan` on the live multi-threaded driver — same state
+    /// machines, real threads and real time — and checks the same
+    /// conformance suite. `Run` steps become wall-clock sleeps (1 tick =
+    /// 100 µs, the live driver's clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] if the plan uses simulator-only steps
+    /// (`DropPct`, `Delay`) — see [`FaultPlan::live_compatible`] — or is
+    /// otherwise invalid.
+    pub fn run_live(&self, plan: &FaultPlan) -> Result<ChaosOutcome, PlanError> {
+        plan.validate()?;
+        if !plan.live_compatible() {
+            return Err(PlanError {
+                line: 0,
+                detail: "plan uses simulator-only steps (droppct/delay)".to_string(),
+            });
+        }
+        let n = plan.n as usize;
+        let spawn = |pid: ProcessId| EvsProcess::<String>::new(pid, EvsParams::default());
+        let net = if self.telemetry {
+            LiveNet::spawn_with_telemetry(n, spawn)
+        } else {
+            LiveNet::spawn(n, spawn)
+        };
+        let settled_with = |k: usize| {
+            move |node: &EvsProcess<String>| {
+                node.is_settled() && node.current_config().members.len() == k
+            }
+        };
+        let formed = net.wait_until(Duration::from_secs(20), settled_with(n));
+        let mut down = vec![false; n];
+        let mut msg = 0u32;
+        if formed {
+            for step in &plan.steps {
+                match step {
+                    FaultStep::Split(labels) => {
+                        let mut groups: Vec<Vec<ProcessId>> = Vec::new();
+                        let mut max = 0usize;
+                        for &l in labels {
+                            max = max.max(l as usize + 1);
+                        }
+                        groups.resize(max, Vec::new());
+                        for (i, &l) in labels.iter().enumerate() {
+                            groups[l as usize].push(ProcessId::new(i as u32));
+                        }
+                        groups.retain(|g| !g.is_empty());
+                        net.partition(&groups);
+                    }
+                    FaultStep::Merge => net.merge_all(),
+                    FaultStep::Crash(i) => {
+                        net.crash(ProcessId::new(*i as u32));
+                        down[*i as usize] = true;
+                    }
+                    FaultStep::Recover(i) => {
+                        net.recover(ProcessId::new(*i as u32));
+                        down[*i as usize] = false;
+                    }
+                    FaultStep::DropPct(_) | FaultStep::Delay(_, _) => {
+                        unreachable!("rejected by live_compatible")
+                    }
+                    FaultStep::Mcast {
+                        from,
+                        count,
+                        service,
+                    } => {
+                        if !down[*from as usize] {
+                            let service = *service;
+                            for _ in 0..*count {
+                                msg += 1;
+                                let payload = format!("c{msg}");
+                                net.invoke(ProcessId::new(*from as u32), move |node, ctx| {
+                                    node.submit(ctx, service, payload)
+                                });
+                            }
+                        }
+                    }
+                    FaultStep::Run(t) => {
+                        std::thread::sleep(Duration::from_micros(*t as u64 * 100));
+                    }
+                }
+            }
+        }
+        net.merge_all();
+        for i in 0..n {
+            net.recover(ProcessId::new(i as u32));
+        }
+        let settled = formed && net.wait_until(Duration::from_secs(30), settled_with(n));
+        let handles = net.telemetry_handles();
+        let report = RunReport::collect(&handles);
+        let results = net.shutdown();
+        let trace = Trace::new(results.into_iter().map(|(_, t)| t).collect());
+        let failure = if settled {
+            conformance(&trace, &handles, n)
+        } else {
+            Some(ChaosFailure {
+                specs: vec!["settle".to_string()],
+                details: "live cluster failed to re-stabilize after healing".to_string(),
+            })
+        };
+        Ok(ChaosOutcome {
+            settled,
+            failure,
+            report,
+        })
+    }
+}
+
+/// Runs the full conformance suite — EVS Specifications 1.1–7.2,
+/// primary-component Uniqueness/Continuity, and the §5 VS reduction — over
+/// a trace. Returns `None` when everything holds.
+pub fn conformance(trace: &Trace, handles: &[Telemetry], n: usize) -> Option<ChaosFailure> {
+    let mut specs: Vec<String> = Vec::new();
+    let mut details = String::new();
+    if let Err(failure) = checker::check_all_with_telemetry(trace, handles) {
+        specs.extend(failure.violations.iter().map(|v| v.spec.to_string()));
+        details.push_str(&failure.to_string());
+        // The primary/VS layers assume a lawful EVS trace; checking them on
+        // a broken one would only add noise.
+        return Some(finish(specs, details));
+    }
+    let policy = MajorityPrimary::new(n);
+    let history = PrimaryHistory::from_trace(trace, &policy);
+    for v in history.check(trace) {
+        specs.push(v.spec.to_string());
+        details.push_str(&format!("{v}\n"));
+    }
+    for v in check_vs(&filter_trace(trace, &policy))
+        .err()
+        .unwrap_or_default()
+    {
+        specs.push(format!("vs:{}", v.property));
+        details.push_str(&format!("{v}\n"));
+    }
+    if specs.is_empty() {
+        None
+    } else {
+        Some(finish(specs, details))
+    }
+}
+
+fn finish(mut specs: Vec<String>, details: String) -> ChaosFailure {
+    specs.sort();
+    specs.dedup();
+    ChaosFailure { specs, details }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evs_order::Service;
+
+    fn quiet_plan() -> FaultPlan {
+        FaultPlan {
+            n: 3,
+            seed: 11,
+            steps: vec![
+                FaultStep::Mcast {
+                    from: 0,
+                    count: 2,
+                    service: Service::Safe,
+                },
+                FaultStep::Run(1_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_plan_passes_conformance() {
+        let outcome = Orchestrator::default().run_sim(&quiet_plan());
+        assert!(outcome.settled);
+        assert!(!outcome.failed(), "{:?}", outcome.failure);
+        assert!(outcome.report.total("messages_sent") >= 2);
+    }
+
+    #[test]
+    fn detached_orchestrator_reports_nothing() {
+        let outcome = Orchestrator::detached().run_sim(&quiet_plan());
+        assert!(!outcome.failed());
+        assert!(outcome.report.is_empty());
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let plan = FaultPlan {
+            n: 4,
+            seed: 5,
+            steps: vec![
+                FaultStep::Split(vec![0, 1, 0, 1]),
+                FaultStep::Mcast {
+                    from: 0,
+                    count: 3,
+                    service: Service::Agreed,
+                },
+                FaultStep::DropPct(20),
+                FaultStep::Run(800),
+                FaultStep::Crash(3),
+                FaultStep::Merge,
+            ],
+        };
+        let orch = Orchestrator::detached();
+        let (a, _) = orch.execute(&plan);
+        let (b, _) = orch.execute(&plan);
+        assert_eq!(a.trace().events, b.trace().events);
+    }
+
+    #[test]
+    fn live_rejects_simulator_only_steps() {
+        let plan = FaultPlan {
+            n: 2,
+            seed: 0,
+            steps: vec![FaultStep::DropPct(10)],
+        };
+        let e = Orchestrator::default().run_live(&plan).unwrap_err();
+        assert!(e.detail.contains("simulator-only"), "{e}");
+    }
+}

@@ -1,0 +1,423 @@
+//! The fault-schedule DSL: typed steps, validation, and the plain-text
+//! repro-artifact format.
+//!
+//! A [`FaultPlan`] is the single schedule vocabulary of the workspace: the
+//! scenario generator emits plans, the orchestrator executes them, the
+//! shrinker minimizes them, and any failing plan serializes to a small text
+//! artifact that replays the exact execution (the simulator is
+//! deterministic, so plan + seed is the whole story).
+
+use evs_order::Service;
+use std::fmt;
+
+/// One step of a fault schedule.
+///
+/// Process indices are `u8` (plans address at most 256 processes — far
+/// beyond any simulated cluster here) so plans stay compact and trivially
+/// serializable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultStep {
+    /// Partition the network: element `i` is the group label of process
+    /// `i`. Processes sharing a label land in the same component.
+    Split(Vec<u8>),
+    /// Reconnect the entire network into one component.
+    Merge,
+    /// Crash a process (volatile state lost, stable storage kept). No-op
+    /// if already down.
+    Crash(u8),
+    /// Recover a crashed process under the same identifier. No-op if
+    /// already up.
+    Recover(u8),
+    /// Set the per-destination packet-loss probability to `pct`/100 from
+    /// this point on.
+    DropPct(u8),
+    /// Set the one-hop latency range to `[min, max]` ticks from this
+    /// point on.
+    Delay(u64, u64),
+    /// Multicast a burst: process `from` submits `count` application
+    /// messages with the given service level. Skipped if `from` is down.
+    Mcast {
+        /// Originating process.
+        from: u8,
+        /// Number of messages in the burst.
+        count: u8,
+        /// Requested delivery service.
+        service: Service,
+    },
+    /// Let the system run for the given number of simulated ticks.
+    Run(u32),
+}
+
+impl FaultStep {
+    /// True if the live (threaded) driver can apply this step. The live
+    /// network has no per-packet loss or latency knobs, so `DropPct` and
+    /// `Delay` are simulator-only.
+    pub fn live_supported(&self) -> bool {
+        !matches!(self, FaultStep::DropPct(_) | FaultStep::Delay(_, _))
+    }
+}
+
+fn service_name(s: Service) -> &'static str {
+    match s {
+        Service::Causal => "causal",
+        Service::Agreed => "agreed",
+        Service::Safe => "safe",
+    }
+}
+
+impl fmt::Display for FaultStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultStep::Split(labels) => {
+                write!(f, "split")?;
+                for l in labels {
+                    write!(f, " {l}")?;
+                }
+                Ok(())
+            }
+            FaultStep::Merge => write!(f, "merge"),
+            FaultStep::Crash(p) => write!(f, "crash {p}"),
+            FaultStep::Recover(p) => write!(f, "recover {p}"),
+            FaultStep::DropPct(pct) => write!(f, "droppct {pct}"),
+            FaultStep::Delay(lo, hi) => write!(f, "delay {lo} {hi}"),
+            FaultStep::Mcast {
+                from,
+                count,
+                service,
+            } => write!(f, "mcast {from} {count} {}", service_name(*service)),
+            FaultStep::Run(t) => write!(f, "run {t}"),
+        }
+    }
+}
+
+/// A complete, replayable fault schedule: cluster size, simulation seed,
+/// and the step sequence. Everything the orchestrator needs to reproduce
+/// an execution tick-for-tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Number of processes in the cluster.
+    pub n: u8,
+    /// Seed of the simulated network (latency sampling, message loss).
+    pub seed: u64,
+    /// The schedule.
+    pub steps: Vec<FaultStep>,
+}
+
+/// Magic first line of the artifact format; bump the suffix on breaking
+/// format changes.
+const HEADER: &str = "evs-chaos plan v1";
+
+/// A malformed plan or artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanError {
+    /// 1-based line of the artifact (0 for whole-plan validation errors).
+    pub line: usize,
+    /// What is wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "invalid fault plan: {}", self.detail)
+        } else {
+            write!(
+                f,
+                "invalid fault plan (line {}): {}",
+                self.line, self.detail
+            )
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn err(line: usize, detail: impl Into<String>) -> PlanError {
+    PlanError {
+        line,
+        detail: detail.into(),
+    }
+}
+
+impl FaultPlan {
+    /// Checks structural sanity: process indices in range, split labelings
+    /// covering every process, non-degenerate parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] (with `line == 0`) describing the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.n == 0 {
+            return Err(err(0, "cluster size must be at least 1"));
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let at = |d: String| err(0, format!("step {i} ({step}): {d}"));
+            match step {
+                FaultStep::Merge => {}
+                FaultStep::Split(labels) => {
+                    if labels.len() != self.n as usize {
+                        return Err(at(format!(
+                            "split labels {} processes, cluster has {}",
+                            labels.len(),
+                            self.n
+                        )));
+                    }
+                }
+                FaultStep::Crash(p) | FaultStep::Recover(p) => {
+                    if *p >= self.n {
+                        return Err(at(format!("process {p} out of range")));
+                    }
+                }
+                FaultStep::DropPct(pct) => {
+                    if *pct > 95 {
+                        return Err(at(format!("drop {pct}% leaves no usable network")));
+                    }
+                }
+                FaultStep::Delay(lo, hi) => {
+                    if *lo < 1 || lo > hi {
+                        return Err(at(format!("latency range [{lo}, {hi}] is invalid")));
+                    }
+                    if *hi > 10_000 {
+                        return Err(at(format!("latency {hi} is beyond any settle budget")));
+                    }
+                }
+                FaultStep::Mcast { from, count, .. } => {
+                    if *from >= self.n {
+                        return Err(at(format!("process {from} out of range")));
+                    }
+                    if *count == 0 {
+                        return Err(at("empty burst".to_string()));
+                    }
+                }
+                FaultStep::Run(t) => {
+                    if *t == 0 {
+                        return Err(at("zero-tick run".to_string()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True if every step can be applied by the live (threaded) driver.
+    pub fn live_compatible(&self) -> bool {
+        self.steps.iter().all(FaultStep::live_supported)
+    }
+
+    /// Serializes the plan as a plain-text repro artifact. Lines starting
+    /// with `#` are comments; [`FaultPlan::from_text`] inverts this
+    /// exactly.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("n {}\n", self.n));
+        out.push_str(&format!("seed {}\n", self.seed));
+        for step in &self.steps {
+            out.push_str(&step.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a repro artifact produced by [`FaultPlan::to_text`] (or
+    /// written by hand). Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] naming the offending line, or the
+    /// validation error if the parsed plan is structurally unsound.
+    pub fn from_text(text: &str) -> Result<FaultPlan, PlanError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some((_, l)) if l == HEADER => {}
+            Some((i, l)) => return Err(err(i, format!("expected `{HEADER}`, found `{l}`"))),
+            None => return Err(err(0, "empty artifact")),
+        }
+        let mut n: Option<u8> = None;
+        let mut seed: Option<u64> = None;
+        let mut steps = Vec::new();
+        for (i, line) in lines {
+            let mut words = line.split_whitespace();
+            let key = words.next().expect("non-empty line");
+            let args: Vec<&str> = words.collect();
+            let uint = |w: &str, what: &str| -> Result<u64, PlanError> {
+                w.parse::<u64>()
+                    .map_err(|_| err(i, format!("{what}: `{w}` is not a number")))
+            };
+            let u8of = |w: &str, what: &str| -> Result<u8, PlanError> {
+                let v = uint(w, what)?;
+                u8::try_from(v).map_err(|_| err(i, format!("{what}: {v} does not fit in u8")))
+            };
+            let arity = |want: usize| -> Result<(), PlanError> {
+                if args.len() == want {
+                    Ok(())
+                } else {
+                    Err(err(
+                        i,
+                        format!("`{key}` takes {want} argument(s), got {}", args.len()),
+                    ))
+                }
+            };
+            match key {
+                "n" => {
+                    arity(1)?;
+                    n = Some(u8of(args[0], "cluster size")?);
+                }
+                "seed" => {
+                    arity(1)?;
+                    seed = Some(uint(args[0], "seed")?);
+                }
+                "split" => {
+                    let labels = args
+                        .iter()
+                        .map(|w| u8of(w, "group label"))
+                        .collect::<Result<Vec<u8>, PlanError>>()?;
+                    steps.push(FaultStep::Split(labels));
+                }
+                "merge" => {
+                    arity(0)?;
+                    steps.push(FaultStep::Merge);
+                }
+                "crash" => {
+                    arity(1)?;
+                    steps.push(FaultStep::Crash(u8of(args[0], "process")?));
+                }
+                "recover" => {
+                    arity(1)?;
+                    steps.push(FaultStep::Recover(u8of(args[0], "process")?));
+                }
+                "droppct" => {
+                    arity(1)?;
+                    steps.push(FaultStep::DropPct(u8of(args[0], "percentage")?));
+                }
+                "delay" => {
+                    arity(2)?;
+                    steps.push(FaultStep::Delay(
+                        uint(args[0], "min latency")?,
+                        uint(args[1], "max latency")?,
+                    ));
+                }
+                "mcast" => {
+                    arity(3)?;
+                    let service = match args[2] {
+                        "causal" => Service::Causal,
+                        "agreed" => Service::Agreed,
+                        "safe" => Service::Safe,
+                        other => {
+                            return Err(err(i, format!("unknown service `{other}`")));
+                        }
+                    };
+                    steps.push(FaultStep::Mcast {
+                        from: u8of(args[0], "process")?,
+                        count: u8of(args[1], "burst size")?,
+                        service,
+                    });
+                }
+                "run" => {
+                    arity(1)?;
+                    let t = uint(args[0], "ticks")?;
+                    let t = u32::try_from(t)
+                        .map_err(|_| err(i, format!("run of {t} ticks does not fit in u32")))?;
+                    steps.push(FaultStep::Run(t));
+                }
+                other => return Err(err(i, format!("unknown step `{other}`"))),
+            }
+        }
+        let plan = FaultPlan {
+            n: n.ok_or_else(|| err(0, "missing `n` line"))?,
+            seed: seed.ok_or_else(|| err(0, "missing `seed` line"))?,
+            steps,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultPlan {
+        FaultPlan {
+            n: 4,
+            seed: 99,
+            steps: vec![
+                FaultStep::Split(vec![0, 1, 0, 1]),
+                FaultStep::Mcast {
+                    from: 2,
+                    count: 3,
+                    service: Service::Safe,
+                },
+                FaultStep::DropPct(25),
+                FaultStep::Delay(2, 9),
+                FaultStep::Run(1500),
+                FaultStep::Crash(1),
+                FaultStep::Merge,
+                FaultStep::Recover(1),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let plan = sample();
+        let text = plan.to_text();
+        assert_eq!(FaultPlan::from_text(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a failing schedule\n\nevs-chaos plan v1\nn 2\n# faults below\nseed 7\ncrash 0\n\nrecover 0\n";
+        let plan = FaultPlan::from_text(text).unwrap();
+        assert_eq!(plan.n, 2);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.steps, vec![FaultStep::Crash(0), FaultStep::Recover(0)]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_process() {
+        let text = "evs-chaos plan v1\nn 2\nseed 0\ncrash 5\n";
+        let e = FaultPlan::from_text(text).unwrap_err();
+        assert!(e.detail.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_split_arity() {
+        let plan = FaultPlan {
+            n: 3,
+            seed: 0,
+            steps: vec![FaultStep::Split(vec![0, 1])],
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_keywords_with_line_numbers() {
+        let text = "evs-chaos plan v1\nn 2\nseed 0\nfrobnicate 1\n";
+        let e = FaultPlan::from_text(text).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn live_compatibility_excludes_network_knobs() {
+        assert!(FaultStep::Crash(0).live_supported());
+        assert!(!FaultStep::DropPct(10).live_supported());
+        assert!(!FaultStep::Delay(1, 5).live_supported());
+        let mut plan = sample();
+        assert!(!plan.live_compatible());
+        plan.steps.retain(FaultStep::live_supported);
+        assert!(plan.live_compatible());
+    }
+}

@@ -1,0 +1,287 @@
+//! Delta-debugging minimization of failing fault plans.
+//!
+//! Given a plan that makes an oracle report failure, the [`Shrinker`]
+//! produces a (locally) minimal plan that still fails: first ddmin-style
+//! step removal at shrinking chunk sizes, then per-step parameter
+//! reduction (shorter runs, smaller bursts, less loss), iterated to a
+//! fixpoint. The process is deterministic — no randomness, candidate
+//! order fixed by the plan — so the same failing plan and oracle always
+//! shrink to the same counterexample.
+
+use crate::plan::{FaultPlan, FaultStep};
+
+/// Result of a minimization.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimal failing plan found.
+    pub plan: FaultPlan,
+    /// Oracle invocations spent.
+    pub checks: u32,
+    /// Steps removed from the original plan.
+    pub removed_steps: usize,
+}
+
+/// Delta-debugging shrinker. `max_checks` bounds the oracle budget; the
+/// shrinker returns the best plan found when the budget runs out.
+#[derive(Clone, Copy, Debug)]
+pub struct Shrinker {
+    /// Maximum number of oracle invocations.
+    pub max_checks: u32,
+}
+
+impl Default for Shrinker {
+    fn default() -> Self {
+        Shrinker { max_checks: 2_000 }
+    }
+}
+
+struct Budget<'o, F> {
+    fails: &'o mut F,
+    spent: u32,
+    max: u32,
+}
+
+impl<F: FnMut(&FaultPlan) -> bool> Budget<'_, F> {
+    fn check(&mut self, candidate: &FaultPlan) -> bool {
+        if self.spent >= self.max {
+            return false;
+        }
+        self.spent += 1;
+        (self.fails)(candidate)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.spent >= self.max
+    }
+}
+
+impl Shrinker {
+    /// Minimizes `plan` against `fails`, which must return true for any
+    /// plan exhibiting the failure being chased (the caller has already
+    /// established `fails(plan)`; the shrinker does not re-check the
+    /// input). Typically `fails` runs the orchestrator and compares the
+    /// violated property against the original failure's
+    /// [`primary_spec`](crate::ChaosFailure::primary_spec), so shrinking
+    /// cannot wander off to a different bug.
+    pub fn shrink(
+        &self,
+        plan: &FaultPlan,
+        mut fails: impl FnMut(&FaultPlan) -> bool,
+    ) -> ShrinkResult {
+        let original_steps = plan.steps.len();
+        let mut cur = plan.clone();
+        let mut budget = Budget {
+            fails: &mut fails,
+            spent: 0,
+            max: self.max_checks,
+        };
+        loop {
+            let before = cur.clone();
+            remove_steps(&mut cur, &mut budget);
+            reduce_parameters(&mut cur, &mut budget);
+            if cur == before || budget.exhausted() {
+                break;
+            }
+        }
+        ShrinkResult {
+            removed_steps: original_steps - cur.steps.len(),
+            checks: budget.spent,
+            plan: cur,
+        }
+    }
+}
+
+/// ddmin-flavored removal: try deleting chunks of steps, halving the chunk
+/// size down to single steps, restarting the sweep whenever a deletion
+/// sticks at the current granularity.
+fn remove_steps<F: FnMut(&FaultPlan) -> bool>(cur: &mut FaultPlan, budget: &mut Budget<'_, F>) {
+    let mut chunk = cur.steps.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.steps.len() && !budget.exhausted() {
+            let end = (i + chunk).min(cur.steps.len());
+            let mut candidate = cur.clone();
+            candidate.steps.drain(i..end);
+            if !candidate.steps.is_empty() && budget.check(&candidate) {
+                *cur = candidate;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 || budget.exhausted() {
+            break;
+        }
+        chunk = chunk.div_ceil(2).max(1);
+    }
+}
+
+/// Candidate parameter reductions for one step, most aggressive first.
+fn reductions(step: &FaultStep) -> Vec<FaultStep> {
+    match step {
+        FaultStep::Run(t) => {
+            let mut v = Vec::new();
+            let mut t = *t;
+            while t > 1 {
+                t /= 2;
+                v.push(FaultStep::Run(t.max(1)));
+            }
+            v
+        }
+        FaultStep::Mcast {
+            from,
+            count,
+            service,
+        } if *count > 1 => vec![FaultStep::Mcast {
+            from: *from,
+            count: 1,
+            service: *service,
+        }],
+        FaultStep::DropPct(pct) => {
+            let mut v = Vec::new();
+            let mut p = *pct;
+            while p > 1 {
+                p /= 2;
+                v.push(FaultStep::DropPct(p.max(1)));
+            }
+            v
+        }
+        FaultStep::Delay(lo, hi) if (*lo, *hi) != (1, 5) => vec![FaultStep::Delay(1, 5)],
+        _ => Vec::new(),
+    }
+}
+
+/// One pass of per-step parameter reduction. For steps with a ladder of
+/// candidates (run length, drop percentage) the largest reduction that
+/// still fails wins.
+fn reduce_parameters<F: FnMut(&FaultPlan) -> bool>(
+    cur: &mut FaultPlan,
+    budget: &mut Budget<'_, F>,
+) {
+    for i in 0..cur.steps.len() {
+        if budget.exhausted() {
+            return;
+        }
+        // Walk the reduction ladder while candidates keep failing; stop at
+        // the first reduction that makes the failure disappear.
+        for reduced in reductions(&cur.steps[i]) {
+            let mut candidate = cur.clone();
+            candidate.steps[i] = reduced;
+            if budget.check(&candidate) {
+                *cur = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evs_order::Service;
+
+    fn plan(steps: Vec<FaultStep>) -> FaultPlan {
+        FaultPlan {
+            n: 4,
+            seed: 1,
+            steps,
+        }
+    }
+
+    /// Synthetic oracle: fails iff the plan still crashes process 2 and
+    /// later recovers it.
+    fn crash2_then_recover2(p: &FaultPlan) -> bool {
+        let crash = p
+            .steps
+            .iter()
+            .position(|s| matches!(s, FaultStep::Crash(2)));
+        let recover = p
+            .steps
+            .iter()
+            .rposition(|s| matches!(s, FaultStep::Recover(2)));
+        matches!((crash, recover), (Some(c), Some(r)) if c < r)
+    }
+
+    fn noisy() -> FaultPlan {
+        plan(vec![
+            FaultStep::Split(vec![0, 1, 0, 1]),
+            FaultStep::Run(1_600),
+            FaultStep::Crash(2),
+            FaultStep::Mcast {
+                from: 0,
+                count: 4,
+                service: Service::Safe,
+            },
+            FaultStep::Merge,
+            FaultStep::DropPct(40),
+            FaultStep::Recover(2),
+            FaultStep::Run(900),
+            FaultStep::Delay(3, 12),
+        ])
+    }
+
+    #[test]
+    fn shrinks_to_the_two_relevant_steps() {
+        let result = Shrinker::default().shrink(&noisy(), crash2_then_recover2);
+        assert_eq!(
+            result.plan.steps,
+            vec![FaultStep::Crash(2), FaultStep::Recover(2)]
+        );
+        assert_eq!(result.removed_steps, 7);
+        assert!(crash2_then_recover2(&result.plan));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = Shrinker::default().shrink(&noisy(), crash2_then_recover2);
+        let b = Shrinker::default().shrink(&noisy(), crash2_then_recover2);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.checks, b.checks);
+    }
+
+    #[test]
+    fn parameters_reduce_while_still_failing() {
+        // Oracle: fails while the plan runs at least 100 ticks in total.
+        let total_run = |p: &FaultPlan| -> u64 {
+            p.steps
+                .iter()
+                .map(|s| match s {
+                    FaultStep::Run(t) => *t as u64,
+                    _ => 0,
+                })
+                .sum()
+        };
+        let p = plan(vec![FaultStep::Run(6_400), FaultStep::Run(6_400)]);
+        let result = Shrinker::default().shrink(&p, |c| total_run(c) >= 100);
+        assert!(total_run(&result.plan) >= 100);
+        assert!(
+            total_run(&result.plan) < 400,
+            "parameters barely shrank: {:?}",
+            result.plan.steps
+        );
+    }
+
+    #[test]
+    fn budget_bounds_oracle_calls() {
+        let tight = Shrinker { max_checks: 3 };
+        let result = tight.shrink(&noisy(), crash2_then_recover2);
+        assert!(result.checks <= 3);
+        assert!(
+            crash2_then_recover2(&result.plan),
+            "never loses the failure"
+        );
+    }
+
+    #[test]
+    fn never_returns_a_passing_plan() {
+        // Adversarial oracle: any plan without the Split fails.
+        let result = Shrinker::default().shrink(&noisy(), |p| {
+            !p.steps.iter().any(|s| matches!(s, FaultStep::Split(_)))
+        });
+        assert!(!result
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, FaultStep::Split(_))));
+    }
+}

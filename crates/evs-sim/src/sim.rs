@@ -75,6 +75,9 @@ pub enum Action<N: Node> {
     Recover(ProcessId),
     /// Change the packet-loss probability from this point on.
     SetDropProb(f64),
+    /// Change the one-hop latency range `[min, max]` (ticks) from this
+    /// point on. Packets already in flight keep their sampled latency.
+    SetLatency(u64, u64),
     /// Run a closure against a (live) node, e.g. to submit an application
     /// message. Ignored if the process is crashed at the scheduled time.
     Invoke(ProcessId, InvokeFn<N>),
@@ -89,6 +92,7 @@ impl<N: Node> std::fmt::Debug for Action<N> {
             Action::Crash(p) => f.debug_tuple("Crash").field(p).finish(),
             Action::Recover(p) => f.debug_tuple("Recover").field(p).finish(),
             Action::SetDropProb(q) => f.debug_tuple("SetDropProb").field(q).finish(),
+            Action::SetLatency(lo, hi) => f.debug_tuple("SetLatency").field(lo).field(hi).finish(),
             Action::Invoke(p, _) => f.debug_tuple("Invoke").field(p).finish(),
         }
     }
@@ -405,6 +409,11 @@ impl<N: Node> Sim<N> {
             Action::Merge(bridge) => self.topo.merge(&bridge),
             Action::MergeAll => self.topo.merge_all(),
             Action::SetDropProb(q) => self.cfg.drop_prob = q,
+            Action::SetLatency(lo, hi) => {
+                assert!(lo >= 1 && lo <= hi, "invalid latency range");
+                self.cfg.latency_min = lo;
+                self.cfg.latency_max = hi;
+            }
             Action::Crash(p) => self.crash(p),
             Action::Recover(p) => self.recover(p),
             Action::Invoke(p, f) => {

@@ -140,6 +140,33 @@ pub enum TelemetryEvent {
         /// The stable-storage key written.
         key: &'static str,
     },
+
+    // ---- evs-chaos: the fault-injection harness ----
+    /// The chaos orchestrator finished executing one generated fault plan.
+    ChaosRunExecuted {
+        /// Seed the plan was generated from (or replayed with).
+        seed: u64,
+        /// Number of steps in the plan.
+        steps: u32,
+        /// True if the run violated a specification or failed to settle.
+        failed: bool,
+    },
+    /// A chaos run produced a specification violation.
+    ChaosViolationFound {
+        /// Seed of the violating plan.
+        seed: u64,
+        /// Number of distinct specifications violated.
+        specs: u32,
+    },
+    /// The shrinker minimized a failing fault plan.
+    ChaosPlanShrunk {
+        /// Steps in the original failing plan.
+        from_steps: u32,
+        /// Steps in the minimal plan.
+        to_steps: u32,
+        /// Oracle invocations the minimization spent.
+        checks: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -164,6 +191,9 @@ impl TelemetryEvent {
             TelemetryEvent::RecoveryStepExited { .. } => "recovery_steps_exited",
             TelemetryEvent::ObligationSetSize { .. } => "obligation_set_samples",
             TelemetryEvent::StableWrite { .. } => "stable_writes",
+            TelemetryEvent::ChaosRunExecuted { .. } => "chaos_runs",
+            TelemetryEvent::ChaosViolationFound { .. } => "chaos_violations",
+            TelemetryEvent::ChaosPlanShrunk { .. } => "chaos_shrinks",
         }
     }
 }
@@ -255,6 +285,27 @@ impl fmt::Display for TelemetryEvent {
             }
             TelemetryEvent::StableWrite { key } => {
                 write!(f, "stable-storage write ({key})")
+            }
+            TelemetryEvent::ChaosRunExecuted {
+                seed,
+                steps,
+                failed,
+            } => {
+                let verdict = if *failed { "failed" } else { "passed" };
+                write!(f, "chaos run {verdict} (seed {seed}, {steps} step(s))")
+            }
+            TelemetryEvent::ChaosViolationFound { seed, specs } => {
+                write!(f, "chaos violation (seed {seed}, {specs} specification(s))")
+            }
+            TelemetryEvent::ChaosPlanShrunk {
+                from_steps,
+                to_steps,
+                checks,
+            } => {
+                write!(
+                    f,
+                    "chaos plan shrunk {from_steps} -> {to_steps} step(s) ({checks} check(s))"
+                )
             }
         }
     }

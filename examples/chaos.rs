@@ -1,0 +1,251 @@
+//! Chaos campaign driver: seeded fault-schedule search with automatic
+//! counterexample shrinking.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example chaos                       # 500 seeds
+//! cargo run --release --example chaos -- --iters 10000      # bigger sweep
+//! cargo run --release --example chaos -- --seed 99 --n 5    # other corner
+//! cargo run --release --example chaos -- --mix crash=6 --mix drop=4
+//! cargo run --release --example chaos -- --replay repro.txt # rerun a file
+//! cargo run --release --features chaos-mutation --example chaos -- --self-test
+//! ```
+//!
+//! Every iteration generates one fault plan (`--seed` + iteration index),
+//! executes it under the deterministic simulator, and checks the full
+//! conformance suite (Specifications 1.1–7.2, primary component, §5 VS
+//! reduction). On failure the plan is delta-debugged down to a minimal
+//! counterexample and written to `chaos-repro-<seed>.txt`; replay it later
+//! with `--replay`. `--self-test` (requires the `chaos-mutation` feature)
+//! proves the pipeline end to end by hunting a deliberately broken engine.
+
+use evs::chaos::{
+    Campaign, CampaignConfig, CounterExample, FaultPlan, GenConfig, Orchestrator, ScenarioGen,
+    Shrinker,
+};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    n: u8,
+    gen_cfg: GenConfig,
+    replay: Option<String>,
+    self_test: bool,
+    keep_going: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--seed S] [--iters K] [--n N] [--mix KIND=WEIGHT]...\n\
+         \x20            [--keep-going] [--replay FILE] [--self-test]\n\
+         \n\
+         KIND is one of: split merge crash recover drop delay mcast run\n\
+         --self-test requires building with --features chaos-mutation"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0xC4A05,
+        iters: 500,
+        n: 4,
+        gen_cfg: GenConfig::default(),
+        replay: None,
+        self_test: false,
+        keep_going: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--iters" => args.iters = value("--iters").parse().unwrap_or_else(|_| usage()),
+            "--n" => args.n = value("--n").parse().unwrap_or_else(|_| usage()),
+            "--mix" => {
+                let spec = value("--mix");
+                let Some((kind, weight)) = spec.split_once('=') else {
+                    eprintln!("--mix wants KIND=WEIGHT, got {spec:?}");
+                    usage()
+                };
+                let weight: u32 = weight.parse().unwrap_or_else(|_| usage());
+                if !args.gen_cfg.mix.set(kind, weight) {
+                    eprintln!("unknown fault kind {kind:?}");
+                    usage()
+                }
+            }
+            "--replay" => args.replay = Some(value("--replay")),
+            "--self-test" => args.self_test = true,
+            "--keep-going" => args.keep_going = true,
+            _ => {
+                eprintln!("unknown flag {flag:?}");
+                usage()
+            }
+        }
+    }
+    args.gen_cfg.n = args.n;
+    args
+}
+
+fn write_artifact(ce: &CounterExample) {
+    let path = format!("chaos-repro-{}.txt", ce.seed);
+    match std::fs::write(&path, ce.artifact()) {
+        Ok(()) => eprintln!("  repro artifact written to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}
+
+fn report_counterexample(ce: &CounterExample) {
+    eprintln!(
+        "seed {}: VIOLATION of {} (shrunk {} -> {} steps in {} checks)",
+        ce.seed,
+        ce.failure.specs.join(", "),
+        ce.original.steps.len(),
+        ce.shrunk.steps.len(),
+        ce.shrink_checks
+    );
+    eprintln!("--- minimal failing plan ---\n{}", ce.shrunk.to_text());
+    write_artifact(ce);
+}
+
+fn replay(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let plan = FaultPlan::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2)
+    });
+    println!(
+        "replaying {path}: {} process(es), seed {}, {} step(s)",
+        plan.n,
+        plan.seed,
+        plan.steps.len()
+    );
+    let outcome = Orchestrator::default().run_sim(&plan);
+    print!("{}", outcome.report.to_text());
+    match outcome.failure {
+        None => {
+            println!("replay: all specifications hold ✓");
+            std::process::exit(0)
+        }
+        Some(failure) => {
+            eprintln!(
+                "replay: VIOLATION of {}\n{}",
+                failure.specs.join(", "),
+                failure.details
+            );
+            std::process::exit(1)
+        }
+    }
+}
+
+fn self_test(args: &Args) -> ! {
+    if !evs::chaos::mutation_active() {
+        eprintln!(
+            "--self-test needs the deliberately broken engine; rebuild with\n\
+             \x20   cargo run --release --features chaos-mutation --example chaos -- --self-test"
+        );
+        std::process::exit(2)
+    }
+    println!(
+        "== chaos self-test: hunting the chaos-mutation bug (base seed {:#x}) ==",
+        args.seed
+    );
+    let mut gen_cfg = args.gen_cfg.clone();
+    if gen_cfg.mix == evs::chaos::FaultMix::default() {
+        // Without explicit --mix flags, hunt with the loss-heavy mix that
+        // actually reaches the mutated code path.
+        gen_cfg.mix = evs::chaos::FaultMix::hunting();
+    }
+    let campaign = Campaign::new(
+        ScenarioGen::new(gen_cfg),
+        Orchestrator::default(),
+        Shrinker::default(),
+        CampaignConfig::default(),
+    );
+    let (stats, found) = campaign.run(args.seed, args.iters);
+    println!("  {} run(s), {} failure(s)", stats.runs, stats.failures);
+    let Some(ce) = found.first() else {
+        eprintln!(
+            "self-test FAILED: the mutated engine survived {} schedule(s); \
+             widen --iters or adjust --mix",
+            stats.runs
+        );
+        std::process::exit(1)
+    };
+    report_counterexample(ce);
+    // Prove the artifact round-trips and still reproduces the violation.
+    let replayed = FaultPlan::from_text(&ce.artifact()).expect("artifact parses");
+    let outcome = Orchestrator::default().run_sim(&replayed);
+    match outcome.failure {
+        Some(f) if f.specs.contains(&ce.target_spec) => {
+            println!(
+                "self-test passed: pipeline caught the planted bug, shrank it to {} step(s), \
+                 and the artifact replays to a violation of {} ✓",
+                ce.shrunk.steps.len(),
+                ce.target_spec
+            );
+            std::process::exit(0)
+        }
+        other => {
+            eprintln!(
+                "self-test FAILED: artifact replay did not reproduce {} (got {:?})",
+                ce.target_spec,
+                other.map(|f| f.specs)
+            );
+            std::process::exit(1)
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        replay(path);
+    }
+    if args.self_test {
+        self_test(&args);
+    }
+    if evs::chaos::mutation_active() {
+        // A campaign against a deliberately broken engine proves nothing
+        // about the protocol; require the explicit self-test mode.
+        eprintln!("built with chaos-mutation: only --self-test and --replay make sense");
+        std::process::exit(2)
+    }
+
+    println!(
+        "== chaos campaign: {} seed(s) from {:#x}, {} process(es) ==",
+        args.iters, args.seed, args.n
+    );
+    let campaign = Campaign::new(
+        ScenarioGen::new(args.gen_cfg.clone()),
+        Orchestrator::detached(),
+        Shrinker::default(),
+        CampaignConfig {
+            stop_on_failure: !args.keep_going,
+            shrink: true,
+        },
+    );
+    let (stats, found) = campaign.run(args.seed, args.iters);
+    println!(
+        "  {} run(s), {} schedule step(s), {} failure(s)",
+        stats.runs, stats.steps, stats.failures
+    );
+    print!("{}", campaign.report().to_text());
+    if found.is_empty() {
+        println!("chaos campaign clean: every schedule conformant ✓");
+    } else {
+        for ce in &found {
+            report_counterexample(ce);
+        }
+        std::process::exit(1)
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`telemetry`] — metrics, structured tracing and the per-process
 //!   flight recorder wired through every layer above (see the
 //!   "Observability" section of `README.md`).
+//! * [`chaos`] — deterministic fault injection: the fault-plan DSL,
+//!   seeded scenario search, conformance-checked orchestration, and
+//!   counterexample shrinking (see the "Chaos testing" section of
+//!   `README.md`).
 //!
 //! See the repository's `README.md` for a guided tour, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use evs_chaos as chaos;
 pub use evs_core as core;
 pub use evs_membership as membership;
 pub use evs_order as order;
@@ -52,6 +57,7 @@ pub use evs_vs as vs;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use evs_chaos::{FaultPlan, FaultStep, Orchestrator, ScenarioGen};
     pub use evs_core::{
         ConfigId, Configuration, ConfigurationKind, Delivery, EvsCluster, MessageId, Service,
     };

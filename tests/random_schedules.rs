@@ -1,107 +1,52 @@
 //! Property-based testing: random fault schedules (partitions, merges,
-//! crashes, recoveries, message bursts at arbitrary offsets) must always
-//! produce executions satisfying every EVS specification, a lawful primary
-//! history, and a VS-acceptable filtered run.
+//! crashes, recoveries, loss/latency changes, message bursts at arbitrary
+//! offsets) must always produce executions satisfying every EVS
+//! specification, a lawful primary history, and a VS-acceptable filtered
+//! run.
 //!
-//! This is the broadest experiment in the reproduction: instead of one
-//! scripted scenario per figure, thousands of adversarial schedules are
-//! thrown at the stack and the full §2.1/§2.2/§4 property suite is checked
-//! on each.
+//! The schedules are [`evs::chaos::FaultPlan`]s — the same typed DSL the
+//! chaos subsystem generates, shrinks and serializes — executed by the
+//! chaos [`Orchestrator`] against the full conformance suite. Proptest
+//! explores the plan space structurally here (and shrinks structurally on
+//! failure); `examples/chaos.rs` explores it by seed at much higher
+//! volume. Any failing plan this test prints can be saved with
+//! [`FaultPlan::to_text`] and replayed via `chaos --replay`.
 
 // needless_update: the vendored ProptestConfig stub has only the fields the
 // config block sets, but the `..default()` idiom is what real proptest needs.
 #![allow(clippy::needless_update)]
 
-use evs::core::{checker, EvsCluster, Service};
-use evs::sim::ProcessId;
-use evs::vs::{check_vs, filter_trace, MajorityPrimary, PrimaryHistory};
+use evs::chaos::{FaultPlan, FaultStep, Orchestrator};
+use evs::core::Service;
 use proptest::prelude::*;
 
-/// One step of a random schedule.
-#[derive(Clone, Debug)]
-enum Step {
-    /// Partition into groups given by a labeling of processes.
-    Partition(Vec<u8>),
-    /// Reconnect everything.
-    MergeAll,
-    /// Crash process i (no-op if already down).
-    Crash(u8),
-    /// Recover process i (no-op if already up).
-    Recover(u8),
-    /// Submit a burst of messages from process i (skipped if down).
-    Burst(u8, u8),
-    /// Let the system run for a while without settling.
-    Run(u16),
-}
-
-fn step_strategy(n: u8) -> impl Strategy<Value = Step> {
+fn step_strategy(n: u8) -> impl Strategy<Value = FaultStep> {
     prop_oneof![
-        proptest::collection::vec(0..3u8, n as usize).prop_map(Step::Partition),
-        Just(Step::MergeAll),
-        (0..n).prop_map(Step::Crash),
-        (0..n).prop_map(Step::Recover),
-        (0..n, 1..4u8).prop_map(|(p, k)| Step::Burst(p, k)),
-        (100..2000u16).prop_map(Step::Run),
+        proptest::collection::vec(0..3u8, n as usize).prop_map(FaultStep::Split),
+        Just(FaultStep::Merge),
+        (0..n).prop_map(FaultStep::Crash),
+        (0..n).prop_map(FaultStep::Recover),
+        (1..=50u8).prop_map(FaultStep::DropPct),
+        (1..=5u64, 0..=10u64).prop_map(|(lo, d)| FaultStep::Delay(lo, lo + d)),
+        (0..n, 1..4u8, 0..2u8).prop_map(|(from, count, s)| FaultStep::Mcast {
+            from,
+            count,
+            service: if s == 0 {
+                Service::Agreed
+            } else {
+                Service::Safe
+            },
+        }),
+        (100..2000u32).prop_map(FaultStep::Run),
     ]
 }
 
-fn apply_schedule(n: u8, seed: u64, steps: &[Step]) -> EvsCluster<String> {
-    let mut cluster = EvsCluster::<String>::builder(n as usize).seed(seed).build();
-    cluster.run_until_settled(300_000);
-    let mut msg = 0u32;
-    let mut down = vec![false; n as usize];
-    for step in steps {
-        match step {
-            Step::Partition(labels) => {
-                let mut groups: Vec<Vec<ProcessId>> = vec![Vec::new(); 3];
-                for (i, &g) in labels.iter().enumerate() {
-                    groups[g as usize].push(ProcessId::new(i as u32));
-                }
-                let groups: Vec<&[ProcessId]> = groups
-                    .iter()
-                    .filter(|g| !g.is_empty())
-                    .map(|g| g.as_slice())
-                    .collect();
-                if !groups.is_empty() {
-                    cluster.partition(&groups);
-                }
-            }
-            Step::MergeAll => cluster.merge_all(),
-            Step::Crash(i) => {
-                cluster.crash(ProcessId::new(*i as u32));
-                down[*i as usize] = true;
-            }
-            Step::Recover(i) => {
-                cluster.recover(ProcessId::new(*i as u32));
-                down[*i as usize] = false;
-            }
-            Step::Burst(i, k) => {
-                if !down[*i as usize] {
-                    for _ in 0..*k {
-                        msg += 1;
-                        cluster.submit(
-                            ProcessId::new(*i as u32),
-                            if msg.is_multiple_of(2) {
-                                Service::Safe
-                            } else {
-                                Service::Agreed
-                            },
-                            format!("r{msg}"),
-                        );
-                    }
-                }
-            }
-            Step::Run(t) => cluster.run_for(*t as u64),
-        }
-    }
-    // Let everything quiesce so liveness-flavored specs (2.1) apply.
-    cluster.merge_all();
-    for i in 0..n {
-        cluster.recover(ProcessId::new(i as u32));
-    }
-    let settled = cluster.run_until_settled(2_000_000);
-    assert!(settled, "cluster failed to re-stabilize after the schedule");
-    cluster
+fn plan_strategy(n: u8, max_steps: usize, seed_bound: u64) -> impl Strategy<Value = FaultPlan> {
+    (
+        0..seed_bound,
+        proptest::collection::vec(step_strategy(n), 1..max_steps),
+    )
+        .prop_map(move |(seed, steps)| FaultPlan { n, seed, steps })
 }
 
 proptest! {
@@ -113,37 +58,39 @@ proptest! {
 
     /// The full property suite holds on arbitrary fault schedules.
     #[test]
-    fn evs_holds_under_random_schedules(
-        seed in 0..10_000u64,
-        steps in proptest::collection::vec(step_strategy(4), 1..10),
-    ) {
-        let cluster = apply_schedule(4, seed, &steps);
-        let trace = cluster.trace();
-        if let Err(violations) = checker::check_all(&trace) {
-            panic!("violations: {violations:#?}\nschedule: {steps:?}\ntrace:\n{trace}");
-        }
-        let policy = MajorityPrimary::new(4);
-        let history = PrimaryHistory::from_trace(&trace, &policy);
-        let pv = history.check(&trace);
-        prop_assert!(pv.is_empty(), "primary history: {pv:?}");
-        let run = filter_trace(&trace, &policy);
-        if let Err(errors) = check_vs(&run) {
-            panic!("VS violations: {errors:#?}\nschedule: {steps:?}");
+    fn evs_holds_under_random_schedules(plan in plan_strategy(4, 10, 10_000)) {
+        prop_assert!(plan.validate().is_ok(), "strategy produced invalid plan");
+        let outcome = Orchestrator::detached().run_sim(&plan);
+        prop_assert!(outcome.settled, "cluster failed to re-stabilize:\n{}", plan.to_text());
+        if let Some(failure) = outcome.failure {
+            panic!(
+                "violations of {}:\n{}\nplan:\n{}",
+                failure.specs.join(", "),
+                failure.details,
+                plan.to_text()
+            );
         }
     }
 
-    /// Deterministic replay: the same schedule and seed give the same trace.
+    /// Deterministic replay: the same plan gives the same trace.
     #[test]
-    fn schedules_are_reproducible(
-        seed in 0..1_000u64,
-        steps in proptest::collection::vec(step_strategy(3), 1..6),
-    ) {
-        let a = apply_schedule(3, seed, &steps);
-        let b = apply_schedule(3, seed, &steps);
+    fn schedules_are_reproducible(plan in plan_strategy(3, 6, 1_000)) {
+        let orch = Orchestrator::detached();
+        let (a, _) = orch.execute(&plan);
+        let (b, _) = orch.execute(&plan);
         let ta = a.trace();
         let tb = b.trace();
         for (la, lb) in ta.events.iter().zip(&tb.events) {
             prop_assert_eq!(la, lb);
         }
+    }
+
+    /// The text artifact is faithful: parsing a rendered plan yields the
+    /// same plan, so a saved counterexample replays the same execution.
+    #[test]
+    fn plans_round_trip_through_text(plan in plan_strategy(4, 10, 10_000)) {
+        let replayed = FaultPlan::from_text(&plan.to_text()).expect("rendered plan parses");
+        prop_assert_eq!(&replayed, &plan);
+        prop_assert_eq!(replayed.to_text(), plan.to_text());
     }
 }
