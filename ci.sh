@@ -4,8 +4,16 @@
 #
 #   ./ci.sh                   # the standard gate
 #   ./ci.sh bench-smoke       # just refresh BENCH_baseline.json
+#   ./ci.sh bench-diff        # just the counter-regression gate
 #   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
 #   BENCH_SMOKE=1 ./ci.sh     # standard gate + bench baseline refresh
+#
+# The standard gate includes bench-diff: the deterministic smoke scenarios
+# re-run and every counter is compared against BENCH_baseline.json (cost
+# counters one-sided, fixed-load work counters two-sided). Widen the
+# allowance for a run with BENCH_DIFF_TOLERANCE (a fraction, e.g. 0.5 for
+# ±50%); after an intentional protocol change, refresh the baseline with
+# ./ci.sh bench-smoke and commit the diff.
 #
 # Fails on the first broken step.
 set -eu
@@ -18,8 +26,19 @@ bench_smoke() {
         BENCH_baseline.json
 }
 
+bench_diff() {
+    echo "== bench diff (counter regressions vs BENCH_baseline.json) =="
+    cargo run -q --release --offline -p evs-bench --bin bench_diff -- \
+        BENCH_baseline.json
+}
+
 if [ "${1:-}" = "bench-smoke" ]; then
     bench_smoke
+    exit 0
+fi
+
+if [ "${1:-}" = "bench-diff" ]; then
+    bench_diff
     exit 0
 fi
 
@@ -38,6 +57,8 @@ cargo test -q --offline -p evs-chaos --features chaos-mutation \
 echo "== chaos: fixed-seed smoke campaign =="
 cargo build -q --release --offline --example chaos
 ./target/release/examples/chaos --iters 400 --seed 3203 --keep-going
+
+bench_diff
 
 if [ -n "${CHAOS_ITERS:-}" ]; then
     echo "== chaos: long soak (CHAOS_ITERS=${CHAOS_ITERS}) =="

@@ -1,0 +1,50 @@
+//! The bench-regression gate: re-run the deterministic smoke scenarios
+//! and diff every counter against the committed baseline.
+//!
+//! Run with (or via `./ci.sh bench-diff`):
+//!
+//! ```text
+//! cargo run --release -p evs-bench --bin bench_diff -- BENCH_baseline.json
+//! BENCH_DIFF_TOLERANCE=0.5 cargo run --release -p evs-bench --bin bench_diff
+//! ```
+//!
+//! Exits non-zero when any metric moved outside its allowance — cost
+//! counters one-sided (only increases fail), fixed-load work counters
+//! two-sided. See [`evs_bench::diff`] for the threshold model. After an
+//! intentional protocol change, refresh the baseline with
+//! `./ci.sh bench-smoke` and commit the diff.
+
+use evs_bench::{diff, smoke};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let thresholds = diff::Thresholds::from_env().unwrap_or_else(|e| {
+        eprintln!("bench-diff: {e}");
+        std::process::exit(2)
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let baseline = diff::parse_baseline(&text).unwrap_or_else(|e| {
+        eprintln!("bench-diff: {path}: {e}");
+        std::process::exit(2)
+    });
+    eprintln!(
+        "bench-diff: re-running smoke scenarios against {path} \
+         (tolerance ±{:.0}%, floor ±{})",
+        thresholds.relative * 100.0,
+        thresholds.absolute
+    );
+    let report = diff::compare(&baseline, &smoke::run(), &thresholds);
+    print!("{}", report.to_text());
+    if !report.is_clean() {
+        eprintln!(
+            "bench-diff: counter regression vs {path}; if intentional, refresh the \
+             baseline with ./ci.sh bench-smoke and commit it"
+        );
+        std::process::exit(1);
+    }
+}

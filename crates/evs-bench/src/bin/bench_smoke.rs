@@ -9,35 +9,29 @@
 //! ```
 //!
 //! Unlike the Criterion benches (minutes of wall time), this finishes in
-//! seconds: it pumps a fixed message load through settled clusters of a few
-//! sizes and emits one [`evs_bench::report_json`] line per scenario, plus
-//! simulated-time figures. `ci.sh bench-smoke` runs it and stores the
-//! output as `BENCH_baseline.json` at the repository root, so counter
-//! regressions (extra retransmissions, lost-token recoveries, inflated
-//! message counts) show up in review as a one-line diff.
+//! seconds: it runs the [`evs_bench::smoke`] scenarios and emits one
+//! [`evs_bench::report_json`] line per scenario, plus simulated-time
+//! figures. `ci.sh bench-smoke` runs it and stores the output as
+//! `BENCH_baseline.json` at the repository root; `ci.sh bench-diff`
+//! (the `bench_diff` binary) re-runs the same scenarios and fails CI when
+//! a counter drifts outside tolerance — see [`evs_bench::diff`].
 
-use evs_bench::{instrumented_cluster, pump_messages, report_json};
-use evs_core::Service;
-
-const SEED: u64 = 0xB5E0;
-const MESSAGES: u64 = 64;
+use evs_bench::smoke;
 
 fn main() {
     let out_path = std::env::args().nth(1);
-    let mut lines = Vec::new();
-    for &n in &[3usize, 5, 8] {
-        let mut cluster = instrumented_cluster(n, SEED + n as u64);
-        let agreed_ticks = pump_messages(&mut cluster, MESSAGES, Service::Agreed);
-        let safe_ticks = pump_messages(&mut cluster, MESSAGES, Service::Safe);
-        let scenario =
-            format!("bench_smoke/n{n}/agreed_ticks{agreed_ticks}/safe_ticks{safe_ticks}");
+    let scenarios = smoke::run();
+    for s in &scenarios {
         eprintln!(
-            "  n={n}: {MESSAGES} agreed in {agreed_ticks} ticks, \
-             {MESSAGES} safe in {safe_ticks} ticks"
+            "  n={}: {} agreed in {} ticks, {} safe in {} ticks",
+            s.n,
+            smoke::MESSAGES,
+            s.agreed_ticks,
+            smoke::MESSAGES,
+            s.safe_ticks
         );
-        lines.push(report_json(&scenario, &cluster));
     }
-    let body = format!("[\n{}\n]\n", lines.join(",\n"));
+    let body = smoke::baseline_json(&scenarios);
     match out_path {
         Some(path) => {
             std::fs::write(&path, &body).unwrap_or_else(|e| {

@@ -161,6 +161,79 @@ pub fn trace_of_size(events: usize, seed: u64) -> evs_core::Trace {
     cluster.trace()
 }
 
+/// The deterministic smoke scenarios behind `BENCH_baseline.json` and the
+/// `./ci.sh bench-diff` regression gate.
+///
+/// One fixed message load pumped through settled clusters of a few sizes,
+/// same seeds every run — so the counter snapshot is reproducible and any
+/// drift between two runs of the same code is zero. That exactness is what
+/// makes a counter diff meaningful as a CI gate.
+pub mod smoke {
+    use super::{instrumented_cluster, pump_messages, report_json};
+    use evs_core::Service;
+    use std::collections::BTreeMap;
+
+    /// Fixed base seed for every smoke scenario.
+    pub const SEED: u64 = 0xB5E0;
+    /// Messages pumped per service class per scenario.
+    pub const MESSAGES: u64 = 64;
+    /// Cluster sizes exercised, one scenario each.
+    pub const SIZES: &[usize] = &[3, 5, 8];
+
+    /// One executed smoke scenario: its counter totals plus the
+    /// simulated-time figures, and the JSON line the baseline file stores.
+    pub struct Scenario {
+        /// Cluster size.
+        pub n: usize,
+        /// Simulated ticks to deliver the agreed-service load everywhere.
+        pub agreed_ticks: u64,
+        /// Simulated ticks to deliver the safe-service load everywhere.
+        pub safe_ticks: u64,
+        /// Counter totals summed across processes.
+        pub totals: BTreeMap<String, u64>,
+        /// The `report_json` line (what `BENCH_baseline.json` records).
+        pub json: String,
+    }
+
+    impl Scenario {
+        /// The stable scenario key both sides of a diff are matched on.
+        /// Tick figures are embedded in the full scenario name, so the key
+        /// deliberately stops at the cluster size.
+        pub fn key(&self) -> String {
+            format!("bench_smoke/n{}", self.n)
+        }
+    }
+
+    /// Runs every smoke scenario (deterministic; a few seconds).
+    pub fn run() -> Vec<Scenario> {
+        SIZES
+            .iter()
+            .map(|&n| {
+                let mut cluster = instrumented_cluster(n, SEED + n as u64);
+                let agreed_ticks = pump_messages(&mut cluster, MESSAGES, Service::Agreed);
+                let safe_ticks = pump_messages(&mut cluster, MESSAGES, Service::Safe);
+                let name =
+                    format!("bench_smoke/n{n}/agreed_ticks{agreed_ticks}/safe_ticks{safe_ticks}");
+                Scenario {
+                    n,
+                    agreed_ticks,
+                    safe_ticks,
+                    totals: cluster.run_report().counter_totals().into_iter().collect(),
+                    json: report_json(&name, &cluster),
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes the scenarios as the baseline file's JSON array.
+    pub fn baseline_json(scenarios: &[Scenario]) -> String {
+        let lines: Vec<&str> = scenarios.iter().map(|s| s.json.as_str()).collect();
+        format!("[\n{}\n]\n", lines.join(",\n"))
+    }
+}
+
+pub mod diff;
+
 #[cfg(test)]
 mod tests {
     use super::*;

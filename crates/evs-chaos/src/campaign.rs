@@ -67,6 +67,10 @@ pub struct CampaignConfig {
     pub stop_on_failure: bool,
     /// Shrink failing plans (disable for raw triage speed).
     pub shrink: bool,
+    /// Emit a `chaos_progress` heartbeat (telemetry event + stderr line)
+    /// every this many seeds, so long `CHAOS_ITERS` soaks are observable
+    /// instead of silent for minutes. `0` disables the heartbeat.
+    pub progress_every: u64,
 }
 
 impl Default for CampaignConfig {
@@ -74,6 +78,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             stop_on_failure: true,
             shrink: true,
+            progress_every: 100,
         }
     }
 }
@@ -141,23 +146,41 @@ impl Campaign {
                     failed: outcome.failed(),
                 },
             );
-            let Some(failure) = outcome.failure else {
-                continue;
-            };
-            stats.failures += 1;
-            self.telemetry.record(
-                i,
-                TelemetryEvent::ChaosViolationFound {
-                    seed,
-                    specs: failure.specs.len() as u32,
-                },
-            );
-            found.push(self.shrink_failure(i, seed, plan, failure));
-            if self.config.stop_on_failure {
-                break;
+            if let Some(failure) = outcome.failure {
+                stats.failures += 1;
+                self.telemetry.record(
+                    i,
+                    TelemetryEvent::ChaosViolationFound {
+                        seed,
+                        specs: failure.specs.len() as u32,
+                    },
+                );
+                found.push(self.shrink_failure(i, seed, plan, failure));
+                if self.config.stop_on_failure {
+                    break;
+                }
             }
+            self.heartbeat(i, stats.runs, iterations, stats.failures);
         }
         (stats, found)
+    }
+
+    /// Records (and prints) the periodic campaign heartbeat when `done`
+    /// crosses a `progress_every` boundary.
+    fn heartbeat(&self, at: u64, done: u64, total: u64, failures: u64) {
+        let every = self.config.progress_every;
+        if every == 0 || done == 0 || !done.is_multiple_of(every) {
+            return;
+        }
+        self.telemetry.record(
+            at,
+            TelemetryEvent::ChaosProgress {
+                done,
+                total,
+                failures,
+            },
+        );
+        eprintln!("chaos progress: {done}/{total} plan(s), {failures} failure(s)");
     }
 
     /// Shrinks one failing plan into a [`CounterExample`] (identity shrink

@@ -321,6 +321,20 @@ pub struct CheckFailure {
     pub dumps: Vec<(u32, Vec<RecordedEvent>)>,
 }
 
+/// How much of the merged timeline a failure report prints. Flight
+/// recorders are bounded per process, but a multi-process merge can still
+/// run long; the spans below the timeline summarize what is elided.
+const FAILURE_TIMELINE_CAP: usize = 160;
+
+impl CheckFailure {
+    /// The full `evs-inspect` analysis of the attached dumps: merged
+    /// causal timeline, per-message and per-configuration lifecycle
+    /// spans, anomaly detection.
+    pub fn inspect(&self) -> evs_inspect::InspectReport {
+        evs_inspect::InspectReport::analyze(&self.dumps)
+    }
+}
+
 impl fmt::Display for CheckFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} violation(s):", self.violations.len())?;
@@ -330,12 +344,13 @@ impl fmt::Display for CheckFailure {
         if self.dumps.is_empty() {
             write!(f, "no flight-recorder dumps (telemetry detached)")?;
         } else {
-            writeln!(f, "flight recorder (last events per process):")?;
+            writeln!(f, "flight recorder (merged across processes):")?;
             for (pid, events) in &self.dumps {
-                writeln!(f, "  process {pid} ({} event(s)):", events.len())?;
-                for ev in events {
-                    writeln!(f, "    [t={}] {}", ev.at, ev.event)?;
-                }
+                writeln!(f, "  process {pid}: {} event(s) recorded", events.len())?;
+            }
+            let report = self.inspect();
+            for line in report.to_text(Some(FAILURE_TIMELINE_CAP)).lines() {
+                writeln!(f, "  {line}")?;
             }
         }
         Ok(())

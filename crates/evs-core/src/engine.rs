@@ -36,16 +36,16 @@ use crate::{Configuration, Delivery, EvsEvent, EvsParams};
 use evs_membership::{ConfigId, MembMsg, MembOut, Membership, ProposedConfig};
 use evs_order::{MessageId, OrderedMsg, Ring, RingMsg, RingOut, RingSnapshot, Service};
 use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerKind};
-use evs_telemetry::{Telemetry, TelemetryEvent};
+use evs_telemetry::{names, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::fmt;
 
 /// Stable per-service counter name for a delivery.
 fn delivered_counter(service: Service) -> &'static str {
     match service {
-        Service::Causal => "delivered_causal",
-        Service::Agreed => "delivered_agreed",
-        Service::Safe => "delivered_safe",
+        Service::Causal => names::DELIVERED_CAUSAL,
+        Service::Agreed => names::DELIVERED_AGREED,
+        Service::Safe => names::DELIVERED_SAFE,
     }
 }
 
@@ -273,13 +273,29 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             self.app_buffer.push_back((service, payload));
             return;
         }
-        let id = self.next_message_id();
+        let id = self.originate(ctx, service);
         self.submit_to_ring(ctx, id, service, payload);
     }
 
     fn next_message_id(&mut self) -> MessageId {
         self.persist.msg_counter += 1;
         MessageId::new(self.me, self.persist.msg_counter)
+    }
+
+    /// Allocates a message identity and records the origination instant —
+    /// the start of the message's lifecycle span (it now waits for the
+    /// token to stamp it into the total order).
+    fn originate(&mut self, ctx: &mut ECtx<'_, P>, service: Service) -> MessageId {
+        let id = self.next_message_id();
+        self.telemetry.record(
+            ctx.now().ticks(),
+            TelemetryEvent::MessageOriginated {
+                sender: id.sender.index(),
+                counter: id.counter,
+                service: service_name(service),
+            },
+        );
+        id
     }
 
     fn submit_to_ring(
@@ -310,6 +326,10 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                 ctx.now().ticks(),
                 TelemetryEvent::MessageSent {
                     epoch: msg.config.epoch,
+                    rep: msg.config.rep.index(),
+                    sender: msg.id.sender.index(),
+                    counter: msg.id.counter,
+                    seq: msg.seq,
                     service: service_name(msg.service),
                 },
             );
@@ -322,6 +342,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             ctx.now().ticks(),
             TelemetryEvent::ConfigDelivered {
                 epoch: cfg.id.epoch,
+                rep: cfg.id.rep.index(),
                 members: cfg.members.len() as u32,
                 regular: cfg.is_regular(),
             },
@@ -341,6 +362,10 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             ctx.now().ticks(),
             TelemetryEvent::MessageDelivered {
                 epoch: config.epoch,
+                rep: config.rep.index(),
+                sender: msg.id.sender.index(),
+                counter: msg.id.counter,
+                seq: msg.seq,
                 service: service_name(msg.service),
                 transitional: config.transitional,
             },
@@ -418,7 +443,10 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                 // entered/exited counters stay balanced.
                 self.telemetry.record(
                     ctx.now().ticks(),
-                    TelemetryEvent::RecoveryStepEntered { step: 2 },
+                    TelemetryEvent::RecoveryStepEntered {
+                        step: 2,
+                        epoch: proposal.id.epoch,
+                    },
                 );
                 ring.into_snapshot()
             }
@@ -429,6 +457,14 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         let mut exchanges = BTreeMap::new();
         exchanges.insert(self.me, my_exchange.clone());
         ctx.broadcast(EvsMsg::Exchange(my_exchange.clone()));
+        // Step 3: the exchange report is on the wire.
+        self.telemetry.record(
+            ctx.now().ticks(),
+            TelemetryEvent::RecoveryStepReached {
+                step: 3,
+                epoch: proposal.id.epoch,
+            },
+        );
         self.mode = Mode::Recovery(Box::new(RecoveryState {
             proposal,
             old,
@@ -459,6 +495,12 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                 let trans = transitional_members(rec.old.config, &rec.exchanges);
                 let needed = needed_set(&trans, &rec.exchanges);
                 rec.trans = Some((trans, needed));
+                // Step 4: the transitional configuration is determined.
+                let epoch = rec.proposal.id.epoch;
+                self.telemetry.record(
+                    ctx.now().ticks(),
+                    TelemetryEvent::RecoveryStepReached { step: 4, epoch },
+                );
                 self.do_rebroadcasts(ctx);
             } else {
                 return;
@@ -481,8 +523,16 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                 },
             );
             self.telemetry
-                .gauge("obligation_set_size")
+                .gauge(names::OBLIGATION_SET_SIZE)
                 .set(self.obligations.len() as i64);
+            // Step 5: the needed set is held, the acknowledgement is out.
+            self.telemetry.record(
+                ctx.now().ticks(),
+                TelemetryEvent::RecoveryStepReached {
+                    step: 5,
+                    epoch: rec.proposal.id.epoch,
+                },
+            );
             ctx.broadcast(EvsMsg::RecoveryAck {
                 proposal: rec.proposal.id,
             });
@@ -561,10 +611,13 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         // Step 1 of the next round: fresh ring, empty obligation set.
         self.telemetry.record(
             ctx.now().ticks(),
-            TelemetryEvent::RecoveryStepExited { step: 6 },
+            TelemetryEvent::RecoveryStepExited {
+                step: 6,
+                epoch: rec.proposal.id.epoch,
+            },
         );
         self.obligations.clear();
-        self.telemetry.gauge("obligation_set_size").set(0);
+        self.telemetry.gauge(names::OBLIGATION_SET_SIZE).set(0);
         self.frozen = false;
         self.last_token_seen = ctx.now();
         let mut ring = Ring::new(
@@ -585,7 +638,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             self.submit_to_ring(ctx, id, service, payload);
         }
         while let Some((service, payload)) = self.app_buffer.pop_front() {
-            let id = self.next_message_id();
+            let id = self.originate(ctx, service);
             self.submit_to_ring(ctx, id, service, payload);
         }
 
@@ -803,12 +856,15 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         // (§2: "may recover with a deliver_conf_p(c) event, where the
         // membership of c is {p}").
         self.telemetry = ctx.telemetry().clone();
-        if matches!(self.mode, Mode::Recovery(_)) {
+        if let Mode::Recovery(rec) = &self.mode {
             // A crash abandoned an in-progress recovery; balance the
             // entered counter with an abort exit (step 0).
             self.telemetry.record(
                 ctx.now().ticks(),
-                TelemetryEvent::RecoveryStepExited { step: 0 },
+                TelemetryEvent::RecoveryStepExited {
+                    step: 0,
+                    epoch: rec.proposal.id.epoch,
+                },
             );
         }
         let persist = ctx
@@ -839,7 +895,7 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         self.app_buffer.clear();
         self.future_buffer.clear();
         self.obligations.clear();
-        self.telemetry.gauge("obligation_set_size").set(0);
+        self.telemetry.gauge(names::OBLIGATION_SET_SIZE).set(0);
         self.sent_log.clear();
         self.pending_token = None;
         let cfg = Configuration::from(initial);

@@ -1,0 +1,362 @@
+//! Anomaly detection over the merged timeline and derived spans.
+//!
+//! These are *symptoms*, not specification violations — the conformance
+//! checker owns correctness. An anomaly points a reader of a failing (or
+//! merely slow) run at the interesting part of the timeline: a recovery
+//! that never finished, a starving token, a retransmission storm, an
+//! obligation set that only ever grows.
+
+use crate::json::Value;
+use crate::spans::{step_name, ConfigSpan, MessageSpan};
+use crate::timeline::Timeline;
+use evs_telemetry::report::push_json_string;
+use evs_telemetry::TelemetryEvent;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Detection thresholds. The defaults suit the workspace's simulator
+/// scales; tune per deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct AnomalyConfig {
+    /// A token gap is starvation when it exceeds `starvation_factor` times
+    /// the process's median gap in that configuration...
+    pub starvation_factor: u64,
+    /// ...and is at least this many ticks (filters tiny rings).
+    pub starvation_min_ticks: u64,
+    /// Total missing ordinals requested by one process in one
+    /// configuration before it counts as a hole-request storm.
+    pub hole_storm_threshold: u64,
+    /// Consecutive strictly-increasing obligation-set samples on one
+    /// process before flagging unbounded growth.
+    pub obligation_growth_run: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            starvation_factor: 8,
+            starvation_min_ticks: 200,
+            hole_storm_threshold: 64,
+            obligation_growth_run: 3,
+        }
+    }
+}
+
+/// One detected anomaly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Anomaly {
+    /// Stable kind tag ("stuck_recovery", "token_starvation",
+    /// "hole_request_storm", "obligation_growth", "undelivered_message",
+    /// "unstamped_message").
+    pub kind: &'static str,
+    /// The process concerned, if the symptom is per-process.
+    pub pid: Option<u32>,
+    /// The configuration epoch concerned, if any.
+    pub epoch: Option<u64>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(p) = self.pid {
+            write!(f, " P{p}")?;
+        }
+        if let Some(e) = self.epoch {
+            write!(f, " epoch {e}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+impl Anomaly {
+    /// The anomaly as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"kind\":");
+        push_json_string(&mut out, self.kind);
+        match self.pid {
+            Some(p) => {
+                let _ = write!(out, ",\"pid\":{p}");
+            }
+            None => out.push_str(",\"pid\":null"),
+        }
+        match self.epoch {
+            Some(e) => {
+                let _ = write!(out, ",\"epoch\":{e}");
+            }
+            None => out.push_str(",\"epoch\":null"),
+        }
+        out.push_str(",\"detail\":");
+        push_json_string(&mut out, &self.detail);
+        out.push('}');
+        out
+    }
+
+    /// Parses an anomaly back from [`Anomaly::to_json`] output. The kind
+    /// is re-interned against the known tags (unknown kinds are kept as
+    /// `"unknown"`).
+    pub fn from_json(v: &Value) -> Option<Anomaly> {
+        const KINDS: &[&str] = &[
+            "stuck_recovery",
+            "token_starvation",
+            "hole_request_storm",
+            "obligation_growth",
+            "undelivered_message",
+            "unstamped_message",
+        ];
+        let kind = v.get("kind")?.as_str()?;
+        Some(Anomaly {
+            kind: KINDS
+                .iter()
+                .find(|k| **k == kind)
+                .copied()
+                .unwrap_or("unknown"),
+            pid: v.get("pid").and_then(Value::as_u64).map(|p| p as u32),
+            epoch: v.get("epoch").and_then(Value::as_u64),
+            detail: v.get("detail")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// Runs every detector.
+pub fn detect(
+    tl: &Timeline,
+    messages: &[MessageSpan],
+    configs: &[ConfigSpan],
+    cfg: &AnomalyConfig,
+) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    stuck_recovery(configs, &mut out);
+    token_starvation(tl, cfg, &mut out);
+    hole_storms(tl, cfg, &mut out);
+    obligation_growth(tl, cfg, &mut out);
+    message_lifecycle_gaps(messages, &mut out);
+    out
+}
+
+fn stuck_recovery(configs: &[ConfigSpan], out: &mut Vec<Anomaly>) {
+    for c in configs {
+        if c.recovery_entered_at.is_some() && c.recovery_exited_at.is_none() {
+            let last = c.steps.iter().map(|s| s.step).max().unwrap_or(2);
+            out.push(Anomaly {
+                kind: "stuck_recovery",
+                pid: None,
+                epoch: Some(c.epoch),
+                detail: format!(
+                    "recovery toward R{}@P{} entered at t={} and never exited; \
+                     last step reached: {} ({})",
+                    c.epoch,
+                    c.rep,
+                    c.recovery_entered_at.unwrap_or(0),
+                    last,
+                    step_name(last)
+                ),
+            });
+        }
+    }
+}
+
+fn token_starvation(tl: &Timeline, cfg: &AnomalyConfig, out: &mut Vec<Anomaly>) {
+    let mut visits: BTreeMap<(u32, u64), Vec<u64>> = BTreeMap::new();
+    for e in &tl.entries {
+        if let TelemetryEvent::TokenReceived { epoch, .. } = e.event {
+            visits.entry((e.pid, epoch)).or_default().push(e.at);
+        }
+    }
+    for ((pid, epoch), ticks) in visits {
+        if ticks.len() < 3 {
+            continue;
+        }
+        let mut gaps: Vec<u64> = ticks.windows(2).map(|w| w[1] - w[0]).collect();
+        let (widest, at) = ticks
+            .windows(2)
+            .map(|w| (w[1] - w[0], w[0]))
+            .max()
+            .expect("len >= 3");
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2].max(1);
+        if widest >= cfg.starvation_min_ticks && widest >= cfg.starvation_factor * median {
+            out.push(Anomaly {
+                kind: "token_starvation",
+                pid: Some(pid),
+                epoch: Some(epoch),
+                detail: format!(
+                    "token silent for {widest} tick(s) after t={at} \
+                     (median inter-visit gap {median})"
+                ),
+            });
+        }
+    }
+}
+
+fn hole_storms(tl: &Timeline, cfg: &AnomalyConfig, out: &mut Vec<Anomaly>) {
+    let mut holes: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+    for e in &tl.entries {
+        if let TelemetryEvent::HolesRequested { epoch, count } = e.event {
+            *holes.entry((e.pid, epoch)).or_insert(0) += count;
+        }
+    }
+    for ((pid, epoch), total) in holes {
+        if total >= cfg.hole_storm_threshold {
+            out.push(Anomaly {
+                kind: "hole_request_storm",
+                pid: Some(pid),
+                epoch: Some(epoch),
+                detail: format!(
+                    "{total} missing ordinal(s) requested in one configuration \
+                     (threshold {})",
+                    cfg.hole_storm_threshold
+                ),
+            });
+        }
+    }
+}
+
+fn obligation_growth(tl: &Timeline, cfg: &AnomalyConfig, out: &mut Vec<Anomaly>) {
+    let mut samples: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for e in &tl.entries {
+        if let TelemetryEvent::ObligationSetSize { size } = e.event {
+            samples.entry(e.pid).or_default().push(size);
+        }
+    }
+    for (pid, sizes) in samples {
+        let mut run = 1usize;
+        let mut worst = 1usize;
+        for w in sizes.windows(2) {
+            if w[1] > w[0] {
+                run += 1;
+                worst = worst.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        if worst >= cfg.obligation_growth_run {
+            out.push(Anomaly {
+                kind: "obligation_growth",
+                pid: Some(pid),
+                epoch: None,
+                detail: format!(
+                    "obligation set grew across {worst} consecutive recoveries \
+                     (sizes {sizes:?}); Step 5.c obligations are not being retired"
+                ),
+            });
+        }
+    }
+}
+
+fn message_lifecycle_gaps(messages: &[MessageSpan], out: &mut Vec<Anomaly>) {
+    for m in messages {
+        if m.stamped_at.is_some() && m.deliveries == 0 {
+            out.push(Anomaly {
+                kind: "undelivered_message",
+                pid: Some(m.sender),
+                epoch: m.epoch,
+                detail: format!(
+                    "P{}#{} was stamped (ord {}) but never delivered anywhere",
+                    m.sender,
+                    m.counter,
+                    m.seq.unwrap_or(0)
+                ),
+            });
+        } else if m.originated_at.is_some() && m.stamped_at.is_none() {
+            out.push(Anomaly {
+                kind: "unstamped_message",
+                pid: Some(m.sender),
+                epoch: None,
+                detail: format!(
+                    "P{}#{} was originated at t={} but the token never stamped it",
+                    m.sender,
+                    m.counter,
+                    m.originated_at.unwrap_or(0)
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use evs_telemetry::Telemetry;
+
+    #[test]
+    fn detects_stuck_recovery_and_starvation() {
+        let t = Telemetry::enabled(0);
+        t.record(
+            1,
+            TelemetryEvent::ConfigCommitted {
+                epoch: 3,
+                rep: 0,
+                members: 2,
+            },
+        );
+        t.record(2, TelemetryEvent::RecoveryStepEntered { step: 2, epoch: 3 });
+        t.record(2, TelemetryEvent::RecoveryStepReached { step: 3, epoch: 3 });
+        // Token visits with one pathological gap.
+        for at in [10u64, 20, 30, 40, 1000, 1010] {
+            t.record(
+                at,
+                TelemetryEvent::TokenReceived {
+                    epoch: 2,
+                    token_id: at,
+                    aru: 0,
+                },
+            );
+        }
+        let tl = Timeline::from_handles([&t]);
+        let msgs = MessageSpan::derive(&tl);
+        let cfgs = ConfigSpan::derive(&tl);
+        let anomalies = detect(&tl, &msgs, &cfgs, &AnomalyConfig::default());
+        assert!(
+            anomalies
+                .iter()
+                .any(|a| a.kind == "stuck_recovery"
+                    && a.detail.contains("broadcast exchange report")),
+            "{anomalies:?}"
+        );
+        assert!(
+            anomalies
+                .iter()
+                .any(|a| a.kind == "token_starvation" && a.pid == Some(0)),
+            "{anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn quiet_run_has_no_anomalies() {
+        let t = Telemetry::enabled(0);
+        for at in [10u64, 20, 30, 40] {
+            t.record(
+                at,
+                TelemetryEvent::TokenReceived {
+                    epoch: 1,
+                    token_id: at,
+                    aru: 0,
+                },
+            );
+        }
+        let tl = Timeline::from_handles([&t]);
+        let anomalies = detect(
+            &tl,
+            &MessageSpan::derive(&tl),
+            &ConfigSpan::derive(&tl),
+            &AnomalyConfig::default(),
+        );
+        assert!(anomalies.is_empty(), "{anomalies:?}");
+    }
+
+    #[test]
+    fn anomaly_round_trips_through_json() {
+        let a = Anomaly {
+            kind: "hole_request_storm",
+            pid: Some(2),
+            epoch: Some(7),
+            detail: "a \"quoted\" detail".to_string(),
+        };
+        let v = json::parse(&a.to_json()).unwrap();
+        assert_eq!(Anomaly::from_json(&v).unwrap(), a);
+    }
+}

@@ -1,0 +1,219 @@
+//! The top-level analysis report: timeline + spans + anomalies.
+
+use crate::anomaly::{self, Anomaly, AnomalyConfig};
+use crate::json::{self, Value};
+use crate::spans::{ConfigSpan, MessageSpan};
+use crate::timeline::{collect_dumps, Timeline};
+use evs_telemetry::{RecordedEvent, Telemetry};
+use std::fmt::Write as _;
+
+/// Everything `evs-inspect` derives from a run's flight-recorder dumps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InspectReport {
+    /// The merged causally-ordered timeline.
+    pub timeline: Timeline,
+    /// Per-message lifecycle spans.
+    pub messages: Vec<MessageSpan>,
+    /// Per-configuration-change lifecycle spans.
+    pub configs: Vec<ConfigSpan>,
+    /// Detected anomalies.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl InspectReport {
+    /// Analyzes `(pid, dump)` pairs with default anomaly thresholds.
+    pub fn analyze(dumps: &[(u32, Vec<RecordedEvent>)]) -> InspectReport {
+        InspectReport::analyze_with(dumps, &AnomalyConfig::default())
+    }
+
+    /// Analyzes with explicit anomaly thresholds.
+    pub fn analyze_with(dumps: &[(u32, Vec<RecordedEvent>)], cfg: &AnomalyConfig) -> InspectReport {
+        let timeline = Timeline::merge(dumps);
+        let messages = MessageSpan::derive(&timeline);
+        let configs = ConfigSpan::derive(&timeline);
+        let anomalies = anomaly::detect(&timeline, &messages, &configs, cfg);
+        InspectReport {
+            timeline,
+            messages,
+            configs,
+            anomalies,
+        }
+    }
+
+    /// Analyzes the flight recorders of live telemetry handles (detached
+    /// handles contribute nothing).
+    pub fn from_handles<'a>(handles: impl IntoIterator<Item = &'a Telemetry>) -> InspectReport {
+        InspectReport::analyze(&collect_dumps(handles))
+    }
+
+    /// True when no process contributed any event.
+    pub fn is_empty(&self) -> bool {
+        self.timeline.entries.is_empty()
+    }
+
+    /// The span-level data without the timeline (this is what survives a
+    /// JSON round-trip).
+    pub fn span_report(&self) -> SpanReport {
+        SpanReport {
+            messages: self.messages.clone(),
+            configs: self.configs.clone(),
+            anomalies: self.anomalies.clone(),
+        }
+    }
+
+    /// Full human-readable rendering. `timeline_cap` bounds the timeline
+    /// section (`None` prints every merged event).
+    pub fn to_text(&self, timeline_cap: Option<usize>) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("inspect: no flight-recorder data (telemetry detached?)\n");
+            return out;
+        }
+        out.push_str(&self.timeline.to_text(timeline_cap));
+        let _ = writeln!(out, "message lifecycle spans ({}):", self.messages.len());
+        for m in &self.messages {
+            let _ = writeln!(out, "  {}", m.to_text());
+        }
+        let _ = writeln!(out, "configuration-change spans ({}):", self.configs.len());
+        for c in &self.configs {
+            for line in c.to_text().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        let _ = writeln!(out, "anomalies ({}):", self.anomalies.len());
+        if self.anomalies.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for a in &self.anomalies {
+            let _ = writeln!(out, "  {a}");
+        }
+        out
+    }
+}
+
+/// The serializable part of an [`InspectReport`]: spans and anomalies.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanReport {
+    /// Per-message lifecycle spans.
+    pub messages: Vec<MessageSpan>,
+    /// Per-configuration-change lifecycle spans.
+    pub configs: Vec<ConfigSpan>,
+    /// Detected anomalies.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl SpanReport {
+    /// Renders the report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"messages\":[");
+        for (i, m) in self.messages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&m.to_json());
+        }
+        out.push_str("],\"configs\":[");
+        for (i, c) in self.configs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_json());
+        }
+        out.push_str("],\"anomalies\":[");
+        for (i, a) in self.anomalies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report back from [`SpanReport::to_json`] output.
+    pub fn from_json(doc: &str) -> Option<SpanReport> {
+        let v = json::parse(doc).ok()?;
+        let list = |key: &str| -> Option<Vec<Value>> { Some(v.get(key)?.as_array()?.to_vec()) };
+        Some(SpanReport {
+            messages: list("messages")?
+                .iter()
+                .map(MessageSpan::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            configs: list("configs")?
+                .iter()
+                .map(ConfigSpan::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            anomalies: list("anomalies")?
+                .iter()
+                .map(Anomaly::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evs_telemetry::TelemetryEvent;
+
+    fn sample_dumps() -> Vec<(u32, Vec<RecordedEvent>)> {
+        let t = Telemetry::enabled(0);
+        t.record(
+            1,
+            TelemetryEvent::MessageOriginated {
+                sender: 0,
+                counter: 1,
+                service: "safe",
+            },
+        );
+        t.record(
+            3,
+            TelemetryEvent::MessageSent {
+                epoch: 1,
+                rep: 0,
+                sender: 0,
+                counter: 1,
+                seq: 1,
+                service: "safe",
+            },
+        );
+        t.record(
+            5,
+            TelemetryEvent::MessageDelivered {
+                epoch: 1,
+                rep: 0,
+                sender: 0,
+                counter: 1,
+                seq: 1,
+                service: "safe",
+                transitional: false,
+            },
+        );
+        collect_dumps([&t])
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let rep = InspectReport::analyze(&sample_dumps());
+        let text = rep.to_text(None);
+        assert!(text.contains("merged causal timeline"));
+        assert!(text.contains("message lifecycle spans (1):"));
+        assert!(text.contains("configuration-change spans"));
+        assert!(text.contains("anomalies (0):"));
+        assert!(text.contains("(none)"));
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        let rep = InspectReport::analyze(&[]);
+        assert!(rep.is_empty());
+        assert!(rep.to_text(None).contains("no flight-recorder data"));
+    }
+
+    #[test]
+    fn span_report_round_trips() {
+        let rep = InspectReport::analyze(&sample_dumps()).span_report();
+        let doc = rep.to_json();
+        assert_eq!(SpanReport::from_json(&doc).unwrap(), rep);
+    }
+}

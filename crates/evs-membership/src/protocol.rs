@@ -430,6 +430,7 @@ impl Membership {
                     now.ticks(),
                     TelemetryEvent::ConfigCommitted {
                         epoch: config.epoch,
+                        rep: config.rep.index(),
                         members: members.len() as u32,
                     },
                 );
@@ -589,6 +590,7 @@ impl Membership {
             now.ticks(),
             TelemetryEvent::ConfigCommitted {
                 epoch: config.epoch,
+                rep: config.rep.index(),
                 members: proposal.members.len() as u32,
             },
         );
@@ -661,6 +663,7 @@ impl Membership {
             now.ticks(),
             TelemetryEvent::ConfigInstalled {
                 epoch: proposal.id.epoch,
+                rep: proposal.id.rep.index(),
                 members: proposal.members.len() as u32,
             },
         );

@@ -3,7 +3,7 @@
 use crate::{MessageId, OrderedMsg, RingMsg, Service, Token};
 use evs_membership::ConfigId;
 use evs_sim::{ProcessId, SimTime};
-use evs_telemetry::{Histogram, Telemetry, TelemetryEvent};
+use evs_telemetry::{names, Histogram, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Bucket bounds (inclusive) for the messages-stamped-per-token-visit
@@ -142,7 +142,7 @@ impl<P: Clone> Ring<P> {
     /// Attaches a telemetry handle. Instrument handles are resolved here
     /// once so token-visit recording stays off the name-lookup path.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        self.stamped_per_visit = telemetry.histogram("stamped_per_visit", STAMPED_BOUNDS);
+        self.stamped_per_visit = telemetry.histogram(names::STAMPED_PER_VISIT, STAMPED_BOUNDS);
         self.telemetry = telemetry;
     }
 

@@ -25,12 +25,16 @@ impl Node for Chatter {
         ctx.set_timer(5, TICK);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, u64, u64>, _from: ProcessId, msg: u64) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64, u64>, from: ProcessId, msg: u64) {
         self.heard += 1;
         ctx.telemetry().record(
             ctx.now().ticks(),
             TelemetryEvent::MessageDelivered {
                 epoch: msg,
+                rep: 0,
+                sender: from.index(),
+                counter: self.heard,
+                seq: self.heard,
                 service: "agreed",
                 transitional: false,
             },

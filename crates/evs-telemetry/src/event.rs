@@ -6,7 +6,16 @@
 //! the "Telemetry ↔ paper" table in `DESIGN.md` for the full mapping
 //! (e.g. `ConfigDelivered` ↔ `deliver_conf_p(c)` giving `reg_p(c)` /
 //! `trans_p(c)`, `ObligationSetSize` ↔ the obligation sets of §3).
+//!
+//! Events are **span-grade**: message events carry the message identity
+//! (`sender`, `counter` — the paper's unique message id) and, once
+//! stamped, the ordinal `seq` in its configuration's total order (the
+//! paper's `ord`); configuration events carry the full identifier
+//! (`epoch`, `rep`). `evs-inspect` merges the flight-recorder dumps of
+//! every process on these keys into one causally-ordered timeline and
+//! derives per-message and per-configuration lifecycle spans from it.
 
+use crate::names;
 use std::fmt;
 
 /// One structured telemetry event, emitted by an instrumented layer.
@@ -80,6 +89,8 @@ pub enum TelemetryEvent {
     ConfigCommitted {
         /// Epoch of the proposed configuration.
         epoch: u64,
+        /// Representative (smallest member) of the proposal.
+        rep: u32,
         /// Size of the proposed membership.
         members: u32,
     },
@@ -87,15 +98,37 @@ pub enum TelemetryEvent {
     ConfigInstalled {
         /// Epoch of the installed configuration.
         epoch: u64,
+        /// Representative (smallest member) of the configuration.
+        rep: u32,
         /// Size of the installed membership.
         members: u32,
     },
 
     // ---- evs-core: the EVS engine ----
-    /// The engine originated a message (`send_p(m)`).
+    /// The application handed a message to the engine; it now waits for
+    /// the token to stamp it into the total order.
+    MessageOriginated {
+        /// Originating process of the message identity.
+        sender: u32,
+        /// Sender-local monotone counter of the message identity.
+        counter: u64,
+        /// Requested service level ("causal", "agreed", "safe").
+        service: &'static str,
+    },
+    /// The engine originated a message (`send_p(m)`): the instant it is
+    /// stamped with its ordinal in the configuration's total order.
     MessageSent {
         /// Epoch of the configuration of origination.
         epoch: u64,
+        /// Representative of the configuration of origination.
+        rep: u32,
+        /// Originating process of the message identity.
+        sender: u32,
+        /// Sender-local monotone counter of the message identity.
+        counter: u64,
+        /// The message's ordinal (`ord`) in the configuration's total
+        /// order.
+        seq: u64,
         /// Requested service level ("causal", "agreed", "safe").
         service: &'static str,
     },
@@ -104,6 +137,15 @@ pub enum TelemetryEvent {
     MessageDelivered {
         /// Epoch of the configuration of delivery.
         epoch: u64,
+        /// Representative of the configuration of delivery.
+        rep: u32,
+        /// Originating process of the message identity.
+        sender: u32,
+        /// Sender-local monotone counter of the message identity.
+        counter: u64,
+        /// The message's ordinal (`ord`) in its regular configuration's
+        /// total order.
+        seq: u64,
         /// The message's service level.
         service: &'static str,
         /// True if delivered in a transitional configuration.
@@ -114,6 +156,8 @@ pub enum TelemetryEvent {
     ConfigDelivered {
         /// Epoch of the delivered configuration.
         epoch: u64,
+        /// Representative of the delivered configuration.
+        rep: u32,
         /// Size of the delivered membership.
         members: u32,
         /// True for a regular configuration, false for transitional.
@@ -123,12 +167,24 @@ pub enum TelemetryEvent {
     RecoveryStepEntered {
         /// The recovery step entered (2 on entry).
         step: u8,
+        /// Epoch of the proposed configuration driving the recovery.
+        epoch: u64,
+    },
+    /// The recovery algorithm reached an intermediate step (§3 Steps
+    /// 3–5) for the proposal with the given epoch.
+    RecoveryStepReached {
+        /// The recovery step reached (3, 4 or 5).
+        step: u8,
+        /// Epoch of the proposed configuration driving the recovery.
+        epoch: u64,
     },
     /// The engine left the recovery algorithm (§3 Step 6), or the
     /// recovery was abandoned by a crash/recovery cycle (step 0).
     RecoveryStepExited {
         /// The recovery step at exit (6 on completion, 0 on abort).
         step: u8,
+        /// Epoch of the proposed configuration the recovery served.
+        epoch: u64,
     },
     /// Size of the obligation set when it was extended (§3 Step 5.c).
     ObligationSetSize {
@@ -167,34 +223,70 @@ pub enum TelemetryEvent {
         /// Oracle invocations the minimization spent.
         checks: u32,
     },
+    /// Periodic heartbeat of a long chaos campaign (every N seeds).
+    ChaosProgress {
+        /// Plans executed so far.
+        done: u64,
+        /// Plans the campaign will execute in total.
+        total: u64,
+        /// Failures found so far.
+        failures: u64,
+    },
 }
 
 impl TelemetryEvent {
     /// The counter bumped when this event is recorded; also its stable
-    /// identifier in reports and flight-recorder dumps.
+    /// identifier in reports and flight-recorder dumps. Every name is a
+    /// constant of [`crate::names`].
     pub fn name(&self) -> &'static str {
         match self {
-            TelemetryEvent::TokenReceived { .. } => "tokens_received",
-            TelemetryEvent::TokenForwarded { .. } => "tokens_forwarded",
-            TelemetryEvent::TokenRetransmitted { .. } => "token_retransmissions",
-            TelemetryEvent::TokenRotated { .. } => "token_rotations",
-            TelemetryEvent::RetransmissionsServed { .. } => "retransmissions_served",
-            TelemetryEvent::HolesRequested { .. } => "holes_requested",
-            TelemetryEvent::SafeLineAdvanced { .. } => "safe_line_advances",
-            TelemetryEvent::MembershipTransition { .. } => "membership_transitions",
-            TelemetryEvent::ConfigCommitted { .. } => "configs_committed",
-            TelemetryEvent::ConfigInstalled { .. } => "configs_installed",
-            TelemetryEvent::MessageSent { .. } => "messages_sent",
-            TelemetryEvent::MessageDelivered { .. } => "messages_delivered",
-            TelemetryEvent::ConfigDelivered { .. } => "configs_delivered",
-            TelemetryEvent::RecoveryStepEntered { .. } => "recovery_steps_entered",
-            TelemetryEvent::RecoveryStepExited { .. } => "recovery_steps_exited",
-            TelemetryEvent::ObligationSetSize { .. } => "obligation_set_samples",
-            TelemetryEvent::StableWrite { .. } => "stable_writes",
-            TelemetryEvent::ChaosRunExecuted { .. } => "chaos_runs",
-            TelemetryEvent::ChaosViolationFound { .. } => "chaos_violations",
-            TelemetryEvent::ChaosPlanShrunk { .. } => "chaos_shrinks",
+            TelemetryEvent::TokenReceived { .. } => names::TOKENS_RECEIVED,
+            TelemetryEvent::TokenForwarded { .. } => names::TOKENS_FORWARDED,
+            TelemetryEvent::TokenRetransmitted { .. } => names::TOKEN_RETRANSMISSIONS,
+            TelemetryEvent::TokenRotated { .. } => names::TOKEN_ROTATIONS,
+            TelemetryEvent::RetransmissionsServed { .. } => names::RETRANSMISSIONS_SERVED,
+            TelemetryEvent::HolesRequested { .. } => names::HOLES_REQUESTED,
+            TelemetryEvent::SafeLineAdvanced { .. } => names::SAFE_LINE_ADVANCES,
+            TelemetryEvent::MembershipTransition { .. } => names::MEMBERSHIP_TRANSITIONS,
+            TelemetryEvent::ConfigCommitted { .. } => names::CONFIGS_COMMITTED,
+            TelemetryEvent::ConfigInstalled { .. } => names::CONFIGS_INSTALLED,
+            TelemetryEvent::MessageOriginated { .. } => names::MESSAGES_ORIGINATED,
+            TelemetryEvent::MessageSent { .. } => names::MESSAGES_SENT,
+            TelemetryEvent::MessageDelivered { .. } => names::MESSAGES_DELIVERED,
+            TelemetryEvent::ConfigDelivered { .. } => names::CONFIGS_DELIVERED,
+            TelemetryEvent::RecoveryStepEntered { .. } => names::RECOVERY_STEPS_ENTERED,
+            TelemetryEvent::RecoveryStepReached { .. } => names::RECOVERY_STEP_MARKS,
+            TelemetryEvent::RecoveryStepExited { .. } => names::RECOVERY_STEPS_EXITED,
+            TelemetryEvent::ObligationSetSize { .. } => names::OBLIGATION_SET_SAMPLES,
+            TelemetryEvent::StableWrite { .. } => names::STABLE_WRITES,
+            TelemetryEvent::ChaosRunExecuted { .. } => names::CHAOS_RUNS,
+            TelemetryEvent::ChaosViolationFound { .. } => names::CHAOS_VIOLATIONS,
+            TelemetryEvent::ChaosPlanShrunk { .. } => names::CHAOS_SHRINKS,
+            TelemetryEvent::ChaosProgress { .. } => names::CHAOS_PROGRESS,
         }
+    }
+
+    /// True for the low-rate lifecycle events that `evs-inspect` derives
+    /// message and configuration-change spans from. The flight recorder
+    /// retains these in their own ring so that token circulation — which
+    /// outnumbers them by orders of magnitude — cannot evict them before
+    /// a post-mortem reads the dump.
+    pub fn is_span_grade(&self) -> bool {
+        matches!(
+            self,
+            TelemetryEvent::MembershipTransition { .. }
+                | TelemetryEvent::ConfigCommitted { .. }
+                | TelemetryEvent::ConfigInstalled { .. }
+                | TelemetryEvent::MessageOriginated { .. }
+                | TelemetryEvent::MessageSent { .. }
+                | TelemetryEvent::MessageDelivered { .. }
+                | TelemetryEvent::ConfigDelivered { .. }
+                | TelemetryEvent::RecoveryStepEntered { .. }
+                | TelemetryEvent::RecoveryStepReached { .. }
+                | TelemetryEvent::RecoveryStepExited { .. }
+                | TelemetryEvent::ObligationSetSize { .. }
+                | TelemetryEvent::StableWrite { .. }
+        )
     }
 }
 
@@ -232,53 +324,93 @@ impl fmt::Display for TelemetryEvent {
             TelemetryEvent::MembershipTransition { from, to } => {
                 write!(f, "membership {from} -> {to}")
             }
-            TelemetryEvent::ConfigCommitted { epoch, members } => {
+            TelemetryEvent::ConfigCommitted {
+                epoch,
+                rep,
+                members,
+            } => {
                 write!(
                     f,
-                    "committed configuration (epoch {epoch}, {members} members)"
+                    "committed configuration R{epoch}@P{rep} ({members} members)"
                 )
             }
-            TelemetryEvent::ConfigInstalled { epoch, members } => {
+            TelemetryEvent::ConfigInstalled {
+                epoch,
+                rep,
+                members,
+            } => {
                 write!(
                     f,
-                    "installed configuration (epoch {epoch}, {members} members)"
+                    "installed configuration R{epoch}@P{rep} ({members} members)"
                 )
             }
-            TelemetryEvent::MessageSent { epoch, service } => {
-                write!(f, "sent {service} message (epoch {epoch})")
+            TelemetryEvent::MessageOriginated {
+                sender,
+                counter,
+                service,
+            } => {
+                write!(f, "originated {service} message P{sender}#{counter}")
+            }
+            TelemetryEvent::MessageSent {
+                epoch,
+                rep,
+                sender,
+                counter,
+                seq,
+                service,
+            } => {
+                write!(
+                    f,
+                    "sent {service} message P{sender}#{counter} (ord {seq} in R{epoch}@P{rep})"
+                )
             }
             TelemetryEvent::MessageDelivered {
                 epoch,
+                rep,
+                sender,
+                counter,
+                seq,
                 service,
                 transitional,
             } => {
-                let kind = if *transitional {
-                    "transitional"
-                } else {
-                    "regular"
-                };
+                let kind = if *transitional { "T" } else { "R" };
                 write!(
                     f,
-                    "delivered {service} message ({kind} config, epoch {epoch})"
+                    "delivered {service} message P{sender}#{counter} \
+                     (ord {seq}, {kind}{epoch}@P{rep})"
                 )
             }
             TelemetryEvent::ConfigDelivered {
                 epoch,
+                rep,
                 members,
                 regular,
             } => {
-                let kind = if *regular { "regular" } else { "transitional" };
+                let kind = if *regular {
+                    "regular R"
+                } else {
+                    "transitional T"
+                };
                 write!(
                     f,
-                    "delivered {kind} configuration (epoch {epoch}, {members} members)"
+                    "delivered {kind}{epoch}@P{rep} configuration ({members} members)"
                 )
             }
-            TelemetryEvent::RecoveryStepEntered { step } => {
-                write!(f, "recovery entered at step {step}")
+            TelemetryEvent::RecoveryStepEntered { step, epoch } => {
+                write!(
+                    f,
+                    "recovery entered at step {step} (proposal epoch {epoch})"
+                )
             }
-            TelemetryEvent::RecoveryStepExited { step } => match step {
-                0 => write!(f, "recovery abandoned (crash/recovery cycle)"),
-                s => write!(f, "recovery completed at step {s}"),
+            TelemetryEvent::RecoveryStepReached { step, epoch } => {
+                write!(f, "recovery reached step {step} (proposal epoch {epoch})")
+            }
+            TelemetryEvent::RecoveryStepExited { step, epoch } => match step {
+                0 => write!(
+                    f,
+                    "recovery abandoned (crash/recovery cycle, proposal epoch {epoch})"
+                ),
+                s => write!(f, "recovery completed at step {s} (proposal epoch {epoch})"),
             },
             TelemetryEvent::ObligationSetSize { size } => {
                 write!(f, "obligation set extended to {size} process(es)")
@@ -307,6 +439,16 @@ impl fmt::Display for TelemetryEvent {
                     "chaos plan shrunk {from_steps} -> {to_steps} step(s) ({checks} check(s))"
                 )
             }
+            TelemetryEvent::ChaosProgress {
+                done,
+                total,
+                failures,
+            } => {
+                write!(
+                    f,
+                    "chaos progress: {done}/{total} plan(s), {failures} failure(s)"
+                )
+            }
         }
     }
 }
@@ -327,10 +469,34 @@ mod tests {
 
     #[test]
     fn recovery_exit_displays_abort_distinctly() {
-        let done = TelemetryEvent::RecoveryStepExited { step: 6 };
-        let aborted = TelemetryEvent::RecoveryStepExited { step: 0 };
+        let done = TelemetryEvent::RecoveryStepExited { step: 6, epoch: 4 };
+        let aborted = TelemetryEvent::RecoveryStepExited { step: 0, epoch: 4 };
         assert!(done.to_string().contains("completed"));
         assert!(aborted.to_string().contains("abandoned"));
         assert_eq!(done.name(), aborted.name());
+    }
+
+    #[test]
+    fn message_events_carry_identity_and_ord() {
+        let sent = TelemetryEvent::MessageSent {
+            epoch: 2,
+            rep: 0,
+            sender: 1,
+            counter: 9,
+            seq: 4,
+            service: "safe",
+        };
+        assert_eq!(sent.name(), "messages_sent");
+        assert_eq!(sent.to_string(), "sent safe message P1#9 (ord 4 in R2@P0)");
+        let delivered = TelemetryEvent::MessageDelivered {
+            epoch: 2,
+            rep: 0,
+            sender: 1,
+            counter: 9,
+            seq: 4,
+            service: "safe",
+            transitional: true,
+        };
+        assert!(delivered.to_string().contains("T2@P0"));
     }
 }

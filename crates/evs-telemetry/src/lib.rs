@@ -17,6 +17,11 @@
 //! * [`RunReport`] — an aggregated cross-process snapshot, rendered as
 //!   human text or JSON.
 //!
+//! The [`names`] module holds the canonical `&'static str` constants for
+//! every counter/gauge/histogram; instrumented layers and analysis code
+//! (`evs-inspect`, the bench regression gate) share them, so a typo is a
+//! compile error rather than a silently forked metric.
+//!
 //! The [`Telemetry`] handle itself is either *enabled* (an
 //! `Arc`-shared registry + recorder) or *detached* (`None` inside).
 //! Every operation on a detached handle is an `Option` check and an
@@ -28,6 +33,7 @@
 
 mod event;
 mod metrics;
+pub mod names;
 mod recorder;
 pub mod report;
 
@@ -162,6 +168,10 @@ mod tests {
             1,
             TelemetryEvent::MessageSent {
                 epoch: 1,
+                rep: 0,
+                sender: 0,
+                counter: 1,
+                seq: 1,
                 service: "agreed",
             },
         );
@@ -207,7 +217,7 @@ mod tests {
     fn flight_capacity_is_respected() {
         let t = Telemetry::with_capacity(0, 2);
         for i in 0..5 {
-            t.record(i, TelemetryEvent::RecoveryStepEntered { step: 2 });
+            t.record(i, TelemetryEvent::RecoveryStepEntered { step: 2, epoch: 1 });
         }
         assert_eq!(t.flight_dump().len(), 2);
         assert_eq!(t.events_recorded(), 5);

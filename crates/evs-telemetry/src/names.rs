@@ -1,0 +1,75 @@
+//! The canonical metric and event names of the stack.
+//!
+//! Every counter bumped by [`TelemetryEvent::name`](crate::TelemetryEvent)
+//! and every gauge/histogram resolved by an instrumented layer takes its
+//! name from here, so a typo at a call site becomes a compile error instead
+//! of silently forking a counter. Analysis code (`evs-inspect`, the bench
+//! regression gate) keys on the same constants.
+
+// ---- evs-order: the token ring ----
+
+/// Token visits accepted by the ring ([`TokenReceived`](crate::TelemetryEvent::TokenReceived)).
+pub const TOKENS_RECEIVED: &str = "tokens_received";
+/// Tokens handed to the ring successor.
+pub const TOKENS_FORWARDED: &str = "tokens_forwarded";
+/// Locally-held tokens retransmitted after silence.
+pub const TOKEN_RETRANSMISSIONS: &str = "token_retransmissions";
+/// Completed full token rotations.
+pub const TOKEN_ROTATIONS: &str = "token_rotations";
+/// Data messages rebroadcast to service the token's rtr list.
+pub const RETRANSMISSIONS_SERVED: &str = "retransmissions_served";
+/// Missing ordinals requested via the token's rtr list.
+pub const HOLES_REQUESTED: &str = "holes_requested";
+/// Safe-line advances (two successive covered visits).
+pub const SAFE_LINE_ADVANCES: &str = "safe_line_advances";
+/// Histogram: messages stamped per token visit.
+pub const STAMPED_PER_VISIT: &str = "stamped_per_visit";
+
+// ---- evs-membership ----
+
+/// Membership state-machine transitions.
+pub const MEMBERSHIP_TRANSITIONS: &str = "membership_transitions";
+/// Proposed configurations committed by a representative.
+pub const CONFIGS_COMMITTED: &str = "configs_committed";
+/// Agreed configurations installed by the membership layer.
+pub const CONFIGS_INSTALLED: &str = "configs_installed";
+
+// ---- evs-core: the EVS engine ----
+
+/// Messages handed to the engine by the application (awaiting stamp).
+pub const MESSAGES_ORIGINATED: &str = "messages_originated";
+/// Messages stamped into a total order and broadcast (`send_p(m)`).
+pub const MESSAGES_SENT: &str = "messages_sent";
+/// Messages delivered to the application (`deliver_p(m, c)`).
+pub const MESSAGES_DELIVERED: &str = "messages_delivered";
+/// Causal-service deliveries.
+pub const DELIVERED_CAUSAL: &str = "delivered_causal";
+/// Agreed-service deliveries.
+pub const DELIVERED_AGREED: &str = "delivered_agreed";
+/// Safe-service deliveries.
+pub const DELIVERED_SAFE: &str = "delivered_safe";
+/// Configuration changes delivered (`deliver_conf_p(c)`).
+pub const CONFIGS_DELIVERED: &str = "configs_delivered";
+/// Entries into the recovery algorithm (§3 Step 2).
+pub const RECOVERY_STEPS_ENTERED: &str = "recovery_steps_entered";
+/// Exits from the recovery algorithm (Step 6, or 0 on abort).
+pub const RECOVERY_STEPS_EXITED: &str = "recovery_steps_exited";
+/// Intermediate recovery step marks (Steps 3–5 reached).
+pub const RECOVERY_STEP_MARKS: &str = "recovery_step_marks";
+/// Obligation-set size samples (§3 Step 5.c).
+pub const OBLIGATION_SET_SAMPLES: &str = "obligation_set_samples";
+/// Gauge: current obligation-set size.
+pub const OBLIGATION_SET_SIZE: &str = "obligation_set_size";
+/// Crash-surviving stable-storage writes.
+pub const STABLE_WRITES: &str = "stable_writes";
+
+// ---- evs-chaos: the fault-injection harness ----
+
+/// Chaos fault plans executed.
+pub const CHAOS_RUNS: &str = "chaos_runs";
+/// Chaos runs that violated a specification.
+pub const CHAOS_VIOLATIONS: &str = "chaos_violations";
+/// Failing fault plans minimized by the shrinker.
+pub const CHAOS_SHRINKS: &str = "chaos_shrinks";
+/// Periodic campaign progress heartbeats.
+pub const CHAOS_PROGRESS: &str = "chaos_progress";

@@ -4,6 +4,15 @@
 //! bounded suffix, which is exactly what a post-mortem wants — when a
 //! specification checker reports a violation, the recorder's dump shows
 //! what each process was doing just before the end.
+//!
+//! Events are retained in two classes with independent capacity. Token
+//! circulation dominates any run by orders of magnitude — a single ring
+//! would evict every message origination, configuration change and
+//! recovery step long before a post-mortem reads the dump, leaving
+//! `evs-inspect` nothing to derive lifecycle spans from. Span-grade
+//! events ([`TelemetryEvent::is_span_grade`]) therefore live in their own
+//! ring; high-rate traffic can only evict other high-rate traffic. A dump
+//! interleaves both classes back into recording order.
 
 use crate::event::TelemetryEvent;
 use std::collections::VecDeque;
@@ -28,18 +37,32 @@ impl fmt::Display for RecordedEvent {
     }
 }
 
+/// The two rings, guarded together so a dump sees a consistent cut.
+#[derive(Debug)]
+struct Rings {
+    /// Monotone recording index, shared by both rings; a dump merges on it.
+    seq: u64,
+    /// High-rate traffic (token circulation, retransmissions, ...).
+    recent: VecDeque<(u64, RecordedEvent)>,
+    /// Span-grade lifecycle events — protected from high-rate eviction.
+    spans: VecDeque<(u64, RecordedEvent)>,
+}
+
 /// A bounded ring buffer of [`RecordedEvent`]s, safe to push from the
-/// owning process thread while another thread dumps.
+/// owning process thread while another thread dumps. Span-grade events
+/// (see module docs) are retained separately from high-rate traffic, with
+/// `capacity` events kept of each class.
 #[derive(Debug)]
 pub struct FlightRecorder {
     capacity: usize,
-    buf: Mutex<VecDeque<RecordedEvent>>,
+    rings: Mutex<Rings>,
     /// Total pushes ever (so a dump can say how much history was lost).
     pushed: std::sync::atomic::AtomicU64,
 }
 
 impl FlightRecorder {
-    /// Creates a recorder keeping the last `capacity` events.
+    /// Creates a recorder keeping the last `capacity` events of each
+    /// class (span-grade and high-rate).
     ///
     /// # Panics
     ///
@@ -51,30 +74,46 @@ impl FlightRecorder {
         );
         FlightRecorder {
             capacity,
-            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            rings: Mutex::new(Rings {
+                seq: 0,
+                recent: VecDeque::with_capacity(capacity),
+                spans: VecDeque::new(),
+            }),
             pushed: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
-    /// Appends an event, evicting the oldest once full.
+    /// Appends an event, evicting the oldest of its class once that
+    /// class's ring is full.
     pub fn push(&self, at: u64, event: TelemetryEvent) {
-        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
-        if buf.len() == self.capacity {
-            buf.pop_front();
+        let mut rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = rings.seq;
+        rings.seq += 1;
+        let ring = if event.is_span_grade() {
+            &mut rings.spans
+        } else {
+            &mut rings.recent
+        };
+        if ring.len() == self.capacity {
+            ring.pop_front();
         }
-        buf.push_back(RecordedEvent { at, event });
+        ring.push_back((seq, RecordedEvent { at, event }));
         self.pushed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// The retained suffix, oldest first.
+    /// The retained suffix, oldest first: both classes interleaved back
+    /// into recording order.
     pub fn dump(&self) -> Vec<RecordedEvent> {
-        self.buf
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        let rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        let mut merged: Vec<(u64, RecordedEvent)> = rings
+            .recent
             .iter()
+            .chain(rings.spans.iter())
             .copied()
-            .collect()
+            .collect();
+        merged.sort_by_key(|(seq, _)| *seq);
+        merged.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Total events ever pushed (≥ the dump's length).
@@ -82,7 +121,7 @@ impl FlightRecorder {
         self.pushed.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// The configured capacity.
+    /// The configured per-class capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -138,5 +177,31 @@ mod tests {
     #[should_panic(expected = "at least one event")]
     fn zero_capacity_rejected() {
         let _ = FlightRecorder::new(0);
+    }
+
+    #[test]
+    fn span_grade_events_survive_a_token_flood() {
+        let rec = FlightRecorder::new(4);
+        rec.push(
+            0,
+            TelemetryEvent::MessageOriginated {
+                sender: 1,
+                counter: 1,
+                service: "safe",
+            },
+        );
+        for i in 1..100 {
+            rec.push(i, ev(i));
+        }
+        let dump = rec.dump();
+        // The origination outlived 99 rotations: it sits first (recording
+        // order), followed by the last 4 high-rate events.
+        assert_eq!(dump.len(), 5);
+        assert_eq!(dump[0].at, 0);
+        assert!(matches!(
+            dump[0].event,
+            TelemetryEvent::MessageOriginated { .. }
+        ));
+        assert_eq!(dump[4].at, 99);
     }
 }

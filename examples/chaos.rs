@@ -232,6 +232,7 @@ fn main() {
         CampaignConfig {
             stop_on_failure: !args.keep_going,
             shrink: true,
+            ..CampaignConfig::default()
         },
     );
     let (stats, found) = campaign.run(args.seed, args.iters);

@@ -17,6 +17,7 @@
 //! the test suite's property tests.
 
 use evs::core::{EvsCluster, Service};
+use evs::inspect::InspectReport;
 use evs::sim::ProcessId;
 use evs::telemetry::RunReport;
 use evs::vs::{check_vs, filter_trace, MajorityPrimary, PrimaryHistory};
@@ -26,7 +27,7 @@ use std::collections::BTreeMap;
 
 const N: usize = 5;
 
-fn run_round(seed: u64) -> (usize, usize, RunReport) {
+fn run_round(seed: u64) -> (usize, usize, RunReport, InspectReport) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cluster = EvsCluster::<String>::builder(N)
         .seed(seed)
@@ -111,7 +112,8 @@ fn run_round(seed: u64) -> (usize, usize, RunReport) {
         eprintln!("seed {seed}: VS violations: {errors:#?}\ntrace archived to {path}");
         std::process::exit(1);
     }
-    (trace.len(), msg as usize, cluster.run_report())
+    let inspect = InspectReport::from_handles(&cluster.telemetry_handles());
+    (trace.len(), msg as usize, cluster.run_report(), inspect)
 }
 
 fn main() {
@@ -130,15 +132,17 @@ fn main() {
     let mut total_msgs = 0usize;
     let mut cumulative: BTreeMap<String, u64> = BTreeMap::new();
     let mut last_report = RunReport::default();
+    let mut last_inspect = None;
     for round in 0..rounds {
         let seed = base_seed.wrapping_add(round);
-        let (events, msgs, report) = run_round(seed);
+        let (events, msgs, report, inspect) = run_round(seed);
         total_events += events;
         total_msgs += msgs;
         for (name, value) in report.counter_totals() {
             *cumulative.entry(name).or_default() += value;
         }
         last_report = report;
+        last_inspect = Some(inspect);
         if round % 5 == 4 || round + 1 == rounds {
             println!(
                 "  round {:>4}/{rounds}: cumulative {total_events} events, {total_msgs} messages — all specifications hold",
@@ -149,6 +153,10 @@ fn main() {
     println!("soak complete: every round conformant ✓");
     println!("\n-- telemetry, final round:");
     print!("{}", last_report.to_text());
+    if let Some(inspect) = last_inspect {
+        println!("\n-- lifecycle spans, final round (timeline tail):");
+        print!("{}", inspect.to_text(Some(20)));
+    }
     println!("\n-- telemetry, counter totals across all {rounds} rounds:");
     for (name, value) in &cumulative {
         println!("  {name:<32} {value}");

@@ -258,4 +258,12 @@ fn main() {
     // genuinely networked execution.
     println!("\n-- telemetry:");
     print!("{}", RunReport::collect(&telemetry_handles).to_text());
+
+    // Cross-process correlation of the same run: merged causal timeline,
+    // per-message and per-configuration lifecycle spans, anomalies.
+    println!("\n-- lifecycle spans (timeline tail):");
+    print!(
+        "{}",
+        evs::inspect::InspectReport::from_handles(&telemetry_handles).to_text(Some(20))
+    );
 }

@@ -17,6 +17,9 @@
 //! * [`telemetry`] — metrics, structured tracing and the per-process
 //!   flight recorder wired through every layer above (see the
 //!   "Observability" section of `README.md`).
+//! * [`inspect`] — run analysis over the flight recorders: the merged
+//!   causal timeline, per-message and per-configuration lifecycle spans,
+//!   and anomaly detection (stuck recovery, token starvation, ...).
 //! * [`chaos`] — deterministic fault injection: the fault-plan DSL,
 //!   seeded scenario search, conformance-checked orchestration, and
 //!   counterexample shrinking (see the "Chaos testing" section of
@@ -49,6 +52,7 @@
 
 pub use evs_chaos as chaos;
 pub use evs_core as core;
+pub use evs_inspect as inspect;
 pub use evs_membership as membership;
 pub use evs_order as order;
 pub use evs_sim as sim;
