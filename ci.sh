@@ -6,6 +6,7 @@
 #   ./ci.sh bench-smoke       # just refresh BENCH_baseline.json
 #   ./ci.sh bench-diff        # just the counter-regression gate
 #   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
+#   LIVE_CHAOS_ITERS=2000 ./ci.sh # standard gate + live-driver chaos soak
 #   BENCH_SMOKE=1 ./ci.sh     # standard gate + bench baseline refresh
 #
 # The standard gate includes bench-diff: the deterministic smoke scenarios
@@ -58,11 +59,24 @@ echo "== chaos: fixed-seed smoke campaign =="
 cargo build -q --release --offline --example chaos
 ./target/release/examples/chaos --iters 400 --seed 3203 --keep-going
 
+echo "== chaos: fixed-seed live smoke (hunting mix on the threaded driver) =="
+# Loss-heavy plans (droppct/delay, once simulator-only) executed on LiveNet
+# with real threads and per-link fault injection; striped across 4 workers,
+# merged deterministically. ~10s wall on a single core.
+./target/release/examples/chaos --hunting --live --n 3 --jobs 4 \
+    --iters 200 --seed 424242
+
 bench_diff
 
 if [ -n "${CHAOS_ITERS:-}" ]; then
     echo "== chaos: long soak (CHAOS_ITERS=${CHAOS_ITERS}) =="
     ./target/release/examples/chaos --iters "${CHAOS_ITERS}" --seed 1
+fi
+
+if [ -n "${LIVE_CHAOS_ITERS:-}" ]; then
+    echo "== chaos: live soak (LIVE_CHAOS_ITERS=${LIVE_CHAOS_ITERS}) =="
+    ./target/release/examples/chaos --hunting --live --n 3 --jobs 4 \
+        --iters "${LIVE_CHAOS_ITERS}" --seed 2
 fi
 
 if [ -n "${BENCH_SMOKE:-}" ]; then

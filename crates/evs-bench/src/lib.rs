@@ -348,7 +348,7 @@ pub mod substrates {
 
         fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, u64>, _kind: TimerKind) {
             let now = ctx.now();
-            if let Some(out) = self.ring.maybe_retransmit(now, 64) {
+            if let Some(out) = self.ring.maybe_retransmit(now, 64, 512) {
                 self.apply(ctx, vec![out]);
             }
             ctx.set_timer(TICK_INTERVAL, TICK);

@@ -2,7 +2,7 @@
 //! automatic shrinking of any failure into a replayable counterexample.
 
 use crate::gen::ScenarioGen;
-use crate::orchestrator::{ChaosFailure, Orchestrator};
+use crate::orchestrator::{ChaosFailure, ChaosOutcome, Orchestrator};
 use crate::plan::FaultPlan;
 use crate::shrink::Shrinker;
 use evs_telemetry::{RunReport, Telemetry, TelemetryEvent};
@@ -71,6 +71,18 @@ pub struct CampaignConfig {
     /// every this many seeds, so long `CHAOS_ITERS` soaks are observable
     /// instead of silent for minutes. `0` disables the heartbeat.
     pub progress_every: u64,
+    /// Worker threads executing plans (`<= 1` runs on the caller's
+    /// thread). Seeds are striped across the workers and the results
+    /// merged back in iteration order, so stats, telemetry, artifacts —
+    /// and, under `stop_on_failure`, *which* failure is kept (the
+    /// earliest iteration) — are identical to a sequential run
+    /// regardless of thread timing.
+    pub jobs: usize,
+    /// Execute plans on the live multi-threaded driver
+    /// ([`Orchestrator::run_live`]) instead of the deterministic
+    /// simulator. Shrinking then replays candidates on the live driver
+    /// too — slower, and subject to real scheduling nondeterminism.
+    pub live: bool,
 }
 
 impl Default for CampaignConfig {
@@ -79,8 +91,19 @@ impl Default for CampaignConfig {
             stop_on_failure: true,
             shrink: true,
             progress_every: 100,
+            jobs: 1,
+            live: false,
         }
     }
+}
+
+/// One executed iteration of a sharded campaign, before the deterministic
+/// merge.
+struct ShardRun {
+    i: u64,
+    seed: u64,
+    plan: FaultPlan,
+    failure: Option<ChaosFailure>,
 }
 
 /// A seeded sweep: generate plan, run, check, shrink on failure.
@@ -126,10 +149,35 @@ impl Campaign {
         RunReport::collect([&self.telemetry])
     }
 
+    /// Executes one plan on the configured driver (simulator by default,
+    /// the live threaded driver when [`CampaignConfig::live`] is set).
+    fn run_plan(&self, plan: &FaultPlan) -> ChaosOutcome {
+        if self.config.live {
+            self.orchestrator
+                .run_live(plan)
+                .expect("generated plans validate")
+        } else {
+            self.orchestrator.run_sim(plan)
+        }
+    }
+
     /// Runs `iterations` seeds starting at `base_seed` (seed `base_seed +
     /// i` for iteration `i` — campaigns are fully described by those two
     /// numbers). Returns the stats and every counterexample found.
+    ///
+    /// With [`CampaignConfig::jobs`] `> 1` the seeds are striped across
+    /// that many worker threads; each worker executes its shard in
+    /// iteration order (stopping at its own first failure under
+    /// `stop_on_failure`), and the merge replays the executed runs in
+    /// global iteration order — identical counters, heartbeats and
+    /// counterexamples to the sequential sweep, wall-clock divided by the
+    /// worker count.
     pub fn run(&self, base_seed: u64, iterations: u64) -> (CampaignStats, Vec<CounterExample>) {
+        let jobs = self.config.jobs.max(1).min(iterations.max(1) as usize);
+        if jobs > 1 {
+            let runs = self.run_shards(base_seed, iterations, jobs);
+            return self.merge(runs, iterations);
+        }
         let mut stats = CampaignStats::default();
         let mut found = Vec::new();
         for i in 0..iterations {
@@ -137,7 +185,7 @@ impl Campaign {
             let plan = self.generator.plan(seed);
             stats.runs += 1;
             stats.steps += plan.steps.len() as u64;
-            let outcome = self.orchestrator.run_sim(&plan);
+            let outcome = self.run_plan(&plan);
             self.telemetry.record(
                 i,
                 TelemetryEvent::ChaosRunExecuted {
@@ -160,14 +208,121 @@ impl Campaign {
                     break;
                 }
             }
-            self.heartbeat(i, stats.runs, iterations, stats.failures);
+            self.heartbeat(i, stats.runs, iterations, stats.failures, true);
         }
         (stats, found)
     }
 
-    /// Records (and prints) the periodic campaign heartbeat when `done`
-    /// crosses a `progress_every` boundary.
-    fn heartbeat(&self, at: u64, done: u64, total: u64, failures: u64) {
+    /// Fans the seed range out over `jobs` scoped worker threads — worker
+    /// `w` executes iterations `w, w + jobs, w + 2·jobs, …` in order,
+    /// stopping at its shard's first failure under `stop_on_failure` —
+    /// and returns every executed run sorted by iteration. No worker
+    /// signals another: each shard's executed set depends only on the
+    /// seeds, so the merged result is deterministic whatever the thread
+    /// timing. Progress lines (stderr only) come from a shared counter so
+    /// a long parallel soak stays observable in real time.
+    fn run_shards(&self, base_seed: u64, iterations: u64, jobs: usize) -> Vec<ShardRun> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let done = AtomicU64::new(0);
+        let failed_so_far = AtomicU64::new(0);
+        let mut runs: Vec<ShardRun> = Vec::new();
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let done = &done;
+                    let failed_so_far = &failed_so_far;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = w as u64;
+                        while i < iterations {
+                            let seed = base_seed.wrapping_add(i);
+                            let plan = self.generator.plan(seed);
+                            let outcome = self.run_plan(&plan);
+                            let failed = outcome.failed();
+                            out.push(ShardRun {
+                                i,
+                                seed,
+                                plan,
+                                failure: outcome.failure,
+                            });
+                            if failed {
+                                failed_so_far.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            let every = self.config.progress_every;
+                            if every != 0 && d.is_multiple_of(every) {
+                                eprintln!(
+                                    "chaos progress: {d}/{iterations} plan(s), {} failure(s)",
+                                    failed_so_far.load(Ordering::Relaxed)
+                                );
+                            }
+                            if failed && self.config.stop_on_failure {
+                                break;
+                            }
+                            i += jobs as u64;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for worker in workers {
+                runs.extend(worker.join().expect("campaign worker panicked"));
+            }
+        });
+        runs.sort_by_key(|r| r.i);
+        runs
+    }
+
+    /// Replays executed runs in iteration order: stats, telemetry events,
+    /// shrinking — exactly what the sequential loop records. Under
+    /// `stop_on_failure`, runs after the earliest failing iteration
+    /// (executed by other shards before their own stop) are discarded,
+    /// every iteration up to that one was executed by some shard, and the
+    /// result matches a sequential stop at that iteration.
+    fn merge(&self, runs: Vec<ShardRun>, iterations: u64) -> (CampaignStats, Vec<CounterExample>) {
+        let mut stats = CampaignStats::default();
+        let mut found = Vec::new();
+        for run in runs {
+            let ShardRun {
+                i,
+                seed,
+                plan,
+                failure,
+            } = run;
+            stats.runs += 1;
+            stats.steps += plan.steps.len() as u64;
+            self.telemetry.record(
+                i,
+                TelemetryEvent::ChaosRunExecuted {
+                    seed,
+                    steps: plan.steps.len() as u32,
+                    failed: failure.is_some(),
+                },
+            );
+            if let Some(failure) = failure {
+                stats.failures += 1;
+                self.telemetry.record(
+                    i,
+                    TelemetryEvent::ChaosViolationFound {
+                        seed,
+                        specs: failure.specs.len() as u32,
+                    },
+                );
+                found.push(self.shrink_failure(i, seed, plan, failure));
+                if self.config.stop_on_failure {
+                    break;
+                }
+            }
+            // The workers already printed progress live; only the
+            // telemetry event is replayed here.
+            self.heartbeat(i, stats.runs, iterations, stats.failures, false);
+        }
+        (stats, found)
+    }
+
+    /// Records (and, when `print` is set, prints) the periodic campaign
+    /// heartbeat when `done` crosses a `progress_every` boundary.
+    fn heartbeat(&self, at: u64, done: u64, total: u64, failures: u64, print: bool) {
         let every = self.config.progress_every;
         if every == 0 || done == 0 || !done.is_multiple_of(every) {
             return;
@@ -180,7 +335,9 @@ impl Campaign {
                 failures,
             },
         );
-        eprintln!("chaos progress: {done}/{total} plan(s), {failures} failure(s)");
+        if print {
+            eprintln!("chaos progress: {done}/{total} plan(s), {failures} failure(s)");
+        }
     }
 
     /// Shrinks one failing plan into a [`CounterExample`] (identity shrink
@@ -196,10 +353,14 @@ impl Campaign {
         let (shrunk, checks) = if self.config.shrink {
             let target = target_spec.clone();
             let orch = self.orchestrator.clone();
+            let live = self.config.live;
             let result = self.shrinker.shrink(&plan, move |candidate| {
-                orch.run_sim(candidate)
-                    .failure
-                    .is_some_and(|f| f.specs.contains(&target))
+                let outcome = if live {
+                    orch.run_live(candidate).expect("shrunken plans validate")
+                } else {
+                    orch.run_sim(candidate)
+                };
+                outcome.failure.is_some_and(|f| f.specs.contains(&target))
             });
             (result.plan, result.checks)
         } else {
@@ -249,6 +410,100 @@ mod tests {
         let report = campaign.report();
         assert_eq!(report.total("chaos_runs"), 8);
         assert_eq!(report.total("chaos_violations"), 0);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let cfg = GenConfig {
+            n: 3,
+            max_steps: 5,
+            max_run: 800,
+            ..GenConfig::default()
+        };
+        let base = Campaign::new(
+            ScenarioGen::new(cfg.clone()),
+            Orchestrator::detached(),
+            Shrinker::default(),
+            CampaignConfig {
+                stop_on_failure: false,
+                ..CampaignConfig::default()
+            },
+        );
+        let sharded = Campaign::new(
+            ScenarioGen::new(cfg),
+            Orchestrator::detached(),
+            Shrinker::default(),
+            CampaignConfig {
+                stop_on_failure: false,
+                jobs: 3,
+                ..CampaignConfig::default()
+            },
+        );
+        let (seq_stats, seq_found) = base.run(4_400, 9);
+        let (par_stats, par_found) = sharded.run(4_400, 9);
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(seq_found.len(), par_found.len());
+        assert_eq!(
+            base.report().total("chaos_runs"),
+            sharded.report().total("chaos_runs")
+        );
+    }
+
+    #[test]
+    fn parallel_stop_on_failure_keeps_the_earliest_counterexample() {
+        // A synthetic check of the merge rule itself: hand the merge
+        // out-of-order shard results with two failures and verify only
+        // the earliest survives, with stats cut at that iteration.
+        let campaign = Campaign::new(
+            ScenarioGen::new(GenConfig::default()),
+            Orchestrator::detached(),
+            Shrinker::default(),
+            CampaignConfig {
+                shrink: false,
+                ..CampaignConfig::default()
+            },
+        );
+        let gen = ScenarioGen::new(GenConfig::default());
+        let fail = |specs: &[&str]| {
+            Some(ChaosFailure {
+                specs: specs.iter().map(|s| s.to_string()).collect(),
+                details: "synthetic".to_string(),
+            })
+        };
+        let runs = vec![
+            ShardRun {
+                i: 5,
+                seed: 105,
+                plan: gen.plan(105),
+                failure: fail(&["6.1"]),
+            },
+            ShardRun {
+                i: 0,
+                seed: 100,
+                plan: gen.plan(100),
+                failure: None,
+            },
+            ShardRun {
+                i: 2,
+                seed: 102,
+                plan: gen.plan(102),
+                failure: fail(&["3"]),
+            },
+            ShardRun {
+                i: 1,
+                seed: 101,
+                plan: gen.plan(101),
+                failure: None,
+            },
+        ];
+        let mut runs = runs;
+        runs.sort_by_key(|r| r.i);
+        let (stats, found) = campaign.merge(runs, 6);
+        assert_eq!(stats.runs, 3); // iterations 0, 1, 2 — nothing after the cut
+        assert_eq!(stats.failures, 1);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].seed, 102);
+        assert_eq!(found[0].target_spec, "3");
     }
 
     #[test]

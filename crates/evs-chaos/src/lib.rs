@@ -11,14 +11,17 @@
 //!   plain-text artifact format, so every failure replays from a file.
 //! * [`ScenarioGen`] — seeded, weighted random plan generation
 //!   (deterministic: same seed, same plan).
-//! * [`Orchestrator`] — executes plans against the simulated cluster (full
-//!   vocabulary) or the live threaded driver (everything but the network
-//!   knobs) and runs the complete conformance suite: Specifications
-//!   1.1–7.2, the primary-component properties, and the §5 VS reduction.
-//! * [`Shrinker`] — delta-debugging minimization by step removal and
-//!   parameter reduction, re-checking every candidate.
+//! * [`Orchestrator`] — executes plans with the full vocabulary against
+//!   the simulated cluster or the live threaded driver (whose per-link
+//!   fault layer carries `DropPct`/`Delay` under real concurrency) and
+//!   runs the complete conformance suite: Specifications 1.1–7.2, the
+//!   primary-component properties, and the §5 VS reduction.
+//! * [`Shrinker`] — delta-debugging minimization by step removal,
+//!   adjacent-`Run` merging, process-id remapping and parameter
+//!   reduction, re-checking every candidate.
 //! * [`Campaign`] — the loop: generate, run, check, shrink, report
-//!   (with chaos events wired into `evs-telemetry`).
+//!   (with chaos events wired into `evs-telemetry`); `jobs > 1` stripes
+//!   seeds across worker threads with a deterministic merge.
 //!
 //! The `chaos-mutation` cargo feature rebuilds `evs-core` with a
 //! deliberate protocol bug (a skipped obligation-set union in the recovery

@@ -3,9 +3,11 @@
 //!
 //! The simulator path ([`Orchestrator::run_sim`]) supports the entire step
 //! vocabulary and is deterministic; the live-thread path
-//! ([`Orchestrator::run_live`]) supports everything except the per-packet
-//! network knobs (`DropPct`, `Delay`) and exists to show the same plans
-//! exercising the same code under real concurrency.
+//! ([`Orchestrator::run_live`]) supports the same vocabulary — the
+//! network knobs (`DropPct`, `Delay`) map onto the live driver's per-link
+//! [`LinkFault`] policies — and exists to show the same plans exercising
+//! the same code under real concurrency, with faults interleaving real
+//! thread schedules.
 //!
 //! "Conformance" here is everything the workspace can check: the EVS
 //! specifications 1.1–7.2 (with flight-recorder dumps attached on
@@ -16,7 +18,7 @@ use crate::plan::{FaultPlan, FaultStep, PlanError};
 use evs_core::checker;
 use evs_core::{EvsCluster, EvsParams, EvsProcess, Trace};
 use evs_sim::live::LiveNet;
-use evs_sim::{Action, NetConfig, ProcessId};
+use evs_sim::{Action, LinkFault, NetConfig, ProcessId};
 use evs_telemetry::{RunReport, Telemetry};
 use evs_vs::{check_vs, filter_trace, MajorityPrimary, PrimaryHistory};
 use std::time::Duration;
@@ -217,21 +219,16 @@ impl Orchestrator {
     /// Runs `plan` on the live multi-threaded driver — same state
     /// machines, real threads and real time — and checks the same
     /// conformance suite. `Run` steps become wall-clock sleeps (1 tick =
-    /// 100 µs, the live driver's clock).
+    /// 100 µs, the live driver's clock); `DropPct` and `Delay` steps
+    /// reconfigure every inter-node link's [`LinkFault`] policy mid-run,
+    /// seeded from the plan seed.
     ///
     /// # Errors
     ///
-    /// Returns a [`PlanError`] if the plan uses simulator-only steps
-    /// (`DropPct`, `Delay`) — see [`FaultPlan::live_compatible`] — or is
-    /// otherwise invalid.
+    /// Returns a [`PlanError`] if the plan fails
+    /// [`FaultPlan::validate`].
     pub fn run_live(&self, plan: &FaultPlan) -> Result<ChaosOutcome, PlanError> {
         plan.validate()?;
-        if !plan.live_compatible() {
-            return Err(PlanError {
-                line: 0,
-                detail: "plan uses simulator-only steps (droppct/delay)".to_string(),
-            });
-        }
         let n = plan.n as usize;
         let spawn = |pid: ProcessId| EvsProcess::<String>::new(pid, EvsParams::default());
         let net = if self.telemetry {
@@ -239,6 +236,7 @@ impl Orchestrator {
         } else {
             LiveNet::spawn(n, spawn)
         };
+        net.set_fault_seed(plan.seed);
         let settled_with = |k: usize| {
             move |node: &EvsProcess<String>| {
                 node.is_settled() && node.current_config().members.len() == k
@@ -247,6 +245,17 @@ impl Orchestrator {
         let formed = net.wait_until(Duration::from_secs(20), settled_with(n));
         let mut down = vec![false; n];
         let mut msg = 0u32;
+        // The simulator's drop and latency knobs are independent global
+        // settings; mirror that by composing both into the net-wide link
+        // policy whenever either step changes one of them.
+        let mut drop_pct = 0u8;
+        let mut delay = (0u64, 0u64);
+        let compose = |drop_pct: u8, delay: (u64, u64)| LinkFault {
+            drop_pct,
+            delay_lo: delay.0,
+            delay_hi: delay.1,
+            ..LinkFault::default()
+        };
         if formed {
             for step in &plan.steps {
                 match step {
@@ -272,8 +281,13 @@ impl Orchestrator {
                         net.recover(ProcessId::new(*i as u32));
                         down[*i as usize] = false;
                     }
-                    FaultStep::DropPct(_) | FaultStep::Delay(_, _) => {
-                        unreachable!("rejected by live_compatible")
+                    FaultStep::DropPct(pct) => {
+                        drop_pct = *pct;
+                        net.set_fault_all(compose(drop_pct, delay));
+                    }
+                    FaultStep::Delay(lo, hi) => {
+                        delay = (*lo, *hi);
+                        net.set_fault_all(compose(drop_pct, delay));
                     }
                     FaultStep::Mcast {
                         from,
@@ -297,6 +311,10 @@ impl Orchestrator {
                 }
             }
         }
+        // Heal everything, like the simulator path: perfect links again,
+        // one component, everyone up. The liveness-flavored specifications
+        // apply from here.
+        net.clear_faults();
         net.merge_all();
         for i in 0..n {
             net.recover(ProcessId::new(i as u32));
@@ -421,13 +439,28 @@ mod tests {
     }
 
     #[test]
-    fn live_rejects_simulator_only_steps() {
+    fn live_accepts_and_applies_network_knob_steps() {
+        // A short lossy, jittery live run: the orchestrator must accept
+        // the droppct/delay steps (formerly simulator-only), heal, and
+        // pass conformance.
         let plan = FaultPlan {
             n: 2,
-            seed: 0,
-            steps: vec![FaultStep::DropPct(10)],
+            seed: 9,
+            steps: vec![
+                FaultStep::DropPct(20),
+                FaultStep::Delay(1, 2),
+                FaultStep::Mcast {
+                    from: 0,
+                    count: 2,
+                    service: Service::Safe,
+                },
+                FaultStep::Run(2_000),
+            ],
         };
-        let e = Orchestrator::default().run_live(&plan).unwrap_err();
-        assert!(e.detail.contains("simulator-only"), "{e}");
+        let outcome = Orchestrator::default()
+            .run_live(&plan)
+            .expect("network knobs are live-supported now");
+        assert!(outcome.settled);
+        assert!(!outcome.failed(), "{:?}", outcome.failure);
     }
 }

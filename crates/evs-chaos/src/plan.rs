@@ -49,11 +49,12 @@ pub enum FaultStep {
 }
 
 impl FaultStep {
-    /// True if the live (threaded) driver can apply this step. The live
-    /// network has no per-packet loss or latency knobs, so `DropPct` and
-    /// `Delay` are simulator-only.
+    /// True if the live (threaded) driver can apply this step. Since the
+    /// live network gained per-link fault policies (drop, latency/jitter,
+    /// duplication, reordering) this is every step: the full generated
+    /// plan space runs on both drivers.
     pub fn live_supported(&self) -> bool {
-        !matches!(self, FaultStep::DropPct(_) | FaultStep::Delay(_, _))
+        true
     }
 }
 
@@ -411,13 +412,10 @@ mod tests {
     }
 
     #[test]
-    fn live_compatibility_excludes_network_knobs() {
+    fn every_step_is_live_compatible() {
         assert!(FaultStep::Crash(0).live_supported());
-        assert!(!FaultStep::DropPct(10).live_supported());
-        assert!(!FaultStep::Delay(1, 5).live_supported());
-        let mut plan = sample();
-        assert!(!plan.live_compatible());
-        plan.steps.retain(FaultStep::live_supported);
-        assert!(plan.live_compatible());
+        assert!(FaultStep::DropPct(10).live_supported());
+        assert!(FaultStep::Delay(1, 5).live_supported());
+        assert!(sample().live_compatible());
     }
 }

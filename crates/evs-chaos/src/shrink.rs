@@ -2,11 +2,14 @@
 //!
 //! Given a plan that makes an oracle report failure, the [`Shrinker`]
 //! produces a (locally) minimal plan that still fails: first ddmin-style
-//! step removal at shrinking chunk sizes, then per-step parameter
-//! reduction (shorter runs, smaller bursts, less loss), iterated to a
-//! fixpoint. The process is deterministic — no randomness, candidate
-//! order fixed by the plan — so the same failing plan and oracle always
-//! shrink to the same counterexample.
+//! step removal at shrinking chunk sizes, then two cross-step reductions
+//! — adjacent `run` steps merged into one, and referenced process ids
+//! remapped downward onto the smallest cluster that can express the
+//! schedule — then per-step parameter reduction (shorter runs, smaller
+//! bursts, less loss), iterated to a fixpoint. The process is
+//! deterministic — no randomness, candidate order fixed by the plan — so
+//! the same failing plan and oracle always shrink to the same
+//! counterexample.
 
 use crate::plan::{FaultPlan, FaultStep};
 
@@ -78,6 +81,8 @@ impl Shrinker {
         loop {
             let before = cur.clone();
             remove_steps(&mut cur, &mut budget);
+            merge_runs(&mut cur, &mut budget);
+            compact_processes(&mut cur, &mut budget);
             reduce_parameters(&mut cur, &mut budget);
             if cur == before || budget.exhausted() {
                 break;
@@ -112,6 +117,86 @@ fn remove_steps<F: FnMut(&FaultPlan) -> bool>(cur: &mut FaultPlan, budget: &mut 
             break;
         }
         chunk = chunk.div_ceil(2).max(1);
+    }
+}
+
+/// Merges adjacent `run` steps (`run a; run b` → `run a+b`): one step
+/// fewer with near-identical semantics, and the combined run is then a
+/// single rung for the parameter-reduction ladder instead of two halves
+/// neither of which can shrink alone.
+fn merge_runs<F: FnMut(&FaultPlan) -> bool>(cur: &mut FaultPlan, budget: &mut Budget<'_, F>) {
+    let mut i = 0;
+    while i + 1 < cur.steps.len() && !budget.exhausted() {
+        if let (FaultStep::Run(a), FaultStep::Run(b)) = (&cur.steps[i], &cur.steps[i + 1]) {
+            let merged = a.saturating_add(*b);
+            let mut candidate = cur.clone();
+            candidate.steps[i] = FaultStep::Run(merged);
+            candidate.steps.remove(i + 1);
+            if budget.check(&candidate) {
+                *cur = candidate;
+                // The merged run may merge again with its new neighbor.
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Remaps process ids downward onto the smallest cluster that can express
+/// the schedule: if only processes {1, 3} of a 5-cluster are referenced,
+/// try the same schedule as {0, 1} of a 2-cluster. Split labelings are
+/// permuted consistently (kept processes carry their group labels along).
+/// Clusters never shrink below 2 — a singleton ring has no inter-process
+/// protocol left to test.
+fn compact_processes<F: FnMut(&FaultPlan) -> bool>(
+    cur: &mut FaultPlan,
+    budget: &mut Budget<'_, F>,
+) {
+    if budget.exhausted() {
+        return;
+    }
+    let mut kept: Vec<u8> = Vec::new();
+    for step in &cur.steps {
+        let p = match step {
+            FaultStep::Crash(p) | FaultStep::Recover(p) => *p,
+            FaultStep::Mcast { from, .. } => *from,
+            _ => continue,
+        };
+        if !kept.contains(&p) {
+            kept.push(p);
+        }
+    }
+    // Pad with the lowest unreferenced ids up to the minimum cluster.
+    let mut pad = 0u8;
+    while kept.len() < 2 && pad < cur.n {
+        if !kept.contains(&pad) {
+            kept.push(pad);
+        }
+        pad += 1;
+    }
+    kept.sort_unstable();
+    let new_n = kept.len() as u8;
+    if new_n >= cur.n {
+        return;
+    }
+    let remap = |p: u8| kept.iter().position(|&k| k == p).expect("kept pid") as u8;
+    let mut candidate = cur.clone();
+    candidate.n = new_n;
+    for step in &mut candidate.steps {
+        match step {
+            FaultStep::Crash(p) | FaultStep::Recover(p) => *p = remap(*p),
+            FaultStep::Mcast { from, .. } => *from = remap(*from),
+            FaultStep::Split(labels) => {
+                *labels = kept
+                    .iter()
+                    .map(|&old| labels.get(old as usize).copied().unwrap_or(0))
+                    .collect();
+            }
+            _ => {}
+        }
+    }
+    if budget.check(&candidate) {
+        *cur = candidate;
     }
 }
 
@@ -259,6 +344,78 @@ mod tests {
             "parameters barely shrank: {:?}",
             result.plan.steps
         );
+    }
+
+    #[test]
+    fn adjacent_runs_merge_into_one() {
+        // Oracle: fails while the schedule runs at least 1_000 ticks in
+        // total. Neither 600-tick run can be removed alone, but the pair
+        // merges into a single step.
+        let total_run = |p: &FaultPlan| -> u64 {
+            p.steps
+                .iter()
+                .map(|s| match s {
+                    FaultStep::Run(t) => *t as u64,
+                    _ => 0,
+                })
+                .sum()
+        };
+        let p = plan(vec![
+            FaultStep::Run(600),
+            FaultStep::Run(600),
+            FaultStep::Crash(0),
+        ]);
+        let result = Shrinker::default().shrink(&p, |c| total_run(c) >= 1_000);
+        assert!(total_run(&result.plan) >= 1_000);
+        assert_eq!(
+            result
+                .plan
+                .steps
+                .iter()
+                .filter(|s| matches!(s, FaultStep::Run(_)))
+                .count(),
+            1,
+            "runs did not merge: {:?}",
+            result.plan.steps
+        );
+    }
+
+    #[test]
+    fn process_ids_remap_onto_a_smaller_cluster() {
+        // Oracle: fails while some process is crashed and later recovered
+        // — invariant under pid renaming and cluster shrinking.
+        let crash_then_recover = |p: &FaultPlan| {
+            (0..p.n).any(|q| {
+                let crash = p
+                    .steps
+                    .iter()
+                    .position(|s| matches!(s, FaultStep::Crash(x) if *x == q));
+                let recover = p
+                    .steps
+                    .iter()
+                    .rposition(|s| matches!(s, FaultStep::Recover(x) if *x == q));
+                matches!((crash, recover), (Some(c), Some(r)) if c < r)
+            })
+        };
+        let p = FaultPlan {
+            n: 5,
+            seed: 1,
+            steps: vec![
+                FaultStep::Split(vec![0, 1, 0, 1, 0]),
+                FaultStep::Crash(3),
+                FaultStep::Recover(3),
+            ],
+        };
+        let result = Shrinker::default().shrink(&p, crash_then_recover);
+        assert!(crash_then_recover(&result.plan));
+        assert_eq!(result.plan.n, 2, "{:?}", result.plan);
+        assert!(result.plan.validate().is_ok());
+        // The crashed pid moved down into the shrunken cluster.
+        assert!(result
+            .plan
+            .steps
+            .iter()
+            .all(|s| !matches!(s, FaultStep::Crash(x) | FaultStep::Recover(x) if *x >= 2)));
     }
 
     #[test]

@@ -120,6 +120,9 @@ struct RecoveryState<P> {
     acks: BTreeSet<ProcessId>,
     my_ack_sent: bool,
     last_resend: SimTime,
+    /// Last time a *new* exchange report or acknowledgment arrived; the
+    /// recovery-stall timeout measures silence from here.
+    last_progress: SimTime,
 }
 
 // The regular variant is the hot path and lives for the whole lifetime of a
@@ -191,12 +194,13 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             params.membership.clone(),
             SimTime::ZERO,
         );
-        let ring = Ring::new(
+        let mut ring = Ring::new(
             me,
             initial.id,
             initial.members.clone(),
             params.max_per_visit,
         );
+        ring.set_retx_limit(params.token_retx_limit);
         EvsProcess {
             me,
             params,
@@ -474,6 +478,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             acks: BTreeSet::new(),
             my_ack_sent: false,
             last_resend: ctx.now(),
+            last_progress: ctx.now(),
         }));
         self.try_advance_recovery(ctx);
     }
@@ -617,6 +622,13 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             },
         );
         self.obligations.clear();
+        // Record the retirement, not just the gauge: inspect's
+        // obligation-growth detector needs to see Step 5.c obligations
+        // coming back down once a round completes.
+        self.telemetry.record(
+            ctx.now().ticks(),
+            TelemetryEvent::ObligationSetSize { size: 0 },
+        );
         self.telemetry.gauge(names::OBLIGATION_SET_SIZE).set(0);
         self.frozen = false;
         self.last_token_seen = ctx.now();
@@ -626,6 +638,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             rec.proposal.members.clone(),
             self.params.max_per_visit,
         );
+        ring.set_retx_limit(self.params.token_retx_limit);
         ring.set_telemetry(self.telemetry.clone());
         let boot = ring.bootstrap_token(ctx.now());
         self.mode = Mode::Regular { ring };
@@ -726,7 +739,9 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         self.handle_memb_outs(ctx, outs);
 
         let retx = match &mut self.mode {
-            Mode::Regular { ring } => ring.maybe_retransmit(now, self.params.token_retx),
+            Mode::Regular { ring } => {
+                ring.maybe_retransmit(now, self.params.token_retx, self.params.token_retx_max)
+            }
             Mode::Recovery(_) => None,
         };
         if let Some(out) = retx {
@@ -740,6 +755,23 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             // Totem's token-loss timeout: the ring has stalled in a way
             // heartbeats may not reveal; force a membership round.
             self.last_token_seen = now;
+            let outs = self.membership.force_reconfigure(now);
+            self.handle_memb_outs(ctx, outs);
+        }
+
+        // Recovery-stall timeout: sustained loss can starve Steps 3–5 of
+        // the reports and acknowledgments they wait for even while the
+        // periodic resends fire (a proposal member may have vanished
+        // without the membership noticing). After a full stall window
+        // with nothing new, force a fresh membership round rather than
+        // wedge; the restarted recovery reuses the frozen snapshot.
+        let stalled = self.membership.is_stable()
+            && matches!(&self.mode, Mode::Recovery(rec)
+                if now.since(rec.last_progress) > self.params.recovery_stall);
+        if stalled {
+            if let Mode::Recovery(rec) = &mut self.mode {
+                rec.last_progress = now;
+            }
             let outs = self.membership.force_reconfigure(now);
             self.handle_memb_outs(ctx, outs);
         }
@@ -788,7 +820,12 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
             EvsMsg::Exchange(es) => {
                 if let Mode::Recovery(rec) = &mut self.mode {
                     if es.proposal == rec.proposal.id {
-                        rec.exchanges.entry(es.sender).or_insert(es);
+                        if let std::collections::btree_map::Entry::Vacant(slot) =
+                            rec.exchanges.entry(es.sender)
+                        {
+                            slot.insert(es);
+                            rec.last_progress = ctx.now();
+                        }
                         self.try_advance_recovery(ctx);
                     }
                 }
@@ -804,7 +841,9 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
             EvsMsg::RecoveryAck { proposal } => {
                 if let Mode::Recovery(rec) = &mut self.mode {
                     if proposal == rec.proposal.id {
-                        rec.acks.insert(from);
+                        if rec.acks.insert(from) {
+                            rec.last_progress = ctx.now();
+                        }
                         self.try_advance_recovery(ctx);
                     }
                 }
@@ -883,12 +922,13 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
             self.params.membership.clone(),
             ctx.now(),
         );
-        let ring = Ring::new(
+        let mut ring = Ring::new(
             self.me,
             initial.id,
             initial.members.clone(),
             self.params.max_per_visit,
         );
+        ring.set_retx_limit(self.params.token_retx_limit);
         self.mode = Mode::Regular { ring };
         self.propagate_telemetry();
         self.frozen = false;

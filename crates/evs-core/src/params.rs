@@ -20,8 +20,16 @@ pub struct EvsParams {
     /// microsecond channels, pacing is what keeps an idle ring from
     /// spinning at CPU speed.
     pub token_pace: u64,
-    /// Quiet time after forwarding the token before retransmitting it.
+    /// Quiet time after forwarding the token before retransmitting it
+    /// the first time. Consecutive retransmissions of the same forward
+    /// back off exponentially from this base.
     pub token_retx: u64,
+    /// Upper bound of the retransmission backoff: the quiet time never
+    /// exceeds this many ticks however many retries have fired.
+    pub token_retx_max: u64,
+    /// How many times one forwarded token is retransmitted before the
+    /// ring gives up and leaves the loss to the token-loss timeout.
+    pub token_retx_limit: u32,
     /// No token sighting for this long (in a multi-member regular
     /// configuration) forces a membership reconfiguration — Totem's
     /// token-loss timeout.
@@ -30,6 +38,12 @@ pub struct EvsParams {
     /// reports, rebroadcasts, acknowledgments) while a recovery is in
     /// progress, so packet loss cannot wedge the recovery.
     pub recovery_resend: u64,
+    /// An in-progress recovery receiving no *new* exchange report or
+    /// acknowledgment for this long forces a fresh membership round —
+    /// the recovery-level analogue of the token-loss timeout, so Steps
+    /// 1–6 make progress under sustained loss instead of wedging on a
+    /// proposal member that will never report.
+    pub recovery_stall: u64,
     /// Maximum new messages stamped per token visit (flow control).
     pub max_per_visit: usize,
 }
@@ -41,8 +55,11 @@ impl Default for EvsParams {
             tick_interval: 16,
             token_pace: 2,
             token_retx: 64,
+            token_retx_max: 512,
+            token_retx_limit: 6,
             token_loss: 400,
             recovery_resend: 96,
+            recovery_stall: 800,
             max_per_visit: 16,
         }
     }
@@ -59,6 +76,13 @@ mod tests {
         assert!(p.token_retx >= p.tick_interval);
         assert!(p.token_pace < p.token_retx);
         assert!(p.token_loss > p.token_retx);
+        // The backoff cap sits between the base and the point where the
+        // token-loss detector takes over entirely.
+        assert!(p.token_retx_max >= p.token_retx);
+        assert!(p.token_retx_limit >= 1);
+        // Several resend rounds fit inside one stall window, so the stall
+        // timeout only fires when the resends themselves are not landing.
+        assert!(p.recovery_stall >= 4 * p.recovery_resend);
         assert!(p.max_per_visit > 0);
         // The membership suspects faster than... at least within the same
         // order of magnitude as token loss, so both detectors cooperate.

@@ -30,6 +30,14 @@ pub struct AnomalyConfig {
     /// Consecutive strictly-increasing obligation-set samples on one
     /// process before flagging unbounded growth.
     pub obligation_growth_run: usize,
+    /// Token retransmissions by one process in one configuration before a
+    /// retransmission storm is considered...
+    pub retx_storm_threshold: u64,
+    /// ...and only when retransmissions also reach this multiple of the
+    /// process's successful token forwards in that configuration. A lossy
+    /// ring retransmits roughly in proportion to its loss rate; a storm
+    /// is retransmission *instead of* progress, not alongside it.
+    pub retx_storm_factor: u64,
 }
 
 impl Default for AnomalyConfig {
@@ -39,6 +47,8 @@ impl Default for AnomalyConfig {
             starvation_min_ticks: 200,
             hole_storm_threshold: 64,
             obligation_growth_run: 3,
+            retx_storm_threshold: 32,
+            retx_storm_factor: 2,
         }
     }
 }
@@ -48,7 +58,7 @@ impl Default for AnomalyConfig {
 pub struct Anomaly {
     /// Stable kind tag ("stuck_recovery", "token_starvation",
     /// "hole_request_storm", "obligation_growth", "undelivered_message",
-    /// "unstamped_message").
+    /// "unstamped_message", "retransmission_storm").
     pub kind: &'static str,
     /// The process concerned, if the symptom is per-process.
     pub pid: Option<u32>,
@@ -105,6 +115,7 @@ impl Anomaly {
             "obligation_growth",
             "undelivered_message",
             "unstamped_message",
+            "retransmission_storm",
         ];
         let kind = v.get("kind")?.as_str()?;
         Some(Anomaly {
@@ -133,12 +144,29 @@ pub fn detect(
     hole_storms(tl, cfg, &mut out);
     obligation_growth(tl, cfg, &mut out);
     message_lifecycle_gaps(messages, &mut out);
+    retransmission_storms(tl, cfg, &mut out);
     out
 }
 
 fn stuck_recovery(configs: &[ConfigSpan], out: &mut Vec<Anomaly>) {
     for c in configs {
         if c.recovery_entered_at.is_some() && c.recovery_exited_at.is_none() {
+            // A proposal that arrives mid-recovery restarts the algorithm
+            // under a fresh epoch; the abandoned round never records an
+            // exit of its own. If a higher epoch completed (exited
+            // recovery or installed) after this one was entered, the
+            // round was superseded, not stuck — routine under sustained
+            // loss.
+            let entered = c.recovery_entered_at.unwrap_or(0);
+            let superseded = configs.iter().any(|d| {
+                d.epoch > c.epoch
+                    && d.recovery_exited_at
+                        .or(d.installed_at)
+                        .is_some_and(|at| at >= entered)
+            });
+            if superseded {
+                continue;
+            }
             let last = c.steps.iter().map(|s| s.step).max().unwrap_or(2);
             out.push(Anomaly {
                 kind: "stuck_recovery",
@@ -160,9 +188,19 @@ fn stuck_recovery(configs: &[ConfigSpan], out: &mut Vec<Anomaly>) {
 
 fn token_starvation(tl: &Timeline, cfg: &AnomalyConfig, out: &mut Vec<Anomaly>) {
     let mut visits: BTreeMap<(u32, u64), Vec<u64>> = BTreeMap::new();
+    // Retransmission instants per epoch, any process: a gap some ring
+    // member spent retransmitting into is a lossy-but-live ring healing
+    // itself, not a starving one.
+    let mut retx: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     for e in &tl.entries {
-        if let TelemetryEvent::TokenReceived { epoch, .. } = e.event {
-            visits.entry((e.pid, epoch)).or_default().push(e.at);
+        match e.event {
+            TelemetryEvent::TokenReceived { epoch, .. } => {
+                visits.entry((e.pid, epoch)).or_default().push(e.at);
+            }
+            TelemetryEvent::TokenRetransmitted { epoch, .. } => {
+                retx.entry(epoch).or_default().push(e.at);
+            }
+            _ => {}
         }
     }
     for ((pid, epoch), ticks) in visits {
@@ -177,7 +215,13 @@ fn token_starvation(tl: &Timeline, cfg: &AnomalyConfig, out: &mut Vec<Anomaly>) 
             .expect("len >= 3");
         gaps.sort_unstable();
         let median = gaps[gaps.len() / 2].max(1);
-        if widest >= cfg.starvation_min_ticks && widest >= cfg.starvation_factor * median {
+        let bridged = retx
+            .get(&epoch)
+            .is_some_and(|r| r.iter().any(|&t| t > at && t < at + widest));
+        if !bridged
+            && widest >= cfg.starvation_min_ticks
+            && widest >= cfg.starvation_factor * median
+        {
             out.push(Anomaly {
                 kind: "token_starvation",
                 pid: Some(pid),
@@ -185,6 +229,36 @@ fn token_starvation(tl: &Timeline, cfg: &AnomalyConfig, out: &mut Vec<Anomaly>) 
                 detail: format!(
                     "token silent for {widest} tick(s) after t={at} \
                      (median inter-visit gap {median})"
+                ),
+            });
+        }
+    }
+}
+
+fn retransmission_storms(tl: &Timeline, cfg: &AnomalyConfig, out: &mut Vec<Anomaly>) {
+    let mut retx: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+    let mut forwards: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+    for e in &tl.entries {
+        match e.event {
+            TelemetryEvent::TokenRetransmitted { epoch, .. } => {
+                *retx.entry((e.pid, epoch)).or_insert(0) += 1;
+            }
+            TelemetryEvent::TokenForwarded { epoch, .. } => {
+                *forwards.entry((e.pid, epoch)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    for ((pid, epoch), count) in retx {
+        let fwd = forwards.get(&(pid, epoch)).copied().unwrap_or(0).max(1);
+        if count >= cfg.retx_storm_threshold && count >= cfg.retx_storm_factor * fwd {
+            out.push(Anomaly {
+                kind: "retransmission_storm",
+                pid: Some(pid),
+                epoch: Some(epoch),
+                detail: format!(
+                    "{count} token retransmission(s) against {fwd} successful \
+                     forward(s); the ring is retransmitting instead of rotating"
                 ),
             });
         }
@@ -222,23 +296,25 @@ fn obligation_growth(tl: &Timeline, cfg: &AnomalyConfig, out: &mut Vec<Anomaly>)
         }
     }
     for (pid, sizes) in samples {
+        // Only a growth run still standing at the *end* of the recording
+        // is suspicious: superseded recovery rounds under loss grow the
+        // set a few times and then retire it (the engine samples size 0
+        // at Step 6), which is healing, not a leak.
         let mut run = 1usize;
-        let mut worst = 1usize;
         for w in sizes.windows(2) {
             if w[1] > w[0] {
                 run += 1;
-                worst = worst.max(run);
             } else {
                 run = 1;
             }
         }
-        if worst >= cfg.obligation_growth_run {
+        if run >= cfg.obligation_growth_run {
             out.push(Anomaly {
                 kind: "obligation_growth",
                 pid: Some(pid),
                 epoch: None,
                 detail: format!(
-                    "obligation set grew across {worst} consecutive recoveries \
+                    "obligation set still growing after {run} consecutive recoveries \
                      (sizes {sizes:?}); Step 5.c obligations are not being retired"
                 ),
             });
@@ -326,6 +402,64 @@ mod tests {
     }
 
     #[test]
+    fn superseded_recovery_is_not_stuck() {
+        // Recovery toward epoch 3 is entered but never exits: a fresh
+        // proposal (epoch 4) restarted the algorithm mid-flight and that
+        // round completed. The abandoned epoch-3 round must not be
+        // flagged.
+        let t = Telemetry::enabled(0);
+        t.record(2, TelemetryEvent::RecoveryStepEntered { step: 2, epoch: 3 });
+        t.record(2, TelemetryEvent::RecoveryStepReached { step: 3, epoch: 3 });
+        t.record(9, TelemetryEvent::RecoveryStepReached { step: 3, epoch: 4 });
+        t.record(15, TelemetryEvent::RecoveryStepExited { step: 6, epoch: 4 });
+        t.record(
+            16,
+            TelemetryEvent::ConfigInstalled {
+                epoch: 4,
+                rep: 0,
+                members: 2,
+            },
+        );
+        let tl = Timeline::from_handles([&t]);
+        let msgs = MessageSpan::derive(&tl);
+        let cfgs = ConfigSpan::derive(&tl);
+        let anomalies = detect(&tl, &msgs, &cfgs, &AnomalyConfig::default());
+        assert!(
+            !anomalies.iter().any(|a| a.kind == "stuck_recovery"),
+            "{anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn retired_obligations_are_not_growth() {
+        let detect_sizes = |sizes: &[u32]| {
+            let t = Telemetry::enabled(0);
+            for (i, size) in sizes.iter().enumerate() {
+                t.record(
+                    i as u64 + 1,
+                    TelemetryEvent::ObligationSetSize { size: *size },
+                );
+            }
+            let tl = Timeline::from_handles([&t]);
+            detect(&tl, &[], &[], &AnomalyConfig::default())
+        };
+        // Grew across three recoveries, then Step 6 retired everything:
+        // healing under loss, not a leak.
+        assert!(
+            detect_sizes(&[1, 2, 3, 0]).is_empty(),
+            "retired set must not be flagged"
+        );
+        // Still growing when the recording ends: that is the leak.
+        let anomalies = detect_sizes(&[1, 2, 3]);
+        assert!(
+            anomalies
+                .iter()
+                .any(|a| a.kind == "obligation_growth" && a.pid == Some(0)),
+            "{anomalies:?}"
+        );
+    }
+
+    #[test]
     fn quiet_run_has_no_anomalies() {
         let t = Telemetry::enabled(0);
         for at in [10u64, 20, 30, 40] {
@@ -346,6 +480,112 @@ mod tests {
             &AnomalyConfig::default(),
         );
         assert!(anomalies.is_empty(), "{anomalies:?}");
+    }
+
+    #[test]
+    fn retransmission_activity_suppresses_starvation() {
+        // Same pathological visit gap as the starvation test, but another
+        // ring member retransmitted the token inside the gap: the ring
+        // was lossy-but-live, so no starvation is flagged.
+        let a = Telemetry::enabled(0);
+        for at in [10u64, 20, 30, 40, 1000, 1010] {
+            a.record(
+                at,
+                TelemetryEvent::TokenReceived {
+                    epoch: 2,
+                    token_id: at,
+                    aru: 0,
+                },
+            );
+        }
+        let b = Telemetry::enabled(1);
+        b.record(
+            300,
+            TelemetryEvent::TokenRetransmitted {
+                epoch: 2,
+                token_id: 5,
+            },
+        );
+        let tl = Timeline::from_handles([&a, &b]);
+        let anomalies = detect(
+            &tl,
+            &MessageSpan::derive(&tl),
+            &ConfigSpan::derive(&tl),
+            &AnomalyConfig::default(),
+        );
+        assert!(
+            !anomalies.iter().any(|x| x.kind == "token_starvation"),
+            "{anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn detects_retransmission_storm_but_not_proportional_loss() {
+        let cfg = AnomalyConfig::default();
+        // Storm: retransmissions vastly outnumber successful forwards.
+        let stormy = Telemetry::enabled(0);
+        stormy.record(
+            1,
+            TelemetryEvent::TokenForwarded {
+                epoch: 1,
+                token_id: 1,
+                to: 1,
+            },
+        );
+        for at in 0..cfg.retx_storm_threshold {
+            stormy.record(
+                10 + at,
+                TelemetryEvent::TokenRetransmitted {
+                    epoch: 1,
+                    token_id: 1,
+                },
+            );
+        }
+        let tl = Timeline::from_handles([&stormy]);
+        let anomalies = detect(
+            &tl,
+            &MessageSpan::derive(&tl),
+            &ConfigSpan::derive(&tl),
+            &cfg,
+        );
+        assert!(
+            anomalies
+                .iter()
+                .any(|x| x.kind == "retransmission_storm" && x.pid == Some(0)),
+            "{anomalies:?}"
+        );
+
+        // Proportional loss: plenty of retransmissions, but forwards keep
+        // pace — a lossy ring that still rotates is not a storm.
+        let lossy = Telemetry::enabled(0);
+        for at in 0..cfg.retx_storm_threshold {
+            lossy.record(
+                10 + at,
+                TelemetryEvent::TokenRetransmitted {
+                    epoch: 1,
+                    token_id: at,
+                },
+            );
+            lossy.record(
+                10 + at,
+                TelemetryEvent::TokenForwarded {
+                    epoch: 1,
+                    token_id: at,
+                    to: 1,
+                },
+            );
+        }
+        let tl = Timeline::from_handles([&lossy]);
+        let anomalies = detect(
+            &tl,
+            &MessageSpan::derive(&tl),
+            &ConfigSpan::derive(&tl),
+            &cfg,
+        );
+        assert!(
+            !anomalies.iter().any(|x| x.kind == "retransmission_storm"),
+            "{anomalies:?}"
+        );
     }
 
     #[test]

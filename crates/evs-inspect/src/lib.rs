@@ -31,18 +31,23 @@
 //! including `evs-core`'s checker — can use it without a cycle. The
 //! [`json`] module is a minimal hand-rolled JSON reader (the vendored
 //! `serde` is an API stand-in that generates no code), shared by the span
-//! round-trip and by `evs-bench`'s baseline regression gate.
+//! round-trip and by `evs-bench`'s baseline regression gate. The [`dump`]
+//! module serializes per-process flight dumps to JSON files and loads
+//! them back, so a multi-OS-process run (`examples/udp_cluster.rs`) can
+//! be analyzed long after its processes exited.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anomaly;
+pub mod dump;
 pub mod json;
 pub mod report;
 pub mod spans;
 pub mod timeline;
 
 pub use anomaly::{Anomaly, AnomalyConfig};
+pub use dump::{dump_from_json, dump_to_json, load_dumps, write_dumps};
 pub use report::{InspectReport, SpanReport};
 pub use spans::{step_name, ConfigSpan, MessageSpan, StepSpan};
 pub use timeline::{collect_dumps, Timeline, TimelineEntry};

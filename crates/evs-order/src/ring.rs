@@ -87,14 +87,16 @@ pub struct Ring<P> {
     last_forwarded: Option<Token>,
     forwarded_at: SimTime,
     retx_left: u32,
+    retx_limit: u32,
     max_per_visit: usize,
     rotations: u64,
     telemetry: Telemetry,
     stamped_per_visit: Histogram,
 }
 
-/// How many times a forwarded token is locally retransmitted before the
-/// engine gives up and leaves recovery to the membership layer.
+/// Default number of times a forwarded token is locally retransmitted
+/// before the engine gives up and leaves recovery to the membership
+/// layer. Tunable per ring via [`Ring::set_retx_limit`].
 const TOKEN_RETX_LIMIT: u32 = 3;
 
 impl<P: Clone> Ring<P> {
@@ -132,6 +134,7 @@ impl<P: Clone> Ring<P> {
             last_forwarded: None,
             forwarded_at: SimTime::ZERO,
             retx_left: 0,
+            retx_limit: TOKEN_RETX_LIMIT,
             max_per_visit,
             rotations: 0,
             telemetry: Telemetry::disabled(),
@@ -401,7 +404,7 @@ impl<P: Clone> Ring<P> {
         self.last_token_id = tok.token_id;
         self.last_forwarded = Some(tok.clone());
         self.forwarded_at = now;
-        self.retx_left = TOKEN_RETX_LIMIT;
+        self.retx_left = self.retx_limit;
         self.telemetry.record(
             now.ticks(),
             TelemetryEvent::TokenForwarded {
@@ -414,13 +417,39 @@ impl<P: Clone> Ring<P> {
         out
     }
 
-    /// Retransmits the last forwarded token if it has been quiet for
-    /// `retx_timeout` ticks (up to a small retry limit). Call periodically;
-    /// duplicates are suppressed at the receiver by the token id.
+    /// Reconfigures how many times a forwarded token is locally
+    /// retransmitted before the ring gives up (see
+    /// [`Ring::maybe_retransmit`]). Applies from the next forward.
+    pub fn set_retx_limit(&mut self, limit: u32) {
+        self.retx_limit = limit.max(1);
+    }
+
+    /// Retransmits the last forwarded token if it has been quiet for the
+    /// adaptive timeout (up to the configured retry limit). Call
+    /// periodically; duplicates are suppressed at the receiver by the
+    /// token id.
+    ///
+    /// The timeout starts at `base_timeout` ticks and doubles with every
+    /// consecutive retransmission of the same forward, capped at
+    /// `max_timeout` — quick recovery from an isolated loss, without a
+    /// fixed-interval retransmission storm under sustained loss.
     #[must_use]
-    pub fn maybe_retransmit(&mut self, now: SimTime, retx_timeout: u64) -> Option<RingOut<P>> {
+    pub fn maybe_retransmit(
+        &mut self,
+        now: SimTime,
+        base_timeout: u64,
+        max_timeout: u64,
+    ) -> Option<RingOut<P>> {
         let tok = self.last_forwarded.as_ref()?;
-        if self.retx_left == 0 || now.since(self.forwarded_at) < retx_timeout {
+        if self.retx_left == 0 {
+            return None;
+        }
+        let attempts = self.retx_limit - self.retx_left;
+        let timeout = base_timeout
+            .checked_shl(attempts)
+            .unwrap_or(u64::MAX)
+            .min(max_timeout.max(base_timeout));
+        if now.since(self.forwarded_at) < timeout {
             return None;
         }
         self.retx_left -= 1;
@@ -668,7 +697,7 @@ mod tests {
         assert_eq!(*to, p(1));
         // First copy "lost". Retransmit after the timeout.
         let retx = a
-            .maybe_retransmit(SimTime::from_ticks(500), 100)
+            .maybe_retransmit(SimTime::from_ticks(500), 100, 800)
             .expect("retransmits");
         let RingOut::TokenTo(to2, tok2) = retx else {
             panic!()
@@ -689,14 +718,54 @@ mod tests {
         let mut t = SimTime::from_ticks(1);
         let mut count = 0;
         loop {
-            t += 1_000;
-            if a.maybe_retransmit(t, 100).is_none() {
+            // Far past even the capped backoff: every eligible retry fires.
+            t += 1_000_000;
+            if a.maybe_retransmit(t, 100, 800).is_none() {
                 break;
             }
             count += 1;
             assert!(count <= TOKEN_RETX_LIMIT);
         }
         assert_eq!(count, TOKEN_RETX_LIMIT);
+    }
+
+    #[test]
+    fn retransmission_timeout_backs_off_exponentially_to_the_cap() {
+        let mut a: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        a.set_retx_limit(4);
+        let _ = a.bootstrap_token(SimTime::ZERO);
+        // Attempt 0 waits the base timeout.
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(99), 100, 300)
+            .is_none());
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(100), 100, 300)
+            .is_some());
+        // Attempt 1 doubles: quiet until 200 ticks after the retransmit.
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(299), 100, 300)
+            .is_none());
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(300), 100, 300)
+            .is_some());
+        // Attempt 2 would be 400 but the cap holds it at 300.
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(599), 100, 300)
+            .is_none());
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(600), 100, 300)
+            .is_some());
+        // Attempt 3 stays at the cap.
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(899), 100, 300)
+            .is_none());
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(900), 100, 300)
+            .is_some());
+        // The raised limit is exhausted.
+        assert!(a
+            .maybe_retransmit(SimTime::from_ticks(10_000), 100, 300)
+            .is_none());
     }
 
     #[test]

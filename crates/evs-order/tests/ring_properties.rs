@@ -89,7 +89,8 @@ impl Harness {
                 // Retransmitted tokens are delivered reliably: in the full
                 // stack, repeated token loss is healed by the membership
                 // layer, which this harness does not model.
-                if let Some(RingOut::TokenTo(to, tok)) = self.rings[i].maybe_retransmit(now, 10) {
+                if let Some(RingOut::TokenTo(to, tok)) = self.rings[i].maybe_retransmit(now, 10, 80)
+                {
                     self.tokens.push_back((to, tok));
                 }
             }

@@ -9,23 +9,97 @@
 //! the point: the deterministic test results transfer to a concurrent
 //! deployment of the very same code.
 //!
-//! The live driver supports the same fault vocabulary as the simulator
-//! (partitions via a shared topology, crash/recovery preserving stable
-//! storage) minus fine-grained message loss, and collects the same traces,
-//! so the specification checkers run unchanged on live runs.
+//! The live driver supports the full fault vocabulary of the simulator:
+//! partitions via a shared topology, crash/recovery preserving stable
+//! storage, and — through per-link [`LinkFault`] policies — probabilistic
+//! message loss, bounded latency/jitter, duplication and reordering.
+//! Faults are applied on the receiving node's delivery thread, so they
+//! interleave with real concurrency, and policies can be reconfigured at
+//! runtime (a chaos plan's `droppct`/`delay` steps apply mid-run). The
+//! driver collects the same traces as the simulator, so the specification
+//! checkers run unchanged on live runs.
 
 use crate::node::{Ctx, Effect, Node, TimerId, TimerKind};
 use crate::{ProcessId, SimTime, StableStore, Topology};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use evs_telemetry::Telemetry;
+use evs_telemetry::{Telemetry, TelemetryEvent};
 use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One simulator tick worth of real time.
 const TICK: Duration = Duration::from_micros(100);
+
+/// Extra holdback (in ticks) applied to reordered packets and duplicate
+/// echoes, beyond any configured latency: long enough that undelayed
+/// later traffic overtakes, short enough to stay inside protocol timeouts.
+const SHUFFLE_TICKS: u64 = 4;
+
+/// A per-link fault-injection policy for [`LiveNet`].
+///
+/// Each ordered pair of distinct processes (`from` → `to`) carries its own
+/// policy, applied on the receiving node's delivery thread from a seeded
+/// per-link random stream. The default policy is a perfect link. Loopback
+/// delivery (a node to itself) is always reliable, mirroring the
+/// simulator.
+///
+/// # Examples
+///
+/// ```
+/// use evs_sim::LinkFault;
+///
+/// let lossy = LinkFault::lossy(30);          // 30% drop
+/// let slow = LinkFault::delayed(1, 2);       // 1–2 ticks of jitter
+/// assert!(LinkFault::default().is_none());
+/// assert!(!lossy.is_none());
+/// assert_eq!(slow.delay_hi, 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Probability, in percent (0–100), that a packet is dropped.
+    pub drop_pct: u8,
+    /// Lower bound of added latency, in ticks (0 disables delay).
+    pub delay_lo: u64,
+    /// Upper bound of added latency, in ticks; jitter is uniform in
+    /// `delay_lo..=delay_hi`.
+    pub delay_hi: u64,
+    /// Probability, in percent, that a delivered packet is also delivered
+    /// a second time shortly afterwards.
+    pub dup_pct: u8,
+    /// Probability, in percent, that a packet is held back a few ticks so
+    /// later traffic on the same link overtakes it.
+    pub reorder_pct: u8,
+}
+
+impl LinkFault {
+    /// A policy that only drops: each packet lost with probability
+    /// `drop_pct` percent.
+    pub fn lossy(drop_pct: u8) -> LinkFault {
+        LinkFault {
+            drop_pct,
+            ..LinkFault::default()
+        }
+    }
+
+    /// A policy that only delays: uniform jitter in `lo..=hi` ticks.
+    pub fn delayed(lo: u64, hi: u64) -> LinkFault {
+        LinkFault {
+            delay_lo: lo,
+            delay_hi: hi,
+            ..LinkFault::default()
+        }
+    }
+
+    /// True for the default (perfect-link) policy.
+    pub fn is_none(&self) -> bool {
+        *self == LinkFault::default()
+    }
+}
 
 /// A boxed closure run against a node on its own thread.
 type NodeFn<N> = Box<dyn FnOnce(&mut N, &mut Ctx<'_, <N as Node>::Msg, <N as Node>::Ev>) + Send>;
@@ -46,6 +120,11 @@ enum Packet<N: Node> {
 struct Shared<N: Node> {
     senders: Vec<Sender<Packet<N>>>,
     topology: RwLock<Topology>,
+    /// Fault policy per ordered link, indexed `[from][to]`.
+    faults: RwLock<Vec<Vec<LinkFault>>>,
+    /// Base seed for the per-link random streams (read at first use of
+    /// each link's stream).
+    fault_seed: AtomicU64,
     telemetry: Vec<Telemetry>,
 }
 
@@ -62,6 +141,12 @@ struct Worker<N: Node> {
     alive: bool,
     epoch: Instant,
     telemetry: Telemetry,
+    /// One seeded random stream per sending peer, created lazily the
+    /// first time that link applies a non-default fault policy.
+    link_rngs: Vec<Option<SmallRng>>,
+    /// Packets held back by a delay/reorder/duplication fault, with the
+    /// instant they become deliverable.
+    holdback: Vec<(Instant, ProcessId, N::Msg)>,
 }
 
 impl<N: Node> Worker<N> {
@@ -114,16 +199,104 @@ impl<N: Node> Worker<N> {
         }
     }
 
+    /// The per-link random stream for packets arriving from `from`,
+    /// seeded deterministically from the net's fault seed and the link's
+    /// endpoints.
+    fn link_rng(&mut self, from: ProcessId) -> &mut SmallRng {
+        let slot = &mut self.link_rngs[from.as_usize()];
+        if slot.is_none() {
+            let base = self.shared.fault_seed.load(Ordering::Relaxed);
+            let link = ((from.as_usize() as u64) << 32) | self.me.as_usize() as u64;
+            *slot = Some(SmallRng::seed_from_u64(
+                base ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
+        }
+        slot.as_mut().expect("just initialised")
+    }
+
+    /// Applies the link's fault policy to an arriving packet: drop it,
+    /// hold it back (delay / reorder / the duplicate echo), or deliver it
+    /// now. Loopback packets bypass the policy entirely.
+    fn admit(&mut self, from: ProcessId, msg: N::Msg) {
+        let fault = self.shared.faults.read()[from.as_usize()][self.me.as_usize()];
+        if from == self.me || fault.is_none() {
+            self.dispatch(|node, ctx| node.on_message(ctx, from, msg));
+            return;
+        }
+        let at = self.now().ticks();
+        let (fu, tu) = (from.as_usize() as u32, self.me.as_usize() as u32);
+        let rng = self.link_rng(from);
+        if fault.drop_pct > 0 && rng.gen_range(0..100u32) < u32::from(fault.drop_pct) {
+            self.telemetry
+                .record(at, TelemetryEvent::LinkPacketDropped { from: fu, to: tu });
+            return;
+        }
+        let mut delay = if fault.delay_hi > 0 {
+            self.link_rng(from)
+                .gen_range(fault.delay_lo..=fault.delay_hi)
+        } else {
+            0
+        };
+        if fault.reorder_pct > 0
+            && self.link_rng(from).gen_range(0..100u32) < u32::from(fault.reorder_pct)
+        {
+            // Held back long enough for undelayed later traffic on the
+            // same link to overtake: reordering emerges from the race.
+            delay += SHUFFLE_TICKS;
+        }
+        if fault.dup_pct > 0 && self.link_rng(from).gen_range(0..100u32) < u32::from(fault.dup_pct)
+        {
+            let echo = delay + SHUFFLE_TICKS;
+            self.holdback
+                .push((Instant::now() + TICK * echo as u32, from, msg.clone()));
+            self.telemetry.record(
+                at,
+                TelemetryEvent::LinkPacketDuplicated { from: fu, to: tu },
+            );
+        }
+        if delay == 0 {
+            self.dispatch(|node, ctx| node.on_message(ctx, from, msg));
+        } else {
+            self.telemetry.record(
+                at,
+                TelemetryEvent::LinkPacketDelayed {
+                    from: fu,
+                    to: tu,
+                    ticks: delay,
+                },
+            );
+            self.holdback
+                .push((Instant::now() + TICK * delay as u32, from, msg));
+        }
+    }
+
+    /// Delivers every held-back packet whose deadline has passed. The
+    /// fault policy was already applied on arrival; only liveness and
+    /// reachability are re-checked, like a packet sitting in the channel.
+    fn flush_holdback(&mut self) {
+        let now = Instant::now();
+        while let Some(pos) = self.holdback.iter().position(|(at, _, _)| *at <= now) {
+            let (_, from, msg) = self.holdback.remove(pos);
+            if self.alive && self.shared.topology.read().reachable(from, self.me) {
+                self.dispatch(|node, ctx| node.on_message(ctx, from, msg));
+            }
+        }
+    }
+
     fn run(mut self) -> NodeResult<N> {
         self.dispatch(|node, ctx| node.on_start(ctx));
         loop {
-            // Earliest pending timer decides the wait.
+            self.flush_holdback();
+            // Earliest pending timer or held-back packet decides the wait.
             self.timers.sort_by_key(|(at, _, _)| *at);
-            let timeout = self
-                .timers
-                .first()
-                .map(|(at, _, _)| at.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_millis(50));
+            let next_timer = self.timers.first().map(|(at, _, _)| *at);
+            let next_hold = self.holdback.iter().map(|(at, _, _)| *at).min();
+            let timeout = match (next_timer, next_hold) {
+                (Some(t), Some(h)) => t.min(h).saturating_duration_since(Instant::now()),
+                (Some(t), None) => t.saturating_duration_since(Instant::now()),
+                (None, Some(h)) => h.saturating_duration_since(Instant::now()),
+                (None, None) => Duration::from_millis(50),
+            };
             match self.inbox.recv_timeout(timeout) {
                 Ok(Packet::Deliver { from, msg }) => {
                     if self.alive {
@@ -132,7 +305,7 @@ impl<N: Node> Worker<N> {
                         // sat in the channel drops it.
                         let reachable = self.shared.topology.read().reachable(from, self.me);
                         if reachable {
-                            self.dispatch(|node, ctx| node.on_message(ctx, from, msg));
+                            self.admit(from, msg);
                         }
                     }
                 }
@@ -141,6 +314,7 @@ impl<N: Node> Worker<N> {
                         self.alive = false;
                         self.timers.clear();
                         self.cancelled.clear();
+                        self.holdback.clear();
                         // Same contract as the simulator: the node may log
                         // its failure and persist, but sends are dropped.
                         let now = self.now();
@@ -250,6 +424,8 @@ where
         let shared = Arc::new(Shared {
             senders,
             topology: RwLock::new(Topology::fully_connected(n)),
+            faults: RwLock::new(vec![vec![LinkFault::default(); n]; n]),
+            fault_seed: AtomicU64::new(0),
             telemetry,
         });
         let epoch = Instant::now();
@@ -271,6 +447,8 @@ where
                     alive: true,
                     epoch,
                     telemetry: shared.telemetry[i].clone(),
+                    link_rngs: vec![None; n],
+                    holdback: Vec::new(),
                 };
                 std::thread::spawn(move || worker.run())
             })
@@ -308,6 +486,46 @@ where
     /// Reconnects everything.
     pub fn merge_all(&self) {
         self.shared.topology.write().merge_all();
+    }
+
+    /// Seeds the per-link fault random streams. Each link's stream is
+    /// created from this base the first time it applies a non-default
+    /// policy, so set the seed before installing policies for it to take
+    /// effect on every link.
+    pub fn set_fault_seed(&self, seed: u64) {
+        self.shared.fault_seed.store(seed, Ordering::Relaxed);
+    }
+
+    /// Installs a fault policy on one directed link. Takes effect for
+    /// packets delivered from then on, including packets already sitting
+    /// in the channel (the policy is read on the delivery thread).
+    pub fn set_link_fault(&self, from: ProcessId, to: ProcessId, fault: LinkFault) {
+        self.shared.faults.write()[from.as_usize()][to.as_usize()] = fault;
+    }
+
+    /// Installs `fault` on every inter-node link (loopback stays
+    /// reliable, mirroring the simulator's network model).
+    pub fn set_fault_all(&self, fault: LinkFault) {
+        let mut table = self.shared.faults.write();
+        for (from, row) in table.iter_mut().enumerate() {
+            for (to, slot) in row.iter_mut().enumerate() {
+                if from != to {
+                    *slot = fault;
+                }
+            }
+        }
+    }
+
+    /// Heals every link back to the perfect-link default. Packets already
+    /// held back by an earlier delay policy still deliver at their
+    /// scheduled instant.
+    pub fn clear_faults(&self) {
+        self.set_fault_all(LinkFault::default());
+    }
+
+    /// The current fault policy of one directed link.
+    pub fn link_fault(&self, from: ProcessId, to: ProcessId) -> LinkFault {
+        self.shared.faults.read()[from.as_usize()][to.as_usize()]
     }
 
     /// Crashes a node (volatile state lost, stable storage kept).

@@ -197,6 +197,33 @@ pub enum TelemetryEvent {
         key: &'static str,
     },
 
+    // ---- evs-sim: the live driver's per-link fault layer ----
+    /// The receiving delivery thread dropped a packet under the link's
+    /// fault policy.
+    LinkPacketDropped {
+        /// Sending process of the faulted link.
+        from: u32,
+        /// Receiving process (the recorder of the event).
+        to: u32,
+    },
+    /// The receiving delivery thread held a packet back under the link's
+    /// latency/jitter (or reordering) policy.
+    LinkPacketDelayed {
+        /// Sending process of the faulted link.
+        from: u32,
+        /// Receiving process (the recorder of the event).
+        to: u32,
+        /// Holdback applied, in ticks.
+        ticks: u64,
+    },
+    /// The link's fault policy scheduled a duplicate delivery of a packet.
+    LinkPacketDuplicated {
+        /// Sending process of the faulted link.
+        from: u32,
+        /// Receiving process (the recorder of the event).
+        to: u32,
+    },
+
     // ---- evs-chaos: the fault-injection harness ----
     /// The chaos orchestrator finished executing one generated fault plan.
     ChaosRunExecuted {
@@ -259,6 +286,9 @@ impl TelemetryEvent {
             TelemetryEvent::RecoveryStepExited { .. } => names::RECOVERY_STEPS_EXITED,
             TelemetryEvent::ObligationSetSize { .. } => names::OBLIGATION_SET_SAMPLES,
             TelemetryEvent::StableWrite { .. } => names::STABLE_WRITES,
+            TelemetryEvent::LinkPacketDropped { .. } => names::LINK_DROPS,
+            TelemetryEvent::LinkPacketDelayed { .. } => names::LINK_DELAYS,
+            TelemetryEvent::LinkPacketDuplicated { .. } => names::LINK_DUPLICATES,
             TelemetryEvent::ChaosRunExecuted { .. } => names::CHAOS_RUNS,
             TelemetryEvent::ChaosViolationFound { .. } => names::CHAOS_VIOLATIONS,
             TelemetryEvent::ChaosPlanShrunk { .. } => names::CHAOS_SHRINKS,
@@ -417,6 +447,18 @@ impl fmt::Display for TelemetryEvent {
             }
             TelemetryEvent::StableWrite { key } => {
                 write!(f, "stable-storage write ({key})")
+            }
+            TelemetryEvent::LinkPacketDropped { from, to } => {
+                write!(f, "link fault dropped packet P{from} -> P{to}")
+            }
+            TelemetryEvent::LinkPacketDelayed { from, to, ticks } => {
+                write!(
+                    f,
+                    "link fault delayed packet P{from} -> P{to} by {ticks} tick(s)"
+                )
+            }
+            TelemetryEvent::LinkPacketDuplicated { from, to } => {
+                write!(f, "link fault duplicated packet P{from} -> P{to}")
             }
             TelemetryEvent::ChaosRunExecuted {
                 seed,

@@ -63,6 +63,15 @@ pub const OBLIGATION_SET_SIZE: &str = "obligation_set_size";
 /// Crash-surviving stable-storage writes.
 pub const STABLE_WRITES: &str = "stable_writes";
 
+// ---- evs-sim: the live driver's per-link fault layer ----
+
+/// Packets dropped by a live link's fault policy.
+pub const LINK_DROPS: &str = "link_drops";
+/// Packets held back by a live link's latency/jitter or reordering policy.
+pub const LINK_DELAYS: &str = "link_delays";
+/// Duplicate deliveries scheduled by a live link's fault policy.
+pub const LINK_DUPLICATES: &str = "link_duplicates";
+
 // ---- evs-chaos: the fault-injection harness ----
 
 /// Chaos fault plans executed.

@@ -8,14 +8,20 @@
 //! cargo run --release --example chaos -- --iters 10000      # bigger sweep
 //! cargo run --release --example chaos -- --seed 99 --n 5    # other corner
 //! cargo run --release --example chaos -- --mix crash=6 --mix drop=4
+//! cargo run --release --example chaos -- --jobs 4           # parallel sweep
+//! cargo run --release --example chaos -- --live --iters 50  # threaded driver
+//! cargo run --release --example chaos -- --hunting --live   # lossy live sweep
 //! cargo run --release --example chaos -- --replay repro.txt # rerun a file
 //! cargo run --release --features chaos-mutation --example chaos -- --self-test
 //! ```
 //!
 //! Every iteration generates one fault plan (`--seed` + iteration index),
-//! executes it under the deterministic simulator, and checks the full
-//! conformance suite (Specifications 1.1–7.2, primary component, §5 VS
-//! reduction). On failure the plan is delta-debugged down to a minimal
+//! executes it under the deterministic simulator — or, with `--live`, on
+//! the real multi-threaded driver with per-link fault injection — and
+//! checks the full conformance suite (Specifications 1.1–7.2, primary
+//! component, §5 VS reduction). `--jobs N` stripes the seeds across N
+//! worker threads; the merged stats and artifacts are identical to a
+//! sequential sweep. On failure the plan is delta-debugged down to a minimal
 //! counterexample and written to `chaos-repro-<seed>.txt`; replay it later
 //! with `--replay`. `--self-test` (requires the `chaos-mutation` feature)
 //! proves the pipeline end to end by hunting a deliberately broken engine.
@@ -33,14 +39,17 @@ struct Args {
     replay: Option<String>,
     self_test: bool,
     keep_going: bool,
+    jobs: usize,
+    live: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S] [--iters K] [--n N] [--mix KIND=WEIGHT]...\n\
-         \x20            [--keep-going] [--replay FILE] [--self-test]\n\
+         \x20            [--hunting] [--jobs N] [--live] [--keep-going] [--replay FILE] [--self-test]\n\
          \n\
          KIND is one of: split merge crash recover drop delay mcast run\n\
+         --hunting selects the loss-heavy mix (overridden by later --mix flags)\n\
          --self-test requires building with --features chaos-mutation"
     );
     std::process::exit(2)
@@ -55,6 +64,8 @@ fn parse_args() -> Args {
         replay: None,
         self_test: false,
         keep_going: false,
+        jobs: 1,
+        live: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +91,9 @@ fn parse_args() -> Args {
                     usage()
                 }
             }
+            "--hunting" => args.gen_cfg.mix = evs::chaos::FaultMix::hunting(),
+            "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--live" => args.live = true,
             "--replay" => args.replay = Some(value("--replay")),
             "--self-test" => args.self_test = true,
             "--keep-going" => args.keep_going = true,
@@ -222,8 +236,12 @@ fn main() {
     }
 
     println!(
-        "== chaos campaign: {} seed(s) from {:#x}, {} process(es) ==",
-        args.iters, args.seed, args.n
+        "== chaos campaign: {} seed(s) from {:#x}, {} process(es), {} job(s), {} driver ==",
+        args.iters,
+        args.seed,
+        args.n,
+        args.jobs.max(1),
+        if args.live { "live" } else { "simulator" }
     );
     let campaign = Campaign::new(
         ScenarioGen::new(args.gen_cfg.clone()),
@@ -232,6 +250,8 @@ fn main() {
         CampaignConfig {
             stop_on_failure: !args.keep_going,
             shrink: true,
+            jobs: args.jobs,
+            live: args.live,
             ..CampaignConfig::default()
         },
     );

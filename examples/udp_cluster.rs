@@ -266,4 +266,27 @@ fn main() {
         "{}",
         evs::inspect::InspectReport::from_handles(&telemetry_handles).to_text(Some(20))
     );
+
+    // On-disk post-mortem: one JSON dump file per process, re-ingested
+    // from disk. In a real multi-OS-process deployment no analyzer can
+    // hold live telemetry handles for every participant, so this file
+    // round-trip is the workflow that survives process exit.
+    let dir = std::path::Path::new("target").join("udp-postmortem");
+    let dumps = evs::inspect::collect_dumps(&telemetry_handles);
+    let paths = evs::inspect::write_dumps(&dir, &dumps).expect("write post-mortem dumps");
+    println!(
+        "\n-- post-mortem dumps ({} file(s) under {}):",
+        paths.len(),
+        dir.display()
+    );
+    let reloaded = evs::inspect::load_dumps(&dir).expect("reload post-mortem dumps");
+    let report = evs::inspect::InspectReport::analyze(&reloaded);
+    assert_eq!(report.timeline.processes, N);
+    println!(
+        "   reloaded from disk: {} process(es), {} event(s), {} anomaly(ies) — \
+         analysis works after every process is gone",
+        report.timeline.processes,
+        report.timeline.entries.len(),
+        report.anomalies.len()
+    );
 }
