@@ -5,9 +5,17 @@
 #   ./ci.sh                   # the standard gate
 #   ./ci.sh bench-smoke       # just refresh BENCH_baseline.json
 #   ./ci.sh bench-diff        # just the counter-regression gate
+#   ./ci.sh bench-throughput  # full wall-clock suite, writes BENCH_throughput.json
 #   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
 #   LIVE_CHAOS_ITERS=2000 ./ci.sh # standard gate + live-driver chaos soak
 #   BENCH_SMOKE=1 ./ci.sh     # standard gate + bench baseline refresh
+#   BENCH_THROUGHPUT_ITERS=20000 ./ci.sh # standard gate + throughput soak
+#
+# The standard gate also runs `bench_throughput --smoke`: a cut-down
+# wall-clock run compared against the committed BENCH_throughput.json with
+# a 10x allowance — wall time is machine-dependent, so only a
+# catastrophic slowdown (an accidental O(n^2), a lost batching path)
+# fails it.
 #
 # The standard gate includes bench-diff: the deterministic smoke scenarios
 # re-run and every counter is compared against BENCH_baseline.json (cost
@@ -33,6 +41,12 @@ bench_diff() {
         BENCH_baseline.json
 }
 
+bench_throughput() {
+    echo "== bench throughput (writes BENCH_throughput.json) =="
+    cargo run -q --release --offline -p evs-bench --bin bench_throughput -- \
+        BENCH_throughput.json
+}
+
 if [ "${1:-}" = "bench-smoke" ]; then
     bench_smoke
     exit 0
@@ -40,6 +54,11 @@ fi
 
 if [ "${1:-}" = "bench-diff" ]; then
     bench_diff
+    exit 0
+fi
+
+if [ "${1:-}" = "bench-throughput" ]; then
+    bench_throughput
     exit 0
 fi
 
@@ -68,6 +87,9 @@ echo "== chaos: fixed-seed live smoke (hunting mix on the threaded driver) =="
 
 bench_diff
 
+echo "== bench throughput smoke (sanity vs BENCH_throughput.json) =="
+cargo run -q --release --offline -p evs-bench --bin bench_throughput -- --smoke
+
 if [ -n "${CHAOS_ITERS:-}" ]; then
     echo "== chaos: long soak (CHAOS_ITERS=${CHAOS_ITERS}) =="
     ./target/release/examples/chaos --iters "${CHAOS_ITERS}" --seed 1
@@ -83,10 +105,15 @@ if [ -n "${BENCH_SMOKE:-}" ]; then
     bench_smoke
 fi
 
+if [ -n "${BENCH_THROUGHPUT_ITERS:-}" ]; then
+    echo "== bench throughput soak (BENCH_THROUGHPUT_ITERS=${BENCH_THROUGHPUT_ITERS}) =="
+    bench_throughput
+fi
+
 echo "== rustfmt =="
 cargo fmt --check
 
-echo "== clippy (-D warnings) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "== clippy (-D warnings, redundant clones surfaced) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings -W clippy::redundant_clone
 
 echo "ci: all green"

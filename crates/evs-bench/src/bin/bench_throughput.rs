@@ -1,0 +1,120 @@
+//! Wall-clock throughput bench: end-to-end msgs/sec and delivery-latency
+//! percentiles on the simulator and the live driver.
+//!
+//! Run with (or via `./ci.sh bench-throughput`):
+//!
+//! ```text
+//! cargo run --release -p evs-bench --bin bench_throughput               # stdout
+//! cargo run --release -p evs-bench --bin bench_throughput -- out.json  # to file
+//! cargo run --release -p evs-bench --bin bench_throughput -- --smoke   # CI gate
+//! BENCH_THROUGHPUT_ITERS=4096 cargo run ... --bin bench_throughput     # soak
+//! ```
+//!
+//! The full run writes `BENCH_throughput.json` (via `ci.sh`), the
+//! before/after record behind the EXPERIMENTS.md table. `--smoke` runs a
+//! reduced scenario set and gates against the committed JSON with a very
+//! generous allowance — wall-clock rates vary wildly across machines, so
+//! only an order-of-magnitude collapse fails CI.
+
+use evs_bench::throughput::{self, Measurement};
+use evs_core::Service;
+use evs_inspect::json::{self, Value};
+
+/// `--smoke` fails when the measured rate falls below the committed rate
+/// divided by this. Wall-clock rates are machine-dependent; this gate only
+/// catches catastrophic slowdowns, not jitter.
+const SMOKE_ALLOWANCE: u64 = 10;
+
+fn print_table(results: &[Measurement]) {
+    for m in results {
+        eprintln!(
+            "  {}: {} msgs in {:.1} ms -> {:.0} msgs/sec (latency p50 {} / p99 {} ticks)",
+            m.scenario,
+            m.messages,
+            m.wall_secs * 1e3,
+            m.msgs_per_sec,
+            m.p50_ticks,
+            m.p99_ticks
+        );
+    }
+}
+
+/// Reads `scenario -> msgs_per_sec` out of a committed throughput file.
+fn committed_rate(text: &str, scenario: &str) -> Option<u64> {
+    let value = json::parse(text).ok()?;
+    for entry in value.as_array()? {
+        let obj = entry.as_object()?;
+        if obj.get("scenario").and_then(Value::as_str) == Some(scenario) {
+            return obj.get("msgs_per_sec").and_then(Value::as_u64);
+        }
+    }
+    None
+}
+
+fn smoke_gate(results: &[Measurement]) {
+    let Ok(text) = std::fs::read_to_string("BENCH_throughput.json") else {
+        eprintln!("bench-throughput: no committed BENCH_throughput.json; nothing to gate against");
+        return;
+    };
+    let mut checked = 0;
+    for m in results {
+        let Some(base) = committed_rate(&text, &m.scenario) else {
+            continue;
+        };
+        checked += 1;
+        let floor = base / SMOKE_ALLOWANCE;
+        if (m.msgs_per_sec as u64) < floor {
+            eprintln!(
+                "bench-throughput: {} collapsed: {:.0} msgs/sec vs committed {} \
+                 (allowed floor {} = committed/{}x)",
+                m.scenario, m.msgs_per_sec, base, floor, SMOKE_ALLOWANCE
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!("bench-throughput: {checked} scenario(s) within the {SMOKE_ALLOWANCE}x allowance");
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let results = if smoke {
+        // A reduced set, sized for the standard CI gate.
+        vec![
+            throughput::run_sim(3, 64, Service::Agreed),
+            throughput::run_sim(3, 64, Service::Safe),
+            throughput::run_live(3, 32, Service::Agreed),
+        ]
+    } else {
+        let (sim_msgs, live_msgs) = match std::env::var(throughput::ITERS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            Some(iters) => (iters.max(1), (iters / 4).max(32)),
+            None => (throughput::SIM_MESSAGES, throughput::LIVE_MESSAGES),
+        };
+        throughput::run_all(sim_msgs, live_msgs)
+    };
+    print_table(&results);
+    if smoke {
+        smoke_gate(&results);
+        return;
+    }
+    let body = throughput::results_json(&results);
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &body).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            });
+            eprintln!("throughput results written to {path}");
+        }
+        None => print!("{body}"),
+    }
+}

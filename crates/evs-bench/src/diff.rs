@@ -15,6 +15,11 @@
 //!   fixed, so movement in *either* direction means the protocol changed
 //!   what it does, not just how expensive it is. A drop in
 //!   `messages_delivered` is lost deliveries, never a win.
+//! * **Derived latency figures** (`latency_*_p50_ticks` /
+//!   `latency_*_p99_ticks`, merged into the totals by the smoke runner)
+//!   gate one-sided like cost counters: they are simulated-tick
+//!   percentiles, exact per seed, and only getting slower is a
+//!   regression.
 //!
 //! The tolerance is relative with an absolute floor (so tiny counters
 //! aren't gated at ±0), and can be widened per-run via the

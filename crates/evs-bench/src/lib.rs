@@ -66,17 +66,33 @@ pub fn instrumented_cluster(n: usize, seed: u64) -> EvsCluster<u64> {
 /// The object is `{"scenario": .., "totals": {..}, "report": <RunReport>}`;
 /// `totals` sums each counter across processes.
 pub fn report_json(scenario: &str, cluster: &EvsCluster<u64>) -> String {
+    report_json_with_extras(scenario, cluster, &std::collections::BTreeMap::new())
+}
+
+/// Like [`report_json`], with extra derived metrics merged into `totals`.
+///
+/// The smoke scenarios use this to gate deterministic simulated-time
+/// figures (delivery-latency percentiles in ticks) alongside the raw
+/// counters; an extra with the same name as a counter wins.
+pub fn report_json_with_extras(
+    scenario: &str,
+    cluster: &EvsCluster<u64>,
+    extras: &std::collections::BTreeMap<String, u64>,
+) -> String {
     let report = cluster.run_report();
+    let mut totals: std::collections::BTreeMap<String, u64> =
+        report.counter_totals().into_iter().collect();
+    totals.extend(extras.iter().map(|(k, v)| (k.clone(), *v)));
     let mut out = String::from("{\"scenario\":");
     evs_telemetry::report::push_json_string(&mut out, scenario);
     out.push_str(",\"totals\":{");
     let mut first = true;
-    for (name, value) in report.counter_totals() {
+    for (name, value) in &totals {
         if !first {
             out.push(',');
         }
         first = false;
-        evs_telemetry::report::push_json_string(&mut out, &name);
+        evs_telemetry::report::push_json_string(&mut out, name);
         out.push(':');
         out.push_str(&value.to_string());
     }
@@ -169,7 +185,7 @@ pub fn trace_of_size(events: usize, seed: u64) -> evs_core::Trace {
 /// drift between two runs of the same code is zero. That exactness is what
 /// makes a counter diff meaningful as a CI gate.
 pub mod smoke {
-    use super::{instrumented_cluster, pump_messages, report_json};
+    use super::{instrumented_cluster, pump_messages, report_json_with_extras};
     use evs_core::Service;
     use std::collections::BTreeMap;
 
@@ -205,6 +221,12 @@ pub mod smoke {
     }
 
     /// Runs every smoke scenario (deterministic; a few seconds).
+    ///
+    /// Besides the raw counter totals, each scenario gates the
+    /// origination→delivery latency percentiles (in simulated ticks, so
+    /// they are exact and machine-independent) for the agreed and safe
+    /// loads — a latency regression fails the diff like a counter
+    /// regression does.
     pub fn run() -> Vec<Scenario> {
         SIZES
             .iter()
@@ -214,12 +236,27 @@ pub mod smoke {
                 let safe_ticks = pump_messages(&mut cluster, MESSAGES, Service::Safe);
                 let name =
                     format!("bench_smoke/n{n}/agreed_ticks{agreed_ticks}/safe_ticks{safe_ticks}");
+                let handles = cluster.telemetry_handles();
+                let mut extras = BTreeMap::new();
+                for service in [Service::Agreed, Service::Safe] {
+                    let lat = crate::throughput::merged_histogram(
+                        &handles,
+                        crate::throughput::latency_name(service),
+                    );
+                    if let Some(lat) = lat {
+                        extras.insert(format!("latency_{service}_p50_ticks"), lat.percentile(0.50));
+                        extras.insert(format!("latency_{service}_p99_ticks"), lat.percentile(0.99));
+                    }
+                }
+                let mut totals: BTreeMap<String, u64> =
+                    cluster.run_report().counter_totals().into_iter().collect();
+                totals.extend(extras.iter().map(|(k, v)| (k.clone(), *v)));
                 Scenario {
                     n,
                     agreed_ticks,
                     safe_ticks,
-                    totals: cluster.run_report().counter_totals().into_iter().collect(),
-                    json: report_json(&name, &cluster),
+                    totals,
+                    json: report_json_with_extras(&name, &cluster, &extras),
                 }
             })
             .collect()
@@ -233,6 +270,7 @@ pub mod smoke {
 }
 
 pub mod diff;
+pub mod throughput;
 
 #[cfg(test)]
 mod tests {
@@ -337,6 +375,12 @@ pub mod substrates {
             match msg {
                 RingMsg::Data(d) => {
                     self.ring.on_data(d);
+                    self.drain(ctx);
+                }
+                RingMsg::Batch(batch) => {
+                    for d in batch {
+                        self.ring.on_data(d);
+                    }
                     self.drain(ctx);
                 }
                 RingMsg::Token(t) => {

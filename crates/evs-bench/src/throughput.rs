@@ -1,0 +1,282 @@
+//! Wall-clock throughput and delivery-latency measurements behind
+//! `./ci.sh bench-throughput` and `BENCH_throughput.json`.
+//!
+//! The smoke scenarios ([`crate::smoke`]) count *work* in simulated time —
+//! exact, diffable, machine-independent. This module measures the other
+//! axis the ROADMAP cares about: how fast the reproduction actually runs.
+//! Each scenario pumps a fixed message load through a settled cluster and
+//! reports end-to-end messages per wall-clock second plus the p50/p99
+//! origination→delivery latency (in protocol ticks, from the engine's
+//! per-service latency histograms), on both the deterministic simulator
+//! and the real-thread live driver.
+//!
+//! Wall-clock figures are machine-dependent by nature, so the CI gate
+//! compares them only with a very generous allowance (see
+//! `bench_throughput --smoke`); the committed `BENCH_throughput.json` is
+//! primarily the before/after record behind the EXPERIMENTS.md table.
+
+use evs_core::{Delivery, EvsCluster, EvsEvent, EvsParams, EvsProcess, Payload, Service};
+use evs_sim::live::LiveNet;
+use evs_sim::ProcessId;
+use evs_telemetry::{names, HistogramSnapshot, Telemetry};
+use std::time::{Duration, Instant};
+
+/// The payload type pumped through every throughput scenario — the
+/// zero-copy type the stack is optimised for, so the benchmark measures
+/// the configuration a transport would actually run.
+pub type BenchPayload = Payload;
+
+/// Fixed base seed for the simulator scenarios.
+pub const SEED: u64 = 0x7119;
+/// Payload size per message — large enough that payload copies show up.
+pub const PAYLOAD_BYTES: usize = 256;
+/// Default messages per simulator scenario — enough load that a run takes
+/// tens of milliseconds, large against scheduler jitter.
+pub const SIM_MESSAGES: u64 = 2048;
+/// Default messages per live-driver scenario (real time is expensive).
+pub const LIVE_MESSAGES: u64 = 256;
+/// Repeats per scenario in [`run_all`]; the best rate is kept, the
+/// standard defence against one-off scheduler noise.
+pub const REPEATS: usize = 5;
+/// Environment variable scaling the load for soak runs: it overrides the
+/// simulator message count; the live count follows at a quarter of it.
+pub const ITERS_ENV: &str = "BENCH_THROUGHPUT_ITERS";
+
+/// One executed throughput scenario.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Scenario key, e.g. `throughput/sim/n3/agreed`.
+    pub scenario: String,
+    /// Messages pumped (and delivered by every member).
+    pub messages: u64,
+    /// Wall-clock seconds from first submission to full delivery.
+    pub wall_secs: f64,
+    /// `messages / wall_secs`.
+    pub msgs_per_sec: f64,
+    /// Median origination→delivery latency in ticks (own messages).
+    pub p50_ticks: u64,
+    /// 99th-percentile origination→delivery latency in ticks.
+    pub p99_ticks: u64,
+    /// Mean origination→delivery latency in ticks.
+    pub mean_ticks: f64,
+}
+
+impl Measurement {
+    /// Serializes the measurement as one JSON object. Rates are rounded
+    /// to whole messages per second so the hand-rolled parser on the
+    /// reading side only ever sees integers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"scenario\":");
+        evs_telemetry::report::push_json_string(&mut out, &self.scenario);
+        out.push_str(&format!(
+            ",\"messages\":{},\"wall_ms\":{},\"msgs_per_sec\":{},\
+             \"latency_p50_ticks\":{},\"latency_p99_ticks\":{},\"latency_mean_ticks\":{}}}",
+            self.messages,
+            (self.wall_secs * 1e3).round() as u64,
+            self.msgs_per_sec.round() as u64,
+            self.p50_ticks,
+            self.p99_ticks,
+            self.mean_ticks.round() as u64,
+        ));
+        out
+    }
+}
+
+/// Serializes measurements as the `BENCH_throughput.json` array.
+pub fn results_json(results: &[Measurement]) -> String {
+    let lines: Vec<String> = results.iter().map(Measurement::to_json).collect();
+    format!("[\n{}\n]\n", lines.join(",\n"))
+}
+
+fn payload() -> BenchPayload {
+    Payload::from(vec![0xAB; PAYLOAD_BYTES])
+}
+
+/// The per-service latency histogram name.
+pub(crate) fn latency_name(service: Service) -> &'static str {
+    match service {
+        Service::Causal => names::DELIVERY_LATENCY_CAUSAL,
+        Service::Agreed => names::DELIVERY_LATENCY_AGREED,
+        Service::Safe => names::DELIVERY_LATENCY_SAFE,
+    }
+}
+
+/// Merges the named histogram across every process's registry.
+pub(crate) fn merged_histogram(handles: &[Telemetry], name: &str) -> Option<HistogramSnapshot> {
+    let mut merged: Option<HistogramSnapshot> = None;
+    for h in handles {
+        let Some(report) = h.snapshot() else { continue };
+        let Some(snap) = report.histograms.get(name) else {
+            continue;
+        };
+        match &mut merged {
+            None => merged = Some(snap.clone()),
+            Some(m) => m.merge(snap).expect("latency bounds are uniform"),
+        }
+    }
+    merged
+}
+
+fn finish(
+    scenario: String,
+    messages: u64,
+    wall_secs: f64,
+    handles: &[Telemetry],
+    service: Service,
+) -> Measurement {
+    let lat = merged_histogram(handles, latency_name(service));
+    let (p50, p99, mean) = lat
+        .map(|s| (s.percentile(0.50), s.percentile(0.99), s.mean()))
+        .unwrap_or((0, 0, 0.0));
+    Measurement {
+        scenario,
+        messages,
+        wall_secs,
+        msgs_per_sec: messages as f64 / wall_secs.max(1e-9),
+        p50_ticks: p50,
+        p99_ticks: p99,
+        mean_ticks: mean,
+    }
+}
+
+/// Pumps `messages` through a settled `n`-process simulator cluster and
+/// measures the wall clock from first submission to full delivery.
+///
+/// # Panics
+///
+/// Panics if formation or the pump stalls.
+pub fn run_sim(n: usize, messages: u64, service: Service) -> Measurement {
+    let mut cluster = EvsCluster::<BenchPayload>::builder(n)
+        .seed(SEED + n as u64)
+        .telemetry(true)
+        .build();
+    assert!(cluster.run_until_settled(1_000_000), "formation stalled");
+    let body = payload();
+    let start = Instant::now();
+    for i in 0..messages {
+        cluster.submit(ProcessId::new((i % n as u64) as u32), service, body.clone());
+    }
+    assert!(cluster.run_until_settled(5_000_000), "message pump stalled");
+    let wall = start.elapsed().as_secs_f64();
+    let delivered = cluster
+        .trace()
+        .events
+        .iter()
+        .flat_map(|log| log.iter())
+        .filter(|(_, e)| matches!(e, EvsEvent::Deliver { .. }))
+        .count() as u64;
+    assert!(
+        delivered >= messages * n as u64,
+        "only {delivered} deliveries for {messages} messages × {n} members"
+    );
+    let handles = cluster.telemetry_handles();
+    finish(
+        format!("throughput/sim/n{n}/{service}"),
+        messages,
+        wall,
+        &handles,
+        service,
+    )
+}
+
+/// Pumps `messages` through a settled `n`-process live (real-thread)
+/// cluster and measures the wall clock from first submission until every
+/// node has delivered the full load.
+///
+/// # Panics
+///
+/// Panics if formation or the pump stalls.
+pub fn run_live(n: usize, messages: u64, service: Service) -> Measurement {
+    let net = LiveNet::spawn_with_telemetry(n, |pid| {
+        EvsProcess::<BenchPayload>::new(pid, EvsParams::default())
+    });
+    let formed = net.wait_until(
+        Duration::from_secs(30),
+        move |node: &EvsProcess<BenchPayload>| {
+            node.is_settled() && node.current_config().members.len() == n
+        },
+    );
+    assert!(formed, "live formation stalled");
+    let body = payload();
+    let start = Instant::now();
+    for i in 0..messages {
+        let p = body.clone();
+        net.invoke(ProcessId::new((i % n as u64) as u32), move |node, ctx| {
+            node.submit(ctx, service, p)
+        });
+    }
+    let target = messages as usize;
+    let done = net.wait_until(
+        Duration::from_secs(120),
+        move |node: &EvsProcess<BenchPayload>| {
+            node.is_settled()
+                && node
+                    .deliveries()
+                    .iter()
+                    .filter(|d| matches!(d, Delivery::Message { .. }))
+                    .count()
+                    >= target
+        },
+    );
+    let wall = start.elapsed().as_secs_f64();
+    assert!(done, "live message pump stalled");
+    let handles = net.telemetry_handles();
+    net.shutdown();
+    finish(
+        format!("throughput/live/n{n}/{service}"),
+        messages,
+        wall,
+        &handles,
+        service,
+    )
+}
+
+/// Of several repeats of one scenario, the one with the best rate.
+fn best(runs: Vec<Measurement>) -> Measurement {
+    runs.into_iter()
+        .max_by(|a, b| a.msgs_per_sec.total_cmp(&b.msgs_per_sec))
+        .expect("at least one run")
+}
+
+/// Runs the full scenario set: simulator at n=3 and n=5, live at n=3,
+/// agreed and safe service each — [`REPEATS`] runs per scenario, best
+/// rate kept.
+pub fn run_all(sim_messages: u64, live_messages: u64) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for &n in &[3usize, 5] {
+        for service in [Service::Agreed, Service::Safe] {
+            out.push(best(
+                (0..REPEATS)
+                    .map(|_| run_sim(n, sim_messages, service))
+                    .collect(),
+            ));
+        }
+    }
+    for service in [Service::Agreed, Service::Safe] {
+        out.push(best(
+            (0..REPEATS)
+                .map(|_| run_live(3, live_messages, service))
+                .collect(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_scenario_measures_rate_and_latency() {
+        let m = run_sim(3, 16, Service::Agreed);
+        assert_eq!(m.messages, 16);
+        assert!(m.msgs_per_sec > 0.0);
+        // Every pumped message is our own at some process, so the merged
+        // latency histogram saw the full load.
+        assert!(m.p50_ticks > 0, "{m:?}");
+        assert!(m.p99_ticks >= m.p50_ticks);
+        let json = m.to_json();
+        assert!(json.contains("\"scenario\":\"throughput/sim/n3/agreed\""));
+        assert!(json.contains("latency_p99_ticks"));
+    }
+}

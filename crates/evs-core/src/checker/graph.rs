@@ -395,8 +395,8 @@ mod tests {
                 (t(1), EvsEvent::DeliverConf(b.clone())),
             ],
             vec![
-                (t(0), EvsEvent::DeliverConf(b.clone())),
-                (t(1), EvsEvent::DeliverConf(a.clone())),
+                (t(0), EvsEvent::DeliverConf(b)),
+                (t(1), EvsEvent::DeliverConf(a)),
             ],
         ]);
         let g = EventGraph::build(&trace);

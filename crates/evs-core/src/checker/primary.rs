@@ -143,7 +143,7 @@ mod tests {
                 (t(1), EvsEvent::DeliverConf(c2.clone())),
             ],
             vec![
-                (t(0), EvsEvent::DeliverConf(c2.clone())),
+                (t(0), EvsEvent::DeliverConf(c2)),
                 (t(1), EvsEvent::DeliverConf(c3.clone())),
             ],
         ]);

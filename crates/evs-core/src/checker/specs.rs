@@ -514,15 +514,15 @@ mod tests {
                 (t(0), EvsEvent::DeliverConf(r.clone())),
                 (t(1), send(0, 1, &r, Service::Safe)),
                 (t(2), deliver(0, 1, &r, Service::Safe, 1)),
-                (t(3), EvsEvent::DeliverConf(tr0.clone())),
-                (t(4), EvsEvent::DeliverConf(r0.clone())),
+                (t(3), EvsEvent::DeliverConf(tr0)),
+                (t(4), EvsEvent::DeliverConf(r0)),
             ],
             vec![
                 (t(0), EvsEvent::DeliverConf(r.clone())),
                 (t(3), EvsEvent::DeliverConf(tr1.clone())),
                 // delivered in P1's transitional: still satisfies 7.1
                 (t(4), deliver(0, 1, &tr1, Service::Safe, 1)),
-                (t(5), EvsEvent::DeliverConf(r1.clone())),
+                (t(5), EvsEvent::DeliverConf(r1)),
             ],
         ]);
         let a = Analysis::build(&trace);
@@ -544,14 +544,14 @@ mod tests {
                 (t(0), EvsEvent::DeliverConf(r.clone())),
                 (t(1), send(0, 1, &r, Service::Safe)),
                 (t(2), deliver(0, 1, &r, Service::Safe, 1)),
-                (t(3), EvsEvent::DeliverConf(tr0.clone())),
-                (t(4), EvsEvent::DeliverConf(r0.clone())),
+                (t(3), EvsEvent::DeliverConf(tr0)),
+                (t(4), EvsEvent::DeliverConf(r0)),
             ],
             vec![
                 (t(0), EvsEvent::DeliverConf(r.clone())),
                 (t(1), EvsEvent::Fail { config: r.id }),
                 // recovers later as a singleton
-                (t(9), EvsEvent::DeliverConf(solo1.clone())),
+                (t(9), EvsEvent::DeliverConf(solo1)),
             ],
         ]);
         let a = Analysis::build(&trace);
@@ -571,7 +571,7 @@ mod tests {
                 (t(1), send(0, 1, &r, Service::Agreed)),
                 (t(2), EvsEvent::DeliverConf(tr0.clone())),
                 (t(3), deliver(0, 1, &tr0, Service::Agreed, 1)),
-                (t(4), EvsEvent::DeliverConf(r0.clone())),
+                (t(4), EvsEvent::DeliverConf(r0)),
             ],
             vec![(t(0), EvsEvent::DeliverConf(r.clone()))],
         ]);
@@ -604,12 +604,12 @@ mod tests {
                 (t(0), EvsEvent::DeliverConf(r.clone())),
                 (t(1), send(0, 1, &r, Service::Agreed)),
                 (t(2), deliver(0, 1, &r, Service::Agreed, 1)),
-                (t(3), EvsEvent::DeliverConf(t0.clone())),
+                (t(3), EvsEvent::DeliverConf(t0)),
             ],
             vec![
                 (t(0), EvsEvent::DeliverConf(r.clone())),
                 // P1 delivered nothing in r, but its next config differs.
-                (t(3), EvsEvent::DeliverConf(t1.clone())),
+                (t(3), EvsEvent::DeliverConf(t1)),
             ],
         ]);
         let a = Analysis::build(&trace);
@@ -647,7 +647,7 @@ mod tests {
                 // Same logical position as P1's delivery (after the tr1
                 // configuration change everywhere — Spec 6.2).
                 (t(6), deliver(2, 9, &tr1, Service::Agreed, 3)),
-                (t(7), EvsEvent::DeliverConf(r12.clone())),
+                (t(7), EvsEvent::DeliverConf(r12)),
             ],
         ]);
         let a = Analysis::build(&trace);

@@ -36,8 +36,8 @@ use crate::{Configuration, Delivery, EvsEvent, EvsParams};
 use evs_membership::{ConfigId, MembMsg, MembOut, Membership, ProposedConfig};
 use evs_order::{MessageId, OrderedMsg, Ring, RingMsg, RingOut, RingSnapshot, Service};
 use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerKind};
-use evs_telemetry::{names, Telemetry, TelemetryEvent};
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use evs_telemetry::{names, Histogram, Telemetry, TelemetryEvent};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Stable per-service counter name for a delivery.
@@ -48,6 +48,11 @@ fn delivered_counter(service: Service) -> &'static str {
         Service::Safe => names::DELIVERED_SAFE,
     }
 }
+
+/// Bucket bounds (ticks) for the origination→delivery latency histograms.
+/// A few-member ring delivers in tens of ticks; recoveries stretch into
+/// the thousands.
+const LATENCY_BOUNDS: &[u64] = &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
 
 /// Stable service-level label used in telemetry events.
 fn service_name(service: Service) -> &'static str {
@@ -166,6 +171,12 @@ pub struct EvsProcess<P> {
     pending_token: Option<(ProcessId, evs_order::Token)>,
     /// Adopted from the driver's `Ctx` at `on_start`; detached until then.
     telemetry: Telemetry,
+    /// Origination instants of this process's own in-flight messages, so
+    /// their local delivery can be observed into the latency histograms.
+    origin_times: HashMap<MessageId, SimTime>,
+    lat_causal: Histogram,
+    lat_agreed: Histogram,
+    lat_safe: Histogram,
 }
 
 impl<P> fmt::Debug for EvsProcess<P> {
@@ -217,6 +228,10 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             sent_log: HashSet::new(),
             pending_token: None,
             telemetry: Telemetry::disabled(),
+            origin_times: HashMap::new(),
+            lat_causal: Histogram::detached(),
+            lat_agreed: Histogram::detached(),
+            lat_safe: Histogram::detached(),
         }
     }
 
@@ -227,6 +242,15 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         if let Mode::Regular { ring } = &mut self.mode {
             ring.set_telemetry(self.telemetry.clone());
         }
+        self.lat_causal = self
+            .telemetry
+            .histogram(names::DELIVERY_LATENCY_CAUSAL, LATENCY_BOUNDS);
+        self.lat_agreed = self
+            .telemetry
+            .histogram(names::DELIVERY_LATENCY_AGREED, LATENCY_BOUNDS);
+        self.lat_safe = self
+            .telemetry
+            .histogram(names::DELIVERY_LATENCY_SAFE, LATENCY_BOUNDS);
     }
 
     /// This process's identifier.
@@ -291,6 +315,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     /// token to stamp it into the total order).
     fn originate(&mut self, ctx: &mut ECtx<'_, P>, service: Service) -> MessageId {
         let id = self.next_message_id();
+        self.origin_times.insert(id, ctx.now());
         self.telemetry.record(
             ctx.now().ticks(),
             TelemetryEvent::MessageOriginated {
@@ -356,6 +381,16 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     }
 
     fn deliver_msg(&mut self, ctx: &mut ECtx<'_, P>, msg: OrderedMsg<P>, config: ConfigId) {
+        if msg.id.sender == self.me {
+            if let Some(t0) = self.origin_times.remove(&msg.id) {
+                let hist = match msg.service {
+                    Service::Causal => &self.lat_causal,
+                    Service::Agreed => &self.lat_agreed,
+                    Service::Safe => &self.lat_safe,
+                };
+                hist.observe(ctx.now().since(t0));
+            }
+        }
         ctx.emit(EvsEvent::Deliver {
             id: msg.id,
             config,
@@ -397,20 +432,42 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         }
     }
 
+    /// Broadcasts an accumulated visit burst: a single message goes out as
+    /// a plain `Data` frame, several go out as one `Batch` frame — one
+    /// transmit per destination for the whole burst instead of one per
+    /// message.
+    fn flush_data_batch(&mut self, ctx: &mut ECtx<'_, P>, batch: &mut Vec<OrderedMsg<P>>) {
+        match batch.len() {
+            0 => {}
+            1 => {
+                let msg = batch.pop().expect("len checked");
+                ctx.broadcast(EvsMsg::Ring(RingMsg::Data(msg)));
+            }
+            _ => ctx.broadcast(EvsMsg::Ring(RingMsg::Batch(std::mem::take(batch)))),
+        }
+    }
+
     fn process_ring_outs(&mut self, ctx: &mut ECtx<'_, P>, outs: Vec<RingOut<P>>) {
+        // One token visit can emit a burst — up to `max_per_visit` freshly
+        // stamped messages plus served retransmissions. Pack consecutive
+        // data messages into one frame; the token (paced separately below)
+        // still leaves after the data it refers to.
+        let mut batch: Vec<OrderedMsg<P>> = Vec::new();
         for out in outs {
             match out {
                 RingOut::Data(msg) => {
                     self.log_send(ctx, &msg);
-                    ctx.broadcast(EvsMsg::Ring(RingMsg::Data(msg)));
+                    batch.push(msg);
                 }
                 RingOut::TokenTo(to, tok) => {
+                    self.flush_data_batch(ctx, &mut batch);
                     // Pace the token: hold it briefly before forwarding.
                     self.pending_token = Some((to, tok));
                     ctx.set_timer(self.params.token_pace, TOKEN_SEND);
                 }
             }
         }
+        self.flush_data_batch(ctx, &mut batch);
         self.drain_ring_deliveries(ctx);
     }
 
@@ -611,7 +668,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             self.deliver_msg(ctx, m, trans_id);
         }
         // 6.e — the new regular configuration.
-        self.deliver_conf(ctx, plan.new_regular.clone());
+        self.deliver_conf(ctx, plan.new_regular);
 
         // Step 1 of the next round: fresh ring, empty obligation set.
         self.telemetry.record(
@@ -678,6 +735,13 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     fn handle_ring_frame(&mut self, ctx: &mut ECtx<'_, P>, from: ProcessId, frame: RingMsg<P>) {
         let frame_config = match &frame {
             RingMsg::Data(m) => m.config,
+            // A batch is homogeneous by construction; a hostile mixed batch
+            // is still safe because the ring checks each message's
+            // configuration again on acceptance.
+            RingMsg::Batch(b) => match b.first() {
+                Some(m) => m.config,
+                None => return, // an empty batch carries nothing
+            },
             RingMsg::Token(t) => t.config,
         };
         enum Disposition {
@@ -717,6 +781,15 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                 RingMsg::Data(m) => {
                     if let Mode::Regular { ring } = &mut self.mode {
                         ring.on_data(m);
+                    }
+                    self.drain_ring_deliveries(ctx);
+                }
+                RingMsg::Batch(batch) => {
+                    // Exactly the same messages arriving back to back.
+                    if let Mode::Regular { ring } = &mut self.mode {
+                        for m in batch {
+                            ring.on_data(m);
+                        }
                     }
                     self.drain_ring_deliveries(ctx);
                 }
@@ -938,6 +1011,7 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         self.telemetry.gauge(names::OBLIGATION_SET_SIZE).set(0);
         self.sent_log.clear();
         self.pending_token = None;
+        self.origin_times.clear();
         let cfg = Configuration::from(initial);
         self.deliver_conf(ctx, cfg);
         self.last_token_seen = ctx.now();

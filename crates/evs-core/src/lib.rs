@@ -51,6 +51,7 @@ mod config;
 mod engine;
 mod event;
 mod params;
+mod payload;
 pub mod recovery;
 pub mod trace_io;
 pub mod wire;
@@ -60,6 +61,7 @@ pub use config::{Configuration, ConfigurationKind};
 pub use engine::{EvsMsg, EvsProcess};
 pub use event::{Delivery, EvsEvent, Trace};
 pub use params::EvsParams;
+pub use payload::Payload;
 
 // Re-export the identifiers applications see in the API.
 pub use evs_membership::ConfigId;

@@ -3,10 +3,10 @@
 //! The simulator and the in-process live driver move typed messages
 //! directly; a real deployment (UDP multicast, as Totem/Transis used) needs
 //! a byte encoding. This module provides a hand-rolled, dependency-light
-//! codec for `EvsMsg<Vec<u8>>` — the payload type a network transport
-//! naturally uses — covering every nested protocol type: configuration
-//! identifiers, ring data and tokens, membership frames, and recovery
-//! exchange state.
+//! codec for `EvsMsg<Payload>` — the zero-copy payload type the rest of
+//! the stack hands around — covering every nested protocol type:
+//! configuration identifiers, ring data, data batches and tokens,
+//! membership frames, and recovery exchange state.
 //!
 //! Layout conventions: fixed-width little-endian integers, one-byte tags
 //! for enums, `u32` length prefixes for collections, `u8` for booleans.
@@ -14,12 +14,22 @@
 //! truncation are all errors — a malformed datagram must never turn into a
 //! plausible protocol message.
 //!
+//! Two hot-path conveniences for transports:
+//!
+//! * [`encode_into`] encodes into a caller-owned [`BytesMut`], so a send
+//!   loop reuses one allocation for every frame it emits.
+//! * [`pack_frames`] / [`unpack_frames`] pack several encoded frames into
+//!   one length-delimited datagram (the same `u32` framing a
+//!   [`FrameReader`] stream uses), so a burst — say, every message
+//!   stamped on one token visit — costs one system call instead of one
+//!   per message.
+//!
 //! ```
-//! use evs_core::{wire, EvsMsg};
+//! use evs_core::{wire, EvsMsg, Payload};
 //! use evs_membership::{ConfigId, MembMsg};
 //! use evs_sim::ProcessId;
 //!
-//! let frame: EvsMsg<Vec<u8>> = EvsMsg::Memb(MembMsg::Heartbeat {
+//! let frame: EvsMsg<Payload> = EvsMsg::Memb(MembMsg::Heartbeat {
 //!     config: ConfigId::regular(7, ProcessId::new(1)),
 //! });
 //! let bytes = wire::encode(&frame);
@@ -28,7 +38,7 @@
 //! ```
 
 use crate::recovery::ExchangeState;
-use crate::EvsMsg;
+use crate::{EvsMsg, Payload};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
 use evs_membership::{ConfigId, MembMsg};
@@ -244,7 +254,7 @@ fn get_u64_set(buf: &mut impl Buf) -> Result<BTreeSet<u64>> {
 
 // --- protocol types -----------------------------------------------------
 
-fn put_ordered_msg(out: &mut BytesMut, m: &OrderedMsg<Vec<u8>>) {
+fn put_ordered_msg(out: &mut BytesMut, m: &OrderedMsg<Payload>) {
     put_config(out, m.config);
     out.put_u64_le(m.seq);
     put_message_id(out, m.id);
@@ -252,13 +262,13 @@ fn put_ordered_msg(out: &mut BytesMut, m: &OrderedMsg<Vec<u8>>) {
     put_bytes(out, &m.payload);
 }
 
-fn get_ordered_msg(buf: &mut impl Buf) -> Result<OrderedMsg<Vec<u8>>> {
+fn get_ordered_msg(buf: &mut impl Buf) -> Result<OrderedMsg<Payload>> {
     Ok(OrderedMsg {
         config: get_config(buf)?,
         seq: get_u64(buf)?,
         id: get_message_id(buf)?,
         service: get_service(buf)?,
-        payload: get_bytes(buf)?,
+        payload: Payload::from(get_bytes(buf)?),
     })
 }
 
@@ -395,36 +405,54 @@ fn get_exchange(buf: &mut impl Buf) -> Result<ExchangeState> {
 // --- frames --------------------------------------------------------------
 
 /// Encodes one EVS frame into a byte buffer.
-pub fn encode(msg: &EvsMsg<Vec<u8>>) -> Bytes {
+pub fn encode(msg: &EvsMsg<Payload>) -> Bytes {
     let mut out = BytesMut::with_capacity(64);
+    encode_into(msg, &mut out);
+    out.freeze()
+}
+
+/// Encodes one EVS frame into a reusable buffer.
+///
+/// The buffer is cleared first, so a transport loop can keep one
+/// [`BytesMut`] per worker and encode every outgoing frame into it without
+/// allocating: the backing capacity survives [`BytesMut::clear`] and grows
+/// to the high-water mark of the traffic.
+pub fn encode_into(msg: &EvsMsg<Payload>, out: &mut BytesMut) {
+    out.clear();
     match msg {
         EvsMsg::Memb(m) => {
             out.put_u8(0);
-            put_memb(&mut out, m);
+            put_memb(out, m);
         }
         EvsMsg::Ring(RingMsg::Data(d)) => {
             out.put_u8(1);
-            put_ordered_msg(&mut out, d);
+            put_ordered_msg(out, d);
         }
         EvsMsg::Ring(RingMsg::Token(t)) => {
             out.put_u8(2);
-            put_token(&mut out, t);
+            put_token(out, t);
         }
         EvsMsg::Exchange(e) => {
             out.put_u8(3);
-            put_exchange(&mut out, e);
+            put_exchange(out, e);
         }
         EvsMsg::Rebroadcast { proposal, msg } => {
             out.put_u8(4);
-            put_config(&mut out, *proposal);
-            put_ordered_msg(&mut out, msg);
+            put_config(out, *proposal);
+            put_ordered_msg(out, msg);
         }
         EvsMsg::RecoveryAck { proposal } => {
             out.put_u8(5);
-            put_config(&mut out, *proposal);
+            put_config(out, *proposal);
+        }
+        EvsMsg::Ring(RingMsg::Batch(msgs)) => {
+            out.put_u8(6);
+            out.put_u32_le(msgs.len() as u32);
+            for m in msgs {
+                put_ordered_msg(out, m);
+            }
         }
     }
-    out.freeze()
 }
 
 /// Decodes one EVS frame from a byte slice.
@@ -433,7 +461,7 @@ pub fn encode(msg: &EvsMsg<Vec<u8>>) -> Bytes {
 ///
 /// Returns a [`WireError`] on truncation, unknown tags, oversized length
 /// prefixes, or trailing bytes.
-pub fn decode(frame: &[u8]) -> Result<EvsMsg<Vec<u8>>> {
+pub fn decode(frame: &[u8]) -> Result<EvsMsg<Payload>> {
     let mut buf = frame;
     let msg = match get_u8(&mut buf)? {
         0 => EvsMsg::Memb(get_memb(&mut buf)?),
@@ -447,6 +475,14 @@ pub fn decode(frame: &[u8]) -> Result<EvsMsg<Vec<u8>>> {
         5 => EvsMsg::RecoveryAck {
             proposal: get_config(&mut buf)?,
         },
+        6 => {
+            let len = get_len(&mut buf)?;
+            let mut msgs = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                msgs.push(get_ordered_msg(&mut buf)?);
+            }
+            EvsMsg::Ring(RingMsg::Batch(msgs))
+        }
         tag => {
             return Err(WireError::BadTag {
                 what: "EvsMsg",
@@ -460,6 +496,66 @@ pub fn decode(frame: &[u8]) -> Result<EvsMsg<Vec<u8>>> {
         });
     }
     Ok(msg)
+}
+
+// --- datagram packing ----------------------------------------------------
+
+/// Appends one encoded frame to a datagram under construction, prefixed
+/// with the same `u32` little-endian length header a [`FrameReader`]
+/// stream uses. Pair with [`unpack_frames`] on the receive side.
+pub fn pack_into(frame: &[u8], out: &mut BytesMut) {
+    out.put_u32_le(frame.len() as u32);
+    out.put_slice(frame);
+}
+
+/// Packs several encoded frames into one length-delimited datagram.
+///
+/// A token visit can stamp a burst of messages and serve a batch of
+/// retransmissions at once; shipping the burst as one datagram amortises
+/// the per-packet cost (system call, route lookup, per-destination copy)
+/// over the whole visit. The inverse is [`unpack_frames`].
+pub fn pack_frames<I, F>(frames: I) -> Bytes
+where
+    I: IntoIterator<Item = F>,
+    F: AsRef<[u8]>,
+{
+    let mut out = BytesMut::new();
+    for f in frames {
+        pack_into(f.as_ref(), &mut out);
+    }
+    out.freeze()
+}
+
+/// Splits a packed datagram back into its frames, as zero-copy views into
+/// the datagram buffer.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if the datagram is truncated
+/// anywhere — inside a length header or inside a frame body — and
+/// [`WireError::OversizedLength`] for a hostile header. A truncated
+/// datagram never yields a partial frame list.
+pub fn unpack_frames(datagram: &[u8]) -> Result<Vec<&[u8]>> {
+    let mut rest = datagram;
+    let mut frames = Vec::new();
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let (header, tail) = rest.split_at(4);
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
+        if len > MAX_LEN {
+            return Err(WireError::OversizedLength { len });
+        }
+        let len = len as usize;
+        if tail.len() < len {
+            return Err(WireError::UnexpectedEof);
+        }
+        let (frame, tail) = tail.split_at(len);
+        frames.push(frame);
+        rest = tail;
+    }
+    Ok(frames)
 }
 
 /// A length-delimited frame accumulator for stream transports (TCP):
@@ -531,7 +627,7 @@ mod tests {
         ProcessId::new(i)
     }
 
-    fn sample_frames() -> Vec<EvsMsg<Vec<u8>>> {
+    fn sample_frames() -> Vec<EvsMsg<Payload>> {
         let cfg = ConfigId::regular(42, p(3));
         let tcfg = ConfigId::transitional(43, p(1));
         vec![
@@ -551,8 +647,25 @@ mod tests {
                 seq: 7,
                 id: MessageId::new(p(2), 99),
                 service: Service::Safe,
-                payload: b"hello world".to_vec(),
+                payload: Payload::from(b"hello world"),
             })),
+            EvsMsg::Ring(RingMsg::Batch(vec![
+                OrderedMsg {
+                    config: cfg,
+                    seq: 8,
+                    id: MessageId::new(p(0), 3),
+                    service: Service::Agreed,
+                    payload: Payload::from(b"first of a burst"),
+                },
+                OrderedMsg {
+                    config: cfg,
+                    seq: 9,
+                    id: MessageId::new(p(1), 12),
+                    service: Service::Safe,
+                    payload: Payload::new(),
+                },
+            ])),
+            EvsMsg::Ring(RingMsg::Batch(Vec::new())),
             EvsMsg::Ring(RingMsg::Token(Token {
                 config: cfg,
                 token_id: 1234,
@@ -587,7 +700,7 @@ mod tests {
                     seq: 5,
                     id: MessageId::new(p(0), 5),
                     service: Service::Agreed,
-                    payload: vec![],
+                    payload: Payload::new(),
                 },
             },
             EvsMsg::RecoveryAck { proposal: cfg },
@@ -622,7 +735,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let frame = EvsMsg::<Vec<u8>>::RecoveryAck {
+        let frame = EvsMsg::<Payload>::RecoveryAck {
             proposal: ConfigId::regular(1, p(0)),
         };
         let mut bytes = encode(&frame).to_vec();
@@ -694,6 +807,60 @@ mod tests {
         let hostile = (MAX_LEN as u32 + 1).to_le_bytes();
         assert!(matches!(
             reader.feed(&hostile),
+            Err(WireError::OversizedLength { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_into_reuses_one_buffer() {
+        let mut scratch = BytesMut::with_capacity(16);
+        for frame in sample_frames() {
+            encode_into(&frame, &mut scratch);
+            assert_eq!(&scratch[..], &encode(&frame)[..], "frame {frame:?}");
+        }
+    }
+
+    #[test]
+    fn packed_datagram_round_trips() {
+        let frames = sample_frames();
+        let encoded: Vec<Bytes> = frames.iter().map(encode).collect();
+        let datagram = pack_frames(&encoded);
+        let views = unpack_frames(&datagram).expect("unpacks");
+        assert_eq!(views.len(), frames.len());
+        for (view, bytes) in views.iter().zip(&encoded) {
+            assert_eq!(*view, &bytes[..]);
+            decode(view).expect("packed frame decodes");
+        }
+        // The empty datagram is a valid pack of zero frames.
+        assert_eq!(unpack_frames(&[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn packed_truncation_is_detected_everywhere() {
+        let encoded: Vec<Bytes> = sample_frames().iter().map(encode).collect();
+        let datagram = pack_frames(&encoded);
+        for cut in 1..datagram.len() {
+            // Every proper prefix that does not end exactly on a frame
+            // boundary must error; prefixes on a boundary are themselves
+            // valid (shorter) datagrams and must not panic either way.
+            match unpack_frames(&datagram[..cut]) {
+                Ok(views) => {
+                    let bytes: usize = views.iter().map(|v| 4 + v.len()).sum();
+                    assert_eq!(bytes, cut, "partial frame accepted at {cut}");
+                }
+                Err(WireError::UnexpectedEof) => {}
+                Err(e) => panic!("unexpected error at {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_pack_header_is_rejected() {
+        let mut datagram = BytesMut::new();
+        datagram.put_u32_le(MAX_LEN as u32 + 1);
+        datagram.put_slice(&[0; 8]);
+        assert!(matches!(
+            unpack_frames(&datagram),
             Err(WireError::OversizedLength { .. })
         ));
     }

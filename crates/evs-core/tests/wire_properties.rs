@@ -4,7 +4,7 @@
 //! bogus frame that re-encodes differently).
 
 use evs_core::recovery::ExchangeState;
-use evs_core::{wire, EvsMsg};
+use evs_core::{wire, EvsMsg, Payload};
 use evs_membership::{ConfigId, MembMsg};
 use evs_order::{MessageId, OrderedMsg, RingMsg, Service, Token};
 use evs_sim::ProcessId;
@@ -35,7 +35,7 @@ fn message_id() -> impl Strategy<Value = MessageId> {
     (pid(), 0u64..10_000).prop_map(|(sender, counter)| MessageId { sender, counter })
 }
 
-fn ordered_msg() -> impl Strategy<Value = OrderedMsg<Vec<u8>>> {
+fn ordered_msg() -> impl Strategy<Value = OrderedMsg<Payload>> {
     (
         config_id(),
         1u64..10_000,
@@ -48,7 +48,7 @@ fn ordered_msg() -> impl Strategy<Value = OrderedMsg<Vec<u8>>> {
             seq,
             id,
             service,
-            payload,
+            payload: Payload::from(payload),
         })
 }
 
@@ -118,10 +118,12 @@ fn exchange() -> impl Strategy<Value = ExchangeState> {
         )
 }
 
-fn frame() -> impl Strategy<Value = EvsMsg<Vec<u8>>> {
+fn frame() -> impl Strategy<Value = EvsMsg<Payload>> {
     prop_oneof![
         memb_msg().prop_map(EvsMsg::Memb),
         ordered_msg().prop_map(|m| EvsMsg::Ring(RingMsg::Data(m))),
+        proptest::collection::vec(ordered_msg(), 0..5)
+            .prop_map(|b| EvsMsg::Ring(RingMsg::Batch(b))),
         token().prop_map(|t| EvsMsg::Ring(RingMsg::Token(t))),
         exchange().prop_map(EvsMsg::Exchange),
         (config_id(), ordered_msg())
@@ -184,5 +186,56 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, frames.len());
+    }
+
+    /// Packing frames into one datagram and unpacking them yields the same
+    /// decoded messages as decoding each frame individually.
+    #[test]
+    fn packed_decode_equals_sequential_decode(
+        frames in proptest::collection::vec(frame(), 0..6),
+    ) {
+        let encoded: Vec<_> = frames.iter().map(wire::encode).collect();
+        let datagram = wire::pack_frames(&encoded);
+        let views = wire::unpack_frames(&datagram).expect("own pack unpacks");
+        prop_assert_eq!(views.len(), frames.len());
+        for (view, bytes) in views.iter().zip(&encoded) {
+            let packed = wire::decode(view).expect("packed frame decodes");
+            let sequential = wire::decode(bytes).expect("sequential frame decodes");
+            // EvsMsg is payload-generic without PartialEq; canonical
+            // re-encoding is the equality the codec guarantees.
+            prop_assert_eq!(wire::encode(&packed), wire::encode(&sequential));
+        }
+    }
+
+    /// A datagram cut at any byte boundary either errors cleanly or parses
+    /// as exactly the whole frames that fit — never a partial frame, never
+    /// a panic.
+    #[test]
+    fn packed_truncation_never_panics(
+        frames in proptest::collection::vec(frame(), 1..5),
+        cut_seed in 0usize..10_000,
+    ) {
+        let encoded: Vec<_> = frames.iter().map(wire::encode).collect();
+        let datagram = wire::pack_frames(&encoded);
+        let cut = cut_seed % datagram.len();
+        match wire::unpack_frames(&datagram[..cut]) {
+            Ok(views) => {
+                // Only complete frames, accounting for every byte kept.
+                let consumed: usize = views.iter().map(|v| 4 + v.len()).sum();
+                prop_assert_eq!(consumed, cut);
+            }
+            Err(wire::WireError::UnexpectedEof) => {}
+            Err(e) => prop_assert!(false, "unexpected error at {}: {}", cut, e),
+        }
+    }
+
+    /// Arbitrary bytes fed to the unpacker never panic; any accepted split
+    /// repacks to exactly the input.
+    #[test]
+    fn arbitrary_datagrams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        if let Ok(views) = wire::unpack_frames(&bytes) {
+            let repacked = wire::pack_frames(&views);
+            prop_assert_eq!(repacked.as_ref(), &bytes[..]);
+        }
     }
 }

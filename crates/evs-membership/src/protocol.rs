@@ -561,7 +561,7 @@ impl Membership {
         // Accept a commit if we are included, it comes from its own
         // representative, and it is newer than what we have installed.
         let sorted = {
-            let mut m = members.clone();
+            let mut m = members;
             m.sort_unstable();
             m
         };

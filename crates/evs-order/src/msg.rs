@@ -164,6 +164,14 @@ impl fmt::Debug for Token {
 pub enum RingMsg<P> {
     /// An ordered data message, broadcast to the component.
     Data(OrderedMsg<P>),
+    /// A burst of ordered data messages from one token visit, broadcast as
+    /// a single frame. The token holder stamps up to `max_per_visit`
+    /// messages (and serves retransmission requests) per visit; packing the
+    /// burst into one frame turns that into one transmit per destination
+    /// instead of one per message. All elements belong to the same
+    /// configuration; a receiver treats the batch exactly as the same
+    /// messages arriving back to back.
+    Batch(Vec<OrderedMsg<P>>),
     /// The token, unicast to the ring successor.
     Token(Token),
 }

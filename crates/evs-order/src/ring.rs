@@ -3,7 +3,7 @@
 use crate::{MessageId, OrderedMsg, RingMsg, Service, Token};
 use evs_membership::ConfigId;
 use evs_sim::{ProcessId, SimTime};
-use evs_telemetry::{names, Histogram, Telemetry, TelemetryEvent};
+use evs_telemetry::{names, Counter, Histogram, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Bucket bounds (inclusive) for the messages-stamped-per-token-visit
@@ -92,6 +92,7 @@ pub struct Ring<P> {
     rotations: u64,
     telemetry: Telemetry,
     stamped_per_visit: Histogram,
+    idle_rotations: Counter,
 }
 
 /// Default number of times a forwarded token is locally retransmitted
@@ -139,6 +140,7 @@ impl<P: Clone> Ring<P> {
             rotations: 0,
             telemetry: Telemetry::disabled(),
             stamped_per_visit: Histogram::detached(),
+            idle_rotations: Counter::detached(),
         }
     }
 
@@ -146,6 +148,7 @@ impl<P: Clone> Ring<P> {
     /// once so token-visit recording stays off the name-lookup path.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.stamped_per_visit = telemetry.histogram(names::STAMPED_PER_VISIT, STAMPED_BOUNDS);
+        self.idle_rotations = telemetry.counter(names::IDLE_ROTATIONS);
         self.telemetry = telemetry;
     }
 
@@ -284,6 +287,58 @@ impl<P: Clone> Ring<P> {
         }
         self.last_token_id = tok.token_id;
         self.high_seen = self.high_seen.max(tok.seq);
+
+        // Fast path for an idle visit: nothing to serve, request, stamp or
+        // advance — every step below would be a no-op, so the visit reduces
+        // to forwarding the token. An idle ring rotates its token an order
+        // of magnitude more often than it stamps messages (pacing keeps the
+        // rate bounded, not the count), so the per-visit bookkeeping of
+        // doing nothing — the retransmission/hole scans, the aru and
+        // safe-line updates, the `TokenRotated` event and the stamp
+        // histogram sample, per process per rotation — dominated quiet
+        // periods. The token itself still circulates identically (same
+        // id/rotation/retx state). `TokenReceived`/`TokenForwarded` are
+        // still recorded so inspection timelines stay gap-free (the
+        // starvation and retransmission-storm detectors key off them); the
+        // skipped visits are tallied in the `idle_rotations` counter.
+        let idle = tok.rtr.is_empty()
+            && self.pending.is_empty()
+            && self.my_aru == tok.seq
+            && tok.aru == tok.seq
+            && tok.aru_id.is_none()
+            && self.prev_visit_aru == Some(tok.aru)
+            && self.safe_line == tok.aru;
+        if idle {
+            self.idle_rotations.inc();
+            self.telemetry.record(
+                now.ticks(),
+                TelemetryEvent::TokenReceived {
+                    epoch: self.config.epoch,
+                    token_id: tok.token_id,
+                    aru: tok.aru,
+                },
+            );
+            let succ = self.successor();
+            if succ == *self.members.first().expect("non-empty") {
+                tok.rotation += 1;
+            }
+            self.rotations = tok.rotation;
+            tok.token_id += 1;
+            self.last_token_id = tok.token_id;
+            self.forwarded_at = now;
+            self.retx_left = self.retx_limit;
+            self.last_forwarded = Some(tok.clone());
+            self.telemetry.record(
+                now.ticks(),
+                TelemetryEvent::TokenForwarded {
+                    epoch: self.config.epoch,
+                    token_id: tok.token_id,
+                    to: succ.index(),
+                },
+            );
+            return vec![RingOut::TokenTo(succ, tok)];
+        }
+
         let mut out = Vec::new();
         self.telemetry.record(
             now.ticks(),
@@ -484,8 +539,9 @@ impl<P: Clone> Ring<P> {
                 }
             }
         };
+        let msg = msg.clone();
         self.delivered_upto = next;
-        Some((self.store[&next].clone(), class))
+        Some((msg, class))
     }
 
     /// Freezes the ring into its recovery snapshot.
@@ -705,7 +761,7 @@ mod tests {
         assert_eq!(to2, p(1));
         assert_eq!(tok2.token_id, tok.token_id);
         // B accepts the retransmitted copy...
-        let outs = b.on_token(SimTime::from_ticks(501), tok2.clone());
+        let outs = b.on_token(SimTime::from_ticks(501), tok2);
         assert!(!outs.is_empty());
         // ...and drops the late original.
         assert!(b.on_token(SimTime::from_ticks(502), tok.clone()).is_empty());

@@ -170,15 +170,23 @@ impl<N: Node> Worker<N> {
         for effect in effects {
             match effect {
                 Effect::Broadcast(msg) => {
+                    // Collect the reachable targets first so the last one
+                    // can take the message by move instead of a clone.
                     let topo = self.shared.topology.read();
-                    for (i, tx) in self.shared.senders.iter().enumerate() {
-                        let to = ProcessId::new(i as u32);
-                        if topo.reachable(self.me, to) {
-                            let _ = tx.send(Packet::Deliver {
-                                from: self.me,
-                                msg: msg.clone(),
-                            });
-                        }
+                    let targets: Vec<usize> = (0..self.shared.senders.len())
+                        .filter(|&i| topo.reachable(self.me, ProcessId::new(i as u32)))
+                        .collect();
+                    let mut msg = Some(msg);
+                    for (k, &i) in targets.iter().enumerate() {
+                        let payload = if k + 1 == targets.len() {
+                            msg.take().expect("one move per broadcast")
+                        } else {
+                            msg.as_ref().expect("moved only at the last target").clone()
+                        };
+                        let _ = self.shared.senders[i].send(Packet::Deliver {
+                            from: self.me,
+                            msg: payload,
+                        });
                     }
                 }
                 Effect::Unicast(to, msg) => {

@@ -502,9 +502,15 @@ impl<N: Node> Sim<N> {
         for effect in effects {
             match effect {
                 Effect::Broadcast(msg) => {
-                    for to in 0..self.slots.len() as u32 {
+                    // Clone for all destinations but the last, which takes
+                    // the original — a broadcast of n costs n-1 clones.
+                    let n = self.slots.len() as u32;
+                    for to in 0..n.saturating_sub(1) {
                         let to = ProcessId::new(to);
                         self.transmit(pid, to, msg.clone());
+                    }
+                    if n > 0 {
+                        self.transmit(pid, ProcessId::new(n - 1), msg);
                     }
                 }
                 Effect::Unicast(to, msg) => self.transmit(pid, to, msg),

@@ -262,38 +262,82 @@ pub enum TelemetryEvent {
 }
 
 impl TelemetryEvent {
-    /// The counter bumped when this event is recorded; also its stable
-    /// identifier in reports and flight-recorder dumps. Every name is a
-    /// constant of [`crate::names`].
-    pub fn name(&self) -> &'static str {
+    /// Number of event kinds — the length of [`TelemetryEvent::KIND_NAMES`]
+    /// and the exclusive upper bound of [`TelemetryEvent::kind`].
+    pub const KINDS: usize = 26;
+
+    /// Counter name per kind, indexed by [`TelemetryEvent::kind`]. Every
+    /// name is a constant of [`crate::names`].
+    pub const KIND_NAMES: [&'static str; Self::KINDS] = [
+        names::TOKENS_RECEIVED,
+        names::TOKENS_FORWARDED,
+        names::TOKEN_RETRANSMISSIONS,
+        names::TOKEN_ROTATIONS,
+        names::RETRANSMISSIONS_SERVED,
+        names::HOLES_REQUESTED,
+        names::SAFE_LINE_ADVANCES,
+        names::MEMBERSHIP_TRANSITIONS,
+        names::CONFIGS_COMMITTED,
+        names::CONFIGS_INSTALLED,
+        names::MESSAGES_ORIGINATED,
+        names::MESSAGES_SENT,
+        names::MESSAGES_DELIVERED,
+        names::CONFIGS_DELIVERED,
+        names::RECOVERY_STEPS_ENTERED,
+        names::RECOVERY_STEP_MARKS,
+        names::RECOVERY_STEPS_EXITED,
+        names::OBLIGATION_SET_SAMPLES,
+        names::STABLE_WRITES,
+        names::LINK_DROPS,
+        names::LINK_DELAYS,
+        names::LINK_DUPLICATES,
+        names::CHAOS_RUNS,
+        names::CHAOS_VIOLATIONS,
+        names::CHAOS_SHRINKS,
+        names::CHAOS_PROGRESS,
+    ];
+
+    /// A dense discriminant in `0..KINDS`, the index of this event's
+    /// counter in [`TelemetryEvent::KIND_NAMES`]. [`Telemetry`] keys its
+    /// per-kind counter cache on this, so the hot recording path never
+    /// resolves a counter by name.
+    ///
+    /// [`Telemetry`]: crate::Telemetry
+    pub fn kind(&self) -> usize {
         match self {
-            TelemetryEvent::TokenReceived { .. } => names::TOKENS_RECEIVED,
-            TelemetryEvent::TokenForwarded { .. } => names::TOKENS_FORWARDED,
-            TelemetryEvent::TokenRetransmitted { .. } => names::TOKEN_RETRANSMISSIONS,
-            TelemetryEvent::TokenRotated { .. } => names::TOKEN_ROTATIONS,
-            TelemetryEvent::RetransmissionsServed { .. } => names::RETRANSMISSIONS_SERVED,
-            TelemetryEvent::HolesRequested { .. } => names::HOLES_REQUESTED,
-            TelemetryEvent::SafeLineAdvanced { .. } => names::SAFE_LINE_ADVANCES,
-            TelemetryEvent::MembershipTransition { .. } => names::MEMBERSHIP_TRANSITIONS,
-            TelemetryEvent::ConfigCommitted { .. } => names::CONFIGS_COMMITTED,
-            TelemetryEvent::ConfigInstalled { .. } => names::CONFIGS_INSTALLED,
-            TelemetryEvent::MessageOriginated { .. } => names::MESSAGES_ORIGINATED,
-            TelemetryEvent::MessageSent { .. } => names::MESSAGES_SENT,
-            TelemetryEvent::MessageDelivered { .. } => names::MESSAGES_DELIVERED,
-            TelemetryEvent::ConfigDelivered { .. } => names::CONFIGS_DELIVERED,
-            TelemetryEvent::RecoveryStepEntered { .. } => names::RECOVERY_STEPS_ENTERED,
-            TelemetryEvent::RecoveryStepReached { .. } => names::RECOVERY_STEP_MARKS,
-            TelemetryEvent::RecoveryStepExited { .. } => names::RECOVERY_STEPS_EXITED,
-            TelemetryEvent::ObligationSetSize { .. } => names::OBLIGATION_SET_SAMPLES,
-            TelemetryEvent::StableWrite { .. } => names::STABLE_WRITES,
-            TelemetryEvent::LinkPacketDropped { .. } => names::LINK_DROPS,
-            TelemetryEvent::LinkPacketDelayed { .. } => names::LINK_DELAYS,
-            TelemetryEvent::LinkPacketDuplicated { .. } => names::LINK_DUPLICATES,
-            TelemetryEvent::ChaosRunExecuted { .. } => names::CHAOS_RUNS,
-            TelemetryEvent::ChaosViolationFound { .. } => names::CHAOS_VIOLATIONS,
-            TelemetryEvent::ChaosPlanShrunk { .. } => names::CHAOS_SHRINKS,
-            TelemetryEvent::ChaosProgress { .. } => names::CHAOS_PROGRESS,
+            TelemetryEvent::TokenReceived { .. } => 0,
+            TelemetryEvent::TokenForwarded { .. } => 1,
+            TelemetryEvent::TokenRetransmitted { .. } => 2,
+            TelemetryEvent::TokenRotated { .. } => 3,
+            TelemetryEvent::RetransmissionsServed { .. } => 4,
+            TelemetryEvent::HolesRequested { .. } => 5,
+            TelemetryEvent::SafeLineAdvanced { .. } => 6,
+            TelemetryEvent::MembershipTransition { .. } => 7,
+            TelemetryEvent::ConfigCommitted { .. } => 8,
+            TelemetryEvent::ConfigInstalled { .. } => 9,
+            TelemetryEvent::MessageOriginated { .. } => 10,
+            TelemetryEvent::MessageSent { .. } => 11,
+            TelemetryEvent::MessageDelivered { .. } => 12,
+            TelemetryEvent::ConfigDelivered { .. } => 13,
+            TelemetryEvent::RecoveryStepEntered { .. } => 14,
+            TelemetryEvent::RecoveryStepReached { .. } => 15,
+            TelemetryEvent::RecoveryStepExited { .. } => 16,
+            TelemetryEvent::ObligationSetSize { .. } => 17,
+            TelemetryEvent::StableWrite { .. } => 18,
+            TelemetryEvent::LinkPacketDropped { .. } => 19,
+            TelemetryEvent::LinkPacketDelayed { .. } => 20,
+            TelemetryEvent::LinkPacketDuplicated { .. } => 21,
+            TelemetryEvent::ChaosRunExecuted { .. } => 22,
+            TelemetryEvent::ChaosViolationFound { .. } => 23,
+            TelemetryEvent::ChaosPlanShrunk { .. } => 24,
+            TelemetryEvent::ChaosProgress { .. } => 25,
         }
+    }
+
+    /// The counter bumped when this event is recorded; also its stable
+    /// identifier in reports and flight-recorder dumps.
+    pub fn name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind()]
     }
 
     /// True for the low-rate lifecycle events that `evs-inspect` derives

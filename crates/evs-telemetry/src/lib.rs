@@ -42,13 +42,29 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use recorder::{FlightRecorder, RecordedEvent, DEFAULT_FLIGHT_CAPACITY};
 pub use report::{ProcessReport, RunReport};
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 #[derive(Debug)]
 struct Inner {
     pid: u32,
     registry: Registry,
     recorder: FlightRecorder,
+    /// Per-kind counter handles, filled on first record of each kind.
+    /// [`Telemetry::record`] sits on the protocol's hot path, and the
+    /// registry's name resolution takes a lock per lookup; the cache
+    /// makes the steady-state counter bump one atomic `fetch_add`.
+    /// Lazy so that only kinds actually recorded appear in reports,
+    /// exactly as when every record resolved its counter by name.
+    event_counters: [OnceLock<Counter>; TelemetryEvent::KINDS],
+}
+
+impl Inner {
+    /// The cached counter for `event`'s kind, resolving it on first use.
+    fn event_counter(&self, event: &TelemetryEvent) -> &Counter {
+        let kind = event.kind();
+        self.event_counters[kind]
+            .get_or_init(|| self.registry.counter(TelemetryEvent::KIND_NAMES[kind]))
+    }
 }
 
 /// A per-process telemetry handle, cheap to clone and thread everywhere.
@@ -79,6 +95,7 @@ impl Telemetry {
             pid,
             registry: Registry::new(),
             recorder: FlightRecorder::new(flight_capacity),
+            event_counters: [const { OnceLock::new() }; TelemetryEvent::KINDS],
         })))
     }
 
@@ -100,7 +117,7 @@ impl Telemetry {
     pub fn record(&self, at: u64, event: TelemetryEvent) {
         if let Some(inner) = &self.0 {
             inner.recorder.push(at, event);
-            inner.registry.counter(event.name()).inc();
+            inner.event_counter(&event).inc();
         }
     }
 

@@ -163,6 +163,52 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated value at quantile `q` (clamped to 0.0–1.0): the inclusive
+    /// upper bound of the bucket holding the q-th observation. Observations
+    /// that landed in the overflow bucket have no finite upper bound, so
+    /// quantiles falling there report the largest finite bound (the usual
+    /// bucketed-histogram convention). Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => self.bounds.last().copied().unwrap_or(0),
+                };
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket — the cross-process
+    /// aggregation used when several registries observed the same
+    /// distribution (one histogram per process, one summary per run).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bucket bounds differ; merging histograms of
+    /// different shapes would silently misattribute observations.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds differ: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        Ok(())
+    }
 }
 
 fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -323,6 +369,44 @@ mod tests {
         assert!((snap.mean() - 132.0 / 9.0).abs() < 1e-9);
         // Bucket counts always sum to the observation count.
         assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn percentile_walks_the_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1, 2, 4, 8]);
+        // 10 observations: 5 at 1, 3 at 3, 2 at 20 (overflow).
+        for v in [1, 1, 1, 1, 1, 3, 3, 3, 20, 20] {
+            h.observe(v);
+        }
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.percentile(0.5), 1);
+        assert_eq!(snap.percentile(0.8), 4);
+        // Quantiles in the overflow bucket clamp to the last finite bound.
+        assert_eq!(snap.percentile(0.99), 8);
+        assert_eq!(snap.percentile(0.0), 1);
+        assert_eq!(snap.percentile(1.0), 8);
+        // Empty histograms report 0 everywhere.
+        let empty = reg.histogram("empty", &[1]).snapshot().unwrap();
+        assert_eq!(empty.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_requires_matching_bounds_and_sums_buckets() {
+        let reg = Registry::new();
+        let a = reg.histogram("a", &[2, 4]);
+        let b = reg.histogram("b", &[2, 4]);
+        a.observe(1);
+        a.observe(3);
+        b.observe(3);
+        b.observe(9);
+        let mut merged = a.snapshot().unwrap();
+        merged.merge(&b.snapshot().unwrap()).unwrap();
+        assert_eq!(merged.buckets, vec![1, 2, 1]);
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 16);
+        let mismatched = reg.histogram("c", &[7]).snapshot().unwrap();
+        assert!(merged.merge(&mismatched).is_err());
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub const HOLES_REQUESTED: &str = "holes_requested";
 pub const SAFE_LINE_ADVANCES: &str = "safe_line_advances";
 /// Histogram: messages stamped per token visit.
 pub const STAMPED_PER_VISIT: &str = "stamped_per_visit";
+/// Full token rotations that stamped nothing and carried no ring work
+/// (no holes, no retransmissions, nothing pending) — the ring skips the
+/// per-rotation bookkeeping for these instead of churning.
+pub const IDLE_ROTATIONS: &str = "idle_rotations";
 
 // ---- evs-membership ----
 
@@ -62,6 +66,15 @@ pub const OBLIGATION_SET_SAMPLES: &str = "obligation_set_samples";
 pub const OBLIGATION_SET_SIZE: &str = "obligation_set_size";
 /// Crash-surviving stable-storage writes.
 pub const STABLE_WRITES: &str = "stable_writes";
+/// Histogram: ticks from origination to local delivery of a process's own
+/// causal-service messages.
+pub const DELIVERY_LATENCY_CAUSAL: &str = "delivery_latency_causal";
+/// Histogram: ticks from origination to local delivery of a process's own
+/// agreed-service messages.
+pub const DELIVERY_LATENCY_AGREED: &str = "delivery_latency_agreed";
+/// Histogram: ticks from origination to local delivery of a process's own
+/// safe-service messages.
+pub const DELIVERY_LATENCY_SAFE: &str = "delivery_latency_safe";
 
 // ---- evs-sim: the live driver's per-link fault layer ----
 

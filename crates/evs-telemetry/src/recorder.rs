@@ -56,8 +56,6 @@ struct Rings {
 pub struct FlightRecorder {
     capacity: usize,
     rings: Mutex<Rings>,
-    /// Total pushes ever (so a dump can say how much history was lost).
-    pushed: std::sync::atomic::AtomicU64,
 }
 
 impl FlightRecorder {
@@ -79,7 +77,6 @@ impl FlightRecorder {
                 recent: VecDeque::with_capacity(capacity),
                 spans: VecDeque::new(),
             }),
-            pushed: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -98,8 +95,6 @@ impl FlightRecorder {
             ring.pop_front();
         }
         ring.push_back((seq, RecordedEvent { at, event }));
-        self.pushed
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The retained suffix, oldest first: both classes interleaved back
@@ -116,9 +111,10 @@ impl FlightRecorder {
         merged.into_iter().map(|(_, e)| e).collect()
     }
 
-    /// Total events ever pushed (≥ the dump's length).
+    /// Total events ever pushed (≥ the dump's length). `seq` counts every
+    /// push, so it doubles as the lifetime total — no separate counter.
     pub fn total_recorded(&self) -> u64 {
-        self.pushed.load(std::sync::atomic::Ordering::Relaxed)
+        self.rings.lock().unwrap_or_else(|e| e.into_inner()).seq
     }
 
     /// The configured per-class capacity.

@@ -250,10 +250,7 @@ mod tests {
                 (t0(), DeliverConf(c1.clone())),
                 (t0(), DeliverConf(c2.clone())),
             ],
-            vec![
-                (t0(), DeliverConf(c1.clone())),
-                (t0(), DeliverConf(c2.clone())),
-            ],
+            vec![(t0(), DeliverConf(c1)), (t0(), DeliverConf(c2.clone()))],
             vec![(t0(), DeliverConf(c2.clone()))],
         ]);
         let run = filter_trace(&trace, &MajorityPrimary::new(3));
@@ -373,10 +370,10 @@ mod tests {
             ]),
             mk(vec![
                 DeliverConf(c1.clone()),
-                DeliverConf(c2.clone()),
+                DeliverConf(c2),
                 DeliverConf(c3.clone()),
             ]),
-            mk(vec![DeliverConf(c1.clone()), DeliverConf(c3.clone())]),
+            mk(vec![DeliverConf(c1), DeliverConf(c3)]),
         ]);
         let run = filter_trace(&trace, &MajorityPrimary::new(3));
         // In c3's final view, P2 appears with incarnation 1.
@@ -403,7 +400,7 @@ mod tests {
                 (t0(), DeliverConf(c1.clone())),
                 (t0(), Fail { config: c1.id }),
             ],
-            vec![(t0(), DeliverConf(c1.clone()))],
+            vec![(t0(), DeliverConf(c1))],
         ]);
         let run = filter_trace(&trace, &MajorityPrimary::new(2));
         assert!(run.events[0]
@@ -464,7 +461,7 @@ mod fail_stop_semantics_tests {
         let trace = Trace::new(vec![
             mk(vec![c1.clone(), c3.clone()]),
             mk(vec![c1.clone(), c3.clone()]),
-            mk(vec![c1.clone(), minority.clone(), c3.clone()]),
+            mk(vec![c1, minority, c3]),
         ]);
         let run = filter_trace(&trace, &MajorityPrimary::new(3));
         assert_eq!(
@@ -503,9 +500,9 @@ mod fail_stop_semantics_tests {
         };
         let trace = Trace::new(vec![
             mk(vec![c1.clone(), c2.clone(), c3.clone()]),
-            mk(vec![c1.clone(), c2.clone(), c3.clone()]),
+            mk(vec![c1.clone(), c2, c3.clone()]),
             // P2 installs nothing between the two primaries it is in.
-            mk(vec![c1.clone(), c3.clone()]),
+            mk(vec![c1, c3]),
         ]);
         let run = filter_trace(&trace, &MajorityPrimary::new(3));
         assert_eq!(
@@ -536,8 +533,8 @@ mod fail_stop_semantics_tests {
             vec![
                 (t0(), DeliverConf(c1.clone())),
                 (t0(), Fail { config: c1.id }),
-                (t0(), DeliverConf(solo.clone())),
-                (t0(), DeliverConf(c3.clone())),
+                (t0(), DeliverConf(solo)),
+                (t0(), DeliverConf(c3)),
             ],
         ]);
         let run = filter_trace(&trace, &MajorityPrimary::new(3));

@@ -373,7 +373,7 @@ mod tests {
         let log = vec![
             (t0, EvsEvent::DeliverConf(c1.clone())),
             (t0, EvsEvent::DeliverConf(c2.clone())),
-            (t0, EvsEvent::DeliverConf(c3.clone())),
+            (t0, EvsEvent::DeliverConf(c3)),
         ];
         let trace = Trace::new(vec![log.clone(), log, vec![]]);
         let h = PrimaryHistory::from_trace(&trace, &MajorityPrimary::new(3));
@@ -425,7 +425,7 @@ mod dynamic_tests {
         let c3 = cfg(3, &[0, 1]);
         let trace = trace_of(
             5,
-            &[c1.clone(), c2.clone(), c3.clone()],
+            &[c1, c2.clone(), c3.clone()],
             &[&[0, 1, 2, 3, 4], &[0, 1, 2], &[0, 1]],
         );
         let static_h = PrimaryHistory::from_trace(&trace, &MajorityPrimary::new(5));
@@ -449,7 +449,7 @@ mod dynamic_tests {
         let winner = cfg(3, &[0, 1]);
         let trace = trace_of(
             3,
-            &[c1.clone(), loser.clone(), winner.clone()],
+            &[c1.clone(), loser, winner.clone()],
             &[&[0, 1, 2], &[2], &[0, 1]],
         );
         let h = PrimaryHistory::from_trace(&trace, &DynamicPrimary::new(3));
@@ -469,7 +469,7 @@ mod dynamic_tests {
         let b = cfg(3, &[2, 3, 4]);
         let trace = trace_of(
             5,
-            &[c1.clone(), a.clone(), b.clone()],
+            &[c1.clone(), a.clone(), b],
             &[&[0, 1, 2, 3, 4], &[0, 1, 2], &[2, 3, 4]],
         );
         let h = PrimaryHistory::from_trace(&trace, &DynamicPrimary::new(5));

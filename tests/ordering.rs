@@ -181,7 +181,7 @@ fn checker_rejects_send_in_transitional_configuration() {
             (t(2), ev_send(0, 1, &tr, Service::Agreed)),
         ],
         vec![
-            (t(0), EvsEvent::DeliverConf(r.clone())),
+            (t(0), EvsEvent::DeliverConf(r)),
             (t(1), EvsEvent::DeliverConf(tr.clone())),
         ],
     ]);
@@ -213,7 +213,7 @@ fn checker_rejects_event_outside_installed_configuration() {
             // Sent in a configuration never installed here.
             (t(1), ev_send(0, 1, &other, Service::Agreed)),
         ],
-        vec![(t(0), EvsEvent::DeliverConf(c.clone()))],
+        vec![(t(0), EvsEvent::DeliverConf(c))],
     ]);
     assert!(spec_violated(&trace, "2.2"));
 }
@@ -226,8 +226,8 @@ fn checker_rejects_divergent_final_configurations() {
     let trace = Trace::new(vec![
         vec![(t(0), EvsEvent::DeliverConf(c.clone()))],
         vec![
-            (t(0), EvsEvent::DeliverConf(c.clone())),
-            (t(1), EvsEvent::DeliverConf(solo.clone())),
+            (t(0), EvsEvent::DeliverConf(c)),
+            (t(1), EvsEvent::DeliverConf(solo)),
         ],
     ]);
     assert!(spec_violated(&trace, "2.1"));
@@ -247,7 +247,7 @@ fn checker_rejects_self_delivery_violation() {
         ],
         vec![
             (t(0), EvsEvent::DeliverConf(c.clone())),
-            (t(2), EvsEvent::DeliverConf(c2.clone())),
+            (t(2), EvsEvent::DeliverConf(c2)),
         ],
     ]);
     assert!(spec_violated(&trace, "3"));
@@ -268,7 +268,7 @@ fn checker_rejects_failure_atomicity_violation() {
         ],
         vec![
             (t(0), EvsEvent::DeliverConf(c.clone())),
-            (t(3), EvsEvent::DeliverConf(c2.clone())),
+            (t(3), EvsEvent::DeliverConf(c2)),
         ],
     ]);
     assert!(spec_violated(&trace, "4"));
@@ -359,7 +359,7 @@ fn checker_rejects_safe_delivery_violation() {
         ],
         vec![
             (t(0), EvsEvent::DeliverConf(c.clone())),
-            (t(3), EvsEvent::DeliverConf(c2.clone())),
+            (t(3), EvsEvent::DeliverConf(c2)),
         ],
     ]);
     assert!(spec_violated(&trace, "7.1"));

@@ -200,6 +200,11 @@ impl BytesMut {
         self.data.extend_from_slice(src);
     }
 
+    /// Empties the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Removes and returns the first `n` bytes. Panics if `n > len()`.
     pub fn split_to(&mut self, n: usize) -> BytesMut {
         let rest = self.data.split_off(n);
@@ -297,6 +302,16 @@ mod tests {
         b.advance(2);
         assert_eq!(b.get_u8(), 4);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m = BytesMut::with_capacity(32);
+        m.extend_from_slice(&[1, 2, 3]);
+        let cap = m.data.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.data.capacity(), cap);
     }
 
     #[test]

@@ -65,8 +65,9 @@ mod tests {
     #[test]
     fn send_recv_round_trip() {
         let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
         tx.send(41u8).unwrap();
-        tx.clone().send(42u8).unwrap();
+        tx2.send(42u8).unwrap();
         assert_eq!(rx.recv().unwrap(), 41);
         assert_eq!(rx.recv().unwrap(), 42);
     }
