@@ -6,8 +6,10 @@
 #   ./ci.sh bench-smoke       # just refresh BENCH_baseline.json
 #   ./ci.sh bench-diff        # just the counter-regression gate
 #   ./ci.sh bench-throughput  # full wall-clock suite, writes BENCH_throughput.json
+#   ./ci.sh kill-recovery     # just the kill -9 / WAL-recovery smoke
 #   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
 #   LIVE_CHAOS_ITERS=2000 ./ci.sh # standard gate + live-driver chaos soak
+#   KILL_CHAOS_ITERS=2000 ./ci.sh # standard gate + kill/restart chaos soak
 #   BENCH_SMOKE=1 ./ci.sh     # standard gate + bench baseline refresh
 #   BENCH_THROUGHPUT_ITERS=20000 ./ci.sh # standard gate + throughput soak
 #
@@ -57,8 +59,19 @@ if [ "${1:-}" = "bench-diff" ]; then
     exit 0
 fi
 
+kill_recovery() {
+    echo "== kill-recovery smoke (real kill -9 of an OS process, WAL respawn) =="
+    cargo build -q --release --offline --example udp_cluster
+    ./target/release/examples/udp_cluster --orchestrate 7
+}
+
 if [ "${1:-}" = "bench-throughput" ]; then
     bench_throughput
+    exit 0
+fi
+
+if [ "${1:-}" = "kill-recovery" ]; then
+    kill_recovery
     exit 0
 fi
 
@@ -85,6 +98,11 @@ echo "== chaos: fixed-seed live smoke (hunting mix on the threaded driver) =="
 ./target/release/examples/chaos --hunting --live --n 3 --jobs 4 \
     --iters 200 --seed 424242
 
+echo "== chaos: fixed-seed kill/restart smoke (durability mix, simulator) =="
+./target/release/examples/chaos --kill-chaos --iters 200 --seed 90125 --keep-going
+
+kill_recovery
+
 bench_diff
 
 echo "== bench throughput smoke (sanity vs BENCH_throughput.json) =="
@@ -99,6 +117,12 @@ if [ -n "${LIVE_CHAOS_ITERS:-}" ]; then
     echo "== chaos: live soak (LIVE_CHAOS_ITERS=${LIVE_CHAOS_ITERS}) =="
     ./target/release/examples/chaos --hunting --live --n 3 --jobs 4 \
         --iters "${LIVE_CHAOS_ITERS}" --seed 2
+fi
+
+if [ -n "${KILL_CHAOS_ITERS:-}" ]; then
+    echo "== chaos: kill/restart soak (KILL_CHAOS_ITERS=${KILL_CHAOS_ITERS}) =="
+    ./target/release/examples/chaos --kill-chaos --jobs 4 \
+        --iters "${KILL_CHAOS_ITERS}" --seed 3
 fi
 
 if [ -n "${BENCH_SMOKE:-}" ]; then

@@ -20,8 +20,15 @@ pub struct FaultMix {
     pub merge: u32,
     /// Weight of [`FaultStep::Crash`].
     pub crash: u32,
+    /// Weight of [`FaultStep::Kill`]. Zero by default: a kill without
+    /// stable storage behind the engine forgets nothing it promised, so
+    /// kill plans are opted into by kill-chaos campaigns.
+    pub kill: u32,
     /// Weight of [`FaultStep::Recover`].
     pub recover: u32,
+    /// Weight of [`FaultStep::Restart`]. Zero by default, paired with
+    /// `kill`.
+    pub restart: u32,
     /// Weight of [`FaultStep::DropPct`].
     pub drop: u32,
     /// Weight of [`FaultStep::Delay`].
@@ -40,7 +47,9 @@ impl Default for FaultMix {
             split: 3,
             merge: 3,
             crash: 2,
+            kill: 0,
             recover: 3,
+            restart: 0,
             drop: 2,
             delay: 1,
             mcast: 5,
@@ -61,7 +70,9 @@ impl FaultMix {
             split: 2,
             merge: 2,
             crash: 8,
+            kill: 0,
             recover: 4,
+            restart: 0,
             drop: 20,
             delay: 2,
             mcast: 12,
@@ -69,15 +80,35 @@ impl FaultMix {
         }
     }
 
-    /// Sets a weight by its flag name (`split`, `merge`, `crash`,
-    /// `recover`, `drop`, `delay`, `mcast`, `run`). Returns false for an
-    /// unknown name — callers surface that as a usage error.
+    /// A mix tuned for durability hunting: processes are `kill -9`-ed and
+    /// restarted from their write-ahead logs under constant traffic, with
+    /// enough loss that restarts land mid-recovery.
+    pub fn kill_chaos() -> Self {
+        FaultMix {
+            split: 2,
+            merge: 3,
+            crash: 0,
+            kill: 8,
+            recover: 0,
+            restart: 10,
+            drop: 6,
+            delay: 1,
+            mcast: 12,
+            run: 10,
+        }
+    }
+
+    /// Sets a weight by its flag name (`split`, `merge`, `crash`, `kill`,
+    /// `recover`, `restart`, `drop`, `delay`, `mcast`, `run`). Returns
+    /// false for an unknown name — callers surface that as a usage error.
     pub fn set(&mut self, name: &str, weight: u32) -> bool {
         match name {
             "split" => self.split = weight,
             "merge" => self.merge = weight,
             "crash" => self.crash = weight,
+            "kill" => self.kill = weight,
             "recover" => self.recover = weight,
+            "restart" => self.restart = weight,
             "drop" => self.drop = weight,
             "delay" => self.delay = weight,
             "mcast" => self.mcast = weight,
@@ -91,7 +122,9 @@ impl FaultMix {
         self.split
             + self.merge
             + self.crash
+            + self.kill
             + self.recover
+            + self.restart
             + self.drop
             + self.delay
             + self.mcast
@@ -222,8 +255,12 @@ impl ScenarioGen {
             FaultStep::Merge
         } else if take(mix.crash) {
             FaultStep::Crash(rng.gen_range(0..cfg.n))
+        } else if take(mix.kill) {
+            FaultStep::Kill(rng.gen_range(0..cfg.n))
         } else if take(mix.recover) {
             FaultStep::Recover(rng.gen_range(0..cfg.n))
+        } else if take(mix.restart) {
+            FaultStep::Restart(rng.gen_range(0..cfg.n))
         } else if take(mix.drop) {
             FaultStep::DropPct(rng.gen_range(1..=cfg.max_drop_pct))
         } else if take(mix.delay) {
@@ -286,7 +323,46 @@ mod tests {
         let mut mix = FaultMix::default();
         assert!(mix.set("crash", 9));
         assert_eq!(mix.crash, 9);
+        assert!(mix.set("kill", 5));
+        assert_eq!(mix.kill, 5);
+        assert!(mix.set("restart", 6));
+        assert_eq!(mix.restart, 6);
         assert!(!mix.set("nonsense", 1));
+    }
+
+    #[test]
+    fn kill_chaos_mix_generates_kills_and_restarts() {
+        let cfg = GenConfig {
+            mix: FaultMix::kill_chaos(),
+            ..GenConfig::default()
+        };
+        let g = ScenarioGen::new(cfg);
+        let (mut kills, mut restarts) = (false, false);
+        for seed in 0..300 {
+            for step in g.plan(seed).steps {
+                match step {
+                    FaultStep::Kill(_) => kills = true,
+                    FaultStep::Restart(_) => restarts = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            kills && restarts,
+            "kill-chaos mix must exercise kill/restart"
+        );
+    }
+
+    #[test]
+    fn default_mix_never_generates_kills() {
+        // Kill/restart default to weight zero so every historical seed
+        // reproduces the exact plan it always did.
+        let g = ScenarioGen::new(GenConfig::default());
+        for seed in 0..300 {
+            for step in g.plan(seed).steps {
+                assert!(!matches!(step, FaultStep::Kill(_) | FaultStep::Restart(_)));
+            }
+        }
     }
 
     #[test]
@@ -305,6 +381,9 @@ mod tests {
                     FaultStep::Delay(_, _) => 5,
                     FaultStep::Mcast { .. } => 6,
                     FaultStep::Run(_) => 7,
+                    FaultStep::Kill(_) | FaultStep::Restart(_) => {
+                        unreachable!("default mix has kill/restart at weight 0")
+                    }
                 };
                 seen[k] = true;
             }

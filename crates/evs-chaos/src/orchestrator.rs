@@ -141,7 +141,11 @@ impl Orchestrator {
                     cluster.crash(ProcessId::new(*i as u32));
                     down[*i as usize] = true;
                 }
-                FaultStep::Recover(i) => {
+                FaultStep::Kill(i) => {
+                    cluster.kill(ProcessId::new(*i as u32));
+                    down[*i as usize] = true;
+                }
+                FaultStep::Recover(i) | FaultStep::Restart(i) => {
                     cluster.recover(ProcessId::new(*i as u32));
                     down[*i as usize] = false;
                 }
@@ -277,7 +281,11 @@ impl Orchestrator {
                         net.crash(ProcessId::new(*i as u32));
                         down[*i as usize] = true;
                     }
-                    FaultStep::Recover(i) => {
+                    FaultStep::Kill(i) => {
+                        net.kill(ProcessId::new(*i as u32));
+                        down[*i as usize] = true;
+                    }
+                    FaultStep::Recover(i) | FaultStep::Restart(i) => {
                         net.recover(ProcessId::new(*i as u32));
                         down[*i as usize] = false;
                     }
@@ -436,6 +444,44 @@ mod tests {
         let (a, _) = orch.execute(&plan);
         let (b, _) = orch.execute(&plan);
         assert_eq!(a.trace().events, b.trace().events);
+    }
+
+    #[test]
+    fn kill_restart_plan_passes_conformance() {
+        // A process is killed mid-traffic (no farewell callback) and later
+        // restarted: its write-ahead log must supply the fail_p(c) it never
+        // recorded and a fresh, monotone epoch, and the whole run must
+        // still satisfy the conformance suite.
+        let plan = FaultPlan {
+            n: 3,
+            seed: 21,
+            steps: vec![
+                FaultStep::Mcast {
+                    from: 0,
+                    count: 2,
+                    service: Service::Safe,
+                },
+                FaultStep::Run(1_000),
+                FaultStep::Kill(1),
+                FaultStep::Run(500),
+                FaultStep::Mcast {
+                    from: 0,
+                    count: 1,
+                    service: Service::Safe,
+                },
+                FaultStep::Run(1_000),
+                FaultStep::Restart(1),
+                FaultStep::Run(1_000),
+            ],
+        };
+        let outcome = Orchestrator::default().run_sim(&plan);
+        assert!(outcome.settled);
+        assert!(!outcome.failed(), "{:?}", outcome.failure);
+        assert!(
+            outcome.report.total("storage_recoveries") >= 1,
+            "the restarted process must report a storage recovery"
+        );
+        assert!(outcome.report.total("wal_replay_records") >= 1);
     }
 
     #[test]

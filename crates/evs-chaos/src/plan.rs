@@ -25,9 +25,18 @@ pub enum FaultStep {
     /// Crash a process (volatile state lost, stable storage kept). No-op
     /// if already down.
     Crash(u8),
+    /// Kill a process outright (`kill -9`): like [`FaultStep::Crash`] but
+    /// without the farewell callback, so only state it journaled to its
+    /// write-ahead log survives. No-op if already down.
+    Kill(u8),
     /// Recover a crashed process under the same identifier. No-op if
     /// already up.
     Recover(u8),
+    /// Restart a killed (or crashed) process: recover it under the same
+    /// identifier, rebuilding from whatever stable storage holds. Alias
+    /// of [`FaultStep::Recover`] in the drivers; kept distinct so plans
+    /// read as kill/restart pairs. No-op if already up.
+    Restart(u8),
     /// Set the per-destination packet-loss probability to `pct`/100 from
     /// this point on.
     DropPct(u8),
@@ -78,7 +87,9 @@ impl fmt::Display for FaultStep {
             }
             FaultStep::Merge => write!(f, "merge"),
             FaultStep::Crash(p) => write!(f, "crash {p}"),
+            FaultStep::Kill(p) => write!(f, "kill {p}"),
             FaultStep::Recover(p) => write!(f, "recover {p}"),
+            FaultStep::Restart(p) => write!(f, "restart {p}"),
             FaultStep::DropPct(pct) => write!(f, "droppct {pct}"),
             FaultStep::Delay(lo, hi) => write!(f, "delay {lo} {hi}"),
             FaultStep::Mcast {
@@ -165,7 +176,10 @@ impl FaultPlan {
                         )));
                     }
                 }
-                FaultStep::Crash(p) | FaultStep::Recover(p) => {
+                FaultStep::Crash(p)
+                | FaultStep::Kill(p)
+                | FaultStep::Recover(p)
+                | FaultStep::Restart(p) => {
                     if *p >= self.n {
                         return Err(at(format!("process {p} out of range")));
                     }
@@ -289,9 +303,17 @@ impl FaultPlan {
                     arity(1)?;
                     steps.push(FaultStep::Crash(u8of(args[0], "process")?));
                 }
+                "kill" => {
+                    arity(1)?;
+                    steps.push(FaultStep::Kill(u8of(args[0], "process")?));
+                }
                 "recover" => {
                     arity(1)?;
                     steps.push(FaultStep::Recover(u8of(args[0], "process")?));
+                }
+                "restart" => {
+                    arity(1)?;
+                    steps.push(FaultStep::Restart(u8of(args[0], "process")?));
                 }
                 "droppct" => {
                     arity(1)?;
@@ -367,6 +389,8 @@ mod tests {
                 FaultStep::Crash(1),
                 FaultStep::Merge,
                 FaultStep::Recover(1),
+                FaultStep::Kill(3),
+                FaultStep::Restart(3),
             ],
         }
     }

@@ -70,6 +70,8 @@ fn kind_of(step: &FaultStep) -> u8 {
         FaultStep::Delay(_, _) => 5,
         FaultStep::Mcast { .. } => 6,
         FaultStep::Run(_) => 7,
+        FaultStep::Kill(_) => 8,
+        FaultStep::Restart(_) => 9,
     }
 }
 

@@ -218,9 +218,22 @@ impl<P: Clone + fmt::Debug + Send + 'static> EvsCluster<P> {
         self.sim.recover(p);
     }
 
+    /// Kills process `p` now (`kill -9`): unlike [`EvsCluster::crash`] the
+    /// engine gets no farewell callback, so only state it already wrote to
+    /// its write-ahead log survives to a later recover.
+    pub fn kill(&mut self, p: ProcessId) {
+        self.sim.kill(p);
+    }
+
     /// Schedules a crash at absolute time `t`.
     pub fn crash_at(&mut self, t: SimTime, p: ProcessId) {
         self.sim.at(t, Action::Crash(p));
+    }
+
+    /// Schedules a kill (`kill -9`, no farewell callback) at absolute
+    /// time `t`.
+    pub fn kill_at(&mut self, t: SimTime, p: ProcessId) {
+        self.sim.at(t, Action::Kill(p));
     }
 
     /// Schedules a recovery at absolute time `t`.

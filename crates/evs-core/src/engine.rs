@@ -23,12 +23,20 @@
 //! recovery is in progress, the recovery restarts at Step 2 with the same
 //! frozen old-configuration snapshot, exactly as the paper prescribes.
 //!
-//! Crashes persist only two counters to stable storage — the message-id
-//! counter (Spec 1.4 uniqueness) and the largest configuration epoch seen
-//! (identifier monotonicity). A recovered process rejoins as a singleton
-//! regular configuration under its old identity, the shape §2 of the paper
-//! requires.
+//! Durability follows §2's failure model ("a process may fail and recover
+//! with stable storage intact"): the engine journals a [`WalRecord`] to its
+//! [`Storage`] backend at every §3 step boundary — message-id leases and
+//! sends, configuration deliveries, the Step 5.c obligation set, the
+//! delivered/stable cut, proposal epochs, and the `fail_p(c)` mark of a
+//! clean crash. A recovered (or respawned) process folds the log back into
+//! the counters it needs (see [`crate::persist`]), emits the failure the
+//! dead incarnation never got to record if it was killed outright, and
+//! rejoins as a singleton regular configuration under its old identity,
+//! the shape §2 of the paper requires. The default backend is the
+//! allocation-only [`NullStorage`]; drivers that survive real `kill -9`
+//! hand in an `evs_store::FileStorage` via [`EvsProcess::with_storage`].
 
+use crate::persist::{Checkpoint, WalRecord, LEASE_BLOCK};
 use crate::recovery::{
     extended_obligations, needed_set, rebroadcast_set, transitional_members, ExchangeState,
 };
@@ -36,7 +44,8 @@ use crate::{Configuration, Delivery, EvsEvent, EvsParams};
 use evs_membership::{ConfigId, MembMsg, MembOut, Membership, ProposedConfig};
 use evs_order::{MessageId, OrderedMsg, Ring, RingMsg, RingOut, RingSnapshot, Service};
 use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerKind};
-use evs_telemetry::{names, Histogram, Telemetry, TelemetryEvent};
+use evs_store::{NullStorage, Replay, Storage};
+use evs_telemetry::{names, Counter, Histogram, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -177,6 +186,17 @@ pub struct EvsProcess<P> {
     lat_causal: Histogram,
     lat_agreed: Histogram,
     lat_safe: Histogram,
+    /// Stable storage. [`NullStorage`] by default (simulator, benches);
+    /// a file-backed WAL when the driver wants state to survive `kill -9`.
+    storage: Box<dyn Storage>,
+    /// Message ids up to this value are covered by a synced
+    /// [`WalRecord::Lease`]; crossing it writes (and syncs) the next lease
+    /// *before* the id is used, so a kill can never cause id reuse.
+    lease_limit: u64,
+    /// Scratch buffer for WAL record encoding.
+    wal_buf: Vec<u8>,
+    wal_appends: Counter,
+    wal_syncs: Counter,
 }
 
 impl<P> fmt::Debug for EvsProcess<P> {
@@ -232,6 +252,43 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             lat_causal: Histogram::detached(),
             lat_agreed: Histogram::detached(),
             lat_safe: Histogram::detached(),
+            storage: Box::new(NullStorage::new()),
+            lease_limit: 0,
+            wal_buf: Vec::new(),
+            wal_appends: Counter::detached(),
+            wal_syncs: Counter::detached(),
+        }
+    }
+
+    /// Creates the engine with an explicit stable-storage backend. State
+    /// journaled to it is folded back on the next start of a process with
+    /// the same backend — this is how a `kill -9`-ed process resumes its
+    /// identity (see [`crate::persist`]).
+    pub fn with_storage(me: ProcessId, params: EvsParams, storage: Box<dyn Storage>) -> Self {
+        let mut node = Self::new(me, params);
+        node.storage = storage;
+        node
+    }
+
+    /// Direct access to the stable-storage backend (tests, drivers).
+    pub fn storage_mut(&mut self) -> &mut dyn Storage {
+        &mut *self.storage
+    }
+
+    /// Appends one record to the write-ahead log. Best effort: an I/O
+    /// error here must not take down the protocol (the process degrades to
+    /// the durability of a process without stable storage).
+    fn wal_append(&mut self, rec: WalRecord) {
+        rec.encode(&mut self.wal_buf);
+        if self.storage.append(&self.wal_buf).is_ok() {
+            self.wal_appends.inc();
+        }
+    }
+
+    /// Forces a durability barrier at a §3 step boundary.
+    fn wal_sync(&mut self) {
+        if self.storage.sync().is_ok() {
+            self.wal_syncs.inc();
         }
     }
 
@@ -251,6 +308,8 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         self.lat_safe = self
             .telemetry
             .histogram(names::DELIVERY_LATENCY_SAFE, LATENCY_BOUNDS);
+        self.wal_appends = self.telemetry.counter(names::WAL_APPENDS);
+        self.wal_syncs = self.telemetry.counter(names::WAL_SYNCS);
     }
 
     /// This process's identifier.
@@ -307,6 +366,13 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
 
     fn next_message_id(&mut self) -> MessageId {
         self.persist.msg_counter += 1;
+        if self.persist.msg_counter > self.lease_limit {
+            // Claim the next id block durably before using its first id
+            // (Spec 1.4: a kill inside the lease skips ids, never reuses).
+            self.lease_limit = self.persist.msg_counter + LEASE_BLOCK;
+            self.wal_append(WalRecord::Lease(self.lease_limit));
+            self.wal_sync();
+        }
         MessageId::new(self.me, self.persist.msg_counter)
     }
 
@@ -346,6 +412,12 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
 
     fn log_send(&mut self, ctx: &mut ECtx<'_, P>, msg: &OrderedMsg<P>) {
         if msg.id.sender == self.me && self.sent_log.insert(msg.id) {
+            self.wal_append(WalRecord::Sent {
+                counter: msg.id.counter,
+                epoch: msg.config.epoch,
+                rep: msg.config.rep.index(),
+                seq: msg.seq,
+            });
             ctx.emit(EvsEvent::Send {
                 id: msg.id,
                 config: msg.config,
@@ -366,6 +438,14 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     }
 
     fn deliver_conf(&mut self, ctx: &mut ECtx<'_, P>, cfg: Configuration) {
+        // A configuration delivery is a §3 step boundary: journal it and
+        // force the barrier, so a later kill knows which fail_p(c) it owes.
+        self.wal_append(WalRecord::ConfDelivered {
+            epoch: cfg.id.epoch,
+            rep: cfg.id.rep.index(),
+            transitional: cfg.id.transitional,
+        });
+        self.wal_sync();
         ctx.emit(EvsEvent::DeliverConf(cfg.clone()));
         self.telemetry.record(
             ctx.now().ticks(),
@@ -420,15 +500,30 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     }
 
     fn drain_ring_deliveries(&mut self, ctx: &mut ECtx<'_, P>) {
-        loop {
-            let Mode::Regular { ring } = &mut self.mode else {
-                return;
-            };
+        let mut delivered_any = false;
+        while let Mode::Regular { ring } = &mut self.mode {
             let Some((msg, _class)) = ring.pop_delivery() else {
-                return;
+                break;
             };
             let config = msg.config;
             self.deliver_msg(ctx, msg, config);
+            delivered_any = true;
+        }
+        if delivered_any {
+            // Journal the advanced delivered/stable cut (one record per
+            // drain burst, not per message).
+            let cut = match &self.mode {
+                Mode::Regular { ring } => Some((ring.config(), ring.delivered_upto())),
+                Mode::Recovery(_) => None,
+            };
+            if let Some((cfg, seq)) = cut {
+                self.wal_append(WalRecord::Cut {
+                    epoch: cfg.epoch,
+                    rep: cfg.rep.index(),
+                    transitional: cfg.transitional,
+                    seq,
+                });
+            }
         }
     }
 
@@ -487,7 +582,12 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     /// proposes again mid-recovery.
     fn start_recovery(&mut self, ctx: &mut ECtx<'_, P>, proposal: ProposedConfig) {
         self.frozen = true;
-        self.pending_token = None; // the old configuration's token dies here
+        // The old configuration's token dies here. This is also the Step 2
+        // boundary: the proposal epoch may already be acknowledged to
+        // peers, so it must survive a kill (epoch monotonicity).
+        self.pending_token = None;
+        self.wal_append(WalRecord::Epoch(proposal.id.epoch));
+        self.wal_sync();
         let placeholder = Mode::Regular {
             ring: Ring::new(
                 self.me,
@@ -598,6 +698,10 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             ctx.broadcast(EvsMsg::RecoveryAck {
                 proposal: rec.proposal.id,
             });
+            // Step 5.c boundary: the promise to deliver the obligation set
+            // must survive a kill between the ack and Step 6.
+            let members: Vec<u32> = self.obligations.iter().map(|p| p.index()).collect();
+            self.wal_append(WalRecord::Obligations(members));
         }
         let Mode::Recovery(rec) = &mut self.mode else {
             return;
@@ -679,6 +783,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             },
         );
         self.obligations.clear();
+        self.wal_append(WalRecord::Obligations(Vec::new()));
         // Record the retirement, not just the gauge: inspect's
         // obligation-growth detector needs to see Step 5.c obligations
         // coming back down once a round completes.
@@ -867,6 +972,84 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             }
         }
     }
+
+    /// Re-enters the system as a singleton regular configuration at
+    /// `epoch` (§2: "may recover with a deliver_conf_p(c) event, where the
+    /// membership of c is {p}"). Shared by crash recovery and
+    /// restart-from-WAL.
+    fn reincarnate(&mut self, ctx: &mut ECtx<'_, P>, epoch: u64) {
+        let initial = ProposedConfig::singleton(epoch, self.me);
+        self.membership = Membership::new(
+            self.me,
+            initial.clone(),
+            epoch,
+            self.params.membership.clone(),
+            ctx.now(),
+        );
+        let mut ring = Ring::new(
+            self.me,
+            initial.id,
+            initial.members.clone(),
+            self.params.max_per_visit,
+        );
+        ring.set_retx_limit(self.params.token_retx_limit);
+        self.mode = Mode::Regular { ring };
+        self.propagate_telemetry();
+        self.frozen = false;
+        self.app_buffer.clear();
+        self.future_buffer.clear();
+        self.obligations.clear();
+        self.telemetry.gauge(names::OBLIGATION_SET_SIZE).set(0);
+        self.sent_log.clear();
+        self.pending_token = None;
+        self.origin_times.clear();
+        let cfg = Configuration::from(initial);
+        self.deliver_conf(ctx, cfg);
+        self.last_token_seen = ctx.now();
+        ctx.set_timer(self.params.tick_interval, TICK);
+    }
+
+    /// Rebuilds the engine from a non-empty stable-storage replay: the
+    /// path a `kill -9`-ed (or cleanly crashed) process takes when its
+    /// next incarnation starts over the same [`Storage`] backend.
+    fn restart_from_wal(&mut self, ctx: &mut ECtx<'_, P>, replay: Replay) {
+        let had_snapshot = replay.snapshot.is_some();
+        let rec = crate::persist::fold(replay.snapshot.as_deref(), &replay.records);
+        self.telemetry
+            .counter(names::WAL_REPLAY_RECORDS)
+            .add(rec.records);
+        self.telemetry.record(
+            ctx.now().ticks(),
+            TelemetryEvent::StorageRecovered {
+                records: rec.records,
+                snapshot: had_snapshot,
+                wal: replay.wal_present,
+            },
+        );
+        if let Some(undead) = rec.undead {
+            // The dead incarnation was killed without recording its
+            // failure; emit the fail_p(c) it owes so the trace stays a
+            // legal EVS history (Spec 5/6: a configuration a process left
+            // without a failure would otherwise still claim it).
+            ctx.emit(EvsEvent::Fail { config: undead });
+        }
+        self.persist.msg_counter = rec.msg_counter;
+        self.lease_limit = rec.msg_counter;
+        self.persist.max_epoch = rec.max_epoch;
+        let epoch = self.persist.max_epoch + 1;
+        self.persist.max_epoch = epoch;
+        // Compact: everything replayed folds into one checkpoint; the
+        // singleton configuration delivery below re-seeds the fresh log.
+        let cp = Checkpoint {
+            msg_counter: self.persist.msg_counter,
+            max_epoch: epoch,
+        };
+        cp.encode(&mut self.wal_buf);
+        if self.storage.snapshot(&self.wal_buf).is_ok() {
+            self.telemetry.counter(names::SNAPSHOT_WRITES).inc();
+        }
+        self.reincarnate(ctx, epoch);
+    }
 }
 
 impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
@@ -876,6 +1059,15 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
     fn on_start(&mut self, ctx: &mut ECtx<'_, P>) {
         self.telemetry = ctx.telemetry().clone();
         self.propagate_telemetry();
+        // A fresh incarnation over a non-empty stable store is a restarted
+        // process (the udp orchestrator's `kill -9` + respawn path):
+        // rebuild from the WAL instead of booting at epoch 0.
+        if let Ok(replay) = self.storage.replay() {
+            if !replay.is_empty() {
+                self.restart_from_wal(ctx, replay);
+                return;
+            }
+        }
         // Deliver the initial singleton configuration to the application.
         let initial = self.current_config.clone();
         self.deliver_conf(ctx, initial);
@@ -956,6 +1148,16 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         self.persist.max_epoch = self.persist.max_epoch.max(self.membership.max_epoch());
         let persist = self.persist;
         ctx.stable().put(STABLE_KEY, persist);
+        // The WAL form of the same fact: a clean crash marks the log with
+        // its exact counters, so replay continues the id series without
+        // the lease gap and owes no synthetic failure.
+        self.wal_append(WalRecord::FailMark {
+            epoch: self.current_config.id.epoch,
+            rep: self.current_config.id.rep.index(),
+            msg_counter: persist.msg_counter,
+            max_epoch: persist.max_epoch,
+        });
+        self.wal_sync();
         self.telemetry.record(
             ctx.now().ticks(),
             TelemetryEvent::StableWrite { key: STABLE_KEY },
@@ -979,43 +1181,25 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
                 },
             );
         }
+        // Prefer the write-ahead log when it holds anything: it subsumes
+        // the legacy two-counter StableStore record and also knows whether
+        // a fail_p(c) is owed (a kill bypasses on_crash entirely).
+        if let Ok(replay) = self.storage.replay() {
+            if !replay.is_empty() {
+                self.restart_from_wal(ctx, replay);
+                return;
+            }
+        }
         let persist = ctx
             .stable()
             .get::<PersistentState>(STABLE_KEY)
             .copied()
             .unwrap_or_default();
         self.persist = persist;
+        self.lease_limit = persist.msg_counter;
         let epoch = self.persist.max_epoch + 1;
         self.persist.max_epoch = epoch;
-        let initial = ProposedConfig::singleton(epoch, self.me);
-        self.membership = Membership::new(
-            self.me,
-            initial.clone(),
-            epoch,
-            self.params.membership.clone(),
-            ctx.now(),
-        );
-        let mut ring = Ring::new(
-            self.me,
-            initial.id,
-            initial.members.clone(),
-            self.params.max_per_visit,
-        );
-        ring.set_retx_limit(self.params.token_retx_limit);
-        self.mode = Mode::Regular { ring };
-        self.propagate_telemetry();
-        self.frozen = false;
-        self.app_buffer.clear();
-        self.future_buffer.clear();
-        self.obligations.clear();
-        self.telemetry.gauge(names::OBLIGATION_SET_SIZE).set(0);
-        self.sent_log.clear();
-        self.pending_token = None;
-        self.origin_times.clear();
-        let cfg = Configuration::from(initial);
-        self.deliver_conf(ctx, cfg);
-        self.last_token_seen = ctx.now();
-        ctx.set_timer(self.params.tick_interval, TICK);
+        self.reincarnate(ctx, epoch);
     }
 }
 

@@ -22,6 +22,9 @@
 //!   (§2.2), verified against execution [`Trace`]s.
 //! * [`recovery`] — the pure logic of recovery Steps 3–6, unit-testable in
 //!   isolation.
+//! * [`persist`] — the write-ahead-log record set mapping §2's "recover
+//!   with stable storage intact" onto `evs-store`, and the replay fold
+//!   that rebuilds a killed process's state from it.
 //!
 //! ## Quick example
 //!
@@ -52,6 +55,7 @@ mod engine;
 mod event;
 mod params;
 mod payload;
+pub mod persist;
 pub mod recovery;
 pub mod trace_io;
 pub mod wire;

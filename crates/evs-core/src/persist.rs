@@ -1,0 +1,503 @@
+//! The engine's write-ahead-log record set and replay fold.
+//!
+//! §2 of the paper models a process that "may fail and recover with stable
+//! storage intact". This module defines *what* the engine writes to stable
+//! storage (via the [`evs_store::Storage`] trait) at the §3 recovery-step
+//! boundaries, and how a freshly-started incarnation folds those records
+//! back into the state a recovery needs:
+//!
+//! * the **message-id counter** (Spec 1.4: identifiers are never reused),
+//!   tracked exactly by [`WalRecord::FailMark`] on a clean crash and
+//!   conservatively by [`WalRecord::Lease`] blocks when the process is
+//!   killed without warning;
+//! * the largest **configuration epoch** observed (identifier
+//!   monotonicity), from every record that carries an epoch;
+//! * the last **configuration delivered** with no failure mark after it —
+//!   a kill leaves no `fail_p(c)` in the trace, so the next incarnation
+//!   must emit one on the dead incarnation's behalf before it re-enters
+//!   the system (see [`Recovered::undead`]);
+//! * the **obligation set** of §3 Step 5.c and the **delivered/stable
+//!   cut**, persisted for post-mortem audit of what the dead incarnation
+//!   had promised and delivered.
+//!
+//! The encoding is deliberately trivial: one tag byte followed by
+//! fixed-width little-endian fields (`evs-store` owns framing, CRCs and
+//! torn-tail handling). Unknown tags decode to `None` and are skipped by
+//! the fold, so an old binary can replay a newer log's prefix.
+
+use evs_membership::ConfigId;
+use evs_sim::ProcessId;
+
+/// How many message ids a [`WalRecord::Lease`] claims beyond the counter's
+/// current value. A larger lease syncs less often; every id inside an
+/// unused lease tail is wasted (skipped, never reused) after a kill.
+pub const LEASE_BLOCK: u64 = 1024;
+
+/// One entry in the engine's write-ahead log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// The message-id counter may advance up to this value without another
+    /// sync. Written (and synced) *before* the first id past the previous
+    /// lease is handed out, so a kill can never observe a reused id.
+    Lease(u64),
+    /// `send_p(m)`: a message of ours was stamped into the total order.
+    Sent {
+        /// The message-id counter value of the send.
+        counter: u64,
+        /// Epoch of the configuration it was stamped in.
+        epoch: u64,
+        /// Representative of that configuration.
+        rep: u32,
+        /// Ring ordinal the message was stamped with.
+        seq: u64,
+    },
+    /// `deliver_conf_p(c)`: a configuration change reached the
+    /// application. Synced — this is a §3 step boundary.
+    ConfDelivered {
+        /// The configuration's epoch.
+        epoch: u64,
+        /// The configuration's representative.
+        rep: u32,
+        /// True for transitional configurations.
+        transitional: bool,
+    },
+    /// §3 Step 5.c: the obligation set after this process acknowledged
+    /// (empty when Step 6 retires it).
+    Obligations(Vec<u32>),
+    /// The delivered/stable cut: everything up to ring ordinal `seq` in
+    /// the named configuration has been delivered locally.
+    Cut {
+        /// Epoch of the configuration the cut is taken in.
+        epoch: u64,
+        /// Representative of that configuration.
+        rep: u32,
+        /// True if the cut was taken in a transitional configuration.
+        transitional: bool,
+        /// Highest contiguously-delivered ring ordinal.
+        seq: u64,
+    },
+    /// §3 Step 2: the membership proposed a configuration with this epoch.
+    /// Synced — the epoch may be acked to peers before it is delivered,
+    /// so it must survive a kill for monotonicity.
+    Epoch(u64),
+    /// `fail_p(c)`: a clean crash. Carries the *exact* counters, so a
+    /// recovery continues the id series without the lease gap.
+    FailMark {
+        /// Epoch of the configuration the process failed in.
+        epoch: u64,
+        /// Representative of that configuration.
+        rep: u32,
+        /// Exact message-id counter at the instant of the crash.
+        msg_counter: u64,
+        /// Largest configuration epoch observed by the crashed process.
+        max_epoch: u64,
+    },
+}
+
+/// Tag bytes. Stable — they are on disk.
+const TAG_LEASE: u8 = 1;
+const TAG_SENT: u8 = 2;
+const TAG_CONF: u8 = 3;
+const TAG_OBLIGATIONS: u8 = 4;
+const TAG_CUT: u8 = 5;
+const TAG_EPOCH: u8 = 6;
+const TAG_FAIL: u8 = 7;
+/// Snapshot blob marker (see [`Checkpoint`]); never appears in the log.
+const TAG_CHECKPOINT: u8 = 8;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.bytes.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.bytes.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+}
+
+impl WalRecord {
+    /// Serializes the record payload into `out` (cleared first). Framing,
+    /// CRC and length-delimiting belong to `evs-store`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            WalRecord::Lease(limit) => {
+                out.push(TAG_LEASE);
+                put_u64(out, *limit);
+            }
+            WalRecord::Sent {
+                counter,
+                epoch,
+                rep,
+                seq,
+            } => {
+                out.push(TAG_SENT);
+                put_u64(out, *counter);
+                put_u64(out, *epoch);
+                put_u32(out, *rep);
+                put_u64(out, *seq);
+            }
+            WalRecord::ConfDelivered {
+                epoch,
+                rep,
+                transitional,
+            } => {
+                out.push(TAG_CONF);
+                put_u64(out, *epoch);
+                put_u32(out, *rep);
+                out.push(u8::from(*transitional));
+            }
+            WalRecord::Obligations(members) => {
+                out.push(TAG_OBLIGATIONS);
+                put_u32(out, members.len() as u32);
+                for m in members {
+                    put_u32(out, *m);
+                }
+            }
+            WalRecord::Cut {
+                epoch,
+                rep,
+                transitional,
+                seq,
+            } => {
+                out.push(TAG_CUT);
+                put_u64(out, *epoch);
+                put_u32(out, *rep);
+                out.push(u8::from(*transitional));
+                put_u64(out, *seq);
+            }
+            WalRecord::Epoch(epoch) => {
+                out.push(TAG_EPOCH);
+                put_u64(out, *epoch);
+            }
+            WalRecord::FailMark {
+                epoch,
+                rep,
+                msg_counter,
+                max_epoch,
+            } => {
+                out.push(TAG_FAIL);
+                put_u64(out, *epoch);
+                put_u32(out, *rep);
+                put_u64(out, *msg_counter);
+                put_u64(out, *max_epoch);
+            }
+        }
+    }
+
+    /// Parses a record payload. `None` for unknown tags or short payloads
+    /// (the fold skips them; `evs-store`'s CRC already rules out
+    /// corruption, so `None` means a version difference, not damage).
+    pub fn decode(bytes: &[u8]) -> Option<WalRecord> {
+        let mut r = Reader { bytes, pos: 0 };
+        let rec = match r.u8()? {
+            TAG_LEASE => WalRecord::Lease(r.u64()?),
+            TAG_SENT => WalRecord::Sent {
+                counter: r.u64()?,
+                epoch: r.u64()?,
+                rep: r.u32()?,
+                seq: r.u64()?,
+            },
+            TAG_CONF => WalRecord::ConfDelivered {
+                epoch: r.u64()?,
+                rep: r.u32()?,
+                transitional: r.u8()? != 0,
+            },
+            TAG_OBLIGATIONS => {
+                let n = r.u32()? as usize;
+                let mut members = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    members.push(r.u32()?);
+                }
+                WalRecord::Obligations(members)
+            }
+            TAG_CUT => WalRecord::Cut {
+                epoch: r.u64()?,
+                rep: r.u32()?,
+                transitional: r.u8()? != 0,
+                seq: r.u64()?,
+            },
+            TAG_EPOCH => WalRecord::Epoch(r.u64()?),
+            TAG_FAIL => WalRecord::FailMark {
+                epoch: r.u64()?,
+                rep: r.u32()?,
+                msg_counter: r.u64()?,
+                max_epoch: r.u64()?,
+            },
+            _ => return None,
+        };
+        (r.pos == bytes.len()).then_some(rec)
+    }
+}
+
+/// The compacted state a snapshot carries: everything the fold needs as a
+/// starting point, so the records it replaces can be deleted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Message-id counter floor (ids at or below it may have been used).
+    pub msg_counter: u64,
+    /// Largest configuration epoch observed.
+    pub max_epoch: u64,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint as a snapshot blob.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.push(TAG_CHECKPOINT);
+        put_u64(out, self.msg_counter);
+        put_u64(out, self.max_epoch);
+    }
+
+    /// Parses a snapshot blob written by [`Checkpoint::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<Checkpoint> {
+        let mut r = Reader { bytes, pos: 0 };
+        (r.u8()? == TAG_CHECKPOINT)
+            .then(|| {
+                Some(Checkpoint {
+                    msg_counter: r.u64()?,
+                    max_epoch: r.u64()?,
+                })
+            })
+            .flatten()
+            .filter(|_| r.pos == bytes.len())
+    }
+}
+
+/// What a replay of the write-ahead log reconstructs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Recovered {
+    /// Safe message-id counter to resume from: exact after a clean crash
+    /// (trailing [`WalRecord::FailMark`]), the lease ceiling after a kill.
+    pub msg_counter: u64,
+    /// Largest configuration epoch the dead incarnation observed; the new
+    /// incarnation starts at `max_epoch + 1`.
+    pub max_epoch: u64,
+    /// The last configuration delivered with no failure mark after it.
+    /// `Some` means the process was killed without recording `fail_p(c)`;
+    /// the new incarnation must emit a synthetic one for this
+    /// configuration before its singleton `deliver_conf`.
+    pub undead: Option<ConfigId>,
+    /// The last-persisted §3 Step 5.c obligation set (audit only — a
+    /// restarted singleton starts with no obligations).
+    pub obligations: Vec<u32>,
+    /// Decoded records folded in (snapshot excluded).
+    pub records: u64,
+}
+
+/// Folds a snapshot and its trailing records back into engine state.
+pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>]) -> Recovered {
+    let mut out = Recovered::default();
+    if let Some(cp) = snapshot.and_then(Checkpoint::decode) {
+        out.msg_counter = cp.msg_counter;
+        out.max_epoch = cp.max_epoch;
+    }
+    for raw in records {
+        let Some(rec) = WalRecord::decode(raw) else {
+            continue;
+        };
+        out.records += 1;
+        match rec {
+            WalRecord::Lease(limit) => out.msg_counter = out.msg_counter.max(limit),
+            WalRecord::Sent { counter, epoch, .. } => {
+                out.msg_counter = out.msg_counter.max(counter);
+                out.max_epoch = out.max_epoch.max(epoch);
+            }
+            WalRecord::ConfDelivered {
+                epoch,
+                rep,
+                transitional,
+            } => {
+                out.max_epoch = out.max_epoch.max(epoch);
+                out.undead = Some(ConfigId {
+                    epoch,
+                    rep: ProcessId::new(rep),
+                    transitional,
+                });
+            }
+            WalRecord::Obligations(members) => out.obligations = members,
+            WalRecord::Cut { epoch, .. } => out.max_epoch = out.max_epoch.max(epoch),
+            WalRecord::Epoch(epoch) => out.max_epoch = out.max_epoch.max(epoch),
+            WalRecord::FailMark {
+                msg_counter,
+                max_epoch,
+                ..
+            } => {
+                // A clean crash recorded fail_p(c) and the exact counter:
+                // authoritative, and no synthetic failure is owed.
+                out.msg_counter = msg_counter;
+                out.max_epoch = out.max_epoch.max(max_epoch);
+                out.undead = None;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: WalRecord) {
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        assert_eq!(WalRecord::decode(&buf), Some(rec));
+    }
+
+    #[test]
+    fn every_record_round_trips() {
+        roundtrip(WalRecord::Lease(1024));
+        roundtrip(WalRecord::Sent {
+            counter: 7,
+            epoch: 3,
+            rep: 1,
+            seq: 42,
+        });
+        roundtrip(WalRecord::ConfDelivered {
+            epoch: 9,
+            rep: 0,
+            transitional: true,
+        });
+        roundtrip(WalRecord::Obligations(vec![0, 2, 5]));
+        roundtrip(WalRecord::Obligations(Vec::new()));
+        roundtrip(WalRecord::Cut {
+            epoch: 9,
+            rep: 0,
+            transitional: false,
+            seq: 17,
+        });
+        roundtrip(WalRecord::Epoch(12));
+        roundtrip(WalRecord::FailMark {
+            epoch: 9,
+            rep: 0,
+            msg_counter: 55,
+            max_epoch: 12,
+        });
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tags_short_and_long_payloads() {
+        assert_eq!(WalRecord::decode(&[]), None);
+        assert_eq!(WalRecord::decode(&[99, 0, 0]), None);
+        assert_eq!(WalRecord::decode(&[TAG_LEASE, 1, 2]), None);
+        let mut buf = Vec::new();
+        WalRecord::Lease(5).encode(&mut buf);
+        buf.push(0); // trailing garbage
+        assert_eq!(WalRecord::decode(&buf), None);
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let cp = Checkpoint {
+            msg_counter: 2048,
+            max_epoch: 17,
+        };
+        let mut buf = Vec::new();
+        cp.encode(&mut buf);
+        assert_eq!(Checkpoint::decode(&buf), Some(cp));
+        assert_eq!(Checkpoint::decode(&buf[..buf.len() - 1]), None);
+        assert_eq!(Checkpoint::decode(&[TAG_LEASE, 0]), None);
+    }
+
+    fn encoded(recs: &[WalRecord]) -> Vec<Vec<u8>> {
+        recs.iter()
+            .map(|r| {
+                let mut b = Vec::new();
+                r.encode(&mut b);
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fold_after_kill_uses_lease_ceiling_and_owes_a_failure() {
+        let recs = encoded(&[
+            WalRecord::Lease(1024),
+            WalRecord::ConfDelivered {
+                epoch: 4,
+                rep: 1,
+                transitional: false,
+            },
+            WalRecord::Sent {
+                counter: 3,
+                epoch: 4,
+                rep: 1,
+                seq: 10,
+            },
+        ]);
+        let rec = fold(None, &recs);
+        assert_eq!(rec.msg_counter, 1024, "lease ceiling wins after a kill");
+        assert_eq!(rec.max_epoch, 4);
+        assert_eq!(
+            rec.undead,
+            Some(ConfigId {
+                epoch: 4,
+                rep: ProcessId::new(1),
+                transitional: false
+            }),
+            "a kill leaves fail_p(c) owed"
+        );
+        assert_eq!(rec.records, 3);
+    }
+
+    #[test]
+    fn fold_after_clean_crash_is_exact_and_owes_nothing() {
+        let recs = encoded(&[
+            WalRecord::Lease(1024),
+            WalRecord::ConfDelivered {
+                epoch: 4,
+                rep: 1,
+                transitional: false,
+            },
+            WalRecord::FailMark {
+                epoch: 4,
+                rep: 1,
+                msg_counter: 3,
+                max_epoch: 6,
+            },
+        ]);
+        let rec = fold(None, &recs);
+        assert_eq!(rec.msg_counter, 3, "fail mark restores the exact counter");
+        assert_eq!(rec.max_epoch, 6);
+        assert_eq!(rec.undead, None);
+    }
+
+    #[test]
+    fn fold_starts_from_the_snapshot_and_skips_unknown_records() {
+        let cp = Checkpoint {
+            msg_counter: 500,
+            max_epoch: 9,
+        };
+        let mut blob = Vec::new();
+        cp.encode(&mut blob);
+        let mut recs = encoded(&[WalRecord::Epoch(11)]);
+        recs.push(vec![0xEE, 1, 2, 3]); // future record kind
+        let rec = fold(Some(&blob), &recs);
+        assert_eq!(rec.msg_counter, 500);
+        assert_eq!(rec.max_epoch, 11);
+        assert_eq!(rec.records, 1, "unknown tag skipped, not counted");
+    }
+}

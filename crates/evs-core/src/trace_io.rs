@@ -54,49 +54,62 @@ fn write_service(out: &mut String, s: Service) {
     });
 }
 
+/// Appends one event in the archival per-line format (`@time kind ...`,
+/// no leading indentation, no trailing newline) to `out`.
+///
+/// This is the unit the process-kill harness journals: each live process
+/// appends `format_event` lines to its own durable trace file *before*
+/// acting on the event, and the orchestrator reassembles a [`Trace`] with
+/// [`parse_event`] after the run. [`format_trace`] is this plus `process`
+/// headers and indentation.
+pub fn format_event(out: &mut String, t: SimTime, ev: &EvsEvent) {
+    out.push_str(&format!("@{} ", t.ticks()));
+    match ev {
+        EvsEvent::DeliverConf(c) => {
+            out.push_str("conf ");
+            write_config_id(out, c.id);
+            out.push_str(" *");
+            for m in &c.members {
+                out.push_str(&format!(" {}", m.index()));
+            }
+        }
+        EvsEvent::Send {
+            id,
+            config,
+            service,
+        } => {
+            out.push_str(&format!("send {}#{} ", id.sender.index(), id.counter));
+            write_config_id(out, *config);
+            out.push(' ');
+            write_service(out, *service);
+        }
+        EvsEvent::Deliver {
+            id,
+            config,
+            service,
+            seq,
+        } => {
+            out.push_str(&format!("dlv {}#{} ", id.sender.index(), id.counter));
+            write_config_id(out, *config);
+            out.push(' ');
+            write_service(out, *service);
+            out.push_str(&format!(" {seq}"));
+        }
+        EvsEvent::Fail { config } => {
+            out.push_str("fail ");
+            write_config_id(out, *config);
+        }
+    }
+}
+
 /// Renders a trace in the archival text format.
 pub fn format_trace(trace: &Trace) -> String {
     let mut out = String::new();
     for (pid, log) in trace.events.iter().enumerate() {
         out.push_str(&format!("process {pid}\n"));
         for (t, ev) in log {
-            out.push_str(&format!("  @{} ", t.ticks()));
-            match ev {
-                EvsEvent::DeliverConf(c) => {
-                    out.push_str("conf ");
-                    write_config_id(&mut out, c.id);
-                    out.push_str(" *");
-                    for m in &c.members {
-                        out.push_str(&format!(" {}", m.index()));
-                    }
-                }
-                EvsEvent::Send {
-                    id,
-                    config,
-                    service,
-                } => {
-                    out.push_str(&format!("send {}#{} ", id.sender.index(), id.counter));
-                    write_config_id(&mut out, *config);
-                    out.push(' ');
-                    write_service(&mut out, *service);
-                }
-                EvsEvent::Deliver {
-                    id,
-                    config,
-                    service,
-                    seq,
-                } => {
-                    out.push_str(&format!("dlv {}#{} ", id.sender.index(), id.counter));
-                    write_config_id(&mut out, *config);
-                    out.push(' ');
-                    write_service(&mut out, *service);
-                    out.push_str(&format!(" {seq}"));
-                }
-                EvsEvent::Fail { config } => {
-                    out.push_str("fail ");
-                    write_config_id(&mut out, *config);
-                }
-            }
+            out.push_str("  ");
+            format_event(&mut out, *t, ev);
             out.push('\n');
         }
     }
@@ -155,6 +168,108 @@ fn parse_service(tok: &str, line: usize) -> Result<Service, ParseTraceError> {
     }
 }
 
+/// Parses one event line in the archival format (`@time kind ...`),
+/// the inverse of [`format_event`]. Leading/trailing whitespace is
+/// ignored. `line` is the 1-based line number reported in errors.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] on any malformed line.
+pub fn parse_event(raw: &str, line: usize) -> Result<(SimTime, EvsEvent), ParseTraceError> {
+    let err = |reason: String| ParseTraceError { line, reason };
+    let mut toks = raw.split_whitespace();
+    let at = toks
+        .next()
+        .and_then(|t| t.strip_prefix('@'))
+        .ok_or_else(|| err("missing @time".into()))?;
+    let t = SimTime::from_ticks(at.parse().map_err(|_| err(format!("bad time {at:?}")))?);
+    let kind = toks
+        .next()
+        .ok_or_else(|| err("missing event kind".into()))?;
+    let ev = match kind {
+        "conf" => {
+            let id = parse_config_id(
+                toks.next().ok_or_else(|| err("conf: missing id".into()))?,
+                line,
+            )?;
+            let star = toks.next();
+            if star != Some("*") {
+                return Err(err("conf: missing member list".into()));
+            }
+            let members: Result<Vec<ProcessId>, _> = toks
+                .by_ref()
+                .map(|m| m.parse::<u32>().map(ProcessId::new))
+                .collect();
+            let members = members.map_err(|_| err("conf: bad member".into()))?;
+            if members.is_empty() {
+                return Err(err("conf: empty membership".into()));
+            }
+            EvsEvent::DeliverConf(Configuration::new(id, members))
+        }
+        "send" => {
+            let id = parse_message_id(
+                toks.next().ok_or_else(|| err("send: missing id".into()))?,
+                line,
+            )?;
+            let config = parse_config_id(
+                toks.next()
+                    .ok_or_else(|| err("send: missing config".into()))?,
+                line,
+            )?;
+            let service = parse_service(
+                toks.next()
+                    .ok_or_else(|| err("send: missing service".into()))?,
+                line,
+            )?;
+            EvsEvent::Send {
+                id,
+                config,
+                service,
+            }
+        }
+        "dlv" => {
+            let id = parse_message_id(
+                toks.next().ok_or_else(|| err("dlv: missing id".into()))?,
+                line,
+            )?;
+            let config = parse_config_id(
+                toks.next()
+                    .ok_or_else(|| err("dlv: missing config".into()))?,
+                line,
+            )?;
+            let service = parse_service(
+                toks.next()
+                    .ok_or_else(|| err("dlv: missing service".into()))?,
+                line,
+            )?;
+            let seq = toks
+                .next()
+                .ok_or_else(|| err("dlv: missing seq".into()))?
+                .parse()
+                .map_err(|_| err("dlv: bad seq".into()))?;
+            EvsEvent::Deliver {
+                id,
+                config,
+                service,
+                seq,
+            }
+        }
+        "fail" => {
+            let config = parse_config_id(
+                toks.next()
+                    .ok_or_else(|| err("fail: missing config".into()))?,
+                line,
+            )?;
+            EvsEvent::Fail { config }
+        }
+        other => return Err(err(format!("unknown event kind {other:?}"))),
+    };
+    if toks.next().is_some() && kind != "conf" {
+        return Err(err("trailing tokens".into()));
+    }
+    Ok((t, ev))
+}
+
 /// Parses the archival text format back into a [`Trace`].
 ///
 /// # Errors
@@ -183,96 +298,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, ParseTraceError> {
             continue;
         }
         let pid = current.ok_or_else(|| err("event before any process header".into()))?;
-        let mut toks = trimmed.split_whitespace();
-        let at = toks
-            .next()
-            .and_then(|t| t.strip_prefix('@'))
-            .ok_or_else(|| err("missing @time".into()))?;
-        let t = SimTime::from_ticks(at.parse().map_err(|_| err(format!("bad time {at:?}")))?);
-        let kind = toks
-            .next()
-            .ok_or_else(|| err("missing event kind".into()))?;
-        let ev = match kind {
-            "conf" => {
-                let id = parse_config_id(
-                    toks.next().ok_or_else(|| err("conf: missing id".into()))?,
-                    line,
-                )?;
-                let star = toks.next();
-                if star != Some("*") {
-                    return Err(err("conf: missing member list".into()));
-                }
-                let members: Result<Vec<ProcessId>, _> = toks
-                    .by_ref()
-                    .map(|m| m.parse::<u32>().map(ProcessId::new))
-                    .collect();
-                let members = members.map_err(|_| err("conf: bad member".into()))?;
-                if members.is_empty() {
-                    return Err(err("conf: empty membership".into()));
-                }
-                EvsEvent::DeliverConf(Configuration::new(id, members))
-            }
-            "send" => {
-                let id = parse_message_id(
-                    toks.next().ok_or_else(|| err("send: missing id".into()))?,
-                    line,
-                )?;
-                let config = parse_config_id(
-                    toks.next()
-                        .ok_or_else(|| err("send: missing config".into()))?,
-                    line,
-                )?;
-                let service = parse_service(
-                    toks.next()
-                        .ok_or_else(|| err("send: missing service".into()))?,
-                    line,
-                )?;
-                EvsEvent::Send {
-                    id,
-                    config,
-                    service,
-                }
-            }
-            "dlv" => {
-                let id = parse_message_id(
-                    toks.next().ok_or_else(|| err("dlv: missing id".into()))?,
-                    line,
-                )?;
-                let config = parse_config_id(
-                    toks.next()
-                        .ok_or_else(|| err("dlv: missing config".into()))?,
-                    line,
-                )?;
-                let service = parse_service(
-                    toks.next()
-                        .ok_or_else(|| err("dlv: missing service".into()))?,
-                    line,
-                )?;
-                let seq = toks
-                    .next()
-                    .ok_or_else(|| err("dlv: missing seq".into()))?
-                    .parse()
-                    .map_err(|_| err("dlv: bad seq".into()))?;
-                EvsEvent::Deliver {
-                    id,
-                    config,
-                    service,
-                    seq,
-                }
-            }
-            "fail" => {
-                let config = parse_config_id(
-                    toks.next()
-                        .ok_or_else(|| err("fail: missing config".into()))?,
-                    line,
-                )?;
-                EvsEvent::Fail { config }
-            }
-            other => return Err(err(format!("unknown event kind {other:?}"))),
-        };
-        if toks.next().is_some() && kind != "conf" {
-            return Err(err("trailing tokens".into()));
-        }
+        let (t, ev) = parse_event(trimmed, line)?;
         events[pid].push((t, ev));
     }
     Ok(Trace::new(events))
@@ -346,6 +372,37 @@ mod tests {
                 "{bad:?} gave {e:?}, expected {what:?}"
             );
         }
+    }
+
+    #[test]
+    fn per_line_helpers_round_trip() {
+        // The unit the kill harness journals: one line per event, no
+        // process headers. Format then parse must be exact.
+        let cfg = Configuration::new(
+            ConfigId::transitional(3, ProcessId::new(1)),
+            vec![ProcessId::new(1), ProcessId::new(2)],
+        );
+        let events = [
+            (SimTime::from_ticks(7), EvsEvent::DeliverConf(cfg.clone())),
+            (
+                SimTime::from_ticks(8),
+                EvsEvent::Deliver {
+                    id: MessageId::new(ProcessId::new(2), 4),
+                    config: cfg.id,
+                    service: Service::Agreed,
+                    seq: 11,
+                },
+            ),
+            (SimTime::from_ticks(9), EvsEvent::Fail { config: cfg.id }),
+        ];
+        for (t, ev) in &events {
+            let mut line = String::new();
+            format_event(&mut line, *t, ev);
+            assert!(!line.contains('\n'), "one event, one line");
+            let (bt, bev) = parse_event(&line, 1).expect("parses");
+            assert_eq!((bt, &bev), (*t, ev));
+        }
+        assert!(parse_event("@5 zap R1.0", 3).is_err());
     }
 
     #[test]

@@ -58,7 +58,7 @@ impl Default for AnomalyConfig {
 pub struct Anomaly {
     /// Stable kind tag ("stuck_recovery", "token_starvation",
     /// "hole_request_storm", "obligation_growth", "undelivered_message",
-    /// "unstamped_message", "retransmission_storm").
+    /// "unstamped_message", "retransmission_storm", "silent_state_loss").
     pub kind: &'static str,
     /// The process concerned, if the symptom is per-process.
     pub pid: Option<u32>,
@@ -116,6 +116,7 @@ impl Anomaly {
             "undelivered_message",
             "unstamped_message",
             "retransmission_storm",
+            "silent_state_loss",
         ];
         let kind = v.get("kind")?.as_str()?;
         Some(Anomaly {
@@ -145,7 +146,37 @@ pub fn detect(
     obligation_growth(tl, cfg, &mut out);
     message_lifecycle_gaps(messages, &mut out);
     retransmission_storms(tl, cfg, &mut out);
+    silent_state_loss(tl, &mut out);
     out
+}
+
+fn silent_state_loss(tl: &Timeline, out: &mut Vec<Anomaly>) {
+    // A recovery that found a write-ahead log on disk but replayed nothing
+    // from it rebuilt the process from scratch while persisted state sat
+    // unread — exactly the failure mode durable storage exists to prevent.
+    // (No WAL at all is a legitimate first boot; a snapshot with zero
+    // trailing records is a freshly-compacted log.)
+    for e in &tl.entries {
+        if let TelemetryEvent::StorageRecovered {
+            records,
+            snapshot,
+            wal,
+        } = e.event
+        {
+            if wal && !snapshot && records == 0 {
+                out.push(Anomaly {
+                    kind: "silent_state_loss",
+                    pid: Some(e.pid),
+                    epoch: None,
+                    detail: format!(
+                        "recovery at t={} found a write-ahead log but replayed \
+                         0 records and no snapshot; persisted state was ignored",
+                        e.at
+                    ),
+                });
+            }
+        }
+    }
 }
 
 fn stuck_recovery(configs: &[ConfigSpan], out: &mut Vec<Anomaly>) {
@@ -586,6 +617,38 @@ mod tests {
             !anomalies.iter().any(|x| x.kind == "retransmission_storm"),
             "{anomalies:?}"
         );
+    }
+
+    #[test]
+    fn detects_silent_state_loss_but_not_fresh_boot() {
+        let detect_one = |records: u64, snapshot: bool, wal: bool| {
+            let t = Telemetry::enabled(1);
+            t.record(
+                5,
+                TelemetryEvent::StorageRecovered {
+                    records,
+                    snapshot,
+                    wal,
+                },
+            );
+            let tl = Timeline::from_handles([&t]);
+            detect(&tl, &[], &[], &AnomalyConfig::default())
+        };
+        // WAL present, nothing replayed, no snapshot: persisted state was
+        // silently dropped.
+        let anomalies = detect_one(0, false, true);
+        assert!(
+            anomalies
+                .iter()
+                .any(|a| a.kind == "silent_state_loss" && a.pid == Some(1)),
+            "{anomalies:?}"
+        );
+        // First boot (no WAL at all) is fine.
+        assert!(detect_one(0, false, false).is_empty());
+        // Freshly-compacted log: snapshot carried the state.
+        assert!(detect_one(0, true, true).is_empty());
+        // Normal replay.
+        assert!(detect_one(7, false, true).is_empty());
     }
 
     #[test]

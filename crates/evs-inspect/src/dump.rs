@@ -155,6 +155,16 @@ pub fn event_to_json(rec: &RecordedEvent) -> String {
             out.push_str(",\"key\":");
             push_json_string(&mut out, key);
         }
+        TelemetryEvent::StorageRecovered {
+            records,
+            snapshot,
+            wal,
+        } => {
+            let _ = write!(
+                out,
+                ",\"records\":{records},\"snapshot\":{snapshot},\"wal\":{wal}"
+            );
+        }
         TelemetryEvent::LinkPacketDropped { from, to }
         | TelemetryEvent::LinkPacketDuplicated { from, to } => {
             let _ = write!(out, ",\"from\":{from},\"to\":{to}");
@@ -329,6 +339,11 @@ pub fn event_from_json(v: &Value) -> Option<RecordedEvent> {
         },
         names::STABLE_WRITES => TelemetryEvent::StableWrite {
             key: intern(v, "key", STABLE_KEYS)?,
+        },
+        names::STORAGE_RECOVERIES => TelemetryEvent::StorageRecovered {
+            records: get_u64(v, "records")?,
+            snapshot: get_bool(v, "snapshot")?,
+            wal: get_bool(v, "wal")?,
         },
         names::LINK_DROPS => TelemetryEvent::LinkPacketDropped {
             from: get_u32(v, "from")?,
@@ -521,6 +536,11 @@ mod tests {
             TelemetryEvent::RecoveryStepExited { step: 6, epoch: 2 },
             TelemetryEvent::ObligationSetSize { size: 5 },
             TelemetryEvent::StableWrite { key: "evs-engine" },
+            TelemetryEvent::StorageRecovered {
+                records: 12,
+                snapshot: true,
+                wal: true,
+            },
             TelemetryEvent::LinkPacketDropped { from: 0, to: 1 },
             TelemetryEvent::LinkPacketDelayed {
                 from: 0,

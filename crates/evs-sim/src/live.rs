@@ -111,6 +111,7 @@ pub type NodeResult<N> = (N, Vec<(SimTime, <N as Node>::Ev)>);
 enum Packet<N: Node> {
     Deliver { from: ProcessId, msg: N::Msg },
     Crash,
+    Kill,
     Recover,
     Invoke(NodeFn<N>),
     Inspect(InspectFn<N>),
@@ -338,6 +339,16 @@ impl<N: Node> Worker<N> {
                         self.node.on_crash(&mut ctx);
                     }
                 }
+                Ok(Packet::Kill) => {
+                    // `kill -9`: no farewell callback — only state the node
+                    // journaled while running survives to the recover.
+                    if self.alive {
+                        self.alive = false;
+                        self.timers.clear();
+                        self.cancelled.clear();
+                        self.holdback.clear();
+                    }
+                }
                 Ok(Packet::Recover) => {
                     if !self.alive {
                         self.alive = true;
@@ -544,6 +555,14 @@ where
     /// Recovers a crashed node under the same identifier.
     pub fn recover(&self, p: ProcessId) {
         let _ = self.shared.senders[p.as_usize()].send(Packet::Recover);
+    }
+
+    /// Kills `p` outright (`kill -9`): unlike [`LiveNet::crash`] the node
+    /// gets no `on_crash` callback, so only state it already journaled
+    /// (e.g. a write-ahead log) is available to a later
+    /// [`LiveNet::recover`].
+    pub fn kill(&self, p: ProcessId) {
+        let _ = self.shared.senders[p.as_usize()].send(Packet::Kill);
     }
 
     /// Runs a closure on the node's thread (e.g. to submit a message).

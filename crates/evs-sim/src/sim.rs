@@ -71,6 +71,11 @@ pub enum Action<N: Node> {
     /// Crash a process: volatile state and pending timers are lost, stable
     /// storage and the trace survive.
     Crash(ProcessId),
+    /// Kill a process outright (`kill -9`): like [`Action::Crash`] but the
+    /// node gets **no** `on_crash` callback — no final trace event, no
+    /// last-moment stable write. Only state the node already journaled
+    /// (e.g. a write-ahead log) survives.
+    Kill(ProcessId),
     /// Recover a previously crashed process under the same identifier.
     Recover(ProcessId),
     /// Change the packet-loss probability from this point on.
@@ -90,6 +95,7 @@ impl<N: Node> std::fmt::Debug for Action<N> {
             Action::Merge(bridge) => f.debug_tuple("Merge").field(bridge).finish(),
             Action::MergeAll => write!(f, "MergeAll"),
             Action::Crash(p) => f.debug_tuple("Crash").field(p).finish(),
+            Action::Kill(p) => f.debug_tuple("Kill").field(p).finish(),
             Action::Recover(p) => f.debug_tuple("Recover").field(p).finish(),
             Action::SetDropProb(q) => f.debug_tuple("SetDropProb").field(q).finish(),
             Action::SetLatency(lo, hi) => f.debug_tuple("SetLatency").field(lo).field(hi).finish(),
@@ -415,6 +421,7 @@ impl<N: Node> Sim<N> {
                 self.cfg.latency_max = hi;
             }
             Action::Crash(p) => self.crash(p),
+            Action::Kill(p) => self.kill(p),
             Action::Recover(p) => self.recover(p),
             Action::Invoke(p, f) => {
                 if self.slots[p.as_usize()].alive {
@@ -446,6 +453,20 @@ impl<N: Node> Sim<N> {
             telemetry: slot.telemetry.clone(),
         };
         slot.node.on_crash(&mut ctx);
+    }
+
+    /// Kills `p` immediately with **no** `on_crash` callback, modeling
+    /// `kill -9`: the node cannot write a farewell to stable storage or
+    /// the trace. Whatever it journaled while running is all a later
+    /// [`Sim::recover`] gets. No-op if already down.
+    pub fn kill(&mut self, p: ProcessId) {
+        let slot = &mut self.slots[p.as_usize()];
+        if !slot.alive {
+            return;
+        }
+        slot.alive = false;
+        slot.epoch += 1; // invalidates all pending timers
+        slot.cancelled.clear();
     }
 
     /// Recovers `p` immediately under the same identifier, handing its

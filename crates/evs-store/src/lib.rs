@@ -1,0 +1,611 @@
+//! Durable stable storage for the extended-virtual-synchrony stack.
+//!
+//! §2 of the paper assumes that a failed process "may subsequently recover
+//! with its stable storage intact". This crate is that stable storage: a
+//! write-ahead log plus snapshot store behind the minimal [`Storage`]
+//! trait (`append`, `sync`, `snapshot`, `replay`). Two implementations are
+//! provided:
+//!
+//! * [`FileStorage`] — an on-disk WAL with CRC-checked, length-delimited
+//!   records, segment rotation, snapshot-triggered compaction, and
+//!   torn-write truncation on replay (a partial tail record — the signature
+//!   of a `kill -9` mid-write — is discarded, never a panic and never an
+//!   error).
+//! * [`NullStorage`] — an in-memory stand-in with identical semantics,
+//!   keeping the deterministic simulator and the benchmarks allocation-only
+//!   while still exercising every persist point.
+//!
+//! The record format is `[len: u32 LE][crc32: u32 LE][payload]`. The CRC
+//! covers the payload only; the length field is validated against a hard
+//! ceiling ([`MAX_RECORD`]) so a corrupt length can never trigger an
+//! absurd allocation. Replay accepts the longest clean prefix of the log
+//! and reports how many bytes it had to discard.
+//!
+//! This crate is deliberately std-only with no dependencies: it sits at
+//! the bottom of the workspace next to `evs-telemetry`, so every layer can
+//! persist through it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Hard ceiling on a single record's payload (16 MiB). A corrupt length
+/// field larger than this marks the record — and everything after it — as
+/// torn.
+pub const MAX_RECORD: usize = 1 << 24;
+
+/// Bytes of framing per record: a `u32` length plus a `u32` CRC.
+pub const RECORD_HEADER: usize = 8;
+
+/// Default segment-rotation threshold for [`FileStorage`] (256 KiB).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 256 * 1024;
+
+// ---- CRC-32 (IEEE 802.3 polynomial, the one everyone means) ----
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of a byte slice — the checksum stored in every record
+/// header. Public so tests and tools can verify frames independently.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frames one record (`[len][crc][payload]`) into `out`.
+pub fn encode_record(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_RECORD, "record over MAX_RECORD");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// The longest clean prefix of a log buffer, decoded.
+///
+/// Scanning never fails: a truncated header, a length over [`MAX_RECORD`],
+/// a payload shorter than its length field, or a CRC mismatch all simply
+/// end the clean prefix there. `clean_len` is the byte offset of the first
+/// unusable byte — everything before it decoded, everything from it on is
+/// torn or corrupt.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Scan {
+    /// Every fully-validated record payload, in log order.
+    pub records: Vec<Vec<u8>>,
+    /// Length of the clean prefix in bytes.
+    pub clean_len: usize,
+}
+
+/// Decodes the longest clean prefix of `bytes` as a sequence of framed
+/// records. See [`Scan`] for the torn-tail semantics.
+pub fn scan_records(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= RECORD_HEADER {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD || bytes.len() - at - RECORD_HEADER < len {
+            break;
+        }
+        let payload = &bytes[at + RECORD_HEADER..at + RECORD_HEADER + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        records.push(payload.to_vec());
+        at += RECORD_HEADER + len;
+    }
+    Scan {
+        records,
+        clean_len: at,
+    }
+}
+
+/// Everything a [`Storage::replay`] recovered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Replay {
+    /// The most recent snapshot, if one was ever taken (and is intact).
+    pub snapshot: Option<Vec<u8>>,
+    /// Every record appended after that snapshot, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// True if the medium held any persisted state at all — a snapshot
+    /// file or at least one log segment, even a fully torn one. The
+    /// `silent_state_loss` anomaly detector keys on `wal_present` with no
+    /// snapshot and zero records: storage existed but nothing replayed.
+    pub wal_present: bool,
+    /// Bytes discarded as torn or corrupt (partial tail writes).
+    pub torn_bytes: u64,
+}
+
+impl Replay {
+    /// True if nothing was recovered (fresh medium, or everything torn).
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_none() && self.records.is_empty()
+    }
+}
+
+/// The paper's stable storage: an append-only log with snapshots.
+///
+/// The contract every implementation upholds:
+///
+/// * `append` stages a record; after `sync` returns, every record appended
+///   so far survives process death ([`FileStorage`] additionally writes
+///   through to the operating system on every append, so a `kill -9`
+///   loses at most the record being written — never a synced one).
+/// * `snapshot` atomically replaces the entire log with one state blob:
+///   a subsequent `replay` returns that blob plus only the records
+///   appended after it (log compaction).
+/// * `replay` never fails on torn or corrupt data — it returns the
+///   longest clean prefix and truncates the damage away.
+pub trait Storage: Send {
+    /// Appends one record to the log.
+    fn append(&mut self, record: &[u8]) -> io::Result<()>;
+
+    /// Forces everything appended so far to durable storage.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Replaces the log with a single state blob (compaction point).
+    fn snapshot(&mut self, state: &[u8]) -> io::Result<()>;
+
+    /// Recovers the snapshot and the post-snapshot records.
+    fn replay(&mut self) -> io::Result<Replay>;
+}
+
+/// In-memory [`Storage`]: identical semantics, no I/O.
+///
+/// The deterministic simulator keeps each node object alive across a
+/// simulated crash, so an in-memory log is a faithful model of a disk that
+/// survived the process — while the hot path stays a `Vec` push.
+#[derive(Clone, Debug, Default)]
+pub struct NullStorage {
+    snapshot: Option<Vec<u8>>,
+    records: Vec<Vec<u8>>,
+}
+
+impl NullStorage {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Storage for NullStorage {
+    fn append(&mut self, record: &[u8]) -> io::Result<()> {
+        self.records.push(record.to_vec());
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn snapshot(&mut self, state: &[u8]) -> io::Result<()> {
+        self.snapshot = Some(state.to_vec());
+        self.records.clear();
+        Ok(())
+    }
+
+    fn replay(&mut self) -> io::Result<Replay> {
+        Ok(Replay {
+            snapshot: self.snapshot.clone(),
+            records: self.records.clone(),
+            wal_present: self.snapshot.is_some() || !self.records.is_empty(),
+            torn_bytes: 0,
+        })
+    }
+}
+
+/// Name of the snapshot blob inside a [`FileStorage`] directory.
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// On-disk write-ahead log: one directory per process.
+///
+/// Layout: `wal-<seq>.log` segments (monotone `seq`, rotated at
+/// [`DEFAULT_SEGMENT_BYTES`]) plus an optional `snapshot.bin`. Every open
+/// starts a fresh segment, so an incarnation never appends behind a torn
+/// tail; replay truncates torn tails in place and ignores segments past
+/// the first damage.
+///
+/// Appends are unbuffered `write(2)` calls: once `append` returns, the
+/// bytes are in the operating system and survive `kill -9`. `sync` adds
+/// the `fdatasync` that survives machine death — the engine calls it at
+/// the paper's §3 recovery-step boundaries.
+#[derive(Debug)]
+pub struct FileStorage {
+    dir: PathBuf,
+    active: Option<File>,
+    active_seq: u64,
+    active_len: u64,
+    segment_bytes: u64,
+    scratch: Vec<u8>,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Self::with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`FileStorage::open`] with a custom rotation threshold (tests use a
+    /// tiny one to force rotation quickly).
+    pub fn with_segment_bytes(dir: impl AsRef<Path>, segment_bytes: u64) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let next_seq = segment_seqs(&dir)?.last().map_or(0, |s| s + 1);
+        Ok(FileStorage {
+            dir,
+            active: None,
+            active_seq: next_seq,
+            active_len: 0,
+            segment_bytes: segment_bytes.max(1),
+            scratch: Vec::with_capacity(256),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segment_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("wal-{seq}.log"))
+    }
+
+    fn active_file(&mut self) -> io::Result<&mut File> {
+        if self.active.is_none() {
+            let path = self.segment_path(self.active_seq);
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            self.active_len = file.metadata()?.len();
+            self.active = Some(file);
+        }
+        Ok(self.active.as_mut().expect("opened above"))
+    }
+}
+
+/// Segment sequence numbers present in `dir`, ascending.
+fn segment_seqs(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(seq) = name
+                    .strip_prefix("wal-")
+                    .and_then(|rest| rest.strip_suffix(".log"))
+                    .and_then(|n| n.parse::<u64>().ok())
+                {
+                    seqs.push(seq);
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+impl Storage for FileStorage {
+    fn append(&mut self, record: &[u8]) -> io::Result<()> {
+        let mut frame = std::mem::take(&mut self.scratch);
+        frame.clear();
+        encode_record(record, &mut frame);
+        let file = self.active_file()?;
+        let result = file.write_all(&frame);
+        let grew = frame.len() as u64;
+        self.scratch = frame;
+        result?;
+        self.active_len += grew;
+        if self.active_len >= self.segment_bytes {
+            // Rotate: the next append opens a fresh segment.
+            self.active = None;
+            self.active_seq += 1;
+            self.active_len = 0;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if let Some(file) = &mut self.active {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&mut self, state: &[u8]) -> io::Result<()> {
+        // Write-new-then-rename keeps a snapshot intact or absent, never
+        // half-written; only after the rename lands are the old segments
+        // compacted away.
+        let tmp = self.dir.join("snapshot.tmp");
+        let mut frame = std::mem::take(&mut self.scratch);
+        frame.clear();
+        encode_record(state, &mut frame);
+        let result = (|| {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&frame)?;
+            file.sync_data()?;
+            fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))
+        })();
+        self.scratch = frame;
+        result?;
+        let retired = segment_seqs(&self.dir)?;
+        self.active = None;
+        self.active_seq = retired.last().map_or(0, |s| s + 1);
+        self.active_len = 0;
+        for seq in retired {
+            fs::remove_file(self.segment_path(seq))?;
+        }
+        Ok(())
+    }
+
+    fn replay(&mut self) -> io::Result<Replay> {
+        let mut replay = Replay::default();
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        match fs::read(&snap_path) {
+            Ok(bytes) => {
+                replay.wal_present = true;
+                let mut scan = scan_records(&bytes);
+                replay.torn_bytes += (bytes.len() - scan.clean_len) as u64;
+                // The snapshot file holds exactly one record by
+                // construction; anything else is damage.
+                if !scan.records.is_empty() {
+                    replay.snapshot = Some(scan.records.swap_remove(0));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        for seq in segment_seqs(&self.dir)? {
+            let path = self.segment_path(seq);
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            replay.wal_present = true;
+            let scan = scan_records(&bytes);
+            replay.records.extend(scan.records);
+            if scan.clean_len < bytes.len() {
+                // Torn tail: truncate the damage away so the next replay
+                // sees a clean log, and ignore any later segment — it was
+                // written after the corruption and cannot be trusted to
+                // follow a record we discarded.
+                replay.torn_bytes += (bytes.len() - scan.clean_len) as u64;
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(scan.clean_len as u64)?;
+                break;
+            }
+        }
+        Ok(replay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory under the target tmpdir, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let n = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("evs-store-{tag}-{}-{n}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn recs(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("record-{i}-{}", "x".repeat(i % 7)).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn null_storage_round_trips_and_compacts() {
+        let mut s = NullStorage::new();
+        assert!(s.replay().unwrap().is_empty());
+        s.append(b"a").unwrap();
+        s.append(b"b").unwrap();
+        let r = s.replay().unwrap();
+        assert_eq!(r.records, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert!(r.wal_present);
+        s.snapshot(b"state").unwrap();
+        s.append(b"c").unwrap();
+        let r = s.replay().unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(&b"state"[..]));
+        assert_eq!(r.records, vec![b"c".to_vec()]);
+    }
+
+    #[test]
+    fn file_storage_round_trips_across_reopen() {
+        let dir = TempDir::new("roundtrip");
+        let records = recs(10);
+        {
+            let mut s = FileStorage::open(dir.path()).unwrap();
+            for r in &records {
+                s.append(r).unwrap();
+            }
+            s.sync().unwrap();
+        }
+        // A fresh incarnation — the real recovery path.
+        let mut s = FileStorage::open(dir.path()).unwrap();
+        let r = s.replay().unwrap();
+        assert_eq!(r.records, records);
+        assert!(r.wal_present);
+        assert_eq!(r.torn_bytes, 0);
+        // And it keeps appending in a new segment without disturbing the old.
+        s.append(b"after").unwrap();
+        let r = s.replay().unwrap();
+        assert_eq!(r.records.len(), records.len() + 1);
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_in_order() {
+        let dir = TempDir::new("rotate");
+        let mut s = FileStorage::with_segment_bytes(dir.path(), 64).unwrap();
+        let records = recs(40);
+        for r in &records {
+            s.append(r).unwrap();
+        }
+        let segs = segment_seqs(dir.path()).unwrap();
+        assert!(segs.len() > 1, "tiny threshold must rotate: {segs:?}");
+        assert_eq!(s.replay().unwrap().records, records);
+    }
+
+    #[test]
+    fn snapshot_compacts_the_log() {
+        let dir = TempDir::new("compact");
+        let mut s = FileStorage::with_segment_bytes(dir.path(), 64).unwrap();
+        for r in recs(20) {
+            s.append(&r).unwrap();
+        }
+        s.snapshot(b"the-state").unwrap();
+        assert!(
+            segment_seqs(dir.path()).unwrap().is_empty(),
+            "snapshot retires every segment"
+        );
+        s.append(b"post-snap").unwrap();
+        let r = s.replay().unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(&b"the-state"[..]));
+        assert_eq!(r.records, vec![b"post-snap".to_vec()]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_byte_boundary() {
+        // Build one clean segment, then replay every possible truncation
+        // of it: each must yield a clean prefix of the records, never an
+        // error, and repair the file so the next replay agrees.
+        let records = recs(8);
+        let mut log = Vec::new();
+        let mut ends = Vec::new(); // clean prefix length after record i
+        for r in &records {
+            encode_record(r, &mut log);
+            ends.push(log.len());
+        }
+        for cut in 0..=log.len() {
+            let scan = scan_records(&log[..cut]);
+            let whole = ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(scan.records.len(), whole, "cut at {cut}: clean prefix only");
+            assert_eq!(scan.records, records[..whole].to_vec());
+            assert_eq!(scan.clean_len, ends[..whole].last().copied().unwrap_or(0));
+        }
+        // The on-disk path agrees with the in-memory scan, and truncation
+        // repairs the file in place.
+        let dir = TempDir::new("torn");
+        fs::create_dir_all(dir.path()).unwrap();
+        let cut = ends[4] + 3; // mid-header of record 5
+        fs::write(dir.path().join("wal-0.log"), &log[..cut]).unwrap();
+        let mut s = FileStorage::open(dir.path()).unwrap();
+        let r = s.replay().unwrap();
+        assert_eq!(r.records, records[..5].to_vec());
+        assert_eq!(r.torn_bytes, 3);
+        assert!(r.wal_present);
+        let repaired = fs::read(dir.path().join("wal-0.log")).unwrap();
+        assert_eq!(repaired.len(), ends[4], "torn tail truncated in place");
+        assert_eq!(s.replay().unwrap().torn_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_crc_ends_the_clean_prefix() {
+        let records = recs(6);
+        let mut log = Vec::new();
+        for r in &records {
+            encode_record(r, &mut log);
+        }
+        // Flip one payload byte of record 3.
+        let mut at = 0;
+        for r in records.iter().take(3) {
+            at += RECORD_HEADER + r.len();
+        }
+        let mut bad = log.clone();
+        bad[at + RECORD_HEADER] ^= 0xFF;
+        let scan = scan_records(&bad);
+        assert_eq!(scan.records, records[..3].to_vec());
+        assert_eq!(scan.clean_len, at);
+    }
+
+    #[test]
+    fn oversized_length_field_is_damage_not_allocation() {
+        let mut log = Vec::new();
+        encode_record(b"fine", &mut log);
+        let at = log.len();
+        log.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        log.extend_from_slice(&[0; 12]);
+        let scan = scan_records(&log);
+        assert_eq!(scan.records, vec![b"fine".to_vec()]);
+        assert_eq!(scan.clean_len, at);
+    }
+
+    #[test]
+    fn torn_segment_shadows_later_segments() {
+        // A corrupted middle segment must end replay — records in later
+        // segments may depend on ones the damage swallowed.
+        let dir = TempDir::new("shadow");
+        fs::create_dir_all(dir.path()).unwrap();
+        let mut seg = Vec::new();
+        encode_record(b"one", &mut seg);
+        fs::write(dir.path().join("wal-0.log"), &seg).unwrap();
+        fs::write(dir.path().join("wal-1.log"), b"\x07garbage").unwrap();
+        let mut seg2 = Vec::new();
+        encode_record(b"three", &mut seg2);
+        fs::write(dir.path().join("wal-2.log"), &seg2).unwrap();
+        let mut s = FileStorage::open(dir.path()).unwrap();
+        let r = s.replay().unwrap();
+        assert_eq!(r.records, vec![b"one".to_vec()]);
+        assert!(r.torn_bytes > 0);
+    }
+
+    #[test]
+    fn fresh_directory_replays_empty() {
+        let dir = TempDir::new("fresh");
+        let mut s = FileStorage::open(dir.path()).unwrap();
+        let r = s.replay().unwrap();
+        assert!(r.is_empty());
+        assert!(!r.wal_present);
+    }
+}

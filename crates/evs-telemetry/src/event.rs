@@ -196,6 +196,19 @@ pub enum TelemetryEvent {
         /// The stable-storage key written.
         key: &'static str,
     },
+    /// A recovering process rebuilt its engine state from durable stable
+    /// storage (the write-ahead log and/or a snapshot). `records == 0`
+    /// with `wal == true` and no snapshot means storage was present but
+    /// nothing replayed — the silent-state-loss signature `evs-inspect`
+    /// flags.
+    StorageRecovered {
+        /// Write-ahead-log records replayed into the engine.
+        records: u64,
+        /// True if a snapshot blob seeded the replay.
+        snapshot: bool,
+        /// True if the storage medium held any persisted state at all.
+        wal: bool,
+    },
 
     // ---- evs-sim: the live driver's per-link fault layer ----
     /// The receiving delivery thread dropped a packet under the link's
@@ -264,7 +277,7 @@ pub enum TelemetryEvent {
 impl TelemetryEvent {
     /// Number of event kinds — the length of [`TelemetryEvent::KIND_NAMES`]
     /// and the exclusive upper bound of [`TelemetryEvent::kind`].
-    pub const KINDS: usize = 26;
+    pub const KINDS: usize = 27;
 
     /// Counter name per kind, indexed by [`TelemetryEvent::kind`]. Every
     /// name is a constant of [`crate::names`].
@@ -288,6 +301,7 @@ impl TelemetryEvent {
         names::RECOVERY_STEPS_EXITED,
         names::OBLIGATION_SET_SAMPLES,
         names::STABLE_WRITES,
+        names::STORAGE_RECOVERIES,
         names::LINK_DROPS,
         names::LINK_DELAYS,
         names::LINK_DUPLICATES,
@@ -324,13 +338,14 @@ impl TelemetryEvent {
             TelemetryEvent::RecoveryStepExited { .. } => 16,
             TelemetryEvent::ObligationSetSize { .. } => 17,
             TelemetryEvent::StableWrite { .. } => 18,
-            TelemetryEvent::LinkPacketDropped { .. } => 19,
-            TelemetryEvent::LinkPacketDelayed { .. } => 20,
-            TelemetryEvent::LinkPacketDuplicated { .. } => 21,
-            TelemetryEvent::ChaosRunExecuted { .. } => 22,
-            TelemetryEvent::ChaosViolationFound { .. } => 23,
-            TelemetryEvent::ChaosPlanShrunk { .. } => 24,
-            TelemetryEvent::ChaosProgress { .. } => 25,
+            TelemetryEvent::StorageRecovered { .. } => 19,
+            TelemetryEvent::LinkPacketDropped { .. } => 20,
+            TelemetryEvent::LinkPacketDelayed { .. } => 21,
+            TelemetryEvent::LinkPacketDuplicated { .. } => 22,
+            TelemetryEvent::ChaosRunExecuted { .. } => 23,
+            TelemetryEvent::ChaosViolationFound { .. } => 24,
+            TelemetryEvent::ChaosPlanShrunk { .. } => 25,
+            TelemetryEvent::ChaosProgress { .. } => 26,
         }
     }
 
@@ -360,6 +375,7 @@ impl TelemetryEvent {
                 | TelemetryEvent::RecoveryStepExited { .. }
                 | TelemetryEvent::ObligationSetSize { .. }
                 | TelemetryEvent::StableWrite { .. }
+                | TelemetryEvent::StorageRecovered { .. }
         )
     }
 }
@@ -491,6 +507,18 @@ impl fmt::Display for TelemetryEvent {
             }
             TelemetryEvent::StableWrite { key } => {
                 write!(f, "stable-storage write ({key})")
+            }
+            TelemetryEvent::StorageRecovered {
+                records,
+                snapshot,
+                wal,
+            } => {
+                let seed = if *snapshot { "snapshot + " } else { "" };
+                let medium = if *wal { "" } else { " (no wal present)" };
+                write!(
+                    f,
+                    "recovered from stable storage ({seed}{records} wal record(s)){medium}"
+                )
             }
             TelemetryEvent::LinkPacketDropped { from, to } => {
                 write!(f, "link fault dropped packet P{from} -> P{to}")

@@ -76,6 +76,20 @@ pub const DELIVERY_LATENCY_AGREED: &str = "delivery_latency_agreed";
 /// safe-service messages.
 pub const DELIVERY_LATENCY_SAFE: &str = "delivery_latency_safe";
 
+// ---- evs-store: durable stable storage (WAL + snapshots) ----
+
+/// Records appended to the write-ahead log.
+pub const WAL_APPENDS: &str = "wal_appends";
+/// Durability barriers (`fdatasync`) forced on the write-ahead log.
+pub const WAL_SYNCS: &str = "wal_syncs";
+/// Records replayed from the write-ahead log during a recovery.
+pub const WAL_REPLAY_RECORDS: &str = "wal_replay_records";
+/// Snapshots written (each one compacts the log).
+pub const SNAPSHOT_WRITES: &str = "snapshot_writes";
+/// Recoveries that rebuilt engine state from stable storage
+/// ([`StorageRecovered`](crate::TelemetryEvent::StorageRecovered)).
+pub const STORAGE_RECOVERIES: &str = "storage_recoveries";
+
 // ---- evs-sim: the live driver's per-link fault layer ----
 
 /// Packets dropped by a live link's fault policy.

@@ -22,8 +22,9 @@
 //! component, §5 VS reduction). `--jobs N` stripes the seeds across N
 //! worker threads; the merged stats and artifacts are identical to a
 //! sequential sweep. On failure the plan is delta-debugged down to a minimal
-//! counterexample and written to `chaos-repro-<seed>.txt`; replay it later
-//! with `--replay`. `--self-test` (requires the `chaos-mutation` feature)
+//! counterexample and written to `chaos-artifacts/chaos-repro-<seed>.txt`;
+//! replay it later with `--replay`. `--kill-chaos` swaps in the durability
+//! mix (process kills with no farewell callback plus WAL restarts). `--self-test` (requires the `chaos-mutation` feature)
 //! proves the pipeline end to end by hunting a deliberately broken engine.
 
 use evs::chaos::{
@@ -46,10 +47,12 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S] [--iters K] [--n N] [--mix KIND=WEIGHT]...\n\
-         \x20            [--hunting] [--jobs N] [--live] [--keep-going] [--replay FILE] [--self-test]\n\
+         \x20            [--hunting] [--kill-chaos] [--jobs N] [--live] [--keep-going]\n\
+         \x20            [--replay FILE] [--self-test]\n\
          \n\
-         KIND is one of: split merge crash recover drop delay mcast run\n\
+         KIND is one of: split merge crash recover kill restart drop delay mcast run\n\
          --hunting selects the loss-heavy mix (overridden by later --mix flags)\n\
+         --kill-chaos selects the durability mix (kill -9 / WAL-restart heavy)\n\
          --self-test requires building with --features chaos-mutation"
     );
     std::process::exit(2)
@@ -92,6 +95,7 @@ fn parse_args() -> Args {
                 }
             }
             "--hunting" => args.gen_cfg.mix = evs::chaos::FaultMix::hunting(),
+            "--kill-chaos" => args.gen_cfg.mix = evs::chaos::FaultMix::kill_chaos(),
             "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--live" => args.live = true,
             "--replay" => args.replay = Some(value("--replay")),
@@ -108,10 +112,18 @@ fn parse_args() -> Args {
 }
 
 fn write_artifact(ce: &CounterExample) {
-    let path = format!("chaos-repro-{}.txt", ce.seed);
+    // Every on-disk artifact the chaos tooling produces — repro plans
+    // here, telemetry dumps from the UDP kill harness — lands under one
+    // directory, so a post-mortem has a single place to look.
+    let dir = std::path::Path::new("chaos-artifacts");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("  could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("chaos-repro-{}.txt", ce.seed));
     match std::fs::write(&path, ce.artifact()) {
-        Ok(()) => eprintln!("  repro artifact written to {path}"),
-        Err(e) => eprintln!("  could not write {path}: {e}"),
+        Ok(()) => eprintln!("  repro artifact written to {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
     }
 }
 

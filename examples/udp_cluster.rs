@@ -1,19 +1,39 @@
-//! The EVS stack over real UDP sockets.
+//! The EVS stack over real UDP sockets, with real process-kill recovery.
 //!
-//! Run with:
+//! Three modes:
 //!
 //! ```text
-//! cargo run --example udp_cluster
+//! cargo run --example udp_cluster                  # in-process demo (3 threads)
+//! cargo run --example udp_cluster -- --orchestrate [seed]
+//! cargo run --example udp_cluster -- --child <i> --ports <p0,p1,..> --dir <D>
 //! ```
 //!
-//! Everything else in this repository drives the protocol through the
-//! simulator or in-process channels; this example closes the loop to an
-//! actual datagram transport: each process gets its own UDP socket on
-//! loopback, frames are serialized with `evs_core::wire`, broadcast is a
-//! unicast fan-out to the peer ports (what Totem calls operating "over a
-//! broadcast domain" degrades gracefully to this), and timers run on real
-//! time. At the end, the collected traces — from a genuinely networked
-//! execution — are verified against the paper's specifications.
+//! The no-argument demo is the original loopback exercise: each process
+//! gets its own UDP socket, frames are serialized with `evs_core::wire`,
+//! broadcast is a unicast fan-out to the peer ports, and timers run on
+//! real time. At the end the collected traces — from a genuinely
+//! networked execution — are verified against the paper's specifications.
+//!
+//! `--orchestrate` closes the last gap between the repository and the
+//! paper's §2 failure model ("a processor that fails may subsequently
+//! recover with its stable storage intact"): every group member is a real
+//! OS process (`--child`) journaling protocol state to an on-disk
+//! write-ahead log (`evs_store::FileStorage`) and its trace to a durable
+//! per-process journal. Mid-traffic the orchestrator delivers `SIGKILL` —
+//! no destructor, no farewell callback, nothing flushed — then respawns
+//! the same command line. The reincarnated process rebuilds from the WAL
+//! alone: it emits the `fail_p(c)` it never got to record, skips its
+//! message-id lease so identifiers are never reused (Spec 1.4), and
+//! rejoins. Afterwards the orchestrator reassembles the per-process
+//! journals (dropping at most one torn final line each) and runs the full
+//! conformance suite: Specifications 1.1–7.2, the primary-component
+//! properties, and the §5 reduction to virtual synchrony.
+//!
+//! Children treat datagrams from non-member sources as control traffic
+//! when they carry the `EVSC` magic (submit / inspect / shutdown); the
+//! journal is written *before* any datagram of the same dispatch leaves
+//! the socket, so no effect of an event can be observed remotely unless
+//! the event itself survives the kill.
 //!
 //! The send path is allocation-free in steady state: every frame is
 //! encoded once into a per-worker scratch buffer ([`wire::encode_into`])
@@ -23,10 +43,16 @@
 //! message.
 
 use bytes::BytesMut;
-use evs::core::{checker, wire, EvsEvent, EvsParams, EvsProcess, Payload, Service, Trace};
+use evs::core::{
+    checker, trace_io, wire, EvsEvent, EvsParams, EvsProcess, Payload, Service, Trace,
+};
 use evs::sim::{Ctx, Effect, Node, ProcessId, SimTime, StableStore, TimerKind};
+use evs::store::FileStorage;
 use evs::telemetry::{RunReport, Telemetry};
-use std::net::UdpSocket;
+use std::fs;
+use std::io::Write as _;
+use std::net::{SocketAddr, UdpSocket};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -38,7 +64,16 @@ const N: usize = 3;
 /// (65,507 bytes); a datagram is flushed early rather than grown past this.
 const MAX_DATAGRAM: usize = 60_000;
 
-/// Commands the main thread sends to a node thread.
+/// Magic prefix marking orchestrator→child control datagrams. Anything
+/// from an address that is not a group member and does not start with
+/// this is ignored.
+const CONTROL_MAGIC: &[u8; 4] = b"EVSC";
+
+/// A child process exits on its own after this long, so an orchestrator
+/// that dies mid-run cannot leak workers forever.
+const CHILD_MAX_LIFETIME: Duration = Duration::from_secs(300);
+
+/// Commands the main thread sends to a node thread (in-process demo).
 enum Command {
     Submit(Service, Payload),
     Inspect(mpsc::Sender<(bool, usize, Vec<String>)>),
@@ -49,10 +84,20 @@ struct UdpWorker {
     me: ProcessId,
     node: EvsProcess<Payload>,
     socket: UdpSocket,
-    peers: Vec<std::net::SocketAddr>,
-    commands: mpsc::Receiver<Command>,
+    peers: Vec<SocketAddr>,
+    /// In-process demo control plane; `None` in `--child` mode, where the
+    /// same requests arrive as `EVSC` datagrams.
+    commands: Option<mpsc::Receiver<Command>>,
     stable: StableStore,
     trace: Vec<(SimTime, EvsEvent)>,
+    /// Durable per-process trace journal (`--child` mode): the file plus
+    /// how many `trace` entries have already been written to it.
+    journal: Option<(fs::File, usize)>,
+    /// Where this incarnation writes its telemetry dump on shutdown.
+    artifact_dir: Option<PathBuf>,
+    /// Tick offset so a reincarnation's clock resumes after its
+    /// predecessor's last journaled event instead of restarting at zero.
+    base_ticks: u64,
     next_timer_id: u64,
     timers: Vec<(Instant, evs::sim::TimerId, TimerKind)>,
     epoch: Instant,
@@ -65,7 +110,9 @@ struct UdpWorker {
 
 impl UdpWorker {
     fn now(&self) -> SimTime {
-        SimTime::from_ticks((self.epoch.elapsed().as_micros() / TICK.as_micros()) as u64)
+        SimTime::from_ticks(
+            self.base_ticks + (self.epoch.elapsed().as_micros() / TICK.as_micros()) as u64,
+        )
     }
 
     /// Appends the frame in `scratch` to `to`'s datagram, flushing first if
@@ -86,6 +133,26 @@ impl UdpWorker {
         }
     }
 
+    /// Writes any not-yet-journaled trace events to the durable journal.
+    /// Plain `write(2)` is enough to survive `SIGKILL`: the data is in the
+    /// kernel page cache the moment the call returns, and only a machine
+    /// crash (out of scope for the §2 model reproduced here) can lose it.
+    fn journal_new_events(&mut self) {
+        let Some((file, written)) = self.journal.as_mut() else {
+            return;
+        };
+        if self.trace.len() == *written {
+            return;
+        }
+        let mut batch = String::new();
+        for (t, ev) in &self.trace[*written..] {
+            trace_io::format_event(&mut batch, *t, ev);
+            batch.push('\n');
+        }
+        file.write_all(batch.as_bytes()).expect("journal write");
+        *written = self.trace.len();
+    }
+
     fn dispatch(
         &mut self,
         f: impl FnOnce(&mut EvsProcess<Payload>, &mut Ctx<'_, evs::core::EvsMsg<Payload>, EvsEvent>),
@@ -101,6 +168,9 @@ impl UdpWorker {
         );
         f(&mut self.node, &mut ctx);
         let effects = ctx.take_effects();
+        // Write-ahead ordering: the journal must hold every event this
+        // dispatch produced before any datagram it produced can leave.
+        self.journal_new_events();
         for effect in effects {
             match effect {
                 Effect::Broadcast(msg) => {
@@ -133,7 +203,48 @@ impl UdpWorker {
         }
     }
 
+    /// Handles one `EVSC` control datagram. Returns `true` on shutdown.
+    fn handle_control(&mut self, body: &[u8], from: SocketAddr) -> bool {
+        match body.first() {
+            Some(b'S') if body.len() >= 2 => {
+                let service = match body[1] {
+                    0 => Service::Causal,
+                    1 => Service::Agreed,
+                    _ => Service::Safe,
+                };
+                let payload = Payload::from(&body[2..]);
+                self.dispatch(|node, ctx| node.submit(ctx, service, payload));
+            }
+            Some(b'I') => {
+                let settled = self.node.is_settled();
+                let members = self.node.current_config().members.len();
+                let delivered = self.node.deliveries().len() as u32;
+                let mut reply = Vec::with_capacity(11);
+                reply.extend_from_slice(CONTROL_MAGIC);
+                reply.push(b'R');
+                reply.push(settled as u8);
+                reply.push(members as u8);
+                reply.extend_from_slice(&delivered.to_le_bytes());
+                let _ = self.socket.send_to(&reply, from);
+            }
+            Some(b'Q') => {
+                if let Some(dir) = self.artifact_dir.clone() {
+                    let dumps = evs::inspect::collect_dumps(std::slice::from_ref(&self.telemetry));
+                    let _ = evs::inspect::write_dumps(&dir, &dumps);
+                }
+                let mut reply = Vec::with_capacity(5);
+                reply.extend_from_slice(CONTROL_MAGIC);
+                reply.push(b'D');
+                let _ = self.socket.send_to(&reply, from);
+                return true;
+            }
+            _ => {}
+        }
+        false
+    }
+
     fn run(mut self) {
+        let born = Instant::now();
         self.dispatch(|node, ctx| node.on_start(ctx));
         let mut buf = [0u8; 65536];
         // A short receive timeout keeps timers responsive; set it once —
@@ -142,29 +253,34 @@ impl UdpWorker {
             .set_read_timeout(Some(Duration::from_micros(500)))
             .expect("set timeout");
         loop {
-            // Serve commands.
-            match self.commands.try_recv() {
-                Ok(Command::Submit(service, payload)) => {
-                    self.dispatch(|node, ctx| node.submit(ctx, service, payload));
+            if self.journal.is_some() && born.elapsed() > CHILD_MAX_LIFETIME {
+                return; // orphan guard: the orchestrator is long gone
+            }
+            // Serve commands (in-process demo mode).
+            if let Some(commands) = &self.commands {
+                match commands.try_recv() {
+                    Ok(Command::Submit(service, payload)) => {
+                        self.dispatch(|node, ctx| node.submit(ctx, service, payload));
+                    }
+                    Ok(Command::Inspect(reply)) => {
+                        let settled = self.node.is_settled();
+                        let members = self.node.current_config().members.len();
+                        let delivered: Vec<String> = self
+                            .node
+                            .deliveries()
+                            .iter()
+                            .filter_map(|d| d.payload())
+                            .map(|p| String::from_utf8_lossy(p).into_owned())
+                            .collect();
+                        let _ = reply.send((settled, members, delivered));
+                    }
+                    Ok(Command::Shutdown(reply)) => {
+                        let _ = reply.send(std::mem::take(&mut self.trace));
+                        return;
+                    }
+                    Err(mpsc::TryRecvError::Empty) => {}
+                    Err(mpsc::TryRecvError::Disconnected) => return,
                 }
-                Ok(Command::Inspect(reply)) => {
-                    let settled = self.node.is_settled();
-                    let members = self.node.current_config().members.len();
-                    let delivered: Vec<String> = self
-                        .node
-                        .deliveries()
-                        .iter()
-                        .filter_map(|d| d.payload())
-                        .map(|p| String::from_utf8_lossy(p).into_owned())
-                        .collect();
-                    let _ = reply.send((settled, members, delivered));
-                }
-                Ok(Command::Shutdown(reply)) => {
-                    let _ = reply.send(std::mem::take(&mut self.trace));
-                    return;
-                }
-                Err(mpsc::TryRecvError::Empty) => {}
-                Err(mpsc::TryRecvError::Disconnected) => return,
             }
             // Fire due timers.
             let now = Instant::now();
@@ -185,12 +301,19 @@ impl UdpWorker {
                         .iter()
                         .position(|a| *a == from_addr)
                         .map(|i| ProcessId::new(i as u32));
-                    if let (Some(from), Ok(frames)) = (from, wire::unpack_frames(&buf[..len])) {
-                        let msgs: Vec<_> =
-                            frames.iter().filter_map(|f| wire::decode(f).ok()).collect();
-                        for msg in msgs {
-                            self.dispatch(|node, ctx| node.on_message(ctx, from, msg));
+                    if let Some(from) = from {
+                        if let Ok(frames) = wire::unpack_frames(&buf[..len]) {
+                            let msgs: Vec<_> =
+                                frames.iter().filter_map(|f| wire::decode(f).ok()).collect();
+                            for msg in msgs {
+                                self.dispatch(|node, ctx| node.on_message(ctx, from, msg));
+                            }
                         }
+                    } else if len >= 4
+                        && &buf[..4] == CONTROL_MAGIC
+                        && self.handle_control(&buf[4..len], from_addr)
+                    {
+                        return;
                     }
                 }
                 Err(e)
@@ -203,14 +326,368 @@ impl UdpWorker {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => demo(),
+        Some("--orchestrate") => {
+            let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+            orchestrate(seed);
+        }
+        Some("--child") => child(&args),
+        Some(other) => {
+            eprintln!("unknown mode {other:?}; use no args, --orchestrate [seed], or --child");
+            std::process::exit(2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --child: one real OS process running one EVS member with a durable WAL
+// ---------------------------------------------------------------------------
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> &'a str {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .unwrap_or_else(|| panic!("missing {flag} <value>"))
+}
+
+fn child(args: &[String]) {
+    let index: usize = arg_value(args, "--child").parse().expect("child index");
+    let ports: Vec<u16> = arg_value(args, "--ports")
+        .split(',')
+        .map(|p| p.parse().expect("port"))
+        .collect();
+    let dir = PathBuf::from(arg_value(args, "--dir"));
+    let me = ProcessId::new(index as u32);
+
+    // The orchestrator reserved this port moments ago; a tiny retry loop
+    // absorbs the window where the reservation socket is still closing.
+    let socket = {
+        let addr = format!("127.0.0.1:{}", ports[index]);
+        let mut attempt = 0;
+        loop {
+            match UdpSocket::bind(&addr) {
+                Ok(s) => break s,
+                Err(e) if attempt < 50 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                    let _ = e;
+                }
+                Err(e) => panic!("bind {addr}: {e}"),
+            }
+        }
+    };
+    let peers: Vec<SocketAddr> = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}").parse().unwrap())
+        .collect();
+
+    // Durable state: the WAL directory and the trace journal are both
+    // keyed by process id, so a reincarnation finds its predecessor's.
+    let storage = FileStorage::open(dir.join(format!("wal-p{index}"))).expect("open WAL");
+    let journal_path = dir.join(format!("trace-p{index}.txt"));
+    let base_ticks = last_journaled_tick(&journal_path).map_or(0, |t| t + 1);
+    let journal = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&journal_path)
+        .expect("open trace journal");
+
+    UdpWorker {
+        me,
+        node: EvsProcess::with_storage(me, EvsParams::default(), Box::new(storage)),
+        socket,
+        peers,
+        commands: None,
+        stable: StableStore::new(),
+        trace: Vec::new(),
+        journal: Some((journal, 0)),
+        artifact_dir: Some(dir),
+        base_ticks,
+        next_timer_id: 0,
+        timers: Vec::new(),
+        epoch: Instant::now(),
+        telemetry: Telemetry::enabled(index as u32),
+        scratch: BytesMut::with_capacity(1024),
+        outbox: (0..ports.len())
+            .map(|_| BytesMut::with_capacity(2048))
+            .collect(),
+    }
+    .run()
+}
+
+/// The tick of the last parseable line in a trace journal, so a
+/// reincarnation's clock can resume after it.
+fn last_journaled_tick(path: &Path) -> Option<u64> {
+    let text = fs::read_to_string(path).ok()?;
+    text.lines()
+        .rev()
+        .find_map(|l| trace_io::parse_event(l.trim(), 0).ok())
+        .map(|(t, _)| t.ticks())
+}
+
+// ---------------------------------------------------------------------------
+// --orchestrate: spawn children, kill -9 one mid-traffic, respawn, verify
+// ---------------------------------------------------------------------------
+
+struct ControlPlane {
+    socket: UdpSocket,
+    ports: Vec<u16>,
+}
+
+impl ControlPlane {
+    fn send(&self, child: usize, body: &[u8]) {
+        let mut pkt = Vec::with_capacity(4 + body.len());
+        pkt.extend_from_slice(CONTROL_MAGIC);
+        pkt.extend_from_slice(body);
+        let addr = format!("127.0.0.1:{}", self.ports[child]);
+        let _ = self.socket.send_to(&pkt, addr);
+    }
+
+    fn submit(&self, child: usize, payload: &[u8]) {
+        let mut body = vec![b'S', 2]; // service byte 2 = safe
+        body.extend_from_slice(payload);
+        self.send(child, &body);
+    }
+
+    /// One inspect round-trip: `(settled, members, delivered)`.
+    fn inspect(&self, child: usize) -> Option<(bool, usize, u32)> {
+        self.send(child, b"I");
+        let mut buf = [0u8; 64];
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while Instant::now() < deadline {
+            match self.socket.recv_from(&mut buf) {
+                Ok((len, _)) if len >= 11 && &buf[..4] == CONTROL_MAGIC && buf[4] == b'R' => {
+                    let delivered = u32::from_le_bytes(buf[7..11].try_into().unwrap());
+                    return Some((buf[5] != 0, buf[6] as usize, delivered));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Polls until `cond` holds over the inspected children.
+    fn wait_for(
+        &self,
+        children: &[usize],
+        what: &str,
+        cond: impl Fn(&[(bool, usize, u32)]) -> bool,
+    ) -> Vec<(bool, usize, u32)> {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let states: Vec<_> = children.iter().filter_map(|&i| self.inspect(i)).collect();
+            if states.len() == children.len() && cond(&states) {
+                return states;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {what}: {states:?}"
+            );
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    }
+}
+
+fn spawn_child(index: usize, ports: &[u16], dir: &Path) -> std::process::Child {
+    let csv = ports
+        .iter()
+        .map(u16::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    std::process::Command::new(std::env::current_exe().expect("current exe"))
+        .args([
+            "--child",
+            &index.to_string(),
+            "--ports",
+            &csv,
+            "--dir",
+            &dir.display().to_string(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child")
+}
+
+fn orchestrate(seed: u64) {
+    println!("== real process-kill recovery over UDP (seed {seed}) ==\n");
+    let dir = PathBuf::from("chaos-artifacts").join(format!("udp-kill-{seed}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create artifact dir");
+
+    // Reserve one fixed port per child (hold all reservations at once so
+    // they are distinct, then release them for the children to rebind).
+    let reservations: Vec<UdpSocket> = (0..N)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    let ports: Vec<u16> = reservations
+        .iter()
+        .map(|s| s.local_addr().unwrap().port())
+        .collect();
+    drop(reservations);
+
+    let ctrl = ControlPlane {
+        socket: UdpSocket::bind("127.0.0.1:0").expect("bind control socket"),
+        ports: ports.clone(),
+    };
+    ctrl.socket
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("set timeout");
+
+    let mut children: Vec<std::process::Child> =
+        (0..N).map(|i| spawn_child(i, &ports, &dir)).collect();
+    println!("-- spawned {N} worker processes on ports {ports:?}");
+
+    let all: Vec<usize> = (0..N).collect();
+    ctrl.wait_for(&all, "group formation", |s| {
+        s.iter()
+            .all(|(settled, members, _)| *settled && *members == N)
+    });
+    println!("-- group formed: all {N} OS processes in one configuration");
+
+    // Phase 1: traffic while everyone is up.
+    for k in 0..3 {
+        ctrl.submit(0, format!("pre-kill-{k}").as_bytes());
+    }
+    ctrl.wait_for(&all, "pre-kill delivery", |s| {
+        s.iter().all(|(_, _, delivered)| *delivered >= 3)
+    });
+    println!("-- 3 safe messages delivered by every process");
+
+    // Phase 2: SIGKILL one member mid-run. No callback, no flush — the
+    // only thing the victim leaves behind is its stable storage.
+    let victim = (seed as usize) % N;
+    let submitter = (victim + 1) % N;
+    children[victim].kill().expect("kill -9");
+    children[victim].wait().expect("reap victim");
+    println!("-- delivered SIGKILL to process {victim}");
+
+    let survivors: Vec<usize> = (0..N).filter(|i| *i != victim).collect();
+    ctrl.wait_for(&survivors, "post-kill reconfiguration", |s| {
+        s.iter()
+            .all(|(settled, members, _)| *settled && *members == N - 1)
+    });
+    println!("-- survivors reconfigured to a {}-member group", N - 1);
+
+    for k in 0..2 {
+        ctrl.submit(submitter, format!("mid-kill-{k}").as_bytes());
+    }
+    ctrl.wait_for(&survivors, "mid-kill delivery", |s| {
+        s.iter().all(|(_, _, delivered)| *delivered >= 5)
+    });
+    println!("-- traffic continued without the killed member");
+
+    // Phase 3: respawn the same command line. The child finds its WAL,
+    // emits the fail event its predecessor never recorded, skips the
+    // message-id lease, and rejoins the group.
+    children[victim] = spawn_child(victim, &ports, &dir);
+    ctrl.wait_for(&all, "post-restart reformation", |s| {
+        s.iter()
+            .all(|(settled, members, _)| *settled && *members == N)
+    });
+    println!("-- process {victim} recovered from its write-ahead log and rejoined");
+
+    let before: Vec<u32> = all
+        .iter()
+        .map(|&i| ctrl.inspect(i).map_or(0, |(_, _, d)| d))
+        .collect();
+    for k in 0..2 {
+        ctrl.submit(submitter, format!("post-restart-{k}").as_bytes());
+    }
+    ctrl.wait_for(&all, "post-restart delivery", |s| {
+        s.iter()
+            .zip(&before)
+            .all(|((_, _, delivered), b)| *delivered >= b + 2)
+    });
+    println!("-- post-restart traffic delivered by every process, including the reincarnation");
+
+    // Shutdown: each child writes its telemetry dump and exits.
+    for &i in &all {
+        ctrl.send(i, b"Q");
+    }
+    for mut c in children {
+        let _ = c.wait();
+    }
+
+    // Reassemble the run from the durable journals alone — exactly what
+    // an operator doing a post-mortem would have — and check everything.
+    let trace = load_journals(&dir, N);
+    println!(
+        "\n-- reassembled {} events from {} on-disk journals; checking Specifications 1.1–7.2, \
+         primary component, and the §5 VS reduction…",
+        trace.len(),
+        N
+    );
+    if let Some(failure) = evs::chaos::conformance(&trace, &[], N) {
+        eprintln!(
+            "CONFORMANCE FAILURE: {:?}\n{}",
+            failure.specs, failure.details
+        );
+        std::process::exit(1);
+    }
+    println!("   all specifications hold across a real kill -9 and WAL recovery ✓");
+
+    // The dumps are enrichment, not evidence: the victim's first
+    // incarnation never got to write one (that is the point of SIGKILL),
+    // but the reincarnation's dump must show the storage recovery and no
+    // silent-state-loss anomaly.
+    let reloaded = evs::inspect::load_dumps(&dir).expect("reload dumps");
+    let report = evs::inspect::InspectReport::analyze(&reloaded);
+    assert!(
+        !report
+            .anomalies
+            .iter()
+            .any(|a| a.kind == "silent_state_loss"),
+        "recovery replayed zero records: {:?}",
+        report.anomalies
+    );
+    println!(
+        "-- post-mortem dumps: {} process(es), {} anomaly flag(s)",
+        reloaded.len(),
+        report.anomalies.len()
+    );
+    println!("-- artifacts under {}", dir.display());
+    println!("\nOK seed={seed} victim={victim}");
+}
+
+/// Reads every per-process trace journal back into one [`Trace`]. A
+/// journal's final line may be torn by `SIGKILL`; it is dropped. Any
+/// earlier malformed line is a real bug and panics.
+fn load_journals(dir: &Path, n: usize) -> Trace {
+    let mut events = Vec::with_capacity(n);
+    for i in 0..n {
+        let path = dir.join(format!("trace-p{i}.txt"));
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let lines: Vec<&str> = text.lines().collect();
+        let mut log = Vec::with_capacity(lines.len());
+        for (k, line) in lines.iter().enumerate() {
+            match trace_io::parse_event(line.trim(), k + 1) {
+                Ok(entry) => log.push(entry),
+                Err(e) if k + 1 == lines.len() => {
+                    eprintln!("   (journal {i}: dropped torn final line: {e})");
+                }
+                Err(e) => panic!("journal {i} corrupt mid-file: {e}"),
+            }
+        }
+        events.push(log);
+    }
+    Trace::new(events)
+}
+
+// ---------------------------------------------------------------------------
+// no-argument demo: the original in-process loopback exercise
+// ---------------------------------------------------------------------------
+
+fn demo() {
     println!("== extended virtual synchrony over UDP (loopback) ==\n");
 
     // Bind one socket per process on an ephemeral loopback port.
     let sockets: Vec<UdpSocket> = (0..N)
         .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
         .collect();
-    let addrs: Vec<std::net::SocketAddr> =
-        sockets.iter().map(|s| s.local_addr().unwrap()).collect();
+    let addrs: Vec<SocketAddr> = sockets.iter().map(|s| s.local_addr().unwrap()).collect();
     println!("-- sockets: {addrs:?}");
 
     let mut command_txs = Vec::new();
@@ -230,9 +707,12 @@ fn main() {
                 node: EvsProcess::new(me, EvsParams::default()),
                 socket,
                 peers,
-                commands: rx,
+                commands: Some(rx),
                 stable: StableStore::new(),
                 trace: Vec::new(),
+                journal: None,
+                artifact_dir: None,
+                base_ticks: 0,
                 next_timer_id: 0,
                 timers: Vec::new(),
                 epoch,
@@ -324,8 +804,10 @@ fn main() {
     // On-disk post-mortem: one JSON dump file per process, re-ingested
     // from disk. In a real multi-OS-process deployment no analyzer can
     // hold live telemetry handles for every participant, so this file
-    // round-trip is the workflow that survives process exit.
-    let dir = std::path::Path::new("target").join("udp-postmortem");
+    // round-trip is the workflow that survives process exit. The dumps
+    // land next to the chaos repro artifacts so every post-mortem input
+    // lives under one directory.
+    let dir = std::path::Path::new("chaos-artifacts").join("udp-postmortem");
     let dumps = evs::inspect::collect_dumps(&telemetry_handles);
     let paths = evs::inspect::write_dumps(&dir, &dumps).expect("write post-mortem dumps");
     println!(

@@ -14,6 +14,10 @@
 //!   and the machine-checkable specification suite (Specs 1–7).
 //! * [`vs`] — the primary-component algorithm and the filter that reduces
 //!   extended virtual synchrony to Isis-style virtual synchrony (§5).
+//! * [`store`] — durable stable storage: a CRC-checked write-ahead log
+//!   with snapshot compaction behind the `Storage` trait, the §2 "recover
+//!   with stable storage intact" made literal (see the "Durability"
+//!   section of `README.md`).
 //! * [`telemetry`] — metrics, structured tracing and the per-process
 //!   flight recorder wired through every layer above (see the
 //!   "Observability" section of `README.md`).
@@ -56,6 +60,7 @@ pub use evs_inspect as inspect;
 pub use evs_membership as membership;
 pub use evs_order as order;
 pub use evs_sim as sim;
+pub use evs_store as store;
 pub use evs_telemetry as telemetry;
 pub use evs_vs as vs;
 

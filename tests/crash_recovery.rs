@@ -1,10 +1,19 @@
 //! Experiments E3/E7: process failure and recovery with stable storage
 //! intact — the scenario that motivated extending virtual synchrony in the
 //! first place (§1 of the paper) — plus safe-delivery behaviour around
-//! crashes (Specs 7.1/7.2) and self-delivery (Spec 3).
+//! crashes (Specs 7.1/7.2), self-delivery (Spec 3), and the durable-WAL
+//! kill path: a process killed with no farewell callback must rebuild
+//! from its on-disk write-ahead log alone.
 
-use evs::core::{checker, EvsCluster, Service};
-use evs::sim::ProcessId;
+// needless_update: the vendored ProptestConfig stub has only the fields the
+// config block sets, but the `..default()` idiom is what real proptest needs.
+#![allow(clippy::needless_update)]
+
+use evs::core::persist::LEASE_BLOCK;
+use evs::core::{checker, EvsCluster, EvsEvent, EvsParams, EvsProcess, Service, Trace};
+use evs::sim::{Ctx, Effect, Node, ProcessId, SimTime, StableStore, TimerKind};
+use evs::store::{encode_record, scan_records, FileStorage};
+use proptest::prelude::*;
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -185,6 +194,290 @@ fn safe_message_never_half_delivered_across_survivors() {
         assert_eq!(s1, s2, "offset {offset}: survivors diverged");
         checker::assert_evs(&cluster.trace());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable WAL: kill -9 semantics (no on_crash callback, object destroyed)
+// ---------------------------------------------------------------------------
+
+/// Drives one `EvsProcess` with logical time and a self-loopback message
+/// path — the minimal harness for exercising `with_storage` the way a
+/// respawned OS process would, without a simulator keeping the node
+/// object (and thus its volatile state) alive across the "kill".
+struct Solo {
+    node: EvsProcess<String>,
+    stable: StableStore,
+    trace: Vec<(SimTime, EvsEvent)>,
+    next_timer_id: u64,
+    timers: Vec<(u64, evs::sim::TimerId, TimerKind)>,
+    now: u64,
+}
+
+impl Solo {
+    fn new(node: EvsProcess<String>, start_tick: u64) -> Self {
+        Solo {
+            node,
+            stable: StableStore::new(),
+            trace: Vec::new(),
+            next_timer_id: 0,
+            timers: Vec::new(),
+            now: start_tick,
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        f: impl FnOnce(&mut EvsProcess<String>, &mut Ctx<'_, evs::core::EvsMsg<String>, EvsEvent>),
+    ) {
+        let mut inbox = Vec::new();
+        let mut first = Some(f);
+        while first.is_some() || !inbox.is_empty() {
+            let mut ctx = Ctx::detached(
+                p(0),
+                SimTime::from_ticks(self.now),
+                &mut self.stable,
+                &mut self.trace,
+                &mut self.next_timer_id,
+            );
+            if let Some(f) = first.take() {
+                f(&mut self.node, &mut ctx);
+            } else {
+                let msg = inbox.remove(0);
+                self.node.on_message(&mut ctx, p(0), msg);
+            }
+            for effect in ctx.take_effects() {
+                match effect {
+                    Effect::Broadcast(m) => inbox.push(m),
+                    Effect::Unicast(to, m) => {
+                        if to == p(0) {
+                            inbox.push(m);
+                        }
+                    }
+                    Effect::SetTimer(id, delay, kind) => {
+                        self.timers.push((self.now + delay, id, kind));
+                    }
+                    Effect::CancelTimer(id) => self.timers.retain(|(_, tid, _)| *tid != id),
+                }
+            }
+        }
+    }
+
+    /// Fires timers in order for `budget` ticks of logical time.
+    fn run(&mut self, budget: u64) {
+        let deadline = self.now + budget;
+        loop {
+            self.timers.sort_by_key(|(at, ..)| *at);
+            let Some(&(at, _, kind)) = self.timers.first() else {
+                break;
+            };
+            if at > deadline {
+                break;
+            }
+            self.timers.remove(0);
+            self.now = self.now.max(at);
+            self.dispatch(|node, ctx| node.on_timer(ctx, kind));
+        }
+        self.now = deadline;
+    }
+}
+
+#[test]
+fn wal_restart_rebuilds_from_disk_alone() {
+    // Incarnation 1 journals to a real on-disk WAL, then is dropped with
+    // no callback — the closest a test in one OS process gets to SIGKILL.
+    // Incarnation 2 is a brand-new object pointed at the same directory:
+    // everything it knows, it must learn from the log.
+    let dir = std::env::temp_dir().join(format!("evs-walrt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let storage = Box::new(FileStorage::open(&dir).expect("open WAL"));
+    let mut a = Solo::new(
+        EvsProcess::with_storage(p(0), EvsParams::default(), storage),
+        0,
+    );
+    a.dispatch(|node, ctx| node.on_start(ctx));
+    a.run(300_000);
+    assert!(a.node.is_settled(), "singleton forms a configuration");
+    a.dispatch(|node, ctx| node.submit(ctx, Service::Safe, "before-kill".into()));
+    a.run(100_000);
+    let delivered: Vec<_> = a
+        .node
+        .deliveries()
+        .iter()
+        .filter_map(|d| d.payload())
+        .collect();
+    assert!(delivered.contains(&&"before-kill".to_string()));
+    let killed_in = a.node.current_config().id;
+    let max_counter_before = a
+        .trace
+        .iter()
+        .filter_map(|(_, e)| match e {
+            EvsEvent::Send { id, .. } => Some(id.counter),
+            _ => None,
+        })
+        .max()
+        .expect("incarnation 1 sent something");
+    let (trace1, end1) = (a.trace.clone(), a.now);
+    drop(a); // kill: no on_crash, object gone, only the disk remains
+
+    let storage = Box::new(FileStorage::open(&dir).expect("reopen WAL"));
+    let mut b = Solo::new(
+        EvsProcess::with_storage(p(0), EvsParams::default(), storage),
+        end1 + 1,
+    );
+    b.dispatch(|node, ctx| node.on_start(ctx));
+    b.run(300_000);
+    assert!(b.node.is_settled(), "reincarnation settles");
+
+    // The log supplied the fail_p(c) the kill swallowed…
+    assert!(
+        b.trace
+            .iter()
+            .any(|(_, e)| matches!(e, EvsEvent::Fail { config } if *config == killed_in)),
+        "reincarnation must emit the synthetic fail for {killed_in:?}: {:?}",
+        b.trace
+    );
+    // …a strictly newer configuration…
+    assert!(b.node.current_config().id.epoch > killed_in.epoch);
+
+    // …and a message-id lease that skips past everything possibly sent
+    // (Spec 1.4: identifiers are never reused, even ones lost to the kill).
+    b.dispatch(|node, ctx| node.submit(ctx, Service::Safe, "after-restart".into()));
+    b.run(100_000);
+    let min_counter_after = b
+        .trace
+        .iter()
+        .filter_map(|(_, e)| match e {
+            EvsEvent::Send { id, .. } => Some(id.counter),
+            _ => None,
+        })
+        .min()
+        .expect("incarnation 2 sent something");
+    assert!(min_counter_after >= LEASE_BLOCK);
+    assert!(min_counter_after > max_counter_before);
+
+    // The process's full life — both incarnations — satisfies the model.
+    let mut life = trace1;
+    life.extend(b.trace.clone());
+    checker::assert_evs(&Trace::new(vec![life]));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_on_disk_tail_truncates_to_clean_prefix() {
+    // Cut the newest segment file mid-record, the way a kill mid-write
+    // would: replay must hand back exactly the intact records, count the
+    // damage, and never error.
+    let dir = std::env::temp_dir().join(format!("evs-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut storage = FileStorage::open(&dir).expect("open");
+    let records: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 10 + i as usize]).collect();
+    for r in &records {
+        evs::store::Storage::append(&mut storage, r).expect("append");
+    }
+    drop(storage);
+
+    let segment = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|q| {
+            q.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("wal-"))
+        })
+        .max()
+        .expect("segment file");
+    let len = std::fs::metadata(&segment).unwrap().len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .unwrap();
+    file.set_len(len - 3).unwrap(); // tear into the final record
+    drop(file);
+
+    let mut storage = FileStorage::open(&dir).expect("reopen");
+    let replay = evs::store::Storage::replay(&mut storage).expect("replay never fails");
+    assert_eq!(replay.records, records[..4].to_vec());
+    assert!(replay.torn_bytes > 0);
+    assert!(replay.wal_present);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// The acceptance property for torn writes: truncate a log at EVERY
+    /// byte boundary; each cut yields exactly the records whose frames
+    /// fit entirely inside it — a clean prefix, never an error, never a
+    /// partial record.
+    #[test]
+    fn truncation_at_every_byte_yields_exact_clean_prefix(
+        shapes in proptest::collection::vec((0usize..120, proptest::arbitrary::any::<u8>()), 1..6)
+    ) {
+        let mut log = Vec::new();
+        let mut boundaries = vec![0usize]; // byte offsets of record ends
+        for (len, fill) in &shapes {
+            encode_record(&vec![*fill; *len], &mut log);
+            boundaries.push(log.len());
+        }
+        for cut in 0..=log.len() {
+            let scan = scan_records(&log[..cut]);
+            let whole = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            prop_assert_eq!(scan.clean_len, boundaries[whole], "cut at {}", cut);
+            prop_assert_eq!(scan.records.len(), whole, "cut at {}", cut);
+            for (k, rec) in scan.records.iter().enumerate() {
+                let (len, fill) = shapes[k];
+                prop_assert_eq!(rec, &vec![fill; len]);
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_process_in_simulation_recovers_via_wal() {
+    // The simulator's kill: volatile state gone, no on_crash farewell.
+    // Recovery must come from the (in-memory) storage log and still
+    // produce a model-conformant trace with the synthetic fail event.
+    let mut cluster = EvsCluster::<String>::builder(3).build();
+    assert!(cluster.run_until_settled(300_000));
+    cluster.submit(p(1), Service::Safe, "pre-kill".into());
+    assert!(cluster.run_until_settled(200_000));
+    let killed_in = cluster.config(p(1)).id;
+    cluster.kill(p(1));
+    assert!(cluster.run_until_settled(400_000), "survivors reconfigure");
+    let fails_so_far = cluster
+        .trace()
+        .of(p(1))
+        .iter()
+        .filter(|(_, e)| matches!(e, EvsEvent::Fail { .. }))
+        .count();
+    assert_eq!(
+        fails_so_far, 0,
+        "a kill records nothing — that is the point"
+    );
+    cluster.recover(p(1));
+    assert!(cluster.run_until_settled(400_000), "reincarnation rejoins");
+    for q in cluster.processes() {
+        assert_eq!(cluster.config(q).members, vec![p(0), p(1), p(2)]);
+    }
+    cluster.submit(p(1), Service::Safe, "post-kill".into());
+    assert!(cluster.run_until_settled(200_000));
+    for q in cluster.processes() {
+        assert!(texts(&cluster, q).contains(&"post-kill".to_string()));
+    }
+    let trace = cluster.trace();
+    assert!(
+        trace
+            .of(p(1))
+            .iter()
+            .any(|(_, e)| matches!(e, EvsEvent::Fail { config } if *config == killed_in)),
+        "the WAL must supply fail_p({killed_in:?})"
+    );
+    checker::assert_evs(&trace);
 }
 
 #[test]
