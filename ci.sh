@@ -6,12 +6,15 @@
 #   ./ci.sh bench-smoke       # just refresh BENCH_baseline.json
 #   ./ci.sh bench-diff        # just the counter-regression gate
 #   ./ci.sh bench-throughput  # full wall-clock suite, writes BENCH_throughput.json
+#   ./ci.sh bench-clients     # full client-load suite, writes BENCH_clients.json
 #   ./ci.sh kill-recovery     # just the kill -9 / WAL-recovery smoke
 #   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
 #   LIVE_CHAOS_ITERS=2000 ./ci.sh # standard gate + live-driver chaos soak
 #   KILL_CHAOS_ITERS=2000 ./ci.sh # standard gate + kill/restart chaos soak
 #   BENCH_SMOKE=1 ./ci.sh     # standard gate + bench baseline refresh
 #   BENCH_THROUGHPUT_ITERS=20000 ./ci.sh # standard gate + throughput soak
+#   CLIENT_LOAD_ITERS=2000000 ./ci.sh # standard gate + client-load soak
+#                             # (top scenario scaled to that many clients)
 #
 # The standard gate also runs `bench_throughput --smoke`: a cut-down
 # wall-clock run compared against the committed BENCH_throughput.json with
@@ -49,6 +52,12 @@ bench_throughput() {
         BENCH_throughput.json
 }
 
+bench_clients() {
+    echo "== bench clients (writes BENCH_clients.json) =="
+    cargo run -q --release --offline -p evs-bench --bin bench_clients -- \
+        BENCH_clients.json
+}
+
 if [ "${1:-}" = "bench-smoke" ]; then
     bench_smoke
     exit 0
@@ -70,6 +79,11 @@ if [ "${1:-}" = "bench-throughput" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "bench-clients" ]; then
+    bench_clients
+    exit 0
+fi
+
 if [ "${1:-}" = "kill-recovery" ]; then
     kill_recovery
     exit 0
@@ -86,6 +100,12 @@ echo "== chaos: mutation self-test (pipeline catches a planted bug) =="
 # the rest of the workspace's tests would (correctly) fail against it.
 cargo test -q --offline -p evs-chaos --features chaos-mutation \
     --test mutation_self_test
+
+echo "== chaos: broker mutation self-test (planted dedup-ledger bug) =="
+# Same idea for the client path: the broker-mutation feature breaks the
+# OpLedger floor check, and the broker campaign must find and shrink it.
+cargo test -q --offline -p evs-chaos --features broker-mutation \
+    --test broker_mutation_self_test
 
 echo "== chaos: fixed-seed smoke campaign =="
 cargo build -q --release --offline --example chaos
@@ -107,6 +127,9 @@ bench_diff
 
 echo "== bench throughput smoke (sanity vs BENCH_throughput.json) =="
 cargo run -q --release --offline -p evs-bench --bin bench_throughput -- --smoke
+
+echo "== bench clients smoke (sanity vs BENCH_clients.json) =="
+cargo run -q --release --offline -p evs-bench --bin bench_clients -- --smoke
 
 if [ -n "${CHAOS_ITERS:-}" ]; then
     echo "== chaos: long soak (CHAOS_ITERS=${CHAOS_ITERS}) =="
@@ -132,6 +155,11 @@ fi
 if [ -n "${BENCH_THROUGHPUT_ITERS:-}" ]; then
     echo "== bench throughput soak (BENCH_THROUGHPUT_ITERS=${BENCH_THROUGHPUT_ITERS}) =="
     bench_throughput
+fi
+
+if [ -n "${CLIENT_LOAD_ITERS:-}" ]; then
+    echo "== bench clients soak (CLIENT_LOAD_ITERS=${CLIENT_LOAD_ITERS}) =="
+    bench_clients
 fi
 
 echo "== rustfmt =="

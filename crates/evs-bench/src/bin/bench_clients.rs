@@ -1,0 +1,132 @@
+//! Client-load bench: sustained concurrent client sessions through the
+//! broker tier, with client-observed latency percentiles.
+//!
+//! Run with (or via `./ci.sh bench-clients`):
+//!
+//! ```text
+//! cargo run --release -p evs-bench --bin bench_clients               # stdout
+//! cargo run --release -p evs-bench --bin bench_clients -- out.json  # to file
+//! cargo run --release -p evs-bench --bin bench_clients -- --smoke   # CI gate
+//! CLIENT_LOAD_ITERS=2000000 cargo run ... --bin bench_clients       # soak
+//! ```
+//!
+//! The full run writes `BENCH_clients.json` (via `ci.sh`): the smoke
+//! shape, the 10⁵-client acceptance scenario and the 10⁶-client top
+//! scenario. `--smoke` runs only the small shape and gates two ways:
+//! the deterministic latency percentiles must match the committed file
+//! exactly, and the wall-clock rate must stay above committed/10 (the
+//! same generous allowance as the throughput gate — machines differ,
+//! collapses don't).
+
+use evs_bench::client_load::{self, ClientMeasurement, LoadConfig};
+use evs_inspect::json::{self, Value};
+
+/// `--smoke` fails when the measured rate falls below the committed rate
+/// divided by this.
+const SMOKE_ALLOWANCE: u64 = 10;
+
+fn print_table(results: &[ClientMeasurement]) {
+    for m in results {
+        eprintln!(
+            "  {}: {} clients, {} ops in {:.1} ms -> {:.0} ops/sec \
+             (client latency p50 {} / p99 {} ticks, {} batch frames)",
+            m.scenario,
+            m.clients,
+            m.ops,
+            m.wall_secs * 1e3,
+            m.ops_per_sec,
+            m.p50_ticks,
+            m.p99_ticks,
+            m.batches
+        );
+    }
+}
+
+/// Reads one scenario's committed numbers: (ops_per_sec, p50, p99).
+fn committed(text: &str, scenario: &str) -> Option<(u64, u64, u64)> {
+    let value = json::parse(text).ok()?;
+    for entry in value.as_array()? {
+        let obj = entry.as_object()?;
+        if obj.get("scenario").and_then(Value::as_str) == Some(scenario) {
+            return Some((
+                obj.get("ops_per_sec").and_then(Value::as_u64)?,
+                obj.get("latency_p50_ticks").and_then(Value::as_u64)?,
+                obj.get("latency_p99_ticks").and_then(Value::as_u64)?,
+            ));
+        }
+    }
+    None
+}
+
+fn smoke_gate(results: &[ClientMeasurement]) {
+    let Ok(text) = std::fs::read_to_string("BENCH_clients.json") else {
+        eprintln!("bench-clients: no committed BENCH_clients.json; nothing to gate against");
+        return;
+    };
+    let mut checked = 0;
+    for m in results {
+        let Some((rate, p50, p99)) = committed(&text, &m.scenario) else {
+            continue;
+        };
+        checked += 1;
+        // The simulator is deterministic, so the latency profile is an
+        // exact diff, not an allowance.
+        if (m.p50_ticks, m.p99_ticks) != (p50, p99) {
+            eprintln!(
+                "bench-clients: {} latency drifted: p50 {} / p99 {} ticks vs committed {p50} / {p99} \
+                 (deterministic — a real behavior change; rerun the full bench to re-baseline)",
+                m.scenario, m.p50_ticks, m.p99_ticks
+            );
+            std::process::exit(1);
+        }
+        let floor = rate / SMOKE_ALLOWANCE;
+        if (m.ops_per_sec as u64) < floor {
+            eprintln!(
+                "bench-clients: {} collapsed: {:.0} ops/sec vs committed {rate} \
+                 (allowed floor {floor} = committed/{SMOKE_ALLOWANCE}x)",
+                m.scenario, m.ops_per_sec
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "bench-clients: {checked} scenario(s) — latency exact, rate within the \
+         {SMOKE_ALLOWANCE}x allowance"
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let results = if smoke {
+        vec![client_load::run(&LoadConfig::smoke())]
+    } else {
+        let max_clients = std::env::var(client_load::CLIENTS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(client_load::XL_CLIENTS);
+        client_load::run_all(max_clients)
+    };
+    print_table(&results);
+    if smoke {
+        smoke_gate(&results);
+        return;
+    }
+    let body = client_load::results_json(&results);
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &body).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            });
+            eprintln!("client-load results written to {path}");
+        }
+        None => print!("{body}"),
+    }
+}

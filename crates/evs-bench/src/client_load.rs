@@ -1,0 +1,305 @@
+//! Client-path load generator behind `./ci.sh bench-clients` and
+//! `BENCH_clients.json`.
+//!
+//! The throughput module measures the daemon ring; this one measures the
+//! tier the paper's motivating applications actually live in: a large
+//! client population served through `evs-broker` front-ends. Each
+//! scenario opens `clients` sessions spread across the brokers of a
+//! 3-daemon group, submits `ops_per_client` rounds of one op per client,
+//! and pumps the deterministic simulator until every op's reply routes
+//! back. What gets reported is *client-observed*: ops per wall-clock
+//! second from first submit to last reply, plus the p50/p99
+//! submit→reply latency in simulated ticks (deterministic, diffable).
+//!
+//! The point of the broker tier is amortization — 10⁵–10⁶ client ops
+//! enter the ring as a few hundred batched multicasts — so each
+//! measurement also reports how many batch frames carried the load.
+//! Every run doubles as an exactly-once check: the daemons' apply logs
+//! must show zero duplicate applications and exactly `ops × daemons`
+//! first-time applications, and the group trace must pass the full EVS
+//! conformance suite.
+
+use evs_broker::{BrokerCluster, BrokerClusterConfig, BrokerParams, SubmitOutcome};
+use evs_core::Payload;
+use evs_telemetry::names;
+use std::time::Instant;
+
+/// Fixed seed for every scenario — runs are deterministic, so the
+/// latency percentiles in `BENCH_clients.json` are exact.
+pub const SEED: u64 = 0xC11E;
+/// Payload bytes per client op. Small on purpose: the scenario measures
+/// session/batch overhead per op, not payload bandwidth (the throughput
+/// bench covers bytes).
+pub const OP_BYTES: usize = 8;
+/// Ticks per pump chunk while draining a round's replies.
+const PUMP_CHUNK: u64 = 1_024;
+/// A round that hasn't fully replied after this many ticks is stalled.
+const ROUND_BUDGET_TICKS: u64 = 5_000_000;
+/// Clients in the smoke scenario — small enough for the standard CI gate.
+pub const SMOKE_CLIENTS: u64 = 2_000;
+/// Clients in the acceptance scenario: the ISSUE's 10⁵ floor.
+pub const FULL_CLIENTS: u64 = 100_000;
+/// Clients in the top scenario of a full run: the 10⁶ end of the range.
+pub const XL_CLIENTS: u64 = 1_000_000;
+/// Environment variable overriding the top scenario's client count for
+/// soak runs (`CLIENT_LOAD_ITERS=2000000 ./ci.sh bench-clients`).
+pub const CLIENTS_ENV: &str = "CLIENT_LOAD_ITERS";
+
+/// One client-load scenario.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// EVS daemons in the ordering group.
+    pub daemons: usize,
+    /// Broker front-ends; client `c` connects to broker `c % brokers`.
+    pub brokers: usize,
+    /// Concurrent client sessions.
+    pub clients: u64,
+    /// Rounds of one op per client.
+    pub ops_per_client: u64,
+}
+
+impl LoadConfig {
+    /// The standard shape — 3 daemons, 3 brokers — at `clients` sessions,
+    /// one op each.
+    pub fn with_clients(clients: u64) -> Self {
+        LoadConfig {
+            daemons: 3,
+            brokers: 3,
+            clients,
+            ops_per_client: 1,
+        }
+    }
+
+    /// The smoke scenario gated in standard CI: [`SMOKE_CLIENTS`]
+    /// sessions, two ops each (two rounds proves the windows recycle).
+    pub fn smoke() -> Self {
+        LoadConfig {
+            ops_per_client: 2,
+            ..LoadConfig::with_clients(SMOKE_CLIENTS)
+        }
+    }
+
+    /// Scenario key, e.g. `clients/sim/n3/b3/c100000/x1`.
+    pub fn key(&self) -> String {
+        format!(
+            "clients/sim/n{}/b{}/c{}/x{}",
+            self.daemons, self.brokers, self.clients, self.ops_per_client
+        )
+    }
+}
+
+/// One executed client-load scenario.
+#[derive(Clone, Debug)]
+pub struct ClientMeasurement {
+    /// Scenario key from [`LoadConfig::key`].
+    pub scenario: String,
+    /// Concurrent client sessions the scenario sustained.
+    pub clients: u64,
+    /// Client ops accepted and replied (clients × ops_per_client).
+    pub ops: u64,
+    /// Wall-clock seconds from first submit to last routed reply.
+    pub wall_secs: f64,
+    /// `ops / wall_secs` — client-observed completions per second.
+    pub ops_per_sec: f64,
+    /// Median submit→reply latency in simulated ticks.
+    pub p50_ticks: u64,
+    /// 99th-percentile submit→reply latency in simulated ticks.
+    pub p99_ticks: u64,
+    /// Batched multicast frames that carried the whole load — the
+    /// amortization the broker tier exists for.
+    pub batches: u64,
+}
+
+impl ClientMeasurement {
+    /// Serializes the measurement as one JSON object; rates rounded to
+    /// integers for the hand-rolled parser on the gating side.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"scenario\":");
+        evs_telemetry::report::push_json_string(&mut out, &self.scenario);
+        out.push_str(&format!(
+            ",\"clients\":{},\"ops\":{},\"wall_ms\":{},\"ops_per_sec\":{},\
+             \"latency_p50_ticks\":{},\"latency_p99_ticks\":{},\"batches\":{}}}",
+            self.clients,
+            self.ops,
+            (self.wall_secs * 1e3).round() as u64,
+            self.ops_per_sec.round() as u64,
+            self.p50_ticks,
+            self.p99_ticks,
+            self.batches,
+        ));
+        out
+    }
+}
+
+/// Serializes measurements as the `BENCH_clients.json` array.
+pub fn results_json(results: &[ClientMeasurement]) -> String {
+    let lines: Vec<String> = results.iter().map(ClientMeasurement::to_json).collect();
+    format!("[\n{}\n]\n", lines.join(",\n"))
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one scenario and measures it.
+///
+/// # Panics
+///
+/// Panics if formation or a round stalls, if any submit backpressures
+/// (the scenario sizes the broker budget to admit the whole fleet), or
+/// if the exactly-once/conformance invariants break.
+pub fn run(cfg: &LoadConfig) -> ClientMeasurement {
+    assert!(cfg.brokers > 0 && cfg.clients > 0 && cfg.ops_per_client > 0);
+    let per_broker = (cfg.clients as usize).div_ceil(cfg.brokers);
+    let broker = BrokerParams {
+        // One op in flight per client per round, so the broker-wide
+        // budget must admit its whole share of the fleet; the default
+        // per-session window is already ample for one op.
+        broker_inflight: per_broker.max(BrokerParams::default().broker_inflight),
+        ..BrokerParams::default()
+    };
+    let mut bc = BrokerCluster::new(BrokerClusterConfig {
+        daemons: cfg.daemons,
+        brokers: cfg.brokers,
+        seed: SEED,
+        broker,
+        telemetry: true,
+        ..BrokerClusterConfig::default()
+    });
+    assert!(bc.form(1_000_000), "formation stalled");
+
+    let op = Payload::from(vec![0x5A; OP_BYTES]);
+    let mut latencies: Vec<u64> = Vec::with_capacity((cfg.clients * cfg.ops_per_client) as usize);
+    let mut total_ops = 0u64;
+    let start = Instant::now();
+    for _ in 0..cfg.ops_per_client {
+        // Submits don't advance simulated time, so every op in the round
+        // shares this submit tick; each reply's latency is `at - here`.
+        let round_start = bc.now_ticks();
+        let mut accepted = 0u64;
+        for client in 0..cfg.clients {
+            let b = (client % cfg.brokers as u64) as usize;
+            match bc.submit(b, client, op.clone()) {
+                SubmitOutcome::Accepted { .. } => accepted += 1,
+                SubmitOutcome::Backpressure => {
+                    panic!("client {client} backpressured: broker budget undersized")
+                }
+            }
+        }
+        total_ops += accepted;
+        // Drain the round in chunks, harvesting replies as they route so
+        // the reply buffer stays bounded at fleet scale.
+        let mut replied = 0u64;
+        let mut spent = 0u64;
+        while replied < accepted {
+            assert!(
+                spent < ROUND_BUDGET_TICKS,
+                "round stalled: {replied}/{accepted} replies after {spent} ticks"
+            );
+            bc.pump(PUMP_CHUNK);
+            spent += PUMP_CHUNK;
+            for r in bc.take_replies() {
+                latencies.push(r.at.saturating_sub(round_start));
+                replied += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    // Every run is also an exactly-once and conformance check.
+    assert!(
+        bc.duplicate_applications().is_empty(),
+        "a daemon applied a client op twice"
+    );
+    assert_eq!(
+        bc.applied_total(),
+        total_ops * cfg.daemons as u64,
+        "every daemon applies every op exactly once"
+    );
+    bc.check().expect("daemon group conformance");
+
+    let batches: u64 = bc
+        .broker_telemetry()
+        .iter()
+        .filter_map(|t| t.snapshot())
+        .map(|s| {
+            s.counters
+                .get(names::BROKER_BATCHES_FLUSHED)
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum();
+    latencies.sort_unstable();
+    ClientMeasurement {
+        scenario: cfg.key(),
+        clients: cfg.clients,
+        ops: total_ops,
+        wall_secs: wall,
+        ops_per_sec: total_ops as f64 / wall.max(1e-9),
+        p50_ticks: percentile(&latencies, 0.50),
+        p99_ticks: percentile(&latencies, 0.99),
+        batches,
+    }
+}
+
+/// Runs the full scenario set for `BENCH_clients.json`: the smoke shape,
+/// the 10⁵-client acceptance scenario, and a top scenario of
+/// `max_clients` (the 10⁶ default, or the [`CLIENTS_ENV`] override).
+pub fn run_all(max_clients: u64) -> Vec<ClientMeasurement> {
+    let mut out = vec![
+        run(&LoadConfig::smoke()),
+        run(&LoadConfig::with_clients(FULL_CLIENTS)),
+    ];
+    if max_clients > FULL_CLIENTS {
+        out.push(run(&LoadConfig::with_clients(max_clients)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_load_measures_latency_and_amortization() {
+        let m = run(&LoadConfig {
+            daemons: 3,
+            brokers: 2,
+            clients: 64,
+            ops_per_client: 2,
+        });
+        assert_eq!(m.ops, 128, "every op accepted and replied");
+        assert!(m.ops_per_sec > 0.0);
+        assert!(m.p50_ticks > 0, "{m:?}");
+        assert!(m.p99_ticks >= m.p50_ticks);
+        // 128 ops entered the ring as a handful of batches, not 128.
+        assert!(m.batches >= 2 && m.batches < 64, "{m:?}");
+        let json = m.to_json();
+        assert!(json.contains("\"scenario\":\"clients/sim/n3/b2/c64/x2\""));
+        assert!(json.contains("\"batches\":"));
+    }
+
+    #[test]
+    fn latency_profile_is_deterministic() {
+        let cfg = LoadConfig::with_clients(200);
+        let (a, b) = (run(&cfg), run(&cfg));
+        assert_eq!(a.p50_ticks, b.p50_ticks);
+        assert_eq!(a.p99_ticks, b.p99_ticks);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 51);
+        assert_eq!(percentile(&v, 0.99), 99);
+    }
+}

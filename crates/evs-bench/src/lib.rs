@@ -269,6 +269,7 @@ pub mod smoke {
     }
 }
 
+pub mod client_load;
 pub mod diff;
 pub mod throughput;
 

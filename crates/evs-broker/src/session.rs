@@ -1,0 +1,136 @@
+//! Per-client sessions: sequence stamping, a bounded in-flight window,
+//! and the unacked set a reconnecting broker resubmits.
+
+use evs_core::Payload;
+use std::collections::VecDeque;
+
+/// What happened to one client submit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The op entered the prepare-batch pipeline with this per-client
+    /// sequence number; a [`Reply`](crate::Reply) for it will follow its
+    /// agreed/safe delivery.
+    Accepted {
+        /// The broker-assigned per-client sequence number.
+        seq: u64,
+    },
+    /// A bounded queue (this session's window or the whole broker's
+    /// in-flight budget) is full — the client must retry later. Nothing
+    /// was buffered.
+    Backpressure,
+}
+
+/// One client's connection state at a broker.
+///
+/// A session stamps each accepted op with the next per-client sequence
+/// number and keeps it in a bounded in-flight window until the broker
+/// observes its delivery. The window is both the backpressure bound and
+/// the redelivery source: everything still in it when the broker loses
+/// its daemon is resubmitted to the surviving configuration, and the
+/// daemon-side [`OpLedger`](crate::OpLedger) makes that resubmission safe.
+#[derive(Debug)]
+pub struct Session {
+    client: u64,
+    next_seq: u64,
+    /// Unacked ops in sequence order.
+    inflight: VecDeque<(u64, Payload)>,
+    limit: usize,
+}
+
+impl Session {
+    /// Opens a session for `client` with an in-flight window of `limit`
+    /// ops.
+    pub fn new(client: u64, limit: usize) -> Self {
+        Session {
+            client,
+            next_seq: 1,
+            inflight: VecDeque::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    /// The client this session belongs to.
+    pub fn client(&self) -> u64 {
+        self.client
+    }
+
+    /// Accepts `op` into the window, returning its sequence number —
+    /// or `None` (backpressure) when the window is full.
+    pub fn try_submit(&mut self, op: Payload) -> Option<u64> {
+        if self.inflight.len() >= self.limit {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight.push_back((seq, op));
+        Some(seq)
+    }
+
+    /// Acknowledges the op with sequence number `seq`. Returns true the
+    /// first time; a second ack of the same seq (a redelivery in an old
+    /// configuration racing the reconnect) is an idempotent `false`.
+    pub fn ack(&mut self, seq: u64) -> bool {
+        if let Some(i) = self.inflight.iter().position(|(s, _)| *s == seq) {
+            self.inflight.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The unacked ops, in sequence order — what a reconnect resubmits.
+    pub fn unacked(&self) -> impl Iterator<Item = (u64, &Payload)> {
+        self.inflight.iter().map(|(seq, op)| (*seq, op))
+    }
+
+    /// Number of unacked ops in the window.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_dense_sequence_numbers() {
+        let mut s = Session::new(9, 4);
+        assert_eq!(s.try_submit(Payload::new()), Some(1));
+        assert_eq!(s.try_submit(Payload::new()), Some(2));
+        assert_eq!(s.try_submit(Payload::new()), Some(3));
+        assert_eq!(s.client(), 9);
+        assert_eq!(s.inflight_len(), 3);
+    }
+
+    #[test]
+    fn full_window_backpressures_without_burning_a_seq() {
+        let mut s = Session::new(0, 2);
+        assert_eq!(s.try_submit(Payload::new()), Some(1));
+        assert_eq!(s.try_submit(Payload::new()), Some(2));
+        assert_eq!(s.try_submit(Payload::new()), None);
+        assert!(s.ack(1));
+        // The freed slot reuses the *next* number, not a hole.
+        assert_eq!(s.try_submit(Payload::new()), Some(3));
+    }
+
+    #[test]
+    fn ack_is_idempotent_and_order_insensitive() {
+        let mut s = Session::new(0, 8);
+        for _ in 0..3 {
+            s.try_submit(Payload::new());
+        }
+        assert!(s.ack(2));
+        assert!(!s.ack(2));
+        assert!(!s.ack(99));
+        let left: Vec<u64> = s.unacked().map(|(seq, _)| seq).collect();
+        assert_eq!(left, vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_limit_still_admits_one() {
+        let mut s = Session::new(0, 0);
+        assert_eq!(s.try_submit(Payload::new()), Some(1));
+        assert_eq!(s.try_submit(Payload::new()), None);
+    }
+}

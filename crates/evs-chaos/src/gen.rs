@@ -37,6 +37,14 @@ pub struct FaultMix {
     pub mcast: u32,
     /// Weight of [`FaultStep::Run`].
     pub run: u32,
+    /// Weight of [`FaultStep::BrokerKill`]. Zero by default: broker steps
+    /// switch execution onto the broker client path, so they are opted
+    /// into by broker-chaos campaigns (and historical seeds keep
+    /// reproducing the exact plans they always did).
+    pub broker_kill: u32,
+    /// Weight of [`FaultStep::BrokerReconnect`]. Zero by default, paired
+    /// with `broker_kill`.
+    pub broker_reconnect: u32,
 }
 
 impl Default for FaultMix {
@@ -54,6 +62,8 @@ impl Default for FaultMix {
             delay: 1,
             mcast: 5,
             run: 6,
+            broker_kill: 0,
+            broker_reconnect: 0,
         }
     }
 }
@@ -77,6 +87,8 @@ impl FaultMix {
             delay: 2,
             mcast: 12,
             run: 10,
+            broker_kill: 0,
+            broker_reconnect: 0,
         }
     }
 
@@ -95,12 +107,39 @@ impl FaultMix {
             delay: 1,
             mcast: 12,
             run: 10,
+            broker_kill: 0,
+            broker_reconnect: 0,
+        }
+    }
+
+    /// A mix tuned for hunting client-path bugs: constant client traffic
+    /// through the broker pipeline with broker kills and reconnects, plus
+    /// enough packet loss and short runs that batches are often in flight
+    /// (flushed, not yet delivered — or delivered, acks not yet consumed)
+    /// when the broker dies. That is the precondition for reconnect
+    /// resubmission, the replay the dedup ledgers must absorb — and the
+    /// window the `broker-mutation` self-test hunts in.
+    pub fn broker_chaos() -> Self {
+        FaultMix {
+            split: 1,
+            merge: 2,
+            crash: 2,
+            kill: 0,
+            recover: 3,
+            restart: 0,
+            drop: 8,
+            delay: 1,
+            mcast: 14,
+            run: 12,
+            broker_kill: 8,
+            broker_reconnect: 6,
         }
     }
 
     /// Sets a weight by its flag name (`split`, `merge`, `crash`, `kill`,
-    /// `recover`, `restart`, `drop`, `delay`, `mcast`, `run`). Returns
-    /// false for an unknown name — callers surface that as a usage error.
+    /// `recover`, `restart`, `drop`, `delay`, `mcast`, `run`,
+    /// `brokerkill`, `brokerreconnect`). Returns false for an unknown
+    /// name — callers surface that as a usage error.
     pub fn set(&mut self, name: &str, weight: u32) -> bool {
         match name {
             "split" => self.split = weight,
@@ -113,6 +152,8 @@ impl FaultMix {
             "delay" => self.delay = weight,
             "mcast" => self.mcast = weight,
             "run" => self.run = weight,
+            "brokerkill" => self.broker_kill = weight,
+            "brokerreconnect" => self.broker_reconnect = weight,
             _ => return false,
         }
         true
@@ -129,6 +170,8 @@ impl FaultMix {
             + self.delay
             + self.mcast
             + self.run
+            + self.broker_kill
+            + self.broker_reconnect
     }
 }
 
@@ -279,8 +322,12 @@ impl ScenarioGen {
                     Service::Agreed
                 },
             }
-        } else {
+        } else if take(mix.run) {
             FaultStep::Run(rng.gen_range(cfg.min_run..=cfg.max_run))
+        } else if take(mix.broker_kill) {
+            FaultStep::BrokerKill(rng.gen_range(0..cfg.n))
+        } else {
+            FaultStep::BrokerReconnect(rng.gen_range(0..cfg.n))
         }
     }
 }
@@ -327,6 +374,10 @@ mod tests {
         assert_eq!(mix.kill, 5);
         assert!(mix.set("restart", 6));
         assert_eq!(mix.restart, 6);
+        assert!(mix.set("brokerkill", 7));
+        assert_eq!(mix.broker_kill, 7);
+        assert!(mix.set("brokerreconnect", 4));
+        assert_eq!(mix.broker_reconnect, 4);
         assert!(!mix.set("nonsense", 1));
     }
 
@@ -366,6 +417,41 @@ mod tests {
     }
 
     #[test]
+    fn default_mix_never_generates_broker_steps() {
+        // Broker steps default to weight zero: they flip execution onto
+        // the broker client path, which only broker campaigns opt into,
+        // and historical seeds must keep reproducing byte-identical plans.
+        let g = ScenarioGen::new(GenConfig::default());
+        for seed in 0..300 {
+            let plan = g.plan(seed);
+            assert!(!plan.has_broker_steps(), "seed {seed}: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn broker_chaos_mix_generates_broker_kills_and_reconnects() {
+        let cfg = GenConfig {
+            mix: FaultMix::broker_chaos(),
+            ..GenConfig::default()
+        };
+        let g = ScenarioGen::new(cfg);
+        let (mut kills, mut reconnects) = (false, false);
+        for seed in 0..300 {
+            for step in g.plan(seed).steps {
+                match step {
+                    FaultStep::BrokerKill(_) => kills = true,
+                    FaultStep::BrokerReconnect(_) => reconnects = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            kills && reconnects,
+            "broker-chaos mix must exercise broker kill/reconnect"
+        );
+    }
+
+    #[test]
     fn seeds_cover_the_vocabulary() {
         // Over a few hundred seeds every step kind should appear.
         let g = ScenarioGen::new(GenConfig::default());
@@ -383,6 +469,9 @@ mod tests {
                     FaultStep::Run(_) => 7,
                     FaultStep::Kill(_) | FaultStep::Restart(_) => {
                         unreachable!("default mix has kill/restart at weight 0")
+                    }
+                    FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_) => {
+                        unreachable!("default mix has broker steps at weight 0")
                     }
                 };
                 seen[k] = true;

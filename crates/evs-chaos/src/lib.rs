@@ -7,7 +7,8 @@
 //! replayable counterexample:
 //!
 //! * [`FaultPlan`] / [`FaultStep`] — the schedule DSL (`Split`, `Merge`,
-//!   `Crash`, `Recover`, `DropPct`, `Delay`, `Mcast`, `Run`) with a
+//!   `Crash`, `Recover`, `DropPct`, `Delay`, `Mcast`, `Run`, plus the
+//!   broker front-end steps `BrokerKill`/`BrokerReconnect`) with a
 //!   plain-text artifact format, so every failure replays from a file.
 //! * [`ScenarioGen`] — seeded, weighted random plan generation
 //!   (deterministic: same seed, same plan).
@@ -15,7 +16,11 @@
 //!   the simulated cluster or the live threaded driver (whose per-link
 //!   fault layer carries `DropPct`/`Delay` under real concurrency) and
 //!   runs the complete conformance suite: Specifications 1.1–7.2, the
-//!   primary-component properties, and the §5 VS reduction.
+//!   primary-component properties, and the §5 VS reduction. Plans with
+//!   broker steps run on the broker client path (`evs-broker`'s
+//!   [`BrokerCluster`](evs_broker::BrokerCluster), one broker per
+//!   daemon), which additionally checks the client-op exactly-once
+//!   invariants (`broker-dedup`, `broker-ack`).
 //! * [`Shrinker`] — delta-debugging minimization by step removal,
 //!   adjacent-`Run` merging, process-id remapping and parameter
 //!   reduction, re-checking every candidate.
@@ -26,7 +31,10 @@
 //! The `chaos-mutation` cargo feature rebuilds `evs-core` with a
 //! deliberate protocol bug (a skipped obligation-set union in the recovery
 //! algorithm) so the pipeline can prove, in its self-test, that it catches
-//! and shrinks real violations — see `tests/mutation_self_test.rs`.
+//! and shrinks real violations — see `tests/mutation_self_test.rs`. The
+//! `broker-mutation` feature does the same for the client path: it plants
+//! a dedup-ledger bug in `evs-broker` that broker campaigns must find and
+//! shrink — see `tests/broker_mutation_self_test.rs`.
 //!
 //! ```
 //! use evs_chaos::{Campaign, CampaignConfig, GenConfig, Orchestrator, ScenarioGen, Shrinker};
@@ -62,4 +70,11 @@ pub use shrink::{ShrinkResult, Shrinker};
 /// anything that must never run against a mutated engine.
 pub const fn mutation_active() -> bool {
     cfg!(feature = "chaos-mutation")
+}
+
+/// True when the workspace was built with the deliberate `broker-mutation`
+/// dedup bug in `evs-broker` — the broker self-test's tripwire, and a
+/// guard for anything that must never run against a mutated ledger.
+pub const fn broker_mutation_active() -> bool {
+    cfg!(feature = "broker-mutation")
 }

@@ -15,8 +15,9 @@
 //! to virtual synchrony.
 
 use crate::plan::{FaultPlan, FaultStep, PlanError};
+use evs_broker::{BrokerCluster, BrokerClusterConfig};
 use evs_core::checker;
-use evs_core::{EvsCluster, EvsParams, EvsProcess, Trace};
+use evs_core::{EvsCluster, EvsParams, EvsProcess, Payload, Trace};
 use evs_sim::live::LiveNet;
 use evs_sim::{Action, LinkFault, NetConfig, ProcessId};
 use evs_telemetry::{RunReport, Telemetry};
@@ -29,8 +30,9 @@ use std::time::Duration;
 pub struct ChaosFailure {
     /// Sorted, deduplicated identifiers of the violated properties:
     /// specification numbers (`"3"`, `"6.1"`), `"primary-1"`/`"primary-2"`,
-    /// `"vs:C1"`…`"vs:L5"`, or `"settle"` for a cluster that never
-    /// re-stabilized.
+    /// `"vs:C1"`…`"vs:L5"`, `"broker-dedup"`/`"broker-ack"` for the
+    /// broker path's exactly-once invariants, or `"settle"` for a cluster
+    /// that never re-stabilized.
     pub specs: Vec<String>,
     /// The rendered failure: every violation, then any flight-recorder
     /// dumps.
@@ -174,6 +176,10 @@ impl Orchestrator {
                     }
                 }
                 FaultStep::Run(t) => cluster.run_for(*t as u64),
+                // Meaningless without the broker front-end; plans carrying
+                // them are dispatched to `execute_broker` by `run_sim`, so
+                // a direct `execute` call just skips them.
+                FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_) => {}
             }
         }
         // Heal everything so the liveness-flavored specifications apply:
@@ -192,13 +198,172 @@ impl Orchestrator {
         (cluster, settled)
     }
 
+    /// Builds a broker-fronted cluster (one broker per daemon), applies
+    /// every step of `plan` with `Mcast` reinterpreted as client ops
+    /// through the broker pipeline, heals everything (network knobs,
+    /// merge, daemon recovery, broker reconnection — the reconnects replay
+    /// unacked ops through the dedup ledgers), and drains the pipeline.
+    /// Returns the harness and whether the daemon group settled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn execute_broker(&self, plan: &FaultPlan) -> (BrokerCluster, bool) {
+        plan.validate().expect("fault plan must validate");
+        let n = plan.n as usize;
+        let mut bc = BrokerCluster::new(BrokerClusterConfig {
+            daemons: n,
+            brokers: n,
+            seed: plan.seed,
+            telemetry: self.telemetry,
+            ..BrokerClusterConfig::default()
+        });
+        bc.form(self.formation_budget);
+        let mut msg = 0u32;
+        for step in &plan.steps {
+            match step {
+                FaultStep::Split(labels) => {
+                    let mut groups: Vec<Vec<ProcessId>> = Vec::new();
+                    let mut max = 0usize;
+                    for &l in labels {
+                        max = max.max(l as usize + 1);
+                    }
+                    groups.resize(max, Vec::new());
+                    for (i, &l) in labels.iter().enumerate() {
+                        groups[l as usize].push(ProcessId::new(i as u32));
+                    }
+                    let groups: Vec<&[ProcessId]> = groups
+                        .iter()
+                        .filter(|g| !g.is_empty())
+                        .map(Vec::as_slice)
+                        .collect();
+                    bc.partition(&groups);
+                }
+                FaultStep::Merge => bc.merge_all(),
+                FaultStep::Crash(i) => bc.crash(ProcessId::new(*i as u32)),
+                FaultStep::Kill(i) => bc.kill(ProcessId::new(*i as u32)),
+                FaultStep::Recover(i) | FaultStep::Restart(i) => {
+                    bc.recover(ProcessId::new(*i as u32));
+                }
+                FaultStep::DropPct(pct) => bc.set_drop_prob(*pct as f64 / 100.0),
+                FaultStep::Delay(lo, hi) => bc.set_latency(*lo, *hi),
+                FaultStep::Mcast { from, count, .. } => {
+                    // Client ops through broker `from`; a dead or
+                    // backpressuring broker drops the burst, like a down
+                    // process on the daemon path. One client per broker
+                    // keeps per-client sequences long enough to replay.
+                    let client = 100 + *from as u64;
+                    for _ in 0..*count {
+                        msg += 1;
+                        let op = Payload::from(msg.to_be_bytes().to_vec());
+                        let _ = bc.submit(*from as usize, client, op);
+                    }
+                }
+                FaultStep::Run(t) => bc.pump(*t as u64),
+                FaultStep::BrokerKill(b) => bc.kill_broker(*b as usize),
+                FaultStep::BrokerReconnect(b) => {
+                    let _ = bc.reconnect_broker(*b as usize);
+                }
+            }
+        }
+        // Heal everything so the liveness-flavored specifications apply —
+        // and reconnect every dead broker, which resubmits its unacked
+        // ops: the replay the dedup ledgers must absorb exactly once.
+        bc.set_drop_prob(0.0);
+        let default_net = NetConfig::default();
+        bc.set_latency(default_net.latency_min, default_net.latency_max);
+        bc.merge_all();
+        for i in 0..n {
+            bc.recover(ProcessId::new(i as u32));
+        }
+        for b in 0..n {
+            if !bc.broker_alive(b) {
+                let _ = bc.reconnect_broker(b);
+            }
+        }
+        let mut settled = bc.cluster_mut().run_until_settled(self.settle_budget);
+        // Drain the client pipeline: flush still-pending batches, deliver
+        // them, apply through the ledgers and route the replies.
+        bc.pump(20_000);
+        settled = settled && bc.cluster_mut().run_until_settled(self.settle_budget);
+        bc.pump(256);
+        (bc, settled)
+    }
+
+    /// Runs `plan` on the broker client path and checks the full
+    /// conformance suite plus the broker exactly-once invariants:
+    /// `"broker-dedup"` (a daemon ledger applied the same client op
+    /// twice) and `"broker-ack"` (a reply was routed for an op no daemon
+    /// applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn run_broker(&self, plan: &FaultPlan) -> ChaosOutcome {
+        let (bc, settled) = self.execute_broker(plan);
+        let handles = bc.daemon_telemetry();
+        let mut all = handles.clone();
+        all.extend(bc.broker_telemetry().iter().cloned());
+        let report = RunReport::collect(&all);
+        let failure = if settled {
+            let mut specs: Vec<String> = Vec::new();
+            let mut details = String::new();
+            if let Some(f) = conformance(&bc.trace(), &handles, plan.n as usize) {
+                specs.extend(f.specs);
+                details.push_str(&f.details);
+            }
+            let dups = bc.duplicate_applications();
+            if !dups.is_empty() {
+                specs.push("broker-dedup".to_string());
+                details.push_str(&format!(
+                    "exactly-once violated: {} duplicate application(s) \
+                     (daemon, client, seq), first: {:?}\n",
+                    dups.len(),
+                    &dups[..dups.len().min(8)]
+                ));
+            }
+            let ghosts = bc.acked_never_applied();
+            if !ghosts.is_empty() {
+                specs.push("broker-ack".to_string());
+                details.push_str(&format!(
+                    "{} reply(ies) routed for ops no daemon applied, first: {:?}\n",
+                    ghosts.len(),
+                    &ghosts[..ghosts.len().min(8)]
+                ));
+            }
+            if specs.is_empty() {
+                None
+            } else {
+                Some(finish(specs, details))
+            }
+        } else {
+            Some(ChaosFailure {
+                specs: vec!["settle".to_string()],
+                details: format!(
+                    "broker-fronted cluster failed to re-stabilize within {} ticks after healing",
+                    self.settle_budget
+                ),
+            })
+        };
+        ChaosOutcome {
+            settled,
+            failure,
+            report,
+        }
+    }
+
     /// Runs `plan` under the deterministic simulator and checks the full
-    /// conformance suite.
+    /// conformance suite. Plans containing broker steps are dispatched to
+    /// [`Orchestrator::run_broker`] — the whole generated plan space runs
+    /// through this one entry point.
     ///
     /// # Panics
     ///
     /// Panics if the plan fails [`FaultPlan::validate`].
     pub fn run_sim(&self, plan: &FaultPlan) -> ChaosOutcome {
+        if plan.has_broker_steps() {
+            return self.run_broker(plan);
+        }
         let (cluster, settled) = self.execute(plan);
         let handles = cluster.telemetry_handles();
         let report = RunReport::collect(&handles);
@@ -230,9 +395,19 @@ impl Orchestrator {
     /// # Errors
     ///
     /// Returns a [`PlanError`] if the plan fails
-    /// [`FaultPlan::validate`].
+    /// [`FaultPlan::validate`], or if it contains broker steps (the
+    /// broker client path is simulator-only — see
+    /// [`FaultStep::live_supported`]).
     pub fn run_live(&self, plan: &FaultPlan) -> Result<ChaosOutcome, PlanError> {
         plan.validate()?;
+        if !plan.live_compatible() {
+            return Err(PlanError {
+                line: 0,
+                detail:
+                    "broker steps are simulator-only; the live driver has no broker client path"
+                        .to_string(),
+            });
+        }
         let n = plan.n as usize;
         let spawn = |pid: ProcessId| EvsProcess::<String>::new(pid, EvsParams::default());
         let net = if self.telemetry {
@@ -315,6 +490,9 @@ impl Orchestrator {
                     }
                     FaultStep::Run(t) => {
                         std::thread::sleep(Duration::from_micros(*t as u64 * 100));
+                    }
+                    FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_) => {
+                        unreachable!("run_live rejects broker plans up front")
                     }
                 }
             }
@@ -482,6 +660,65 @@ mod tests {
             "the restarted process must report a storage recovery"
         );
         assert!(outcome.report.total("wal_replay_records") >= 1);
+    }
+
+    fn broker_plan() -> FaultPlan {
+        FaultPlan {
+            n: 3,
+            seed: 13,
+            steps: vec![
+                FaultStep::Mcast {
+                    from: 0,
+                    count: 4,
+                    service: Service::Agreed,
+                },
+                FaultStep::Run(200),
+                FaultStep::BrokerKill(0),
+                FaultStep::Run(2_000),
+                FaultStep::BrokerReconnect(0),
+                FaultStep::Mcast {
+                    from: 1,
+                    count: 2,
+                    service: Service::Agreed,
+                },
+                FaultStep::Run(2_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn broker_plan_passes_conformance_on_the_correct_ledger() {
+        // A broker is killed with a batch in flight and reconnected: the
+        // resubmission replays through the dedup ledgers, and with the
+        // correct ledger the run is clean (no broker-dedup, no EVS
+        // violation).
+        let outcome = Orchestrator::default().run_sim(&broker_plan());
+        assert!(outcome.settled);
+        assert!(!outcome.failed(), "{:?}", outcome.failure);
+        assert!(
+            outcome.report.total("broker_batches_flushed") >= 1,
+            "client ops must ride the broker pipeline"
+        );
+    }
+
+    #[test]
+    fn broker_execution_is_deterministic() {
+        let orch = Orchestrator::detached();
+        let (a, sa) = orch.execute_broker(&broker_plan());
+        let (b, sb) = orch.execute_broker(&broker_plan());
+        assert_eq!(sa, sb);
+        assert_eq!(a.trace().events, b.trace().events);
+        assert_eq!(a.replies(), b.replies());
+        assert_eq!(a.applied_total(), b.applied_total());
+        assert_eq!(a.deduped_total(), b.deduped_total());
+    }
+
+    #[test]
+    fn live_rejects_broker_plans() {
+        let e = Orchestrator::detached()
+            .run_live(&broker_plan())
+            .expect_err("broker steps are simulator-only");
+        assert!(e.detail.contains("simulator-only"), "{e}");
     }
 
     #[test]

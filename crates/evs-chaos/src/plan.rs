@@ -45,6 +45,12 @@ pub enum FaultStep {
     Delay(u64, u64),
     /// Multicast a burst: process `from` submits `count` application
     /// messages with the given service level. Skipped if `from` is down.
+    ///
+    /// On the broker execution path (plans containing broker steps),
+    /// `from` addresses broker `from` instead and the burst becomes
+    /// `count` client ops through that broker's prepare-batch pipeline
+    /// (riding the broker's configured service). Backpressured or
+    /// dead-broker submits are skipped, like a down process here.
     Mcast {
         /// Originating process.
         from: u8,
@@ -55,15 +61,30 @@ pub enum FaultStep {
     },
     /// Let the system run for the given number of simulated ticks.
     Run(u32),
+    /// Kill broker front-end `b`: its daemon link drops, pending acks are
+    /// lost, and new client submits backpressure until a reconnect.
+    /// Plans with broker steps run on the broker execution path with one
+    /// broker per daemon, so `b` is bounded by the cluster size. No-op if
+    /// the broker is already down.
+    BrokerKill(u8),
+    /// Reconnect broker `b` to a surviving daemon, resubmitting every
+    /// unacked client op (the dedup ledgers must absorb the replay).
+    /// Skipped if no daemon is up; no-op resubmission if the broker never
+    /// lost an ack.
+    BrokerReconnect(u8),
 }
 
 impl FaultStep {
-    /// True if the live (threaded) driver can apply this step. Since the
-    /// live network gained per-link fault policies (drop, latency/jitter,
-    /// duplication, reordering) this is every step: the full generated
-    /// plan space runs on both drivers.
+    /// True if the live (threaded) driver can apply this step. The live
+    /// network's per-link fault policies carry every daemon-level step
+    /// (drop, latency/jitter, crash, kill, partition); only the broker
+    /// steps are simulator-only — the broker client path has no threaded
+    /// driver yet.
     pub fn live_supported(&self) -> bool {
-        true
+        !matches!(
+            self,
+            FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_)
+        )
     }
 }
 
@@ -98,6 +119,8 @@ impl fmt::Display for FaultStep {
                 service,
             } => write!(f, "mcast {from} {count} {}", service_name(*service)),
             FaultStep::Run(t) => write!(f, "run {t}"),
+            FaultStep::BrokerKill(b) => write!(f, "brokerkill {b}"),
+            FaultStep::BrokerReconnect(b) => write!(f, "brokerreconnect {b}"),
         }
     }
 }
@@ -210,9 +233,25 @@ impl FaultPlan {
                         return Err(at("zero-tick run".to_string()));
                     }
                 }
+                FaultStep::BrokerKill(b) | FaultStep::BrokerReconnect(b) => {
+                    // The broker path runs one broker per daemon, so the
+                    // broker index space mirrors the process index space.
+                    if *b >= self.n {
+                        return Err(at(format!("broker {b} out of range")));
+                    }
+                }
             }
         }
         Ok(())
+    }
+
+    /// True if the plan contains any broker front-end step — such plans
+    /// execute on the broker client path (one broker per daemon) instead
+    /// of the bare daemon group.
+    pub fn has_broker_steps(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_)))
     }
 
     /// True if every step can be applied by the live (threaded) driver.
@@ -349,6 +388,14 @@ impl FaultPlan {
                         .map_err(|_| err(i, format!("run of {t} ticks does not fit in u32")))?;
                     steps.push(FaultStep::Run(t));
                 }
+                "brokerkill" => {
+                    arity(1)?;
+                    steps.push(FaultStep::BrokerKill(u8of(args[0], "broker")?));
+                }
+                "brokerreconnect" => {
+                    arity(1)?;
+                    steps.push(FaultStep::BrokerReconnect(u8of(args[0], "broker")?));
+                }
                 other => return Err(err(i, format!("unknown step `{other}`"))),
             }
         }
@@ -395,11 +442,45 @@ mod tests {
         }
     }
 
+    fn broker_sample() -> FaultPlan {
+        FaultPlan {
+            n: 3,
+            seed: 4,
+            steps: vec![
+                FaultStep::Mcast {
+                    from: 1,
+                    count: 2,
+                    service: Service::Agreed,
+                },
+                FaultStep::Run(300),
+                FaultStep::BrokerKill(1),
+                FaultStep::Run(900),
+                FaultStep::BrokerReconnect(1),
+            ],
+        }
+    }
+
     #[test]
     fn round_trips_through_text() {
         let plan = sample();
         let text = plan.to_text();
         assert_eq!(FaultPlan::from_text(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn broker_steps_round_trip_and_validate() {
+        let plan = broker_sample();
+        assert!(plan.has_broker_steps());
+        assert!(!sample().has_broker_steps());
+        plan.validate().expect("broker sample validates");
+        assert_eq!(FaultPlan::from_text(&plan.to_text()).unwrap(), plan);
+    }
+
+    #[test]
+    fn rejects_out_of_range_broker() {
+        let text = "evs-chaos plan v1\nn 2\nseed 0\nbrokerkill 2\n";
+        let e = FaultPlan::from_text(text).unwrap_err();
+        assert!(e.detail.contains("broker 2 out of range"), "{e}");
     }
 
     #[test]
@@ -436,10 +517,17 @@ mod tests {
     }
 
     #[test]
-    fn every_step_is_live_compatible() {
+    fn every_daemon_step_is_live_compatible() {
         assert!(FaultStep::Crash(0).live_supported());
         assert!(FaultStep::DropPct(10).live_supported());
         assert!(FaultStep::Delay(1, 5).live_supported());
         assert!(sample().live_compatible());
+    }
+
+    #[test]
+    fn broker_steps_are_simulator_only() {
+        assert!(!FaultStep::BrokerKill(0).live_supported());
+        assert!(!FaultStep::BrokerReconnect(1).live_supported());
+        assert!(!broker_sample().live_compatible());
     }
 }

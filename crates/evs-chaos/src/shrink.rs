@@ -157,8 +157,13 @@ fn compact_processes<F: FnMut(&FaultPlan) -> bool>(
     }
     let mut kept: Vec<u8> = Vec::new();
     for step in &cur.steps {
+        // Broker indices live in the same space as process indices (the
+        // broker path runs one broker per daemon), so they pin ids too.
         let p = match step {
-            FaultStep::Crash(p) | FaultStep::Recover(p) => *p,
+            FaultStep::Crash(p)
+            | FaultStep::Recover(p)
+            | FaultStep::BrokerKill(p)
+            | FaultStep::BrokerReconnect(p) => *p,
             FaultStep::Mcast { from, .. } => *from,
             _ => continue,
         };
@@ -184,7 +189,10 @@ fn compact_processes<F: FnMut(&FaultPlan) -> bool>(
     candidate.n = new_n;
     for step in &mut candidate.steps {
         match step {
-            FaultStep::Crash(p) | FaultStep::Recover(p) => *p = remap(*p),
+            FaultStep::Crash(p)
+            | FaultStep::Recover(p)
+            | FaultStep::BrokerKill(p)
+            | FaultStep::BrokerReconnect(p) => *p = remap(*p),
             FaultStep::Mcast { from, .. } => *from = remap(*from),
             FaultStep::Split(labels) => {
                 *labels = kept
@@ -416,6 +424,38 @@ mod tests {
             .steps
             .iter()
             .all(|s| !matches!(s, FaultStep::Crash(x) | FaultStep::Recover(x) if *x >= 2)));
+    }
+
+    #[test]
+    fn broker_steps_remap_like_process_steps() {
+        // Oracle: fails while some broker is killed and later reconnected
+        // — invariant under index renaming and cluster shrinking.
+        let kill_then_reconnect = |p: &FaultPlan| {
+            (0..p.n).any(|b| {
+                let kill = p
+                    .steps
+                    .iter()
+                    .position(|s| matches!(s, FaultStep::BrokerKill(x) if *x == b));
+                let rec = p
+                    .steps
+                    .iter()
+                    .rposition(|s| matches!(s, FaultStep::BrokerReconnect(x) if *x == b));
+                matches!((kill, rec), (Some(k), Some(r)) if k < r)
+            })
+        };
+        let p = FaultPlan {
+            n: 5,
+            seed: 1,
+            steps: vec![
+                FaultStep::Run(400),
+                FaultStep::BrokerKill(4),
+                FaultStep::BrokerReconnect(4),
+            ],
+        };
+        let result = Shrinker::default().shrink(&p, kill_then_reconnect);
+        assert!(kill_then_reconnect(&result.plan));
+        assert_eq!(result.plan.n, 2, "{:?}", result.plan);
+        assert!(result.plan.validate().is_ok());
     }
 
     #[test]

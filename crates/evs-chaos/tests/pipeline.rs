@@ -72,6 +72,8 @@ fn kind_of(step: &FaultStep) -> u8 {
         FaultStep::Run(_) => 7,
         FaultStep::Kill(_) => 8,
         FaultStep::Restart(_) => 9,
+        FaultStep::BrokerKill(_) => 10,
+        FaultStep::BrokerReconnect(_) => 11,
     }
 }
 

@@ -317,6 +317,14 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         self.me
     }
 
+    /// The parameters this process was constructed with. Transport layers
+    /// (datagram packing) and front-ends (broker batch sizing) read shared
+    /// tunables like [`EvsParams::max_datagram_bytes`] from here instead of
+    /// keeping their own copies.
+    pub fn params(&self) -> &EvsParams {
+        &self.params
+    }
+
     /// The configuration most recently delivered to the application.
     pub fn current_config(&self) -> &Configuration {
         &self.current_config

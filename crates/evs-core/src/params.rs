@@ -46,6 +46,12 @@ pub struct EvsParams {
     pub recovery_stall: u64,
     /// Maximum new messages stamped per token visit (flow control).
     pub max_per_visit: usize,
+    /// Datagram budget in bytes shared by every layer that packs frames
+    /// into one transmission unit: the live driver's `pack_frames` ring
+    /// packing and a broker's batched-multicast flush both size against
+    /// this bound. The default stays under the common 64 kB UDP payload
+    /// ceiling with headroom for frame headers.
+    pub max_datagram_bytes: usize,
 }
 
 impl Default for EvsParams {
@@ -61,6 +67,7 @@ impl Default for EvsParams {
             recovery_resend: 96,
             recovery_stall: 800,
             max_per_visit: 16,
+            max_datagram_bytes: 60_000,
         }
     }
 }
@@ -84,6 +91,8 @@ mod tests {
         // timeout only fires when the resends themselves are not landing.
         assert!(p.recovery_stall >= 4 * p.recovery_resend);
         assert!(p.max_per_visit > 0);
+        // Room for at least one full-sized frame, under the UDP ceiling.
+        assert!(p.max_datagram_bytes >= 1500 && p.max_datagram_bytes < 65_507);
         // The membership suspects faster than... at least within the same
         // order of magnitude as token loss, so both detectors cooperate.
         assert!(p.membership.suspect_timeout >= p.tick_interval);

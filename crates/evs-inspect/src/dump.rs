@@ -172,6 +172,25 @@ pub fn event_to_json(rec: &RecordedEvent) -> String {
         TelemetryEvent::LinkPacketDelayed { from, to, ticks } => {
             let _ = write!(out, ",\"from\":{from},\"to\":{to},\"ticks\":{ticks}");
         }
+        TelemetryEvent::SessionOpened { broker, client } => {
+            let _ = write!(out, ",\"broker\":{broker},\"client\":{client}");
+        }
+        TelemetryEvent::BatchFlushed { broker, ops, bytes } => {
+            let _ = write!(out, ",\"broker\":{broker},\"ops\":{ops},\"bytes\":{bytes}");
+        }
+        TelemetryEvent::BackpressureSignaled { broker, client } => {
+            let _ = write!(out, ",\"broker\":{broker},\"client\":{client}");
+        }
+        TelemetryEvent::BrokerReattached {
+            broker,
+            to,
+            resubmitted,
+        } => {
+            let _ = write!(
+                out,
+                ",\"broker\":{broker},\"to\":{to},\"resubmitted\":{resubmitted}"
+            );
+        }
         TelemetryEvent::ChaosRunExecuted {
             seed,
             steps,
@@ -357,6 +376,24 @@ pub fn event_from_json(v: &Value) -> Option<RecordedEvent> {
         names::LINK_DUPLICATES => TelemetryEvent::LinkPacketDuplicated {
             from: get_u32(v, "from")?,
             to: get_u32(v, "to")?,
+        },
+        names::BROKER_SESSIONS => TelemetryEvent::SessionOpened {
+            broker: get_u32(v, "broker")?,
+            client: get_u64(v, "client")?,
+        },
+        names::BROKER_BATCHES_FLUSHED => TelemetryEvent::BatchFlushed {
+            broker: get_u32(v, "broker")?,
+            ops: get_u32(v, "ops")?,
+            bytes: get_u64(v, "bytes")?,
+        },
+        names::BROKER_BACKPRESSURE => TelemetryEvent::BackpressureSignaled {
+            broker: get_u32(v, "broker")?,
+            client: get_u64(v, "client")?,
+        },
+        names::BROKER_RECONNECTS => TelemetryEvent::BrokerReattached {
+            broker: get_u32(v, "broker")?,
+            to: get_u32(v, "to")?,
+            resubmitted: get_u64(v, "resubmitted")?,
         },
         names::CHAOS_RUNS => TelemetryEvent::ChaosRunExecuted {
             seed: get_u64(v, "seed")?,
@@ -548,6 +585,24 @@ mod tests {
                 ticks: 3,
             },
             TelemetryEvent::LinkPacketDuplicated { from: 0, to: 1 },
+            TelemetryEvent::SessionOpened {
+                broker: 0,
+                client: 1_000_001,
+            },
+            TelemetryEvent::BatchFlushed {
+                broker: 0,
+                ops: 512,
+                bytes: 40_960,
+            },
+            TelemetryEvent::BackpressureSignaled {
+                broker: 0,
+                client: 1_000_001,
+            },
+            TelemetryEvent::BrokerReattached {
+                broker: 0,
+                to: 2,
+                resubmitted: 17,
+            },
             TelemetryEvent::ChaosRunExecuted {
                 seed: 42,
                 steps: 6,

@@ -237,6 +237,44 @@ pub enum TelemetryEvent {
         to: u32,
     },
 
+    // ---- evs-broker: the client-session front-end ----
+    /// A broker opened a session for a client. High-rate under a client
+    /// load: a broker fronting 10⁵ clients records 10⁵ of these.
+    SessionOpened {
+        /// The broker that accepted the session.
+        broker: u32,
+        /// The client identifier.
+        client: u64,
+    },
+    /// A broker flushed its prepare-batch pipeline as one multicast frame.
+    BatchFlushed {
+        /// The flushing broker.
+        broker: u32,
+        /// Client operations packed into the frame.
+        ops: u32,
+        /// Encoded frame size in bytes.
+        bytes: u64,
+    },
+    /// A bounded session or broker queue rejected a client submission —
+    /// backpressure instead of unbounded buffering.
+    BackpressureSignaled {
+        /// The broker that rejected the submission.
+        broker: u32,
+        /// The client whose operation was rejected.
+        client: u64,
+    },
+    /// A broker reattached to a surviving daemon and resubmitted its
+    /// unacknowledged operations. Rare and lifecycle-defining, like a
+    /// configuration change.
+    BrokerReattached {
+        /// The reattaching broker.
+        broker: u32,
+        /// Daemon the broker now submits through.
+        to: u32,
+        /// Unacknowledged client operations resubmitted.
+        resubmitted: u64,
+    },
+
     // ---- evs-chaos: the fault-injection harness ----
     /// The chaos orchestrator finished executing one generated fault plan.
     ChaosRunExecuted {
@@ -277,7 +315,7 @@ pub enum TelemetryEvent {
 impl TelemetryEvent {
     /// Number of event kinds — the length of [`TelemetryEvent::KIND_NAMES`]
     /// and the exclusive upper bound of [`TelemetryEvent::kind`].
-    pub const KINDS: usize = 27;
+    pub const KINDS: usize = 31;
 
     /// Counter name per kind, indexed by [`TelemetryEvent::kind`]. Every
     /// name is a constant of [`crate::names`].
@@ -305,6 +343,10 @@ impl TelemetryEvent {
         names::LINK_DROPS,
         names::LINK_DELAYS,
         names::LINK_DUPLICATES,
+        names::BROKER_SESSIONS,
+        names::BROKER_BATCHES_FLUSHED,
+        names::BROKER_BACKPRESSURE,
+        names::BROKER_RECONNECTS,
         names::CHAOS_RUNS,
         names::CHAOS_VIOLATIONS,
         names::CHAOS_SHRINKS,
@@ -342,10 +384,14 @@ impl TelemetryEvent {
             TelemetryEvent::LinkPacketDropped { .. } => 20,
             TelemetryEvent::LinkPacketDelayed { .. } => 21,
             TelemetryEvent::LinkPacketDuplicated { .. } => 22,
-            TelemetryEvent::ChaosRunExecuted { .. } => 23,
-            TelemetryEvent::ChaosViolationFound { .. } => 24,
-            TelemetryEvent::ChaosPlanShrunk { .. } => 25,
-            TelemetryEvent::ChaosProgress { .. } => 26,
+            TelemetryEvent::SessionOpened { .. } => 23,
+            TelemetryEvent::BatchFlushed { .. } => 24,
+            TelemetryEvent::BackpressureSignaled { .. } => 25,
+            TelemetryEvent::BrokerReattached { .. } => 26,
+            TelemetryEvent::ChaosRunExecuted { .. } => 27,
+            TelemetryEvent::ChaosViolationFound { .. } => 28,
+            TelemetryEvent::ChaosPlanShrunk { .. } => 29,
+            TelemetryEvent::ChaosProgress { .. } => 30,
         }
     }
 
@@ -355,29 +401,54 @@ impl TelemetryEvent {
         Self::KIND_NAMES[self.kind()]
     }
 
-    /// True for the low-rate lifecycle events that `evs-inspect` derives
-    /// message and configuration-change spans from. The flight recorder
-    /// retains these in their own ring so that token circulation — which
-    /// outnumbers them by orders of magnitude — cannot evict them before
-    /// a post-mortem reads the dump.
-    pub fn is_span_grade(&self) -> bool {
-        matches!(
-            self,
+    /// The flight-recorder retention class of this event (see
+    /// [`EventClass`]). Message-lifecycle and configuration/recovery spans
+    /// are retained in separate rings so that a client-load burst of
+    /// originations — which a broker front-end produces at the same rate
+    /// as token circulation — can only evict other message events, never
+    /// the configuration and recovery spans a post-mortem needs.
+    pub fn class(&self) -> EventClass {
+        match self {
+            TelemetryEvent::MessageOriginated { .. }
+            | TelemetryEvent::MessageSent { .. }
+            | TelemetryEvent::MessageDelivered { .. } => EventClass::MessageSpan,
             TelemetryEvent::MembershipTransition { .. }
-                | TelemetryEvent::ConfigCommitted { .. }
-                | TelemetryEvent::ConfigInstalled { .. }
-                | TelemetryEvent::MessageOriginated { .. }
-                | TelemetryEvent::MessageSent { .. }
-                | TelemetryEvent::MessageDelivered { .. }
-                | TelemetryEvent::ConfigDelivered { .. }
-                | TelemetryEvent::RecoveryStepEntered { .. }
-                | TelemetryEvent::RecoveryStepReached { .. }
-                | TelemetryEvent::RecoveryStepExited { .. }
-                | TelemetryEvent::ObligationSetSize { .. }
-                | TelemetryEvent::StableWrite { .. }
-                | TelemetryEvent::StorageRecovered { .. }
-        )
+            | TelemetryEvent::ConfigCommitted { .. }
+            | TelemetryEvent::ConfigInstalled { .. }
+            | TelemetryEvent::ConfigDelivered { .. }
+            | TelemetryEvent::RecoveryStepEntered { .. }
+            | TelemetryEvent::RecoveryStepReached { .. }
+            | TelemetryEvent::RecoveryStepExited { .. }
+            | TelemetryEvent::ObligationSetSize { .. }
+            | TelemetryEvent::StableWrite { .. }
+            | TelemetryEvent::StorageRecovered { .. }
+            | TelemetryEvent::BrokerReattached { .. } => EventClass::ConfigSpan,
+            _ => EventClass::HighRate,
+        }
     }
+
+    /// True for the lifecycle events that `evs-inspect` derives message
+    /// and configuration-change spans from — everything except the
+    /// high-rate traffic class.
+    pub fn is_span_grade(&self) -> bool {
+        self.class() != EventClass::HighRate
+    }
+}
+
+/// Flight-recorder retention class of a [`TelemetryEvent`]. Each class is
+/// kept in its own bounded ring so one class's volume can never evict
+/// another's history (see [`FlightRecorder`](crate::FlightRecorder)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventClass {
+    /// Token circulation, link faults, per-session traffic — the volume
+    /// class; any burst may evict only other high-rate events.
+    HighRate,
+    /// Message lifecycle spans (originated/sent/delivered). Moderate in a
+    /// protocol-level run, burst-prone under a broker client load.
+    MessageSpan,
+    /// Configuration, membership, recovery and storage spans — the rare,
+    /// run-defining events a post-mortem can least afford to lose.
+    ConfigSpan,
 }
 
 impl fmt::Display for TelemetryEvent {
@@ -531,6 +602,28 @@ impl fmt::Display for TelemetryEvent {
             }
             TelemetryEvent::LinkPacketDuplicated { from, to } => {
                 write!(f, "link fault duplicated packet P{from} -> P{to}")
+            }
+            TelemetryEvent::SessionOpened { broker, client } => {
+                write!(f, "broker {broker} opened session for client {client}")
+            }
+            TelemetryEvent::BatchFlushed { broker, ops, bytes } => {
+                write!(
+                    f,
+                    "broker {broker} flushed batch of {ops} op(s) ({bytes} byte(s))"
+                )
+            }
+            TelemetryEvent::BackpressureSignaled { broker, client } => {
+                write!(f, "broker {broker} backpressured client {client}")
+            }
+            TelemetryEvent::BrokerReattached {
+                broker,
+                to,
+                resubmitted,
+            } => {
+                write!(
+                    f,
+                    "broker {broker} reattached to P{to}, resubmitted {resubmitted} op(s)"
+                )
             }
             TelemetryEvent::ChaosRunExecuted {
                 seed,

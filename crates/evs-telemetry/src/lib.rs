@@ -37,7 +37,7 @@ pub mod names;
 mod recorder;
 pub mod report;
 
-pub use event::TelemetryEvent;
+pub use event::{EventClass, TelemetryEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use recorder::{FlightRecorder, RecordedEvent, DEFAULT_FLIGHT_CAPACITY};
 pub use report::{ProcessReport, RunReport};

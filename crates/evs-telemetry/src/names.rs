@@ -99,6 +99,33 @@ pub const LINK_DELAYS: &str = "link_delays";
 /// Duplicate deliveries scheduled by a live link's fault policy.
 pub const LINK_DUPLICATES: &str = "link_duplicates";
 
+// ---- evs-broker: the client-session front-end ----
+
+/// Client sessions opened at a broker
+/// ([`SessionOpened`](crate::TelemetryEvent::SessionOpened)).
+pub const BROKER_SESSIONS: &str = "broker_sessions";
+/// Client operations accepted into a broker's prepare-batch pipeline.
+pub const BROKER_OPS_SUBMITTED: &str = "broker_ops_submitted";
+/// Client operations applied by a daemon-side op ledger (first, and with
+/// correct dedup only, application of each per-client sequence number).
+pub const BROKER_OPS_APPLIED: &str = "broker_ops_applied";
+/// Duplicate client operations discarded by a daemon-side op ledger —
+/// redeliveries of ops a broker resubmitted across a reconnect.
+pub const BROKER_OPS_DEDUPED: &str = "broker_ops_deduped";
+/// Batched multicast frames flushed by a broker
+/// ([`BatchFlushed`](crate::TelemetryEvent::BatchFlushed)).
+pub const BROKER_BATCHES_FLUSHED: &str = "broker_batches_flushed";
+/// Client submissions rejected because a bounded session or broker queue
+/// was full ([`BackpressureSignaled`](crate::TelemetryEvent::BackpressureSignaled)).
+pub const BROKER_BACKPRESSURE: &str = "broker_backpressure";
+/// Replies routed back to client sessions off agreed/safe delivery.
+pub const BROKER_REPLIES_ROUTED: &str = "broker_replies_routed";
+/// Broker reattachments to a surviving daemon
+/// ([`BrokerReattached`](crate::TelemetryEvent::BrokerReattached)).
+pub const BROKER_RECONNECTS: &str = "broker_reconnects";
+/// Histogram: client operations per flushed batch.
+pub const BROKER_BATCH_OPS: &str = "broker_batch_ops";
+
 // ---- evs-chaos: the fault-injection harness ----
 
 /// Chaos fault plans executed.

@@ -5,16 +5,21 @@
 //! specification checker reports a violation, the recorder's dump shows
 //! what each process was doing just before the end.
 //!
-//! Events are retained in two classes with independent capacity. Token
-//! circulation dominates any run by orders of magnitude — a single ring
-//! would evict every message origination, configuration change and
-//! recovery step long before a post-mortem reads the dump, leaving
-//! `evs-inspect` nothing to derive lifecycle spans from. Span-grade
-//! events ([`TelemetryEvent::is_span_grade`]) therefore live in their own
-//! ring; high-rate traffic can only evict other high-rate traffic. A dump
-//! interleaves both classes back into recording order.
+//! Events are retained in three classes with independent capacity (see
+//! [`EventClass`]). Token circulation dominates any run by orders of
+//! magnitude — a single ring would evict every message origination,
+//! configuration change and recovery step long before a post-mortem reads
+//! the dump, leaving `evs-inspect` nothing to derive lifecycle spans from.
+//! And with a broker front-end, message originations themselves become a
+//! burst class: a client-load spike produces thousands of
+//! `MessageOriginated` events that would flush the configuration and
+//! recovery history out of a shared span ring. Each class therefore lives
+//! in its own ring: high-rate traffic evicts only high-rate traffic,
+//! message spans evict only message spans, and the rare configuration /
+//! recovery spans are never displaced by either. A dump interleaves all
+//! three classes back into recording order.
 
-use crate::event::TelemetryEvent;
+use crate::event::{EventClass, TelemetryEvent};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Mutex;
@@ -37,21 +42,34 @@ impl fmt::Display for RecordedEvent {
     }
 }
 
-/// The two rings, guarded together so a dump sees a consistent cut.
+/// The three rings, guarded together so a dump sees a consistent cut.
 #[derive(Debug)]
 struct Rings {
-    /// Monotone recording index, shared by both rings; a dump merges on it.
+    /// Monotone recording index, shared by all rings; a dump merges on it.
     seq: u64,
-    /// High-rate traffic (token circulation, retransmissions, ...).
+    /// High-rate traffic (token circulation, link faults, sessions, ...).
     recent: VecDeque<(u64, RecordedEvent)>,
-    /// Span-grade lifecycle events — protected from high-rate eviction.
+    /// Message lifecycle spans — burst-prone under a broker client load,
+    /// but protected from token-rate eviction.
+    messages: VecDeque<(u64, RecordedEvent)>,
+    /// Configuration / recovery / storage spans — protected from both.
     spans: VecDeque<(u64, RecordedEvent)>,
 }
 
+impl Rings {
+    fn ring_mut(&mut self, class: EventClass) -> &mut VecDeque<(u64, RecordedEvent)> {
+        match class {
+            EventClass::HighRate => &mut self.recent,
+            EventClass::MessageSpan => &mut self.messages,
+            EventClass::ConfigSpan => &mut self.spans,
+        }
+    }
+}
+
 /// A bounded ring buffer of [`RecordedEvent`]s, safe to push from the
-/// owning process thread while another thread dumps. Span-grade events
-/// (see module docs) are retained separately from high-rate traffic, with
-/// `capacity` events kept of each class.
+/// owning process thread while another thread dumps. Each retention class
+/// (see module docs) keeps `capacity` events of its own; eviction never
+/// crosses classes.
 #[derive(Debug)]
 pub struct FlightRecorder {
     capacity: usize,
@@ -60,7 +78,7 @@ pub struct FlightRecorder {
 
 impl FlightRecorder {
     /// Creates a recorder keeping the last `capacity` events of each
-    /// class (span-grade and high-rate).
+    /// class (high-rate, message-span and config-span).
     ///
     /// # Panics
     ///
@@ -75,6 +93,7 @@ impl FlightRecorder {
             rings: Mutex::new(Rings {
                 seq: 0,
                 recent: VecDeque::with_capacity(capacity),
+                messages: VecDeque::new(),
                 spans: VecDeque::new(),
             }),
         }
@@ -86,24 +105,21 @@ impl FlightRecorder {
         let mut rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
         let seq = rings.seq;
         rings.seq += 1;
-        let ring = if event.is_span_grade() {
-            &mut rings.spans
-        } else {
-            &mut rings.recent
-        };
+        let ring = rings.ring_mut(event.class());
         if ring.len() == self.capacity {
             ring.pop_front();
         }
         ring.push_back((seq, RecordedEvent { at, event }));
     }
 
-    /// The retained suffix, oldest first: both classes interleaved back
+    /// The retained suffix, oldest first: all classes interleaved back
     /// into recording order.
     pub fn dump(&self) -> Vec<RecordedEvent> {
         let rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
         let mut merged: Vec<(u64, RecordedEvent)> = rings
             .recent
             .iter()
+            .chain(rings.messages.iter())
             .chain(rings.spans.iter())
             .copied()
             .collect();
@@ -131,6 +147,14 @@ mod tests {
         TelemetryEvent::TokenRotated {
             epoch: 1,
             rotations: n,
+        }
+    }
+
+    fn originated(counter: u64) -> TelemetryEvent {
+        TelemetryEvent::MessageOriginated {
+            sender: 1,
+            counter,
+            service: "safe",
         }
     }
 
@@ -178,14 +202,7 @@ mod tests {
     #[test]
     fn span_grade_events_survive_a_token_flood() {
         let rec = FlightRecorder::new(4);
-        rec.push(
-            0,
-            TelemetryEvent::MessageOriginated {
-                sender: 1,
-                counter: 1,
-                service: "safe",
-            },
-        );
+        rec.push(0, originated(1));
         for i in 1..100 {
             rec.push(i, ev(i));
         }
@@ -199,5 +216,63 @@ mod tests {
             TelemetryEvent::MessageOriginated { .. }
         ));
         assert_eq!(dump[4].at, 99);
+    }
+
+    #[test]
+    fn config_spans_survive_a_client_load_burst() {
+        // A broker flush turns thousands of client ops into originations;
+        // those must not evict the run's configuration history.
+        let rec = FlightRecorder::new(4);
+        rec.push(
+            0,
+            TelemetryEvent::ConfigDelivered {
+                epoch: 7,
+                rep: 0,
+                members: 3,
+                regular: true,
+            },
+        );
+        for i in 1..1000 {
+            rec.push(i, originated(i));
+        }
+        let dump = rec.dump();
+        // The configuration delivery outlived 999 originations; the
+        // message ring kept only its own last 4.
+        assert_eq!(dump.len(), 5);
+        assert!(matches!(
+            dump[0].event,
+            TelemetryEvent::ConfigDelivered { .. }
+        ));
+        assert_eq!(dump[4].at, 999);
+    }
+
+    #[test]
+    fn classes_evict_independently() {
+        let rec = FlightRecorder::new(2);
+        // Fill each class past capacity.
+        for i in 0..5 {
+            rec.push(i, ev(i)); // high-rate
+            rec.push(100 + i, originated(i)); // message span
+            rec.push(
+                200 + i,
+                TelemetryEvent::StableWrite { key: "engine" }, // config span
+            );
+        }
+        let dump = rec.dump();
+        // Two survivors per class.
+        assert_eq!(dump.len(), 6);
+        let high = dump
+            .iter()
+            .filter(|r| matches!(r.event, TelemetryEvent::TokenRotated { .. }))
+            .count();
+        let msg = dump
+            .iter()
+            .filter(|r| matches!(r.event, TelemetryEvent::MessageOriginated { .. }))
+            .count();
+        let cfg = dump
+            .iter()
+            .filter(|r| matches!(r.event, TelemetryEvent::StableWrite { .. }))
+            .count();
+        assert_eq!((high, msg, cfg), (2, 2, 2));
     }
 }

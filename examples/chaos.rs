@@ -47,13 +47,17 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S] [--iters K] [--n N] [--mix KIND=WEIGHT]...\n\
-         \x20            [--hunting] [--kill-chaos] [--jobs N] [--live] [--keep-going]\n\
-         \x20            [--replay FILE] [--self-test]\n\
+         \x20            [--hunting] [--kill-chaos] [--broker-chaos] [--jobs N] [--live]\n\
+         \x20            [--keep-going] [--replay FILE] [--self-test]\n\
          \n\
          KIND is one of: split merge crash recover kill restart drop delay mcast run\n\
+         \x20             brokerkill brokerreconnect\n\
          --hunting selects the loss-heavy mix (overridden by later --mix flags)\n\
          --kill-chaos selects the durability mix (kill -9 / WAL-restart heavy)\n\
-         --self-test requires building with --features chaos-mutation"
+         --broker-chaos selects the client-path mix (broker kill/reconnect replays;\n\
+         \x20             simulator only — broker steps have no live driver)\n\
+         --self-test requires building with --features chaos-mutation (engine bug)\n\
+         \x20             or --features broker-mutation (dedup-ledger bug)"
     );
     std::process::exit(2)
 }
@@ -96,6 +100,7 @@ fn parse_args() -> Args {
             }
             "--hunting" => args.gen_cfg.mix = evs::chaos::FaultMix::hunting(),
             "--kill-chaos" => args.gen_cfg.mix = evs::chaos::FaultMix::kill_chaos(),
+            "--broker-chaos" => args.gen_cfg.mix = evs::chaos::FaultMix::broker_chaos(),
             "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--live" => args.live = true,
             "--replay" => args.replay = Some(value("--replay")),
@@ -174,22 +179,35 @@ fn replay(path: &str) -> ! {
 }
 
 fn self_test(args: &Args) -> ! {
-    if !evs::chaos::mutation_active() {
+    let broker = evs::chaos::broker_mutation_active();
+    if !evs::chaos::mutation_active() && !broker {
         eprintln!(
-            "--self-test needs the deliberately broken engine; rebuild with\n\
-             \x20   cargo run --release --features chaos-mutation --example chaos -- --self-test"
+            "--self-test needs a deliberately planted bug; rebuild with\n\
+             \x20   cargo run --release --features chaos-mutation --example chaos -- --self-test\n\
+             or, for the broker dedup-ledger bug,\n\
+             \x20   cargo run --release --features broker-mutation --example chaos -- --self-test"
         );
         std::process::exit(2)
     }
     println!(
-        "== chaos self-test: hunting the chaos-mutation bug (base seed {:#x}) ==",
+        "== chaos self-test: hunting the {} bug (base seed {:#x}) ==",
+        if broker {
+            "broker-mutation"
+        } else {
+            "chaos-mutation"
+        },
         args.seed
     );
     let mut gen_cfg = args.gen_cfg.clone();
     if gen_cfg.mix == evs::chaos::FaultMix::default() {
-        // Without explicit --mix flags, hunt with the loss-heavy mix that
-        // actually reaches the mutated code path.
-        gen_cfg.mix = evs::chaos::FaultMix::hunting();
+        // Without explicit --mix flags, hunt with the mix that actually
+        // reaches the mutated code path: heavy loss for the engine bug,
+        // broker kill/reconnect replays for the ledger bug.
+        gen_cfg.mix = if broker {
+            evs::chaos::FaultMix::broker_chaos()
+        } else {
+            evs::chaos::FaultMix::hunting()
+        };
     }
     let campaign = Campaign::new(
         ScenarioGen::new(gen_cfg),
@@ -240,10 +258,10 @@ fn main() {
     if args.self_test {
         self_test(&args);
     }
-    if evs::chaos::mutation_active() {
-        // A campaign against a deliberately broken engine proves nothing
-        // about the protocol; require the explicit self-test mode.
-        eprintln!("built with chaos-mutation: only --self-test and --replay make sense");
+    if evs::chaos::mutation_active() || evs::chaos::broker_mutation_active() {
+        // A campaign against a deliberately broken engine or ledger proves
+        // nothing about the protocol; require the explicit self-test mode.
+        eprintln!("built with a planted mutation: only --self-test and --replay make sense");
         std::process::exit(2)
     }
 

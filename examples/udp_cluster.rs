@@ -1,9 +1,10 @@
 //! The EVS stack over real UDP sockets, with real process-kill recovery.
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! ```text
 //! cargo run --example udp_cluster                  # in-process demo (3 threads)
+//! cargo run --example udp_cluster -- --broker [clients]
 //! cargo run --example udp_cluster -- --orchestrate [seed]
 //! cargo run --example udp_cluster -- --child <i> --ports <p0,p1,..> --dir <D>
 //! ```
@@ -41,10 +42,22 @@
 //! packed into a single datagram ([`wire::pack_frames`] framing), so a
 //! token visit's burst costs one system call per peer instead of one per
 //! message.
+//!
+//! `--broker` runs the client tier live: the same three UDP daemons, plus
+//! an `evs_broker::Broker` front-end on its own socket. Every client is a
+//! real UDP socket speaking a two-frame protocol — `EVBS` (magic, client
+//! id, op bytes) submits one op, `EVBR` (magic, client id, seq) is the
+//! reply routed after the op's batch reaches agreed delivery at the
+//! broker's attached daemon. The broker aggregates client ops into
+//! batched multicast frames exactly as the simulator driver does, so the
+//! group orders a handful of batches while hundreds of client ops
+//! complete; at shutdown the networked traces are checked against the
+//! full specification suite.
 
 use bytes::BytesMut;
+use evs::broker::{Broker, BrokerParams, SubmitOutcome};
 use evs::core::{
-    checker, trace_io, wire, EvsEvent, EvsParams, EvsProcess, Payload, Service, Trace,
+    checker, trace_io, wire, Delivery, EvsEvent, EvsParams, EvsProcess, Payload, Service, Trace,
 };
 use evs::sim::{Ctx, Effect, Node, ProcessId, SimTime, StableStore, TimerKind};
 use evs::store::FileStorage;
@@ -60,10 +73,6 @@ use std::time::{Duration, Instant};
 const TICK: Duration = Duration::from_micros(200);
 const N: usize = 3;
 
-/// Keep packed datagrams under the practical UDP payload ceiling
-/// (65,507 bytes); a datagram is flushed early rather than grown past this.
-const MAX_DATAGRAM: usize = 60_000;
-
 /// Magic prefix marking orchestrator→child control datagrams. Anything
 /// from an address that is not a group member and does not start with
 /// this is ignored.
@@ -77,6 +86,9 @@ const CHILD_MAX_LIFETIME: Duration = Duration::from_secs(300);
 enum Command {
     Submit(Service, Payload),
     Inspect(mpsc::Sender<(bool, usize, Vec<String>)>),
+    /// Clones every delivered application payload (the broker front-end
+    /// drains these to route client replies off agreed delivery).
+    Drain(mpsc::Sender<Vec<Payload>>),
     Shutdown(mpsc::Sender<Vec<(SimTime, EvsEvent)>>),
 }
 
@@ -116,11 +128,11 @@ impl UdpWorker {
     }
 
     /// Appends the frame in `scratch` to `to`'s datagram, flushing first if
-    /// the datagram would outgrow what UDP can carry.
+    /// the datagram would outgrow the configured budget
+    /// ([`EvsParams::max_datagram_bytes`], shared with broker batch sizing).
     fn enqueue(&mut self, to: usize) {
-        if !self.outbox[to].is_empty()
-            && self.outbox[to].len() + 4 + self.scratch.len() > MAX_DATAGRAM
-        {
+        let budget = self.node.params().max_datagram_bytes;
+        if !self.outbox[to].is_empty() && self.outbox[to].len() + 4 + self.scratch.len() > budget {
             self.flush(to);
         }
         wire::pack_into(&self.scratch, &mut self.outbox[to]);
@@ -274,6 +286,18 @@ impl UdpWorker {
                             .collect();
                         let _ = reply.send((settled, members, delivered));
                     }
+                    Ok(Command::Drain(reply)) => {
+                        let payloads: Vec<Payload> = self
+                            .node
+                            .deliveries()
+                            .iter()
+                            .filter_map(|d| match d {
+                                Delivery::Message { payload, .. } => Some(payload.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        let _ = reply.send(payloads);
+                    }
                     Ok(Command::Shutdown(reply)) => {
                         let _ = reply.send(std::mem::take(&mut self.trace));
                         return;
@@ -329,13 +353,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None => demo(),
+        Some("--broker") => {
+            let clients = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+            broker_demo(clients);
+        }
         Some("--orchestrate") => {
             let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
             orchestrate(seed);
         }
         Some("--child") => child(&args),
         Some(other) => {
-            eprintln!("unknown mode {other:?}; use no args, --orchestrate [seed], or --child");
+            eprintln!(
+                "unknown mode {other:?}; use no args, --broker [clients], \
+                 --orchestrate [seed], or --child"
+            );
             std::process::exit(2);
         }
     }
@@ -680,10 +711,13 @@ fn load_journals(dir: &Path, n: usize) -> Trace {
 // no-argument demo: the original in-process loopback exercise
 // ---------------------------------------------------------------------------
 
-fn demo() {
-    println!("== extended virtual synchrony over UDP (loopback) ==\n");
-
-    // Bind one socket per process on an ephemeral loopback port.
+/// Binds one loopback socket per process and spawns the worker threads of
+/// the in-process modes (demo and `--broker`).
+fn spawn_loopback_workers() -> (
+    Vec<mpsc::Sender<Command>>,
+    Vec<std::thread::JoinHandle<()>>,
+    Vec<Telemetry>,
+) {
     let sockets: Vec<UdpSocket> = (0..N)
         .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
         .collect();
@@ -723,23 +757,28 @@ fn demo() {
             .run()
         }));
     }
+    (command_txs, handles, telemetry_handles)
+}
 
-    // Wait for the group to form.
-    let inspect = |txs: &[mpsc::Sender<Command>], i: usize| {
-        let (rtx, rrx) = mpsc::channel();
-        txs[i].send(Command::Inspect(rtx)).unwrap();
-        rrx.recv().unwrap()
-    };
+/// One inspect round-trip with worker `i`.
+fn inspect_worker(txs: &[mpsc::Sender<Command>], i: usize) -> (bool, usize, Vec<String>) {
+    let (rtx, rrx) = mpsc::channel();
+    txs[i].send(Command::Inspect(rtx)).unwrap();
+    rrx.recv().unwrap()
+}
+
+/// Polls until every worker settles into one N-member configuration.
+fn wait_until_formed(txs: &[mpsc::Sender<Command>]) {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         let states: Vec<(bool, usize, Vec<String>)> =
-            (0..N).map(|i| inspect(&command_txs, i)).collect();
+            (0..N).map(|i| inspect_worker(txs, i)).collect();
         if states
             .iter()
             .all(|(settled, members, _)| *settled && *members == N)
         {
             println!("-- group formed over UDP: all {N} processes in one configuration");
-            break;
+            return;
         }
         assert!(
             Instant::now() < deadline,
@@ -747,6 +786,13 @@ fn demo() {
         );
         std::thread::sleep(Duration::from_millis(20));
     }
+}
+
+fn demo() {
+    println!("== extended virtual synchrony over UDP (loopback) ==\n");
+    let (command_txs, handles, telemetry_handles) = spawn_loopback_workers();
+    let inspect = inspect_worker;
+    wait_until_formed(&command_txs);
 
     // Exchange a safe message.
     command_txs[0]
@@ -825,4 +871,222 @@ fn demo() {
         report.timeline.entries.len(),
         report.anomalies.len()
     );
+}
+
+// ---------------------------------------------------------------------------
+// --broker: real UDP clients served through an evs-broker front-end
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a client→broker submit datagram:
+/// `EVBS · client id (8 LE) · op bytes`.
+const CLIENT_SUBMIT_MAGIC: &[u8; 4] = b"EVBS";
+/// Magic prefix of a broker→client reply datagram:
+/// `EVBR · client id (8 LE) · seq (8 LE)`.
+const CLIENT_REPLY_MAGIC: &[u8; 4] = b"EVBR";
+
+struct BrokerStats {
+    ops: u64,
+    replies: u64,
+    batches: u64,
+}
+
+/// The broker front-end thread: client submits in over UDP, batched
+/// multicast frames out to daemon 0, replies back over UDP off agreed
+/// delivery. Exits once `stop` fires and nothing is left in flight.
+fn run_broker_front_end(
+    socket: UdpSocket,
+    daemon: mpsc::Sender<Command>,
+    stop: mpsc::Receiver<()>,
+    stats_tx: mpsc::Sender<BrokerStats>,
+) {
+    let epoch = Instant::now();
+    let now = |epoch: &Instant| (epoch.elapsed().as_micros() / TICK.as_micros()) as u64;
+    let mut broker = Broker::new(0, ProcessId::new(0), BrokerParams::default());
+    // Reply routing needs a return address per client; the last submit's
+    // source is it (clients keep one socket for their whole session).
+    let mut return_addrs: std::collections::HashMap<u64, SocketAddr> =
+        std::collections::HashMap::new();
+    let mut stats = BrokerStats {
+        ops: 0,
+        replies: 0,
+        batches: 0,
+    };
+    let mut cursor = 0usize;
+    let mut buf = [0u8; 65536];
+    let mut stopping = false;
+    socket
+        .set_read_timeout(Some(Duration::from_micros(500)))
+        .expect("set timeout");
+    loop {
+        if !stopping && stop.try_recv().is_ok() {
+            stopping = true;
+        }
+        // Drain the client socket greedily (bounded so flushing and reply
+        // routing stay responsive under a burst).
+        for _ in 0..1024 {
+            match socket.recv_from(&mut buf) {
+                Ok((len, from)) if len >= 12 && &buf[..4] == CLIENT_SUBMIT_MAGIC => {
+                    let client = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+                    return_addrs.insert(client, from);
+                    match broker.submit(now(&epoch), client, Payload::from(&buf[12..len])) {
+                        SubmitOutcome::Accepted { .. } => stats.ops += 1,
+                        // A real deployment would nack so the client
+                        // retries; this demo sizes its load under the
+                        // windows, so backpressure here is a bug the
+                        // final op accounting catches.
+                        SubmitOutcome::Backpressure => {}
+                    }
+                }
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => panic!("broker socket error: {e}"),
+            }
+        }
+        // Batched frames into the ring (force the tail out when stopping).
+        let t = now(&epoch);
+        let frames = if stopping {
+            broker.force_flush(t)
+        } else {
+            broker.poll_flush(t)
+        };
+        for frame in frames {
+            stats.batches += 1;
+            if daemon
+                .send(Command::Submit(Service::Agreed, frame))
+                .is_err()
+            {
+                break;
+            }
+        }
+        // Replies off agreed delivery at the attached daemon.
+        let (rtx, rrx) = mpsc::channel();
+        if daemon.send(Command::Drain(rtx)).is_err() {
+            break;
+        }
+        let Ok(delivered) = rrx.recv() else { break };
+        let t = now(&epoch);
+        for frame in &delivered[cursor..] {
+            for reply in broker.on_delivered(t, frame) {
+                stats.replies += 1;
+                if let Some(addr) = return_addrs.get(&reply.client) {
+                    let mut pkt = Vec::with_capacity(20);
+                    pkt.extend_from_slice(CLIENT_REPLY_MAGIC);
+                    pkt.extend_from_slice(&reply.client.to_le_bytes());
+                    pkt.extend_from_slice(&reply.seq.to_le_bytes());
+                    let _ = socket.send_to(&pkt, addr);
+                }
+            }
+        }
+        cursor = delivered.len();
+        if stopping && broker.inflight() == 0 && broker.pending() == 0 {
+            break;
+        }
+    }
+    let _ = stats_tx.send(stats);
+}
+
+fn broker_demo(clients: usize) {
+    const OPS_PER_CLIENT: usize = 4;
+    println!("== client tier over UDP: {clients} clients through one broker ==\n");
+    let (command_txs, handles, telemetry_handles) = spawn_loopback_workers();
+    wait_until_formed(&command_txs);
+
+    let broker_socket = UdpSocket::bind("127.0.0.1:0").expect("bind broker socket");
+    let broker_addr = broker_socket.local_addr().unwrap();
+    let (stop_tx, stop_rx) = mpsc::channel();
+    let (stats_tx, stats_rx) = mpsc::channel();
+    let daemon0 = command_txs[0].clone();
+    let broker_thread =
+        std::thread::spawn(move || run_broker_front_end(broker_socket, daemon0, stop_rx, stats_tx));
+    println!("-- broker front-end listening on {broker_addr}, attached to daemon 0");
+
+    // Every client is its own UDP socket; all ops go out before any reply
+    // is read, so the broker sees genuinely concurrent sessions.
+    let client_sockets: Vec<UdpSocket> = (0..clients)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind client"))
+        .collect();
+    for s in &client_sockets {
+        s.set_read_timeout(Some(Duration::from_millis(10)))
+            .expect("set timeout");
+    }
+    for (c, s) in client_sockets.iter().enumerate() {
+        for k in 0..OPS_PER_CLIENT {
+            let mut pkt = Vec::with_capacity(32);
+            pkt.extend_from_slice(CLIENT_SUBMIT_MAGIC);
+            pkt.extend_from_slice(&(c as u64).to_le_bytes());
+            pkt.extend_from_slice(format!("op-{c}-{k}").as_bytes());
+            s.send_to(&pkt, broker_addr).expect("client submit");
+        }
+    }
+    let total_ops = clients * OPS_PER_CLIENT;
+    println!("-- {clients} clients submitted {total_ops} ops");
+
+    // Collect every reply; each client waits on its own socket.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut buf = [0u8; 64];
+    let mut acked = vec![0usize; clients];
+    loop {
+        let done = acked.iter().filter(|&&a| a >= OPS_PER_CLIENT).count();
+        if done == clients {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "client replies stalled: {done}/{clients} clients fully acked"
+        );
+        for (c, s) in client_sockets.iter().enumerate() {
+            while acked[c] < OPS_PER_CLIENT {
+                match s.recv_from(&mut buf) {
+                    Ok((len, _)) if len >= 20 && &buf[..4] == CLIENT_REPLY_MAGIC => {
+                        let client = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+                        assert_eq!(client, c as u64, "reply routed to the wrong client");
+                        acked[c] += 1;
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    println!("-- every client observed all {OPS_PER_CLIENT} replies");
+
+    stop_tx.send(()).expect("stop broker");
+    let stats = stats_rx.recv().expect("broker stats");
+    broker_thread.join().expect("join broker");
+    assert_eq!(stats.ops as usize, total_ops, "every op accepted");
+    assert_eq!(stats.replies, stats.ops, "every op replied exactly once");
+    assert!(
+        stats.batches < stats.ops,
+        "batching must amortize: {} batches for {} ops",
+        stats.batches,
+        stats.ops
+    );
+    println!(
+        "-- {} ops entered the ring as {} batched multicast(s)",
+        stats.ops, stats.batches
+    );
+
+    // Shut down the daemons and verify the networked execution — with the
+    // broker tier in the loop — against the full specification suite.
+    let mut traces = Vec::new();
+    for tx in &command_txs {
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Shutdown(rtx)).unwrap();
+        traces.push(rrx.recv().unwrap());
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let trace = Trace::new(traces);
+    println!(
+        "-- collected {} events from the UDP run; checking Specifications 1.1–7.2…",
+        trace.len()
+    );
+    checker::assert_evs_with_telemetry(&trace, &telemetry_handles);
+    println!("   all specifications hold with the broker tier in the loop ✓");
 }

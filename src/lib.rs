@@ -28,6 +28,11 @@
 //!   seeded scenario search, conformance-checked orchestration, and
 //!   counterexample shrinking (see the "Chaos testing" section of
 //!   `README.md`).
+//! * [`broker`] — the client-session front-end: sessions with bounded
+//!   windows and backpressure, the prepare-batch pipeline turning
+//!   thousands of client ops into one batched multicast, redelivery-safe
+//!   dedup ledgers, and per-client reply routing (see the "Serving
+//!   clients" section of `README.md`).
 //!
 //! See the repository's `README.md` for a guided tour, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -54,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use evs_broker as broker;
 pub use evs_chaos as chaos;
 pub use evs_core as core;
 pub use evs_inspect as inspect;
@@ -66,6 +72,7 @@ pub use evs_vs as vs;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use evs_broker::{Broker, BrokerCluster, BrokerClusterConfig, BrokerParams};
     pub use evs_chaos::{FaultPlan, FaultStep, Orchestrator, ScenarioGen};
     pub use evs_core::{
         ConfigId, Configuration, ConfigurationKind, Delivery, EvsCluster, MessageId, Service,
