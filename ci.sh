@@ -8,6 +8,7 @@
 #   ./ci.sh bench-throughput  # full wall-clock suite, writes BENCH_throughput.json
 #   ./ci.sh bench-clients     # full client-load suite, writes BENCH_clients.json
 #   ./ci.sh kill-recovery     # just the kill -9 / WAL-recovery smoke
+#   ./ci.sh obs-smoke         # just the OBS? scrape-plane smoke
 #   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
 #   LIVE_CHAOS_ITERS=2000 ./ci.sh # standard gate + live-driver chaos soak
 #   KILL_CHAOS_ITERS=2000 ./ci.sh # standard gate + kill/restart chaos soak
@@ -74,6 +75,20 @@ kill_recovery() {
     ./target/release/examples/udp_cluster --orchestrate 7
 }
 
+obs_smoke() {
+    echo "== obs smoke (OBS? scrapes: seq advance, monotone counters, phase coverage) =="
+    cargo build -q --release --offline --example udp_cluster --example evs_top
+    ./target/release/examples/udp_cluster --obs-smoke
+    # And the dashboard end to end: a short served cluster in the
+    # background, two evs_top frames scraped against it.
+    ./target/release/examples/udp_cluster --serve 6 &
+    SERVE_PID=$!
+    sleep 1
+    ./target/release/examples/evs_top --interval 500 --frames 2 \
+        --endpoints chaos-artifacts/obs-endpoints.txt
+    wait "$SERVE_PID"
+}
+
 if [ "${1:-}" = "bench-throughput" ]; then
     bench_throughput
     exit 0
@@ -86,6 +101,11 @@ fi
 
 if [ "${1:-}" = "kill-recovery" ]; then
     kill_recovery
+    exit 0
+fi
+
+if [ "${1:-}" = "obs-smoke" ]; then
+    obs_smoke
     exit 0
 fi
 
@@ -122,6 +142,8 @@ echo "== chaos: fixed-seed kill/restart smoke (durability mix, simulator) =="
 ./target/release/examples/chaos --kill-chaos --iters 200 --seed 90125 --keep-going
 
 kill_recovery
+
+obs_smoke
 
 bench_diff
 

@@ -19,22 +19,101 @@
 use evs_bench::throughput::{self, Measurement};
 use evs_core::Service;
 use evs_inspect::json::{self, Value};
+use evs_sim::live::TICK_MICROS;
+use evs_telemetry::PhaseClock;
 
 /// `--smoke` fails when the measured rate falls below the committed rate
 /// divided by this. Wall-clock rates are machine-dependent; this gate only
 /// catches catastrophic slowdowns, not jitter.
 const SMOKE_ALLOWANCE: u64 = 10;
 
+/// Phase marks are allowed to cost at most this fraction of the live
+/// loop's attributed time — the instrumentation budget the obs plane
+/// promises.
+const MAX_PHASE_OVERHEAD: f64 = 0.02;
+
 fn print_table(results: &[Measurement]) {
     for m in results {
+        if m.live {
+            eprintln!(
+                "  {}: {} msgs in {:.1} ms -> {:.0} msgs/sec (latency p50 {} / p99 {} µs)",
+                m.scenario,
+                m.messages,
+                m.wall_secs * 1e3,
+                m.msgs_per_sec,
+                m.p50_ticks * TICK_MICROS,
+                m.p99_ticks * TICK_MICROS
+            );
+        } else {
+            eprintln!(
+                "  {}: {} msgs in {:.1} ms -> {:.0} msgs/sec (latency p50 {} / p99 {} ticks)",
+                m.scenario,
+                m.messages,
+                m.wall_secs * 1e3,
+                m.msgs_per_sec,
+                m.p50_ticks,
+                m.p99_ticks
+            );
+        }
+    }
+}
+
+/// Explains the live-vs-sim throughput gap with measured phase time: the
+/// live workers' idle share (tick sleep / receive timeout) bounds how much
+/// of the gap a purely event-driven transport could recover.
+fn explain_live_gap(results: &[Measurement]) {
+    for m in results.iter().filter(|m| m.live) {
+        let Some(ph) = &m.phases else { continue };
+        let sim_scenario = m.scenario.replace("/live/", "/sim/");
+        let Some(sim) = results.iter().find(|s| s.scenario == sim_scenario) else {
+            continue;
+        };
+        let idle = (ph.idle_ppm as f64 / 1e6).min(0.999_999);
+        // If the workers were never parked, the same busy time would
+        // sustain rate / (1 - idle) — the event-driven ceiling.
+        let ceiling = m.msgs_per_sec / (1.0 - idle);
+        let gap = (sim.msgs_per_sec - m.msgs_per_sec).max(1.0);
+        let explained = ((ceiling - m.msgs_per_sec) / gap * 100.0).clamp(0.0, 100.0);
         eprintln!(
-            "  {}: {} msgs in {:.1} ms -> {:.0} msgs/sec (latency p50 {} / p99 {} ticks)",
+            "bench-throughput: {}: {:.0} msgs/sec live vs {:.0} sim ({:.0}x gap); workers \
+             idle {:.1}% of loop time ({} µs tick), event-driven ceiling ≈ {:.0} msgs/sec — \
+             the tick sleep accounts for {:.0}% of the gap",
             m.scenario,
-            m.messages,
-            m.wall_secs * 1e3,
             m.msgs_per_sec,
-            m.p50_ticks,
-            m.p99_ticks
+            sim.msgs_per_sec,
+            sim.msgs_per_sec / m.msgs_per_sec.max(1.0),
+            idle * 100.0,
+            TICK_MICROS,
+            ceiling,
+            explained
+        );
+    }
+}
+
+/// Asserts the phase clock's self-overhead stays under
+/// [`MAX_PHASE_OVERHEAD`] of the live loop's attributed time: marks taken ×
+/// calibrated cost per mark, against the nanoseconds the marks attributed.
+fn assert_phase_overhead(results: &[Measurement]) {
+    for m in results {
+        let Some(ph) = &m.phases else { continue };
+        let per_mark_ns = PhaseClock::calibrate(100_000);
+        let overhead_ns = ph.marks as f64 * per_mark_ns;
+        let share = overhead_ns / ph.attributed_ns as f64;
+        eprintln!(
+            "bench-throughput: {}: phase-timer self-overhead {:.3}% of live loop time \
+             ({} marks × {:.0} ns/mark over {:.1} ms attributed)",
+            m.scenario,
+            share * 100.0,
+            ph.marks,
+            per_mark_ns,
+            ph.attributed_ns as f64 / 1e6
+        );
+        assert!(
+            share < MAX_PHASE_OVERHEAD,
+            "{}: phase-timer overhead {:.3}% exceeds the {:.0}% budget",
+            m.scenario,
+            share * 100.0,
+            MAX_PHASE_OVERHEAD * 100.0
         );
     }
 }
@@ -51,11 +130,39 @@ fn committed_rate(text: &str, scenario: &str) -> Option<u64> {
     None
 }
 
+/// Rejects a committed file whose rows use the wrong latency-unit key
+/// family: live rows must carry `latency_*_us` (real time), sim rows
+/// `latency_*_ticks` (simulated time).
+fn check_key_families(text: &str) {
+    let Ok(value) = json::parse(text) else { return };
+    let Some(rows) = value.as_array() else { return };
+    for entry in rows {
+        let Some(obj) = entry.as_object() else {
+            continue;
+        };
+        let Some(scenario) = obj.get("scenario").and_then(Value::as_str) else {
+            continue;
+        };
+        let live = scenario.contains("/live/");
+        let has_us = obj.get("latency_p50_us").is_some();
+        let has_ticks = obj.get("latency_p50_ticks").is_some();
+        if (live && !has_us) || (!live && !has_ticks) {
+            eprintln!(
+                "bench-throughput: committed row {scenario} uses the wrong latency-unit \
+                 keys (live rows report µs, sim rows ticks); regenerate with \
+                 ./ci.sh bench-throughput"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn smoke_gate(results: &[Measurement]) {
     let Ok(text) = std::fs::read_to_string("BENCH_throughput.json") else {
         eprintln!("bench-throughput: no committed BENCH_throughput.json; nothing to gate against");
         return;
     };
+    check_key_families(&text);
     let mut checked = 0;
     for m in results {
         let Some(base) = committed_rate(&text, &m.scenario) else {
@@ -102,7 +209,9 @@ fn main() {
         throughput::run_all(sim_msgs, live_msgs)
     };
     print_table(&results);
+    explain_live_gap(&results);
     if smoke {
+        assert_phase_overhead(&results);
         smoke_gate(&results);
         return;
     }

@@ -16,9 +16,9 @@
 //! primarily the before/after record behind the EXPERIMENTS.md table.
 
 use evs_core::{Delivery, EvsCluster, EvsEvent, EvsParams, EvsProcess, Payload, Service};
-use evs_sim::live::LiveNet;
+use evs_sim::live::{LiveNet, TICK_MICROS};
 use evs_sim::ProcessId;
-use evs_telemetry::{names, HistogramSnapshot, Telemetry};
+use evs_telemetry::{names, HistogramSnapshot, Phase, Telemetry};
 use std::time::{Duration, Instant};
 
 /// The payload type pumped through every throughput scenario — the
@@ -42,6 +42,19 @@ pub const REPEATS: usize = 5;
 /// simulator message count; the live count follows at a quarter of it.
 pub const ITERS_ENV: &str = "BENCH_THROUGHPUT_ITERS";
 
+/// Aggregated phase-clock attribution from one live scenario's workers.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseSummary {
+    /// Share of attributed loop time the workers spent parked (the tick
+    /// sleep / receive timeout), in parts per million.
+    pub idle_ppm: u64,
+    /// Total nanoseconds attributed across all phases and workers.
+    pub attributed_ns: u64,
+    /// Phase marks taken across all workers; the smoke multiplies this
+    /// by the calibrated per-mark cost to bound instrument overhead.
+    pub marks: u64,
+}
+
 /// One executed throughput scenario.
 #[derive(Clone, Debug)]
 pub struct Measurement {
@@ -59,25 +72,53 @@ pub struct Measurement {
     pub p99_ticks: u64,
     /// Mean origination→delivery latency in ticks.
     pub mean_ticks: f64,
+    /// True for live-driver scenarios, where one protocol tick is
+    /// [`TICK_MICROS`] of real time and latency serializes in µs.
+    pub live: bool,
+    /// Phase-time attribution harvested from the live driver's workers
+    /// (`None` for simulator scenarios, which have no wall-clock loop).
+    pub phases: Option<PhaseSummary>,
 }
 
 impl Measurement {
     /// Serializes the measurement as one JSON object. Rates are rounded
     /// to whole messages per second so the hand-rolled parser on the
     /// reading side only ever sees integers.
+    ///
+    /// Simulator rows keep tick-unit latency keys (`latency_p50_ticks`):
+    /// simulated ticks are exact and machine-independent. Live rows
+    /// report real time (`latency_p50_us`, one tick = [`TICK_MICROS`] µs)
+    /// plus `tick_sleep_ppm`, the workers' measured idle share — the
+    /// number that quantifies how much of the live-vs-sim gap is the
+    /// fixed tick sleep.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"scenario\":");
         evs_telemetry::report::push_json_string(&mut out, &self.scenario);
         out.push_str(&format!(
-            ",\"messages\":{},\"wall_ms\":{},\"msgs_per_sec\":{},\
-             \"latency_p50_ticks\":{},\"latency_p99_ticks\":{},\"latency_mean_ticks\":{}}}",
+            ",\"messages\":{},\"wall_ms\":{},\"msgs_per_sec\":{}",
             self.messages,
             (self.wall_secs * 1e3).round() as u64,
             self.msgs_per_sec.round() as u64,
-            self.p50_ticks,
-            self.p99_ticks,
-            self.mean_ticks.round() as u64,
         ));
+        if self.live {
+            out.push_str(&format!(
+                ",\"latency_p50_us\":{},\"latency_p99_us\":{},\"latency_mean_us\":{}",
+                self.p50_ticks * TICK_MICROS,
+                self.p99_ticks * TICK_MICROS,
+                (self.mean_ticks * TICK_MICROS as f64).round() as u64,
+            ));
+            if let Some(ph) = &self.phases {
+                out.push_str(&format!(",\"tick_sleep_ppm\":{}", ph.idle_ppm));
+            }
+        } else {
+            out.push_str(&format!(
+                ",\"latency_p50_ticks\":{},\"latency_p99_ticks\":{},\"latency_mean_ticks\":{}",
+                self.p50_ticks,
+                self.p99_ticks,
+                self.mean_ticks.round() as u64,
+            ));
+        }
+        out.push('}');
         out
     }
 }
@@ -117,12 +158,42 @@ pub(crate) fn merged_histogram(handles: &[Telemetry], name: &str) -> Option<Hist
     merged
 }
 
+/// Sums the phase-clock counters of every worker into one summary.
+/// Returns `None` when no phase time was attributed (detached telemetry
+/// or an uninstrumented driver).
+pub(crate) fn phase_summary(handles: &[Telemetry]) -> Option<PhaseSummary> {
+    let mut idle = 0u64;
+    let mut total = 0u64;
+    let mut marks = 0u64;
+    for h in handles {
+        let Some(report) = h.snapshot() else { continue };
+        for p in Phase::ALL {
+            let ns = report.counters.get(p.counter_name()).copied().unwrap_or(0);
+            total += ns;
+            if p == Phase::Idle {
+                idle += ns;
+            }
+        }
+        marks += report
+            .counters
+            .get(names::PHASE_MARKS)
+            .copied()
+            .unwrap_or(0);
+    }
+    (total > 0).then_some(PhaseSummary {
+        idle_ppm: idle.saturating_mul(1_000_000) / total,
+        attributed_ns: total,
+        marks,
+    })
+}
+
 fn finish(
     scenario: String,
     messages: u64,
     wall_secs: f64,
     handles: &[Telemetry],
     service: Service,
+    live: bool,
 ) -> Measurement {
     let lat = merged_histogram(handles, latency_name(service));
     let (p50, p99, mean) = lat
@@ -136,6 +207,8 @@ fn finish(
         p50_ticks: p50,
         p99_ticks: p99,
         mean_ticks: mean,
+        live,
+        phases: if live { phase_summary(handles) } else { None },
     }
 }
 
@@ -176,6 +249,7 @@ pub fn run_sim(n: usize, messages: u64, service: Service) -> Measurement {
         wall,
         &handles,
         service,
+        false,
     )
 }
 
@@ -228,6 +302,7 @@ pub fn run_live(n: usize, messages: u64, service: Service) -> Measurement {
         wall,
         &handles,
         service,
+        true,
     )
 }
 
@@ -278,5 +353,32 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains("\"scenario\":\"throughput/sim/n3/agreed\""));
         assert!(json.contains("latency_p99_ticks"));
+    }
+
+    #[test]
+    fn live_rows_serialize_real_time_latency() {
+        let m = Measurement {
+            scenario: "throughput/live/n3/agreed".into(),
+            messages: 32,
+            wall_secs: 1.0,
+            msgs_per_sec: 32.0,
+            p50_ticks: 32,
+            p99_ticks: 64,
+            mean_ticks: 33.0,
+            live: true,
+            phases: Some(PhaseSummary {
+                idle_ppm: 900_000,
+                attributed_ns: 1_000_000,
+                marks: 10,
+            }),
+        };
+        let json = m.to_json();
+        assert!(json.contains(&format!("\"latency_p50_us\":{}", 32 * TICK_MICROS)));
+        assert!(json.contains(&format!("\"latency_p99_us\":{}", 64 * TICK_MICROS)));
+        assert!(json.contains("\"tick_sleep_ppm\":900000"));
+        assert!(
+            !json.contains("ticks"),
+            "live rows must not use tick units: {json}"
+        );
     }
 }

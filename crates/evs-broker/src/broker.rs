@@ -14,7 +14,7 @@ use crate::session::{Session, SubmitOutcome};
 use evs_core::{EvsParams, Payload};
 use evs_order::Service;
 use evs_sim::ProcessId;
-use evs_telemetry::{names, Counter, Histogram, Telemetry, TelemetryEvent};
+use evs_telemetry::{names, Counter, Gauge, Histogram, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Bucket bounds for the ops-per-batch histogram.
@@ -89,6 +89,10 @@ pub struct Broker {
     c_submitted: Counter,
     c_replies: Counter,
     h_batch_ops: Histogram,
+    // Queue-depth gauges for the live observability plane (`evs-top`
+    // shows broker backlog next to ring progress).
+    g_inflight: Gauge,
+    g_pending: Gauge,
 }
 
 impl Broker {
@@ -116,9 +120,18 @@ impl Broker {
             c_submitted: telemetry.counter(names::BROKER_OPS_SUBMITTED),
             c_replies: telemetry.counter(names::BROKER_REPLIES_ROUTED),
             h_batch_ops: telemetry.histogram(names::BROKER_BATCH_OPS, BATCH_OPS_BOUNDS),
+            g_inflight: telemetry.gauge(names::BROKER_INFLIGHT_OPS),
+            g_pending: telemetry.gauge(names::BROKER_PENDING_OPS),
             params,
             telemetry,
         }
+    }
+
+    /// Refreshes the queue-depth gauges from the current counts; called
+    /// after every mutation of the inflight/pending queues.
+    fn update_depth_gauges(&self) {
+        self.g_inflight.set(self.inflight_ops as i64);
+        self.g_pending.set(self.pending.len() as i64);
     }
 
     /// This broker's identifier (stamped into every batch frame).
@@ -180,6 +193,7 @@ impl Broker {
         self.pending.push_back(BatchEntry { client, seq, op });
         self.inflight_ops += 1;
         self.c_submitted.inc();
+        self.update_depth_gauges();
         SubmitOutcome::Accepted { seq }
     }
 
@@ -244,6 +258,7 @@ impl Broker {
         self.pending_since = at;
         let frame = proto::encode_batch(self.id, &entries);
         self.h_batch_ops.observe(entries.len() as u64);
+        self.update_depth_gauges();
         self.telemetry.record(
             at,
             TelemetryEvent::BatchFlushed {
@@ -283,6 +298,7 @@ impl Broker {
             }
         }
         let _ = at;
+        self.update_depth_gauges();
         replies
     }
 
@@ -309,6 +325,7 @@ impl Broker {
                 resubmitted += 1;
             }
         }
+        self.update_depth_gauges();
         self.telemetry.record(
             at,
             TelemetryEvent::BrokerReattached {
@@ -486,5 +503,30 @@ mod tests {
         assert_eq!(snap.counters[names::BROKER_BACKPRESSURE], 1);
         assert_eq!(snap.counters[names::BROKER_BATCHES_FLUSHED], 1);
         assert_eq!(snap.counters[names::BROKER_REPLIES_ROUTED], 3);
+        // Depth gauges track the queues: everything flushed and acked.
+        assert_eq!(snap.gauges[names::BROKER_INFLIGHT_OPS], 0);
+        assert_eq!(snap.gauges[names::BROKER_PENDING_OPS], 0);
+    }
+
+    #[test]
+    fn depth_gauges_follow_the_queues() {
+        let t = Telemetry::enabled(0);
+        let mut b = Broker::with_telemetry(0, ProcessId::new(0), small_params(), t.clone());
+        b.submit(0, 1, op(1));
+        b.submit(0, 2, op(1));
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.gauges[names::BROKER_INFLIGHT_OPS], 2);
+        assert_eq!(snap.gauges[names::BROKER_PENDING_OPS], 2);
+        let batches = b.force_flush(0);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(
+            snap.gauges[names::BROKER_INFLIGHT_OPS],
+            2,
+            "flushed, unacked"
+        );
+        assert_eq!(snap.gauges[names::BROKER_PENDING_OPS], 0);
+        b.on_delivered(1, &batches[0]);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.gauges[names::BROKER_INFLIGHT_OPS], 0);
     }
 }

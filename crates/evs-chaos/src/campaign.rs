@@ -5,7 +5,7 @@ use crate::gen::ScenarioGen;
 use crate::orchestrator::{ChaosFailure, ChaosOutcome, Orchestrator};
 use crate::plan::FaultPlan;
 use crate::shrink::Shrinker;
-use evs_telemetry::{RunReport, Telemetry, TelemetryEvent};
+use evs_telemetry::{names, RunReport, Telemetry, TelemetryEvent};
 
 /// A failing plan, its shrunken form, and what it violates — everything
 /// needed to file (and replay) a bug.
@@ -251,9 +251,15 @@ impl Campaign {
                             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                             let every = self.config.progress_every;
                             if every != 0 && d.is_multiple_of(every) {
+                                let failures = failed_so_far.load(Ordering::Relaxed);
+                                // Live progress for the obs plane too: a
+                                // campaign scraped via `evs-top --obs`
+                                // shows these gauges advancing. Same-value
+                                // races between shards are harmless (both
+                                // write a value that was true when read).
+                                self.set_progress_gauges(d, iterations, failures);
                                 eprintln!(
-                                    "chaos progress: {d}/{iterations} plan(s), {} failure(s)",
-                                    failed_so_far.load(Ordering::Relaxed)
+                                    "chaos progress: {d}/{iterations} plan(s), {failures} failure(s)"
                                 );
                             }
                             if failed && self.config.stop_on_failure {
@@ -335,9 +341,26 @@ impl Campaign {
                 failures,
             },
         );
+        self.set_progress_gauges(done, total, failures);
         if print {
             eprintln!("chaos progress: {done}/{total} plan(s), {failures} failure(s)");
         }
+    }
+
+    /// Mirrors campaign progress into gauges so the live observability
+    /// plane (an `ObsResponder` scraping this campaign's telemetry) sees
+    /// it without parsing stderr. Setting a gauge is idempotent, so the
+    /// parallel merge replaying heartbeats stays deterministic.
+    fn set_progress_gauges(&self, done: u64, total: u64, failures: u64) {
+        self.telemetry
+            .gauge(names::CHAOS_CAMPAIGN_DONE)
+            .set(done as i64);
+        self.telemetry
+            .gauge(names::CHAOS_CAMPAIGN_TOTAL)
+            .set(total as i64);
+        self.telemetry
+            .gauge(names::CHAOS_CAMPAIGN_FAILURES)
+            .set(failures as i64);
     }
 
     /// Shrinks one failing plan into a [`CounterExample`] (identity shrink

@@ -45,7 +45,7 @@ use evs_membership::{ConfigId, MembMsg, MembOut, Membership, ProposedConfig};
 use evs_order::{MessageId, OrderedMsg, Ring, RingMsg, RingOut, RingSnapshot, Service};
 use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerKind};
 use evs_store::{NullStorage, Replay, Storage};
-use evs_telemetry::{names, Counter, Histogram, Telemetry, TelemetryEvent};
+use evs_telemetry::{names, Counter, Histogram, LogHistogram, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -139,6 +139,37 @@ struct RecoveryState<P> {
     last_progress: SimTime,
 }
 
+/// A live-observability snapshot of one engine, taken by
+/// [`EvsProcess::obs`] and exposed by the `OBS?` scrape endpoint as
+/// `info` keys (configuration id, ARU lag, membership, recovery state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineObs {
+    /// Epoch of the configuration most recently delivered.
+    pub epoch: u64,
+    /// Representative of that configuration.
+    pub rep: ProcessId,
+    /// True for a transitional configuration.
+    pub transitional: bool,
+    /// Sorted membership of that configuration.
+    pub members: Vec<ProcessId>,
+    /// True while the §3 recovery algorithm is running.
+    pub in_recovery: bool,
+    /// [`EvsProcess::is_settled`] at snapshot time.
+    pub settled: bool,
+    /// Contiguous receipt prefix of the current ring (0 in recovery).
+    pub my_aru: u64,
+    /// Highest ordinal known to exist in the ring (0 in recovery).
+    pub high_seen: u64,
+    /// `high_seen - my_aru`: how far this process trails the ring.
+    pub aru_lag: u64,
+    /// Completed token rotations on the current ring (0 in recovery).
+    pub rotations: u64,
+    /// Submissions not yet stamped into the order (0 in recovery).
+    pub pending: usize,
+    /// Application deliveries retained in the delivery log.
+    pub deliveries: usize,
+}
+
 // The regular variant is the hot path and lives for the whole lifetime of a
 // configuration; boxing it would add an indirection to every message. The
 // size gap versus the boxed recovery variant is intentional.
@@ -197,6 +228,10 @@ pub struct EvsProcess<P> {
     wal_buf: Vec<u8>,
     wal_appends: Counter,
     wal_syncs: Counter,
+    /// Wall-clock nanoseconds per durability barrier; the sync sits on
+    /// the live hot path (§3 step boundaries), so the obs plane exposes
+    /// its latency distribution.
+    wal_sync_ns: LogHistogram,
 }
 
 impl<P> fmt::Debug for EvsProcess<P> {
@@ -257,6 +292,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             wal_buf: Vec::new(),
             wal_appends: Counter::detached(),
             wal_syncs: Counter::detached(),
+            wal_sync_ns: LogHistogram::detached(),
         }
     }
 
@@ -287,8 +323,10 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
 
     /// Forces a durability barrier at a §3 step boundary.
     fn wal_sync(&mut self) {
+        let begin = std::time::Instant::now();
         if self.storage.sync().is_ok() {
             self.wal_syncs.inc();
+            self.wal_sync_ns.observe(begin.elapsed().as_nanos() as u64);
         }
     }
 
@@ -310,6 +348,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             .histogram(names::DELIVERY_LATENCY_SAFE, LATENCY_BOUNDS);
         self.wal_appends = self.telemetry.counter(names::WAL_APPENDS);
         self.wal_syncs = self.telemetry.counter(names::WAL_SYNCS);
+        self.wal_sync_ns = self.telemetry.log_histogram(names::WAL_SYNC_NS);
     }
 
     /// This process's identifier.
@@ -354,6 +393,36 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                     && ring.delivered_upto() == ring.high_seen()
             }
             Mode::Recovery(_) => false,
+        }
+    }
+
+    /// A live-observability snapshot of the engine: the current
+    /// configuration, ring progress and the ARU lag the obs plane
+    /// exposes via `OBS?` scrapes. Ring-progress fields are zero while
+    /// the process is mid-recovery (the ring is being rebuilt).
+    pub fn obs(&self) -> EngineObs {
+        let (my_aru, high_seen, rotations, pending) = match &self.mode {
+            Mode::Regular { ring } => (
+                ring.my_aru(),
+                ring.high_seen(),
+                ring.rotations(),
+                ring.pending_len(),
+            ),
+            Mode::Recovery(_) => (0, 0, 0, 0),
+        };
+        EngineObs {
+            epoch: self.current_config.id.epoch,
+            rep: self.current_config.id.rep,
+            transitional: self.current_config.id.transitional,
+            members: self.current_config.members.clone(),
+            in_recovery: matches!(self.mode, Mode::Recovery(_)),
+            settled: self.is_settled(),
+            my_aru,
+            high_seen,
+            aru_lag: high_seen.saturating_sub(my_aru),
+            rotations,
+            pending,
+            deliveries: self.delivered.len(),
         }
     }
 
@@ -1063,6 +1132,10 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
 impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
     type Msg = EvsMsg<P>;
     type Ev = EvsEvent;
+
+    fn is_token(msg: &EvsMsg<P>) -> bool {
+        matches!(msg, EvsMsg::Ring(RingMsg::Token(_)))
+    }
 
     fn on_start(&mut self, ctx: &mut ECtx<'_, P>) {
         self.telemetry = ctx.telemetry().clone();

@@ -22,7 +22,7 @@
 use crate::node::{Ctx, Effect, Node, TimerId, TimerKind};
 use crate::{ProcessId, SimTime, StableStore, Topology};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use evs_telemetry::{Telemetry, TelemetryEvent};
+use evs_telemetry::{Phase, PhaseClock, Telemetry, TelemetryEvent};
 use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -32,8 +32,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// One live-driver tick in microseconds. Public so benches and reports
+/// can convert live latency histograms (recorded in ticks) to real time
+/// instead of conflating live ticks with simulated ones.
+pub const TICK_MICROS: u64 = 100;
+
 /// One simulator tick worth of real time.
-const TICK: Duration = Duration::from_micros(100);
+const TICK: Duration = Duration::from_micros(TICK_MICROS);
 
 /// Extra holdback (in ticks) applied to reordered packets and duplicate
 /// echoes, beyond any configured latency: long enough that undelayed
@@ -148,6 +153,9 @@ struct Worker<N: Node> {
     /// Packets held back by a delay/reorder/duplication fault, with the
     /// instant they become deliverable.
     holdback: Vec<(Instant, ProcessId, N::Msg)>,
+    /// Chained wall-clock phase attribution of the run loop (no-op when
+    /// telemetry is detached). See DESIGN.md "Phase timers".
+    phase: PhaseClock,
 }
 
 impl<N: Node> Worker<N> {
@@ -294,6 +302,7 @@ impl<N: Node> Worker<N> {
 
     fn run(mut self) -> NodeResult<N> {
         self.dispatch(|node, ctx| node.on_start(ctx));
+        self.phase.mark(Phase::Dispatch);
         loop {
             self.flush_holdback();
             // Earliest pending timer or held-back packet decides the wait.
@@ -306,15 +315,22 @@ impl<N: Node> Worker<N> {
                 (None, Some(h)) => h.saturating_duration_since(Instant::now()),
                 (None, None) => Duration::from_millis(50),
             };
+            // Held-back delivery and timer bookkeeping count as dispatch.
+            self.phase.mark(Phase::Dispatch);
             match self.inbox.recv_timeout(timeout) {
                 Ok(Packet::Deliver { from, msg }) => {
+                    // Time blocked in a receive that yielded a packet.
+                    self.phase.mark(Phase::Recv);
                     if self.alive {
                         // Check reachability at delivery time too, like the
                         // simulator: a partition formed while the packet
                         // sat in the channel drops it.
                         let reachable = self.shared.topology.read().reachable(from, self.me);
                         if reachable {
+                            let token = N::is_token(&msg);
                             self.admit(from, msg);
+                            self.phase
+                                .mark(if token { Phase::Token } else { Phase::Dispatch });
                         }
                     }
                 }
@@ -338,6 +354,7 @@ impl<N: Node> Worker<N> {
                         };
                         self.node.on_crash(&mut ctx);
                     }
+                    self.phase.mark(Phase::Control);
                 }
                 Ok(Packet::Kill) => {
                     // `kill -9`: no farewell callback — only state the node
@@ -348,21 +365,31 @@ impl<N: Node> Worker<N> {
                         self.cancelled.clear();
                         self.holdback.clear();
                     }
+                    self.phase.mark(Phase::Control);
                 }
                 Ok(Packet::Recover) => {
                     if !self.alive {
                         self.alive = true;
                         self.dispatch(|node, ctx| node.on_recover(ctx));
                     }
+                    self.phase.mark(Phase::Control);
                 }
                 Ok(Packet::Invoke(f)) => {
                     if self.alive {
                         self.dispatch(f);
                     }
+                    self.phase.mark(Phase::Control);
                 }
-                Ok(Packet::Inspect(f)) => f(&self.node, &self.trace),
+                Ok(Packet::Inspect(f)) => {
+                    f(&self.node, &self.trace);
+                    self.phase.mark(Phase::Control);
+                }
                 Ok(Packet::Shutdown) => return (self.node, self.trace),
                 Err(RecvTimeoutError::Timeout) => {
+                    // The whole blocked wait was sleep: tick pacing or an
+                    // empty inbox. This is the share the event-driven
+                    // LiveNet rewrite attacks.
+                    self.phase.mark(Phase::Idle);
                     if !self.alive {
                         continue;
                     }
@@ -378,6 +405,7 @@ impl<N: Node> Worker<N> {
                             self.dispatch(|node, ctx| node.on_timer(ctx, kind));
                         }
                     }
+                    self.phase.mark(Phase::Timers);
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return (self.node, self.trace);
@@ -468,6 +496,7 @@ where
                     telemetry: shared.telemetry[i].clone(),
                     link_rngs: vec![None; n],
                     holdback: Vec::new(),
+                    phase: PhaseClock::new(&shared.telemetry[i]),
                 };
                 std::thread::spawn(move || worker.run())
             })

@@ -43,6 +43,14 @@ pub trait Node {
     /// Called once when the simulation starts (or when this node is created).
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Ev>);
 
+    /// True when `msg` is a token visit (the ring's ordering work rides
+    /// it). Drivers with phase-time attribution use this to account
+    /// token handling separately from ordinary dispatch; the default
+    /// classifies nothing, which only coarsens attribution.
+    fn is_token(_msg: &Self::Msg) -> bool {
+        false
+    }
+
     /// Called for every message received over the medium.
     fn on_message(
         &mut self,

@@ -34,11 +34,16 @@
 mod event;
 mod metrics;
 pub mod names;
+mod phase;
 mod recorder;
 pub mod report;
 
 pub use event::{EventClass, TelemetryEvent};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{
+    log_bucket_bound, log_bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, LogHistogram,
+    LogHistogramSnapshot, Registry, LOG_BUCKET_COUNT,
+};
+pub use phase::{Phase, PhaseClock};
 pub use recorder::{FlightRecorder, RecordedEvent, DEFAULT_FLIGHT_CAPACITY};
 pub use report::{ProcessReport, RunReport};
 
@@ -149,6 +154,15 @@ impl Telemetry {
         }
     }
 
+    /// Resolves the log-bucketed histogram `name` (detached handle →
+    /// detached histogram). All log histograms share one bucket layout.
+    pub fn log_histogram(&self, name: &'static str) -> LogHistogram {
+        match &self.0 {
+            Some(inner) => inner.registry.log_histogram(name),
+            None => LogHistogram::detached(),
+        }
+    }
+
     /// A point-in-time copy of every instrument, or `None` when
     /// detached.
     pub fn snapshot(&self) -> Option<ProcessReport> {
@@ -157,6 +171,7 @@ impl Telemetry {
             counters: inner.registry.counter_values(),
             gauges: inner.registry.gauge_values(),
             histograms: inner.registry.histogram_values(),
+            log_histograms: inner.registry.log_histogram_values(),
         })
     }
 

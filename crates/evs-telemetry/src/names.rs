@@ -126,6 +126,65 @@ pub const BROKER_RECONNECTS: &str = "broker_reconnects";
 /// Histogram: client operations per flushed batch.
 pub const BROKER_BATCH_OPS: &str = "broker_batch_ops";
 
+// ---- the live observability plane: phase-time attribution ----
+//
+// The live drivers chain a `PhaseClock` mark through every loop stage;
+// each phase owns one nanosecond counter (total attributed time) and one
+// log-bucketed histogram (per-stretch duration distribution). `evs-top`
+// and the `OBS?` exposition compute phase fractions from the counters.
+
+/// Nanoseconds spent parked waiting for work (tick sleep / recv timeout).
+pub const PHASE_NS_IDLE: &str = "phase_ns_idle";
+/// Nanoseconds blocked in socket/channel receive that yielded a packet.
+pub const PHASE_NS_RECV: &str = "phase_ns_recv";
+/// Nanoseconds decoding wire frames into protocol messages.
+pub const PHASE_NS_DECODE: &str = "phase_ns_decode";
+/// Nanoseconds in engine dispatch of non-token messages.
+pub const PHASE_NS_DISPATCH: &str = "phase_ns_dispatch";
+/// Nanoseconds in engine dispatch of token visits.
+pub const PHASE_NS_TOKEN: &str = "phase_ns_token";
+/// Nanoseconds appending to + syncing the write-ahead journal.
+pub const PHASE_NS_WAL: &str = "phase_ns_wal";
+/// Nanoseconds encoding and writing outbound datagrams/effects.
+pub const PHASE_NS_SEND: &str = "phase_ns_send";
+/// Nanoseconds firing due protocol timers.
+pub const PHASE_NS_TIMERS: &str = "phase_ns_timers";
+/// Nanoseconds handling control-plane work (commands, scrapes, inspects).
+pub const PHASE_NS_CONTROL: &str = "phase_ns_control";
+
+/// Log histogram: per-stretch idle durations (ns).
+pub const PHASE_DUR_IDLE: &str = "phase_dur_idle";
+/// Log histogram: per-stretch receive durations (ns).
+pub const PHASE_DUR_RECV: &str = "phase_dur_recv";
+/// Log histogram: per-stretch decode durations (ns).
+pub const PHASE_DUR_DECODE: &str = "phase_dur_decode";
+/// Log histogram: per-stretch non-token dispatch durations (ns).
+pub const PHASE_DUR_DISPATCH: &str = "phase_dur_dispatch";
+/// Log histogram: per-stretch token-dispatch durations (ns).
+pub const PHASE_DUR_TOKEN: &str = "phase_dur_token";
+/// Log histogram: per-stretch WAL append+sync durations (ns).
+pub const PHASE_DUR_WAL: &str = "phase_dur_wal";
+/// Log histogram: per-stretch send durations (ns).
+pub const PHASE_DUR_SEND: &str = "phase_dur_send";
+/// Log histogram: per-stretch timer-firing durations (ns).
+pub const PHASE_DUR_TIMERS: &str = "phase_dur_timers";
+/// Log histogram: per-stretch control-plane durations (ns).
+pub const PHASE_DUR_CONTROL: &str = "phase_dur_control";
+
+/// Gauge: total nanoseconds of loop wall-clock since the clock started.
+/// Phase fractions are per-phase ns over this.
+pub const PHASE_LOOP_NS: &str = "phase_loop_ns";
+/// Phase marks taken (overhead budget = marks × calibrated ns-per-mark).
+pub const PHASE_MARKS: &str = "phase_marks";
+
+/// Log histogram: wall-clock nanoseconds per WAL durability barrier.
+pub const WAL_SYNC_NS: &str = "wal_sync_ns";
+
+/// Gauge: broker operations submitted to the ring awaiting delivery.
+pub const BROKER_INFLIGHT_OPS: &str = "broker_inflight_ops";
+/// Gauge: broker operations buffered in the prepare-batch pipeline.
+pub const BROKER_PENDING_OPS: &str = "broker_pending_ops";
+
 // ---- evs-chaos: the fault-injection harness ----
 
 /// Chaos fault plans executed.
@@ -136,3 +195,9 @@ pub const CHAOS_VIOLATIONS: &str = "chaos_violations";
 pub const CHAOS_SHRINKS: &str = "chaos_shrinks";
 /// Periodic campaign progress heartbeats.
 pub const CHAOS_PROGRESS: &str = "chaos_progress";
+/// Gauge: chaos-campaign plans completed so far.
+pub const CHAOS_CAMPAIGN_DONE: &str = "chaos_campaign_done";
+/// Gauge: total plans the running chaos campaign will execute.
+pub const CHAOS_CAMPAIGN_TOTAL: &str = "chaos_campaign_total";
+/// Gauge: failing plans found so far by the running chaos campaign.
+pub const CHAOS_CAMPAIGN_FAILURES: &str = "chaos_campaign_failures";

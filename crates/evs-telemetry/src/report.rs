@@ -9,7 +9,7 @@
 //! object keys are sorted (`BTreeMap` iteration order) and all values
 //! are integers or strings.
 
-use crate::metrics::HistogramSnapshot;
+use crate::metrics::{HistogramSnapshot, LogHistogramSnapshot};
 use crate::Telemetry;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -25,6 +25,8 @@ pub struct ProcessReport {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Log-bucketed histogram snapshots by name.
+    pub log_histograms: BTreeMap<String, LogHistogramSnapshot>,
 }
 
 /// Aggregated snapshot of a whole run: one [`ProcessReport`] per process
@@ -102,6 +104,18 @@ impl RunReport {
                     h.buckets,
                 );
             }
+            for (name, h) in &p.log_histograms {
+                let _ = writeln!(
+                    out,
+                    "    {name:<32} n={} sum={} mean={:.2} p50={} p99={} max={}",
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    h.percentile(0.5),
+                    h.percentile(0.99),
+                    h.max,
+                );
+            }
         }
         out
     }
@@ -127,6 +141,27 @@ impl RunReport {
                     out,
                     ":{{\"bounds\":{:?},\"buckets\":{:?},\"count\":{},\"sum\":{}}}",
                     h.bounds, h.buckets, h.count, h.sum
+                );
+            }
+            // Log histograms are summarized (count/sum/max + quantiles)
+            // rather than dumped bucket-by-bucket: 496 buckets per
+            // instrument would swamp the document, and the consumers
+            // (bench gate, inspect) key on the summary statistics.
+            out.push_str("},\"log_histograms\":{");
+            for (j, (name, h)) in p.log_histograms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, name);
+                let _ = write!(
+                    out,
+                    ":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.percentile(0.5),
+                    h.percentile(0.9),
+                    h.percentile(0.99)
                 );
             }
             out.push_str("}}");

@@ -42,13 +42,14 @@ struct Args {
     keep_going: bool,
     jobs: usize,
     live: bool,
+    obs: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S] [--iters K] [--n N] [--mix KIND=WEIGHT]...\n\
          \x20            [--hunting] [--kill-chaos] [--broker-chaos] [--jobs N] [--live]\n\
-         \x20            [--keep-going] [--replay FILE] [--self-test]\n\
+         \x20            [--keep-going] [--obs] [--replay FILE] [--self-test]\n\
          \n\
          KIND is one of: split merge crash recover kill restart drop delay mcast run\n\
          \x20             brokerkill brokerreconnect\n\
@@ -56,6 +57,8 @@ fn usage() -> ! {
          --kill-chaos selects the durability mix (kill -9 / WAL-restart heavy)\n\
          --broker-chaos selects the client-path mix (broker kill/reconnect replays;\n\
          \x20             simulator only — broker steps have no live driver)\n\
+         --obs answers OBS? scrapes while the campaign runs (watch progress\n\
+         \x20             live with `cargo run --release --example evs_top`)\n\
          --self-test requires building with --features chaos-mutation (engine bug)\n\
          \x20             or --features broker-mutation (dedup-ledger bug)"
     );
@@ -73,6 +76,7 @@ fn parse_args() -> Args {
         keep_going: false,
         jobs: 1,
         live: false,
+        obs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,6 +107,7 @@ fn parse_args() -> Args {
             "--broker-chaos" => args.gen_cfg.mix = evs::chaos::FaultMix::broker_chaos(),
             "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--live" => args.live = true,
+            "--obs" => args.obs = true,
             "--replay" => args.replay = Some(value("--replay")),
             "--self-test" => args.self_test = true,
             "--keep-going" => args.keep_going = true,
@@ -285,6 +290,28 @@ fn main() {
             ..CampaignConfig::default()
         },
     );
+    // Keep the responder (and its scrape socket) alive for the whole
+    // campaign; dropping it at end of main stops the sidecar thread.
+    let _responder = if args.obs {
+        let responder = evs::obs::ObsResponder::spawn(campaign.telemetry().clone(), || {
+            vec![
+                ("role".to_string(), "chaos".to_string()),
+                ("os_pid".to_string(), std::process::id().to_string()),
+            ]
+        })
+        .expect("spawn obs responder");
+        let path = std::path::Path::new("chaos-artifacts").join("obs-endpoints.txt");
+        evs::obs::serve::write_endpoints(&path, &[responder.addr()]).expect("write endpoints");
+        println!(
+            "   answering OBS? scrapes on {} (endpoints file {}); watch with\n\
+             \x20    cargo run --release --example evs_top",
+            responder.addr(),
+            path.display()
+        );
+        Some(responder)
+    } else {
+        None
+    };
     let (stats, found) = campaign.run(args.seed, args.iters);
     println!(
         "  {} run(s), {} schedule step(s), {} failure(s)",

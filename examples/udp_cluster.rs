@@ -1,12 +1,14 @@
 //! The EVS stack over real UDP sockets, with real process-kill recovery.
 //!
-//! Four modes:
+//! Modes:
 //!
 //! ```text
 //! cargo run --example udp_cluster                  # in-process demo (3 threads)
 //! cargo run --example udp_cluster -- --broker [clients]
 //! cargo run --example udp_cluster -- --orchestrate [seed]
 //! cargo run --example udp_cluster -- --child <i> --ports <p0,p1,..> --dir <D>
+//! cargo run --example udp_cluster -- --serve [secs]   # scrape-able cluster for evs-top
+//! cargo run --example udp_cluster -- --obs-smoke      # CI observability smoke
 //! ```
 //!
 //! The no-argument demo is the original loopback exercise: each process
@@ -53,15 +55,27 @@
 //! group orders a handful of batches while hundreds of client ops
 //! complete; at shutdown the networked traces are checked against the
 //! full specification suite.
+//!
+//! Every worker — loopback daemon, `--child` OS process, broker
+//! front-end — also answers the `OBS?` live-scrape protocol on the UDP
+//! socket it already owns: a 4-byte query datagram from any non-member
+//! address gets one [`evs::obs::Exposition`] text datagram back, carrying
+//! counters, gauges, log-histogram quantiles, per-phase loop-time
+//! fractions (a [`PhaseClock`] chains a mark through every stage of the
+//! worker loop) and engine info keys (configuration id, ARU lag,
+//! membership, recovery state). `--serve` keeps a cluster alive under
+//! light traffic so `cargo run --example evs_top` has something to
+//! watch; `--obs-smoke` is the self-checking CI variant.
 
 use bytes::BytesMut;
 use evs::broker::{Broker, BrokerParams, SubmitOutcome};
 use evs::core::{
     checker, trace_io, wire, Delivery, EvsEvent, EvsParams, EvsProcess, Payload, Service, Trace,
 };
+use evs::obs::{self, Exposition, TopState};
 use evs::sim::{Ctx, Effect, Node, ProcessId, SimTime, StableStore, TimerKind};
 use evs::store::FileStorage;
-use evs::telemetry::{RunReport, Telemetry};
+use evs::telemetry::{names, Phase, PhaseClock, RunReport, Telemetry};
 use std::fs;
 use std::io::Write as _;
 use std::net::{SocketAddr, UdpSocket};
@@ -114,6 +128,14 @@ struct UdpWorker {
     timers: Vec<(Instant, evs::sim::TimerId, TimerKind)>,
     epoch: Instant,
     telemetry: Telemetry,
+    /// Chained wall-clock phase attribution: one mark per loop stage, so
+    /// the `OBS?` exposition can say where this worker's time goes.
+    phase: PhaseClock,
+    /// Snapshot sequence number; advances once per `OBS?` reply. Resets
+    /// with the process, which is how `evs-top` spots a respawn.
+    obs_seq: u64,
+    /// The `role` info key of this worker's scrapes.
+    role: &'static str,
     /// Reused for every outgoing frame encoding.
     scratch: BytesMut,
     /// One datagram under construction per destination, reused forever.
@@ -169,6 +191,17 @@ impl UdpWorker {
         &mut self,
         f: impl FnOnce(&mut EvsProcess<Payload>, &mut Ctx<'_, evs::core::EvsMsg<Payload>, EvsEvent>),
     ) {
+        self.dispatch_as(Phase::Dispatch, f)
+    }
+
+    /// Runs one engine callback, attributing the engine's own time to
+    /// `phase`, the journal write to [`Phase::Wal`] and effect
+    /// encoding + datagram output to [`Phase::Send`].
+    fn dispatch_as(
+        &mut self,
+        phase: Phase,
+        f: impl FnOnce(&mut EvsProcess<Payload>, &mut Ctx<'_, evs::core::EvsMsg<Payload>, EvsEvent>),
+    ) {
         let now = self.now();
         let mut ctx = Ctx::detached_with_telemetry(
             self.me,
@@ -180,9 +213,11 @@ impl UdpWorker {
         );
         f(&mut self.node, &mut ctx);
         let effects = ctx.take_effects();
+        self.phase.mark(phase);
         // Write-ahead ordering: the journal must hold every event this
         // dispatch produced before any datagram it produced can leave.
         self.journal_new_events();
+        self.phase.mark(Phase::Wal);
         for effect in effects {
             match effect {
                 Effect::Broadcast(msg) => {
@@ -212,6 +247,36 @@ impl UdpWorker {
         // Ship everything this dispatch produced, one datagram per peer.
         for to in 0..self.peers.len() {
             self.flush(to);
+        }
+        self.phase.mark(Phase::Send);
+    }
+
+    /// Answers one `OBS?` scrape with a fresh exposition datagram.
+    fn obs_reply(&mut self, to: SocketAddr) {
+        self.obs_seq += 1;
+        let o = self.node.obs();
+        let members = o
+            .members
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let info = [
+            ("role".to_string(), self.role.to_string()),
+            ("os_pid".to_string(), std::process::id().to_string()),
+            (
+                "config".to_string(),
+                self.node.current_config().id.to_string(),
+            ),
+            ("members".to_string(), members),
+            ("settled".to_string(), o.settled.to_string()),
+            ("in_recovery".to_string(), o.in_recovery.to_string()),
+            ("aru_lag".to_string(), o.aru_lag.to_string()),
+            ("pending".to_string(), o.pending.to_string()),
+            ("deliveries".to_string(), o.deliveries.to_string()),
+        ];
+        if let Some(expo) = Exposition::from_telemetry(self.obs_seq, &self.telemetry, info) {
+            let _ = self.socket.send_to(expo.to_text().as_bytes(), to);
         }
     }
 
@@ -285,6 +350,7 @@ impl UdpWorker {
                             .map(|p| String::from_utf8_lossy(p).into_owned())
                             .collect();
                         let _ = reply.send((settled, members, delivered));
+                        self.phase.mark(Phase::Control);
                     }
                     Ok(Command::Drain(reply)) => {
                         let payloads: Vec<Payload> = self
@@ -297,6 +363,7 @@ impl UdpWorker {
                             })
                             .collect();
                         let _ = reply.send(payloads);
+                        self.phase.mark(Phase::Control);
                     }
                     Ok(Command::Shutdown(reply)) => {
                         let _ = reply.send(std::mem::take(&mut self.trace));
@@ -314,12 +381,18 @@ impl UdpWorker {
                 self.timers = pending;
                 ready
             };
-            for (_, _, kind) in due {
-                self.dispatch(|node, ctx| node.on_timer(ctx, kind));
+            if !due.is_empty() {
+                for (_, _, kind) in due {
+                    self.dispatch_as(Phase::Timers, |node, ctx| node.on_timer(ctx, kind));
+                }
+                self.phase.mark(Phase::Timers);
             }
-            // Receive one datagram; it may pack several frames.
+            // Receive one datagram; it may pack several frames. The one
+            // blocking call can't be split by outcome, so its time counts
+            // as Recv when it yields a packet and Idle when it times out.
             match self.socket.recv_from(&mut buf) {
                 Ok((len, from_addr)) => {
+                    self.phase.mark(Phase::Recv);
                     let from = self
                         .peers
                         .iter()
@@ -329,20 +402,35 @@ impl UdpWorker {
                         if let Ok(frames) = wire::unpack_frames(&buf[..len]) {
                             let msgs: Vec<_> =
                                 frames.iter().filter_map(|f| wire::decode(f).ok()).collect();
+                            self.phase.mark(Phase::Decode);
                             for msg in msgs {
-                                self.dispatch(|node, ctx| node.on_message(ctx, from, msg));
+                                let phase = if <EvsProcess<Payload> as Node>::is_token(&msg) {
+                                    Phase::Token
+                                } else {
+                                    Phase::Dispatch
+                                };
+                                self.dispatch_as(phase, |node, ctx| {
+                                    node.on_message(ctx, from, msg)
+                                });
                             }
                         }
-                    } else if len >= 4
-                        && &buf[..4] == CONTROL_MAGIC
-                        && self.handle_control(&buf[4..len], from_addr)
-                    {
-                        return;
+                    } else if obs::is_query(&buf[..len]) {
+                        self.obs_reply(from_addr);
+                        self.phase.mark(Phase::Control);
+                    } else if len >= 4 && &buf[..4] == CONTROL_MAGIC {
+                        let shutdown = self.handle_control(&buf[4..len], from_addr);
+                        self.phase.mark(Phase::Control);
+                        if shutdown {
+                            return;
+                        }
                     }
                 }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    self.phase.mark(Phase::Idle);
+                }
                 Err(e) => panic!("socket error: {e}"),
             }
         }
@@ -362,10 +450,15 @@ fn main() {
             orchestrate(seed);
         }
         Some("--child") => child(&args),
+        Some("--serve") => {
+            let secs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+            serve(secs);
+        }
+        Some("--obs-smoke") => obs_smoke(),
         Some(other) => {
             eprintln!(
                 "unknown mode {other:?}; use no args, --broker [clients], \
-                 --orchestrate [seed], or --child"
+                 --orchestrate [seed], --child, --serve [secs], or --obs-smoke"
             );
             std::process::exit(2);
         }
@@ -425,6 +518,7 @@ fn child(args: &[String]) {
         .open(&journal_path)
         .expect("open trace journal");
 
+    let telemetry = Telemetry::enabled(index as u32);
     UdpWorker {
         me,
         node: EvsProcess::with_storage(me, EvsParams::default(), Box::new(storage)),
@@ -439,7 +533,10 @@ fn child(args: &[String]) {
         next_timer_id: 0,
         timers: Vec::new(),
         epoch: Instant::now(),
-        telemetry: Telemetry::enabled(index as u32),
+        phase: PhaseClock::new(&telemetry),
+        telemetry,
+        obs_seq: 0,
+        role: "child",
         scratch: BytesMut::with_capacity(1024),
         outbox: (0..ports.len())
             .map(|_| BytesMut::with_capacity(2048))
@@ -521,6 +618,31 @@ impl ControlPlane {
     }
 }
 
+/// Scrapes every endpoint into `top`; `None` entries did not answer.
+fn scrape_cluster(
+    top: &mut TopState,
+    epoch: Instant,
+    addrs: &[SocketAddr],
+) -> Vec<Option<Exposition>> {
+    addrs
+        .iter()
+        .map(|a| match obs::scrape(*a, Duration::from_millis(500)) {
+            Ok(expo) => {
+                top.record(
+                    &a.to_string(),
+                    epoch.elapsed().as_micros() as u64,
+                    expo.clone(),
+                );
+                Some(expo)
+            }
+            Err(_) => {
+                top.record_failure(&a.to_string());
+                None
+            }
+        })
+        .collect()
+}
+
 fn spawn_child(index: usize, ports: &[u16], dir: &Path) -> std::process::Child {
     let csv = ports
         .iter()
@@ -577,6 +699,23 @@ fn orchestrate(seed: u64) {
     });
     println!("-- group formed: all {N} OS processes in one configuration");
 
+    // The children double as OBS? scrape endpoints on their member
+    // sockets; record them for evs-top and scrape throughout the run.
+    let obs_addrs: Vec<SocketAddr> = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}").parse().unwrap())
+        .collect();
+    obs::serve::write_endpoints(&dir.join("obs-endpoints.txt"), &obs_addrs)
+        .expect("write endpoints");
+    let top_epoch = Instant::now();
+    let mut top = TopState::new();
+    let scraped = scrape_cluster(&mut top, top_epoch, &obs_addrs);
+    assert!(
+        scraped.iter().all(Option::is_some),
+        "every member must answer OBS? after formation"
+    );
+    println!("-- all {N} OS processes answered a live OBS? scrape");
+
     // Phase 1: traffic while everyone is up.
     for k in 0..3 {
         ctrl.submit(0, format!("pre-kill-{k}").as_bytes());
@@ -585,6 +724,8 @@ fn orchestrate(seed: u64) {
         s.iter().all(|(_, _, delivered)| *delivered >= 3)
     });
     println!("-- 3 safe messages delivered by every process");
+    scrape_cluster(&mut top, top_epoch, &obs_addrs);
+    print!("\n{}", top.render(top_epoch.elapsed().as_micros() as u64));
 
     // Phase 2: SIGKILL one member mid-run. No callback, no flush — the
     // only thing the victim leaves behind is its stable storage.
@@ -608,6 +749,12 @@ fn orchestrate(seed: u64) {
         s.iter().all(|(_, _, delivered)| *delivered >= 5)
     });
     println!("-- traffic continued without the killed member");
+    let scraped = scrape_cluster(&mut top, top_epoch, &obs_addrs);
+    assert!(
+        scraped[victim].is_none(),
+        "a SIGKILLed process must stop answering scrapes"
+    );
+    println!("-- evs-top sees the kill: process {victim} no longer answers OBS?");
 
     // Phase 3: respawn the same command line. The child finds its WAL,
     // emits the fail event its predecessor never recorded, skips the
@@ -618,6 +765,28 @@ fn orchestrate(seed: u64) {
             .all(|(settled, members, _)| *settled && *members == N)
     });
     println!("-- process {victim} recovered from its write-ahead log and rejoined");
+    let scraped = scrape_cluster(&mut top, top_epoch, &obs_addrs);
+    let revived = scraped[victim]
+        .as_ref()
+        .expect("the reincarnation answers scrapes");
+    assert!(
+        revived
+            .counters
+            .get(names::STORAGE_RECOVERIES)
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "the reincarnation's scrape must show its WAL recovery"
+    );
+    let victim_endpoint = obs_addrs[victim].to_string();
+    assert!(
+        top.node(&victim_endpoint).unwrap().incarnations >= 2,
+        "evs-top must detect the respawn as a new incarnation"
+    );
+    print!("\n{}", top.render(top_epoch.elapsed().as_micros() as u64));
+    println!(
+        "-- evs-top tracked the respawn: incarnation count stepped, WAL recovery in the scrape"
+    );
 
     let before: Vec<u32> = all
         .iter()
@@ -711,13 +880,19 @@ fn load_journals(dir: &Path, n: usize) -> Trace {
 // no-argument demo: the original in-process loopback exercise
 // ---------------------------------------------------------------------------
 
-/// Binds one loopback socket per process and spawns the worker threads of
-/// the in-process modes (demo and `--broker`).
-fn spawn_loopback_workers() -> (
+/// Everything the in-process modes need to drive and observe a spawned
+/// cluster: per-worker command senders, join handles, telemetry handles,
+/// and the socket addresses (which double as `OBS?` scrape endpoints).
+type LoopbackCluster = (
     Vec<mpsc::Sender<Command>>,
     Vec<std::thread::JoinHandle<()>>,
     Vec<Telemetry>,
-) {
+    Vec<SocketAddr>,
+);
+
+/// Binds one loopback socket per process and spawns the worker threads of
+/// the in-process modes (demo, `--broker`, `--serve`, `--obs-smoke`).
+fn spawn_loopback_workers() -> LoopbackCluster {
     let sockets: Vec<UdpSocket> = (0..N)
         .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
         .collect();
@@ -750,14 +925,34 @@ fn spawn_loopback_workers() -> (
                 next_timer_id: 0,
                 timers: Vec::new(),
                 epoch,
+                phase: PhaseClock::new(&telemetry),
                 telemetry,
+                obs_seq: 0,
+                role: "daemon",
                 scratch: BytesMut::with_capacity(1024),
                 outbox: (0..N).map(|_| BytesMut::with_capacity(2048)).collect(),
             }
             .run()
         }));
     }
-    (command_txs, handles, telemetry_handles)
+    (command_txs, handles, telemetry_handles, addrs)
+}
+
+/// Cleanly shuts down the loopback workers, returning their traces.
+fn shutdown_loopback_workers(
+    command_txs: &[mpsc::Sender<Command>],
+    handles: Vec<std::thread::JoinHandle<()>>,
+) -> Vec<Vec<(SimTime, EvsEvent)>> {
+    let mut traces = Vec::new();
+    for tx in command_txs {
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::Shutdown(rtx)).unwrap();
+        traces.push(rrx.recv().unwrap());
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    traces
 }
 
 /// One inspect round-trip with worker `i`.
@@ -790,7 +985,7 @@ fn wait_until_formed(txs: &[mpsc::Sender<Command>]) {
 
 fn demo() {
     println!("== extended virtual synchrony over UDP (loopback) ==\n");
-    let (command_txs, handles, telemetry_handles) = spawn_loopback_workers();
+    let (command_txs, handles, telemetry_handles, _addrs) = spawn_loopback_workers();
     let inspect = inspect_worker;
     wait_until_formed(&command_txs);
 
@@ -817,16 +1012,7 @@ fn demo() {
     }
 
     // Shut down and verify the networked execution against the model.
-    let mut traces = Vec::new();
-    for tx in &command_txs {
-        let (rtx, rrx) = mpsc::channel();
-        tx.send(Command::Shutdown(rtx)).unwrap();
-        traces.push(rrx.recv().unwrap());
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
-    let trace = Trace::new(traces);
+    let trace = Trace::new(shutdown_loopback_workers(&command_txs, handles));
     println!(
         "-- collected {} events from the UDP run; checking Specifications 1.1–7.2…",
         trace.len()
@@ -874,6 +1060,132 @@ fn demo() {
 }
 
 // ---------------------------------------------------------------------------
+// --serve / --obs-smoke: the live observability plane
+// ---------------------------------------------------------------------------
+
+/// `--serve [secs]`: keeps a scrape-able cluster alive under light
+/// traffic so `cargo run --example evs_top` has something to watch.
+fn serve(secs: u64) {
+    println!("== scrape-able cluster for evs-top ({secs}s) ==\n");
+    let (command_txs, handles, _telemetry, addrs) = spawn_loopback_workers();
+    wait_until_formed(&command_txs);
+    let path = Path::new("chaos-artifacts").join("obs-endpoints.txt");
+    obs::serve::write_endpoints(&path, &addrs).expect("write endpoints");
+    println!(
+        "-- endpoints in {}; run `cargo run --example evs_top` in another shell",
+        path.display()
+    );
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut k = 0u64;
+    while Instant::now() < deadline {
+        let service = if k.is_multiple_of(4) {
+            Service::Safe
+        } else {
+            Service::Agreed
+        };
+        let _ = command_txs[(k as usize) % N].send(Command::Submit(
+            service,
+            Payload::from(format!("serve-{k}").as_bytes()),
+        ));
+        k += 1;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shutdown_loopback_workers(&command_txs, handles);
+    println!("-- served {k} submissions; bye");
+}
+
+/// `--obs-smoke`: the CI gate for the live observability plane. Boots a
+/// 3-node cluster, scrapes every node twice mid-traffic and asserts the
+/// exposition invariants — advancing snapshot sequences, monotone
+/// counters, phase fractions summing to ~1e6 ppm and covering ≥95% of
+/// loop wall-clock, exact text round-trips — then renders one evs-top
+/// frame from the recorded scrapes.
+fn obs_smoke() {
+    println!("== obs smoke: live scrapes of a 3-node UDP cluster ==\n");
+    let (command_txs, handles, _telemetry, addrs) = spawn_loopback_workers();
+    wait_until_formed(&command_txs);
+    let submit = |k: u64| {
+        let _ = command_txs[(k as usize) % N].send(Command::Submit(
+            Service::Agreed,
+            Payload::from(format!("obs-{k}").as_bytes()),
+        ));
+    };
+    for k in 0..16 {
+        submit(k);
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    let epoch = Instant::now();
+    let mut top = TopState::new();
+    let scrape_all = |top: &mut TopState| -> Vec<Exposition> {
+        addrs
+            .iter()
+            .map(|a| {
+                let expo = obs::scrape(*a, Duration::from_secs(2)).expect("scrape");
+                top.record(
+                    &a.to_string(),
+                    epoch.elapsed().as_micros() as u64,
+                    expo.clone(),
+                );
+                expo
+            })
+            .collect()
+    };
+    let first = scrape_all(&mut top);
+    for k in 16..32 {
+        submit(k);
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let second = scrape_all(&mut top);
+
+    for (i, (e1, e2)) in first.iter().zip(&second).enumerate() {
+        assert!(
+            e2.seq > e1.seq,
+            "node {i}: seq must advance ({} -> {})",
+            e1.seq,
+            e2.seq
+        );
+        for (name, v1) in &e1.counters {
+            let v2 = e2.counters.get(name).copied().unwrap_or(0);
+            assert!(v2 >= *v1, "node {i}: counter {name} regressed {v1} -> {v2}");
+        }
+        let rotations = e2
+            .counters
+            .get(names::TOKEN_ROTATIONS)
+            .copied()
+            .unwrap_or(0);
+        assert!(rotations > 0, "node {i}: the ring must be rotating");
+        let ppm: u64 = e2.phases.values().map(|p| p.ppm).sum();
+        assert!(
+            ppm > 1_000_000 - Phase::COUNT as u64 && ppm <= 1_000_000,
+            "node {i}: phase ppm sum {ppm}"
+        );
+        let cov = e2.coverage().expect("phase coverage");
+        assert!(
+            (0.95..=1.05).contains(&cov),
+            "node {i}: phase coverage {cov}"
+        );
+        let parsed = Exposition::parse(&e2.to_text()).expect("round-trip");
+        assert_eq!(&parsed, e2, "node {i}: exposition must round-trip");
+        assert_eq!(e2.info["role"], "daemon");
+    }
+    println!("-- {N} nodes scraped twice: seqs advance, counters monotone, phase");
+    println!("   fractions sum to ~1 and cover ≥95% of loop time, text round-trips");
+
+    let frame = top.render(epoch.elapsed().as_micros() as u64);
+    print!("\n{frame}");
+    assert_eq!(top.live_nodes(), N);
+    for a in &addrs {
+        let endpoint = a.to_string();
+        assert_eq!(top.node(&endpoint).unwrap().incarnations, 1);
+        assert!(frame.contains(&endpoint), "frame must list {endpoint}");
+    }
+
+    shutdown_loopback_workers(&command_txs, handles);
+    println!("\nOK obs-smoke");
+}
+
+// ---------------------------------------------------------------------------
 // --broker: real UDP clients served through an evs-broker front-end
 // ---------------------------------------------------------------------------
 
@@ -898,10 +1210,17 @@ fn run_broker_front_end(
     daemon: mpsc::Sender<Command>,
     stop: mpsc::Receiver<()>,
     stats_tx: mpsc::Sender<BrokerStats>,
+    telemetry: Telemetry,
 ) {
     let epoch = Instant::now();
     let now = |epoch: &Instant| (epoch.elapsed().as_micros() / TICK.as_micros()) as u64;
-    let mut broker = Broker::new(0, ProcessId::new(0), BrokerParams::default());
+    let mut broker = Broker::with_telemetry(
+        0,
+        ProcessId::new(0),
+        BrokerParams::default(),
+        telemetry.clone(),
+    );
+    let mut obs_seq = 0u64;
     // Reply routing needs a return address per client; the last submit's
     // source is it (clients keep one socket for their whole session).
     let mut return_addrs: std::collections::HashMap<u64, SocketAddr> =
@@ -935,6 +1254,18 @@ fn run_broker_front_end(
                         // windows, so backpressure here is a bug the
                         // final op accounting catches.
                         SubmitOutcome::Backpressure => {}
+                    }
+                }
+                // The broker answers live scrapes on its client socket:
+                // evs-top polls it exactly like a daemon.
+                Ok((len, from)) if obs::is_query(&buf[..len]) => {
+                    obs_seq += 1;
+                    let info = [
+                        ("role".to_string(), "broker".to_string()),
+                        ("os_pid".to_string(), std::process::id().to_string()),
+                    ];
+                    if let Some(expo) = Exposition::from_telemetry(obs_seq, &telemetry, info) {
+                        let _ = socket.send_to(expo.to_text().as_bytes(), from);
                     }
                 }
                 Ok(_) => {}
@@ -993,7 +1324,7 @@ fn run_broker_front_end(
 fn broker_demo(clients: usize) {
     const OPS_PER_CLIENT: usize = 4;
     println!("== client tier over UDP: {clients} clients through one broker ==\n");
-    let (command_txs, handles, telemetry_handles) = spawn_loopback_workers();
+    let (command_txs, handles, telemetry_handles, _addrs) = spawn_loopback_workers();
     wait_until_formed(&command_txs);
 
     let broker_socket = UdpSocket::bind("127.0.0.1:0").expect("bind broker socket");
@@ -1001,8 +1332,10 @@ fn broker_demo(clients: usize) {
     let (stop_tx, stop_rx) = mpsc::channel();
     let (stats_tx, stats_rx) = mpsc::channel();
     let daemon0 = command_txs[0].clone();
-    let broker_thread =
-        std::thread::spawn(move || run_broker_front_end(broker_socket, daemon0, stop_rx, stats_tx));
+    let broker_telemetry = Telemetry::enabled(N as u32);
+    let broker_thread = std::thread::spawn(move || {
+        run_broker_front_end(broker_socket, daemon0, stop_rx, stats_tx, broker_telemetry)
+    });
     println!("-- broker front-end listening on {broker_addr}, attached to daemon 0");
 
     // Every client is its own UDP socket; all ops go out before any reply
@@ -1055,6 +1388,24 @@ fn broker_demo(clients: usize) {
     }
     println!("-- every client observed all {OPS_PER_CLIENT} replies");
 
+    // The broker is still serving: scrape it live, like evs-top would.
+    let expo = obs::scrape(broker_addr, Duration::from_secs(2)).expect("scrape broker");
+    assert_eq!(expo.info["role"], "broker");
+    assert_eq!(
+        expo.counters
+            .get(names::BROKER_OPS_SUBMITTED)
+            .copied()
+            .unwrap_or(0) as usize,
+        total_ops,
+        "the broker's scrape must account for every op"
+    );
+    assert!(
+        expo.gauges.contains_key(names::BROKER_INFLIGHT_OPS)
+            && expo.gauges.contains_key(names::BROKER_PENDING_OPS),
+        "the broker's scrape must expose its queue-depth gauges"
+    );
+    println!("-- the broker answered a live OBS? scrape: {total_ops} ops, queue gauges exposed");
+
     stop_tx.send(()).expect("stop broker");
     let stats = stats_rx.recv().expect("broker stats");
     broker_thread.join().expect("join broker");
@@ -1073,16 +1424,7 @@ fn broker_demo(clients: usize) {
 
     // Shut down the daemons and verify the networked execution — with the
     // broker tier in the loop — against the full specification suite.
-    let mut traces = Vec::new();
-    for tx in &command_txs {
-        let (rtx, rrx) = mpsc::channel();
-        tx.send(Command::Shutdown(rtx)).unwrap();
-        traces.push(rrx.recv().unwrap());
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
-    let trace = Trace::new(traces);
+    let trace = Trace::new(shutdown_loopback_workers(&command_txs, handles));
     println!(
         "-- collected {} events from the UDP run; checking Specifications 1.1–7.2…",
         trace.len()

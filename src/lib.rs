@@ -21,6 +21,10 @@
 //! * [`telemetry`] — metrics, structured tracing and the per-process
 //!   flight recorder wired through every layer above (see the
 //!   "Observability" section of `README.md`).
+//! * [`obs`] — the live observability plane on top of [`telemetry`]:
+//!   phase-time attribution for the live driver loops, the
+//!   single-datagram `OBS?` scrape protocol with a text exposition
+//!   format, and the `evs-top` dashboard model.
 //! * [`inspect`] — run analysis over the flight recorders: the merged
 //!   causal timeline, per-message and per-configuration lifecycle spans,
 //!   and anomaly detection (stuck recovery, token starvation, ...).
@@ -64,6 +68,7 @@ pub use evs_chaos as chaos;
 pub use evs_core as core;
 pub use evs_inspect as inspect;
 pub use evs_membership as membership;
+pub use evs_obs as obs;
 pub use evs_order as order;
 pub use evs_sim as sim;
 pub use evs_store as store;
