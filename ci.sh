@@ -9,7 +9,10 @@
 #   ./ci.sh bench-clients     # full client-load suite, writes BENCH_clients.json
 #   ./ci.sh kill-recovery     # just the kill -9 / WAL-recovery smoke
 #   ./ci.sh obs-smoke         # just the OBS? scrape-plane smoke
+#   ./ci.sh corruption-smoke  # just the corruption-mix conformance smoke
 #   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
+#   CHAOS_FACTORY_ITERS=5000 ./ci.sh # standard gate + chaos-factory soak
+#                             # (strict: a never-fired fault kind fails it)
 #   LIVE_CHAOS_ITERS=2000 ./ci.sh # standard gate + live-driver chaos soak
 #   KILL_CHAOS_ITERS=2000 ./ci.sh # standard gate + kill/restart chaos soak
 #   BENCH_SMOKE=1 ./ci.sh     # standard gate + bench baseline refresh
@@ -104,8 +107,23 @@ if [ "${1:-}" = "kill-recovery" ]; then
     exit 0
 fi
 
+corruption_smoke() {
+    echo "== chaos: fixed-seed corruption smoke (bit flips, wrap, desync, WAL rot) =="
+    cargo build -q --release --offline --example chaos
+    ./target/release/examples/chaos --corruption --jobs 4 \
+        --iters 200 --seed 648312 --keep-going
+    echo "== chaos: fixed-seed live corruption smoke (same vocabulary, real threads) =="
+    ./target/release/examples/chaos --corruption --live --n 3 --jobs 4 \
+        --iters 60 --seed 271828
+}
+
 if [ "${1:-}" = "obs-smoke" ]; then
     obs_smoke
+    exit 0
+fi
+
+if [ "${1:-}" = "corruption-smoke" ]; then
+    corruption_smoke
     exit 0
 fi
 
@@ -141,6 +159,8 @@ echo "== chaos: fixed-seed live smoke (hunting mix on the threaded driver) =="
 echo "== chaos: fixed-seed kill/restart smoke (durability mix, simulator) =="
 ./target/release/examples/chaos --kill-chaos --iters 200 --seed 90125 --keep-going
 
+corruption_smoke
+
 kill_recovery
 
 obs_smoke
@@ -168,6 +188,14 @@ if [ -n "${KILL_CHAOS_ITERS:-}" ]; then
     echo "== chaos: kill/restart soak (KILL_CHAOS_ITERS=${KILL_CHAOS_ITERS}) =="
     ./target/release/examples/chaos --kill-chaos --jobs 4 \
         --iters "${KILL_CHAOS_ITERS}" --seed 3
+fi
+
+if [ -n "${CHAOS_FACTORY_ITERS:-}" ]; then
+    echo "== chaos: factory soak (CHAOS_FACTORY_ITERS=${CHAOS_FACTORY_ITERS}, strict coverage) =="
+    # Every counterexample is shrunk and persisted under chaos-artifacts/;
+    # a fault kind the mix can generate but never fired fails the run.
+    ./target/release/examples/chaos --factory --jobs 4 \
+        --iters "${CHAOS_FACTORY_ITERS}" --seed 4 --strict-coverage
 fi
 
 if [ -n "${BENCH_SMOKE:-}" ]; then

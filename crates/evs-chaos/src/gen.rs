@@ -5,7 +5,7 @@
 //! deterministic — the same seed always yields the same [`FaultPlan`] — so
 //! a campaign is fully described by its base seed and iteration count.
 
-use crate::plan::{FaultPlan, FaultStep};
+use crate::plan::{BitTarget, FaultPlan, FaultStep};
 use evs_order::Service;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +45,19 @@ pub struct FaultMix {
     /// Weight of [`FaultStep::BrokerReconnect`]. Zero by default, paired
     /// with `broker_kill`.
     pub broker_reconnect: u32,
+    /// Weight of [`FaultStep::BitFlip`]. Zero by default: corruption
+    /// steps are opted into by corruption campaigns, and (like every
+    /// later addition to this mix) sit at the end of the sampling cascade
+    /// so historical seeds keep reproducing byte-identical plans.
+    pub bitflip: u32,
+    /// Weight of [`FaultStep::SeqWrap`]. Zero by default.
+    pub seqwrap: u32,
+    /// Weight of [`FaultStep::ConfDesync`]. Zero by default.
+    pub confdesync: u32,
+    /// Weight of [`FaultStep::WalByte`]. Zero by default.
+    pub walbyte: u32,
+    /// Weight of [`FaultStep::WalTrunc`]. Zero by default.
+    pub waltrunc: u32,
 }
 
 impl Default for FaultMix {
@@ -64,6 +77,11 @@ impl Default for FaultMix {
             run: 6,
             broker_kill: 0,
             broker_reconnect: 0,
+            bitflip: 0,
+            seqwrap: 0,
+            confdesync: 0,
+            walbyte: 0,
+            waltrunc: 0,
         }
     }
 }
@@ -89,6 +107,11 @@ impl FaultMix {
             run: 10,
             broker_kill: 0,
             broker_reconnect: 0,
+            bitflip: 0,
+            seqwrap: 0,
+            confdesync: 0,
+            walbyte: 0,
+            waltrunc: 0,
         }
     }
 
@@ -109,6 +132,11 @@ impl FaultMix {
             run: 10,
             broker_kill: 0,
             broker_reconnect: 0,
+            bitflip: 0,
+            seqwrap: 0,
+            confdesync: 0,
+            walbyte: 0,
+            waltrunc: 0,
         }
     }
 
@@ -133,12 +161,110 @@ impl FaultMix {
             run: 12,
             broker_kill: 8,
             broker_reconnect: 6,
+            bitflip: 0,
+            seqwrap: 0,
+            confdesync: 0,
+            walbyte: 0,
+            waltrunc: 0,
         }
+    }
+
+    /// A mix tuned for the self-stabilization gauntlet: corruption-class
+    /// faults (bit flips, sequence wrap, configuration desync, WAL rot)
+    /// layered over kill/restart and constant traffic. The kills matter:
+    /// WAL damage is dormant until the victim restarts and replays, so a
+    /// corruption mix without restarts would never execute the
+    /// durable-rot half of its own vocabulary.
+    pub fn corruption() -> Self {
+        FaultMix {
+            split: 1,
+            merge: 2,
+            crash: 0,
+            kill: 4,
+            recover: 0,
+            restart: 6,
+            drop: 2,
+            delay: 1,
+            mcast: 10,
+            run: 10,
+            broker_kill: 0,
+            broker_reconnect: 0,
+            bitflip: 6,
+            seqwrap: 2,
+            confdesync: 2,
+            walbyte: 4,
+            waltrunc: 3,
+        }
+    }
+
+    /// The factory mix: every step kind in the vocabulary at nonzero
+    /// weight, biased toward traffic and restarts so corruption and
+    /// durability faults have state to damage and a replay to surface in.
+    /// This is the widest mix the generator offers — the chaos factory's
+    /// default, where the coverage report is expected to show every fault
+    /// kind firing.
+    pub fn factory() -> Self {
+        FaultMix {
+            split: 2,
+            merge: 3,
+            crash: 2,
+            kill: 4,
+            recover: 3,
+            restart: 5,
+            drop: 3,
+            delay: 1,
+            mcast: 12,
+            run: 10,
+            broker_kill: 2,
+            broker_reconnect: 2,
+            bitflip: 5,
+            seqwrap: 1,
+            confdesync: 1,
+            walbyte: 3,
+            waltrunc: 2,
+        }
+    }
+
+    /// The canonical [`crate::STEP_KINDS`] names this mix can generate
+    /// (nonzero weight). A `bitflip` weight enables all three bit-flip
+    /// targets — the generator samples the target uniformly, so over any
+    /// real campaign all three appear. This is the factory's coverage
+    /// target: a kind listed here that never executed in a soak is a
+    /// generation or execution bug worth failing on.
+    pub fn generable_kinds(&self) -> Vec<&'static str> {
+        let mut kinds = Vec::new();
+        let mut add = |w: u32, names: &[&'static str]| {
+            if w > 0 {
+                kinds.extend_from_slice(names);
+            }
+        };
+        add(self.split, &["split"]);
+        add(self.merge, &["merge"]);
+        add(self.crash, &["crash"]);
+        add(self.kill, &["kill"]);
+        add(self.recover, &["recover"]);
+        add(self.restart, &["restart"]);
+        add(self.drop, &["droppct"]);
+        add(self.delay, &["delay"]);
+        add(self.mcast, &["mcast"]);
+        add(self.run, &["run"]);
+        add(self.broker_kill, &["brokerkill"]);
+        add(self.broker_reconnect, &["brokerreconnect"]);
+        add(
+            self.bitflip,
+            &["bitflip-aru", "bitflip-seq", "bitflip-counter"],
+        );
+        add(self.seqwrap, &["seqwrap"]);
+        add(self.confdesync, &["confdesync"]);
+        add(self.walbyte, &["walbyte"]);
+        add(self.waltrunc, &["waltrunc"]);
+        kinds
     }
 
     /// Sets a weight by its flag name (`split`, `merge`, `crash`, `kill`,
     /// `recover`, `restart`, `drop`, `delay`, `mcast`, `run`,
-    /// `brokerkill`, `brokerreconnect`). Returns false for an unknown
+    /// `brokerkill`, `brokerreconnect`, `bitflip`, `seqwrap`,
+    /// `confdesync`, `walbyte`, `waltrunc`). Returns false for an unknown
     /// name — callers surface that as a usage error.
     pub fn set(&mut self, name: &str, weight: u32) -> bool {
         match name {
@@ -154,6 +280,11 @@ impl FaultMix {
             "run" => self.run = weight,
             "brokerkill" => self.broker_kill = weight,
             "brokerreconnect" => self.broker_reconnect = weight,
+            "bitflip" => self.bitflip = weight,
+            "seqwrap" => self.seqwrap = weight,
+            "confdesync" => self.confdesync = weight,
+            "walbyte" => self.walbyte = weight,
+            "waltrunc" => self.waltrunc = weight,
             _ => return false,
         }
         true
@@ -172,6 +303,11 @@ impl FaultMix {
             + self.run
             + self.broker_kill
             + self.broker_reconnect
+            + self.bitflip
+            + self.seqwrap
+            + self.confdesync
+            + self.walbyte
+            + self.waltrunc
     }
 }
 
@@ -326,8 +462,38 @@ impl ScenarioGen {
             FaultStep::Run(rng.gen_range(cfg.min_run..=cfg.max_run))
         } else if take(mix.broker_kill) {
             FaultStep::BrokerKill(rng.gen_range(0..cfg.n))
-        } else {
+        } else if take(mix.broker_reconnect) {
             FaultStep::BrokerReconnect(rng.gen_range(0..cfg.n))
+        } else if take(mix.bitflip) {
+            let p = rng.gen_range(0..cfg.n);
+            let target = match rng.gen_range(0..3u8) {
+                0 => BitTarget::Aru,
+                1 => BitTarget::Seq,
+                _ => BitTarget::Counter,
+            };
+            FaultStep::BitFlip {
+                p,
+                target,
+                bit: rng.gen_range(0..64),
+            }
+        } else if take(mix.seqwrap) {
+            FaultStep::SeqWrap(rng.gen_range(0..cfg.n))
+        } else if take(mix.confdesync) {
+            FaultStep::ConfDesync(rng.gen_range(0..cfg.n))
+        } else if take(mix.walbyte) {
+            FaultStep::WalByte {
+                p: rng.gen_range(0..cfg.n),
+                record: rng.gen_range(0..16),
+                offset: rng.gen_range(0..32),
+            }
+        } else {
+            FaultStep::WalTrunc {
+                p: rng.gen_range(0..cfg.n),
+                // Deep enough to sometimes destroy a short log whole —
+                // the only way a restart can see "storage existed,
+                // nothing replayed" (the silent_state_loss anomaly).
+                bytes: rng.gen_range(1..=255),
+            }
         }
     }
 }
@@ -378,7 +544,61 @@ mod tests {
         assert_eq!(mix.broker_kill, 7);
         assert!(mix.set("brokerreconnect", 4));
         assert_eq!(mix.broker_reconnect, 4);
+        assert!(mix.set("bitflip", 3));
+        assert_eq!(mix.bitflip, 3);
+        assert!(mix.set("seqwrap", 2));
+        assert_eq!(mix.seqwrap, 2);
+        assert!(mix.set("confdesync", 2));
+        assert_eq!(mix.confdesync, 2);
+        assert!(mix.set("walbyte", 5));
+        assert_eq!(mix.walbyte, 5);
+        assert!(mix.set("waltrunc", 1));
+        assert_eq!(mix.waltrunc, 1);
         assert!(!mix.set("nonsense", 1));
+    }
+
+    #[test]
+    fn default_mix_never_generates_corruption() {
+        // Corruption steps default to weight zero (and sit at the end of
+        // the sampling cascade), so every historical seed keeps
+        // reproducing the exact plan it always did.
+        let g = ScenarioGen::new(GenConfig::default());
+        for seed in 0..300 {
+            for step in g.plan(seed).steps {
+                assert!(!step.is_corruption(), "seed {seed}: {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_mix_covers_its_whole_vocabulary() {
+        let cfg = GenConfig {
+            mix: FaultMix::corruption(),
+            ..GenConfig::default()
+        };
+        let g = ScenarioGen::new(cfg);
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..600 {
+            let plan = g.plan(seed);
+            plan.validate().expect("corruption plans validate");
+            for step in plan.steps {
+                kinds.insert(step.kind_name());
+            }
+        }
+        for want in [
+            "bitflip-aru",
+            "bitflip-seq",
+            "bitflip-counter",
+            "seqwrap",
+            "confdesync",
+            "walbyte",
+            "waltrunc",
+            "kill",
+            "restart",
+            "mcast",
+        ] {
+            assert!(kinds.contains(want), "{want} never generated: {kinds:?}");
+        }
     }
 
     #[test]
@@ -452,6 +672,47 @@ mod tests {
     }
 
     #[test]
+    fn factory_mix_can_generate_every_step_kind() {
+        // The factory mix is the coverage-complete one: its generable set
+        // is exactly the canonical vocabulary, and a long enough seed
+        // sweep actually produces every kind.
+        let mix = FaultMix::factory();
+        let mut generable = mix.generable_kinds();
+        generable.sort_unstable();
+        let mut all: Vec<&str> = crate::plan::STEP_KINDS.to_vec();
+        all.sort_unstable();
+        assert_eq!(generable, all);
+        let cfg = GenConfig {
+            mix,
+            ..GenConfig::default()
+        };
+        let g = ScenarioGen::new(cfg);
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..2_000 {
+            for step in g.plan(seed).steps {
+                kinds.insert(step.kind_name());
+            }
+        }
+        for want in crate::plan::STEP_KINDS {
+            assert!(kinds.contains(want), "{want} never generated: {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn generable_kinds_track_the_weights() {
+        let mut mix = FaultMix::default();
+        assert!(!mix.generable_kinds().contains(&"bitflip-aru"));
+        assert!(mix.generable_kinds().contains(&"split"));
+        mix.set("bitflip", 1);
+        mix.set("split", 0);
+        let kinds = mix.generable_kinds();
+        assert!(kinds.contains(&"bitflip-aru"));
+        assert!(kinds.contains(&"bitflip-seq"));
+        assert!(kinds.contains(&"bitflip-counter"));
+        assert!(!kinds.contains(&"split"));
+    }
+
+    #[test]
     fn seeds_cover_the_vocabulary() {
         // Over a few hundred seeds every step kind should appear.
         let g = ScenarioGen::new(GenConfig::default());
@@ -473,6 +734,10 @@ mod tests {
                     FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_) => {
                         unreachable!("default mix has broker steps at weight 0")
                     }
+                    step if step.is_corruption() => {
+                        unreachable!("default mix has corruption steps at weight 0")
+                    }
+                    _ => unreachable!("vocabulary test missed a step kind"),
                 };
                 seen[k] = true;
             }

@@ -54,15 +54,17 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod factory;
 mod gen;
 mod orchestrator;
 mod plan;
 mod shrink;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignStats, CounterExample};
+pub use factory::{plan_shape, Factory, FactoryConfig, FactoryCoverage, FactoryReport};
 pub use gen::{FaultMix, GenConfig, ScenarioGen};
 pub use orchestrator::{conformance, ChaosFailure, ChaosOutcome, Orchestrator};
-pub use plan::{FaultPlan, FaultStep, PlanError};
+pub use plan::{BitTarget, FaultPlan, FaultStep, PlanError, STEP_KINDS};
 pub use shrink::{ShrinkResult, Shrinker};
 
 /// True when the workspace was built with the deliberate `chaos-mutation`

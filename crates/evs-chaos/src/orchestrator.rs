@@ -14,13 +14,14 @@
 //! violation), the §2.2 primary-component properties, and the §5 reduction
 //! to virtual synchrony.
 
-use crate::plan::{FaultPlan, FaultStep, PlanError};
+use crate::plan::{BitTarget, FaultPlan, FaultStep, PlanError};
 use evs_broker::{BrokerCluster, BrokerClusterConfig};
 use evs_core::checker;
-use evs_core::{EvsCluster, EvsParams, EvsProcess, Payload, Trace};
+use evs_core::{CorruptionKind, EvsCluster, EvsParams, EvsProcess, Payload, Trace};
+use evs_inspect::collect_dumps;
 use evs_sim::live::LiveNet;
 use evs_sim::{Action, LinkFault, NetConfig, ProcessId};
-use evs_telemetry::{RunReport, Telemetry};
+use evs_telemetry::{RecordedEvent, RunReport, Telemetry};
 use evs_vs::{check_vs, filter_trace, MajorityPrimary, PrimaryHistory};
 use std::time::Duration;
 
@@ -47,6 +48,9 @@ impl ChaosFailure {
     }
 }
 
+/// Per-process flight-recorder dumps, keyed by process index.
+pub type ProcessDumps = Vec<(u32, Vec<RecordedEvent>)>;
+
 /// The result of one chaos run.
 #[derive(Clone, Debug)]
 pub struct ChaosOutcome {
@@ -57,6 +61,17 @@ pub struct ChaosOutcome {
     pub failure: Option<ChaosFailure>,
     /// Aggregated per-process telemetry (empty when telemetry is off).
     pub report: RunReport,
+    /// Per-process flight-recorder dumps (empty when telemetry is off) —
+    /// raw material for `evs-inspect` timeline and anomaly analysis of
+    /// this run, e.g. the factory's detector-coverage accounting.
+    pub dumps: ProcessDumps,
+    /// Flight-recorder dumps captured *between the last plan step and the
+    /// heal* (empty when telemetry is off). The end-of-run dumps above see
+    /// a healed cluster, and several anomaly detectors key on the state a
+    /// recording *ends* in (a recovery still stuck, a message still
+    /// undelivered, an obligation set still growing) — anomalies the heal
+    /// legitimately erases. This mid-run frame is where they are visible.
+    pub mid_dumps: ProcessDumps,
 }
 
 impl ChaosOutcome {
@@ -88,6 +103,38 @@ impl Default for Orchestrator {
     }
 }
 
+/// Decodes a corruption-class step into its target process and the
+/// engine-level injection. `None` for every other step kind.
+fn corruption(step: &FaultStep) -> Option<(u8, CorruptionKind)> {
+    Some(match step {
+        FaultStep::BitFlip { p, target, bit } => {
+            let bit = *bit as u32;
+            let kind = match target {
+                BitTarget::Aru => CorruptionKind::AruBit(bit),
+                BitTarget::Seq => CorruptionKind::SeqBit(bit),
+                BitTarget::Counter => CorruptionKind::CounterBit(bit),
+            };
+            (*p, kind)
+        }
+        FaultStep::SeqWrap(p) => (*p, CorruptionKind::SeqWrap),
+        FaultStep::ConfDesync(p) => (*p, CorruptionKind::ConfDesync),
+        FaultStep::WalByte { p, record, offset } => (
+            *p,
+            CorruptionKind::WalByte {
+                record: *record as u64,
+                offset: *offset as u64,
+            },
+        ),
+        FaultStep::WalTrunc { p, bytes } => (
+            *p,
+            CorruptionKind::WalTrunc {
+                bytes: *bytes as u64,
+            },
+        ),
+        _ => return None,
+    })
+}
+
 impl Orchestrator {
     /// An orchestrator with telemetry detached — the fastest configuration
     /// for large campaigns where only the verdict matters.
@@ -107,6 +154,18 @@ impl Orchestrator {
     ///
     /// Panics if the plan fails [`FaultPlan::validate`].
     pub fn execute(&self, plan: &FaultPlan) -> (EvsCluster<String>, bool) {
+        let (cluster, settled, _) = self.execute_observed(plan);
+        (cluster, settled)
+    }
+
+    /// [`Orchestrator::execute`], also returning the flight-recorder dumps
+    /// captured between the last plan step and the heal (see
+    /// [`ChaosOutcome::mid_dumps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn execute_observed(&self, plan: &FaultPlan) -> (EvsCluster<String>, bool, ProcessDumps) {
         plan.validate().expect("fault plan must validate");
         let n = plan.n as usize;
         let mut cluster = EvsCluster::<String>::builder(n)
@@ -180,8 +239,25 @@ impl Orchestrator {
                 // them are dispatched to `execute_broker` by `run_sim`, so
                 // a direct `execute` call just skips them.
                 FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_) => {}
+                FaultStep::BitFlip { .. }
+                | FaultStep::SeqWrap(_)
+                | FaultStep::ConfDesync(_)
+                | FaultStep::WalByte { .. }
+                | FaultStep::WalTrunc { .. } => {
+                    let (p, kind) = corruption(step).expect("corruption step decodes");
+                    if !down[p as usize] {
+                        cluster
+                            .sim_mut()
+                            .invoke(ProcessId::new(p as u32), move |node, _ctx| {
+                                node.inject_corruption(kind)
+                            });
+                    }
+                }
             }
         }
+        // The anomalies the injected faults caused are about to be healed
+        // away; photograph them first.
+        let mid_dumps = collect_dumps(&cluster.telemetry_handles());
         // Heal everything so the liveness-flavored specifications apply:
         // a correct engine must always re-stabilize from here.
         cluster.sim_mut().apply(Action::SetDropProb(0.0));
@@ -195,7 +271,7 @@ impl Orchestrator {
             cluster.recover(ProcessId::new(i as u32));
         }
         let settled = cluster.run_until_settled(self.settle_budget);
-        (cluster, settled)
+        (cluster, settled, mid_dumps)
     }
 
     /// Builds a broker-fronted cluster (one broker per daemon), applies
@@ -209,6 +285,17 @@ impl Orchestrator {
     ///
     /// Panics if the plan fails [`FaultPlan::validate`].
     pub fn execute_broker(&self, plan: &FaultPlan) -> (BrokerCluster, bool) {
+        let (bc, settled, _) = self.execute_broker_observed(plan);
+        (bc, settled)
+    }
+
+    /// [`Orchestrator::execute_broker`], also returning the pre-heal
+    /// flight-recorder dumps (see [`ChaosOutcome::mid_dumps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn execute_broker_observed(&self, plan: &FaultPlan) -> (BrokerCluster, bool, ProcessDumps) {
         plan.validate().expect("fault plan must validate");
         let n = plan.n as usize;
         let mut bc = BrokerCluster::new(BrokerClusterConfig {
@@ -219,6 +306,7 @@ impl Orchestrator {
             ..BrokerClusterConfig::default()
         });
         bc.form(self.formation_budget);
+        let mut down = vec![false; n];
         let mut msg = 0u32;
         for step in &plan.steps {
             match step {
@@ -240,10 +328,17 @@ impl Orchestrator {
                     bc.partition(&groups);
                 }
                 FaultStep::Merge => bc.merge_all(),
-                FaultStep::Crash(i) => bc.crash(ProcessId::new(*i as u32)),
-                FaultStep::Kill(i) => bc.kill(ProcessId::new(*i as u32)),
+                FaultStep::Crash(i) => {
+                    bc.crash(ProcessId::new(*i as u32));
+                    down[*i as usize] = true;
+                }
+                FaultStep::Kill(i) => {
+                    bc.kill(ProcessId::new(*i as u32));
+                    down[*i as usize] = true;
+                }
                 FaultStep::Recover(i) | FaultStep::Restart(i) => {
                     bc.recover(ProcessId::new(*i as u32));
+                    down[*i as usize] = false;
                 }
                 FaultStep::DropPct(pct) => bc.set_drop_prob(*pct as f64 / 100.0),
                 FaultStep::Delay(lo, hi) => bc.set_latency(*lo, *hi),
@@ -264,8 +359,25 @@ impl Orchestrator {
                 FaultStep::BrokerReconnect(b) => {
                     let _ = bc.reconnect_broker(*b as usize);
                 }
+                FaultStep::BitFlip { .. }
+                | FaultStep::SeqWrap(_)
+                | FaultStep::ConfDesync(_)
+                | FaultStep::WalByte { .. }
+                | FaultStep::WalTrunc { .. } => {
+                    let (p, kind) = corruption(step).expect("corruption step decodes");
+                    if !down[p as usize] {
+                        bc.cluster_mut()
+                            .sim_mut()
+                            .invoke(ProcessId::new(p as u32), move |node, _ctx| {
+                                node.inject_corruption(kind)
+                            });
+                    }
+                }
             }
         }
+        // Photograph the pre-heal anomalies (see ChaosOutcome::mid_dumps).
+        let mut mid_dumps = collect_dumps(&bc.daemon_telemetry());
+        mid_dumps.extend(collect_dumps(bc.broker_telemetry()));
         // Heal everything so the liveness-flavored specifications apply —
         // and reconnect every dead broker, which resubmits its unacked
         // ops: the replay the dedup ledgers must absorb exactly once.
@@ -287,7 +399,7 @@ impl Orchestrator {
         bc.pump(20_000);
         settled = settled && bc.cluster_mut().run_until_settled(self.settle_budget);
         bc.pump(256);
-        (bc, settled)
+        (bc, settled, mid_dumps)
     }
 
     /// Runs `plan` on the broker client path and checks the full
@@ -300,11 +412,12 @@ impl Orchestrator {
     ///
     /// Panics if the plan fails [`FaultPlan::validate`].
     pub fn run_broker(&self, plan: &FaultPlan) -> ChaosOutcome {
-        let (bc, settled) = self.execute_broker(plan);
+        let (bc, settled, mid_dumps) = self.execute_broker_observed(plan);
         let handles = bc.daemon_telemetry();
         let mut all = handles.clone();
         all.extend(bc.broker_telemetry().iter().cloned());
         let report = RunReport::collect(&all);
+        let dumps = collect_dumps(&all);
         let failure = if settled {
             let mut specs: Vec<String> = Vec::new();
             let mut details = String::new();
@@ -349,6 +462,8 @@ impl Orchestrator {
             settled,
             failure,
             report,
+            dumps,
+            mid_dumps,
         }
     }
 
@@ -364,9 +479,10 @@ impl Orchestrator {
         if plan.has_broker_steps() {
             return self.run_broker(plan);
         }
-        let (cluster, settled) = self.execute(plan);
+        let (cluster, settled, mid_dumps) = self.execute_observed(plan);
         let handles = cluster.telemetry_handles();
         let report = RunReport::collect(&handles);
+        let dumps = collect_dumps(&handles);
         let failure = if settled {
             conformance(&cluster.trace(), &handles, plan.n as usize)
         } else {
@@ -382,6 +498,8 @@ impl Orchestrator {
             settled,
             failure,
             report,
+            dumps,
+            mid_dumps,
         }
     }
 
@@ -494,9 +612,23 @@ impl Orchestrator {
                     FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_) => {
                         unreachable!("run_live rejects broker plans up front")
                     }
+                    FaultStep::BitFlip { .. }
+                    | FaultStep::SeqWrap(_)
+                    | FaultStep::ConfDesync(_)
+                    | FaultStep::WalByte { .. }
+                    | FaultStep::WalTrunc { .. } => {
+                        let (p, kind) = corruption(step).expect("corruption step decodes");
+                        if !down[p as usize] {
+                            net.invoke(ProcessId::new(p as u32), move |node, _ctx| {
+                                node.inject_corruption(kind)
+                            });
+                        }
+                    }
                 }
             }
         }
+        // Photograph the pre-heal anomalies (see ChaosOutcome::mid_dumps).
+        let mid_dumps = collect_dumps(&net.telemetry_handles());
         // Heal everything, like the simulator path: perfect links again,
         // one component, everyone up. The liveness-flavored specifications
         // apply from here.
@@ -508,6 +640,7 @@ impl Orchestrator {
         let settled = formed && net.wait_until(Duration::from_secs(30), settled_with(n));
         let handles = net.telemetry_handles();
         let report = RunReport::collect(&handles);
+        let dumps = collect_dumps(&handles);
         let results = net.shutdown();
         let trace = Trace::new(results.into_iter().map(|(_, t)| t).collect());
         let failure = if settled {
@@ -522,6 +655,8 @@ impl Orchestrator {
             settled,
             failure,
             report,
+            dumps,
+            mid_dumps,
         })
     }
 }
@@ -719,6 +854,98 @@ mod tests {
             .run_live(&broker_plan())
             .expect_err("broker steps are simulator-only");
         assert!(e.detail.contains("simulator-only"), "{e}");
+    }
+
+    /// Every corruption kind, injected mid-traffic on both poisoned-self
+    /// (bit flips, wrap, desync) and durable-rot (WAL byte, truncation)
+    /// paths, with kill/restart steps so the WAL damage actually replays.
+    fn corruption_gauntlet() -> FaultPlan {
+        use crate::plan::BitTarget;
+        FaultPlan {
+            n: 3,
+            seed: 77,
+            steps: vec![
+                FaultStep::Mcast {
+                    from: 0,
+                    count: 3,
+                    service: Service::Safe,
+                },
+                FaultStep::Run(1_000),
+                FaultStep::BitFlip {
+                    p: 1,
+                    target: BitTarget::Aru,
+                    bit: 13,
+                },
+                FaultStep::Run(2_000),
+                FaultStep::BitFlip {
+                    p: 2,
+                    target: BitTarget::Counter,
+                    bit: 3,
+                },
+                FaultStep::Mcast {
+                    from: 2,
+                    count: 2,
+                    service: Service::Agreed,
+                },
+                FaultStep::Run(2_000),
+                FaultStep::SeqWrap(0),
+                FaultStep::Run(2_000),
+                FaultStep::ConfDesync(1),
+                FaultStep::Run(2_000),
+                FaultStep::WalByte {
+                    p: 2,
+                    record: 1,
+                    offset: 0,
+                },
+                FaultStep::Kill(2),
+                FaultStep::Run(1_000),
+                FaultStep::Restart(2),
+                FaultStep::Run(2_000),
+                FaultStep::WalTrunc { p: 0, bytes: 5 },
+                FaultStep::Kill(0),
+                FaultStep::Run(1_000),
+                FaultStep::Restart(0),
+                FaultStep::Run(2_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn corruption_gauntlet_heals_to_full_conformance_on_sim() {
+        let outcome = Orchestrator::default().run_sim(&corruption_gauntlet());
+        assert!(outcome.settled, "cluster re-stabilized after every fault");
+        assert!(!outcome.failed(), "{:?}", outcome.failure);
+        assert!(
+            outcome.report.total("corruptions_injected") >= 6,
+            "all injections landed"
+        );
+        assert!(
+            outcome.report.total("corruption_excomms") >= 3,
+            "ring bit flip, wrap and desync each excommunicated"
+        );
+        assert!(
+            outcome.report.total("corruption_repairs") >= 1,
+            "the persistent counter repaired in place"
+        );
+    }
+
+    #[test]
+    fn corruption_execution_is_deterministic() {
+        let orch = Orchestrator::detached();
+        let (a, sa) = orch.execute(&corruption_gauntlet());
+        let (b, sb) = orch.execute(&corruption_gauntlet());
+        assert_eq!(sa, sb);
+        assert_eq!(a.trace().events, b.trace().events);
+    }
+
+    #[test]
+    fn corruption_gauntlet_heals_on_the_live_driver_too() {
+        let outcome = Orchestrator::default()
+            .run_live(&corruption_gauntlet())
+            .expect("corruption steps are live-supported");
+        assert!(outcome.settled);
+        assert!(!outcome.failed(), "{:?}", outcome.failure);
+        assert!(outcome.report.total("corruptions_injected") >= 6);
     }
 
     #[test]

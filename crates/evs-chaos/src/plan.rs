@@ -10,6 +10,27 @@
 use evs_order::Service;
 use std::fmt;
 
+/// Which stored counter a [`FaultStep::BitFlip`] damages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BitTarget {
+    /// The ring's contiguous-receipt counter (`my_aru`).
+    Aru,
+    /// The ring's highest-ordinal counter (`high_seen`).
+    Seq,
+    /// The persistent message-id counter.
+    Counter,
+}
+
+impl BitTarget {
+    fn name(self) -> &'static str {
+        match self {
+            BitTarget::Aru => "aru",
+            BitTarget::Seq => "seq",
+            BitTarget::Counter => "counter",
+        }
+    }
+}
+
 /// One step of a fault schedule.
 ///
 /// Process indices are `u8` (plans address at most 256 processes — far
@@ -72,7 +93,79 @@ pub enum FaultStep {
     /// Skipped if no daemon is up; no-op resubmission if the broker never
     /// lost an ack.
     BrokerReconnect(u8),
+    /// Corruption-class fault: flip bit `bit` of one stored counter of
+    /// process `p` — a transient memory fault in the self-stabilization
+    /// vocabulary. The engine must detect it at the next check-before-use
+    /// (or the periodic sweep) and either repair in place (the persistent
+    /// counter, whose complement shadow bounds it) or excommunicate.
+    /// Skipped if `p` is down.
+    BitFlip {
+        /// Target process.
+        p: u8,
+        /// Which counter takes the hit.
+        target: BitTarget,
+        /// Bit position, `0..64`.
+        bit: u8,
+    },
+    /// Corruption-class fault: jump process `p`'s ordinal space to its
+    /// ceiling (counter exhaustion / wrap-around). The ring must refuse to
+    /// stamp past the ceiling; the engine answers with an excommunication
+    /// and a fresh configuration whose ordinals legitimately restart at 1.
+    /// Skipped if `p` is down.
+    SeqWrap(u8),
+    /// Corruption-class fault: desynchronize process `p`'s installed
+    /// configuration id from its ring's copy. The periodic cross-copy
+    /// check must excommunicate with the ring's (uncorrupted) id. Skipped
+    /// if `p` is down.
+    ConfDesync(u8),
+    /// Corruption-class fault: flip one byte of a journaled WAL record of
+    /// process `p` in place (medium rot). Dormant until the process is
+    /// next killed and restarted, when replay must reject the damage and
+    /// skip the id counter past anything the lost record could have
+    /// leased. Skipped if `p` is down.
+    WalByte {
+        /// Target process.
+        p: u8,
+        /// Which live record to damage (wraps over the record count).
+        record: u8,
+        /// Which byte of it to flip (wraps over the record length).
+        offset: u8,
+    },
+    /// Corruption-class fault: tear `bytes` bytes off process `p`'s WAL
+    /// tail. Dormant until the next restart, which must truncate to the
+    /// clean prefix and rebuild. Skipped if `p` is down.
+    WalTrunc {
+        /// Target process.
+        p: u8,
+        /// Trailing bytes destroyed (at least 1).
+        bytes: u8,
+    },
 }
+
+/// The canonical kind names of every fault-step variant, in a stable
+/// order. The factory's coverage report checks off this list; a generator
+/// preset that can never produce some kind shows up as a hole here.
+pub const STEP_KINDS: &[&str] = &[
+    "split",
+    "merge",
+    "crash",
+    "kill",
+    "recover",
+    "restart",
+    "droppct",
+    "delay",
+    "mcast",
+    "run",
+    "brokerkill",
+    "brokerreconnect",
+    "bitflip-aru",
+    "bitflip-seq",
+    "bitflip-counter",
+    "seqwrap",
+    "confdesync",
+    "walbyte",
+    "waltrunc",
+];
 
 impl FaultStep {
     /// True if the live (threaded) driver can apply this step. The live
@@ -85,6 +178,55 @@ impl FaultStep {
             self,
             FaultStep::BrokerKill(_) | FaultStep::BrokerReconnect(_)
         )
+    }
+
+    /// True for the corruption-class steps (transient state damage and
+    /// durable-medium rot), the vocabulary of the self-stabilizing
+    /// hardening.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            FaultStep::BitFlip { .. }
+                | FaultStep::SeqWrap(_)
+                | FaultStep::ConfDesync(_)
+                | FaultStep::WalByte { .. }
+                | FaultStep::WalTrunc { .. }
+        )
+    }
+
+    /// The step's kind name as it appears in [`STEP_KINDS`] (coverage
+    /// bookkeeping).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FaultStep::Split(_) => "split",
+            FaultStep::Merge => "merge",
+            FaultStep::Crash(_) => "crash",
+            FaultStep::Kill(_) => "kill",
+            FaultStep::Recover(_) => "recover",
+            FaultStep::Restart(_) => "restart",
+            FaultStep::DropPct(_) => "droppct",
+            FaultStep::Delay(..) => "delay",
+            FaultStep::Mcast { .. } => "mcast",
+            FaultStep::Run(_) => "run",
+            FaultStep::BrokerKill(_) => "brokerkill",
+            FaultStep::BrokerReconnect(_) => "brokerreconnect",
+            FaultStep::BitFlip {
+                target: BitTarget::Aru,
+                ..
+            } => "bitflip-aru",
+            FaultStep::BitFlip {
+                target: BitTarget::Seq,
+                ..
+            } => "bitflip-seq",
+            FaultStep::BitFlip {
+                target: BitTarget::Counter,
+                ..
+            } => "bitflip-counter",
+            FaultStep::SeqWrap(_) => "seqwrap",
+            FaultStep::ConfDesync(_) => "confdesync",
+            FaultStep::WalByte { .. } => "walbyte",
+            FaultStep::WalTrunc { .. } => "waltrunc",
+        }
     }
 }
 
@@ -121,6 +263,15 @@ impl fmt::Display for FaultStep {
             FaultStep::Run(t) => write!(f, "run {t}"),
             FaultStep::BrokerKill(b) => write!(f, "brokerkill {b}"),
             FaultStep::BrokerReconnect(b) => write!(f, "brokerreconnect {b}"),
+            FaultStep::BitFlip { p, target, bit } => {
+                write!(f, "bitflip {p} {} {bit}", target.name())
+            }
+            FaultStep::SeqWrap(p) => write!(f, "seqwrap {p}"),
+            FaultStep::ConfDesync(p) => write!(f, "confdesync {p}"),
+            FaultStep::WalByte { p, record, offset } => {
+                write!(f, "walbyte {p} {record} {offset}")
+            }
+            FaultStep::WalTrunc { p, bytes } => write!(f, "waltrunc {p} {bytes}"),
         }
     }
 }
@@ -238,6 +389,27 @@ impl FaultPlan {
                     // broker index space mirrors the process index space.
                     if *b >= self.n {
                         return Err(at(format!("broker {b} out of range")));
+                    }
+                }
+                FaultStep::BitFlip { p, bit, .. } => {
+                    if *p >= self.n {
+                        return Err(at(format!("process {p} out of range")));
+                    }
+                    if *bit >= 64 {
+                        return Err(at(format!("bit {bit} out of range (counters are u64)")));
+                    }
+                }
+                FaultStep::SeqWrap(p) | FaultStep::ConfDesync(p) | FaultStep::WalByte { p, .. } => {
+                    if *p >= self.n {
+                        return Err(at(format!("process {p} out of range")));
+                    }
+                }
+                FaultStep::WalTrunc { p, bytes } => {
+                    if *p >= self.n {
+                        return Err(at(format!("process {p} out of range")));
+                    }
+                    if *bytes == 0 {
+                        return Err(at("zero-byte truncation".to_string()));
                     }
                 }
             }
@@ -396,6 +568,45 @@ impl FaultPlan {
                     arity(1)?;
                     steps.push(FaultStep::BrokerReconnect(u8of(args[0], "broker")?));
                 }
+                "bitflip" => {
+                    arity(3)?;
+                    let target = match args[1] {
+                        "aru" => BitTarget::Aru,
+                        "seq" => BitTarget::Seq,
+                        "counter" => BitTarget::Counter,
+                        other => {
+                            return Err(err(i, format!("unknown bitflip target `{other}`")));
+                        }
+                    };
+                    steps.push(FaultStep::BitFlip {
+                        p: u8of(args[0], "process")?,
+                        target,
+                        bit: u8of(args[2], "bit")?,
+                    });
+                }
+                "seqwrap" => {
+                    arity(1)?;
+                    steps.push(FaultStep::SeqWrap(u8of(args[0], "process")?));
+                }
+                "confdesync" => {
+                    arity(1)?;
+                    steps.push(FaultStep::ConfDesync(u8of(args[0], "process")?));
+                }
+                "walbyte" => {
+                    arity(3)?;
+                    steps.push(FaultStep::WalByte {
+                        p: u8of(args[0], "process")?,
+                        record: u8of(args[1], "record")?,
+                        offset: u8of(args[2], "offset")?,
+                    });
+                }
+                "waltrunc" => {
+                    arity(2)?;
+                    steps.push(FaultStep::WalTrunc {
+                        p: u8of(args[0], "process")?,
+                        bytes: u8of(args[1], "bytes")?,
+                    });
+                }
                 other => return Err(err(i, format!("unknown step `{other}`"))),
             }
         }
@@ -529,5 +740,77 @@ mod tests {
         assert!(!FaultStep::BrokerKill(0).live_supported());
         assert!(!FaultStep::BrokerReconnect(1).live_supported());
         assert!(!broker_sample().live_compatible());
+    }
+
+    fn corruption_sample() -> FaultPlan {
+        FaultPlan {
+            n: 3,
+            seed: 31,
+            steps: vec![
+                FaultStep::BitFlip {
+                    p: 0,
+                    target: BitTarget::Aru,
+                    bit: 17,
+                },
+                FaultStep::BitFlip {
+                    p: 1,
+                    target: BitTarget::Seq,
+                    bit: 5,
+                },
+                FaultStep::BitFlip {
+                    p: 2,
+                    target: BitTarget::Counter,
+                    bit: 40,
+                },
+                FaultStep::SeqWrap(1),
+                FaultStep::ConfDesync(0),
+                FaultStep::WalByte {
+                    p: 2,
+                    record: 3,
+                    offset: 7,
+                },
+                FaultStep::WalTrunc { p: 2, bytes: 4 },
+                FaultStep::Run(500),
+            ],
+        }
+    }
+
+    #[test]
+    fn corruption_steps_round_trip_and_validate() {
+        let plan = corruption_sample();
+        plan.validate().expect("corruption sample validates");
+        assert_eq!(FaultPlan::from_text(&plan.to_text()).unwrap(), plan);
+        // Every corruption step runs on both drivers.
+        assert!(plan.live_compatible());
+        assert!(plan.steps[..7].iter().all(FaultStep::is_corruption));
+        assert!(!FaultStep::Run(1).is_corruption());
+    }
+
+    #[test]
+    fn rejects_out_of_range_bit_and_zero_truncation() {
+        let e =
+            FaultPlan::from_text("evs-chaos plan v1\nn 2\nseed 0\nbitflip 0 aru 64\n").unwrap_err();
+        assert!(e.detail.contains("bit 64 out of range"), "{e}");
+        let e = FaultPlan::from_text("evs-chaos plan v1\nn 2\nseed 0\nwaltrunc 0 0\n").unwrap_err();
+        assert!(e.detail.contains("zero-byte truncation"), "{e}");
+        let e = FaultPlan::from_text("evs-chaos plan v1\nn 2\nseed 0\nbitflip 0 lease 3\n")
+            .unwrap_err();
+        assert!(e.detail.contains("unknown bitflip target"), "{e}");
+    }
+
+    #[test]
+    fn kind_names_all_appear_in_the_canonical_list() {
+        for step in sample()
+            .steps
+            .iter()
+            .chain(broker_sample().steps.iter())
+            .chain(corruption_sample().steps.iter())
+        {
+            assert!(
+                STEP_KINDS.contains(&step.kind_name()),
+                "{} missing from STEP_KINDS",
+                step.kind_name()
+            );
+        }
     }
 }

@@ -2,14 +2,18 @@
 //!
 //! Given a plan that makes an oracle report failure, the [`Shrinker`]
 //! produces a (locally) minimal plan that still fails: first ddmin-style
-//! step removal at shrinking chunk sizes, then two cross-step reductions
-//! — adjacent `run` steps merged into one, and referenced process ids
-//! remapped downward onto the smallest cluster that can express the
-//! schedule — then per-step parameter reduction (shorter runs, smaller
-//! bursts, less loss), iterated to a fixpoint. The process is
-//! deterministic — no randomness, candidate order fixed by the plan — so
-//! the same failing plan and oracle always shrink to the same
-//! counterexample.
+//! step removal at shrinking chunk sizes, then the cross-step reductions
+//! — adjacent `run` steps merged into one, equivalent adjacent corruption
+//! steps merged, referenced process ids remapped downward onto the
+//! smallest cluster that can express the schedule, and ids relabeled into
+//! first-appearance order — then per-step parameter reduction (shorter
+//! runs, smaller bursts, less loss, canonical corruption parameters),
+//! iterated to a fixpoint. The process is deterministic — no randomness,
+//! candidate order fixed by the plan — so the same failing plan and
+//! oracle always shrink to the same counterexample; the relabeling pass
+//! additionally collapses counterexamples that differ only by a process
+//! permutation onto one canonical artifact, deduplicating a factory's
+//! corpus.
 
 use crate::plan::{FaultPlan, FaultStep};
 
@@ -82,7 +86,9 @@ impl Shrinker {
             let before = cur.clone();
             remove_steps(&mut cur, &mut budget);
             merge_runs(&mut cur, &mut budget);
+            merge_corruption(&mut cur, &mut budget);
             compact_processes(&mut cur, &mut budget);
+            relabel_processes(&mut cur, &mut budget);
             reduce_parameters(&mut cur, &mut budget);
             if cur == before || budget.exhausted() {
                 break;
@@ -117,6 +123,53 @@ fn remove_steps<F: FnMut(&FaultPlan) -> bool>(cur: &mut FaultPlan, budget: &mut 
             break;
         }
         chunk = chunk.div_ceil(2).max(1);
+    }
+}
+
+/// The process (or broker — same index space) a step targets, if any.
+/// This is the pin set of [`compact_processes`] and the alphabet of
+/// [`relabel_processes`]; a step kind missing here would silently survive
+/// remapping with a stale id, so every id-carrying variant must appear.
+fn target_of(step: &FaultStep) -> Option<u8> {
+    match step {
+        FaultStep::Crash(p)
+        | FaultStep::Kill(p)
+        | FaultStep::Recover(p)
+        | FaultStep::Restart(p)
+        | FaultStep::BrokerKill(p)
+        | FaultStep::BrokerReconnect(p)
+        | FaultStep::SeqWrap(p)
+        | FaultStep::ConfDesync(p)
+        | FaultStep::BitFlip { p, .. }
+        | FaultStep::WalByte { p, .. }
+        | FaultStep::WalTrunc { p, .. } => Some(*p),
+        FaultStep::Mcast { from, .. } => Some(*from),
+        FaultStep::Split(_)
+        | FaultStep::Merge
+        | FaultStep::DropPct(_)
+        | FaultStep::Delay(..)
+        | FaultStep::Run(_) => None,
+    }
+}
+
+/// Rewrites the process id of a step that has one (inverse of
+/// [`target_of`]; `Split` labelings are handled separately by the callers
+/// because they permute as a vector, not a scalar).
+fn set_target(step: &mut FaultStep, new: u8) {
+    match step {
+        FaultStep::Crash(p)
+        | FaultStep::Kill(p)
+        | FaultStep::Recover(p)
+        | FaultStep::Restart(p)
+        | FaultStep::BrokerKill(p)
+        | FaultStep::BrokerReconnect(p)
+        | FaultStep::SeqWrap(p)
+        | FaultStep::ConfDesync(p)
+        | FaultStep::BitFlip { p, .. }
+        | FaultStep::WalByte { p, .. }
+        | FaultStep::WalTrunc { p, .. } => *p = new,
+        FaultStep::Mcast { from, .. } => *from = new,
+        _ => {}
     }
 }
 
@@ -159,14 +212,7 @@ fn compact_processes<F: FnMut(&FaultPlan) -> bool>(
     for step in &cur.steps {
         // Broker indices live in the same space as process indices (the
         // broker path runs one broker per daemon), so they pin ids too.
-        let p = match step {
-            FaultStep::Crash(p)
-            | FaultStep::Recover(p)
-            | FaultStep::BrokerKill(p)
-            | FaultStep::BrokerReconnect(p) => *p,
-            FaultStep::Mcast { from, .. } => *from,
-            _ => continue,
-        };
+        let Some(p) = target_of(step) else { continue };
         if !kept.contains(&p) {
             kept.push(p);
         }
@@ -188,23 +234,95 @@ fn compact_processes<F: FnMut(&FaultPlan) -> bool>(
     let mut candidate = cur.clone();
     candidate.n = new_n;
     for step in &mut candidate.steps {
-        match step {
-            FaultStep::Crash(p)
-            | FaultStep::Recover(p)
-            | FaultStep::BrokerKill(p)
-            | FaultStep::BrokerReconnect(p) => *p = remap(*p),
-            FaultStep::Mcast { from, .. } => *from = remap(*from),
-            FaultStep::Split(labels) => {
-                *labels = kept
-                    .iter()
-                    .map(|&old| labels.get(old as usize).copied().unwrap_or(0))
-                    .collect();
-            }
-            _ => {}
+        if let FaultStep::Split(labels) = step {
+            *labels = kept
+                .iter()
+                .map(|&old| labels.get(old as usize).copied().unwrap_or(0))
+                .collect();
+        } else if let Some(p) = target_of(step) {
+            set_target(step, remap(p));
         }
     }
     if budget.check(&candidate) {
         *cur = candidate;
+    }
+}
+
+/// Relabels process ids into first-appearance order: the first process a
+/// step references becomes 0, the next distinct one 1, and so on
+/// (unreferenced ids take the remaining labels, ascending). Split
+/// labelings are permuted consistently. Oracle-guarded like every pass —
+/// the simulator is only pid-symmetric up to its seed, so a candidate
+/// that loses the failure is discarded — but when it sticks, two
+/// counterexamples differing only by a process permutation collapse onto
+/// the same canonical artifact.
+fn relabel_processes<F: FnMut(&FaultPlan) -> bool>(
+    cur: &mut FaultPlan,
+    budget: &mut Budget<'_, F>,
+) {
+    if budget.exhausted() {
+        return;
+    }
+    let mut order: Vec<u8> = Vec::new();
+    for step in &cur.steps {
+        if let Some(p) = target_of(step) {
+            if !order.contains(&p) {
+                order.push(p);
+            }
+        }
+    }
+    for p in 0..cur.n {
+        if !order.contains(&p) {
+            order.push(p);
+        }
+    }
+    // order[new] = old; invert into perm[old] = new.
+    let mut perm = vec![0u8; cur.n as usize];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as u8;
+    }
+    if perm.iter().enumerate().all(|(i, &v)| v as usize == i) {
+        return;
+    }
+    let mut candidate = cur.clone();
+    for step in &mut candidate.steps {
+        if let FaultStep::Split(labels) = step {
+            *labels = order
+                .iter()
+                .map(|&old| labels.get(old as usize).copied().unwrap_or(0))
+                .collect();
+        } else if let Some(p) = target_of(step) {
+            set_target(step, perm[p as usize]);
+        }
+    }
+    if budget.check(&candidate) {
+        *cur = candidate;
+    }
+}
+
+/// Merges equivalent adjacent corruption steps: two successive
+/// corruptions of the same kind on the same process (two bit flips of the
+/// same counter, two WAL rot injections back to back) almost always
+/// poison identically, so try keeping only the first. ddmin's chunk
+/// removal also finds these eventually; doing it here makes the common
+/// double-injection shape collapse in one cheap check.
+fn merge_corruption<F: FnMut(&FaultPlan) -> bool>(cur: &mut FaultPlan, budget: &mut Budget<'_, F>) {
+    let mut i = 0;
+    while i + 1 < cur.steps.len() && !budget.exhausted() {
+        let (a, b) = (&cur.steps[i], &cur.steps[i + 1]);
+        let equivalent = a.is_corruption()
+            && b.is_corruption()
+            && a.kind_name() == b.kind_name()
+            && target_of(a) == target_of(b);
+        if equivalent {
+            let mut candidate = cur.clone();
+            candidate.steps.remove(i + 1);
+            if budget.check(&candidate) {
+                *cur = candidate;
+                continue;
+            }
+        }
+        i += 1;
     }
 }
 
@@ -239,6 +357,24 @@ fn reductions(step: &FaultStep) -> Vec<FaultStep> {
             v
         }
         FaultStep::Delay(lo, hi) if (*lo, *hi) != (1, 5) => vec![FaultStep::Delay(1, 5)],
+        // Corruption parameters reduce to their canonical smallest form:
+        // which bit flipped (or which byte rotted) rarely matters to the
+        // engine's response, and the canonical form dedups artifacts.
+        FaultStep::BitFlip { p, target, bit } if *bit != 0 => vec![FaultStep::BitFlip {
+            p: *p,
+            target: *target,
+            bit: 0,
+        }],
+        FaultStep::WalByte { p, record, offset } if (*record, *offset) != (0, 0) => {
+            vec![FaultStep::WalByte {
+                p: *p,
+                record: 0,
+                offset: 0,
+            }]
+        }
+        FaultStep::WalTrunc { p, bytes } if *bytes > 1 => {
+            vec![FaultStep::WalTrunc { p: *p, bytes: 1 }]
+        }
         _ => Vec::new(),
     }
 }
@@ -456,6 +592,136 @@ mod tests {
         assert!(kill_then_reconnect(&result.plan));
         assert_eq!(result.plan.n, 2, "{:?}", result.plan);
         assert!(result.plan.validate().is_ok());
+    }
+
+    #[test]
+    fn kill_restart_steps_remap_like_crash_recover() {
+        // `compact_processes` once skipped Kill/Restart, leaving their
+        // stale ids pointing outside the shrunken cluster. Oracle: fails
+        // while some process is killed and later restarted.
+        let kill_then_restart = |p: &FaultPlan| {
+            (0..p.n).any(|q| {
+                let kill = p
+                    .steps
+                    .iter()
+                    .position(|s| matches!(s, FaultStep::Kill(x) if *x == q));
+                let restart = p
+                    .steps
+                    .iter()
+                    .rposition(|s| matches!(s, FaultStep::Restart(x) if *x == q));
+                matches!((kill, restart), (Some(k), Some(r)) if k < r)
+            })
+        };
+        let p = FaultPlan {
+            n: 5,
+            seed: 1,
+            steps: vec![
+                FaultStep::Run(400),
+                FaultStep::Kill(4),
+                FaultStep::Restart(4),
+            ],
+        };
+        let result = Shrinker::default().shrink(&p, kill_then_restart);
+        assert!(kill_then_restart(&result.plan));
+        assert_eq!(result.plan.n, 2, "{:?}", result.plan);
+        assert!(result.plan.validate().is_ok());
+    }
+
+    #[test]
+    fn relabeling_canonicalizes_first_appearance_order() {
+        use crate::plan::BitTarget;
+        // Oracle: fails while the plan bit-flips some process's ARU and
+        // later wraps a (possibly different) process's sequence space —
+        // invariant under any pid permutation.
+        let flip_then_wrap = |p: &FaultPlan| {
+            let flip = p.steps.iter().position(|s| {
+                matches!(
+                    s,
+                    FaultStep::BitFlip {
+                        target: BitTarget::Aru,
+                        ..
+                    }
+                )
+            });
+            let wrap = p
+                .steps
+                .iter()
+                .rposition(|s| matches!(s, FaultStep::SeqWrap(_)));
+            matches!((flip, wrap), (Some(f), Some(w)) if f < w)
+        };
+        let p = FaultPlan {
+            n: 3,
+            seed: 1,
+            steps: vec![
+                FaultStep::BitFlip {
+                    p: 2,
+                    target: BitTarget::Aru,
+                    bit: 19,
+                },
+                FaultStep::SeqWrap(1),
+            ],
+        };
+        let result = Shrinker::default().shrink(&p, flip_then_wrap);
+        assert!(flip_then_wrap(&result.plan));
+        // Canonical form: first-appearance order 0, 1; bit reduced to 0.
+        assert_eq!(
+            result.plan.steps,
+            vec![
+                FaultStep::BitFlip {
+                    p: 0,
+                    target: BitTarget::Aru,
+                    bit: 0,
+                },
+                FaultStep::SeqWrap(1),
+            ],
+            "{:?}",
+            result.plan
+        );
+        assert_eq!(result.plan.n, 2);
+    }
+
+    #[test]
+    fn equivalent_adjacent_corruption_steps_merge() {
+        use crate::plan::BitTarget;
+        // Oracle: fails while any ARU bit flip is present.
+        let has_flip = |p: &FaultPlan| {
+            p.steps.iter().any(|s| {
+                matches!(
+                    s,
+                    FaultStep::BitFlip {
+                        target: BitTarget::Aru,
+                        ..
+                    }
+                )
+            })
+        };
+        let p = FaultPlan {
+            n: 2,
+            seed: 1,
+            steps: vec![
+                FaultStep::BitFlip {
+                    p: 0,
+                    target: BitTarget::Aru,
+                    bit: 3,
+                },
+                FaultStep::BitFlip {
+                    p: 0,
+                    target: BitTarget::Aru,
+                    bit: 41,
+                },
+            ],
+        };
+        let result = Shrinker::default().shrink(&p, has_flip);
+        assert_eq!(
+            result.plan.steps,
+            vec![FaultStep::BitFlip {
+                p: 0,
+                target: BitTarget::Aru,
+                bit: 0,
+            }],
+            "{:?}",
+            result.plan
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ use crate::{Configuration, Delivery, EvsEvent, EvsParams};
 use evs_membership::{ConfigId, MembMsg, MembOut, Membership, ProposedConfig};
 use evs_order::{MessageId, OrderedMsg, Ring, RingMsg, RingOut, RingSnapshot, Service};
 use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerKind};
-use evs_store::{NullStorage, Replay, Storage};
+use evs_store::{NullStorage, Replay, ReplayError, Storage};
 use evs_telemetry::{names, Counter, Histogram, LogHistogram, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -89,6 +89,43 @@ const FUTURE_BUFFER_CAP: usize = 4096;
 struct PersistentState {
     msg_counter: u64,
     max_epoch: u64,
+}
+
+/// One corruption-class fault, in the vocabulary of the
+/// practically-self-stabilizing membership work (Dolev et al.): transient
+/// state corruption (bit flips), counter exhaustion (wrap), cross-copy
+/// divergence, and durable-medium rot. Injected by the chaos harness via
+/// [`EvsProcess::inject_corruption`]; every kind is *detected* by the same
+/// shadow/ceiling/cross-copy checks production always runs, and answered
+/// by convergence (in-place repair that provably cannot violate a spec) or
+/// excommunication (explicit `fail` + fresh-incarnation rejoin) — never by
+/// silently running on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Flip one bit of the ring's contiguous-receipt counter (`my_aru`).
+    AruBit(u32),
+    /// Flip one bit of the ring's highest-ordinal counter (`high_seen`).
+    SeqBit(u32),
+    /// Flip one bit of the persistent message-id counter.
+    CounterBit(u32),
+    /// Jump the ring's ordinal space to its ceiling (counter exhaustion).
+    SeqWrap,
+    /// Desynchronize the engine's installed-configuration id from the
+    /// ring's copy.
+    ConfDesync,
+    /// Flip one byte of a WAL record in place (surfaces at next replay).
+    WalByte {
+        /// Which live record to damage (wraps over the record count).
+        record: u64,
+        /// Which payload byte to flip (wraps over the record length).
+        offset: u64,
+    },
+    /// Tear bytes off the WAL tail (surfaces at next replay).
+    WalTrunc {
+        /// How many trailing bytes to destroy (at least one record's worth
+        /// of damage on the in-memory backend).
+        bytes: u64,
+    },
 }
 
 /// Wire frames of the EVS layer.
@@ -224,6 +261,23 @@ pub struct EvsProcess<P> {
     /// [`WalRecord::Lease`]; crossing it writes (and syncs) the next lease
     /// *before* the id is used, so a kill can never cause id reuse.
     lease_limit: u64,
+    /// Complement shadow of `persist.msg_counter` (self-stabilization
+    /// discipline: two copies that only agree when `shadow == !primary`).
+    /// Checked *before* every id allocation; a mismatch is repaired in
+    /// place by taking the maximum of all surviving bounds, which can skip
+    /// ids but never reuse one (Spec 1.4).
+    counter_shadow: u64,
+    /// The classification of the most recent poisoned-WAL replay, if any
+    /// (surfaced to tests and the chaos harness's coverage report).
+    last_replay_poison: Option<ReplayError>,
+    /// Complement shadow of `current_config.id` (epoch stored inverted),
+    /// written at every installation. Checked before the id is recorded
+    /// into an externally visible `fail_p(c)`: a fail in a configuration
+    /// this process never installed would break Spec 2.2, so a damaged
+    /// primary is replaced by the ring's independent copy (regular mode)
+    /// or this shadow (mid-recovery) — see
+    /// [`EvsProcess::installed_config_id`].
+    config_shadow: ConfigId,
     /// Scratch buffer for WAL record encoding.
     wal_buf: Vec<u8>,
     wal_appends: Counter,
@@ -247,12 +301,24 @@ impl<P> fmt::Debug for EvsProcess<P> {
 
 type ECtx<'a, P> = Ctx<'a, EvsMsg<P>, EvsEvent>;
 
+/// The complement-shadow form of a configuration id: the epoch stored
+/// inverted, so an accidentally zeroed or freshly mapped copy can never
+/// agree with a zeroed primary (the self-stabilization discipline used
+/// for the message counter too).
+fn shadow_of(id: ConfigId) -> ConfigId {
+    ConfigId {
+        epoch: !id.epoch,
+        ..id
+    }
+}
+
 impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     /// Creates the engine for process `me`. Every process starts in a
     /// singleton regular configuration (epoch 0) and merges with its
     /// component through the normal membership/recovery path.
     pub fn new(me: ProcessId, params: EvsParams) -> Self {
         let initial = ProposedConfig::singleton(0, me);
+        let initial_id = initial.id;
         let membership = Membership::new(
             me,
             initial.clone(),
@@ -289,6 +355,9 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             lat_safe: Histogram::detached(),
             storage: Box::new(NullStorage::new()),
             lease_limit: 0,
+            counter_shadow: !0,
+            last_replay_poison: None,
+            config_shadow: shadow_of(initial_id),
             wal_buf: Vec::new(),
             wal_appends: Counter::detached(),
             wal_syncs: Counter::detached(),
@@ -309,6 +378,15 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     /// Direct access to the stable-storage backend (tests, drivers).
     pub fn storage_mut(&mut self) -> &mut dyn Storage {
         &mut *self.storage
+    }
+
+    /// How the most recent WAL replay classified its damage, if the log
+    /// held records that were CRC-valid but semantically impossible (or an
+    /// undecodable snapshot). `None` after a clean replay. Chaos and
+    /// recovery tests read this to assert that injected rot was *rejected
+    /// and classified*, never silently folded into state.
+    pub fn last_replay_poison(&self) -> Option<ReplayError> {
+        self.last_replay_poison
     }
 
     /// Appends one record to the write-ahead log. Best effort: an I/O
@@ -381,8 +459,8 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
 
     /// True if the process is in a regular configuration with a stable
     /// membership view, no recovery in progress, no buffered application
-    /// messages, and every known message delivered. Used by test harnesses
-    /// to detect convergence.
+    /// messages, every known message delivered, and no corruption awaiting
+    /// the sweep's response. Used by test harnesses to detect convergence.
     pub fn is_settled(&self) -> bool {
         match &self.mode {
             Mode::Regular { ring } => {
@@ -391,9 +469,28 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                     && self.app_buffer.is_empty()
                     && ring.pending_len() == 0
                     && ring.delivered_upto() == ring.high_seen()
+                    && !self.corruption_pending()
             }
             Mode::Recovery(_) => false,
         }
+    }
+
+    /// Read-only twin of the periodic corruption sweep: true when a
+    /// shadow, ceiling or cross-copy check would fail right now, meaning
+    /// the next sweep will excommunicate and reconfigure. A settle probe
+    /// that ignored this could declare a cluster converged in the window
+    /// between an injected fault and the engine's response, then watch the
+    /// excommunication land after the verdict (a harness race the live
+    /// driver actually hit under load). Message-counter damage is *not*
+    /// pending by this definition: it is repaired in place at the next id
+    /// hand-out without any trace event, so it cannot disturb a settled
+    /// verdict — and an idle process would otherwise pend forever.
+    pub fn corruption_pending(&self) -> bool {
+        let ring_suspect = match &self.mode {
+            Mode::Regular { ring } => ring.suspect() || ring.config() != self.current_config.id,
+            Mode::Recovery(_) => false,
+        };
+        ring_suspect || self.current_config.id != shadow_of(self.config_shadow)
     }
 
     /// A live-observability snapshot of the engine: the current
@@ -439,10 +536,45 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         }
         let id = self.originate(ctx, service);
         self.submit_to_ring(ctx, id, service, payload);
+        // A singleton ring stamps on submit, so this is a counter-use
+        // site: if the shadow check tripped, the message stayed pending
+        // (never stamped, never sent) and the process excommunicates. The
+        // unstamped submission is dropped with its incarnation — its id is
+        // skipped, which Spec 1.4 permits; only reuse is forbidden.
+        let poisoned = matches!(&self.mode, Mode::Regular { ring } if ring.is_poisoned());
+        if poisoned {
+            self.excommunicate(ctx);
+        }
+    }
+
+    /// Check-before-use on the persistent message counter. If the primary
+    /// and its complement shadow disagree, one of them took a transient
+    /// fault; we cannot tell which, so the repair takes the *maximum* of
+    /// every surviving bound (primary, complemented shadow, synced lease
+    /// ceiling). Whichever copy was hit, the true counter is ≤ that
+    /// maximum, so the repaired counter can only skip ids — a legal
+    /// outcome under Spec 1.4 — never reuse one. Returns true if a repair
+    /// was applied (convergence, not excommunication: the damaged state is
+    /// local and fully reconstructible).
+    fn repair_counter(&mut self) -> bool {
+        if self.persist.msg_counter == !self.counter_shadow {
+            return false;
+        }
+        let safe = self
+            .persist
+            .msg_counter
+            .max(!self.counter_shadow)
+            .max(self.lease_limit);
+        self.persist.msg_counter = safe;
+        self.counter_shadow = !safe;
+        self.telemetry.counter(names::CORRUPTION_REPAIRS).inc();
+        true
     }
 
     fn next_message_id(&mut self) -> MessageId {
+        self.repair_counter();
         self.persist.msg_counter += 1;
+        self.counter_shadow = !self.persist.msg_counter;
         if self.persist.msg_counter > self.lease_limit {
             // Claim the next id block durably before using its first id
             // (Spec 1.4: a kill inside the lease skips ids, never reuses).
@@ -534,6 +666,7 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             },
         );
         self.current_config = cfg.clone();
+        self.config_shadow = shadow_of(cfg.id);
         self.delivered.push(Delivery::Config(cfg));
     }
 
@@ -986,9 +1119,139 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                 }
             },
         }
+        // Check-before-use already stopped a poisoned ring from stamping
+        // or delivering anything this frame; now respond to the poison
+        // without waiting for the next tick.
+        let poisoned = matches!(&self.mode, Mode::Regular { ring } if ring.is_poisoned());
+        if poisoned {
+            self.excommunicate(ctx);
+        }
+    }
+
+    /// Injects one corruption-class fault into this process's live state
+    /// (chaos harness entry point). The damage is applied exactly as a
+    /// cosmic-ray bit flip or medium rot would land it — no detection or
+    /// response happens here; the engine's own shadow/ceiling/cross-copy
+    /// checks must catch it on the next use.
+    pub fn inject_corruption(&mut self, kind: CorruptionKind) {
+        self.telemetry.counter(names::CORRUPTIONS_INJECTED).inc();
+        match kind {
+            CorruptionKind::AruBit(bit) => {
+                if let Mode::Regular { ring } = &mut self.mode {
+                    ring.corrupt_my_aru(bit);
+                }
+            }
+            CorruptionKind::SeqBit(bit) => {
+                if let Mode::Regular { ring } = &mut self.mode {
+                    ring.corrupt_high_seen(bit);
+                }
+            }
+            CorruptionKind::CounterBit(bit) => {
+                // The shadow is deliberately left stale: that is what a
+                // single-copy fault looks like.
+                self.persist.msg_counter ^= 1 << (bit % 64);
+            }
+            CorruptionKind::SeqWrap => {
+                if let Mode::Regular { ring } = &mut self.mode {
+                    ring.wrap_seq();
+                }
+            }
+            CorruptionKind::ConfDesync => {
+                self.current_config.id.epoch ^= 1 << 9;
+            }
+            CorruptionKind::WalByte { record, offset } => {
+                let _ = self.storage.corrupt_record_byte(record, offset);
+            }
+            CorruptionKind::WalTrunc { bytes } => {
+                let _ = self.storage.truncate_tail(bytes.max(1));
+            }
+        }
+    }
+
+    /// The id of the configuration this process actually installed,
+    /// validated against its complement shadow before use. On agreement
+    /// the primary is returned. On mismatch the primary was damaged
+    /// (the corruption vocabulary flips the engine copy, never both):
+    /// in a regular configuration the ring's independent copy is
+    /// authoritative — it is the id peers saw us operate under — and
+    /// mid-recovery the shadow, written at installation time, is the
+    /// only survivor. Every externally visible `fail_p(c)` goes through
+    /// this check, so the failure is always recorded in a configuration
+    /// that was really installed (Spec 2.2), even when the crash lands
+    /// between a corruption and the sweep that would have caught it.
+    fn installed_config_id(&self) -> ConfigId {
+        let shadowed = shadow_of(self.config_shadow);
+        if self.current_config.id == shadowed {
+            return self.current_config.id;
+        }
+        match &self.mode {
+            Mode::Regular { ring } => ring.config(),
+            Mode::Recovery(_) => shadowed,
+        }
+    }
+
+    /// The self-stabilizing response to corruption the engine cannot
+    /// repair in place: leave the configuration with an explicit
+    /// `fail_p(c)` and re-enter as a fresh singleton incarnation —
+    /// exactly the event sequence of the proven-conformant crash path, so
+    /// the trace stays a legal EVS history (Specs 5/6) and peers install
+    /// a new configuration without the poisoned member.
+    fn excommunicate(&mut self, ctx: &mut ECtx<'_, P>) {
+        let config = self.installed_config_id();
+        self.telemetry.counter(names::CORRUPTION_EXCOMMS).inc();
+        if let Mode::Recovery(rec) = &self.mode {
+            self.telemetry.record(
+                ctx.now().ticks(),
+                TelemetryEvent::RecoveryStepExited {
+                    step: 0,
+                    epoch: rec.proposal.id.epoch,
+                },
+            );
+        }
+        ctx.emit(EvsEvent::Fail { config });
+        self.repair_counter();
+        self.persist.max_epoch = self
+            .persist
+            .max_epoch
+            .max(self.membership.max_epoch())
+            .max(config.epoch);
+        let persist = self.persist;
+        ctx.stable().put(STABLE_KEY, persist);
+        self.wal_append(WalRecord::FailMark {
+            epoch: config.epoch,
+            rep: config.rep.index(),
+            msg_counter: persist.msg_counter,
+            max_epoch: persist.max_epoch,
+        });
+        self.wal_sync();
+        let epoch = self.persist.max_epoch + 1;
+        self.persist.max_epoch = epoch;
+        self.reincarnate(ctx, epoch);
+    }
+
+    /// The periodic corruption sweep: a poisoned ring (shadow mismatch or
+    /// ordinal at the ceiling) or a configuration-id desync between the
+    /// engine's copy and the ring's copy both mean local state can no
+    /// longer be trusted — excommunicate. Returns true if the process
+    /// reincarnated (callers must not keep using the old mode).
+    fn corruption_check(&mut self, ctx: &mut ECtx<'_, P>) -> bool {
+        let poisoned = match &mut self.mode {
+            Mode::Regular { ring } => ring.audit() || ring.config() != self.current_config.id,
+            // Recovery state is rebuilt from frozen exchange reports and
+            // carries no live counters to cross-check; damage there is
+            // caught when the next regular configuration's ring runs.
+            Mode::Recovery(_) => false,
+        };
+        if poisoned {
+            self.excommunicate(ctx);
+        }
+        poisoned
     }
 
     fn settle_tick(&mut self, ctx: &mut ECtx<'_, P>) {
+        if self.corruption_check(ctx) {
+            return;
+        }
         let now = ctx.now();
         let outs = self.membership.tick(now);
         self.handle_memb_outs(ctx, outs);
@@ -1091,7 +1354,9 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     /// next incarnation starts over the same [`Storage`] backend.
     fn restart_from_wal(&mut self, ctx: &mut ECtx<'_, P>, replay: Replay) {
         let had_snapshot = replay.snapshot.is_some();
+        let corrupt_gaps = replay.corrupt_gaps;
         let rec = crate::persist::fold(replay.snapshot.as_deref(), &replay.records);
+        self.last_replay_poison = rec.poison;
         self.telemetry
             .counter(names::WAL_REPLAY_RECORDS)
             .add(rec.records);
@@ -1107,12 +1372,50 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             // The dead incarnation was killed without recording its
             // failure; emit the fail_p(c) it owes so the trace stays a
             // legal EVS history (Spec 5/6: a configuration a process left
-            // without a failure would otherwise still claim it).
-            ctx.emit(EvsEvent::Fail { config: undead });
+            // without a failure would otherwise still claim it). But only
+            // when the log vouches for it: damage after the last intact
+            // install (a poisoned record, or a CRC gap whose position is
+            // unknowable) may hide a newer install or the retiring fail
+            // mark. Spec 2.2 forgives a missing fail, never a fail naming
+            // the wrong configuration, so a suspect undead is dropped.
+            if rec.undead_suspect || corrupt_gaps > 0 {
+                self.telemetry.counter(names::WAL_SUPPRESSED_FAILS).inc();
+            } else {
+                ctx.emit(EvsEvent::Fail { config: undead });
+            }
         }
-        self.persist.msg_counter = rec.msg_counter;
-        self.lease_limit = rec.msg_counter;
-        self.persist.max_epoch = rec.max_epoch;
+        // Durable-medium rot: records lost to a CRC gap or rejected by the
+        // semantic replay check may have included Leases. Consecutive
+        // lease ceilings differ by at most LEASE_BLOCK + 1 (the next lease
+        // is written at `counter + LEASE_BLOCK` with `counter` at most one
+        // past the old ceiling), so skipping that much per lost record is
+        // provably past any id the lost records could have leased — ids
+        // skip, never reuse (Spec 1.4). Plain torn tails need no skip:
+        // leases are synced before their first id is used, so a tail can
+        // only lose the record that was mid-write.
+        let poisoned_total = rec.poisoned + corrupt_gaps;
+        let mut msg_counter = rec.msg_counter;
+        let mut max_epoch = rec.max_epoch;
+        if poisoned_total > 0 {
+            self.telemetry
+                .counter(names::WAL_POISONED_RECORDS)
+                .add(poisoned_total);
+            msg_counter =
+                msg_counter.saturating_add((LEASE_BLOCK + 1).saturating_mul(poisoned_total));
+            // Lost records also held epochs (Epoch, ConfDelivered, Cut and
+            // FailMark all carry one), and every epoch this process ever
+            // acknowledged was synced before the ack — so the largest
+            // epoch it ever observed is exactly what the damage may have
+            // swallowed. Skip the epoch space by the same conservative
+            // block per lost record: a reincarnation must never re-mint a
+            // configuration id the dead incarnation may have installed
+            // (identifier uniqueness; epochs skip, never reuse).
+            max_epoch = max_epoch.saturating_add((LEASE_BLOCK + 1).saturating_mul(poisoned_total));
+        }
+        self.persist.msg_counter = msg_counter;
+        self.lease_limit = msg_counter;
+        self.counter_shadow = !msg_counter;
+        self.persist.max_epoch = max_epoch;
         let epoch = self.persist.max_epoch + 1;
         self.persist.max_epoch = epoch;
         // Compact: everything replayed folds into one checkpoint; the
@@ -1222,10 +1525,13 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
 
     fn on_crash(&mut self, ctx: &mut ECtx<'_, P>) {
         // The paper's fail_p(c): record the failure in the configuration we
-        // were a member of, and persist the crash-surviving counters.
-        ctx.emit(EvsEvent::Fail {
-            config: self.current_config.id,
-        });
+        // were a member of, and persist the crash-surviving counters. The
+        // id goes through the shadow check — a crash can land between a
+        // configuration-id corruption and the sweep that would have
+        // excommunicated for it, and the fail must still name a
+        // configuration that was really installed (Spec 2.2).
+        let config = self.installed_config_id();
+        ctx.emit(EvsEvent::Fail { config });
         self.persist.max_epoch = self.persist.max_epoch.max(self.membership.max_epoch());
         let persist = self.persist;
         ctx.stable().put(STABLE_KEY, persist);
@@ -1233,8 +1539,8 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         // its exact counters, so replay continues the id series without
         // the lease gap and owes no synthetic failure.
         self.wal_append(WalRecord::FailMark {
-            epoch: self.current_config.id.epoch,
-            rep: self.current_config.id.rep.index(),
+            epoch: config.epoch,
+            rep: config.rep.index(),
             msg_counter: persist.msg_counter,
             max_epoch: persist.max_epoch,
         });
@@ -1278,6 +1584,7 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
             .unwrap_or_default();
         self.persist = persist;
         self.lease_limit = persist.msg_counter;
+        self.counter_shadow = !persist.msg_counter;
         let epoch = self.persist.max_epoch + 1;
         self.persist.max_epoch = epoch;
         self.reincarnate(ctx, epoch);
@@ -1496,5 +1803,180 @@ mod tests {
         });
         assert!(matches!(node.mode, Mode::Regular { .. }));
         assert_eq!(node.current_config().members, vec![p(0)]);
+    }
+
+    /// All Send counters in trace order.
+    fn sent_counters(env: &Env) -> Vec<u64> {
+        env.trace
+            .iter()
+            .filter_map(|(_, e)| match e {
+                EvsEvent::Send { id, .. } => Some(id.counter),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn fail_count(env: &Env) -> usize {
+        env.trace
+            .iter()
+            .filter(|(_, e)| matches!(e, EvsEvent::Fail { .. }))
+            .count()
+    }
+
+    #[test]
+    fn counter_bit_flip_is_repaired_without_id_reuse() {
+        let (mut node, mut env) = started();
+        for _ in 0..5 {
+            env.with(|ctx| node.submit(ctx, Service::Agreed, "pre"));
+        }
+        // Flip a low bit so the primary goes *backwards* (5 -> 1): the
+        // dangerous direction, where naive use would reuse ids 2..=5.
+        node.inject_corruption(CorruptionKind::CounterBit(2));
+        env.with(|ctx| node.submit(ctx, Service::Agreed, "post"));
+        let counters = sent_counters(&env);
+        assert_eq!(&counters[..5], &[1, 2, 3, 4, 5]);
+        let repaired = counters[5];
+        assert!(repaired > 5, "repaired counter skips, never reuses");
+        // Repair is convergence, not excommunication: same incarnation.
+        assert_eq!(fail_count(&env), 0);
+        assert_eq!(node.current_config().id.epoch, 0);
+
+        // An upward flip also repairs (the shadow bounds the true value).
+        node.inject_corruption(CorruptionKind::CounterBit(40));
+        env.with(|ctx| node.submit(ctx, Service::Agreed, "post2"));
+        let counters = sent_counters(&env);
+        let last = *counters.last().unwrap();
+        assert!(last > repaired);
+        let mut sorted = counters.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), counters.len(), "no id reused: {counters:?}");
+    }
+
+    #[test]
+    fn aru_corruption_excommunicates_on_the_sweep() {
+        let (mut node, mut env) = started();
+        env.with(|ctx| node.submit(ctx, Service::Safe, "pre"));
+        node.inject_corruption(CorruptionKind::AruBit(17));
+        // The damage is dormant (idle ring); the periodic sweep audits.
+        env.with(|ctx| node.settle_tick(ctx));
+        assert_eq!(fail_count(&env), 1, "explicit fail, never silent");
+        assert!(node.current_config().id.epoch >= 1, "fresh incarnation");
+        assert!(node.current_config().is_regular());
+        assert_eq!(node.current_config().members, vec![p(0)]);
+        // The fresh incarnation orders and delivers again.
+        env.with(|ctx| node.submit(ctx, Service::Safe, "post"));
+        assert!(node
+            .deliveries()
+            .iter()
+            .any(|d| d.payload() == Some(&"post")));
+    }
+
+    #[test]
+    fn seq_wrap_excommunicates_at_the_counter_use() {
+        let (mut node, mut env) = started();
+        node.inject_corruption(CorruptionKind::SeqWrap);
+        // The submit is the counter use: the ring refuses to stamp past
+        // the ceiling and the engine excommunicates on the spot.
+        env.with(|ctx| node.submit(ctx, Service::Agreed, "wrapped"));
+        assert_eq!(fail_count(&env), 1);
+        assert!(node.current_config().id.epoch >= 1);
+        // Nothing was ever stamped with an ordinal at or past the ceiling.
+        assert!(node.deliveries().iter().all(|d| d.payload().is_none()));
+        env.with(|ctx| node.submit(ctx, Service::Agreed, "post"));
+        assert!(node
+            .deliveries()
+            .iter()
+            .any(|d| d.payload() == Some(&"post")));
+    }
+
+    #[test]
+    fn conf_desync_fails_with_the_ring_copy_of_the_config() {
+        let (mut node, mut env) = started();
+        node.inject_corruption(CorruptionKind::ConfDesync);
+        env.with(|ctx| node.settle_tick(ctx));
+        // The fail_p(c) names the ring's (uncorrupted) configuration —
+        // the one peers saw us in — not the flipped engine copy.
+        let failed = env
+            .trace
+            .iter()
+            .find_map(|(_, e)| match e {
+                EvsEvent::Fail { config } => Some(*config),
+                _ => None,
+            })
+            .expect("desync excommunicates");
+        assert_eq!(failed.epoch, 0);
+        assert!(node.current_config().id.epoch >= 1);
+        assert_eq!(node.current_config().members, vec![p(0)]);
+    }
+
+    #[test]
+    fn crash_after_conf_desync_records_the_fail_in_a_legitimate_config() {
+        // The race the chaos factory found (seed 805778): a crash landing
+        // between a configuration-id corruption and the sweep that would
+        // have excommunicated for it. The fail_p(c) must name the
+        // configuration that was really installed, not the flipped copy.
+        let (mut node, mut env) = started();
+        let installed = node.current_config().id;
+        node.inject_corruption(CorruptionKind::ConfDesync);
+        env.with(|ctx| node.on_crash(ctx));
+        let failed = env
+            .trace
+            .iter()
+            .find_map(|(_, e)| match e {
+                EvsEvent::Fail { config } => Some(*config),
+                _ => None,
+            })
+            .expect("crash records fail_p(c)");
+        assert_eq!(failed, installed, "fail must name the installed config");
+    }
+
+    #[test]
+    fn wal_rot_skips_the_counter_past_anything_lost() {
+        let mut env = Env::new();
+        let mut node =
+            EvsProcess::with_storage(p(0), EvsParams::default(), Box::new(NullStorage::new()));
+        env.with(|ctx| node.on_start(ctx));
+        for _ in 0..4 {
+            env.with(|ctx| node.submit(ctx, Service::Agreed, "pre"));
+        }
+        // Rot one journaled record in place, then kill -9 + restart over
+        // the same storage.
+        node.inject_corruption(CorruptionKind::WalByte {
+            record: 2,
+            offset: 0,
+        });
+        env.with(|ctx| node.on_recover(ctx));
+        let poison = node.last_replay_poison();
+        assert!(poison.is_some(), "rot was classified, not folded in");
+        env.with(|ctx| node.submit(ctx, Service::Agreed, "post"));
+        let counters = sent_counters(&env);
+        let last = *counters.last().unwrap();
+        assert!(
+            last > 4 + LEASE_BLOCK,
+            "counter skipped past any id the lost record could have \
+             leased (got {last})"
+        );
+    }
+
+    #[test]
+    fn wal_truncation_recovers_without_counter_regression() {
+        let mut env = Env::new();
+        let mut node =
+            EvsProcess::with_storage(p(0), EvsParams::default(), Box::new(NullStorage::new()));
+        env.with(|ctx| node.on_start(ctx));
+        for _ in 0..4 {
+            env.with(|ctx| node.submit(ctx, Service::Agreed, "pre"));
+        }
+        node.inject_corruption(CorruptionKind::WalTrunc { bytes: 1 });
+        env.with(|ctx| node.on_recover(ctx));
+        env.with(|ctx| node.submit(ctx, Service::Agreed, "post"));
+        let counters = sent_counters(&env);
+        let last = *counters.last().unwrap();
+        assert!(last > 4, "truncation can skip ids but never reuse one");
+        let mut seen = std::collections::HashSet::new();
+        assert!(
+            counters.iter().all(|c| seen.insert(*c)),
+            "no id reused: {counters:?}"
+        );
     }
 }

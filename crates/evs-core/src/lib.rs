@@ -62,7 +62,7 @@ pub mod wire;
 
 pub use cluster::{EvsCluster, EvsClusterBuilder};
 pub use config::{Configuration, ConfigurationKind};
-pub use engine::{EngineObs, EvsMsg, EvsProcess};
+pub use engine::{CorruptionKind, EngineObs, EvsMsg, EvsProcess};
 pub use event::{Delivery, EvsEvent, Trace};
 pub use params::EvsParams;
 pub use payload::Payload;

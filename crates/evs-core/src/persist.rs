@@ -22,11 +22,17 @@
 //!
 //! The encoding is deliberately trivial: one tag byte followed by
 //! fixed-width little-endian fields (`evs-store` owns framing, CRCs and
-//! torn-tail handling). Unknown tags decode to `None` and are skipped by
-//! the fold, so an old binary can replay a newer log's prefix.
+//! torn-tail handling). A record that fails to decode is never folded and
+//! never panics: the fold counts it, classifies it into a typed
+//! [`ReplayError`] ([`Recovered::poison`]), and the engine responds by
+//! widening its id-lease skip past anything the damaged record could have
+//! leased — the excommunicate-and-rebuild half of the self-stabilization
+//! story, since CRC-valid-but-undecodable records mean the medium (or a
+//! fault injector) rewrote state underneath us.
 
 use evs_membership::ConfigId;
 use evs_sim::ProcessId;
+use evs_store::ReplayError;
 
 /// How many message ids a [`WalRecord::Lease`] claims beyond the counter's
 /// current value. A larger lease syncs less often; every id inside an
@@ -94,6 +100,41 @@ pub enum WalRecord {
     },
 }
 
+/// Bytes of the trailing integrity word every sealed payload carries.
+const INTEGRITY_LEN: usize = 4;
+
+/// FNV-1a over the record body. `evs-store`'s CRC protects the *frame* on
+/// the medium; this word travels inside the payload and protects the
+/// *values* — damage that strikes after (or beneath) the framing layer,
+/// such as the in-memory store's bare payloads or an injector rewriting a
+/// CRC-resealed record. The multiply step is invertible, so any
+/// single-byte change is guaranteed to alter the word.
+fn integrity_word(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Appends the integrity word over everything currently in `out`.
+fn seal(out: &mut Vec<u8>) {
+    let w = integrity_word(out);
+    out.extend_from_slice(&w.to_le_bytes());
+}
+
+/// Splits a sealed payload into (body, valid-word?). `None` if too short
+/// to carry a word at all.
+fn unseal(bytes: &[u8]) -> Option<(&[u8], bool)> {
+    if bytes.len() <= INTEGRITY_LEN {
+        return None;
+    }
+    let (body, word) = bytes.split_at(bytes.len() - INTEGRITY_LEN);
+    let got = u32::from_le_bytes(word.try_into().ok()?);
+    Some((body, got == integrity_word(body)))
+}
+
 /// Tag bytes. Stable — they are on disk.
 const TAG_LEASE: u8 = 1;
 const TAG_SENT: u8 = 2;
@@ -139,8 +180,9 @@ impl<'a> Reader<'a> {
 }
 
 impl WalRecord {
-    /// Serializes the record payload into `out` (cleared first). Framing,
-    /// CRC and length-delimiting belong to `evs-store`.
+    /// Serializes the record payload into `out` (cleared first), sealed
+    /// with a trailing integrity word. Framing, CRC and length-delimiting
+    /// belong to `evs-store`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.clear();
         match self {
@@ -206,12 +248,20 @@ impl WalRecord {
                 put_u64(out, *max_epoch);
             }
         }
+        seal(out);
     }
 
-    /// Parses a record payload. `None` for unknown tags or short payloads
-    /// (the fold skips them; `evs-store`'s CRC already rules out
-    /// corruption, so `None` means a version difference, not damage).
+    /// Parses a sealed record payload. `None` for unknown tags, short
+    /// payloads, or an integrity-word mismatch (a record whose values were
+    /// rewritten after it was sealed). The fold skips and classifies every
+    /// reject — see [`classify`].
     pub fn decode(bytes: &[u8]) -> Option<WalRecord> {
+        let (body, intact) = unseal(bytes)?;
+        intact.then(|| WalRecord::decode_body(body)).flatten()
+    }
+
+    /// Structural parse of an unsealed record body.
+    fn decode_body(bytes: &[u8]) -> Option<WalRecord> {
         let mut r = Reader { bytes, pos: 0 };
         let rec = match r.u8()? {
             TAG_LEASE => WalRecord::Lease(r.u64()?),
@@ -264,17 +314,28 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Serializes the checkpoint as a snapshot blob.
+    /// Serializes the checkpoint as a sealed snapshot blob.
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.clear();
         out.push(TAG_CHECKPOINT);
         put_u64(out, self.msg_counter);
         put_u64(out, self.max_epoch);
+        seal(out);
     }
 
-    /// Parses a snapshot blob written by [`Checkpoint::encode`].
+    /// Parses a snapshot blob written by [`Checkpoint::encode`]. A damaged
+    /// integrity word rejects the blob: a snapshot with a rewritten
+    /// `msg_counter` folded in silently could hand out already-used
+    /// message ids (Spec 1.4).
     pub fn decode(bytes: &[u8]) -> Option<Checkpoint> {
-        let mut r = Reader { bytes, pos: 0 };
+        let (body, intact) = unseal(bytes)?;
+        if !intact {
+            return None;
+        }
+        let mut r = Reader {
+            bytes: body,
+            pos: 0,
+        };
         (r.u8()? == TAG_CHECKPOINT)
             .then(|| {
                 Some(Checkpoint {
@@ -283,7 +344,7 @@ impl Checkpoint {
                 })
             })
             .flatten()
-            .filter(|_| r.pos == bytes.len())
+            .filter(|_| r.pos == body.len())
     }
 }
 
@@ -301,22 +362,78 @@ pub struct Recovered {
     /// the new incarnation must emit a synthetic one for this
     /// configuration before its singleton `deliver_conf`.
     pub undead: Option<ConfigId>,
+    /// True when a poisoned record follows the record that established
+    /// [`Recovered::undead`]: the damaged record could have been a newer
+    /// `ConfDelivered` (making this one stale) or the `FailMark` that
+    /// retired it. A fail naming the wrong configuration breaks Spec 2.2,
+    /// while a *missing* fail never does, so a suspect undead must be
+    /// suppressed rather than guessed at.
+    pub undead_suspect: bool,
     /// The last-persisted §3 Step 5.c obligation set (audit only — a
     /// restarted singleton starts with no obligations).
     pub obligations: Vec<u32>,
     /// Decoded records folded in (snapshot excluded).
     pub records: u64,
+    /// Records that were CRC-clean but failed to decode — rewritten state,
+    /// not media damage. Each is counted; none is folded.
+    pub poisoned: u64,
+    /// Typed classification of the first poisoned record (or snapshot).
+    pub poison: Option<ReplayError>,
+}
+
+/// Classifies a record that failed [`WalRecord::decode`]. Only called on
+/// rejects, so a recognized tag here means the payload shape is impossible
+/// for that tag.
+fn classify(index: usize, bytes: &[u8]) -> ReplayError {
+    let Some(&tag) = bytes.first() else {
+        return ReplayError::EmptyRecord { index };
+    };
+    match tag {
+        TAG_LEASE | TAG_SENT | TAG_CONF | TAG_OBLIGATIONS | TAG_CUT | TAG_EPOCH | TAG_FAIL => {
+            // A structurally-perfect body whose integrity word disagrees
+            // is value damage: the medium (or an injector) rewrote fields
+            // inside a record the schema really did write.
+            if let Some((body, intact)) = unseal(bytes) {
+                if !intact && WalRecord::decode_body(body).is_some() {
+                    return ReplayError::ValueDamage { index, tag };
+                }
+            }
+            ReplayError::BadLength {
+                index,
+                tag,
+                len: bytes.len(),
+            }
+        }
+        _ => ReplayError::UnknownTag { index, tag },
+    }
 }
 
 /// Folds a snapshot and its trailing records back into engine state.
 pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>]) -> Recovered {
     let mut out = Recovered::default();
-    if let Some(cp) = snapshot.and_then(Checkpoint::decode) {
-        out.msg_counter = cp.msg_counter;
-        out.max_epoch = cp.max_epoch;
+    if let Some(blob) = snapshot {
+        match Checkpoint::decode(blob) {
+            Some(cp) => {
+                out.msg_counter = cp.msg_counter;
+                out.max_epoch = cp.max_epoch;
+            }
+            None => {
+                out.poisoned += 1;
+                out.poison = Some(ReplayError::BadSnapshot);
+            }
+        }
     }
-    for raw in records {
+    // Set while a poisoned record is the newest thing seen since the last
+    // intact ConfDelivered/FailMark: the damage could hide a newer install
+    // or the mark that retired the current one.
+    let mut suspect = false;
+    for (index, raw) in records.iter().enumerate() {
         let Some(rec) = WalRecord::decode(raw) else {
+            out.poisoned += 1;
+            suspect = true;
+            if out.poison.is_none() {
+                out.poison = Some(classify(index, raw));
+            }
             continue;
         };
         out.records += 1;
@@ -337,6 +454,9 @@ pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>]) -> Recovered {
                     rep: ProcessId::new(rep),
                     transitional,
                 });
+                // An intact install after any damage is authoritative
+                // again: nothing newer can hide before it.
+                suspect = false;
             }
             WalRecord::Obligations(members) => out.obligations = members,
             WalRecord::Cut { epoch, .. } => out.max_epoch = out.max_epoch.max(epoch),
@@ -354,6 +474,7 @@ pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>]) -> Recovered {
             }
         }
     }
+    out.undead_suspect = out.undead.is_some() && suspect;
     out
 }
 
@@ -486,7 +607,7 @@ mod tests {
     }
 
     #[test]
-    fn fold_starts_from_the_snapshot_and_skips_unknown_records() {
+    fn fold_starts_from_the_snapshot_and_poisons_unknown_records() {
         let cp = Checkpoint {
             msg_counter: 500,
             max_epoch: 9,
@@ -494,10 +615,181 @@ mod tests {
         let mut blob = Vec::new();
         cp.encode(&mut blob);
         let mut recs = encoded(&[WalRecord::Epoch(11)]);
-        recs.push(vec![0xEE, 1, 2, 3]); // future record kind
+        recs.push(vec![0xEE, 1, 2, 3]); // tag nothing ever wrote
         let rec = fold(Some(&blob), &recs);
         assert_eq!(rec.msg_counter, 500);
         assert_eq!(rec.max_epoch, 11);
-        assert_eq!(rec.records, 1, "unknown tag skipped, not counted");
+        assert_eq!(rec.records, 1, "unknown tag not folded");
+        assert_eq!(rec.poisoned, 1);
+        assert_eq!(
+            rec.poison,
+            Some(ReplayError::UnknownTag {
+                index: 1,
+                tag: 0xEE
+            })
+        );
+    }
+
+    #[test]
+    fn fold_classifies_impossible_payloads() {
+        // A Lease with a truncated payload: known tag, impossible shape.
+        let recs = vec![vec![TAG_LEASE, 1, 2], Vec::new()];
+        let rec = fold(None, &recs);
+        assert_eq!(rec.records, 0);
+        assert_eq!(rec.poisoned, 2);
+        assert_eq!(
+            rec.poison,
+            Some(ReplayError::BadLength {
+                index: 0,
+                tag: TAG_LEASE,
+                len: 3
+            }),
+            "first poison wins; the empty record is still counted"
+        );
+    }
+
+    fn all_record_kinds() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Lease(1024),
+            WalRecord::Sent {
+                counter: 7,
+                epoch: 3,
+                rep: 1,
+                seq: 42,
+            },
+            WalRecord::ConfDelivered {
+                epoch: 9,
+                rep: 0,
+                transitional: true,
+            },
+            WalRecord::Obligations(vec![0, 2, 5]),
+            WalRecord::Cut {
+                epoch: 9,
+                rep: 0,
+                transitional: false,
+                seq: 17,
+            },
+            WalRecord::Epoch(12),
+            WalRecord::FailMark {
+                epoch: 9,
+                rep: 0,
+                msg_counter: 55,
+                max_epoch: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        // The integrity word makes value damage *detectable*: no flipped
+        // byte — tag, field, or the word itself — ever decodes.
+        for rec in all_record_kinds() {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            for i in 0..buf.len() {
+                let mut hit = buf.clone();
+                hit[i] ^= 0xFF;
+                assert_eq!(
+                    WalRecord::decode(&hit),
+                    None,
+                    "{rec:?} with byte {i} flipped must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_field_flip_classifies_as_value_damage() {
+        let mut buf = Vec::new();
+        WalRecord::ConfDelivered {
+            epoch: 1,
+            rep: 0,
+            transitional: false,
+        }
+        .encode(&mut buf);
+        buf[8] ^= 0xFF; // high byte of the epoch field
+        assert_eq!(WalRecord::decode(&buf), None);
+        assert_eq!(
+            classify(0, &buf),
+            ReplayError::ValueDamage { index: 0, tag: 3 }
+        );
+    }
+
+    #[test]
+    fn fold_marks_the_undead_suspect_when_damage_follows_the_install() {
+        // The damaged record *was* the newest install; the surviving one
+        // is stale. Folding must say so, or the synthetic fail would name
+        // a configuration the trace shows superseded (Spec 2.2).
+        let mut recs = encoded(&[
+            WalRecord::ConfDelivered {
+                epoch: 1,
+                rep: 0,
+                transitional: false,
+            },
+            WalRecord::ConfDelivered {
+                epoch: 4,
+                rep: 1,
+                transitional: false,
+            },
+        ]);
+        recs[1][2] ^= 0x80; // rewrite a value inside the sealed payload
+        let rec = fold(None, &recs);
+        assert_eq!(rec.undead.map(|c| c.epoch), Some(1), "stale install");
+        assert!(rec.undead_suspect, "damage after it makes it untrustworthy");
+        assert_eq!(
+            rec.poison,
+            Some(ReplayError::ValueDamage { index: 1, tag: 3 })
+        );
+    }
+
+    #[test]
+    fn an_intact_install_after_damage_is_trusted_again() {
+        let mut recs = encoded(&[
+            WalRecord::Sent {
+                counter: 3,
+                epoch: 1,
+                rep: 0,
+                seq: 2,
+            },
+            WalRecord::ConfDelivered {
+                epoch: 4,
+                rep: 1,
+                transitional: false,
+            },
+        ]);
+        recs[0][2] ^= 0x01; // damage strictly before the install
+        let rec = fold(None, &recs);
+        assert_eq!(rec.undead.map(|c| c.epoch), Some(4));
+        assert!(
+            !rec.undead_suspect,
+            "an install newer than every damaged record is authoritative"
+        );
+    }
+
+    #[test]
+    fn a_checkpoint_value_flip_is_rejected() {
+        let cp = Checkpoint {
+            msg_counter: 2048,
+            max_epoch: 17,
+        };
+        let mut buf = Vec::new();
+        cp.encode(&mut buf);
+        for i in 0..buf.len() {
+            let mut hit = buf.clone();
+            hit[i] ^= 0x20;
+            assert_eq!(
+                Checkpoint::decode(&hit),
+                None,
+                "checkpoint with byte {i} rewritten must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_flags_an_undecodable_snapshot() {
+        let rec = fold(Some(&[0xAB, 0xCD]), &encoded(&[WalRecord::Epoch(2)]));
+        assert_eq!(rec.poison, Some(ReplayError::BadSnapshot));
+        assert_eq!(rec.poisoned, 1);
+        assert_eq!(rec.max_epoch, 2, "good records still fold");
     }
 }

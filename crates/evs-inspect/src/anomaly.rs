@@ -53,6 +53,21 @@ impl Default for AnomalyConfig {
     }
 }
 
+/// Every anomaly kind [`detect`] can emit, one per detector — the
+/// coverage target for harnesses (the chaos factory counts, per kind,
+/// how often each detector fired across a soak and reports the ones
+/// that never did). Keep in sync with the detectors below.
+pub const ANOMALY_KINDS: &[&str] = &[
+    "stuck_recovery",
+    "token_starvation",
+    "hole_request_storm",
+    "obligation_growth",
+    "undelivered_message",
+    "unstamped_message",
+    "retransmission_storm",
+    "silent_state_loss",
+];
+
 /// One detected anomaly.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Anomaly {
@@ -108,19 +123,9 @@ impl Anomaly {
     /// is re-interned against the known tags (unknown kinds are kept as
     /// `"unknown"`).
     pub fn from_json(v: &Value) -> Option<Anomaly> {
-        const KINDS: &[&str] = &[
-            "stuck_recovery",
-            "token_starvation",
-            "hole_request_storm",
-            "obligation_growth",
-            "undelivered_message",
-            "unstamped_message",
-            "retransmission_storm",
-            "silent_state_loss",
-        ];
         let kind = v.get("kind")?.as_str()?;
         Some(Anomaly {
-            kind: KINDS
+            kind: ANOMALY_KINDS
                 .iter()
                 .find(|k| **k == kind)
                 .copied()

@@ -46,7 +46,7 @@ pub mod report;
 pub mod spans;
 pub mod timeline;
 
-pub use anomaly::{Anomaly, AnomalyConfig};
+pub use anomaly::{Anomaly, AnomalyConfig, ANOMALY_KINDS};
 pub use dump::{dump_from_json, dump_to_json, load_dumps, write_dumps};
 pub use report::{InspectReport, SpanReport};
 pub use spans::{step_name, ConfigSpan, MessageSpan, StepSpan};

@@ -35,5 +35,5 @@ mod ring;
 pub mod sequencer;
 
 pub use msg::{MessageId, OrderedMsg, RingMsg, Service, Token};
-pub use ring::{data_frame, DeliveryClass, Ring, RingOut, RingSnapshot};
+pub use ring::{data_frame, DeliveryClass, Ring, RingOut, RingSnapshot, MAX_HOLE_GAP, SEQ_CEILING};
 pub use sequencer::{SeqMsg, SeqOut, Sequencer};

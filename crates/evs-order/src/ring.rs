@@ -10,6 +10,22 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// histogram; the window itself is bounded by `max_per_visit`.
 const STAMPED_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
 
+/// Ring ordinals at or beyond this value mark the configuration as
+/// exhausted: the ring refuses to stamp past it and reports itself
+/// poisoned, so the engine reconfigures (ordinals legitimately restart at
+/// 1 in the next configuration) instead of silently wrapping `u64` and
+/// violating total order. The 2^20 headroom below `u64::MAX` guarantees a
+/// token visit can never overflow mid-stamp.
+pub const SEQ_CEILING: u64 = u64::MAX - (1 << 20);
+
+/// Largest believable gap between our contiguous-receipt prefix and the
+/// token's ordinal. A legitimate gap is bounded by a few flow-control
+/// windows of in-flight stamping; a corrupted `seq` can claim a gap of
+/// 2^60, which would steer the hole-request loop into an unbounded
+/// iteration. Tokens claiming a larger gap are dropped (the resulting
+/// token loss forces reconfiguration, which heals the ring).
+pub const MAX_HOLE_GAP: u64 = 1 << 16;
+
 /// Effects requested by the ring engine.
 #[derive(Debug)]
 pub enum RingOut<P> {
@@ -78,7 +94,17 @@ pub struct Ring<P> {
     members: Vec<ProcessId>,
     store: BTreeMap<u64, OrderedMsg<P>>,
     my_aru: u64,
+    /// Complement shadow of `my_aru` (self-stabilization): resynced at
+    /// every legitimate mutation, checked *before* every use. A mismatch
+    /// means the primary was rewritten underneath us.
+    aru_shadow: u64,
     high_seen: u64,
+    /// Complement shadow of `high_seen`, same discipline.
+    seq_shadow: u64,
+    /// Sticky corruption flag: once a shadow or ceiling check fails, the
+    /// ring refuses to order, deliver or forward anything further — the
+    /// engine observes this and excommunicates the process.
+    poisoned: bool,
     safe_line: u64,
     prev_visit_aru: Option<u64>,
     delivered_upto: u64,
@@ -126,7 +152,10 @@ impl<P: Clone> Ring<P> {
             members,
             store: BTreeMap::new(),
             my_aru: 0,
+            aru_shadow: !0,
             high_seen: 0,
+            seq_shadow: !0,
+            poisoned: false,
             safe_line: 0,
             prev_visit_aru: None,
             delivered_upto: 0,
@@ -203,6 +232,73 @@ impl<P: Clone> Ring<P> {
         self.members.len() == 1
     }
 
+    /// True once any counter failed its shadow or ceiling check. A
+    /// poisoned ring stops ordering, delivering and forwarding; the
+    /// engine's response is to excommunicate the process (explicit `fail`
+    /// plus a fresh-incarnation rejoin) — never to keep running on state
+    /// it cannot trust.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Check-before-use: validates every counter the next step will read.
+    /// This runs *before* any mutation — checking afterwards would launder
+    /// corruption into the freshly-resynced shadows. The ceiling check
+    /// also fires on legitimate exhaustion ([`SEQ_CEILING`]), which heals
+    /// by reconfiguration rather than excommunication-with-data-loss, but
+    /// the local response (stop and report) is identical.
+    fn counters_intact(&mut self) -> bool {
+        if self.my_aru != !self.aru_shadow
+            || self.high_seen != !self.seq_shadow
+            || self.high_seen >= SEQ_CEILING
+        {
+            self.poisoned = true;
+        }
+        !self.poisoned
+    }
+
+    /// Runs the shadow/ceiling audit outside any message path. An idle
+    /// ring has no counter *uses* to trip the check-before-use guards, so
+    /// the engine's periodic corruption sweep calls this to bound the
+    /// detection latency of dormant damage. Returns true if the ring is
+    /// (now) poisoned.
+    pub fn audit(&mut self) -> bool {
+        !self.counters_intact()
+    }
+
+    /// Read-only twin of [`Ring::audit`]: true if the shadow/ceiling
+    /// checks would poison this ring right now. Settle probes use it to
+    /// see dormant damage without mutating the ring they are inspecting.
+    pub fn suspect(&self) -> bool {
+        self.poisoned
+            || self.my_aru != !self.aru_shadow
+            || self.high_seen != !self.seq_shadow
+            || self.high_seen >= SEQ_CEILING
+    }
+
+    /// Fault injection: flip one bit of the contiguous-receipt counter
+    /// *without* resyncing its shadow — exactly what transient memory
+    /// corruption does. The next check-before-use detects the mismatch.
+    pub fn corrupt_my_aru(&mut self, bit: u32) {
+        self.my_aru ^= 1 << (bit % 64);
+    }
+
+    /// Fault injection: flip one bit of the highest-ordinal counter,
+    /// shadow left stale.
+    pub fn corrupt_high_seen(&mut self, bit: u32) {
+        self.high_seen ^= 1 << (bit % 64);
+    }
+
+    /// Fault injection: jump the ordinal space to its ceiling, modeling
+    /// legitimate counter exhaustion after decades of uptime (the
+    /// *practically-self-stabilizing* bounded-counter fault). The shadow
+    /// is resynced — this is not bit rot, the counter really is exhausted
+    /// — so detection comes from the ceiling check alone.
+    pub fn wrap_seq(&mut self) {
+        self.high_seen = SEQ_CEILING;
+        self.seq_shadow = !self.high_seen;
+    }
+
     fn successor(&self) -> ProcessId {
         let i = self
             .members
@@ -243,6 +339,13 @@ impl<P: Clone> Ring<P> {
     {
         if self.is_singleton() {
             // Sole member: stamp directly; everything is trivially safe.
+            // Check-before-use: the stamp reads `high_seen`, so a
+            // corrupted or exhausted counter must stop the stamp here —
+            // the submission parks in `pending` until the engine reacts.
+            if !self.counters_intact() {
+                self.pending.push_back((id, service, payload));
+                return None;
+            }
             let seq = self.high_seen + 1;
             let msg = OrderedMsg {
                 config: self.config,
@@ -271,11 +374,22 @@ impl<P: Clone> Ring<P> {
 
     fn accept_data(&mut self, msg: OrderedMsg<P>) {
         debug_assert!(msg.seq >= 1);
+        if !self.counters_intact() {
+            return;
+        }
+        if msg.seq >= SEQ_CEILING {
+            // The *sender* is poisoned, not us: drop the absurd ordinal
+            // instead of folding it into `high_seen`. The sender's own
+            // engine excommunicates it.
+            return;
+        }
         self.high_seen = self.high_seen.max(msg.seq);
+        self.seq_shadow = !self.high_seen;
         self.store.entry(msg.seq).or_insert(msg);
         while self.store.contains_key(&(self.my_aru + 1)) {
             self.my_aru += 1;
         }
+        self.aru_shadow = !self.my_aru;
     }
 
     /// Handles a received token. Stale tokens (id not exceeding the last
@@ -285,8 +399,21 @@ impl<P: Clone> Ring<P> {
         if tok.config != self.config || tok.token_id <= self.last_token_id {
             return Vec::new();
         }
+        // Self-stabilization guards, before any state mutation. A failed
+        // local check poisons the ring; a poisoned *token* (absurd ordinal
+        // or an impossible receipt gap that would steer the hole-request
+        // loop into ~2^60 iterations) is simply dropped — the resulting
+        // token loss forces reconfiguration, which heals the ring, while
+        // the corrupt holder's own engine excommunicates it.
+        if !self.counters_intact() {
+            return Vec::new();
+        }
+        if tok.seq >= SEQ_CEILING || tok.seq.saturating_sub(self.my_aru) > MAX_HOLE_GAP {
+            return Vec::new();
+        }
         self.last_token_id = tok.token_id;
         self.high_seen = self.high_seen.max(tok.seq);
+        self.seq_shadow = !self.high_seen;
 
         // Fast path for an idle visit: nothing to serve, request, stamp or
         // advance — every step below would be a no-op, so the visit reduces
@@ -527,6 +654,10 @@ impl<P: Clone> Ring<P> {
     /// holds back everything behind it until its ordinal is covered by the
     /// safe line (total order may not be violated to skip it).
     pub fn pop_delivery(&mut self) -> Option<(OrderedMsg<P>, DeliveryClass)> {
+        if self.poisoned {
+            // Never deliver from bookkeeping we can't trust.
+            return None;
+        }
         let next = self.delivered_upto + 1;
         let msg = self.store.get(&next)?;
         let class = match msg.service {
@@ -929,6 +1060,86 @@ mod tests {
         assert_eq!(snap.store.len(), 2);
         assert_eq!(snap.pending.len(), 1);
         assert_eq!(snap.pending[0].0, mid(0, 9));
+    }
+
+    #[test]
+    fn corrupted_aru_poisons_instead_of_delivering() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0)], 4);
+        r.submit(mid(0, 1), Service::Agreed, "ok");
+        assert_eq!(r.pop_delivery().unwrap().0.seq, 1);
+        r.corrupt_my_aru(17);
+        assert!(!r.is_poisoned(), "corruption is latent until the next use");
+        assert!(r.submit(mid(0, 2), Service::Agreed, "never").is_none());
+        assert!(r.is_poisoned(), "check-before-use caught the flip");
+        assert!(r.pop_delivery().is_none(), "poisoned ring stops delivering");
+        assert_eq!(r.pending_len(), 1, "the refused submission parked");
+    }
+
+    #[test]
+    fn corrupted_high_seen_poisons_on_next_use() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        r.corrupt_high_seen(40);
+        r.on_data(OrderedMsg {
+            config: cfg(),
+            seq: 1,
+            id: mid(1, 1),
+            service: Service::Agreed,
+            payload: "m",
+        });
+        assert!(r.is_poisoned());
+        assert_eq!(r.my_aru(), 0, "nothing was folded in");
+    }
+
+    #[test]
+    fn wrapped_seq_refuses_to_stamp_past_the_ceiling() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0)], 4);
+        r.wrap_seq();
+        assert!(r.submit(mid(0, 1), Service::Agreed, "over").is_none());
+        assert!(r.is_poisoned(), "exhaustion reported, never wrapped");
+    }
+
+    #[test]
+    fn absurd_token_seq_is_dropped_without_iterating() {
+        // A corrupted token claiming seq near u64::MAX once steered the
+        // hole-request loop into ~2^60 iterations. It must be dropped
+        // fast, and must NOT poison the healthy receiver.
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        let tok = Token {
+            config: cfg(),
+            token_id: 5,
+            seq: u64::MAX / 2,
+            aru: 0,
+            aru_id: None,
+            rtr: BTreeSet::new(),
+            rotation: 0,
+        };
+        assert!(r.on_token(SimTime::from_ticks(1), tok).is_empty());
+        assert!(!r.is_poisoned(), "the token holder is poisoned, not us");
+        // A sane token afterwards still works.
+        let sane = Token {
+            config: cfg(),
+            token_id: 6,
+            seq: 0,
+            aru: 0,
+            aru_id: None,
+            rtr: BTreeSet::new(),
+            rotation: 0,
+        };
+        assert!(!r.on_token(SimTime::from_ticks(2), sane).is_empty());
+    }
+
+    #[test]
+    fn absurd_data_seq_is_dropped_without_poisoning() {
+        let mut r: Ring<&str> = Ring::new(p(0), cfg(), vec![p(0), p(1)], 4);
+        r.on_data(OrderedMsg {
+            config: cfg(),
+            seq: SEQ_CEILING + 5,
+            id: mid(1, 1),
+            service: Service::Agreed,
+            payload: "junk",
+        });
+        assert!(!r.is_poisoned());
+        assert_eq!(r.high_seen(), 0, "absurd ordinal not folded in");
     }
 
     #[test]

@@ -18,8 +18,24 @@
 //! The record format is `[len: u32 LE][crc32: u32 LE][payload]`. The CRC
 //! covers the payload only; the length field is validated against a hard
 //! ceiling ([`MAX_RECORD`]) so a corrupt length can never trigger an
-//! absurd allocation. Replay accepts the longest clean prefix of the log
-//! and reports how many bytes it had to discard.
+//! absurd allocation. Replay distinguishes the two ways a log can be
+//! damaged:
+//!
+//! * a **torn tail** — a partial final record with nothing valid after it,
+//!   the signature of a `kill -9` mid-write — is truncated away;
+//! * a **mid-log corruption** — a record whose CRC fails but which is
+//!   followed by further valid records, the signature of in-place bit rot —
+//!   is *resynchronized over*: the scan skips forward to the next valid
+//!   frame, keeps everything after the damage, counts the gap
+//!   ([`Scan::gaps`] / [`Replay::corrupt_gaps`]) and rewrites the segment
+//!   so the next replay sees a clean log. Treating bit rot like a torn
+//!   tail would silently discard every record after the flipped bit —
+//!   including id leases and failure marks whose loss breaks Spec 1.4.
+//!
+//! Callers that know the record semantics layer typed validation on top:
+//! a CRC-valid record with an impossible payload (unknown tag, absurd
+//! length) is rejected with a [`ReplayError`] rather than folded or
+//! panicked on — the engine maps it to excommunicate-and-rebuild.
 //!
 //! This crate is deliberately std-only with no dependencies: it sits at
 //! the bottom of the workspace next to `evs-telemetry`, so every layer can
@@ -85,43 +101,163 @@ pub fn encode_record(payload: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(payload);
 }
 
-/// The longest clean prefix of a log buffer, decoded.
-///
-/// Scanning never fails: a truncated header, a length over [`MAX_RECORD`],
-/// a payload shorter than its length field, or a CRC mismatch all simply
-/// end the clean prefix there. `clean_len` is the byte offset of the first
-/// unusable byte — everything before it decoded, everything from it on is
-/// torn or corrupt.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Scan {
-    /// Every fully-validated record payload, in log order.
-    pub records: Vec<Vec<u8>>,
-    /// Length of the clean prefix in bytes.
-    pub clean_len: usize,
+/// A CRC-valid record whose *contents* are impossible, or an unusable
+/// snapshot. CRC framing catches media damage; this type is the layer
+/// above it — the typed rejection for records the persistence schema
+/// cannot have written. The engine never folds such a record: it maps a
+/// `ReplayError` to excommunicate-and-rebuild (fresh incarnation, lease
+/// ceiling skipped past anything the damage could have hidden).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// Record `index` carries a tag no schema version ever wrote.
+    UnknownTag {
+        /// Zero-based position of the record in the replayed sequence.
+        index: usize,
+        /// The first payload byte (the tag) that nothing recognizes.
+        tag: u8,
+    },
+    /// Record `index` has a recognized tag but a payload length that tag
+    /// can never produce.
+    BadLength {
+        /// Zero-based position of the record in the replayed sequence.
+        index: usize,
+        /// The record's tag byte.
+        tag: u8,
+        /// The impossible payload length observed.
+        len: usize,
+    },
+    /// Record `index` is empty — no schema writes a zero-byte record.
+    EmptyRecord {
+        /// Zero-based position of the record in the replayed sequence.
+        index: usize,
+    },
+    /// Record `index` parses structurally but its trailing integrity word
+    /// disagrees with the payload: the *values* were rewritten after the
+    /// record was sealed (post-CRC damage, or a fault injector editing the
+    /// medium underneath the framing layer).
+    ValueDamage {
+        /// Zero-based position of the record in the replayed sequence.
+        index: usize,
+        /// The record's (intact-looking) tag byte.
+        tag: u8,
+    },
+    /// The snapshot blob exists but cannot be decoded.
+    BadSnapshot,
 }
 
-/// Decodes the longest clean prefix of `bytes` as a sequence of framed
-/// records. See [`Scan`] for the torn-tail semantics.
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::UnknownTag { index, tag } => {
+                write!(f, "record {index}: unknown tag 0x{tag:02X}")
+            }
+            ReplayError::BadLength { index, tag, len } => {
+                write!(
+                    f,
+                    "record {index}: tag 0x{tag:02X} with impossible length {len}"
+                )
+            }
+            ReplayError::EmptyRecord { index } => write!(f, "record {index}: empty payload"),
+            ReplayError::ValueDamage { index, tag } => {
+                write!(
+                    f,
+                    "record {index}: tag 0x{tag:02X} fails its integrity word (values rewritten)"
+                )
+            }
+            ReplayError::BadSnapshot => write!(f, "snapshot present but undecodable"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Every valid record a log buffer holds, plus a damage report.
+///
+/// Scanning never fails. A truncated header, a length over [`MAX_RECORD`],
+/// a payload shorter than its length field, or a CRC mismatch marks
+/// damage; the scan then *resynchronizes* — it probes forward for the next
+/// offset holding a valid non-empty frame and keeps decoding from there.
+/// Damage with valid frames after it is a corruption **gap** (in-place bit
+/// rot); damage with nothing valid after it is the **torn tail** of a
+/// `kill -9` mid-write. `clean_len` is the byte offset of the first
+/// damaged byte (or the end of the scan when nothing was damaged), and
+/// `scanned` is where decoding stopped — `scanned < input.len()` means a
+/// torn tail remains.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Scan {
+    /// Every fully-validated record payload, in log order (records after
+    /// a resynchronized gap included).
+    pub records: Vec<Vec<u8>>,
+    /// Length of the clean prefix in bytes (offset of the first damage).
+    pub clean_len: usize,
+    /// Byte offset where decoding stopped; bytes past it are a torn tail.
+    pub scanned: usize,
+    /// Number of mid-log corruption gaps resynchronized over.
+    pub gaps: u64,
+    /// Total bytes skipped inside those gaps.
+    pub gap_bytes: u64,
+}
+
+/// Decodes the frame at `bytes[at..]`, returning its payload and the
+/// offset just past it — or `None` if no valid frame starts there.
+fn frame_at(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
+    if bytes.len().saturating_sub(at) < RECORD_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD || bytes.len() - at - RECORD_HEADER < len {
+        return None;
+    }
+    let payload = &bytes[at + RECORD_HEADER..at + RECORD_HEADER + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((payload, at + RECORD_HEADER + len))
+}
+
+/// Decodes every valid framed record in `bytes`, resynchronizing over
+/// mid-log corruption. See [`Scan`] for the gap / torn-tail semantics.
 pub fn scan_records(bytes: &[u8]) -> Scan {
-    let mut records = Vec::new();
+    let mut scan = Scan::default();
+    let mut first_damage: Option<usize> = None;
     let mut at = 0usize;
-    while bytes.len() - at >= RECORD_HEADER {
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
-        if len > MAX_RECORD || bytes.len() - at - RECORD_HEADER < len {
-            break;
+    while at < bytes.len() {
+        if let Some((payload, next)) = frame_at(bytes, at) {
+            scan.records.push(payload.to_vec());
+            at = next;
+            continue;
         }
-        let payload = &bytes[at + RECORD_HEADER..at + RECORD_HEADER + len];
-        if crc32(payload) != crc {
-            break;
+        // Damage at `at`. Probe forward for the next valid *non-empty*
+        // frame — an empty frame (len 0, CRC 0) is eight zero bytes, far
+        // too easy to find inside garbage to resynchronize on.
+        if first_damage.is_none() {
+            first_damage = Some(at);
         }
-        records.push(payload.to_vec());
-        at += RECORD_HEADER + len;
+        let mut resync = None;
+        let mut probe = at + 1;
+        while probe + RECORD_HEADER <= bytes.len() {
+            if let Some((payload, _)) = frame_at(bytes, probe) {
+                if !payload.is_empty() {
+                    resync = Some(probe);
+                    break;
+                }
+            }
+            probe += 1;
+        }
+        match resync {
+            Some(next) => {
+                scan.gaps += 1;
+                scan.gap_bytes += (next - at) as u64;
+                at = next;
+            }
+            // Nothing valid follows: a torn tail, not a gap.
+            None => break,
+        }
     }
-    Scan {
-        records,
-        clean_len: at,
-    }
+    scan.scanned = at;
+    scan.clean_len = first_damage.unwrap_or(at);
+    scan
 }
 
 /// Everything a [`Storage::replay`] recovered.
@@ -136,8 +272,13 @@ pub struct Replay {
     /// `silent_state_loss` anomaly detector keys on `wal_present` with no
     /// snapshot and zero records: storage existed but nothing replayed.
     pub wal_present: bool,
-    /// Bytes discarded as torn or corrupt (partial tail writes).
+    /// Bytes discarded as torn or corrupt (partial tail writes plus
+    /// resynchronized gap bytes).
     pub torn_bytes: u64,
+    /// Mid-log corruption gaps resynchronized over — in-place bit rot,
+    /// not torn tails. Each gap may have swallowed at most the records
+    /// it covered; the engine widens its id-lease skip accordingly.
+    pub corrupt_gaps: u64,
 }
 
 impl Replay {
@@ -172,6 +313,25 @@ pub trait Storage: Send {
 
     /// Recovers the snapshot and the post-snapshot records.
     fn replay(&mut self) -> io::Result<Replay>;
+
+    /// Fault injection: flip one byte (xor `0xFF`) inside the payload of
+    /// the `record`-th live post-snapshot record (both indices wrap, so
+    /// any seed hits *some* byte). Models in-place media bit rot for the
+    /// chaos corruption vocabulary. Returns `true` if a record existed to
+    /// corrupt. The default is a no-op so ordinary backends are untouched.
+    fn corrupt_record_byte(&mut self, record: u64, offset: u64) -> io::Result<bool> {
+        let _ = (record, offset);
+        Ok(false)
+    }
+
+    /// Fault injection: destroy roughly `bytes` trailing bytes of the
+    /// log, as a crash mid-write would (backends may round to a record
+    /// boundary). Returns the bytes actually invalidated (0 when the log
+    /// is empty). Default is a no-op.
+    fn truncate_tail(&mut self, bytes: u64) -> io::Result<u64> {
+        let _ = bytes;
+        Ok(0)
+    }
 }
 
 /// In-memory [`Storage`]: identical semantics, no I/O.
@@ -214,7 +374,55 @@ impl Storage for NullStorage {
             records: self.records.clone(),
             wal_present: self.snapshot.is_some() || !self.records.is_empty(),
             torn_bytes: 0,
+            corrupt_gaps: 0,
         })
+    }
+
+    fn corrupt_record_byte(&mut self, record: u64, offset: u64) -> io::Result<bool> {
+        // The in-memory store holds bare payloads (no CRC framing), so a
+        // flipped byte surfaces as a semantically-poisoned record at the
+        // persistence layer rather than a CRC gap — the other half of the
+        // corruption space, exercised on the simulator.
+        if self.records.is_empty() {
+            return Ok(false);
+        }
+        let idx = (record % self.records.len() as u64) as usize;
+        let rec = &mut self.records[idx];
+        if rec.is_empty() {
+            return Ok(false);
+        }
+        let at = (offset % rec.len() as u64) as usize;
+        rec[at] ^= 0xFF;
+        Ok(true)
+    }
+
+    fn truncate_tail(&mut self, bytes: u64) -> io::Result<u64> {
+        // Tail rot destroys whole trailing records up to the byte budget.
+        // A destroyed record is not an *absent* one: real media keep a
+        // scar where each frame used to be (zeroed extents, a file that
+        // still exists), so every destroyed record leaves an empty record
+        // behind. Replay then sees evidence rather than a shorter-but-
+        // plausible history: the fold poisons each scar, widens the
+        // id-lease skip past anything the lost records could have leased,
+        // and stops trusting an undead configuration the rot may have
+        // superseded.
+        if bytes == 0 {
+            return Ok(0);
+        }
+        let mut destroyed = 0u64;
+        let mut scars = 0usize;
+        while destroyed < bytes {
+            match self.records.pop() {
+                Some(rec) => {
+                    destroyed += (RECORD_HEADER + rec.len()) as u64;
+                    scars += 1;
+                }
+                None => break,
+            }
+        }
+        let len = self.records.len();
+        self.records.resize(len + scars, Vec::new());
+        Ok(destroyed)
     }
 }
 
@@ -386,21 +594,105 @@ impl Storage for FileStorage {
             File::open(&path)?.read_to_end(&mut bytes)?;
             replay.wal_present = true;
             let scan = scan_records(&bytes);
-            replay.records.extend(scan.records);
-            if scan.clean_len < bytes.len() {
-                // Torn tail: truncate the damage away so the next replay
-                // sees a clean log, and ignore any later segment — it was
-                // written after the corruption and cannot be trusted to
-                // follow a record we discarded.
-                replay.torn_bytes += (bytes.len() - scan.clean_len) as u64;
+            let tail = bytes.len() - scan.scanned;
+            replay.torn_bytes += scan.gap_bytes + tail as u64;
+            replay.corrupt_gaps += scan.gaps;
+            if scan.gaps > 0 {
+                // Mid-segment corruption: self-heal by rewriting the
+                // segment from its valid records (tmp + rename, so a
+                // crash mid-heal leaves the old file intact) — the next
+                // replay sees a clean log and reports no damage.
+                let mut clean = Vec::new();
+                for rec in &scan.records {
+                    encode_record(rec, &mut clean);
+                }
+                let tmp = self.dir.join(format!("wal-{seq}.heal"));
+                let heal = (|| {
+                    let mut file = File::create(&tmp)?;
+                    file.write_all(&clean)?;
+                    file.sync_data()?;
+                    fs::rename(&tmp, &path)
+                })();
+                heal?;
+                self.active = None;
+            } else if tail > 0 {
+                // Torn tail only: truncate the damage away in place so
+                // the next replay sees a clean log.
                 OpenOptions::new()
                     .write(true)
                     .open(&path)?
-                    .set_len(scan.clean_len as u64)?;
+                    .set_len(scan.scanned as u64)?;
+                self.active = None;
+            }
+            replay.records.extend(scan.records);
+            if tail > 0 {
+                // A torn tail means writing stopped mid-record here:
+                // ignore any later segment — it was written after the
+                // damage and cannot be trusted to follow a record we
+                // discarded. (A resynchronized gap does NOT shadow later
+                // segments: the records after it prove writing continued
+                // cleanly; the damage is in-place rot, not a lost write.)
                 break;
             }
         }
         Ok(replay)
+    }
+
+    fn corrupt_record_byte(&mut self, record: u64, offset: u64) -> io::Result<bool> {
+        use std::io::{Seek, SeekFrom};
+        // Count valid frames across segments to find the target record,
+        // then flip one payload byte in place — the CRC header stays, so
+        // the next replay sees a mid-log corruption gap.
+        let mut frames: Vec<(u64, u64, usize)> = Vec::new(); // (seg, payload_pos, len)
+        for seq in segment_seqs(&self.dir)? {
+            let mut bytes = Vec::new();
+            File::open(self.segment_path(seq))?.read_to_end(&mut bytes)?;
+            let mut at = 0usize;
+            while let Some((payload, next)) = frame_at(&bytes, at) {
+                if !payload.is_empty() {
+                    frames.push((seq, (at + RECORD_HEADER) as u64, payload.len()));
+                }
+                at = next;
+            }
+        }
+        if frames.is_empty() {
+            return Ok(false);
+        }
+        let (seq, payload_pos, len) = frames[(record % frames.len() as u64) as usize];
+        let at = payload_pos + offset % len as u64;
+        let path = self.segment_path(seq);
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.seek(SeekFrom::Start(at))?;
+        let mut byte = [0u8; 1];
+        file.read_exact(&mut byte)?;
+        file.seek(SeekFrom::Start(at))?;
+        file.write_all(&[byte[0] ^ 0xFF])?;
+        file.sync_data()?;
+        self.active = None;
+        Ok(true)
+    }
+
+    fn truncate_tail(&mut self, bytes: u64) -> io::Result<u64> {
+        if bytes == 0 {
+            return Ok(0);
+        }
+        // Chop the tail of the last non-empty segment, possibly mid-record
+        // — exactly the shape a crash mid-write leaves behind.
+        for seq in segment_seqs(&self.dir)?.into_iter().rev() {
+            let path = self.segment_path(seq);
+            let len = fs::metadata(&path)?.len();
+            if len == 0 {
+                continue;
+            }
+            let cut = bytes.min(len);
+            OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(len - cut)?;
+            self.active = None;
+            return Ok(cut);
+        }
+        Ok(0)
     }
 }
 
@@ -551,13 +843,14 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_crc_ends_the_clean_prefix() {
+    fn corrupt_record_is_resynchronized_over() {
         let records = recs(6);
         let mut log = Vec::new();
         for r in &records {
             encode_record(r, &mut log);
         }
-        // Flip one payload byte of record 3.
+        // Flip one payload byte of record 3: its CRC fails, but the scan
+        // must resynchronize on record 4 instead of discarding the rest.
         let mut at = 0;
         for r in records.iter().take(3) {
             at += RECORD_HEADER + r.len();
@@ -565,8 +858,124 @@ mod tests {
         let mut bad = log.clone();
         bad[at + RECORD_HEADER] ^= 0xFF;
         let scan = scan_records(&bad);
-        assert_eq!(scan.records, records[..3].to_vec());
+        let mut expect = records[..3].to_vec();
+        expect.extend_from_slice(&records[4..]);
+        assert_eq!(scan.records, expect);
         assert_eq!(scan.clean_len, at);
+        assert_eq!(scan.gaps, 1);
+        assert_eq!(scan.gap_bytes, (RECORD_HEADER + records[3].len()) as u64);
+        assert_eq!(scan.scanned, bad.len());
+    }
+
+    #[test]
+    fn file_storage_self_heals_a_corrupt_segment() {
+        let dir = TempDir::new("heal");
+        let records = recs(6);
+        {
+            let mut s = FileStorage::open(dir.path()).unwrap();
+            for r in &records {
+                s.append(r).unwrap();
+            }
+            s.sync().unwrap();
+        }
+        // Rot one payload byte of record 2 in place.
+        let path = dir.path().join("wal-0.log");
+        let mut bytes = fs::read(&path).unwrap();
+        let mut at = 0;
+        for r in records.iter().take(2) {
+            at += RECORD_HEADER + r.len();
+        }
+        bytes[at + RECORD_HEADER + 1] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut s = FileStorage::open(dir.path()).unwrap();
+        let r = s.replay().unwrap();
+        let mut expect = records[..2].to_vec();
+        expect.extend_from_slice(&records[3..]);
+        assert_eq!(r.records, expect, "records after the gap survive");
+        assert_eq!(r.corrupt_gaps, 1);
+        assert!(r.torn_bytes > 0);
+        // The heal rewrote the segment: a second replay is clean.
+        let again = s.replay().unwrap();
+        assert_eq!(again.records, expect);
+        assert_eq!(again.corrupt_gaps, 0);
+        assert_eq!(again.torn_bytes, 0);
+    }
+
+    #[test]
+    fn gap_does_not_shadow_later_segments() {
+        // In-place rot in a middle segment keeps later segments: the valid
+        // records after the gap prove writing continued cleanly.
+        let dir = TempDir::new("gapshadow");
+        fs::create_dir_all(dir.path()).unwrap();
+        let mut seg0 = Vec::new();
+        encode_record(b"one", &mut seg0);
+        fs::write(dir.path().join("wal-0.log"), &seg0).unwrap();
+        let mut seg1 = Vec::new();
+        encode_record(b"two-a", &mut seg1);
+        let rot_at = RECORD_HEADER; // first payload byte of "two-a"
+        encode_record(b"two-b", &mut seg1);
+        seg1[rot_at] ^= 0xFF;
+        fs::write(dir.path().join("wal-1.log"), &seg1).unwrap();
+        let mut seg2 = Vec::new();
+        encode_record(b"three", &mut seg2);
+        fs::write(dir.path().join("wal-2.log"), &seg2).unwrap();
+
+        let mut s = FileStorage::open(dir.path()).unwrap();
+        let r = s.replay().unwrap();
+        assert_eq!(
+            r.records,
+            vec![b"one".to_vec(), b"two-b".to_vec(), b"three".to_vec()]
+        );
+        assert_eq!(r.corrupt_gaps, 1);
+    }
+
+    #[test]
+    fn file_storage_injection_hooks_corrupt_and_truncate() {
+        let dir = TempDir::new("inject");
+        let records = recs(5);
+        let mut s = FileStorage::open(dir.path()).unwrap();
+        for r in &records {
+            s.append(r).unwrap();
+        }
+        s.sync().unwrap();
+        assert!(s.corrupt_record_byte(2, 3).unwrap());
+        let r = s.replay().unwrap();
+        assert_eq!(r.corrupt_gaps, 1, "flipped byte reads as a gap");
+        assert_eq!(r.records.len(), records.len() - 1);
+        // Heal happened; now tear the tail.
+        let removed = s.truncate_tail(3).unwrap();
+        assert_eq!(removed, 3);
+        let r = s.replay().unwrap();
+        assert_eq!(r.records.len(), records.len() - 2);
+        assert!(r.torn_bytes > 0);
+    }
+
+    #[test]
+    fn null_storage_injection_hooks_corrupt_and_truncate() {
+        let mut s = NullStorage::new();
+        assert!(!s.corrupt_record_byte(0, 0).unwrap());
+        s.append(b"alpha").unwrap();
+        s.append(b"beta").unwrap();
+        assert!(s.corrupt_record_byte(1, 2).unwrap());
+        let r = s.replay().unwrap();
+        assert_eq!(r.records[0], b"alpha");
+        assert_ne!(r.records[1], b"beta", "byte flipped in place");
+        assert_eq!(r.records[1].len(), 4);
+        let removed = s.truncate_tail(1).unwrap();
+        assert!(removed > 0);
+        assert_eq!(
+            s.replay().unwrap().records,
+            vec![b"alpha".to_vec(), Vec::new()],
+            "the destroyed record leaves an empty scar as evidence"
+        );
+        // A budget deep enough for everything wipes the log but keeps one
+        // scar per destroyed record: storage existed, nothing readable.
+        let removed = s.truncate_tail(10_000).unwrap();
+        assert!(removed > 0);
+        let r = s.replay().unwrap();
+        assert!(r.wal_present, "scars keep the medium visibly non-empty");
+        assert!(r.records.iter().all(Vec::is_empty));
     }
 
     #[test]

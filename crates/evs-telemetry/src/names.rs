@@ -90,6 +90,26 @@ pub const SNAPSHOT_WRITES: &str = "snapshot_writes";
 /// ([`StorageRecovered`](crate::TelemetryEvent::StorageRecovered)).
 pub const STORAGE_RECOVERIES: &str = "storage_recoveries";
 
+// ---- self-stabilization: corruption detection and response ----
+
+/// Corruption faults injected into this process (chaos vocabulary).
+pub const CORRUPTIONS_INJECTED: &str = "corruptions_injected";
+/// Corruption detections answered by excommunication: explicit `fail`
+/// plus a fresh-incarnation rejoin (shadow/ceiling/cross-copy checks).
+pub const CORRUPTION_EXCOMMS: &str = "corruption_excomms";
+/// Corruption detections repaired in place (message-id counter restored
+/// from its complement shadow — provably safe, ids skip but never reuse).
+pub const CORRUPTION_REPAIRS: &str = "corruption_repairs";
+/// WAL records lost to in-place damage at replay: CRC gaps resynchronized
+/// over plus CRC-valid records the persistence schema rejected. Each one
+/// widens the recovered id-lease skip.
+pub const WAL_POISONED_RECORDS: &str = "wal_poisoned_records";
+/// Synthetic `fail_p(c)` emissions suppressed at restart because damage
+/// after the last intact install made the owed configuration unknowable —
+/// a fail naming the wrong configuration would break Spec 2.2, a missing
+/// one never does.
+pub const WAL_SUPPRESSED_FAILS: &str = "wal_suppressed_fails";
+
 // ---- evs-sim: the live driver's per-link fault layer ----
 
 /// Packets dropped by a live link's fault policy.

@@ -11,7 +11,9 @@
 //! cargo run --release --example chaos -- --jobs 4           # parallel sweep
 //! cargo run --release --example chaos -- --live --iters 50  # threaded driver
 //! cargo run --release --example chaos -- --hunting --live   # lossy live sweep
+//! cargo run --release --example chaos -- --corruption       # corruption mix
 //! cargo run --release --example chaos -- --replay repro.txt # rerun a file
+//! cargo run --release --example chaos -- --factory --iters 5000 --jobs 8
 //! cargo run --release --features chaos-mutation --example chaos -- --self-test
 //! ```
 //!
@@ -24,12 +26,21 @@
 //! sequential sweep. On failure the plan is delta-debugged down to a minimal
 //! counterexample and written to `chaos-artifacts/chaos-repro-<seed>.txt`;
 //! replay it later with `--replay`. `--kill-chaos` swaps in the durability
-//! mix (process kills with no farewell callback plus WAL restarts). `--self-test` (requires the `chaos-mutation` feature)
+//! mix (process kills with no farewell callback plus WAL restarts);
+//! `--corruption` the self-stabilization mix (counter bit flips, sequence
+//! wrap, configuration desync and WAL rot layered over kill/restart).
+//! `--factory` runs the coverage-accounting soak instead: every failure is
+//! shrunk and persisted under an atomically-rewritten
+//! `chaos-artifacts/index.json`, live-driver runs are mixed in every
+//! `--live-every` plans, and the final report shows which fault kinds,
+//! plan shapes and inspect anomaly detectors the soak exercised
+//! (`--strict-coverage` turns a never-fired fault kind into a nonzero
+//! exit). `--self-test` (requires the `chaos-mutation` feature)
 //! proves the pipeline end to end by hunting a deliberately broken engine.
 
 use evs::chaos::{
-    Campaign, CampaignConfig, CounterExample, FaultPlan, GenConfig, Orchestrator, ScenarioGen,
-    Shrinker,
+    Campaign, CampaignConfig, CounterExample, Factory, FactoryConfig, FaultPlan, GenConfig,
+    Orchestrator, ScenarioGen, Shrinker,
 };
 
 struct Args {
@@ -37,26 +48,40 @@ struct Args {
     iters: u64,
     n: u8,
     gen_cfg: GenConfig,
+    mix_overridden: bool,
     replay: Option<String>,
     self_test: bool,
     keep_going: bool,
     jobs: usize,
     live: bool,
     obs: bool,
+    factory: bool,
+    live_every: u64,
+    strict_coverage: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed S] [--iters K] [--n N] [--mix KIND=WEIGHT]...\n\
-         \x20            [--hunting] [--kill-chaos] [--broker-chaos] [--jobs N] [--live]\n\
-         \x20            [--keep-going] [--obs] [--replay FILE] [--self-test]\n\
+         \x20            [--hunting] [--kill-chaos] [--broker-chaos] [--corruption]\n\
+         \x20            [--jobs N] [--live] [--keep-going] [--obs] [--replay FILE]\n\
+         \x20            [--self-test] [--factory] [--live-every N] [--strict-coverage]\n\
          \n\
          KIND is one of: split merge crash recover kill restart drop delay mcast run\n\
-         \x20             brokerkill brokerreconnect\n\
+         \x20             brokerkill brokerreconnect bitflip seqwrap confdesync\n\
+         \x20             walbyte waltrunc\n\
          --hunting selects the loss-heavy mix (overridden by later --mix flags)\n\
          --kill-chaos selects the durability mix (kill -9 / WAL-restart heavy)\n\
          --broker-chaos selects the client-path mix (broker kill/reconnect replays;\n\
          \x20             simulator only — broker steps have no live driver)\n\
+         --corruption selects the self-stabilization mix (bit flips, sequence wrap,\n\
+         \x20             configuration desync, WAL rot over kill/restart)\n\
+         --factory runs the coverage-accounting soak instead of a campaign: every\n\
+         \x20             failure is shrunk and indexed under chaos-artifacts/index.json,\n\
+         \x20             and the report shows fault-kind / plan-shape / anomaly-detector\n\
+         \x20             coverage (defaults to the full-vocabulary factory mix)\n\
+         --live-every N runs every Nth factory iteration on the live driver\n\
+         --strict-coverage exits nonzero if a generable fault kind never fired\n\
          --obs answers OBS? scrapes while the campaign runs (watch progress\n\
          \x20             live with `cargo run --release --example evs_top`)\n\
          --self-test requires building with --features chaos-mutation (engine bug)\n\
@@ -71,12 +96,16 @@ fn parse_args() -> Args {
         iters: 500,
         n: 4,
         gen_cfg: GenConfig::default(),
+        mix_overridden: false,
         replay: None,
         self_test: false,
         keep_going: false,
         jobs: 1,
         live: false,
         obs: false,
+        factory: false,
+        live_every: 0,
+        strict_coverage: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,12 +130,31 @@ fn parse_args() -> Args {
                     eprintln!("unknown fault kind {kind:?}");
                     usage()
                 }
+                args.mix_overridden = true;
             }
-            "--hunting" => args.gen_cfg.mix = evs::chaos::FaultMix::hunting(),
-            "--kill-chaos" => args.gen_cfg.mix = evs::chaos::FaultMix::kill_chaos(),
-            "--broker-chaos" => args.gen_cfg.mix = evs::chaos::FaultMix::broker_chaos(),
+            "--hunting" => {
+                args.gen_cfg.mix = evs::chaos::FaultMix::hunting();
+                args.mix_overridden = true;
+            }
+            "--kill-chaos" => {
+                args.gen_cfg.mix = evs::chaos::FaultMix::kill_chaos();
+                args.mix_overridden = true;
+            }
+            "--broker-chaos" => {
+                args.gen_cfg.mix = evs::chaos::FaultMix::broker_chaos();
+                args.mix_overridden = true;
+            }
+            "--corruption" => {
+                args.gen_cfg.mix = evs::chaos::FaultMix::corruption();
+                args.mix_overridden = true;
+            }
             "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--live" => args.live = true,
+            "--factory" => args.factory = true,
+            "--live-every" => {
+                args.live_every = value("--live-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--strict-coverage" => args.strict_coverage = true,
             "--obs" => args.obs = true,
             "--replay" => args.replay = Some(value("--replay")),
             "--self-test" => args.self_test = true,
@@ -150,7 +198,7 @@ fn report_counterexample(ce: &CounterExample) {
     write_artifact(ce);
 }
 
-fn replay(path: &str) -> ! {
+fn replay(path: &str, live: bool) -> ! {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2)
@@ -160,12 +208,21 @@ fn replay(path: &str) -> ! {
         std::process::exit(2)
     });
     println!(
-        "replaying {path}: {} process(es), seed {}, {} step(s)",
+        "replaying {path} ({}): {} process(es), seed {}, {} step(s)",
+        if live { "live driver" } else { "simulator" },
         plan.n,
         plan.seed,
         plan.steps.len()
     );
-    let outcome = Orchestrator::default().run_sim(&plan);
+    let orch = Orchestrator::default();
+    let outcome = if live {
+        orch.run_live(&plan).unwrap_or_else(|e| {
+            eprintln!("plan not runnable on the live driver: {e}");
+            std::process::exit(2)
+        })
+    } else {
+        orch.run_sim(&plan)
+    };
     print!("{}", outcome.report.to_text());
     match outcome.failure {
         None => {
@@ -255,10 +312,74 @@ fn self_test(args: &Args) -> ! {
     }
 }
 
+fn factory(args: &Args) -> ! {
+    let mut gen_cfg = args.gen_cfg.clone();
+    if !args.mix_overridden {
+        // The factory's job is coverage; default to the one mix that can
+        // generate the entire step vocabulary.
+        gen_cfg.mix = evs::chaos::FaultMix::factory();
+    }
+    let live_every = match (args.live_every, args.live) {
+        (0, true) => 64, // --live without a cadence: sprinkle live runs in
+        (n, _) => n,
+    };
+    println!(
+        "== chaos factory: {} seed(s) from {:#x}, {} process(es), {} job(s), live every {} ==",
+        args.iters,
+        args.seed,
+        args.n,
+        args.jobs.max(1),
+        if live_every == 0 {
+            "never".to_string()
+        } else {
+            format!("{live_every} plan(s)")
+        }
+    );
+    let factory = Factory::new(
+        ScenarioGen::new(gen_cfg),
+        // Telemetry stays attached: detector coverage reads each run's
+        // flight-recorder dumps.
+        Orchestrator::default(),
+        Shrinker::default(),
+        FactoryConfig {
+            jobs: args.jobs,
+            live_every,
+            ..FactoryConfig::default()
+        },
+    );
+    let report = factory.run(args.seed, args.iters);
+    print!("{}", report.to_text());
+    match factory.persist(&report) {
+        Ok(path) => println!("  corpus index written to {}", path.display()),
+        Err(e) => {
+            eprintln!("could not persist the corpus index: {e}");
+            std::process::exit(1)
+        }
+    }
+    let mut bad = false;
+    for ce in &report.counterexamples {
+        report_counterexample(ce);
+        bad = true;
+    }
+    if args.strict_coverage {
+        let never = report.coverage.never_fired_kinds(&report.expected_kinds);
+        if never.is_empty() {
+            println!("strict coverage: every generable fault kind fired ✓");
+        } else {
+            eprintln!(
+                "strict coverage FAILED: fault kind(s) never fired: {}",
+                never.join(", ")
+            );
+            bad = true;
+        }
+    }
+    std::process::exit(if bad { 1 } else { 0 })
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.replay {
-        replay(path);
+        replay(path, args.live);
     }
     if args.self_test {
         self_test(&args);
@@ -268,6 +389,9 @@ fn main() {
         // nothing about the protocol; require the explicit self-test mode.
         eprintln!("built with a planted mutation: only --self-test and --replay make sense");
         std::process::exit(2)
+    }
+    if args.factory {
+        factory(&args);
     }
 
     println!(
