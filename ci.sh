@@ -10,6 +10,7 @@
 #   ./ci.sh kill-recovery     # just the kill -9 / WAL-recovery smoke
 #   ./ci.sh obs-smoke         # just the OBS? scrape-plane smoke
 #   ./ci.sh corruption-smoke  # just the corruption-mix conformance smoke
+#   ./ci.sh event-smoke       # just the event-driven-core gate
 #   CHAOS_ITERS=50000 ./ci.sh # standard gate + long chaos soak
 #   CHAOS_FACTORY_ITERS=5000 ./ci.sh # standard gate + chaos-factory soak
 #                             # (strict: a never-fired fault kind fails it)
@@ -122,8 +123,23 @@ if [ "${1:-}" = "obs-smoke" ]; then
     exit 0
 fi
 
+event_smoke() {
+    echo "== event smoke (live workers park, live/sim gap within committed bound) =="
+    # Asserts the live drivers really are event-driven: near-zero
+    # legacy busy-sleep (idle_ppm), time off-CPU attributed to
+    # Phase::Park, and the live-vs-sim throughput ratio within 3x of
+    # the sim_gap_x committed in BENCH_throughput.json.
+    cargo run -q --release --offline -p evs-bench --bin bench_throughput -- \
+        --event-smoke
+}
+
 if [ "${1:-}" = "corruption-smoke" ]; then
     corruption_smoke
+    exit 0
+fi
+
+if [ "${1:-}" = "event-smoke" ]; then
+    event_smoke
     exit 0
 fi
 
@@ -172,6 +188,8 @@ cargo run -q --release --offline -p evs-bench --bin bench_throughput -- --smoke
 
 echo "== bench clients smoke (sanity vs BENCH_clients.json) =="
 cargo run -q --release --offline -p evs-bench --bin bench_clients -- --smoke
+
+event_smoke
 
 if [ -n "${CHAOS_ITERS:-}" ]; then
     echo "== chaos: long soak (CHAOS_ITERS=${CHAOS_ITERS}) =="

@@ -7,6 +7,7 @@
 //! cargo run --release -p evs-bench --bin bench_throughput               # stdout
 //! cargo run --release -p evs-bench --bin bench_throughput -- out.json  # to file
 //! cargo run --release -p evs-bench --bin bench_throughput -- --smoke   # CI gate
+//! cargo run --release -p evs-bench --bin bench_throughput -- --event-smoke
 //! BENCH_THROUGHPUT_ITERS=4096 cargo run ... --bin bench_throughput     # soak
 //! ```
 //!
@@ -58,34 +59,30 @@ fn print_table(results: &[Measurement]) {
     }
 }
 
-/// Explains the live-vs-sim throughput gap with measured phase time: the
-/// live workers' idle share (tick sleep / receive timeout) bounds how much
-/// of the gap a purely event-driven transport could recover.
+/// Explains the live-vs-sim throughput gap with measured phase time: how
+/// much of the live loop is parked on event waits (healthy kernel sleep)
+/// versus legacy fixed-tick busy-sleep, plus the gap multiple the
+/// `--event-smoke` gate bounds.
 fn explain_live_gap(results: &[Measurement]) {
     for m in results.iter().filter(|m| m.live) {
         let Some(ph) = &m.phases else { continue };
-        let sim_scenario = m.scenario.replace("/live/", "/sim/");
-        let Some(sim) = results.iter().find(|s| s.scenario == sim_scenario) else {
+        let Some(gap) = throughput::sim_gap(results, m) else {
             continue;
         };
-        let idle = (ph.idle_ppm as f64 / 1e6).min(0.999_999);
-        // If the workers were never parked, the same busy time would
-        // sustain rate / (1 - idle) — the event-driven ceiling.
-        let ceiling = m.msgs_per_sec / (1.0 - idle);
-        let gap = (sim.msgs_per_sec - m.msgs_per_sec).max(1.0);
-        let explained = ((ceiling - m.msgs_per_sec) / gap * 100.0).clamp(0.0, 100.0);
+        let sim_scenario = m.scenario.replace("/live/", "/sim/");
+        let sim = results
+            .iter()
+            .find(|s| s.scenario == sim_scenario)
+            .expect("sim_gap found the counterpart");
         eprintln!(
-            "bench-throughput: {}: {:.0} msgs/sec live vs {:.0} sim ({:.0}x gap); workers \
-             idle {:.1}% of loop time ({} µs tick), event-driven ceiling ≈ {:.0} msgs/sec — \
-             the tick sleep accounts for {:.0}% of the gap",
+            "bench-throughput: {}: {:.0} msgs/sec live vs {:.0} sim ({:.1}x gap); workers \
+             parked {:.1}% of loop time on event waits, legacy tick busy-sleep {:.1}%",
             m.scenario,
             m.msgs_per_sec,
             sim.msgs_per_sec,
-            sim.msgs_per_sec / m.msgs_per_sec.max(1.0),
-            idle * 100.0,
-            TICK_MICROS,
-            ceiling,
-            explained
+            gap,
+            ph.parked_ppm as f64 / 1e4,
+            ph.idle_ppm as f64 / 1e4,
         );
     }
 }
@@ -157,6 +154,95 @@ fn check_key_families(text: &str) {
     }
 }
 
+/// `--event-smoke` fails when the measured live-vs-sim throughput gap
+/// exceeds the committed `sim_gap_x` times this allowance. The gap is a
+/// *ratio* of two rates measured on the same machine in the same
+/// process, so it is far more stable across hardware than the raw rates
+/// — the allowance covers scheduler noise, not architecture drift.
+const GAP_ALLOWANCE: f64 = 3.0;
+
+/// `--event-smoke` fails when more than this share (ppm) of live loop
+/// time was burnt in the legacy fixed-tick busy-sleep phase
+/// (`Phase::Idle`). The event-driven workers park with a computed
+/// deadline (`Phase::Park`) instead; any Idle time at all means a
+/// tick-poll loop crept back in.
+const MAX_LEGACY_IDLE_PPM: u64 = 10_000;
+
+/// Reads `scenario -> sim_gap_x` out of a committed throughput file.
+fn committed_gap(text: &str, scenario: &str) -> Option<f64> {
+    let value = json::parse(text).ok()?;
+    for entry in value.as_array()? {
+        let obj = entry.as_object()?;
+        if obj.get("scenario").and_then(Value::as_str) == Some(scenario) {
+            return obj.get("sim_gap_x").and_then(Value::as_f64);
+        }
+    }
+    None
+}
+
+/// The `--event-smoke` CI gate: asserts the event-driven live loop holds
+/// its two committed promises — no busy-sleep (parked time replaced the
+/// tick sleep) and a live-vs-sim throughput gap within the committed
+/// bound.
+fn event_smoke_gate(results: &[Measurement]) {
+    let committed = std::fs::read_to_string("BENCH_throughput.json").ok();
+    let mut checked = 0;
+    for m in results.iter().filter(|m| m.live) {
+        let Some(ph) = &m.phases else {
+            eprintln!("bench-throughput: {} has no phase attribution", m.scenario);
+            std::process::exit(1);
+        };
+        if ph.idle_ppm > MAX_LEGACY_IDLE_PPM {
+            eprintln!(
+                "bench-throughput: {}: {} ppm of live loop time in the legacy tick \
+                 busy-sleep phase (budget {} ppm) — the event-driven park regressed \
+                 to polling",
+                m.scenario, ph.idle_ppm, MAX_LEGACY_IDLE_PPM
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench-throughput: {}: parked {:.1}% of loop time, legacy busy-sleep \
+             {:.1}% (budget {:.1}%)",
+            m.scenario,
+            ph.parked_ppm as f64 / 1e4,
+            ph.idle_ppm as f64 / 1e4,
+            MAX_LEGACY_IDLE_PPM as f64 / 1e4
+        );
+        checked += 1;
+        let Some(gap) = throughput::sim_gap(results, m) else {
+            continue;
+        };
+        let Some(bound) = committed
+            .as_deref()
+            .and_then(|text| committed_gap(text, &m.scenario))
+        else {
+            eprintln!(
+                "bench-throughput: {}: no committed sim_gap_x to gate against \
+                 (run ./ci.sh bench-throughput to regenerate)",
+                m.scenario
+            );
+            continue;
+        };
+        let allowed = bound * GAP_ALLOWANCE;
+        if gap > allowed {
+            eprintln!(
+                "bench-throughput: {}: live-vs-sim gap {:.1}x exceeds the committed \
+                 bound {:.1}x (allowed {:.1}x = committed × {GAP_ALLOWANCE}) — the \
+                 event-driven live path lost its throughput",
+                m.scenario, gap, bound, allowed
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench-throughput: {}: live-vs-sim gap {:.1}x within the committed \
+             {:.1}x bound (allowed {:.1}x)",
+            m.scenario, gap, bound, allowed
+        );
+    }
+    assert!(checked > 0, "event-smoke ran no live scenario");
+}
+
 fn smoke_gate(results: &[Measurement]) {
     let Ok(text) = std::fs::read_to_string("BENCH_throughput.json") else {
         eprintln!("bench-throughput: no committed BENCH_throughput.json; nothing to gate against");
@@ -184,12 +270,27 @@ fn smoke_gate(results: &[Measurement]) {
 
 fn main() {
     let mut smoke = false;
+    let mut event_smoke = false;
     let mut out_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--event-smoke" => event_smoke = true,
             other => out_path = Some(other.to_string()),
         }
+    }
+    if event_smoke {
+        // Enough live load that the rate (and the parked share) is
+        // measured under a genuinely loaded ring, but small enough for
+        // the standard CI gate.
+        let results = vec![
+            throughput::run_sim(3, 512, Service::Agreed),
+            throughput::run_live(3, 512, Service::Agreed),
+        ];
+        print_table(&results);
+        explain_live_gap(&results);
+        event_smoke_gate(&results);
+        return;
     }
     let results = if smoke {
         // A reduced set, sized for the standard CI gate.

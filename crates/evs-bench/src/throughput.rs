@@ -33,8 +33,11 @@ pub const PAYLOAD_BYTES: usize = 256;
 /// Default messages per simulator scenario — enough load that a run takes
 /// tens of milliseconds, large against scheduler jitter.
 pub const SIM_MESSAGES: u64 = 2048;
-/// Default messages per live-driver scenario (real time is expensive).
-pub const LIVE_MESSAGES: u64 = 256;
+/// Default messages per live-driver scenario. Raised 256 → 2048 with the
+/// event-driven LiveNet core: a loaded ring now moves the token as fast
+/// as the threads can relay it, so a 2048-message pump still finishes in
+/// tens of milliseconds while giving the rate measurement real load.
+pub const LIVE_MESSAGES: u64 = 2048;
 /// Repeats per scenario in [`run_all`]; the best rate is kept, the
 /// standard defence against one-off scheduler noise.
 pub const REPEATS: usize = 5;
@@ -45,8 +48,16 @@ pub const ITERS_ENV: &str = "BENCH_THROUGHPUT_ITERS";
 /// Aggregated phase-clock attribution from one live scenario's workers.
 #[derive(Clone, Copy, Debug)]
 pub struct PhaseSummary {
-    /// Share of attributed loop time the workers spent parked (the tick
-    /// sleep / receive timeout), in parts per million.
+    /// Share of attributed loop time the workers spent deliberately
+    /// parked on an event wait with a computed protocol deadline
+    /// ([`Phase::Park`]), in parts per million. High is *good* on an
+    /// idle ring: the workers sleep in the kernel instead of spinning.
+    pub parked_ppm: u64,
+    /// Share of attributed loop time burnt in the legacy fixed-tick
+    /// busy-sleep ([`Phase::Idle`]), in parts per million. The
+    /// event-driven loops never mark this phase; the event-smoke gate
+    /// asserts it stays ~0 so a tick-poll regression cannot land
+    /// silently.
     pub idle_ppm: u64,
     /// Total nanoseconds attributed across all phases and workers.
     pub attributed_ns: u64,
@@ -88,10 +99,18 @@ impl Measurement {
     /// Simulator rows keep tick-unit latency keys (`latency_p50_ticks`):
     /// simulated ticks are exact and machine-independent. Live rows
     /// report real time (`latency_p50_us`, one tick = [`TICK_MICROS`] µs)
-    /// plus `tick_sleep_ppm`, the workers' measured idle share — the
-    /// number that quantifies how much of the live-vs-sim gap is the
-    /// fixed tick sleep.
+    /// plus `parked_ppm`, the workers' measured share of time parked on
+    /// an event wait — under the event-driven loop this replaces the old
+    /// `tick_sleep_ppm` busy-sleep share, and it quantifies how much
+    /// kernel sleep (healthy idleness) remains in the live run.
     pub fn to_json(&self) -> String {
+        self.to_json_with_gap(None)
+    }
+
+    /// Like [`Measurement::to_json`], with an optional `sim_gap_x` field
+    /// for live rows: the sim-vs-live rate ratio against the matching
+    /// simulator scenario, the number the `event-smoke` CI gate bounds.
+    pub fn to_json_with_gap(&self, sim_gap_x: Option<f64>) -> String {
         let mut out = String::from("{\"scenario\":");
         evs_telemetry::report::push_json_string(&mut out, &self.scenario);
         out.push_str(&format!(
@@ -108,7 +127,12 @@ impl Measurement {
                 (self.mean_ticks * TICK_MICROS as f64).round() as u64,
             ));
             if let Some(ph) = &self.phases {
-                out.push_str(&format!(",\"tick_sleep_ppm\":{}", ph.idle_ppm));
+                out.push_str(&format!(",\"parked_ppm\":{}", ph.parked_ppm));
+            }
+            if let Some(gap) = sim_gap_x {
+                // One decimal is plenty: the gate multiplies by a
+                // generous allowance anyway.
+                out.push_str(&format!(",\"sim_gap_x\":{:.1}", gap));
             }
         } else {
             out.push_str(&format!(
@@ -123,9 +147,27 @@ impl Measurement {
     }
 }
 
-/// Serializes measurements as the `BENCH_throughput.json` array.
+/// The sim-vs-live rate ratio for a live measurement, against the
+/// matching simulator scenario in the same result set (`/live/` swapped
+/// for `/sim/`). `None` for sim rows or when no counterpart ran.
+pub fn sim_gap(results: &[Measurement], m: &Measurement) -> Option<f64> {
+    if !m.live {
+        return None;
+    }
+    let sim_scenario = m.scenario.replace("/live/", "/sim/");
+    let sim = results.iter().find(|s| s.scenario == sim_scenario)?;
+    Some(sim.msgs_per_sec / m.msgs_per_sec.max(1e-9))
+}
+
+/// Serializes measurements as the `BENCH_throughput.json` array. Live
+/// rows whose simulator counterpart is present gain a `sim_gap_x` field
+/// (sim rate ÷ live rate) — the committed bound the `event-smoke` gate
+/// compares fresh runs against.
 pub fn results_json(results: &[Measurement]) -> String {
-    let lines: Vec<String> = results.iter().map(Measurement::to_json).collect();
+    let lines: Vec<String> = results
+        .iter()
+        .map(|m| m.to_json_with_gap(sim_gap(results, m)))
+        .collect();
     format!("[\n{}\n]\n", lines.join(",\n"))
 }
 
@@ -162,6 +204,7 @@ pub(crate) fn merged_histogram(handles: &[Telemetry], name: &str) -> Option<Hist
 /// Returns `None` when no phase time was attributed (detached telemetry
 /// or an uninstrumented driver).
 pub(crate) fn phase_summary(handles: &[Telemetry]) -> Option<PhaseSummary> {
+    let mut parked = 0u64;
     let mut idle = 0u64;
     let mut total = 0u64;
     let mut marks = 0u64;
@@ -170,8 +213,10 @@ pub(crate) fn phase_summary(handles: &[Telemetry]) -> Option<PhaseSummary> {
         for p in Phase::ALL {
             let ns = report.counters.get(p.counter_name()).copied().unwrap_or(0);
             total += ns;
-            if p == Phase::Idle {
-                idle += ns;
+            match p {
+                Phase::Park => parked += ns,
+                Phase::Idle => idle += ns,
+                _ => {}
             }
         }
         marks += report
@@ -181,6 +226,7 @@ pub(crate) fn phase_summary(handles: &[Telemetry]) -> Option<PhaseSummary> {
             .unwrap_or(0);
     }
     (total > 0).then_some(PhaseSummary {
+        parked_ppm: parked.saturating_mul(1_000_000) / total,
         idle_ppm: idle.saturating_mul(1_000_000) / total,
         attributed_ns: total,
         marks,
@@ -367,18 +413,51 @@ mod tests {
             mean_ticks: 33.0,
             live: true,
             phases: Some(PhaseSummary {
-                idle_ppm: 900_000,
+                parked_ppm: 900_000,
+                idle_ppm: 0,
                 attributed_ns: 1_000_000,
                 marks: 10,
             }),
         };
-        let json = m.to_json();
+        let json = m.to_json_with_gap(Some(2.04));
         assert!(json.contains(&format!("\"latency_p50_us\":{}", 32 * TICK_MICROS)));
         assert!(json.contains(&format!("\"latency_p99_us\":{}", 64 * TICK_MICROS)));
-        assert!(json.contains("\"tick_sleep_ppm\":900000"));
+        assert!(json.contains("\"parked_ppm\":900000"));
+        assert!(json.contains("\"sim_gap_x\":2.0"));
         assert!(
             !json.contains("ticks"),
             "live rows must not use tick units: {json}"
         );
+    }
+
+    #[test]
+    fn sim_gap_pairs_live_rows_with_their_sim_counterpart() {
+        let sim = Measurement {
+            scenario: "throughput/sim/n3/agreed".into(),
+            messages: 64,
+            wall_secs: 1.0,
+            msgs_per_sec: 200_000.0,
+            p50_ticks: 3,
+            p99_ticks: 5,
+            mean_ticks: 3.0,
+            live: false,
+            phases: None,
+        };
+        let live = Measurement {
+            scenario: "throughput/live/n3/agreed".into(),
+            messages: 64,
+            wall_secs: 1.0,
+            msgs_per_sec: 100_000.0,
+            p50_ticks: 3,
+            p99_ticks: 5,
+            mean_ticks: 3.0,
+            live: true,
+            phases: None,
+        };
+        let all = vec![sim.clone(), live.clone()];
+        assert_eq!(sim_gap(&all, &live), Some(2.0));
+        assert_eq!(sim_gap(&all, &sim), None);
+        let json = results_json(&all);
+        assert!(json.contains("\"sim_gap_x\":2.0"), "{json}");
     }
 }

@@ -43,7 +43,7 @@ use crate::recovery::{
 use crate::{Configuration, Delivery, EvsEvent, EvsParams};
 use evs_membership::{ConfigId, MembMsg, MembOut, Membership, ProposedConfig};
 use evs_order::{MessageId, OrderedMsg, Ring, RingMsg, RingOut, RingSnapshot, Service};
-use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerKind};
+use evs_sim::{Ctx, Node, ProcessId, SimTime, TimerId, TimerKind};
 use evs_store::{NullStorage, Replay, ReplayError, Storage};
 use evs_telemetry::{names, Counter, Histogram, LogHistogram, Telemetry, TelemetryEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
@@ -246,6 +246,17 @@ pub struct EvsProcess<P> {
     /// A token waiting out its pacing delay before being forwarded
     /// (§3/Totem: the token is paced so an idle ring does not spin).
     pending_token: Option<(ProcessId, evs_order::Token)>,
+    /// The armed maintenance timer: the deadline it fires at and its id.
+    /// The engine re-arms it to the *earliest* pending protocol deadline
+    /// (heartbeat, suspicion expiry, token retransmission, token loss,
+    /// recovery resend/stall) after every callback, so an event-driven
+    /// driver parks exactly until work is due instead of polling a fixed
+    /// tick. An armed timer is only ever replaced by an earlier one;
+    /// firing early is harmless ([`EvsProcess::settle_tick`] no-ops).
+    tick_armed: Option<(SimTime, TimerId)>,
+    /// Set when a replay refused to start this process (see
+    /// [`EvsProcess::start_refused`]); every callback is inert while set.
+    refused: Option<ReplayError>,
     /// Adopted from the driver's `Ctx` at `on_start`; detached until then.
     telemetry: Telemetry,
     /// Origination instants of this process's own in-flight messages, so
@@ -348,6 +359,8 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
             last_token_seen: SimTime::ZERO,
             sent_log: HashSet::new(),
             pending_token: None,
+            tick_armed: None,
+            refused: None,
             telemetry: Telemetry::disabled(),
             origin_times: HashMap::new(),
             lat_causal: Histogram::detached(),
@@ -387,6 +400,19 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     /// and classified*, never silently folded into state.
     pub fn last_replay_poison(&self) -> Option<ReplayError> {
         self.last_replay_poison
+    }
+
+    /// Why this process refused to start, if its stable-storage replay
+    /// found damage that left *no* safe message-id bound: an undecodable
+    /// snapshot with zero surviving post-snapshot leases. Every counter the
+    /// dead incarnation leased may be hidden inside the unreadable
+    /// snapshot, so no finite skip provably avoids id reuse (Spec 1.4) —
+    /// the only safe answer is to stay down. A refused engine is inert:
+    /// it emits nothing, joins nothing, allocates no ids, and ignores
+    /// every message, timer and submission until an operator clears or
+    /// replaces the damaged store.
+    pub fn start_refused(&self) -> Option<ReplayError> {
+        self.refused
     }
 
     /// Appends one record to the write-ahead log. Best effort: an I/O
@@ -530,6 +556,11 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     /// into the new configuration's total order, per Step 2 of the
     /// recovery algorithm.
     pub fn submit(&mut self, ctx: &mut ECtx<'_, P>, service: Service, payload: P) {
+        if self.refused.is_some() {
+            // A refused engine has no safe message-id bound to allocate
+            // from; submissions are dropped, not buffered.
+            return;
+        }
         if self.frozen || matches!(self.mode, Mode::Recovery(_)) {
             self.app_buffer.push_back((service, payload));
             return;
@@ -758,17 +789,33 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         // data messages into one frame; the token (paced separately below)
         // still leaves after the data it refers to.
         let mut batch: Vec<OrderedMsg<P>> = Vec::new();
+        let mut sent_data = false;
         for out in outs {
             match out {
                 RingOut::Data(msg) => {
                     self.log_send(ctx, &msg);
                     batch.push(msg);
+                    sent_data = true;
                 }
                 RingOut::TokenTo(to, tok) => {
                     self.flush_data_batch(ctx, &mut batch);
-                    // Pace the token: hold it briefly before forwarding.
-                    self.pending_token = Some((to, tok));
-                    ctx.set_timer(self.params.token_pace, TOKEN_SEND);
+                    // A loaded ring is rotation-bound: every pacing delay
+                    // multiplies straight into delivery latency, so a visit
+                    // that moved data (or left work queued) forwards the
+                    // token right behind the data it refers to. Pacing is
+                    // only what keeps an *idle* ring from spinning at CPU
+                    // speed, so idle visits still hold the token briefly.
+                    let busy = !self.params.legacy_tick_poll
+                        && (sent_data
+                            || matches!(&self.mode, Mode::Regular { ring } if ring.pending_len() > 0));
+                    if busy {
+                        self.pending_token = None;
+                        ctx.unicast(to, EvsMsg::Ring(RingMsg::Token(tok)));
+                    } else {
+                        // Pace the token: hold it briefly before forwarding.
+                        self.pending_token = Some((to, tok));
+                        ctx.set_timer(self.params.token_pace, TOKEN_SEND);
+                    }
                 }
             }
         }
@@ -1248,6 +1295,59 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         poisoned
     }
 
+    /// The earliest instant at which [`EvsProcess::settle_tick`] has real
+    /// work scheduled: the membership's next deadline (heartbeat, suspicion
+    /// expiry, gather/commit timeouts), the ring's next token
+    /// retransmission, Totem's token-loss timeout, and the recovery
+    /// resend/stall timeouts. Clamped to at most one `token_loss` window as
+    /// a backstop — a deadline source this function missed can cost one
+    /// late window, never a wedge.
+    fn next_tick_deadline(&self, now: SimTime) -> SimTime {
+        if self.params.legacy_tick_poll {
+            return now + self.params.tick_interval;
+        }
+        let mut d = self.membership.next_deadline(now);
+        match &self.mode {
+            Mode::Regular { ring } => {
+                if let Some(at) =
+                    ring.next_retx_at(self.params.token_retx, self.params.token_retx_max)
+                {
+                    d = d.min(at);
+                }
+                if !ring.is_singleton() && self.membership.is_stable() {
+                    d = d.min(self.last_token_seen + (self.params.token_loss + 1));
+                }
+            }
+            Mode::Recovery(rec) => {
+                d = d.min(rec.last_resend + self.params.recovery_resend);
+                if self.membership.is_stable() {
+                    d = d.min(rec.last_progress + (self.params.recovery_stall + 1));
+                }
+            }
+        }
+        d.clamp(now + 1, now + self.params.token_loss.max(1))
+    }
+
+    /// Re-arms the maintenance timer at the earliest pending deadline.
+    /// Called at the end of every callback that can move a deadline. An
+    /// armed timer is kept when it already fires at or before the new
+    /// deadline (it fires early, `settle_tick` no-ops, and this re-arms);
+    /// it is cancelled and replaced when a nearer deadline appeared.
+    fn rearm_tick(&mut self, ctx: &mut ECtx<'_, P>) {
+        let now = ctx.now();
+        let want = self.next_tick_deadline(now);
+        match self.tick_armed {
+            Some((at, _)) if at <= want => {}
+            prior => {
+                if let Some((_, id)) = prior {
+                    ctx.cancel_timer(id);
+                }
+                let id = ctx.set_timer(want.since(now), TICK);
+                self.tick_armed = Some((want, id));
+            }
+        }
+    }
+
     fn settle_tick(&mut self, ctx: &mut ECtx<'_, P>) {
         if self.corruption_check(ctx) {
             return;
@@ -1346,7 +1446,8 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
         let cfg = Configuration::from(initial);
         self.deliver_conf(ctx, cfg);
         self.last_token_seen = ctx.now();
-        ctx.set_timer(self.params.tick_interval, TICK);
+        self.tick_armed = None;
+        self.rearm_tick(ctx);
     }
 
     /// Rebuilds the engine from a non-empty stable-storage replay: the
@@ -1355,7 +1456,11 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
     fn restart_from_wal(&mut self, ctx: &mut ECtx<'_, P>, replay: Replay) {
         let had_snapshot = replay.snapshot.is_some();
         let corrupt_gaps = replay.corrupt_gaps;
-        let rec = crate::persist::fold(replay.snapshot.as_deref(), &replay.records);
+        let rec = crate::persist::fold(
+            replay.snapshot.as_deref(),
+            &replay.records,
+            &replay.gap_positions,
+        );
         self.last_replay_poison = rec.poison;
         self.telemetry
             .counter(names::WAL_REPLAY_RECORDS)
@@ -1368,17 +1473,30 @@ impl<P: Clone + fmt::Debug + 'static> EvsProcess<P> {
                 wal: replay.wal_present,
             },
         );
+        if rec.poison == Some(ReplayError::BadSnapshot) && !rec.counter_bounded {
+            // An undecodable snapshot with zero surviving post-snapshot
+            // leases: every id the dead incarnation ever leased may be
+            // hidden inside the unreadable snapshot, so no skip distance is
+            // provably past it. Reusing an id would break Spec 1.4, so the
+            // process refuses to start instead (see
+            // [`EvsProcess::start_refused`]).
+            self.refused = Some(ReplayError::BadSnapshot);
+            self.telemetry.counter(names::WAL_REFUSED_STARTS).inc();
+            return;
+        }
         if let Some(undead) = rec.undead {
             // The dead incarnation was killed without recording its
             // failure; emit the fail_p(c) it owes so the trace stays a
             // legal EVS history (Spec 5/6: a configuration a process left
             // without a failure would otherwise still claim it). But only
-            // when the log vouches for it: damage after the last intact
-            // install (a poisoned record, or a CRC gap whose position is
-            // unknowable) may hide a newer install or the retiring fail
-            // mark. Spec 2.2 forgives a missing fail, never a fail naming
-            // the wrong configuration, so a suspect undead is dropped.
-            if rec.undead_suspect || corrupt_gaps > 0 {
+            // when the log vouches for it: damage positioned *after* the
+            // last intact install — a poisoned record, a rot scar, or a
+            // CRC gap whose scan position follows the install — may hide a
+            // newer install or the retiring fail mark. Spec 2.2 forgives a
+            // missing fail, never a fail naming the wrong configuration,
+            // so a suspect undead is dropped; damage the positional fold
+            // proved *precedes* the install no longer costs the fail.
+            if rec.undead_suspect {
                 self.telemetry.counter(names::WAL_SUPPRESSED_FAILS).inc();
             } else {
                 ctx.emit(EvsEvent::Fail { config: undead });
@@ -1455,10 +1573,14 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         // Deliver the initial singleton configuration to the application.
         let initial = self.current_config.clone();
         self.deliver_conf(ctx, initial);
-        ctx.set_timer(self.params.tick_interval, TICK);
+        self.tick_armed = None;
+        self.rearm_tick(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut ECtx<'_, P>, from: ProcessId, msg: EvsMsg<P>) {
+        if self.refused.is_some() {
+            return;
+        }
         match msg {
             EvsMsg::Memb(m) => {
                 let now = ctx.now();
@@ -1498,9 +1620,17 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
                 }
             }
         }
+        // A message can move every deadline the maintenance timer waits on
+        // (a token forward arms retransmission, a heartbeat reschedules
+        // suspicion, recovery progress resets the stall window), so the
+        // timer is re-armed at the new earliest one.
+        self.rearm_tick(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut ECtx<'_, P>, kind: TimerKind) {
+        if self.refused.is_some() {
+            return;
+        }
         match kind {
             TOKEN_SEND => {
                 if let Some((to, tok)) = self.pending_token.take() {
@@ -1517,13 +1647,22 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
             }
             _ => {
                 debug_assert_eq!(kind, TICK);
+                self.tick_armed = None;
                 self.settle_tick(ctx);
-                ctx.set_timer(self.params.tick_interval, TICK);
+                self.rearm_tick(ctx);
             }
         }
     }
 
     fn on_crash(&mut self, ctx: &mut ECtx<'_, P>) {
+        // The driver discards every armed timer with the crash.
+        self.tick_armed = None;
+        if self.refused.is_some() {
+            // A refused process never installed anything this incarnation,
+            // so it owes no fail_p(c) and must not overwrite the damaged
+            // log's counters with its own zeros.
+            return;
+        }
         // The paper's fail_p(c): record the failure in the configuration we
         // were a member of, and persist the crash-surviving counters. The
         // id goes through the shadow check — a crash can land between a
@@ -1557,6 +1696,8 @@ impl<P: Clone + fmt::Debug + 'static> Node for EvsProcess<P> {
         // (§2: "may recover with a deliver_conf_p(c) event, where the
         // membership of c is {p}").
         self.telemetry = ctx.telemetry().clone();
+        self.tick_armed = None;
+        self.refused = None;
         if let Mode::Recovery(rec) = &self.mode {
             // A crash abandoned an in-progress recovery; balance the
             // entered counter with an abort exit (step 0).
@@ -1978,5 +2119,179 @@ mod tests {
             counters.iter().all(|c| seen.insert(*c)),
             "no id reused: {counters:?}"
         );
+    }
+
+    /// Storage stub handing the engine a canned [`Replay`] — the harness
+    /// for replay shapes only `FileStorage` media damage produces
+    /// (undecodable snapshots, positioned CRC gaps).
+    struct CannedStorage(Replay);
+
+    impl Storage for CannedStorage {
+        fn append(&mut self, _record: &[u8]) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn sync(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn snapshot(&mut self, _state: &[u8]) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn replay(&mut self) -> std::io::Result<Replay> {
+            Ok(self.0.clone())
+        }
+    }
+
+    fn wal_records(recs: &[WalRecord]) -> Vec<Vec<u8>> {
+        recs.iter()
+            .map(|r| {
+                let mut b = Vec::new();
+                r.encode(&mut b);
+                b
+            })
+            .collect()
+    }
+
+    /// Boots a process over `replay` with live telemetry, so tests can
+    /// read the refusal/suppression counters.
+    fn started_over(replay: Replay) -> (EvsProcess<&'static str>, Env, Telemetry) {
+        let mut env = Env::new();
+        let telemetry = Telemetry::enabled(0);
+        let mut node =
+            EvsProcess::with_storage(p(0), EvsParams::default(), Box::new(CannedStorage(replay)));
+        let mut ctx = Ctx::detached_with_telemetry(
+            p(0),
+            env.now,
+            &mut env.stable,
+            &mut env.trace,
+            &mut env.next_timer,
+            telemetry.clone(),
+        );
+        node.on_start(&mut ctx);
+        drop(ctx);
+        (node, env, telemetry)
+    }
+
+    #[test]
+    fn unbounded_bad_snapshot_refuses_to_start() {
+        // An undecodable snapshot and no surviving Lease/Sent/FailMark:
+        // every id the dead incarnation leased may hide inside the blob,
+        // so no skip distance is provably safe (Spec 1.4).
+        let (mut node, mut env, telemetry) = started_over(Replay {
+            snapshot: Some(vec![0xAB, 0xCD]),
+            records: wal_records(&[
+                WalRecord::Epoch(3),
+                WalRecord::ConfDelivered {
+                    epoch: 3,
+                    rep: 0,
+                    transitional: false,
+                },
+            ]),
+            wal_present: true,
+            ..Replay::default()
+        });
+        assert_eq!(node.start_refused(), Some(ReplayError::BadSnapshot));
+        assert_eq!(
+            telemetry.counter(names::WAL_REFUSED_STARTS).get(),
+            1,
+            "the refusal is counted"
+        );
+        assert!(
+            !env.trace
+                .iter()
+                .any(|(_, e)| matches!(e, EvsEvent::DeliverConf(_))),
+            "a refused process never comes up"
+        );
+        // A refused engine is inert: no ids allocated, nothing delivered.
+        let (_, sent) = env.with(|ctx| node.submit(ctx, Service::Agreed, "never"));
+        assert!(sent.is_empty(), "refused engine sends nothing");
+        assert!(sent_counters(&env).is_empty(), "no id was ever stamped");
+        assert!(node.deliveries().is_empty());
+    }
+
+    #[test]
+    fn bad_snapshot_with_a_surviving_lease_restarts_bounded() {
+        // Same undecodable snapshot, but one post-snapshot lease survived:
+        // its ceiling (plus the poison skip) provably clears anything the
+        // snapshot could hide, so the process starts.
+        let (mut node, mut env, telemetry) = started_over(Replay {
+            snapshot: Some(vec![0xAB, 0xCD]),
+            records: wal_records(&[WalRecord::Lease(1024)]),
+            wal_present: true,
+            ..Replay::default()
+        });
+        assert_eq!(node.start_refused(), None);
+        assert_eq!(telemetry.counter(names::WAL_REFUSED_STARTS).get(), 0);
+        env.with(|ctx| node.submit(ctx, Service::Agreed, "post"));
+        let counters = sent_counters(&env);
+        assert!(
+            *counters.last().unwrap() > 1024,
+            "restart continues past the lease ceiling: {counters:?}"
+        );
+    }
+
+    #[test]
+    fn a_gap_after_the_last_install_suppresses_the_undead_fail() {
+        // The CRC gap sits *after* the only install — it may have
+        // swallowed a newer install or the retiring fail mark, so the
+        // synthetic fail_p(c) could name a superseded configuration.
+        // Spec 2.2 forgives a missing fail, never a wrong one.
+        let (node, env, telemetry) = started_over(Replay {
+            records: wal_records(&[
+                WalRecord::Lease(64),
+                WalRecord::ConfDelivered {
+                    epoch: 4,
+                    rep: 0,
+                    transitional: false,
+                },
+            ]),
+            wal_present: true,
+            corrupt_gaps: 1,
+            gap_positions: vec![2],
+            ..Replay::default()
+        });
+        assert_eq!(node.start_refused(), None, "suppression is not refusal");
+        assert!(
+            !env.trace
+                .iter()
+                .any(|(_, e)| matches!(e, EvsEvent::Fail { .. })),
+            "no fail naming a possibly-stale configuration"
+        );
+        assert_eq!(telemetry.counter(names::WAL_SUPPRESSED_FAILS).get(), 1);
+    }
+
+    #[test]
+    fn a_gap_before_the_last_intact_install_still_owes_the_fail() {
+        // Positional evidence: the gap lies between the two installs, so
+        // the later intact install is authoritative — nothing newer can
+        // hide before it, and the owed fail_p(c) is emitted (and names
+        // that last install).
+        let (_, env, telemetry) = started_over(Replay {
+            records: wal_records(&[
+                WalRecord::ConfDelivered {
+                    epoch: 1,
+                    rep: 0,
+                    transitional: false,
+                },
+                WalRecord::ConfDelivered {
+                    epoch: 4,
+                    rep: 0,
+                    transitional: false,
+                },
+            ]),
+            wal_present: true,
+            corrupt_gaps: 1,
+            gap_positions: vec![1],
+            ..Replay::default()
+        });
+        let failed = env
+            .trace
+            .iter()
+            .find_map(|(_, e)| match e {
+                EvsEvent::Fail { config } => Some(*config),
+                _ => None,
+            })
+            .expect("the kill still owes fail_p(c)");
+        assert_eq!(failed.epoch, 4, "fail names the last intact install");
+        assert_eq!(telemetry.counter(names::WAL_SUPPRESSED_FAILS).get(), 0);
     }
 }

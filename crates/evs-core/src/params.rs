@@ -52,6 +52,13 @@ pub struct EvsParams {
     /// this bound. The default stays under the common 64 kB UDP payload
     /// ceiling with headroom for frame headers.
     pub max_datagram_bytes: usize,
+    /// Compatibility switch for the pre-event-driven engine: re-arm the
+    /// maintenance timer every `tick_interval` ticks regardless of when
+    /// work is actually due, and pace every token forward (never the
+    /// loaded-ring fast path). Exists so equivalence tests can run the
+    /// same chaos plan under both schedules; leave `false` everywhere
+    /// else.
+    pub legacy_tick_poll: bool,
 }
 
 impl Default for EvsParams {
@@ -68,6 +75,7 @@ impl Default for EvsParams {
             recovery_stall: 800,
             max_per_visit: 16,
             max_datagram_bytes: 60_000,
+            legacy_tick_poll: false,
         }
     }
 }

@@ -379,6 +379,13 @@ pub struct Recovered {
     pub poisoned: u64,
     /// Typed classification of the first poisoned record (or snapshot).
     pub poison: Option<ReplayError>,
+    /// True when *something* in the replay bounded the message counter: a
+    /// decoded snapshot, or any surviving `Lease`/`Sent`/`FailMark`
+    /// record. False with [`ReplayError::BadSnapshot`] means every lease
+    /// the dead incarnation took may be hidden inside the unreadable
+    /// snapshot — no skip distance is provably safe, and the engine
+    /// refuses to start (see `EvsProcess::start_refused`).
+    pub counter_bounded: bool,
 }
 
 /// Classifies a record that failed [`WalRecord::decode`]. Only called on
@@ -409,13 +416,23 @@ fn classify(index: usize, bytes: &[u8]) -> ReplayError {
 }
 
 /// Folds a snapshot and its trailing records back into engine state.
-pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>]) -> Recovered {
+///
+/// `gaps_at` holds the scan positions of CRC gaps the storage backend
+/// resynchronized over, as indices into `records`: a gap at position `i`
+/// sits between record `i - 1` and record `i` (a value of `records.len()`
+/// means damage after the last decodable record). The fold treats each
+/// gap as positional damage, exactly like a poisoned record at that spot:
+/// it taints any earlier `ConfDelivered` as possibly stale, and an intact
+/// install *after* the gap clears the taint — so a gap the backend proved
+/// precedes the last install no longer suppresses the owed `fail_p(c)`.
+pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>], gaps_at: &[u64]) -> Recovered {
     let mut out = Recovered::default();
     if let Some(blob) = snapshot {
         match Checkpoint::decode(blob) {
             Some(cp) => {
                 out.msg_counter = cp.msg_counter;
                 out.max_epoch = cp.max_epoch;
+                out.counter_bounded = true;
             }
             None => {
                 out.poisoned += 1;
@@ -423,11 +440,15 @@ pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>]) -> Recovered {
             }
         }
     }
-    // Set while a poisoned record is the newest thing seen since the last
-    // intact ConfDelivered/FailMark: the damage could hide a newer install
-    // or the mark that retired the current one.
+    // Set while a poisoned record (or a positioned CRC gap) is the newest
+    // thing seen since the last intact ConfDelivered/FailMark: the damage
+    // could hide a newer install or the mark that retired the current one.
     let mut suspect = false;
+    let mut gaps = gaps_at.iter().peekable();
     for (index, raw) in records.iter().enumerate() {
+        while gaps.next_if(|&&at| at <= index as u64).is_some() {
+            suspect = true;
+        }
         let Some(rec) = WalRecord::decode(raw) else {
             out.poisoned += 1;
             suspect = true;
@@ -438,10 +459,14 @@ pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>]) -> Recovered {
         };
         out.records += 1;
         match rec {
-            WalRecord::Lease(limit) => out.msg_counter = out.msg_counter.max(limit),
+            WalRecord::Lease(limit) => {
+                out.msg_counter = out.msg_counter.max(limit);
+                out.counter_bounded = true;
+            }
             WalRecord::Sent { counter, epoch, .. } => {
                 out.msg_counter = out.msg_counter.max(counter);
                 out.max_epoch = out.max_epoch.max(epoch);
+                out.counter_bounded = true;
             }
             WalRecord::ConfDelivered {
                 epoch,
@@ -471,8 +496,14 @@ pub fn fold(snapshot: Option<&[u8]>, records: &[Vec<u8>]) -> Recovered {
                 out.msg_counter = msg_counter;
                 out.max_epoch = out.max_epoch.max(max_epoch);
                 out.undead = None;
+                out.counter_bounded = true;
             }
         }
+    }
+    // Damage after the last decodable record is also "newest since the
+    // last install".
+    if gaps.next().is_some() {
+        suspect = true;
     }
     out.undead_suspect = out.undead.is_some() && suspect;
     out
@@ -569,7 +600,7 @@ mod tests {
                 seq: 10,
             },
         ]);
-        let rec = fold(None, &recs);
+        let rec = fold(None, &recs, &[]);
         assert_eq!(rec.msg_counter, 1024, "lease ceiling wins after a kill");
         assert_eq!(rec.max_epoch, 4);
         assert_eq!(
@@ -600,7 +631,7 @@ mod tests {
                 max_epoch: 6,
             },
         ]);
-        let rec = fold(None, &recs);
+        let rec = fold(None, &recs, &[]);
         assert_eq!(rec.msg_counter, 3, "fail mark restores the exact counter");
         assert_eq!(rec.max_epoch, 6);
         assert_eq!(rec.undead, None);
@@ -616,7 +647,7 @@ mod tests {
         cp.encode(&mut blob);
         let mut recs = encoded(&[WalRecord::Epoch(11)]);
         recs.push(vec![0xEE, 1, 2, 3]); // tag nothing ever wrote
-        let rec = fold(Some(&blob), &recs);
+        let rec = fold(Some(&blob), &recs, &[]);
         assert_eq!(rec.msg_counter, 500);
         assert_eq!(rec.max_epoch, 11);
         assert_eq!(rec.records, 1, "unknown tag not folded");
@@ -634,7 +665,7 @@ mod tests {
     fn fold_classifies_impossible_payloads() {
         // A Lease with a truncated payload: known tag, impossible shape.
         let recs = vec![vec![TAG_LEASE, 1, 2], Vec::new()];
-        let rec = fold(None, &recs);
+        let rec = fold(None, &recs, &[]);
         assert_eq!(rec.records, 0);
         assert_eq!(rec.poisoned, 2);
         assert_eq!(
@@ -733,7 +764,7 @@ mod tests {
             },
         ]);
         recs[1][2] ^= 0x80; // rewrite a value inside the sealed payload
-        let rec = fold(None, &recs);
+        let rec = fold(None, &recs, &[]);
         assert_eq!(rec.undead.map(|c| c.epoch), Some(1), "stale install");
         assert!(rec.undead_suspect, "damage after it makes it untrustworthy");
         assert_eq!(
@@ -758,7 +789,7 @@ mod tests {
             },
         ]);
         recs[0][2] ^= 0x01; // damage strictly before the install
-        let rec = fold(None, &recs);
+        let rec = fold(None, &recs, &[]);
         assert_eq!(rec.undead.map(|c| c.epoch), Some(4));
         assert!(
             !rec.undead_suspect,
@@ -787,9 +818,99 @@ mod tests {
 
     #[test]
     fn fold_flags_an_undecodable_snapshot() {
-        let rec = fold(Some(&[0xAB, 0xCD]), &encoded(&[WalRecord::Epoch(2)]));
+        let rec = fold(Some(&[0xAB, 0xCD]), &encoded(&[WalRecord::Epoch(2)]), &[]);
         assert_eq!(rec.poison, Some(ReplayError::BadSnapshot));
         assert_eq!(rec.poisoned, 1);
         assert_eq!(rec.max_epoch, 2, "good records still fold");
+    }
+
+    #[test]
+    fn counter_bounded_tracks_what_actually_bounds_the_counter() {
+        // Epoch/ConfDelivered/Cut/Obligations carry no counter evidence:
+        // with a bad snapshot they leave the replay unbounded (the engine
+        // then refuses to start). Any Lease, Sent or FailMark bounds it.
+        let neutral = encoded(&[
+            WalRecord::Epoch(2),
+            WalRecord::ConfDelivered {
+                epoch: 2,
+                rep: 0,
+                transitional: false,
+            },
+            WalRecord::Obligations(vec![1]),
+            WalRecord::Cut {
+                epoch: 2,
+                rep: 0,
+                transitional: false,
+                seq: 3,
+            },
+        ]);
+        assert!(!fold(Some(&[0xAB]), &neutral, &[]).counter_bounded);
+        for bounding in [
+            WalRecord::Lease(10),
+            WalRecord::Sent {
+                counter: 1,
+                epoch: 2,
+                rep: 0,
+                seq: 1,
+            },
+            WalRecord::FailMark {
+                epoch: 2,
+                rep: 0,
+                msg_counter: 1,
+                max_epoch: 2,
+            },
+        ] {
+            let mut recs = neutral.clone();
+            recs.extend(encoded(std::slice::from_ref(&bounding)));
+            assert!(
+                fold(Some(&[0xAB]), &recs, &[]).counter_bounded,
+                "{bounding:?} must bound the counter"
+            );
+        }
+        // An intact snapshot bounds it on its own.
+        let cp = Checkpoint {
+            msg_counter: 7,
+            max_epoch: 1,
+        };
+        let mut blob = Vec::new();
+        cp.encode(&mut blob);
+        assert!(fold(Some(&blob), &neutral, &[]).counter_bounded);
+    }
+
+    #[test]
+    fn a_gap_positioned_after_the_install_marks_the_undead_suspect() {
+        let recs = encoded(&[
+            WalRecord::Lease(64),
+            WalRecord::ConfDelivered {
+                epoch: 4,
+                rep: 1,
+                transitional: false,
+            },
+        ]);
+        // `records.len()` means damage after the last decodable record —
+        // it may hide a newer install or the retiring fail mark.
+        let rec = fold(None, &recs, &[2]);
+        assert_eq!(rec.undead.map(|c| c.epoch), Some(4));
+        assert!(rec.undead_suspect);
+    }
+
+    #[test]
+    fn a_gap_positioned_before_the_install_leaves_it_trusted() {
+        let recs = encoded(&[
+            WalRecord::Lease(64),
+            WalRecord::ConfDelivered {
+                epoch: 4,
+                rep: 1,
+                transitional: false,
+            },
+        ]);
+        // The gap sits between the lease and the install: the install is
+        // positionally newer than the damage, so the owed fail stands.
+        let rec = fold(None, &recs, &[1]);
+        assert_eq!(rec.undead.map(|c| c.epoch), Some(4));
+        assert!(
+            !rec.undead_suspect,
+            "damage proven to precede the install cannot hide a newer one"
+        );
     }
 }

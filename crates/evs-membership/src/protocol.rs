@@ -276,6 +276,60 @@ impl Membership {
         out
     }
 
+    /// The earliest instant at which [`Membership::tick`] has scheduled
+    /// work to do: the next heartbeat, the first suspicion expiry, a join
+    /// rebroadcast, the gather quiet window closing, or a commit retry.
+    /// Event-driven drivers park until this deadline instead of polling on
+    /// a fixed cadence; calling `tick` earlier is harmless (it no-ops), so
+    /// the value only needs to be a lower bound that is never *late*.
+    pub fn next_deadline(&self, now: SimTime) -> SimTime {
+        let mut d = match self.last_hb_sent {
+            None => now,
+            Some(t) => t + self.params.hb_interval,
+        };
+        let horizon = self.params.suspect_timeout;
+        // A process stops being "heard recently" one tick after its
+        // horizon closes (`since > horizon` in `heard_recently`).
+        let expiry = |q: ProcessId| match self.last_heard.get(&q) {
+            Some(&t) => t + (horizon + 1),
+            None => self.view_since + (horizon + 1),
+        };
+        match &self.state {
+            State::Stable => {
+                for &q in &self.view.members {
+                    if q != self.me {
+                        d = d.min(expiry(q));
+                    }
+                }
+            }
+            State::Gather {
+                candidates,
+                stable_since,
+                last_join_sent,
+                awaiting_commit_since,
+                ..
+            } => {
+                d = d.min(match last_join_sent {
+                    None => now,
+                    Some(t) => *t + self.params.hb_interval,
+                });
+                d = d.min(*stable_since + self.params.gather_stable);
+                if let Some(t) = awaiting_commit_since {
+                    d = d.min(*t + (self.params.commit_timeout + 1));
+                }
+                for &c in candidates {
+                    if c != self.me {
+                        d = d.min(expiry(c));
+                    }
+                }
+            }
+            State::Commit { started, .. } => {
+                d = d.min(*started + (self.params.commit_timeout + 1));
+            }
+        }
+        d.max(now)
+    }
+
     /// Handles a received membership message.
     #[must_use]
     pub fn on_message(&mut self, now: SimTime, from: ProcessId, msg: MembMsg) -> Vec<MembOut> {
@@ -526,6 +580,9 @@ impl Membership {
             self.start_gather(now, out);
         }
         let mut changed = false;
+        let me = self.me;
+        let horizon = self.params.suspect_timeout;
+        let last_heard = &self.last_heard;
         if let State::Gather {
             candidates,
             joins,
@@ -538,7 +595,21 @@ impl Membership {
             joins.insert(from, their_candidates.clone());
             epochs.insert(from, their_epoch);
             for q in their_candidates.into_iter().chain([from]) {
-                changed |= candidates.insert(q);
+                // Admit a merged-in candidate only under the same liveness
+                // rule `start_gather` and `prune_candidates` use: heard from
+                // directly within the suspicion horizon. Without the filter,
+                // two reachable processes can reinfect each other with an
+                // unreachable third forever — each re-add triggers an instant
+                // Join rebroadcast carrying the ghost, the other side prunes
+                // it and re-adds it from that Join, and the candidate set
+                // never stays still long enough to commit. (The sender itself
+                // is always fresh: hearing this Join updated `last_heard`.)
+                let fresh = q == me
+                    || q == from
+                    || last_heard.get(&q).is_some_and(|&t| now.since(t) <= horizon);
+                if fresh {
+                    changed |= candidates.insert(q);
+                }
             }
             if changed {
                 *stable_since = now;

@@ -646,6 +646,24 @@ impl<P: Clone> Ring<P> {
         Some(RingOut::TokenTo(self.successor(), tok.clone()))
     }
 
+    /// The instant at which [`Ring::maybe_retransmit`] would next fire, or
+    /// `None` when no retransmission is armed (nothing forwarded yet, or
+    /// the retry budget for the current forward is spent). Event-driven
+    /// drivers use this to park until the exact deadline instead of
+    /// polling on a fixed tick.
+    pub fn next_retx_at(&self, base_timeout: u64, max_timeout: u64) -> Option<SimTime> {
+        self.last_forwarded.as_ref()?;
+        if self.retx_left == 0 {
+            return None;
+        }
+        let attempts = self.retx_limit - self.retx_left;
+        let timeout = base_timeout
+            .checked_shl(attempts)
+            .unwrap_or(u64::MAX)
+            .min(max_timeout.max(base_timeout));
+        Some(self.forwarded_at + timeout)
+    }
+
     /// Returns (and consumes) the next deliverable message in the total
     /// order, or `None` if the head of the order is missing or not yet
     /// deliverable at its service level.

@@ -18,6 +18,17 @@
 //! runtime (a chaos plan's `droppct`/`delay` steps apply mid-run). The
 //! driver collects the same traces as the simulator, so the specification
 //! checkers run unchanged on live runs.
+//!
+//! The worker loop is event-driven: each iteration fires every due
+//! timer, then parks on the inbox until the earliest armed deadline
+//! (timer or held-back packet). With the engine's deadline-computed
+//! `TICK` rearming (see DESIGN.md "The deadline timer wheel") a loaded
+//! worker never sleeps between messages and an idle worker burns no CPU
+//! — the parked share is attributed to [`Phase::Park`] and exported as
+//! `parked_ppm` by the throughput bench. Timers firing at the top of
+//! every iteration (not only when the inbox wait times out) is what
+//! keeps retransmission and failure-detection deadlines honest on a
+//! flooded node.
 
 use crate::node::{Ctx, Effect, Node, TimerId, TimerKind};
 use crate::{ProcessId, SimTime, StableStore, Topology};
@@ -300,11 +311,38 @@ impl<N: Node> Worker<N> {
         }
     }
 
+    /// Fires every pending timer whose deadline has passed. Called on
+    /// every loop iteration — not just when the inbox wait times out —
+    /// so a node flooded with messages still serves its protocol
+    /// deadlines (retransmission backoff, failure detection) on time.
+    /// Under the event-driven engine this is what makes the deadline
+    /// wheel authoritative: arming a timer guarantees a callback at
+    /// (or just after) the deadline regardless of inbox pressure.
+    fn fire_due_timers(&mut self) {
+        if !self.alive || self.timers.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<(TimerId, TimerKind)> = {
+            let (ready, pending): (Vec<_>, Vec<_>) =
+                self.timers.drain(..).partition(|(at, _, _)| *at <= now);
+            self.timers = pending;
+            ready.into_iter().map(|(_, id, kind)| (id, kind)).collect()
+        };
+        for (id, kind) in due {
+            if !self.cancelled.remove(&id) {
+                self.dispatch(|node, ctx| node.on_timer(ctx, kind));
+            }
+        }
+    }
+
     fn run(mut self) -> NodeResult<N> {
         self.dispatch(|node, ctx| node.on_start(ctx));
         self.phase.mark(Phase::Dispatch);
         loop {
             self.flush_holdback();
+            self.fire_due_timers();
+            self.phase.mark(Phase::Timers);
             // Earliest pending timer or held-back packet decides the wait.
             self.timers.sort_by_key(|(at, _, _)| *at);
             let next_timer = self.timers.first().map(|(at, _, _)| *at);
@@ -313,10 +351,11 @@ impl<N: Node> Worker<N> {
                 (Some(t), Some(h)) => t.min(h).saturating_duration_since(Instant::now()),
                 (Some(t), None) => t.saturating_duration_since(Instant::now()),
                 (None, Some(h)) => h.saturating_duration_since(Instant::now()),
+                // Nothing armed: park until the next packet or command
+                // (any inbox send wakes the wait; the bound is only a
+                // backstop against a lost wakeup).
                 (None, None) => Duration::from_millis(50),
             };
-            // Held-back delivery and timer bookkeeping count as dispatch.
-            self.phase.mark(Phase::Dispatch);
             match self.inbox.recv_timeout(timeout) {
                 Ok(Packet::Deliver { from, msg }) => {
                     // Time blocked in a receive that yielded a packet.
@@ -386,26 +425,13 @@ impl<N: Node> Worker<N> {
                 }
                 Ok(Packet::Shutdown) => return (self.node, self.trace),
                 Err(RecvTimeoutError::Timeout) => {
-                    // The whole blocked wait was sleep: tick pacing or an
-                    // empty inbox. This is the share the event-driven
-                    // LiveNet rewrite attacks.
-                    self.phase.mark(Phase::Idle);
-                    if !self.alive {
-                        continue;
-                    }
-                    let now = Instant::now();
-                    let due: Vec<(TimerId, TimerKind)> = {
-                        let (ready, pending): (Vec<_>, Vec<_>) =
-                            self.timers.drain(..).partition(|(at, _, _)| *at <= now);
-                        self.timers = pending;
-                        ready.into_iter().map(|(_, id, kind)| (id, kind)).collect()
-                    };
-                    for (id, kind) in due {
-                        if !self.cancelled.remove(&id) {
-                            self.dispatch(|node, ctx| node.on_timer(ctx, kind));
-                        }
-                    }
-                    self.phase.mark(Phase::Timers);
+                    // The whole blocked wait was a park: the worker slept
+                    // in the kernel until the next protocol deadline with
+                    // nothing to do — the *intended* idleness of an
+                    // event-driven loop, as opposed to the old fixed-tick
+                    // busy-sleep this loop replaced. The due timers fire
+                    // at the top of the next iteration.
+                    self.phase.mark(Phase::Park);
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return (self.node, self.trace);
@@ -658,7 +684,10 @@ where
             if Instant::now() >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(5));
+            // Poll fast: with the event-driven workers a settled state is
+            // typically reached within a handful of ticks, and a 5 ms
+            // poll interval would dominate short live benches.
+            std::thread::sleep(Duration::from_micros(500));
         }
     }
 

@@ -196,6 +196,12 @@ pub struct Scan {
     pub gaps: u64,
     /// Total bytes skipped inside those gaps.
     pub gap_bytes: u64,
+    /// Where each gap sits, as indices into [`Scan::records`]: a gap at
+    /// position `i` was skipped after `i` records had decoded, i.e. it
+    /// lies between record `i - 1` and record `i`. Positional evidence
+    /// for the replay fold: damage *before* a later intact record cannot
+    /// hide anything newer than that record.
+    pub gap_positions: Vec<u64>,
 }
 
 /// Decodes the frame at `bytes[at..]`, returning its payload and the
@@ -249,6 +255,7 @@ pub fn scan_records(bytes: &[u8]) -> Scan {
             Some(next) => {
                 scan.gaps += 1;
                 scan.gap_bytes += (next - at) as u64;
+                scan.gap_positions.push(scan.records.len() as u64);
                 at = next;
             }
             // Nothing valid follows: a torn tail, not a gap.
@@ -279,6 +286,13 @@ pub struct Replay {
     /// not torn tails. Each gap may have swallowed at most the records
     /// it covered; the engine widens its id-lease skip accordingly.
     pub corrupt_gaps: u64,
+    /// Where each gap sits, as indices into [`Replay::records`] (the
+    /// per-segment [`Scan::gap_positions`], offset into the global record
+    /// sequence). A value equal to `records.len()` means damage after the
+    /// last decodable record. The fold uses these to decide *positionally*
+    /// whether a gap can hide a newer configuration install, instead of
+    /// distrusting the whole log.
+    pub gap_positions: Vec<u64>,
 }
 
 impl Replay {
@@ -324,10 +338,13 @@ pub trait Storage: Send {
         Ok(false)
     }
 
-    /// Fault injection: destroy roughly `bytes` trailing bytes of the
-    /// log, as a crash mid-write would (backends may round to a record
-    /// boundary). Returns the bytes actually invalidated (0 when the log
-    /// is empty). Default is a no-op.
+    /// Fault injection: tail rot destroying at least `bytes` trailing
+    /// bytes of the log, rounded up to whole records. A destroyed record
+    /// leaves a scar (an empty record) behind — real media keep evidence
+    /// where a frame used to be, which is what lets the replay fold
+    /// distinguish injected rot from an ordinary crash mid-write (whose
+    /// file simply ends). Returns the bytes actually invalidated (0 when
+    /// the log is empty). Default is a no-op.
     fn truncate_tail(&mut self, bytes: u64) -> io::Result<u64> {
         let _ = bytes;
         Ok(0)
@@ -375,6 +392,7 @@ impl Storage for NullStorage {
             wal_present: self.snapshot.is_some() || !self.records.is_empty(),
             torn_bytes: 0,
             corrupt_gaps: 0,
+            gap_positions: Vec::new(),
         })
     }
 
@@ -597,6 +615,10 @@ impl Storage for FileStorage {
             let tail = bytes.len() - scan.scanned;
             replay.torn_bytes += scan.gap_bytes + tail as u64;
             replay.corrupt_gaps += scan.gaps;
+            let base = replay.records.len() as u64;
+            replay
+                .gap_positions
+                .extend(scan.gap_positions.iter().map(|&g| base + g));
             if scan.gaps > 0 {
                 // Mid-segment corruption: self-heal by rewriting the
                 // segment from its valid records (tmp + rename, so a
@@ -676,21 +698,56 @@ impl Storage for FileStorage {
         if bytes == 0 {
             return Ok(0);
         }
-        // Chop the tail of the last non-empty segment, possibly mid-record
-        // — exactly the shape a crash mid-write leaves behind.
+        // Tail rot destroys whole trailing records of the last non-empty
+        // segment, same physical claim as [`NullStorage::truncate_tail`]:
+        // real media keep a scar where each frame used to be (zeroed
+        // extents, a file that still exists), so every destroyed record is
+        // replaced by an empty frame — eight zero bytes, which replay
+        // decodes as an empty (semantically impossible) record. A plain
+        // `set_len` would instead leave a shorter-but-plausible log,
+        // indistinguishable from an ordinary crash mid-write, and the
+        // replay fold would have no positional evidence that records after
+        // the surviving prefix ever existed.
         for seq in segment_seqs(&self.dir)?.into_iter().rev() {
             let path = self.segment_path(seq);
-            let len = fs::metadata(&path)?.len();
-            if len == 0 {
+            let mut raw = Vec::new();
+            File::open(&path)?.read_to_end(&mut raw)?;
+            if raw.is_empty() {
                 continue;
             }
-            let cut = bytes.min(len);
-            OpenOptions::new()
-                .write(true)
-                .open(&path)?
-                .set_len(len - cut)?;
+            // Walk the framed prefix; anything past it (a torn tail) is
+            // consumed by the budget first.
+            let mut starts = Vec::new();
+            let mut at = 0usize;
+            while let Some((_, next)) = frame_at(&raw, at) {
+                starts.push(at);
+                at = next;
+            }
+            let mut destroyed = (raw.len() - at) as u64;
+            let mut scars = 0usize;
+            let mut cut_at = at;
+            while destroyed < bytes {
+                match starts.pop() {
+                    Some(start) => {
+                        destroyed += (cut_at - start) as u64;
+                        cut_at = start;
+                        scars += 1;
+                    }
+                    None => break,
+                }
+            }
+            if destroyed == 0 {
+                continue;
+            }
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(cut_at as u64)?;
+            let mut file = file;
+            use std::io::Seek;
+            file.seek(io::SeekFrom::End(0))?;
+            file.write_all(&vec![0u8; scars * RECORD_HEADER])?;
+            file.sync_data()?;
             self.active = None;
-            return Ok(cut);
+            return Ok(destroyed);
         }
         Ok(0)
     }
@@ -943,12 +1000,19 @@ mod tests {
         let r = s.replay().unwrap();
         assert_eq!(r.corrupt_gaps, 1, "flipped byte reads as a gap");
         assert_eq!(r.records.len(), records.len() - 1);
-        // Heal happened; now tear the tail.
+        // Heal happened; now rot the tail. The budget rounds up to a
+        // whole record, which is replaced by an empty scar — same
+        // physical claim as the in-memory store, so replay keeps the
+        // record *count* and the fold sees positional evidence.
         let removed = s.truncate_tail(3).unwrap();
-        assert_eq!(removed, 3);
+        assert!(removed >= 3, "whole-record rounding");
         let r = s.replay().unwrap();
-        assert_eq!(r.records.len(), records.len() - 2);
-        assert!(r.torn_bytes > 0);
+        assert_eq!(r.records.len(), records.len() - 1);
+        assert_eq!(r.records.last(), Some(&Vec::new()));
+        assert_eq!(r.torn_bytes, 0, "a scar is a valid (empty) frame");
+        // Scars survive a second replay untouched.
+        let again = s.replay().unwrap();
+        assert_eq!(again.records.len(), records.len() - 1);
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub const WAL_POISONED_RECORDS: &str = "wal_poisoned_records";
 /// a fail naming the wrong configuration would break Spec 2.2, a missing
 /// one never does.
 pub const WAL_SUPPRESSED_FAILS: &str = "wal_suppressed_fails";
+/// Starts refused at replay: an undecodable snapshot with zero surviving
+/// post-snapshot leases leaves no provably-safe message-id bound, so the
+/// process stays down rather than risk id reuse (Spec 1.4).
+pub const WAL_REFUSED_STARTS: &str = "wal_refused_starts";
 
 // ---- evs-sim: the live driver's per-link fault layer ----
 
@@ -171,6 +175,12 @@ pub const PHASE_NS_SEND: &str = "phase_ns_send";
 pub const PHASE_NS_TIMERS: &str = "phase_ns_timers";
 /// Nanoseconds handling control-plane work (commands, scrapes, inspects).
 pub const PHASE_NS_CONTROL: &str = "phase_ns_control";
+/// Nanoseconds parked on an event wait with a computed protocol deadline
+/// (the event-driven core's replacement for the fixed tick sleep).
+pub const PHASE_NS_PARK: &str = "phase_ns_park";
+/// Nanoseconds submitting batched socket work (`sendmmsg`/`recvmmsg`
+/// syscalls through a `SocketDriver`).
+pub const PHASE_NS_SUBMIT: &str = "phase_ns_submit";
 
 /// Log histogram: per-stretch idle durations (ns).
 pub const PHASE_DUR_IDLE: &str = "phase_dur_idle";
@@ -190,6 +200,10 @@ pub const PHASE_DUR_SEND: &str = "phase_dur_send";
 pub const PHASE_DUR_TIMERS: &str = "phase_dur_timers";
 /// Log histogram: per-stretch control-plane durations (ns).
 pub const PHASE_DUR_CONTROL: &str = "phase_dur_control";
+/// Log histogram: per-stretch deadline-park durations (ns).
+pub const PHASE_DUR_PARK: &str = "phase_dur_park";
+/// Log histogram: per-stretch batched-submit durations (ns).
+pub const PHASE_DUR_SUBMIT: &str = "phase_dur_submit";
 
 /// Gauge: total nanoseconds of loop wall-clock since the clock started.
 /// Phase fractions are per-phase ns over this.

@@ -45,11 +45,19 @@ pub enum Phase {
     Timers,
     /// Control-plane work: commands, `OBS?` scrapes, inspect closures.
     Control,
+    /// Parked on an event wait with a computed protocol deadline — the
+    /// event-driven core's replacement for the fixed tick sleep. Unlike
+    /// [`Phase::Idle`] (scheduled sleep regardless of work), park time is
+    /// bounded by the earliest deadline and ends the instant work arrives.
+    Park,
+    /// Submitting batched socket work through a `SocketDriver`
+    /// (`sendmmsg`/`recvmmsg` syscalls, or their portable fallback).
+    Submit,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every phase, indexable by `phase as usize`.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -62,6 +70,8 @@ impl Phase {
         Phase::Send,
         Phase::Timers,
         Phase::Control,
+        Phase::Park,
+        Phase::Submit,
     ];
 
     /// The phase's short name as it appears in expositions.
@@ -76,6 +86,8 @@ impl Phase {
             Phase::Send => "send",
             Phase::Timers => "timers",
             Phase::Control => "control",
+            Phase::Park => "park",
+            Phase::Submit => "submit",
         }
     }
 
@@ -91,6 +103,8 @@ impl Phase {
             Phase::Send => names::PHASE_NS_SEND,
             Phase::Timers => names::PHASE_NS_TIMERS,
             Phase::Control => names::PHASE_NS_CONTROL,
+            Phase::Park => names::PHASE_NS_PARK,
+            Phase::Submit => names::PHASE_NS_SUBMIT,
         }
     }
 
@@ -106,6 +120,8 @@ impl Phase {
             Phase::Send => names::PHASE_DUR_SEND,
             Phase::Timers => names::PHASE_DUR_TIMERS,
             Phase::Control => names::PHASE_DUR_CONTROL,
+            Phase::Park => names::PHASE_DUR_PARK,
+            Phase::Submit => names::PHASE_DUR_SUBMIT,
         }
     }
 

@@ -38,12 +38,25 @@
 //! the socket, so no effect of an event can be observed remotely unless
 //! the event itself survives the kill.
 //!
-//! The send path is allocation-free in steady state: every frame is
+//! The send path is allocation-light in steady state: every frame is
 //! encoded once into a per-worker scratch buffer ([`wire::encode_into`])
 //! and all frames one dispatch produces for the same destination are
-//! packed into a single datagram ([`wire::pack_frames`] framing), so a
-//! token visit's burst costs one system call per peer instead of one per
-//! message.
+//! packed into a single datagram ([`wire::pack_frames`] framing). The
+//! datagrams themselves go through an [`evs::net::SocketDriver`] — an
+//! io_uring-shaped push/submit/complete queue — so a dispatch's whole
+//! fan-out costs **one** `sendmmsg(2)` on Linux (a portable
+//! `send_to` loop elsewhere) and inbound bursts are reaped a batch at a
+//! time with `recvmmsg(2)`.
+//!
+//! The worker loop is event-driven: due timers fire on every iteration,
+//! and between events the worker *parks* inside
+//! [`SocketDriver::complete`] until the next protocol deadline (armed by
+//! the engine's deadline computation, see DESIGN.md "The deadline timer
+//! wheel") or a datagram. In-process control commands interrupt the park
+//! with a 4-byte `EVSW` wake datagram to the worker's own socket;
+//! `EVSC`/`OBS?` datagrams wake it inherently. An idle worker burns no
+//! CPU (time parks under [`Phase::Park`]); a loaded worker never sleeps
+//! between messages.
 //!
 //! `--broker` runs the client tier live: the same three UDP daemons, plus
 //! an `evs_broker::Broker` front-end on its own socket. Every client is a
@@ -72,6 +85,7 @@ use evs::broker::{Broker, BrokerParams, SubmitOutcome};
 use evs::core::{
     checker, trace_io, wire, Delivery, EvsEvent, EvsParams, EvsProcess, Payload, Service, Trace,
 };
+use evs::net::{self, Completion, SocketDriver};
 use evs::obs::{self, Exposition, TopState};
 use evs::sim::{Ctx, Effect, Node, ProcessId, SimTime, StableStore, TimerKind};
 use evs::store::FileStorage;
@@ -80,7 +94,7 @@ use std::fs;
 use std::io::Write as _;
 use std::net::{SocketAddr, UdpSocket};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// One protocol tick worth of real time.
@@ -91,6 +105,17 @@ const N: usize = 3;
 /// from an address that is not a group member and does not start with
 /// this is ignored.
 const CONTROL_MAGIC: &[u8; 4] = b"EVSC";
+
+/// A 4-byte wake datagram: carries no payload, exists only to interrupt
+/// a worker parked in [`SocketDriver::complete`] so it notices an
+/// in-process command promptly. The event-driven analogue of the old
+/// fixed 500 µs receive timeout.
+const WAKE_MAGIC: &[u8; 4] = b"EVSW";
+
+/// Upper bound on one park. The engine always arms a deadline, so this
+/// is only a backstop (orphan guard, lost-wake safety) — never the
+/// pacing mechanism.
+const MAX_PARK: Duration = Duration::from_millis(50);
 
 /// A child process exits on its own after this long, so an orchestrator
 /// that dies mid-run cannot leak workers forever.
@@ -106,10 +131,33 @@ enum Command {
     Shutdown(mpsc::Sender<Vec<(SimTime, EvsEvent)>>),
 }
 
+/// The in-process command channel to one worker, paired with the wake
+/// path: every command is followed by an `EVSW` datagram to the worker's
+/// socket, so a worker parked on an event wait handles the command
+/// immediately instead of at its next protocol deadline.
+#[derive(Clone)]
+struct CommandPort {
+    tx: mpsc::Sender<Command>,
+    wake: Arc<UdpSocket>,
+    addr: SocketAddr,
+}
+
+impl CommandPort {
+    fn send(&self, cmd: Command) -> Result<(), mpsc::SendError<Command>> {
+        self.tx.send(cmd)?;
+        let _ = self.wake.send_to(WAKE_MAGIC, self.addr);
+        Ok(())
+    }
+}
+
 struct UdpWorker {
     me: ProcessId,
     node: EvsProcess<Payload>,
-    socket: UdpSocket,
+    /// The batched socket edge: outbound datagrams queue via
+    /// [`SocketDriver::push`] and ship in one kernel submit; inbound
+    /// bursts reap in one completion batch (which doubles as the parked
+    /// wait).
+    driver: Box<dyn SocketDriver>,
     peers: Vec<SocketAddr>,
     /// In-process demo control plane; `None` in `--child` mode, where the
     /// same requests arrive as `EVSC` datagrams.
@@ -149,21 +197,26 @@ impl UdpWorker {
         )
     }
 
-    /// Appends the frame in `scratch` to `to`'s datagram, flushing first if
-    /// the datagram would outgrow the configured budget
-    /// ([`EvsParams::max_datagram_bytes`], shared with broker batch sizing).
+    /// Appends the frame in `scratch` to `to`'s datagram, queueing the
+    /// full datagram on the driver first if it would outgrow the
+    /// configured budget ([`EvsParams::max_datagram_bytes`], shared with
+    /// broker batch sizing).
     fn enqueue(&mut self, to: usize) {
         let budget = self.node.params().max_datagram_bytes;
         if !self.outbox[to].is_empty() && self.outbox[to].len() + 4 + self.scratch.len() > budget {
-            self.flush(to);
+            self.queue_outbox(to);
         }
         wire::pack_into(&self.scratch, &mut self.outbox[to]);
     }
 
-    fn flush(&mut self, to: usize) {
+    /// Moves `to`'s packed datagram onto the driver's submission queue.
+    /// No syscall happens here — the whole dispatch's fan-out ships in
+    /// one [`SocketDriver::submit`] batch.
+    fn queue_outbox(&mut self, to: usize) {
         if !self.outbox[to].is_empty() {
-            let _ = self.socket.send_to(&self.outbox[to], self.peers[to]);
+            let datagram = self.outbox[to].to_vec();
             self.outbox[to].clear();
+            self.driver.push(self.peers[to], datagram);
         }
     }
 
@@ -244,11 +297,16 @@ impl UdpWorker {
                 }
             }
         }
-        // Ship everything this dispatch produced, one datagram per peer.
+        // Queue everything this dispatch produced — one datagram per
+        // peer — then ship the whole fan-out as one kernel batch.
         for to in 0..self.peers.len() {
-            self.flush(to);
+            self.queue_outbox(to);
         }
         self.phase.mark(Phase::Send);
+        if self.driver.pending() > 0 {
+            self.driver.submit().expect("socket submit");
+        }
+        self.phase.mark(Phase::Submit);
     }
 
     /// Answers one `OBS?` scrape with a fresh exposition datagram.
@@ -276,7 +334,8 @@ impl UdpWorker {
             ("deliveries".to_string(), o.deliveries.to_string()),
         ];
         if let Some(expo) = Exposition::from_telemetry(self.obs_seq, &self.telemetry, info) {
-            let _ = self.socket.send_to(expo.to_text().as_bytes(), to);
+            self.driver.push(to, expo.to_text().into_bytes());
+            let _ = self.driver.submit();
         }
     }
 
@@ -302,7 +361,8 @@ impl UdpWorker {
                 reply.push(settled as u8);
                 reply.push(members as u8);
                 reply.extend_from_slice(&delivered.to_le_bytes());
-                let _ = self.socket.send_to(&reply, from);
+                self.driver.push(from, reply);
+                let _ = self.driver.submit();
             }
             Some(b'Q') => {
                 if let Some(dir) = self.artifact_dir.clone() {
@@ -312,7 +372,8 @@ impl UdpWorker {
                 let mut reply = Vec::with_capacity(5);
                 reply.extend_from_slice(CONTROL_MAGIC);
                 reply.push(b'D');
-                let _ = self.socket.send_to(&reply, from);
+                self.driver.push(from, reply);
+                let _ = self.driver.submit();
                 return true;
             }
             _ => {}
@@ -320,15 +381,47 @@ impl UdpWorker {
         false
     }
 
+    /// Handles one received datagram. Returns `true` on shutdown.
+    fn handle_datagram(&mut self, from_addr: SocketAddr, datagram: &[u8]) -> bool {
+        let from = self
+            .peers
+            .iter()
+            .position(|a| *a == from_addr)
+            .map(|i| ProcessId::new(i as u32));
+        if let Some(from) = from {
+            if let Ok(frames) = wire::unpack_frames(datagram) {
+                let msgs: Vec<_> = frames.iter().filter_map(|f| wire::decode(f).ok()).collect();
+                self.phase.mark(Phase::Decode);
+                for msg in msgs {
+                    let phase = if <EvsProcess<Payload> as Node>::is_token(&msg) {
+                        Phase::Token
+                    } else {
+                        Phase::Dispatch
+                    };
+                    self.dispatch_as(phase, |node, ctx| node.on_message(ctx, from, msg));
+                }
+            }
+        } else if obs::is_query(datagram) {
+            self.obs_reply(from_addr);
+            self.phase.mark(Phase::Control);
+        } else if datagram.len() >= 4 && &datagram[..4] == CONTROL_MAGIC {
+            let shutdown = self.handle_control(&datagram[4..], from_addr);
+            self.phase.mark(Phase::Control);
+            if shutdown {
+                return true;
+            }
+        } else if datagram == WAKE_MAGIC {
+            // Pure wake: the sender only wanted to interrupt the park so
+            // the command poll at the top of the loop runs now.
+            self.phase.mark(Phase::Control);
+        }
+        false
+    }
+
     fn run(mut self) {
         let born = Instant::now();
         self.dispatch(|node, ctx| node.on_start(ctx));
-        let mut buf = [0u8; 65536];
-        // A short receive timeout keeps timers responsive; set it once —
-        // it sticks to the socket.
-        self.socket
-            .set_read_timeout(Some(Duration::from_micros(500)))
-            .expect("set timeout");
+        let mut completions: Vec<Completion> = Vec::with_capacity(net::RECV_BATCH);
         loop {
             if self.journal.is_some() && born.elapsed() > CHILD_MAX_LIFETIME {
                 return; // orphan guard: the orchestrator is long gone
@@ -373,7 +466,9 @@ impl UdpWorker {
                     Err(mpsc::TryRecvError::Disconnected) => return,
                 }
             }
-            // Fire due timers.
+            // Fire every due timer — on every iteration, not only after
+            // an empty wait, so a flooded worker still serves its
+            // retransmission and failure-detection deadlines on time.
             let now = Instant::now();
             let due: Vec<_> = {
                 let (ready, pending): (Vec<_>, Vec<_>) =
@@ -387,51 +482,34 @@ impl UdpWorker {
                 }
                 self.phase.mark(Phase::Timers);
             }
-            // Receive one datagram; it may pack several frames. The one
-            // blocking call can't be split by outcome, so its time counts
-            // as Recv when it yields a packet and Idle when it times out.
-            match self.socket.recv_from(&mut buf) {
-                Ok((len, from_addr)) => {
-                    self.phase.mark(Phase::Recv);
-                    let from = self
-                        .peers
-                        .iter()
-                        .position(|a| *a == from_addr)
-                        .map(|i| ProcessId::new(i as u32));
-                    if let Some(from) = from {
-                        if let Ok(frames) = wire::unpack_frames(&buf[..len]) {
-                            let msgs: Vec<_> =
-                                frames.iter().filter_map(|f| wire::decode(f).ok()).collect();
-                            self.phase.mark(Phase::Decode);
-                            for msg in msgs {
-                                let phase = if <EvsProcess<Payload> as Node>::is_token(&msg) {
-                                    Phase::Token
-                                } else {
-                                    Phase::Dispatch
-                                };
-                                self.dispatch_as(phase, |node, ctx| {
-                                    node.on_message(ctx, from, msg)
-                                });
-                            }
-                        }
-                    } else if obs::is_query(&buf[..len]) {
-                        self.obs_reply(from_addr);
-                        self.phase.mark(Phase::Control);
-                    } else if len >= 4 && &buf[..4] == CONTROL_MAGIC {
-                        let shutdown = self.handle_control(&buf[4..len], from_addr);
-                        self.phase.mark(Phase::Control);
-                        if shutdown {
-                            return;
-                        }
-                    }
+            // Park until the earliest armed deadline or the next
+            // datagram batch, whichever comes first. The engine always
+            // keeps a deadline armed, so MAX_PARK is only a backstop.
+            let wait = self
+                .timers
+                .iter()
+                .map(|(at, _, _)| *at)
+                .min()
+                .map(|at| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(MAX_PARK)
+                .min(MAX_PARK);
+            completions.clear();
+            let reaped = self
+                .driver
+                .complete(Some(wait), &mut completions)
+                .unwrap_or_else(|e| panic!("socket error: {e}"));
+            if reaped == 0 {
+                // The whole blocked wait was a park with nothing to do —
+                // the intended idleness of an event-driven loop.
+                self.phase.mark(Phase::Park);
+                continue;
+            }
+            // Time blocked in a reap that yielded at least one datagram.
+            self.phase.mark(Phase::Recv);
+            for (from_addr, datagram) in completions.drain(..) {
+                if self.handle_datagram(from_addr, &datagram) {
+                    return;
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    self.phase.mark(Phase::Idle);
-                }
-                Err(e) => panic!("socket error: {e}"),
             }
         }
     }
@@ -522,7 +600,7 @@ fn child(args: &[String]) {
     UdpWorker {
         me,
         node: EvsProcess::with_storage(me, EvsParams::default(), Box::new(storage)),
-        socket,
+        driver: net::driver_for(socket).expect("socket driver"),
         peers,
         commands: None,
         stable: StableStore::new(),
@@ -881,10 +959,11 @@ fn load_journals(dir: &Path, n: usize) -> Trace {
 // ---------------------------------------------------------------------------
 
 /// Everything the in-process modes need to drive and observe a spawned
-/// cluster: per-worker command senders, join handles, telemetry handles,
-/// and the socket addresses (which double as `OBS?` scrape endpoints).
+/// cluster: per-worker command ports (channel + wake datagram), join
+/// handles, telemetry handles, and the socket addresses (which double as
+/// `OBS?` scrape endpoints).
 type LoopbackCluster = (
-    Vec<mpsc::Sender<Command>>,
+    Vec<CommandPort>,
     Vec<std::thread::JoinHandle<()>>,
     Vec<Telemetry>,
     Vec<SocketAddr>,
@@ -899,13 +978,20 @@ fn spawn_loopback_workers() -> LoopbackCluster {
     let addrs: Vec<SocketAddr> = sockets.iter().map(|s| s.local_addr().unwrap()).collect();
     println!("-- sockets: {addrs:?}");
 
+    // One shared socket delivers every EVSW wake datagram; the workers
+    // recognise wakes by content, not source.
+    let wake = Arc::new(UdpSocket::bind("127.0.0.1:0").expect("bind wake socket"));
     let mut command_txs = Vec::new();
     let mut handles = Vec::new();
     let mut telemetry_handles = Vec::new();
     for (i, socket) in sockets.into_iter().enumerate() {
         let me = ProcessId::new(i as u32);
         let (tx, rx) = mpsc::channel();
-        command_txs.push(tx);
+        command_txs.push(CommandPort {
+            tx,
+            wake: Arc::clone(&wake),
+            addr: addrs[i],
+        });
         let peers = addrs.clone();
         let epoch = Instant::now();
         let telemetry = Telemetry::enabled(i as u32);
@@ -914,7 +1000,7 @@ fn spawn_loopback_workers() -> LoopbackCluster {
             UdpWorker {
                 me,
                 node: EvsProcess::new(me, EvsParams::default()),
-                socket,
+                driver: net::driver_for(socket).expect("socket driver"),
                 peers,
                 commands: Some(rx),
                 stable: StableStore::new(),
@@ -940,7 +1026,7 @@ fn spawn_loopback_workers() -> LoopbackCluster {
 
 /// Cleanly shuts down the loopback workers, returning their traces.
 fn shutdown_loopback_workers(
-    command_txs: &[mpsc::Sender<Command>],
+    command_txs: &[CommandPort],
     handles: Vec<std::thread::JoinHandle<()>>,
 ) -> Vec<Vec<(SimTime, EvsEvent)>> {
     let mut traces = Vec::new();
@@ -956,14 +1042,14 @@ fn shutdown_loopback_workers(
 }
 
 /// One inspect round-trip with worker `i`.
-fn inspect_worker(txs: &[mpsc::Sender<Command>], i: usize) -> (bool, usize, Vec<String>) {
+fn inspect_worker(txs: &[CommandPort], i: usize) -> (bool, usize, Vec<String>) {
     let (rtx, rrx) = mpsc::channel();
     txs[i].send(Command::Inspect(rtx)).unwrap();
     rrx.recv().unwrap()
 }
 
 /// Polls until every worker settles into one N-member configuration.
-fn wait_until_formed(txs: &[mpsc::Sender<Command>]) {
+fn wait_until_formed(txs: &[CommandPort]) {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         let states: Vec<(bool, usize, Vec<String>)> =
@@ -1205,15 +1291,21 @@ struct BrokerStats {
 /// The broker front-end thread: client submits in over UDP, batched
 /// multicast frames out to daemon 0, replies back over UDP off agreed
 /// delivery. Exits once `stop` fires and nothing is left in flight.
+///
+/// The socket edge is the same [`SocketDriver`] the daemons use: client
+/// bursts reap in `recvmmsg` batches and a delivery's whole reply
+/// fan-out (potentially hundreds of `EVBR` datagrams) ships as one
+/// kernel submit.
 fn run_broker_front_end(
     socket: UdpSocket,
-    daemon: mpsc::Sender<Command>,
+    daemon: CommandPort,
     stop: mpsc::Receiver<()>,
     stats_tx: mpsc::Sender<BrokerStats>,
     telemetry: Telemetry,
 ) {
     let epoch = Instant::now();
     let now = |epoch: &Instant| (epoch.elapsed().as_micros() / TICK.as_micros()) as u64;
+    let mut driver = net::driver_for(socket).expect("broker socket driver");
     let mut broker = Broker::with_telemetry(
         0,
         ProcessId::new(0),
@@ -1231,23 +1323,31 @@ fn run_broker_front_end(
         batches: 0,
     };
     let mut cursor = 0usize;
-    let mut buf = [0u8; 65536];
+    let mut completions: Vec<Completion> = Vec::with_capacity(net::RECV_BATCH);
     let mut stopping = false;
-    socket
-        .set_read_timeout(Some(Duration::from_micros(500)))
-        .expect("set timeout");
     loop {
         if !stopping && stop.try_recv().is_ok() {
             stopping = true;
         }
-        // Drain the client socket greedily (bounded so flushing and reply
-        // routing stay responsive under a burst).
-        for _ in 0..1024 {
-            match socket.recv_from(&mut buf) {
-                Ok((len, from)) if len >= 12 && &buf[..4] == CLIENT_SUBMIT_MAGIC => {
-                    let client = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        // Drain the client socket greedily, a completion batch at a time
+        // (bounded so flushing and reply routing stay responsive under a
+        // sustained burst). Only the first reap of an iteration blocks.
+        let mut drained = 0usize;
+        loop {
+            completions.clear();
+            let timeout = if drained == 0 {
+                Some(Duration::from_micros(500))
+            } else {
+                None
+            };
+            let reaped = driver
+                .complete(timeout, &mut completions)
+                .unwrap_or_else(|e| panic!("broker socket error: {e}"));
+            for (from, pkt) in completions.drain(..) {
+                if pkt.len() >= 12 && pkt[..4] == *CLIENT_SUBMIT_MAGIC {
+                    let client = u64::from_le_bytes(pkt[4..12].try_into().unwrap());
                     return_addrs.insert(client, from);
-                    match broker.submit(now(&epoch), client, Payload::from(&buf[12..len])) {
+                    match broker.submit(now(&epoch), client, Payload::from(&pkt[12..])) {
                         SubmitOutcome::Accepted { .. } => stats.ops += 1,
                         // A real deployment would nack so the client
                         // retries; this demo sizes its load under the
@@ -1255,27 +1355,22 @@ fn run_broker_front_end(
                         // final op accounting catches.
                         SubmitOutcome::Backpressure => {}
                     }
-                }
-                // The broker answers live scrapes on its client socket:
-                // evs-top polls it exactly like a daemon.
-                Ok((len, from)) if obs::is_query(&buf[..len]) => {
+                } else if obs::is_query(&pkt) {
+                    // The broker answers live scrapes on its client
+                    // socket: evs-top polls it exactly like a daemon.
                     obs_seq += 1;
                     let info = [
                         ("role".to_string(), "broker".to_string()),
                         ("os_pid".to_string(), std::process::id().to_string()),
                     ];
                     if let Some(expo) = Exposition::from_telemetry(obs_seq, &telemetry, info) {
-                        let _ = socket.send_to(expo.to_text().as_bytes(), from);
+                        driver.push(from, expo.to_text().into_bytes());
                     }
                 }
-                Ok(_) => {}
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    break;
-                }
-                Err(e) => panic!("broker socket error: {e}"),
+            }
+            drained += reaped;
+            if reaped == 0 || drained >= 1024 {
+                break;
             }
         }
         // Batched frames into the ring (force the tail out when stopping).
@@ -1309,11 +1404,16 @@ fn run_broker_front_end(
                     pkt.extend_from_slice(CLIENT_REPLY_MAGIC);
                     pkt.extend_from_slice(&reply.client.to_le_bytes());
                     pkt.extend_from_slice(&reply.seq.to_le_bytes());
-                    let _ = socket.send_to(&pkt, addr);
+                    driver.push(*addr, pkt);
                 }
             }
         }
         cursor = delivered.len();
+        // One kernel submit ships every scrape reply and client reply
+        // this iteration produced.
+        if driver.pending() > 0 {
+            driver.submit().expect("broker socket submit");
+        }
         if stopping && broker.inflight() == 0 && broker.pending() == 0 {
             break;
         }

@@ -32,6 +32,10 @@
 //!   seeded scenario search, conformance-checked orchestration, and
 //!   counterexample shrinking (see the "Chaos testing" section of
 //!   `README.md`).
+//! * [`net`] — kernel-batched UDP socket drivers behind the
+//!   io_uring-shaped `SocketDriver` trait: one `sendmmsg`/`recvmmsg`
+//!   syscall per batch on Linux, a byte-for-byte-equivalent portable
+//!   fallback elsewhere (see the "Performance" section of `README.md`).
 //! * [`broker`] — the client-session front-end: sessions with bounded
 //!   windows and backpressure, the prepare-batch pipeline turning
 //!   thousands of client ops into one batched multicast, redelivery-safe
@@ -68,6 +72,7 @@ pub use evs_chaos as chaos;
 pub use evs_core as core;
 pub use evs_inspect as inspect;
 pub use evs_membership as membership;
+pub use evs_net as net;
 pub use evs_obs as obs;
 pub use evs_order as order;
 pub use evs_sim as sim;
